@@ -1,0 +1,80 @@
+"""E10 -- the Section 1 motivation, quantified.
+
+"Finding the smallest number of gates ... does not necessarily result in
+a quantum implementation with the lowest cost."  Regenerates the
+three-way comparison (optimal NCT / MMD heuristic / direct MCE) and the
+classic optimal NCT gate-count histogram the baseline rests on.
+"""
+
+from repro.baselines.compare import compare_targets
+from repro.baselines.mmd import mmd_synthesize
+from repro.gates import named
+from repro.render.tables import comparison_table_text
+
+TARGET_NAMES = ("toffoli", "fredkin", "peres", "g2", "g3", "g4", "swap_bc")
+
+#: expected (nct_qcost, direct_qcost) per target
+EXPECTED = {
+    "toffoli": (5, 5),
+    "fredkin": (7, 7),
+    "peres": (6, 4),
+    "g2": (6, 4),
+    "g3": (7, 4),
+    "g4": (7, 4),
+    "swap_bc": (3, 3),
+}
+
+
+def test_comparison_table(benchmark, library3, shared_search, nct_synthesizer):
+    targets = {name: named.TARGETS[name] for name in TARGET_NAMES}
+
+    rows = benchmark.pedantic(
+        lambda: compare_targets(
+            targets, library3, nct_synthesizer, shared_search
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    by_name = {row.name: row for row in rows}
+    for name, (nct_cost, direct_cost) in EXPECTED.items():
+        assert by_name[name].nct_quantum_cost == nct_cost, name
+        assert by_name[name].direct_quantum_cost == direct_cost, name
+    assert by_name["peres"].advantage == 2
+    assert by_name["g3"].advantage == 3
+    print("\n" + comparison_table_text(rows))
+
+
+def test_nct_histogram(benchmark, nct_synthesizer):
+    """Optimal NCT gate counts over all 40320 functions (Shende et al.)."""
+    histogram = benchmark(nct_synthesizer.gate_count_distribution)
+    assert histogram == {
+        0: 1, 1: 12, 2: 102, 3: 625, 4: 2780,
+        5: 8921, 6: 17049, 7: 10253, 8: 577,
+    }
+    print("\nOptimal NCT gate-count histogram:", histogram)
+
+
+def test_mmd_average_overhead(benchmark, nct_synthesizer):
+    """Average MMD-vs-optimal gate-count gap over a fixed sample."""
+    import random
+
+    from repro.perm.permutation import Permutation
+
+    rng = random.Random(2025)
+    targets = []
+    for _ in range(100):
+        images = list(range(8))
+        rng.shuffle(images)
+        targets.append(Permutation.from_images(images))
+
+    def average_gap():
+        total = 0
+        for target in targets:
+            total += len(mmd_synthesize(target, 3)) - (
+                nct_synthesizer.optimal_gate_count(target)
+            )
+        return total / len(targets)
+
+    gap = benchmark(average_gap)
+    assert gap >= 0
+    print(f"\nMMD average extra gates over optimal (n=100): {gap:.2f}")

@@ -1,0 +1,74 @@
+"""A3 (extension) -- the same machinery on 4 qubits.
+
+The paper's formulation generalizes beyond 3 qubits: for n = 4 the
+reduced label space has 4^4 - 3^4 + 1 = 176 labels and the library has
+36 gates.  These benchmarks chart the cost spectrum (values the paper
+never computed), confirm that an embedded 3-qubit Toffoli still costs 5
+on the wider register, and measure the search growth.
+"""
+
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.core.mce import express
+from repro.core.search import CascadeSearch
+from repro.gates import named
+from repro.gates.library import GateLibrary
+from repro.render.tables import format_table
+
+#: measured by this reproduction
+EXPECTED_G4Q = [1, 12, 96, 542, 2154]
+EXPECTED_B4Q = [1, 36, 684, 9354, 104850]
+
+
+def test_four_qubit_cost_spectrum(benchmark):
+    library = GateLibrary(4)
+
+    def run():
+        return find_minimum_cost_circuits(library, cost_bound=4)
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert table.g_sizes == EXPECTED_G4Q
+    assert table.b_sizes == EXPECTED_B4Q
+    rows = [["|G[k]| (n=4)", *table.g_sizes], ["|B[k]| (n=4)", *table.b_sizes]]
+    print("\n" + format_table(["k", *range(5)], rows))
+
+
+def test_four_qubit_space_structure(benchmark):
+    def build():
+        library = GateLibrary(4)
+        return library
+
+    library = benchmark(build)
+    assert library.space.size == 176
+    assert len(library) == 36
+    # S16[k] factor is 2**4 = 16 by Theorem 2.
+    table = find_minimum_cost_circuits(library, cost_bound=2)
+    assert table.s8_sizes == [16 * g for g in table.g_sizes]
+
+
+def test_embedded_toffoli_cost_invariant(benchmark):
+    """A 3-qubit Toffoli on a 4-qubit register still costs 5."""
+    library = GateLibrary(4)
+    toffoli4 = named.from_output_functions(
+        4,
+        [
+            lambda b: b[0],
+            lambda b: b[1],
+            lambda b: b[2] ^ (b[0] & b[1]),
+            lambda b: b[3],
+        ],
+    )
+
+    def synthesize():
+        search = CascadeSearch(library, track_parents=True)
+        return express(toffoli4, library, cost_bound=5, search=search)
+
+    result = benchmark.pedantic(synthesize, rounds=1, iterations=1)
+    assert result.cost == 5
+    assert result.circuit.binary_permutation() == toffoli4
+    # The witness only touches the three active wires.
+    touched = set()
+    for gate in result.circuit:
+        touched.add(gate.target)
+        touched.add(gate.control)
+    assert touched <= {0, 1, 2}
+    print(f"\nembedded Toffoli on 4 qubits: {result.circuit} (cost 5)")

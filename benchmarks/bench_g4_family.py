@@ -1,0 +1,71 @@
+"""E4/E5 -- Section 5 and Figures 4-7: the G[4] universal-gate family.
+
+Regenerates the decomposition |G[4]| = 60 Feynman-only + 24
+control-using circuits, the universality of all 24 (each generates S8
+together with NOT and Feynman gates, |S8| = 40320), the four orbits of
+six under qubit relabeling, and the printed cascades of g1..g4.
+"""
+
+from repro.core.circuit import Circuit
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.core.universality import analyze_g4, match_paper_representatives
+from repro.gates import named
+
+FIGURE_CASCADES = {
+    "g1": ("V_CB F_BA V_CA V+_CB", named.PERES),
+    "g2": ("V+_BC F_CA V_BA V_BC", named.G2),
+    "g3": ("V_CB F_BA V+_CA V_CB", named.G3),
+    "g4": ("V_CB F_BA V_CA V_CB", named.G4),
+}
+
+
+def test_g4_analysis(benchmark, library3):
+    table = find_minimum_cost_circuits(library3, cost_bound=4)
+
+    analysis = benchmark.pedantic(
+        lambda: analyze_g4(table), rounds=3, iterations=1
+    )
+    assert len(analysis.feynman_only) == 60
+    assert len(analysis.control_using) == 24
+    assert len(analysis.universal) == 24
+    assert [len(orbit) for orbit in analysis.orbits] == [6, 6, 6, 6]
+
+    mapping = match_paper_representatives(analysis)
+    assert len(set(mapping.values())) == 4
+    print(
+        f"\n|G[4]| = 84 = {len(analysis.feynman_only)} Feynman-only + "
+        f"{len(analysis.control_using)} control-using (all universal)"
+    )
+    for name, index in sorted(mapping.items()):
+        rep = analysis.orbits[index][0]
+        print(f"  {name}: orbit {index}, representative {rep.cycle_string()}")
+
+
+def test_universality_of_the_24(benchmark, library3):
+    """Each control-using member generates S8 with NOT + Feynman."""
+    from repro.core.universality import is_universal
+
+    table = find_minimum_cost_circuits(library3, cost_bound=4)
+    members = analyze_g4(table).control_using
+
+    def check_all():
+        return [is_universal(member) for member in members]
+
+    verdicts = benchmark.pedantic(check_all, rounds=3, iterations=1)
+    assert all(verdicts) and len(verdicts) == 24
+
+
+def test_figure_cascades_for_g1_to_g4(benchmark):
+    def check():
+        out = {}
+        for name, (cascade, target) in FIGURE_CASCADES.items():
+            circuit = Circuit.from_names(cascade, 3)
+            out[name] = (
+                circuit.binary_permutation() == target
+                and circuit.cost() == 4
+                and circuit.is_reasonable()
+            )
+        return out
+
+    verdicts = benchmark(check)
+    assert all(verdicts.values()), verdicts

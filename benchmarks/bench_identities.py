@@ -1,0 +1,72 @@
+"""A4 (analysis) -- identity structure and circuit depth.
+
+Two analyses that explain observations elsewhere in the reproduction:
+
+* the commutation catalog of the 18-gate library, whose six commuting
+  Feynman pairs are mechanically the |G[2]| = 24-vs-30 deviation of
+  Table 2;
+* ASAP depth of the paper's minimal circuits -- all fully sequential, so
+  for this library minimal cost equals minimal depth-cost on 3 qubits
+  (every consecutive gate pair shares a wire); parallelism only appears
+  from 4 qubits up.
+"""
+
+from repro.core.circuit import Circuit
+from repro.core.identities import (
+    cnot_emulations,
+    commuting_feynman_pairs,
+    identity_catalog,
+    verify_adjoint_closure,
+)
+from repro.core.mce import express_all
+from repro.core.schedule import asap_schedule, depth, is_fully_sequential
+from repro.gates import named
+
+
+def test_identity_catalog(benchmark, library3):
+    catalog = benchmark(lambda: identity_catalog(library3))
+    assert len(catalog["commute"]) == 48
+    assert len(catalog["inverse"]) == 12
+    assert len(catalog["cnot-emulation"]) == 12
+    feynman = commuting_feynman_pairs(library3)
+    assert len(feynman) == 6  # == the Table 2 k=2 deviation
+    print("\ncommuting Feynman pairs (the |G[2]| collisions):")
+    for identity in feynman:
+        print(f"  {identity.left} . {identity.right} = "
+              f"{identity.right} . {identity.left}")
+
+
+def test_adjoint_closure(benchmark, library3):
+    assert benchmark(lambda: verify_adjoint_closure(library3))
+
+
+def test_depth_of_minimal_implementations(benchmark, library3, shared_search):
+    def analyze():
+        out = {}
+        for name in ("peres", "toffoli", "fredkin"):
+            results = express_all(
+                named.TARGETS[name], library3, search=shared_search,
+            )
+            out[name] = [
+                (depth(r.circuit), is_fully_sequential(r.circuit))
+                for r in results
+            ]
+        return out
+
+    analysis = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    # All minimal 3-qubit implementations are fully sequential.
+    for name, rows in analysis.items():
+        for d, sequential in rows:
+            assert sequential, name
+    assert all(d == 4 for d, _ in analysis["peres"])
+    assert all(d == 5 for d, _ in analysis["toffoli"])
+    print("\ndepths:", {k: [d for d, _ in v] for k, v in analysis.items()})
+
+
+def test_four_qubit_parallelism(benchmark):
+    """On 4 wires, disjoint gates do share layers."""
+    circuit = Circuit.from_names("F_BA F_DC V_BA V_DC F_CA", 4)
+
+    schedule = benchmark(lambda: asap_schedule(circuit))
+    assert schedule.depth == 3
+    assert schedule.width == 2

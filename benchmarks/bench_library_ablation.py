@@ -1,0 +1,102 @@
+"""A2 (ablation) -- which parts of the 18-gate library earn their place?
+
+The paper's library has three gate kinds; this ablation removes them one
+at a time and re-runs FMCF/MCE:
+
+* **no V+** (V + CNOT, 12 gates): Toffoli 5 -> 6, Peres 4 -> 5,
+  Fredkin 7 -> 8 -- the adjoint gates save exactly one gate on each
+  classic target;
+* **no CNOT** (V + V+, 12 gates): every Feynman must be emulated by a
+  V.V pair, so odd costs vanish from the CNOT-network part of G[k]
+  (G[1] = 0) and Toffoli rises to 7;
+* **V only** (6 gates): still universal for the binary-preserving
+  functions, but Toffoli costs 9.
+"""
+
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.core.mce import express
+from repro.core.search import CascadeSearch
+from repro.errors import CostBoundExceededError
+from repro.gates import named
+from repro.gates.kinds import GateKind
+from repro.gates.library import GateLibrary
+from repro.render.tables import format_table
+
+ABLATIONS = {
+    "full": (GateKind.V, GateKind.VDAG, GateKind.CNOT),
+    "no V+": (GateKind.V, GateKind.CNOT),
+    "no CNOT": (GateKind.V, GateKind.VDAG),
+    "V only": (GateKind.V,),
+}
+
+#: (toffoli, peres, fredkin) minimal costs; None = beyond bound 9.
+EXPECTED_COSTS = {
+    "full": (5, 4, 7),
+    "no V+": (6, 5, 8),
+    "no CNOT": (7, 5, None),
+    "V only": (9, 7, None),
+}
+
+EXPECTED_G = {
+    "full": [1, 6, 24, 51, 84, 156],
+    "no V+": [1, 6, 24, 51, 66, 75],
+    "no CNOT": [1, 0, 6, 0, 24, 24],
+    "V only": [1, 0, 6, 0, 24, 6],
+}
+
+
+def _costs_for(kinds) -> tuple:
+    library = GateLibrary(3, kinds=kinds)
+    search = CascadeSearch(library, track_parents=True)
+    out = []
+    for target in (named.TOFFOLI, named.PERES, named.FREDKIN):
+        try:
+            out.append(express(target, library, cost_bound=9, search=search).cost)
+        except CostBoundExceededError:
+            out.append(None)
+    return tuple(out)
+
+
+def test_ablation_costs(benchmark):
+    def run_all():
+        return {name: _costs_for(kinds) for name, kinds in ABLATIONS.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, costs in results.items():
+        assert costs == EXPECTED_COSTS[name], name
+        rows.append([name, *["<=9?" if c is None else c for c in costs]])
+    print("\n" + format_table(
+        ["library", "toffoli", "peres", "fredkin"], rows
+    ))
+
+
+def test_ablation_cost_spectra(benchmark):
+    def run_all():
+        out = {}
+        for name, kinds in ABLATIONS.items():
+            library = GateLibrary(3, kinds=kinds)
+            table = find_minimum_cost_circuits(library, cost_bound=5)
+            out[name] = table.g_sizes
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    for name, sizes in results.items():
+        assert sizes == EXPECTED_G[name], name
+    rows = [[name, *sizes] for name, sizes in results.items()]
+    print("\n" + format_table(["library", *range(6)], rows))
+
+
+def test_no_cnot_parity_structure(benchmark):
+    """V/V+-only cascades realize CNOT networks only at even cost."""
+    library = GateLibrary(3, kinds=(GateKind.V, GateKind.VDAG))
+
+    def analyze():
+        table = find_minimum_cost_circuits(library, cost_bound=5)
+        return table.g_sizes
+
+    sizes = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    # G[2k] for the linear part mirrors the full library's G[k]: 6 CNOTs
+    # at cost 2, 24 two-CNOT networks at cost 4.
+    assert sizes[1] == 0 and sizes[3] == 0
+    assert sizes[2] == 6 and sizes[4] == 24

@@ -1,0 +1,62 @@
+"""E6 -- Figures 4 and 8: Peres synthesis at quantum cost 4.
+
+The paper: "It took 9 CPU seconds (on a 850MHz Pentium III) to
+synthesize the Peres circuit (cost = 4)" and "our synthesis algorithm
+found two implementations for Peres", related by swapping every V with
+V+.  This benchmark reproduces both facts and times the synthesis from a
+cold search (the honest analogue of the paper's 9 s) and from a shared
+warm search.
+"""
+
+from repro.core.mce import express, express_all
+from repro.core.search import CascadeSearch
+from repro.gates import named
+from repro.gates.kinds import GateKind
+from repro.render.diagram import circuit_diagram
+from repro.sim.verify import verify_synthesis
+
+
+def test_peres_cold_synthesis(benchmark, library3):
+    """Cold run: build the BFS from scratch each time (paper: 9 s)."""
+
+    def synthesize():
+        search = CascadeSearch(library3, track_parents=True)
+        return express(named.PERES, library3, search=search)
+
+    result = benchmark.pedantic(synthesize, rounds=3, iterations=1)
+    assert result.cost == 4
+    assert verify_synthesis(result)
+    print(f"\nPeres: {result.circuit}")
+    print(circuit_diagram(result.circuit))
+
+
+def test_peres_both_implementations(benchmark, library3, shared_search):
+    results = benchmark(
+        lambda: express_all(named.PERES, library3, search=shared_search)
+    )
+    assert len(results) == 2
+    for result in results:
+        assert result.cost == 4
+        assert result.circuit.binary_permutation() == named.PERES
+
+    # Figure 8 is Figure 4 with all V and V+ swapped.
+    kinds_a = [g.kind for g in results[0].circuit.gates]
+    kinds_b = [g.kind for g in results[1].circuit.gates]
+    swap = {GateKind.V: GateKind.VDAG, GateKind.VDAG: GateKind.V,
+            GateKind.CNOT: GateKind.CNOT}
+    assert [swap[k] for k in kinds_a] == kinds_b
+    print("\nPeres implementations:")
+    for result in results:
+        print(f"  {result.circuit}")
+
+
+def test_figure4_cascade_validates(benchmark):
+    """The literal printed cascade V_CB*F_BA*V_CA*V+_CB."""
+    from repro.core.circuit import Circuit
+
+    def check():
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        return circuit.binary_permutation()
+
+    perm = benchmark(check)
+    assert perm == named.PERES

@@ -1,0 +1,84 @@
+"""E9 -- Section 4 / Figure 3: probabilistic circuits and automata.
+
+Regenerates the quantum-automata artifacts: the controlled random number
+generator (synthesized from spec at the minimal cost of one controlled-V
+per random bit), a probabilistic state machine with its exact Markov
+chain, and HMM forward likelihoods.
+"""
+
+import random
+from fractions import Fraction
+
+from repro.automata.hmm import QuantumHMM
+from repro.automata.markov import MarkovChain
+from repro.automata.rng import ControlledRandomBitGenerator
+from repro.automata.spec import MachineSynthesisSpec, synthesize_machine
+from repro.gates.library import GateLibrary
+
+HALF = Fraction(1, 2)
+
+
+def test_rng_synthesis(benchmark, library3, shared_search):
+    generator = benchmark.pedantic(
+        lambda: ControlledRandomBitGenerator(
+            n_random=2, library=library3, search=shared_search
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert generator.cost == 2
+    dist = generator.exact_distribution(1)
+    assert all(p == Fraction(1, 4) for p in dist.values())
+    assert generator.exact_distribution(0) == {(0, 0, 0): Fraction(1)}
+    print(f"\ncontrolled RNG: {generator.circuit} (cost {generator.cost})")
+
+
+def test_rng_throughput(benchmark):
+    """Random-bit generation rate of the sampled generator."""
+    generator = ControlledRandomBitGenerator(n_random=2)
+    rng = random.Random(1)
+
+    bits = benchmark(lambda: generator.generate_bits(1000, rng))
+    assert len(bits) == 1000
+
+
+def test_machine_synthesis_and_chain(benchmark):
+    rows = {
+        ((0,), (0,)): (0, 0),
+        ((0,), (1,)): (0, 1),
+        ((1,), (0,)): (1, "?"),
+        ((1,), (1,)): (1, "?"),
+    }
+    spec = MachineSynthesisSpec(input_wires=(0,), state_wires=(1,), rows=rows)
+    library = GateLibrary(2)
+
+    def build():
+        machine, result = synthesize_machine(spec, library)
+        return machine, result
+
+    machine, result = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert result.cost == 1
+    chain = MarkovChain.from_machine(machine, (1,))
+    assert chain.matrix == ((HALF, HALF), (HALF, HALF))
+    assert chain.is_irreducible()
+    print(f"\nmachine circuit: {result.circuit}; "
+          f"stationary = {chain.stationary_distribution()}")
+
+
+def test_hmm_forward_exact(benchmark):
+    rows = {
+        ((0,), (0,)): (0, 0),
+        ((0,), (1,)): (0, 1),
+        ((1,), (0,)): (1, "?"),
+        ((1,), (1,)): (1, "?"),
+    }
+    spec = MachineSynthesisSpec(input_wires=(0,), state_wires=(1,), rows=rows)
+    machine, _result = synthesize_machine(spec, GateLibrary(2))
+    hmm = QuantumHMM(machine)
+    observations = [(1,)] * 8
+    inputs = [(1,)] * 8
+
+    likelihood = benchmark(
+        lambda: hmm.sequence_probability(observations, inputs=inputs)
+    )
+    assert likelihood == 1

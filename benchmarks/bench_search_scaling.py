@@ -1,0 +1,70 @@
+"""E11 -- search-space growth and the paper's cb = 7 memory bound.
+
+The paper: "The constant cb is the upper-bound cost that we can apply in
+a particular computer (due to finite memory size).  In our computer,
+cb = 7."  This benchmark measures |B[k]| / |A[k]| growth for the 3-qubit
+library, extends one level beyond the paper (cb = 8 -- a beyond-paper
+data point), and contrasts the 2-qubit search.
+"""
+
+from repro.core.search import CascadeSearch
+from repro.gates.library import GateLibrary
+from repro.render.tables import format_table
+
+EXPECTED_B = [1, 18, 162, 1017, 5364, 25761, 118888, 538191]
+
+
+def test_growth_to_paper_bound(benchmark, library3):
+    def run():
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(7)
+        return search.stats()
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert list(stats.level_sizes) == EXPECTED_B
+    rows = [
+        ["|B[k]|", *stats.level_sizes],
+        ["|A[k]|", *stats.a_sizes],
+    ]
+    print("\n" + format_table(["k", *range(8)], rows))
+    growth = [
+        stats.level_sizes[k] / stats.level_sizes[k - 1] for k in range(2, 8)
+    ]
+    print("level growth factors:", [f"{g:.2f}" for g in growth])
+
+
+def test_beyond_paper_cost_8(benchmark, library3):
+    """One level past the paper's memory bound (~2.4M new cascades)."""
+
+    def run():
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(8)
+        return search
+
+    search = benchmark.pedantic(run, rounds=1, iterations=1)
+    b8 = search.level_size(8)
+    assert b8 == 2_386_293
+    # Extract |G[8]| -- a value the paper could not compute.
+    from repro.core.fmcf import find_minimum_cost_circuits
+
+    table = find_minimum_cost_circuits(library3, cost_bound=8, search=search)
+    print(f"\n|B[8]| = {b8}, |A[8]| = {search.total_seen()}, "
+          f"|G[8]| = {table.g_sizes[8]} (beyond-paper extension)")
+    assert table.g_sizes == [1, 6, 24, 51, 84, 156, 398, 540, 444]
+    assert table.total_synthesized() == 1704
+
+
+def test_two_qubit_search_saturates(benchmark):
+    """The 2-qubit search exhausts its reachable set quickly."""
+    library = GateLibrary(2)
+
+    def run():
+        search = CascadeSearch(library, track_parents=False)
+        search.extend_to(12)
+        return search.stats()
+
+    stats = benchmark(run)
+    # Once saturated, new levels are empty.
+    assert stats.level_sizes[-1] == 0
+    print(f"\n2-qubit closure saturates at {stats.total_seen} cascades "
+          f"(depth {max(k for k, s in enumerate(stats.level_sizes) if s)})")

@@ -1,0 +1,68 @@
+"""Cross-simulator performance: the three semantic levels.
+
+Not a paper table -- infrastructure measurements justifying the
+library's layering: the quaternary product-state path (the paper's
+abstraction) is orders of magnitude faster than full statevector
+simulation, which in turn dwarfs the exact dyadic oracle.  All three
+agree bit-for-bit on reasonable cascades (asserted here as well).
+"""
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.mvl.patterns import binary_patterns
+from repro.sim.exact import ExactSimulator
+from repro.sim.product_state import ProductStateSimulator
+from repro.sim.statevector import StatevectorSimulator
+
+CASCADE = Circuit.from_names(
+    "V_CB F_BA V_CA V+_CB F_BA V+_CB F_BA V_CA V_CB", 3
+)
+PATTERNS = list(binary_patterns(3))
+
+
+def test_product_state_simulation(benchmark):
+    simulator = ProductStateSimulator(CASCADE)
+
+    def run_all():
+        return [simulator.run(p) for p in PATTERNS]
+
+    outputs = benchmark(run_all)
+    assert len(outputs) == 8
+
+
+def test_statevector_simulation(benchmark):
+    simulator = StatevectorSimulator(3)
+
+    def run_all():
+        return [simulator.run(CASCADE, p) for p in PATTERNS]
+
+    states = benchmark(run_all)
+    assert all(np.isclose(np.vdot(s, s).real, 1.0) for s in states)
+
+
+def test_exact_simulation(benchmark):
+    simulator = ExactSimulator(3)
+
+    def run_all():
+        return [simulator.run(CASCADE, p) for p in PATTERNS]
+
+    states = benchmark(run_all)
+    assert len(states) == 8
+
+
+def test_all_three_agree():
+    """Agreement assertion (outside benchmarking): exact == numpy == MV."""
+    product = ProductStateSimulator(CASCADE)
+    numeric = StatevectorSimulator(3)
+    exact = ExactSimulator(3)
+    from repro.sim.statevector import pattern_statevector
+
+    for pattern in PATTERNS:
+        mv_out = product.run(pattern)
+        fast = numeric.run(CASCADE, pattern)
+        slow = np.array(
+            [x.to_complex() for x in exact.run(CASCADE, pattern).column_vector()]
+        )
+        assert np.array_equal(fast, slow)
+        assert np.array_equal(fast, pattern_statevector(mv_out))

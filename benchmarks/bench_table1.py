@@ -1,0 +1,44 @@
+"""E1 -- Table 1: the 2-qubit controlled-V quaternary truth table.
+
+Regenerates the 16-row table (in the paper's row grouping) and its
+permutation representation ``(3,7,4,8)``, and benchmarks the tabulation.
+"""
+
+from repro.gates.gate import Gate
+from repro.gates.truth_table import TruthTable
+from repro.mvl.labels import label_space
+from repro.render.tables import truth_table_text
+
+PAPER_PERMUTATION = "(3,7,4,8)"
+PAPER_OUTPUT_LABELS = [1, 2, 7, 8, 5, 6, 4, 3, 9, 10, 11, 12, 13, 14, 15, 16]
+
+
+def build_table1() -> TruthTable:
+    space = label_space(2, reduced=False, ordering="grouped")
+    return TruthTable.from_gate(Gate.v(1, 0, 2), space)
+
+
+def test_table1_regeneration(benchmark):
+    table = benchmark(build_table1)
+    assert table.permutation().cycle_string() == PAPER_PERMUTATION
+    assert [row.output_label for row in table.rows()] == PAPER_OUTPUT_LABELS
+    print("\n" + truth_table_text(table))
+    print(f"permutation representation: {table.permutation().cycle_string()}")
+
+
+def test_table1_all_two_qubit_gates(benchmark):
+    """Tabulate the entire 2-qubit library (6 gates x 16 rows)."""
+    space = label_space(2, reduced=False, ordering="grouped")
+
+    def tabulate_all():
+        from repro.gates.library import GateLibrary
+
+        library = GateLibrary(2, space=space)
+        return [TruthTable.from_gate(e.gate, space) for e in library]
+
+    tables = benchmark(tabulate_all)
+    assert len(tables) == 6
+    # Every gate's truth table is a permutation fixing the binary block
+    # or mapping it into V-values -- and V+_BA is the inverse of V_BA.
+    by_perm = {t.permutation().cycle_string() for t in tables}
+    assert PAPER_PERMUTATION in by_perm

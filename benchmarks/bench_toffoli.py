@@ -1,0 +1,81 @@
+"""E7 -- Figure 9: Toffoli synthesis at quantum cost 5.
+
+The paper: "98 seconds for the Toffoli circuit (cost = 5)" on a 850 MHz
+Pentium III, with exactly four implementations found -- two
+Hermitian-adjoint pairs, differing in whether the XOR operations land on
+qubit A or qubit B.  All four facts are reproduced here.
+"""
+
+from repro.core.circuit import Circuit
+from repro.core.mce import express, express_all
+from repro.core.search import CascadeSearch
+from repro.gates import named
+from repro.gates.kinds import GateKind
+from repro.sim.verify import verify_synthesis
+
+FIGURE_9 = [
+    "F_BA V+_CB F_BA V_CA V_CB",
+    "F_BA V_CB F_BA V+_CA V+_CB",
+    "F_AB V+_CA F_AB V_CA V_CB",
+    "F_AB V_CA F_AB V+_CA V+_CB",
+]
+
+
+def test_toffoli_cold_synthesis(benchmark, library3):
+    """Cold run: BFS from scratch (paper: 98 s on the P-III)."""
+
+    def synthesize():
+        search = CascadeSearch(library3, track_parents=True)
+        return express(named.TOFFOLI, library3, search=search)
+
+    result = benchmark.pedantic(synthesize, rounds=3, iterations=1)
+    assert result.cost == 5
+    assert verify_synthesis(result)
+
+
+def test_toffoli_four_implementations(benchmark, library3, shared_search):
+    results = benchmark(
+        lambda: express_all(named.TOFFOLI, library3, search=shared_search)
+    )
+    assert len(results) == 4
+    for result in results:
+        assert result.cost == 5
+        assert result.circuit.binary_permutation() == named.TOFFOLI
+
+    # Two adjoint pairs: the V<->V+ swap permutes the implementation set.
+    perms = {r.cascade_permutation for r in results}
+    for result in results:
+        swapped = result.circuit.adjoint_swapped()
+        assert swapped.binary_permutation() == named.TOFFOLI
+
+    # Both XOR placements (qubit A and qubit B) occur.
+    xor_targets = set()
+    for result in results:
+        for gate in result.circuit:
+            if gate.kind is GateKind.CNOT:
+                xor_targets.add(gate.target)
+    assert xor_targets == {0, 1}
+    print("\nToffoli implementations:")
+    for result in results:
+        print(f"  {result.circuit}")
+
+
+def test_figure9_cascades_validate(benchmark):
+    def check_all():
+        perms = []
+        for names in FIGURE_9:
+            perms.append(Circuit.from_names(names, 3).binary_permutation())
+        return perms
+
+    perms = benchmark(check_all)
+    assert all(perm == named.TOFFOLI for perm in perms)
+
+
+def test_fredkin_extension(benchmark, library3, shared_search):
+    """Beyond the paper's figures: Fredkin needs the full cb = 7."""
+    result = benchmark(
+        lambda: express(named.FREDKIN, library3, search=shared_search)
+    )
+    assert result.cost == 7
+    assert verify_synthesis(result)
+    print(f"\nFredkin: {result.circuit} (cost {result.cost})")

@@ -1,0 +1,31 @@
+"""Shared state for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and asserts
+the reproduced values, so ``pytest benchmarks/ --benchmark-only`` is both
+a performance run and a results-regeneration run.  Run with ``-s`` to see
+the regenerated tables printed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.nct import NCTSynthesizer
+from repro.core.search import CascadeSearch
+from repro.gates.library import GateLibrary
+
+
+@pytest.fixture(scope="session")
+def library3():
+    return GateLibrary(3)
+
+
+@pytest.fixture(scope="session")
+def shared_search(library3):
+    """One parent-tracking closure shared by all synthesis benchmarks."""
+    return CascadeSearch(library3, track_parents=True)
+
+
+@pytest.fixture(scope="session")
+def nct_synthesizer():
+    return NCTSynthesizer()

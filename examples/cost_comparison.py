@@ -1,0 +1,56 @@
+"""The paper's motivating claim, measured.
+
+Section 1: "finding the smallest number of gates to synthesize a
+reversible circuit does not necessarily result in a quantum
+implementation with the lowest cost."  This example puts three
+synthesizers side by side on classic targets:
+
+* optimal gate-count NCT (NOT/CNOT/Toffoli) -- exhaustive BFS baseline,
+* the MMD transformation heuristic over the same library,
+* direct minimum-quantum-cost synthesis from V/V+/CNOT (this paper).
+
+A Toffoli is charged 5 elementary gates (its own minimal realization,
+Figure 9), a CNOT 1, NOT gates are free.
+
+Run:  python examples/cost_comparison.py
+"""
+
+from repro import GateLibrary, named
+from repro.baselines.compare import compare_targets
+from repro.baselines.nct import NCTSynthesizer
+from repro.core.search import CascadeSearch
+from repro.render.tables import comparison_table_text
+
+
+def main() -> None:
+    library = GateLibrary(3)
+    search = CascadeSearch(library, track_parents=True)
+    synthesizer = NCTSynthesizer()
+
+    targets = {
+        name: named.TARGETS[name]
+        for name in (
+            "toffoli", "fredkin", "peres", "g2", "g3", "g4",
+            "swap_bc", "cnot_ba",
+        )
+    }
+    rows = compare_targets(targets, library, synthesizer, search)
+    print(comparison_table_text(rows))
+
+    winners = [r.name for r in rows if r.advantage > 0]
+    print(
+        f"\nDirect synthesis is strictly cheaper on: {', '.join(winners)}"
+    )
+    print(
+        "The Peres-family gates save 2-3 elementary gates each -- the "
+        "cheapest universal gates have no good NCT factorization."
+    )
+
+    print("\nOptimal NCT gate-count histogram over all 40320 functions")
+    print("(reproduces Shende et al., ICCAD 2002):")
+    for count, functions in synthesizer.gate_count_distribution().items():
+        print(f"  {count} gates: {functions:6d} functions")
+
+
+if __name__ == "__main__":
+    main()

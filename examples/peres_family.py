@@ -1,0 +1,63 @@
+"""The Peres-like family: the cheapest universal 3-qubit gates.
+
+Reproduces the Section 5 analysis of G[4] (all reversible functions of
+minimal quantum cost 4):
+
+* 60 members are plain CNOT networks (linear, not universal);
+* 24 members use controlled-V/V+ gates -- and every one of them is a
+  *universal* gate: together with NOT and CNOT it generates all 40320
+  reversible 3-bit functions;
+* under qubit relabeling the 24 split into 4 orbits of 6, represented by
+  the paper's g1 (Peres), g2, g3, g4 (Figures 4-7).
+
+Run:  python examples/peres_family.py
+"""
+
+from repro import GateLibrary, express, find_minimum_cost_circuits, named
+from repro.core.search import CascadeSearch
+from repro.core.universality import analyze_g4, match_paper_representatives
+from repro.render.diagram import circuit_diagram
+from repro.render.tables import format_table
+
+PAPER_SPECS = {
+    "g1": "P=A, Q=B^A,     R=C^AB    (Peres)",
+    "g2": "P=A, Q=B^AC',   R=C^A",
+    "g3": "P=A, Q=B^A,     R=C^A'B",
+    "g4": "P=A, Q=B^A,     R=C'^A'B'",
+}
+
+
+def main() -> None:
+    library = GateLibrary(3)
+    search = CascadeSearch(library, track_parents=True)
+    table = find_minimum_cost_circuits(library, cost_bound=4, search=search)
+
+    analysis = analyze_g4(table)
+    print(f"|G[4]| = {len(table.members(4))} reversible functions of "
+          f"minimal cost 4")
+    print(f"  CNOT-network members : {len(analysis.feynman_only)}")
+    print(f"  control-using members: {len(analysis.control_using)}")
+    print(f"  universal gates      : {len(analysis.universal)} "
+          f"(exactly the control-using ones)\n")
+
+    mapping = match_paper_representatives(analysis)
+    rows = []
+    for name in sorted(mapping):
+        orbit = analysis.orbits[mapping[name]]
+        rows.append(
+            [name, named.TARGETS[name].cycle_string(), len(orbit),
+             PAPER_SPECS[name]]
+        )
+    print(format_table(
+        ["gate", "permutation", "orbit size", "boolean spec"], rows
+    ))
+
+    print("\nMinimal realizations (one per family):")
+    for name in sorted(mapping):
+        result = express(named.TARGETS[name], library, search=search)
+        print(f"\n{name} = {result.circuit}  (cost {result.cost})")
+        print(circuit_diagram(result.circuit))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro: exact synthesis of 3-qubit quantum circuits from non-binary gates.
+
+A from-scratch reproduction of Yang, Hung, Song & Perkowski, *"Exact
+Synthesis of 3-qubit Quantum Circuits from Non-binary Quantum Gates Using
+Multiple-Valued Logic and Group Theory"* (DATE 2005).
+
+Quickstart::
+
+    from repro import GateLibrary, express, named
+
+    library = GateLibrary(n_qubits=3)
+    result = express(named.TOFFOLI, library)
+    print(result.circuit)        # 5-gate V/V+/CNOT cascade
+    print(result.cost)           # 5
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro._version import __version__
+
+from repro.errors import (
+    ReproError,
+    InvalidValueError,
+    InvalidGateError,
+    InvalidCircuitError,
+    InvalidPermutationError,
+    SynthesisError,
+    CostBoundExceededError,
+    SpecificationError,
+    SimulationError,
+    NonBinaryControlError,
+)
+from repro.mvl import Qv, Pattern, LabelSpace, label_space
+from repro.linalg import DyadicComplex, Matrix
+from repro.perm import Permutation, PermutationGroup, symmetric_group
+from repro.gates import Gate, GateKind, GateLibrary, TruthTable, named
+from repro.core import (
+    Circuit,
+    CostModel,
+    CascadeSearch,
+    CostTable,
+    find_minimum_cost_circuits,
+    express,
+    express_all,
+    express_probabilistic,
+    ProbabilisticSpec,
+    SynthesisResult,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "InvalidValueError",
+    "InvalidGateError",
+    "InvalidCircuitError",
+    "InvalidPermutationError",
+    "SynthesisError",
+    "CostBoundExceededError",
+    "SpecificationError",
+    "SimulationError",
+    "NonBinaryControlError",
+    # substrates
+    "Qv",
+    "Pattern",
+    "LabelSpace",
+    "label_space",
+    "DyadicComplex",
+    "Matrix",
+    "Permutation",
+    "PermutationGroup",
+    "symmetric_group",
+    # gates
+    "Gate",
+    "GateKind",
+    "GateLibrary",
+    "TruthTable",
+    "named",
+    # core
+    "Circuit",
+    "CostModel",
+    "CascadeSearch",
+    "CostTable",
+    "find_minimum_cost_circuits",
+    "express",
+    "express_all",
+    "express_probabilistic",
+    "ProbabilisticSpec",
+    "SynthesisResult",
+]

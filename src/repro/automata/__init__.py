@@ -1,0 +1,31 @@
+"""Quantum automata: probabilistic state machines from quantum circuits.
+
+Section 4 of the paper: a synthesized binary-input/quaternary-output
+circuit followed by measurement behaves as a *probabilistic combinational
+circuit*; adding memory elements and a feedback loop (Figure 3) yields a
+probabilistic finite state machine with quantum-generated randomness --
+the basis for controlled random number generators and hidden Markov
+models.
+
+* :mod:`repro.automata.spec` -- machine-level synthesis specifications.
+* :mod:`repro.automata.machine` -- the Figure 3 execution model.
+* :mod:`repro.automata.markov` -- induced Markov-chain analysis.
+* :mod:`repro.automata.hmm` -- hidden Markov model view (forward algorithm).
+* :mod:`repro.automata.rng` -- controlled quantum random bit generators.
+"""
+
+from repro.automata.spec import MachineSynthesisSpec, synthesize_machine
+from repro.automata.machine import QuantumStateMachine, MachineStep
+from repro.automata.markov import MarkovChain
+from repro.automata.hmm import QuantumHMM
+from repro.automata.rng import ControlledRandomBitGenerator
+
+__all__ = [
+    "MachineSynthesisSpec",
+    "synthesize_machine",
+    "QuantumStateMachine",
+    "MachineStep",
+    "MarkovChain",
+    "QuantumHMM",
+    "ControlledRandomBitGenerator",
+]

@@ -1,0 +1,201 @@
+"""Hidden Markov models realized by quantum state machines.
+
+The paper (Sections 4, 6) points out that its synthesis extends "without
+any modification" to probabilistic FSMs and hidden Markov models: the
+machine's measured state is hidden, the measured output wires are the
+emissions.  :class:`QuantumHMM` wraps a machine and provides the standard
+HMM queries with *exact* arithmetic:
+
+* forward algorithm (sequence likelihood),
+* posterior state distribution (filtering),
+* most likely state path (Viterbi),
+* seeded sampling of emission sequences.
+
+The underlying conditional P(output, next_state | input, state) is the
+exact product-measurement law of the quantum circuit, so likelihoods are
+rationals, not floats.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.errors import SpecificationError
+from repro.automata.machine import QuantumStateMachine
+
+Bits = tuple[int, ...]
+
+
+class QuantumHMM:
+    """HMM view of a quantum state machine.
+
+    Args:
+        machine: the underlying machine (its state wires become the
+            hidden chain, its output wires the emission alphabet).
+        initial_distribution: prior over the 2**k hidden states; defaults
+            to a point mass on the machine's initial state.
+    """
+
+    def __init__(
+        self,
+        machine: QuantumStateMachine,
+        initial_distribution: Sequence[Fraction] | None = None,
+    ):
+        self._machine = machine
+        size = machine.n_states
+        if initial_distribution is None:
+            dist = [Fraction(0)] * size
+            dist[_index(machine.state)] = Fraction(1)
+        else:
+            dist = [Fraction(x) for x in initial_distribution]
+            if len(dist) != size or sum(dist) != 1 or any(x < 0 for x in dist):
+                raise SpecificationError("bad initial distribution")
+        self._initial = tuple(dist)
+        self._width = len(machine.state_wires)
+
+    @property
+    def machine(self) -> QuantumStateMachine:
+        return self._machine
+
+    @property
+    def n_states(self) -> int:
+        return self._machine.n_states
+
+    @property
+    def initial_distribution(self) -> tuple[Fraction, ...]:
+        return self._initial
+
+    # -- kernels ------------------------------------------------------------------
+
+    def kernel(
+        self, input_bits: Sequence[int], state_index: int
+    ) -> dict[tuple[Bits, int], Fraction]:
+        """P(output, next_state | input, state) with integer state ids."""
+        joint = self._machine.joint_distribution(
+            input_bits, _bits(state_index, self._width)
+        )
+        return {
+            (out, _index(nxt)): p for (out, nxt), p in joint.items()
+        }
+
+    # -- forward algorithm ----------------------------------------------------------
+
+    def forward(
+        self,
+        outputs: Sequence[Bits],
+        inputs: Sequence[Sequence[int]] | None = None,
+    ) -> tuple[Fraction, tuple[Fraction, ...]]:
+        """Exact forward pass.
+
+        Args:
+            outputs: observed emission sequence (tuples of output bits).
+            inputs: per-step input symbols; defaults to empty inputs
+                (valid when the machine has no input wires).
+
+        Returns:
+            (likelihood, posterior): the exact probability of the
+            observation sequence, and the filtered state distribution
+            after the last observation (all-zero when likelihood is 0).
+        """
+        inputs = self._resolve_inputs(inputs, len(outputs))
+        alpha = list(self._initial)
+        for observed, input_bits in zip(outputs, inputs):
+            nxt = [Fraction(0)] * self.n_states
+            for state, mass in enumerate(alpha):
+                if not mass:
+                    continue
+                for (out, s2), p in self.kernel(input_bits, state).items():
+                    if out == tuple(observed):
+                        nxt[s2] += mass * p
+            alpha = nxt
+        likelihood = sum(alpha, Fraction(0))
+        if likelihood:
+            posterior = tuple(a / likelihood for a in alpha)
+        else:
+            posterior = tuple(Fraction(0) for _ in alpha)
+        return likelihood, posterior
+
+    def sequence_probability(
+        self,
+        outputs: Sequence[Bits],
+        inputs: Sequence[Sequence[int]] | None = None,
+    ) -> Fraction:
+        """Exact likelihood of an emission sequence."""
+        return self.forward(outputs, inputs)[0]
+
+    # -- Viterbi -----------------------------------------------------------------------
+
+    def most_likely_path(
+        self,
+        outputs: Sequence[Bits],
+        inputs: Sequence[Sequence[int]] | None = None,
+    ) -> tuple[Fraction, tuple[int, ...]]:
+        """Exact Viterbi decoding.
+
+        Returns:
+            (path probability, state sequence) where the state sequence
+            lists the hidden state *after* each emission.
+        """
+        inputs = self._resolve_inputs(inputs, len(outputs))
+        # delta[s] = (best probability reaching s, backpointer chain)
+        delta: list[tuple[Fraction, tuple[int, ...]]] = [
+            (p, ()) for p in self._initial
+        ]
+        for observed, input_bits in zip(outputs, inputs):
+            nxt: list[tuple[Fraction, tuple[int, ...]]] = [
+                (Fraction(0), ()) for _ in range(self.n_states)
+            ]
+            for state, (mass, path) in enumerate(delta):
+                if not mass:
+                    continue
+                for (out, s2), p in self.kernel(input_bits, state).items():
+                    if out != tuple(observed):
+                        continue
+                    candidate = mass * p
+                    if candidate > nxt[s2][0]:
+                        nxt[s2] = (candidate, path + (s2,))
+            delta = nxt
+        best_prob, best_path = max(delta, key=lambda t: t[0])
+        return best_prob, best_path
+
+    # -- sampling ----------------------------------------------------------------------
+
+    def sample(
+        self,
+        n_steps: int,
+        rng: random.Random,
+        inputs: Sequence[Sequence[int]] | None = None,
+    ) -> list[Bits]:
+        """Sample an emission sequence of length *n_steps* (stateful)."""
+        inputs = self._resolve_inputs(inputs, n_steps)
+        self._machine.reset()
+        return [self._machine.step(x, rng).output_bits for x in inputs]
+
+    def _resolve_inputs(
+        self, inputs: Sequence[Sequence[int]] | None, length: int
+    ) -> list[tuple[int, ...]]:
+        if inputs is None:
+            if self._machine.input_wires:
+                raise SpecificationError(
+                    "machine has input wires; provide per-step inputs"
+                )
+            return [()] * length
+        resolved = [tuple(int(b) for b in x) for x in inputs]
+        if len(resolved) != length:
+            raise SpecificationError(
+                f"need {length} input symbols, got {len(resolved)}"
+            )
+        return resolved
+
+
+def _bits(index: int, width: int) -> Bits:
+    return tuple((index >> (width - 1 - w)) & 1 for w in range(width))
+
+
+def _index(bits: Bits) -> int:
+    value = 0
+    for b in bits:
+        value = value * 2 + b
+    return value

@@ -1,0 +1,191 @@
+"""The Figure 3 execution model: circuit + measurement + state feedback.
+
+A :class:`QuantumStateMachine` drives an n-qubit combinational quantum
+circuit each clock step: input wires are loaded with external bits, state
+wires with the (measured) bits fed back from the previous step.  All
+wires are then measured; the designated state wires become the next
+state, the designated output wires are emitted.
+
+Because the register stays a product state under the paper's
+binary-control discipline, the per-step joint distribution of
+(output, next state) given (input, state) is an exact product of per-wire
+laws -- :meth:`QuantumStateMachine.joint_distribution` computes it with
+rational arithmetic, and :class:`repro.automata.markov.MarkovChain` /
+:class:`repro.automata.hmm.QuantumHMM` build on it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import SpecificationError
+from repro.core.circuit import Circuit
+from repro.mvl.patterns import (
+    Pattern,
+    pattern_from_bits,
+    pattern_measurement_distribution,
+)
+from repro.sim.measure import sample_pattern
+
+Bits = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MachineStep:
+    """One clock step: what went in, what was measured, what comes next."""
+
+    input_bits: Bits
+    state_before: Bits
+    measured: Bits
+    output_bits: Bits
+    state_after: Bits
+
+
+class QuantumStateMachine:
+    """A probabilistic state machine realized by a quantum circuit.
+
+    Args:
+        circuit: the combinational quantum cascade.
+        input_wires: wires loaded from the external input each step.
+        state_wires: wires loaded from the fed-back state each step;
+            after measurement the same wires provide the next state.
+        output_wires: wires whose measured bits are emitted (defaults to
+            the input wires, which often carry computed values out --
+            any subset of wires is allowed).
+        initial_state: starting state bits (defaults to all zeros).
+
+    Input and state wires must partition the register: every wire is
+    driven exactly once per step.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        input_wires: Sequence[int],
+        state_wires: Sequence[int],
+        output_wires: Sequence[int] | None = None,
+        initial_state: Sequence[int] | None = None,
+    ):
+        n = circuit.n_qubits
+        inputs = tuple(input_wires)
+        states = tuple(state_wires)
+        if sorted(inputs + states) != list(range(n)):
+            raise SpecificationError(
+                "input and state wires must partition the register"
+            )
+        outputs = tuple(output_wires) if output_wires is not None else inputs
+        if any(not 0 <= w < n for w in outputs):
+            raise SpecificationError("output wire out of range")
+        self._circuit = circuit
+        self._inputs = inputs
+        self._states = states
+        self._outputs = outputs
+        if initial_state is None:
+            initial_state = (0,) * len(states)
+        self._initial_state = self._check_bits(initial_state, len(states), "state")
+        self._state = self._initial_state
+
+    @staticmethod
+    def _check_bits(bits: Sequence[int], expected: int, what: str) -> Bits:
+        out = tuple(int(b) for b in bits)
+        if len(out) != expected or any(b not in (0, 1) for b in out):
+            raise SpecificationError(f"bad {what} bits {bits!r}")
+        return out
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def circuit(self) -> Circuit:
+        return self._circuit
+
+    @property
+    def input_wires(self) -> Bits:
+        return self._inputs
+
+    @property
+    def state_wires(self) -> Bits:
+        return self._states
+
+    @property
+    def output_wires(self) -> Bits:
+        return self._outputs
+
+    @property
+    def state(self) -> Bits:
+        """Current (classical, measured) state bits."""
+        return self._state
+
+    @property
+    def n_states(self) -> int:
+        """Size of the state space: 2**len(state_wires)."""
+        return 2 ** len(self._states)
+
+    def reset(self) -> None:
+        """Return to the initial state."""
+        self._state = self._initial_state
+
+    # -- single-step semantics -----------------------------------------------------
+
+    def _load_pattern(self, input_bits: Bits, state_bits: Bits) -> Pattern:
+        values = [0] * self._circuit.n_qubits
+        for wire, bit in zip(self._inputs, input_bits):
+            values[wire] = bit
+        for wire, bit in zip(self._states, state_bits):
+            values[wire] = bit
+        return pattern_from_bits(values)
+
+    def output_pattern(self, input_bits: Sequence[int], state_bits: Sequence[int]) -> Pattern:
+        """The pre-measurement quaternary pattern for (input, state)."""
+        inp = self._check_bits(input_bits, len(self._inputs), "input")
+        st = self._check_bits(state_bits, len(self._states), "state")
+        return self._circuit.strict_apply(self._load_pattern(inp, st))
+
+    def joint_distribution(
+        self, input_bits: Sequence[int], state_bits: Sequence[int]
+    ) -> dict[tuple[Bits, Bits], Fraction]:
+        """Exact P(output, next_state | input, state).
+
+        Keys are (output_bits, next_state_bits) pairs.  Probabilities are
+        exact rationals and sum to 1.
+        """
+        pattern = self.output_pattern(input_bits, state_bits)
+        joint: dict[tuple[Bits, Bits], Fraction] = {}
+        for measured, p in pattern_measurement_distribution(pattern).items():
+            key = (
+                tuple(measured[w] for w in self._outputs),
+                tuple(measured[w] for w in self._states),
+            )
+            joint[key] = joint.get(key, Fraction(0)) + p
+        return joint
+
+    def step(self, input_bits: Sequence[int], rng: random.Random) -> MachineStep:
+        """Advance one clock step (samples the measurement)."""
+        inp = self._check_bits(input_bits, len(self._inputs), "input")
+        before = self._state
+        pattern = self.output_pattern(inp, before)
+        measured = sample_pattern(pattern, rng)
+        after = tuple(measured[w] for w in self._states)
+        outputs = tuple(measured[w] for w in self._outputs)
+        self._state = after
+        return MachineStep(
+            input_bits=inp,
+            state_before=before,
+            measured=measured,
+            output_bits=outputs,
+            state_after=after,
+        )
+
+    def run(
+        self, input_sequence: Iterable[Sequence[int]], rng: random.Random
+    ) -> list[MachineStep]:
+        """Run a whole input sequence, returning the step trace."""
+        return [self.step(bits, rng) for bits in input_sequence]
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumStateMachine(inputs={self._inputs}, "
+            f"states={self._states}, outputs={self._outputs})"
+        )

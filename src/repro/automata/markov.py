@@ -1,0 +1,156 @@
+"""Induced Markov chains of quantum state machines.
+
+Fixing the input symbol of a :class:`~repro.automata.machine.
+QuantumStateMachine` makes the measured state evolve as a Markov chain on
+2**k classical states.  This module extracts that chain with exact
+rational transition probabilities and provides the standard analyses
+(n-step distributions, stationarity, irreducibility/aperiodicity via
+networkx when available).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import SpecificationError
+
+Bits = tuple[int, ...]
+
+
+class MarkovChain:
+    """A finite Markov chain with exact rational transition matrix.
+
+    Args:
+        matrix: row-stochastic matrix as nested sequences of Fractions
+            (or ints); ``matrix[i][j]`` = P(next = j | current = i).
+    """
+
+    def __init__(self, matrix: Sequence[Sequence[Fraction]]):
+        rows = [tuple(Fraction(x) for x in row) for row in matrix]
+        size = len(rows)
+        if any(len(row) != size for row in rows):
+            raise SpecificationError("transition matrix must be square")
+        for i, row in enumerate(rows):
+            if sum(row) != 1:
+                raise SpecificationError(f"row {i} does not sum to 1")
+            if any(x < 0 for x in row):
+                raise SpecificationError(f"row {i} has a negative entry")
+        self._matrix = tuple(rows)
+        self._size = size
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_machine(cls, machine, input_bits: Sequence[int]) -> "MarkovChain":
+        """The state chain of a machine under a constant input symbol."""
+        size = machine.n_states
+        k = len(machine.state_wires)
+        matrix = []
+        for state_index in range(size):
+            state_bits = _bits(state_index, k)
+            row = [Fraction(0)] * size
+            for (_out, nxt), p in machine.joint_distribution(
+                input_bits, state_bits
+            ).items():
+                row[_index(nxt)] += p
+            matrix.append(row)
+        return cls(matrix)
+
+    # -- basic access -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def matrix(self) -> tuple[tuple[Fraction, ...], ...]:
+        return self._matrix
+
+    def probability(self, current: int, nxt: int) -> Fraction:
+        return self._matrix[current][nxt]
+
+    def to_numpy(self) -> np.ndarray:
+        """Float64 copy of the transition matrix."""
+        return np.array(
+            [[float(x) for x in row] for row in self._matrix], dtype=np.float64
+        )
+
+    # -- evolution ------------------------------------------------------------------
+
+    def step_distribution(
+        self, distribution: Sequence[Fraction]
+    ) -> tuple[Fraction, ...]:
+        """One exact step: row-vector times matrix."""
+        if len(distribution) != self._size:
+            raise SpecificationError("distribution size mismatch")
+        return tuple(
+            sum(
+                (distribution[i] * self._matrix[i][j] for i in range(self._size)),
+                Fraction(0),
+            )
+            for j in range(self._size)
+        )
+
+    def n_step_distribution(
+        self, distribution: Sequence[Fraction], steps: int
+    ) -> tuple[Fraction, ...]:
+        """Exact distribution after *steps* transitions."""
+        current = tuple(Fraction(x) for x in distribution)
+        for _ in range(steps):
+            current = self.step_distribution(current)
+        return current
+
+    # -- structure ---------------------------------------------------------------------
+
+    def stationary_distribution(self) -> np.ndarray:
+        """A stationary distribution (numeric, via the null space of P^T - I).
+
+        For irreducible chains it is the unique stationary law.
+        """
+        p = self.to_numpy()
+        a = p.T - np.eye(self._size)
+        # Append the normalization constraint and least-squares solve.
+        a = np.vstack([a, np.ones(self._size)])
+        b = np.zeros(self._size + 1)
+        b[-1] = 1.0
+        solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+        return solution / solution.sum()
+
+    def is_stationary(self, distribution: Sequence[Fraction]) -> bool:
+        """Exact check: the distribution is a fixed point of the chain."""
+        return self.step_distribution(distribution) == tuple(
+            Fraction(x) for x in distribution
+        )
+
+    def communicating_classes(self) -> list[frozenset[int]]:
+        """Strongly connected components of the transition digraph."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self._size))
+        for i, row in enumerate(self._matrix):
+            for j, p in enumerate(row):
+                if p:
+                    graph.add_edge(i, j)
+        return [frozenset(c) for c in nx.strongly_connected_components(graph)]
+
+    def is_irreducible(self) -> bool:
+        return len(self.communicating_classes()) == 1
+
+    def __repr__(self) -> str:
+        return f"MarkovChain(size={self._size})"
+
+
+def _bits(index: int, width: int) -> Bits:
+    return tuple((index >> (width - 1 - w)) & 1 for w in range(width))
+
+
+def _index(bits: Bits) -> int:
+    value = 0
+    for b in bits:
+        value = value * 2 + b
+    return value

@@ -1,0 +1,151 @@
+"""Controlled quantum random number generators.
+
+The paper motivates Section 4 with commercial quantum RNGs (id Quantique's
+Quantis) and asks for *controlled* generators synthesized like any other
+circuit.  :class:`ControlledRandomBitGenerator` is that artifact: an
+enable wire gates k fair random bits -- when enable = 0 the data wires
+pass through untouched; when enable = 1 each data wire becomes a
+V-rotated state that measures as an unbiased coin.
+
+The generator is *synthesized*, not hand-built: the behavioral spec goes
+through :func:`~repro.core.probabilistic.express_probabilistic`, and the
+expected minimal realization (one controlled-V per random wire, quantum
+cost k) is confirmed by the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.errors import SpecificationError
+from repro.core.circuit import Circuit
+from repro.core.probabilistic import (
+    ProbabilisticSpec,
+    express_probabilistic,
+)
+from repro.core.search import CascadeSearch
+from repro.gates.library import GateLibrary
+from repro.mvl.patterns import (
+    Pattern,
+    binary_patterns,
+    pattern_measurement_distribution,
+)
+from repro.mvl.values import apply_v
+from repro.sim.measure import sample_pattern
+
+
+class ControlledRandomBitGenerator:
+    """k fair random bits gated by an enable wire (wire 0).
+
+    Args:
+        n_random: number of random data wires (register width is
+            n_random + 1).
+        library: gate library; defaults to a fresh one of matching width.
+        cost_bound: synthesis bound (the minimal cost is n_random).
+        search: optional shared search engine.
+    """
+
+    def __init__(
+        self,
+        n_random: int = 2,
+        library: GateLibrary | None = None,
+        cost_bound: int = 7,
+        search: CascadeSearch | None = None,
+    ):
+        if n_random < 1:
+            raise SpecificationError("need at least one random wire")
+        n_qubits = n_random + 1
+        if library is None:
+            library = GateLibrary(n_qubits)
+        if library.n_qubits != n_qubits:
+            raise SpecificationError(
+                f"library width {library.n_qubits} != {n_qubits}"
+            )
+        self._n_random = n_random
+        self._library = library
+        spec = self._build_spec(n_qubits)
+        result = express_probabilistic(
+            spec, library, cost_bound=cost_bound, search=search
+        )
+        self._spec = spec
+        self._result = result
+
+    @staticmethod
+    def _build_spec(n_qubits: int) -> ProbabilisticSpec:
+        """enable=0: identity; enable=1: every data wire V-rotated."""
+        outputs = []
+        for pattern in binary_patterns(n_qubits):
+            if pattern[0].bit == 0:
+                outputs.append(pattern)
+            else:
+                values = [pattern[0]]
+                values.extend(apply_v(v) for v in pattern[1:])
+                outputs.append(Pattern(values))
+        return ProbabilisticSpec(tuple(outputs))
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def n_random(self) -> int:
+        return self._n_random
+
+    @property
+    def circuit(self) -> Circuit:
+        """The synthesized cascade."""
+        return self._result.circuit
+
+    @property
+    def cost(self) -> int:
+        """Quantum cost of the generator (minimal: one gate per bit)."""
+        return self._result.cost
+
+    @property
+    def spec(self) -> ProbabilisticSpec:
+        return self._spec
+
+    # -- behavior ------------------------------------------------------------------
+
+    def output_pattern(self, enable: int, data_bits: tuple[int, ...] | None = None) -> Pattern:
+        """The pre-measurement pattern for given inputs (data default 0)."""
+        if data_bits is None:
+            data_bits = (0,) * self._n_random
+        if len(data_bits) != self._n_random:
+            raise SpecificationError("data bit width mismatch")
+        from repro.mvl.patterns import pattern_from_bits
+
+        return self.circuit.strict_apply(
+            pattern_from_bits((enable,) + tuple(data_bits))
+        )
+
+    def exact_distribution(
+        self, enable: int, data_bits: tuple[int, ...] | None = None
+    ) -> dict[tuple[int, ...], Fraction]:
+        """Exact joint distribution of all measured wires."""
+        return pattern_measurement_distribution(
+            self.output_pattern(enable, data_bits)
+        )
+
+    def generate(
+        self, rng: random.Random, enable: int = 1
+    ) -> tuple[int, ...]:
+        """One measurement shot; returns the k data bits.
+
+        With ``enable=1`` the bits are i.i.d. fair coins; with
+        ``enable=0`` they deterministically echo the (zero) data inputs.
+        """
+        measured = sample_pattern(self.output_pattern(enable), rng)
+        return measured[1:]
+
+    def generate_bits(self, count: int, rng: random.Random) -> list[int]:
+        """A stream of *count* fair bits (repeated enabled shots)."""
+        bits: list[int] = []
+        while len(bits) < count:
+            bits.extend(self.generate(rng))
+        return bits[:count]
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlledRandomBitGenerator(n_random={self._n_random}, "
+            f"cost={self.cost})"
+        )

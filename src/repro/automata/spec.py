@@ -1,0 +1,140 @@
+"""Machine-level synthesis specifications.
+
+Bridges Figure 3 to the Section 4 synthesis: describe the desired
+per-step behavior of a probabilistic state machine as rows
+
+    (input bits, state bits)  ->  per-wire output symbol (0, 1 or '?')
+
+where '?' denotes a fair random bit, and compile that into a
+:class:`~repro.core.probabilistic.ProbabilisticSpec` for
+:func:`~repro.core.probabilistic.express_probabilistic`.  The synthesized
+cascade plus the wire partition then *is* the machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+from repro.automata.machine import QuantumStateMachine
+from repro.core.probabilistic import (
+    ProbabilisticSpec,
+    ProbabilisticSynthesisResult,
+    express_probabilistic,
+)
+from repro.gates.library import GateLibrary
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+
+Bits = tuple[int, ...]
+Row = Sequence[str | int]
+
+
+@dataclass(frozen=True)
+class MachineSynthesisSpec:
+    """Desired behavior of a quantum state machine.
+
+    Attributes:
+        input_wires: wires driven by the external input.
+        state_wires: wires driven by the fed-back state.
+        rows: per-(input, state) output symbols, one symbol per *wire*
+            (register order): 0/1 for deterministic bits, '?' for a fair
+            coin.  Every (input, state) combination must be present.
+    """
+
+    input_wires: tuple[int, ...]
+    state_wires: tuple[int, ...]
+    rows: Mapping[tuple[Bits, Bits], tuple[str | int, ...]]
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.input_wires) + len(self.state_wires)
+
+    def __post_init__(self) -> None:
+        wires = sorted(self.input_wires + self.state_wires)
+        if wires != list(range(len(wires))):
+            raise SpecificationError(
+                "input and state wires must partition the register"
+            )
+        expected = 2 ** len(self.input_wires) * 2 ** len(self.state_wires)
+        if len(self.rows) != expected:
+            raise SpecificationError(
+                f"need {expected} rows (every input x state combination), "
+                f"got {len(self.rows)}"
+            )
+
+    def to_probabilistic_spec(self) -> ProbabilisticSpec:
+        """Compile to a width-n probabilistic synthesis spec.
+
+        '?' symbols are encoded as ``V(previous bit)`` -- V0 where the
+        wire carried 0, V1 where it carried 1 -- keeping the output
+        patterns pairwise distinct (a necessary realizability condition:
+        the underlying label map of any cascade is a bijection).  Both
+        values measure as fair coins, so the machine-level behavior is
+        the one specified.
+        """
+        n = self.n_qubits
+        outputs: list[Pattern | None] = [None] * (2**n)
+        for (input_bits, state_bits), row in self.rows.items():
+            if len(row) != n:
+                raise SpecificationError(
+                    f"row for {(input_bits, state_bits)} must list {n} symbols"
+                )
+            wire_in = [0] * n
+            for wire, bit in zip(self.input_wires, input_bits):
+                wire_in[wire] = int(bit)
+            for wire, bit in zip(self.state_wires, state_bits):
+                wire_in[wire] = int(bit)
+            index = 0
+            for bit in wire_in:
+                index = index * 2 + bit
+            values = []
+            for wire, symbol in enumerate(row):
+                if symbol in (0, 1, "0", "1"):
+                    values.append(Qv(int(symbol)))
+                elif symbol == "?":
+                    # Fair coin: V maps 0 -> V0, 1 -> V1, keeping rows distinct.
+                    values.append(Qv.V0 if wire_in[wire] == 0 else Qv.V1)
+                else:
+                    raise SpecificationError(
+                        f"symbol {symbol!r} is not 0, 1 or '?'"
+                    )
+            if outputs[index] is not None:
+                raise SpecificationError(
+                    f"duplicate row for register pattern index {index}"
+                )
+            outputs[index] = Pattern(values)
+        assert all(p is not None for p in outputs)
+        return ProbabilisticSpec(tuple(outputs))
+
+
+def synthesize_machine(
+    spec: MachineSynthesisSpec,
+    library: GateLibrary,
+    cost_bound: int = 7,
+    search=None,
+    output_wires: Sequence[int] | None = None,
+    initial_state: Sequence[int] | None = None,
+) -> tuple[QuantumStateMachine, ProbabilisticSynthesisResult]:
+    """Synthesize a machine's circuit and assemble the machine.
+
+    Returns:
+        (machine, synthesis result) -- the result carries the cascade,
+        its quantum cost and the realized label permutation.
+    """
+    if library.n_qubits != spec.n_qubits:
+        raise SpecificationError(
+            f"library width {library.n_qubits} != machine width {spec.n_qubits}"
+        )
+    result = express_probabilistic(
+        spec.to_probabilistic_spec(), library, cost_bound=cost_bound, search=search
+    )
+    machine = QuantumStateMachine(
+        result.circuit,
+        input_wires=spec.input_wires,
+        state_wires=spec.state_wires,
+        output_wires=output_wires,
+        initial_state=initial_state,
+    )
+    return machine, result

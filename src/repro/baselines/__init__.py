@@ -1,0 +1,53 @@
+"""Baseline synthesizers the paper argues against.
+
+The paper's motivation (Section 1): synthesizing with *permutative*
+reversible gates (NOT/CNOT/Toffoli -- the NCT library) and minimizing
+gate count "does not necessarily result in a quantum implementation with
+the lowest cost", because a Toffoli costs 5 elementary 2-qubit gates
+while a CNOT costs 1.  To make that argument measurable we implement:
+
+* :mod:`repro.baselines.nct` -- exhaustive BFS-optimal gate-count
+  synthesis over the NCT library (the Shende et al. style baseline);
+* :mod:`repro.baselines.mmd` -- the Miller-Maslov-Dueck
+  transformation-based heuristic (reference [10] of the paper);
+* :mod:`repro.baselines.compare` -- quantum-cost accounting that maps
+  NCT circuits onto the paper's elementary-gate costs and tabulates the
+  comparison against direct MCE synthesis.
+"""
+
+from repro.baselines.nct import (
+    NCTGate,
+    NCTLibrary,
+    NCTSynthesizer,
+    nct_quantum_cost,
+    NCTCostAssignment,
+)
+from repro.baselines.mmd import mmd_synthesize
+from repro.baselines.compare import ComparisonRow, compare_targets
+from repro.baselines.permlib import (
+    PermutativeGate,
+    PermutativeLibrary,
+    OptimalPermutativeSynthesizer,
+    nct_library,
+    nctp_library,
+    pnc_library,
+    peres_gates,
+)
+
+__all__ = [
+    "NCTGate",
+    "NCTLibrary",
+    "NCTSynthesizer",
+    "NCTCostAssignment",
+    "nct_quantum_cost",
+    "mmd_synthesize",
+    "ComparisonRow",
+    "compare_targets",
+    "PermutativeGate",
+    "PermutativeLibrary",
+    "OptimalPermutativeSynthesizer",
+    "nct_library",
+    "nctp_library",
+    "pnc_library",
+    "peres_gates",
+]

@@ -1,0 +1,95 @@
+"""Transformation-based reversible synthesis (Miller-Maslov-Dueck style).
+
+Reference [10] of the paper: a fast heuristic that walks the truth table
+in input order and appends NCT gates that fix each row without disturbing
+the rows already fixed.  It is not optimal -- which is precisely its role
+here: the benchmarks compare (heuristic NCT) vs (optimal NCT) vs (the
+paper's direct elementary-gate synthesis) on both gate count and quantum
+cost.
+
+This is the basic unidirectional output-side variant of the DAC 2003
+algorithm:
+
+1. If f(0) != 0, apply NOT gates on the set bits of f(0); now f(0) = 0.
+2. For i = 1 .. 2**n - 1 with v = f(i) != i:
+   a. for every bit in i & ~v, apply a Toffoli targeting it, controlled
+      by the set bits of v (only rows >= i can match those controls);
+   b. for every bit in v & ~i, apply a Toffoli targeting it, controlled
+      by the set bits of i.
+   After (a)+(b) row i maps to i; earlier rows are untouched because any
+   pattern containing all controls is >= i.
+3. The collected gates satisfy f * g1 * ... * gm = identity; since every
+   NCT gate is an involution, the synthesized circuit is the reversed
+   gate list.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.nct import NCTGate
+from repro.errors import SpecificationError
+from repro.perm.permutation import Permutation
+
+
+def _set_bits(value: int, n_wires: int) -> list[int]:
+    """Wire indices whose bit is set (wire 0 = most significant)."""
+    return [
+        w for w in range(n_wires) if (value >> (n_wires - 1 - w)) & 1
+    ]
+
+
+def _gate_for(target_wire: int, control_value: int, n_wires: int) -> NCTGate:
+    controls = tuple(
+        w for w in _set_bits(control_value, n_wires) if w != target_wire
+    )
+    return NCTGate(target_wire, controls, n_wires)
+
+
+def mmd_synthesize(target: Permutation, n_wires: int) -> list[NCTGate]:
+    """Synthesize *target* with the transformation-based heuristic.
+
+    Args:
+        target: permutation of the 2**n binary patterns.
+        n_wires: register width.
+
+    Returns:
+        NCT gate list in cascade order realizing the target exactly
+        (verified cheaply by the caller via ``NCTLibrary.permutation_of``).
+    """
+    size = 2**n_wires
+    if target.degree != size:
+        raise SpecificationError(
+            f"target degree {target.degree} != 2**{n_wires}"
+        )
+    f = list(target.images)
+    collected: list[NCTGate] = []
+
+    def apply_output_gate(gate: NCTGate) -> None:
+        """Post-compose the gate on the output side of the table."""
+        perm = gate.permutation()
+        for row in range(size):
+            f[row] = perm(f[row])
+        collected.append(gate)
+
+    # Step 1: zero row.
+    if f[0] != 0:
+        for wire in _set_bits(f[0], n_wires):
+            apply_output_gate(NCTGate(wire, (), n_wires))
+
+    # Step 2: remaining rows in ascending order.
+    for i in range(1, size):
+        v = f[i]
+        if v == i:
+            continue
+        # (a) turn on the bits missing from v; controls = ones(v).
+        for wire in _set_bits(i & ~v, n_wires):
+            apply_output_gate(_gate_for(wire, v, n_wires))
+            v |= 1 << (n_wires - 1 - wire)
+        # (b) turn off the extra bits of v; controls = ones(i).
+        for wire in _set_bits(v & ~i, n_wires):
+            apply_output_gate(_gate_for(wire, i, n_wires))
+            v &= ~(1 << (n_wires - 1 - wire))
+        assert f[i] == i, "row invariant violated"
+
+    # f has been driven to the identity; undo it in reverse.
+    collected.reverse()
+    return collected

@@ -1,0 +1,253 @@
+"""Generalized permutative-library synthesis (the conclusion's claim).
+
+The paper's conclusion asserts: "the number of gates using libraries with
+Peres gates is smaller than using other libraries for all 3-qubit
+circuits" (the companion-paper claim).  To measure it we generalize the
+NCT machinery to *arbitrary* permutative gate libraries -- any named set
+of permutations of the binary patterns with per-gate quantum costs -- and
+provide exhaustive optimal synthesis under two objectives:
+
+* ``objective="count"``  -- minimal number of library gates (BFS);
+* ``objective="quantum"`` -- minimal total quantum cost (layered
+  Dijkstra over integer costs).
+
+Stock libraries: NCT, NCT + Peres family (NCTP), and Peres + NOT/CNOT
+(PNC).  Peres-family gates are charged their true elementary cost of 4
+(this library's own MCE result); Toffoli is charged 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.baselines.nct import NCTLibrary
+from repro.errors import InvalidGateError, InvalidValueError, SynthesisError
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class PermutativeGate:
+    """A named permutative gate with a quantum-cost weight."""
+
+    name: str
+    permutation: Permutation
+    quantum_cost: int
+
+    def __post_init__(self) -> None:
+        if self.quantum_cost < 0:
+            raise InvalidValueError("quantum cost must be non-negative")
+
+
+class PermutativeLibrary:
+    """A named collection of permutative gates on 2**n binary patterns."""
+
+    def __init__(self, name: str, gates: Iterable[PermutativeGate]):
+        gate_list = list(gates)
+        if not gate_list:
+            raise InvalidGateError("library needs at least one gate")
+        degree = gate_list[0].permutation.degree
+        if any(g.permutation.degree != degree for g in gate_list):
+            raise InvalidGateError("gates have mixed degrees")
+        names = [g.name for g in gate_list]
+        if len(set(names)) != len(names):
+            raise InvalidGateError("duplicate gate names in library")
+        self.name = name
+        self._gates = tuple(gate_list)
+        self._degree = degree
+        self._by_name = {g.name: g for g in gate_list}
+
+    @property
+    def gates(self) -> tuple[PermutativeGate, ...]:
+        return self._gates
+
+    @property
+    def degree(self) -> int:
+        return self._degree
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def by_name(self, name: str) -> PermutativeGate:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise InvalidGateError(f"unknown gate {name!r}") from None
+
+    def permutation_of(self, circuit: Sequence[PermutativeGate]) -> Permutation:
+        perm = Permutation.identity(self._degree)
+        for gate in circuit:
+            perm = perm * gate.permutation
+        return perm
+
+    def quantum_cost_of(self, circuit: Sequence[PermutativeGate]) -> int:
+        return sum(g.quantum_cost for g in circuit)
+
+    def __repr__(self) -> str:
+        return f"PermutativeLibrary({self.name!r}, n_gates={len(self._gates)})"
+
+
+# -- stock libraries -----------------------------------------------------------
+
+#: Elementary quantum costs established by this library's own MCE runs.
+TOFFOLI_QCOST = 5
+PERES_QCOST = 4
+
+
+def nct_library(n_wires: int = 3) -> PermutativeLibrary:
+    """NOT/CNOT/Toffoli with standard quantum costs (NOT free)."""
+    gates = []
+    for gate in NCTLibrary(n_wires).gates:
+        cost = {0: 0, 1: 1, 2: TOFFOLI_QCOST}.get(len(gate.controls), 10**6)
+        gates.append(PermutativeGate(gate.name, gate.permutation(), cost))
+    return PermutativeLibrary("NCT", gates)
+
+
+def peres_gates(n_wires: int = 3) -> list[PermutativeGate]:
+    """All wire-placements of the Peres gate and its inverse.
+
+    For n = 3 these are the 6 relabelings of g1 = (5,7,6,8) plus the 6
+    relabelings of its inverse -- 12 gates, each of quantum cost 4.
+    """
+    if n_wires != 3:
+        raise InvalidValueError("Peres placements implemented for 3 wires")
+    gates = []
+    seen = set()
+    for base, tag in ((named.PERES, "PER"), (named.PERES.inverse(), "PERI")):
+        for wires in itertools.permutations(range(3)):
+            relabel = named.wire_relabeling(wires)
+            perm = base.conjugate_by(relabel)
+            if perm in seen:
+                continue
+            seen.add(perm)
+            suffix = "".join("ABC"[w] for w in wires)
+            gates.append(
+                PermutativeGate(f"{tag}_{suffix}", perm, PERES_QCOST)
+            )
+    return gates
+
+
+def nctp_library(n_wires: int = 3) -> PermutativeLibrary:
+    """NCT plus the Peres family (the paper's recommended library)."""
+    gates = list(nct_library(n_wires).gates) + peres_gates(n_wires)
+    return PermutativeLibrary("NCTP", gates)
+
+
+def pnc_library(n_wires: int = 3) -> PermutativeLibrary:
+    """Peres + NOT + CNOT (no Toffoli): the aggressive Peres library."""
+    gates = [
+        g
+        for g in nct_library(n_wires).gates
+        if not g.name.startswith("TOF")
+    ] + peres_gates(n_wires)
+    return PermutativeLibrary("PNC", gates)
+
+
+# -- exhaustive optimal synthesis --------------------------------------------------
+
+
+class OptimalPermutativeSynthesizer:
+    """Exhaustive optimal synthesis over a permutative library.
+
+    Args:
+        library: the gate set.
+        objective: ``"count"`` minimizes the number of gates; ``"quantum"``
+            minimizes total quantum cost (gates of cost 0 are applied
+            within the same Dijkstra layer).
+
+    Builds the complete optimal table over the reachable subgroup once;
+    queries are table lookups plus witness walk-back.
+    """
+
+    def __init__(self, library: PermutativeLibrary, objective: str = "count"):
+        if objective not in ("count", "quantum"):
+            raise InvalidValueError(f"unknown objective {objective!r}")
+        self._library = library
+        self._objective = objective
+        identity = Permutation.identity(library.degree)
+        rows = [
+            (
+                index,
+                gate.permutation.table(),
+                1 if objective == "count" else gate.quantum_cost,
+            )
+            for index, gate in enumerate(library.gates)
+        ]
+        best: dict[bytes, int] = {identity.images: 0}
+        parents: dict[bytes, tuple[bytes, int] | None] = {
+            identity.images: None
+        }
+        # Dijkstra over non-negative integer weights: process states in
+        # cost order; zero-cost edges relax within the same bucket.
+        import heapq
+
+        heap: list[tuple[int, bytes]] = [(0, identity.images)]
+        while heap:
+            cost, perm = heapq.heappop(heap)
+            if cost > best.get(perm, -1) and perm in best and best[perm] < cost:
+                continue
+            for index, table, weight in rows:
+                product = perm.translate(table)
+                candidate = cost + weight
+                known = best.get(product)
+                if known is None or candidate < known:
+                    best[product] = candidate
+                    parents[product] = (perm, index)
+                    heapq.heappush(heap, (candidate, product))
+        self._best = best
+        self._parents = parents
+
+    @property
+    def library(self) -> PermutativeLibrary:
+        return self._library
+
+    @property
+    def objective(self) -> str:
+        return self._objective
+
+    def reachable_count(self) -> int:
+        return len(self._best)
+
+    def optimal_cost(self, target: Permutation) -> int:
+        """Minimal objective value for *target*."""
+        try:
+            return self._best[target.images]
+        except KeyError:
+            raise SynthesisError(
+                f"{target.cycle_string()} unreachable with library "
+                f"{self._library.name}"
+            ) from None
+
+    def synthesize(self, target: Permutation) -> list[PermutativeGate]:
+        """An optimal circuit in cascade order."""
+        key = target.images
+        if key not in self._parents:
+            raise SynthesisError(
+                f"{target.cycle_string()} unreachable with library "
+                f"{self._library.name}"
+            )
+        indices = []
+        while True:
+            parent = self._parents[key]
+            if parent is None:
+                break
+            key, index = parent
+            indices.append(index)
+        indices.reverse()
+        return [self._library.gates[i] for i in indices]
+
+    def cost_distribution(self) -> dict[int, int]:
+        """Histogram: optimal objective value -> number of functions."""
+        histogram: dict[int, int] = {}
+        for cost in self._best.values():
+            histogram[cost] = histogram.get(cost, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def average_cost(self) -> float:
+        """Mean optimal objective value over all reachable functions."""
+        return sum(self._best.values()) / len(self._best)
+
+    def worst_case(self) -> int:
+        return max(self._best.values())

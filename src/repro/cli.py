@@ -1,0 +1,288 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Examples::
+
+    repro table1                      # Ctrl-V truth table (paper Table 1)
+    repro table2 --cost-bound 7      # cost spectrum (paper Table 2)
+    repro synth toffoli --all        # Figure 9's four implementations
+    repro synth "(5,7,6,8)"          # arbitrary target by cycle notation
+    repro peres-family               # the Section 5 G[4] analysis
+    repro banned-sets                # Section 3's N_A .. N_BC and L_A .. L_BC
+    repro compare                    # baseline-vs-direct cost table
+    repro rng --bits 32 --seed 7     # controlled quantum RNG demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Exact synthesis of 3-qubit quantum circuits from non-binary "
+            "gates (Yang/Hung/Song/Perkowski, DATE 2005) -- reproduction CLI."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="2-qubit Ctrl-V truth table (Table 1)")
+
+    p_table2 = sub.add_parser("table2", help="cost spectrum |G[k]| (Table 2)")
+    p_table2.add_argument("--cost-bound", type=int, default=7)
+    p_table2.add_argument(
+        "--paper-pseudocode",
+        action="store_true",
+        help="reproduce the published pseudocode verbatim (no G[0] subtraction)",
+    )
+
+    p_synth = sub.add_parser("synth", help="synthesize a reversible target")
+    p_synth.add_argument(
+        "target",
+        help="named target (toffoli, peres, fredkin, g2..g4, ...) or "
+        "1-based cycle notation like '(5,7,6,8)'",
+    )
+    p_synth.add_argument("--all", action="store_true", help="all implementations")
+    p_synth.add_argument("--cost-bound", type=int, default=7)
+    p_synth.add_argument(
+        "--save", metavar="FILE", default=None,
+        help="write the (first) result to a JSON file",
+    )
+
+    p_load = sub.add_parser("load", help="reload and re-verify a saved result")
+    p_load.add_argument("file", help="JSON file written by `repro synth --save`")
+
+    sub.add_parser("identities", help="verified gate-identity catalog")
+
+    sub.add_parser("peres-family", help="G[4] universal-gate analysis (Sec. 5)")
+    sub.add_parser("banned-sets", help="banned sets and sub-libraries (Sec. 3)")
+    sub.add_parser("compare", help="NCT/MMD baselines vs direct synthesis")
+    sub.add_parser("verify-gates", help="MV-vs-unitary gate representation check")
+
+    p_rng = sub.add_parser("rng", help="controlled quantum RNG demo (Sec. 4)")
+    p_rng.add_argument("--bits", type=int, default=32)
+    p_rng.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _cmd_table1() -> int:
+    from repro.gates.gate import Gate
+    from repro.gates.truth_table import TruthTable
+    from repro.mvl.labels import label_space
+    from repro.render.tables import truth_table_text
+
+    space = label_space(2, reduced=False, ordering="grouped")
+    gate = Gate.v(1, 0, 2)  # data B controlled by A, the paper's Table 1 gate
+    table = TruthTable.from_gate(gate, space)
+    print("Controlled-V on 2 qubits (control A, data B):")
+    print(truth_table_text(table))
+    print(f"\npermutation representation: {table.permutation().cycle_string()}")
+    return 0
+
+
+def _cmd_table2(cost_bound: int, paper_pseudocode: bool) -> int:
+    from repro.core.fmcf import find_minimum_cost_circuits
+    from repro.gates.library import GateLibrary
+    from repro.render.tables import cost_table_text
+
+    library = GateLibrary(3)
+    table = find_minimum_cost_circuits(
+        library, cost_bound=cost_bound, paper_pseudocode=paper_pseudocode
+    )
+    paper_row = [1, 6, 30, 52, 84, 156, 398, 540]
+    print(cost_table_text(table, paper_g=paper_row if cost_bound <= 7 else None))
+    if table.stats is not None:
+        print(f"\nclosure: {table.stats.total_seen} cascades, "
+              f"{table.stats.elapsed_seconds:.2f}s")
+    return 0
+
+
+def _resolve_target(text: str):
+    from repro.gates import named
+    from repro.perm.permutation import Permutation
+
+    key = text.strip().lower()
+    if key in named.TARGETS:
+        return named.TARGETS[key]
+    return Permutation.from_cycle_string(8, text)
+
+
+def _cmd_synth(
+    target_text: str,
+    all_implementations: bool,
+    cost_bound: int,
+    save: str | None = None,
+) -> int:
+    from repro.core.mce import express, express_all
+    from repro.core.schedule import depth
+    from repro.gates.library import GateLibrary
+    from repro.render.diagram import circuit_diagram
+    from repro.sim.verify import verify_synthesis
+
+    target = _resolve_target(target_text)
+    library = GateLibrary(3)
+    if all_implementations:
+        results = express_all(target, library, cost_bound=cost_bound)
+    else:
+        results = [express(target, library, cost_bound=cost_bound)]
+    print(
+        f"target {target.cycle_string()} -- minimal quantum cost "
+        f"{results[0].cost}, {len(results)} implementation(s):\n"
+    )
+    for result in results:
+        print(f"{result.circuit}   [depth {depth(result.circuit)}]")
+        print(circuit_diagram(result.circuit))
+        report = verify_synthesis(result)
+        status = "verified (MV + exact unitary)" if report else "FAILED"
+        print(f"  -> {status}\n")
+    if save is not None:
+        from repro.io import save_result
+
+        save_result(results[0], save)
+        print(f"saved first implementation to {save}")
+    return 0
+
+
+def _cmd_load(path: str) -> int:
+    from repro.io import load_result
+    from repro.render.diagram import circuit_diagram
+
+    circuit, target = load_result(path)
+    print(f"loaded {target.cycle_string()} (re-verified):")
+    print(f"{circuit}")
+    print(circuit_diagram(circuit))
+    return 0
+
+
+def _cmd_identities() -> int:
+    from repro.core.identities import identity_catalog
+    from repro.gates.library import GateLibrary
+    from repro.render.tables import format_table
+
+    catalog = identity_catalog(GateLibrary(3))
+    rows = []
+    for relation, identities in catalog.items():
+        for identity in identities:
+            rows.append([relation, identity.left, identity.right])
+    print(format_table(["relation", "left", "right"], rows))
+    print(f"\n{len(catalog['commute'])} commuting pairs, "
+          f"{len(catalog['inverse'])} inverse pairs, "
+          f"{len(catalog['cnot-emulation'])} CNOT emulations "
+          "(all machine-verified)")
+    return 0
+
+
+def _cmd_peres_family() -> int:
+    from repro.core.fmcf import find_minimum_cost_circuits
+    from repro.core.universality import analyze_g4, match_paper_representatives
+    from repro.gates.library import GateLibrary
+    from repro.render.tables import format_table
+
+    table = find_minimum_cost_circuits(GateLibrary(3), cost_bound=4)
+    analysis = analyze_g4(table)
+    print(
+        f"|G[4]| = {len(table.members(4))}: "
+        f"{len(analysis.feynman_only)} Feynman-only + "
+        f"{len(analysis.control_using)} control-using"
+    )
+    print(f"universal gates among them: {len(analysis.universal)}")
+    mapping = match_paper_representatives(analysis)
+    rows = []
+    for name, index in sorted(mapping.items()):
+        orbit = analysis.orbits[index]
+        rows.append([name, orbit[0].cycle_string(), len(orbit)])
+    print(format_table(["paper gate", "representative", "orbit size"], rows))
+    return 0
+
+
+def _cmd_banned_sets() -> int:
+    from repro.gates.library import GateLibrary
+    from repro.render.tables import format_table
+
+    library = GateLibrary(3)
+    banned = library.banned_sets_paper()
+    subs = library.sublibrary_names()
+    rows = [[k, ", ".join(subs[f"L{k[1:]}"]), str(list(v))] for k, v in banned.items()]
+    print(format_table(["banned set", "gates it gates", "labels (1-based)"], rows))
+    return 0
+
+
+def _cmd_compare() -> int:
+    from repro.baselines.compare import compare_targets
+    from repro.gates import named
+    from repro.render.tables import comparison_table_text
+
+    picks = {
+        k: named.TARGETS[k]
+        for k in ("toffoli", "fredkin", "peres", "g2", "g3", "g4", "swap_bc")
+    }
+    rows = compare_targets(picks)
+    print(comparison_table_text(rows))
+    return 0
+
+
+def _cmd_verify_gates() -> int:
+    from repro.gates.library import GateLibrary
+    from repro.sim.verify import verify_gate_representation
+
+    report = verify_gate_representation(GateLibrary(3))
+    print(
+        f"{len(report.checks)} pattern/gate agreements verified exactly; "
+        f"{len(report.failures)} failures"
+    )
+    return 0 if report else 1
+
+
+def _cmd_rng(bits: int, seed: int | None) -> int:
+    from repro.automata.rng import ControlledRandomBitGenerator
+    from repro.render.diagram import circuit_diagram
+
+    generator = ControlledRandomBitGenerator(n_random=2)
+    print(f"synthesized generator (cost {generator.cost}):")
+    print(circuit_diagram(generator.circuit))
+    rng = random.Random(seed)
+    stream = generator.generate_bits(bits, rng)
+    print(f"\n{bits} quantum-random bits: {''.join(map(str, stream))}")
+    ones = sum(stream)
+    print(f"ones: {ones}/{bits}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "table1":
+            return _cmd_table1()
+        if args.command == "table2":
+            return _cmd_table2(args.cost_bound, args.paper_pseudocode)
+        if args.command == "synth":
+            return _cmd_synth(args.target, args.all, args.cost_bound, args.save)
+        if args.command == "load":
+            return _cmd_load(args.file)
+        if args.command == "identities":
+            return _cmd_identities()
+        if args.command == "peres-family":
+            return _cmd_peres_family()
+        if args.command == "banned-sets":
+            return _cmd_banned_sets()
+        if args.command == "compare":
+            return _cmd_compare()
+        if args.command == "verify-gates":
+            return _cmd_verify_gates()
+        if args.command == "rng":
+            return _cmd_rng(args.bits, args.seed)
+        raise AssertionError(f"unhandled command {args.command}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

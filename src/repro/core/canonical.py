@@ -1,0 +1,119 @@
+"""Symmetry classification of implementation sets.
+
+The paper observes structure inside its implementation lists: the two
+Peres circuits are "Hermitian adjoint implementations" of each other
+(Figures 4 and 8), the four Toffoli circuits split into two adjoint
+pairs distinguished by which qubit carries the XORs (Figure 9), and the
+24 universal G[4] gates fall into four 6-member wire-relabeling orbits.
+
+This module mechanizes those observations for *any* implementation set:
+group circuits under the two cost-preserving symmetries of the library,
+
+* the **adjoint swap** V <-> V+ (an involution on cascades), and
+* **wire relabelings** that fix the realized function's wire roles,
+
+and report the family decomposition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit
+from repro.core.mce import SynthesisResult
+
+
+@dataclass(frozen=True)
+class ImplementationFamilies:
+    """Decomposition of an implementation set under library symmetries.
+
+    Attributes:
+        circuits: the classified circuits, input order preserved.
+        adjoint_pairs: index pairs (i, j), i < j, with circuit j equal to
+            circuit i with every V and V+ swapped.
+        self_adjoint: indices of circuits fixed by the adjoint swap
+            (possible only for all-Feynman cascades).
+        relabeling_classes: partition of indices into orbits under wire
+            relabelings combined with the adjoint swap.
+    """
+
+    circuits: tuple[Circuit, ...]
+    adjoint_pairs: tuple[tuple[int, int], ...]
+    self_adjoint: tuple[int, ...]
+    relabeling_classes: tuple[tuple[int, ...], ...]
+
+
+def _as_circuits(implementations) -> tuple[Circuit, ...]:
+    out = []
+    for item in implementations:
+        if isinstance(item, SynthesisResult):
+            out.append(item.circuit)
+        elif isinstance(item, Circuit):
+            out.append(item)
+        else:
+            raise TypeError(f"cannot classify {type(item).__name__}")
+    return tuple(out)
+
+
+def classify_implementations(implementations) -> ImplementationFamilies:
+    """Decompose circuits (or synthesis results) into symmetry families."""
+    circuits = _as_circuits(implementations)
+    index_of = {c: i for i, c in enumerate(circuits)}
+
+    adjoint_pairs = []
+    self_adjoint = []
+    for i, circuit in enumerate(circuits):
+        swapped = circuit.adjoint_swapped()
+        j = index_of.get(swapped)
+        if j is None:
+            continue
+        if j == i:
+            self_adjoint.append(i)
+        elif i < j:
+            adjoint_pairs.append((i, j))
+
+    n = circuits[0].n_qubits if circuits else 0
+    wire_maps = [
+        {w: perm[w] for w in range(n)}
+        for perm in itertools.permutations(range(n))
+    ]
+    remaining = set(range(len(circuits)))
+    classes = []
+    while remaining:
+        seed = min(remaining)
+        orbit = {seed}
+        frontier = [circuits[seed]]
+        while frontier:
+            circuit = frontier.pop()
+            for variant in _symmetry_variants(circuit, wire_maps):
+                j = index_of.get(variant)
+                if j is not None and j not in orbit:
+                    orbit.add(j)
+                    frontier.append(circuits[j])
+        classes.append(tuple(sorted(orbit)))
+        remaining -= orbit
+    return ImplementationFamilies(
+        circuits=circuits,
+        adjoint_pairs=tuple(adjoint_pairs),
+        self_adjoint=tuple(self_adjoint),
+        relabeling_classes=tuple(classes),
+    )
+
+
+def _symmetry_variants(circuit: Circuit, wire_maps) -> list[Circuit]:
+    variants = []
+    for wire_map in wire_maps:
+        moved = circuit.relabeled(wire_map)
+        variants.append(moved)
+        variants.append(moved.adjoint_swapped())
+    return variants
+
+
+def xor_wires(circuit: Circuit) -> frozenset[int]:
+    """The wires carrying Feynman targets (the paper's Figure 9 split)."""
+    from repro.gates.kinds import GateKind
+
+    return frozenset(
+        g.target for g in circuit if g.kind is GateKind.CNOT
+    )

@@ -1,0 +1,269 @@
+"""Quantum circuits: immutable cascades of placed gates.
+
+A :class:`Circuit` is an ordered cascade ``g1; g2; ...; gk`` applied left
+to right -- the same order as the paper's permutation products
+(``g1 * g2 * ... * gk``).  Circuits carry all three semantics:
+
+* quaternary pattern semantics (with or without don't-care tolerance),
+* label-permutation semantics on a :class:`~repro.mvl.labels.LabelSpace`,
+* exact unitary semantics on the full Hilbert space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import (
+    InvalidCircuitError,
+    InvalidGateError,
+    NonBinaryControlError,
+)
+from repro.core.cost import CostModel, UNIT_COST
+from repro.gates.gate import Gate
+from repro.gates.kinds import GateKind
+from repro.linalg.matrix import Matrix
+from repro.mvl.labels import LabelSpace, label_space
+from repro.mvl.patterns import Pattern, binary_patterns
+from repro.perm.permutation import Permutation
+
+
+class Circuit:
+    """An immutable cascade of gates on a fixed register width."""
+
+    __slots__ = ("_gates", "_n_qubits")
+
+    def __init__(self, gates: Iterable[Gate], n_qubits: int | None = None):
+        gate_tuple = tuple(gates)
+        if n_qubits is None:
+            if not gate_tuple:
+                raise InvalidGateError("empty circuit needs an explicit n_qubits")
+            n_qubits = gate_tuple[0].n_qubits
+        if n_qubits < 1:
+            raise InvalidGateError(f"bad register width {n_qubits}")
+        if any(g.n_qubits != n_qubits for g in gate_tuple):
+            raise InvalidGateError("all gates must share the circuit width")
+        self._gates = gate_tuple
+        self._n_qubits = n_qubits
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, n_qubits: int) -> "Circuit":
+        """The identity circuit."""
+        return cls((), n_qubits)
+
+    @classmethod
+    def from_names(cls, names: str | Sequence[str], n_qubits: int) -> "Circuit":
+        """Parse ``"V_CB F_BA V_CA V+_CB"`` (space- or ``*``-separated).
+
+        This is the notation the paper uses for its figures, e.g. the
+        Peres realization ``VCB*FBA*VCA*V+CB``.
+        """
+        if isinstance(names, str):
+            names = names.replace("*", " ").split()
+        return cls((Gate.from_name(n, n_qubits) for n in names), n_qubits)
+
+    # -- container protocol ----------------------------------------------------
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        return self._gates
+
+    @property
+    def n_qubits(self) -> int:
+        return self._n_qubits
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Circuit(self._gates[index], self._n_qubits)
+        return self._gates[index]
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        if other.n_qubits != self._n_qubits:
+            raise InvalidGateError("cannot concatenate circuits of different width")
+        return Circuit(self._gates + other._gates, self._n_qubits)
+
+    def appended(self, gate: Gate) -> "Circuit":
+        """A new circuit with *gate* cascaded at the end."""
+        if gate.n_qubits != self._n_qubits:
+            raise InvalidGateError("gate width does not match circuit")
+        return Circuit(self._gates + (gate,), self._n_qubits)
+
+    # -- structural transforms ----------------------------------------------------
+
+    def dagger(self) -> "Circuit":
+        """The Hermitian adjoint: reversed order, each gate adjointed.
+
+        The paper's Figures 8/9 pairs -- "swapping all control-V and
+        control-V+ gates" of a *palindromic-order* implementation -- are
+        instances of this when the target is self-inverse.
+        """
+        return Circuit(
+            tuple(g.dagger() for g in reversed(self._gates)), self._n_qubits
+        )
+
+    def adjoint_swapped(self) -> "Circuit":
+        """Swap every V gate with V+ *in place* (no order reversal).
+
+        This is literally the paper's transformation between Figure 4 and
+        Figure 8 ("swapping all control-V and control-V+ gates").  For
+        implementations of self-inverse targets it produces the second
+        member of each Hermitian-adjoint pair.
+        """
+        return Circuit(
+            tuple(
+                Gate(g.kind.adjoint_kind, g.target, g.control, g.n_qubits)
+                for g in self._gates
+            ),
+            self._n_qubits,
+        )
+
+    def relabeled(self, wire_map: dict[int, int]) -> "Circuit":
+        """Move the whole cascade to relabeled wires."""
+        return Circuit(
+            tuple(g.relabeled(wire_map) for g in self._gates), self._n_qubits
+        )
+
+    # -- cost -------------------------------------------------------------------
+
+    def cost(self, model: CostModel = UNIT_COST) -> int:
+        """Total quantum cost under a cost model (default: paper's unit cost)."""
+        return sum(model.gate_cost(g.kind) for g in self._gates)
+
+    @property
+    def two_qubit_count(self) -> int:
+        """Number of 2-qubit gates (the paper's quantum cost)."""
+        return sum(1 for g in self._gates if g.kind.is_two_qubit)
+
+    @property
+    def not_count(self) -> int:
+        return sum(1 for g in self._gates if g.kind is GateKind.NOT)
+
+    # -- quaternary semantics ------------------------------------------------------
+
+    def apply(self, pattern: Pattern) -> Pattern:
+        """Cascade the pattern through all gates (don't-care tolerant)."""
+        for gate in self._gates:
+            pattern = gate.apply(pattern)
+        return pattern
+
+    def strict_apply(self, pattern: Pattern) -> Pattern:
+        """Cascade, refusing any don't-care step.
+
+        Raises:
+            NonBinaryControlError: if any gate sees a non-binary value on
+                a constrained wire -- i.e. the cascade is not *reasonable*
+                for this input in the sense of Definition 1.
+        """
+        for gate in self._gates:
+            pattern = gate.strict_apply(pattern)
+        return pattern
+
+    def is_reasonable(self) -> bool:
+        """Definition 1 check over all pure binary inputs.
+
+        True iff no gate ever sees a non-binary constrained wire when the
+        circuit is driven with every binary input pattern.  Such cascades
+        are exactly those FMCF enumerates, and for them the quaternary and
+        unitary semantics agree on binary inputs.
+        """
+        try:
+            for pattern in binary_patterns(self._n_qubits):
+                self.strict_apply(pattern)
+        except NonBinaryControlError:
+            return False
+        return True
+
+    def output_patterns(self) -> tuple[Pattern, ...]:
+        """Strict outputs for all binary inputs, in input order."""
+        return tuple(
+            self.strict_apply(p) for p in binary_patterns(self._n_qubits)
+        )
+
+    # -- permutation semantics --------------------------------------------------------
+
+    def permutation(self, space: LabelSpace | None = None) -> Permutation:
+        """The label permutation of the cascade.
+
+        NOT gates do not preserve the *reduced* space (they can erase the
+        last pure 1), so circuits containing NOT require ``reduced=False``
+        spaces -- or use :meth:`binary_permutation` which handles NOT via
+        the full quaternary semantics on binary inputs.
+        """
+        if space is None:
+            space = label_space(self._n_qubits, reduced=True)
+        if any(g.kind is GateKind.NOT for g in self._gates) and space.reduced:
+            raise InvalidCircuitError(
+                "NOT gates do not act on the reduced label space; pass a "
+                "full LabelSpace or use binary_permutation()"
+            )
+        perm = Permutation.identity(space.size)
+        for gate in self._gates:
+            perm = perm * gate.permutation(space)
+        return perm
+
+    def binary_permutation(self, strict: bool = True) -> Permutation:
+        """The induced permutation of the 2**n binary patterns.
+
+        Args:
+            strict: verify the cascade is reasonable and the outputs are
+                pure binary (raises otherwise).  With ``strict=False`` the
+                don't-care semantics are used, mirroring FMCF's internal
+                convention.
+
+        Raises:
+            NonBinaryControlError: (strict) some gate hit a don't-care.
+            InvalidCircuitError: outputs are not all binary -- the circuit
+                is probabilistic, not reversible.
+        """
+        apply = self.strict_apply if strict else self.apply
+        images = []
+        for pattern in binary_patterns(self._n_qubits):
+            out = apply(pattern)
+            if not out.is_binary:
+                raise InvalidCircuitError(
+                    f"input {pattern} produces mixed output {out}; "
+                    "the circuit is probabilistic (see express_probabilistic)"
+                )
+            images.append(out.binary_index())
+        return Permutation.from_images(images)
+
+    # -- unitary semantics ----------------------------------------------------------------
+
+    def unitary(self) -> Matrix:
+        """The exact 2**n x 2**n unitary of the cascade."""
+        dim = 2**self._n_qubits
+        result = Matrix.identity(dim)
+        for gate in self._gates:
+            # Cascade order: later gates multiply on the left.
+            result = gate.unitary @ result
+        return result
+
+    # -- formatting ----------------------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(g.name for g in self._gates)
+
+    def __str__(self) -> str:
+        if not self._gates:
+            return "(identity circuit)"
+        return " * ".join(self.names())
+
+    def __repr__(self) -> str:
+        return f"Circuit.from_names({' '.join(self.names())!r}, {self._n_qubits})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self._n_qubits == other._n_qubits and self._gates == other._gates
+
+    def __hash__(self) -> int:
+        return hash((self._n_qubits, self._gates))

@@ -1,0 +1,73 @@
+"""Quantum cost models.
+
+The paper's convention: "we consider each of the 2-qubit gates (XOR,
+controlled-V, controlled-V+) to have a quantum cost of 1" and 1-qubit
+gates are free.  The authors note the method "can be easily modified to
+take into account the precise NMR costs" -- :class:`CostModel` is that
+modification point: any non-negative integer weights per gate kind, with
+2-qubit gates strictly positive so the layered search terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidValueError
+from repro.gates.kinds import GateKind
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Integer quantum cost per gate kind.
+
+    Attributes:
+        v_cost: cost of a controlled-V gate.
+        vdag_cost: cost of a controlled-V+ gate.
+        cnot_cost: cost of a Feynman (CNOT) gate.
+        not_cost: cost of a 1-qubit NOT (0 in the paper).
+    """
+
+    v_cost: int = 1
+    vdag_cost: int = 1
+    cnot_cost: int = 1
+    not_cost: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("v_cost", "vdag_cost", "cnot_cost"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise InvalidValueError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        if not isinstance(self.not_cost, int) or self.not_cost < 0:
+            raise InvalidValueError("not_cost must be a non-negative integer")
+
+    @classmethod
+    def unit(cls) -> "CostModel":
+        """The paper's model: every 2-qubit gate costs 1, NOT is free."""
+        return cls()
+
+    def gate_cost(self, kind: GateKind) -> int:
+        """Cost of one gate of the given kind."""
+        if kind is GateKind.V:
+            return self.v_cost
+        if kind is GateKind.VDAG:
+            return self.vdag_cost
+        if kind is GateKind.CNOT:
+            return self.cnot_cost
+        return self.not_cost
+
+    @property
+    def max_two_qubit_cost(self) -> int:
+        return max(self.v_cost, self.vdag_cost, self.cnot_cost)
+
+    @property
+    def is_unit(self) -> bool:
+        """True for the paper's default model."""
+        return (
+            self.v_cost == self.vdag_cost == self.cnot_cost == 1
+            and self.not_cost == 0
+        )
+
+
+UNIT_COST = CostModel.unit()

@@ -1,0 +1,124 @@
+"""Verified algebraic identities of the gate library.
+
+The paper's algebra rests on a handful of cascade identities (V.V = NOT
+under a shared control, V.V+ = identity, Hermitian-adjoint symmetry,
+commuting Feynman pairs).  This module *derives and verifies* them from
+the permutation representation rather than assuming them, and exposes
+the results as queryable structure:
+
+* :func:`commuting_pairs` -- which library gates commute as label
+  permutations.  The six commuting Feynman pairs (shared control or
+  shared target) are exactly the collisions that make |G[2]| = 24
+  rather than the paper's 30.
+* :func:`inverse_pairs` -- gates that cancel (V_xy with V+_xy; every
+  Feynman gate with itself).
+* :func:`cnot_emulations` -- V.V pairs whose *restriction to the binary
+  patterns* equals a Feynman gate (the reason CNOT is redundant-in-
+  principle but cost-saving-in-practice; see the library ablations).
+* :func:`verify_adjoint_closure` -- the V <-> V+ swap is a cost-
+  preserving automorphism of the library, which is why implementations
+  come in Hermitian-adjoint pairs (Figures 8 and 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gates.kinds import GateKind
+from repro.gates.library import GateLibrary, LibraryGate
+
+
+@dataclass(frozen=True)
+class GatePairIdentity:
+    """A verified relation between two library gates."""
+
+    left: str
+    right: str
+    relation: str  # "commute" | "inverse" | "cnot-emulation"
+
+
+def commuting_pairs(library: GateLibrary) -> list[GatePairIdentity]:
+    """All unordered pairs of distinct gates that commute as label perms."""
+    out = []
+    gates = library.gates
+    for i, a in enumerate(gates):
+        for b in gates[i + 1:]:
+            if a.permutation * b.permutation == b.permutation * a.permutation:
+                out.append(GatePairIdentity(a.name, b.name, "commute"))
+    return out
+
+
+def commuting_feynman_pairs(library: GateLibrary) -> list[GatePairIdentity]:
+    """The Feynman-Feynman commuting pairs (the |G[2]| collision set)."""
+    return [
+        identity
+        for identity in commuting_pairs(library)
+        if identity.left.startswith("F") and identity.right.startswith("F")
+    ]
+
+
+def inverse_pairs(library: GateLibrary) -> list[GatePairIdentity]:
+    """Unordered pairs (including self-pairs) whose product is identity."""
+    out = []
+    gates = library.gates
+    for i, a in enumerate(gates):
+        for b in gates[i:]:
+            if (a.permutation * b.permutation).is_identity:
+                out.append(GatePairIdentity(a.name, b.name, "inverse"))
+    return out
+
+
+def cnot_emulations(library: GateLibrary) -> list[GatePairIdentity]:
+    """V.V (and V+.V+) squares that act as a Feynman gate on binary inputs.
+
+    The squares differ from the true Feynman gate on mixed labels (which
+    is why they are distinct elements of the 38-label monoid) but agree
+    on the binary sub-domain -- the identity `controlled-V squared =
+    CNOT` of Section 2 at the label level.
+    """
+    out = []
+    binary = list(library.space.binary_labels)
+    feynman_restricted = {}
+    for entry in library.gates:
+        if entry.gate.kind is GateKind.CNOT:
+            feynman_restricted[
+                entry.permutation.restricted(binary)
+            ] = entry.name
+    for entry in library.gates:
+        if not entry.gate.kind.is_controlled:
+            continue
+        square = entry.permutation * entry.permutation
+        if not square.fixes(binary):
+            continue
+        restricted = square.restricted(binary)
+        name = feynman_restricted.get(restricted)
+        if name is not None:
+            out.append(
+                GatePairIdentity(f"{entry.name}^2", name, "cnot-emulation")
+            )
+    return out
+
+
+def verify_adjoint_closure(library: GateLibrary) -> bool:
+    """The V <-> V+ swap maps the library onto itself, inverting each
+    controlled gate's permutation and preserving cost and banned mask."""
+    for entry in library.gates:
+        adjoint = library.adjoint_entry(entry)
+        if adjoint.cost != entry.cost or adjoint.banned_mask != entry.banned_mask:
+            return False
+        if entry.gate.kind.is_controlled:
+            if adjoint.permutation != entry.permutation.inverse():
+                return False
+        else:
+            if adjoint.permutation != entry.permutation:
+                return False
+    return True
+
+
+def identity_catalog(library: GateLibrary) -> dict[str, list[GatePairIdentity]]:
+    """All verified identities, grouped by relation kind."""
+    return {
+        "commute": commuting_pairs(library),
+        "inverse": inverse_pairs(library),
+        "cnot-emulation": cnot_emulations(library),
+    }

@@ -1,0 +1,221 @@
+"""MCE -- the paper's Minimum_Cost_Expressing algorithm.
+
+Given a reversible target g (a permutation of the 2**n binary patterns),
+produce a minimum-quantum-cost cascade of library gates realizing it,
+with an optional *free* layer of NOT gates in front:
+
+1. Normalize by Theorem 2: pick the NOT layer d0 with ``(d0 * g)`` fixing
+   the all-zero pattern (``d0`` is the XOR-mask ``g^{-1}(0)``), so the
+   remainder lies in G = Stab(all-zeros), the set reachable without NOT.
+2. Search B[1], B[2], ... for a cascade permutation b with b(S) = S whose
+   restriction to S equals the remainder; the first hit is cost-minimal
+   (Theorem 3).
+3. Walk the parent pointers to extract the witness cascade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CostBoundExceededError, SpecificationError
+from repro.core.circuit import Circuit
+from repro.core.cost import CostModel, UNIT_COST
+from repro.core.search import CascadeSearch
+from repro.gates.gate import Gate
+from repro.gates.library import GateLibrary
+from repro.gates.named import not_layer_permutation
+from repro.perm.permutation import Permutation
+
+#: Practical default for the enumeration bound; the paper used cb = 7
+#: ("the upper-bound cost that we can apply in a particular computer").
+DEFAULT_COST_BOUND = 7
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """A synthesized implementation of a reversible target.
+
+    Attributes:
+        target: the requested permutation of binary patterns.
+        circuit: full cascade including the (free) NOT layer, if any.
+        cost: quantum cost of the 2-qubit part (the minimal cost).
+        not_mask: XOR mask of the leading NOT layer (0 if none).
+        cascade_permutation: the label permutation of the 2-qubit part.
+    """
+
+    target: Permutation
+    circuit: Circuit
+    cost: int
+    not_mask: int
+    cascade_permutation: Permutation
+
+    @property
+    def two_qubit_circuit(self) -> Circuit:
+        """The cascade without the leading NOT layer."""
+        return Circuit(
+            tuple(g for g in self.circuit.gates if g.kind.is_two_qubit),
+            self.circuit.n_qubits,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.circuit} (cost {self.cost})"
+
+
+def _not_layer_gates(mask: int, n_qubits: int) -> tuple[Gate, ...]:
+    """NOT gates for every set bit of *mask* (wire 0 = most significant)."""
+    gates = []
+    for wire in range(n_qubits):
+        if (mask >> (n_qubits - 1 - wire)) & 1:
+            gates.append(Gate.not_(wire, n_qubits))
+    return tuple(gates)
+
+
+def _check_target(target: Permutation, library: GateLibrary) -> None:
+    expected = library.space.n_binary
+    if target.degree != expected:
+        raise SpecificationError(
+            f"target degree {target.degree} != {expected} binary patterns "
+            f"of a {library.n_qubits}-qubit register"
+        )
+
+
+def express(
+    target: Permutation,
+    library: GateLibrary,
+    cost_bound: int = DEFAULT_COST_BOUND,
+    cost_model: CostModel = UNIT_COST,
+    search: CascadeSearch | None = None,
+    allow_not: bool = True,
+) -> SynthesisResult:
+    """Synthesize one minimum-cost implementation of *target*.
+
+    Args:
+        target: permutation of the 2**n binary patterns (degree 2**n).
+        library: gate library to draw 2-qubit gates from.
+        cost_bound: the paper's ``cb``; the search is abandoned beyond it.
+        cost_model: integer gate costs.
+        search: reusable parent-tracking search engine (one is created on
+            demand; passing a shared engine amortizes the BFS across many
+            syntheses, which is how the benchmarks regenerate Table 2 and
+            all figures from a single closure).
+        allow_not: permit the free NOT layer of Theorem 2.  When False,
+            only targets fixing the all-zero pattern are expressible.
+
+    Raises:
+        CostBoundExceededError: no realization within *cost_bound*.
+        SpecificationError: degree mismatch, or the target needs a NOT
+            layer while ``allow_not=False``.
+    """
+    results = _express_impl(
+        target, library, cost_bound, cost_model, search, allow_not, first_only=True
+    )
+    return results[0]
+
+
+def express_all(
+    target: Permutation,
+    library: GateLibrary,
+    cost_bound: int = DEFAULT_COST_BOUND,
+    cost_model: CostModel = UNIT_COST,
+    search: CascadeSearch | None = None,
+    allow_not: bool = True,
+) -> list[SynthesisResult]:
+    """All minimum-cost implementations distinguishable at the label level.
+
+    Each distinct cascade *permutation* restricting to the target yields
+    one witness circuit (the paper reports 2 such implementations for
+    Peres and 4 for Toffoli).  Distinct gate orderings realizing the same
+    label permutation are represented by a single witness, matching the
+    paper's remark that the algorithm "does not intend to find all
+    possible implementations".
+    """
+    return _express_impl(
+        target, library, cost_bound, cost_model, search, allow_not, first_only=False
+    )
+
+
+def _express_impl(
+    target: Permutation,
+    library: GateLibrary,
+    cost_bound: int,
+    cost_model: CostModel,
+    search: CascadeSearch | None,
+    allow_not: bool,
+    first_only: bool,
+) -> list[SynthesisResult]:
+    _check_target(target, library)
+    n_qubits = library.n_qubits
+    n_binary = library.space.n_binary
+
+    # Theorem 2 normalization: strip a free NOT layer so the remainder
+    # fixes the all-zero pattern (label 0).
+    zero_preimage = target.inverse()(0)
+    not_mask = zero_preimage if allow_not else 0
+    if not allow_not and zero_preimage != 0:
+        raise SpecificationError(
+            "target moves the all-zero pattern; it needs a NOT layer "
+            "(allow_not=True) since no NOT-free cascade can move it"
+        )
+    d0 = not_layer_permutation(not_mask, n_qubits)
+    remainder = d0 * target  # g = d0 * remainder with d0 an involution
+    not_gates = _not_layer_gates(not_mask, n_qubits)
+
+    # Cost-0 case: the target is (at most) a pure NOT layer.
+    if remainder.is_identity:
+        circuit = Circuit(not_gates, n_qubits)
+        return [
+            SynthesisResult(
+                target=target,
+                circuit=circuit,
+                cost=0,
+                not_mask=not_mask,
+                cascade_permutation=Permutation.identity(library.space.size),
+            )
+        ]
+
+    if search is None:
+        search = CascadeSearch(library, cost_model, track_parents=True)
+    elif not search.tracks_parents:
+        raise SpecificationError("express() needs a parent-tracking search")
+
+    wanted = remainder.images  # first 2**n bytes of a matching cascade
+    s_mask = search.s_mask
+    for cost in range(1, cost_bound + 1):
+        matches = [
+            perm
+            for perm, mask in search.level(cost)
+            if mask == s_mask and perm[:n_binary] == wanted
+        ]
+        if matches:
+            results = []
+            for perm in matches:
+                cascade = search.witness_circuit(perm)
+                circuit = Circuit(not_gates + cascade.gates, n_qubits)
+                results.append(
+                    SynthesisResult(
+                        target=target,
+                        circuit=circuit,
+                        cost=cascade.cost(cost_model),
+                        not_mask=not_mask,
+                        cascade_permutation=Permutation.from_images(perm),
+                    )
+                )
+                if first_only:
+                    break
+            return results
+    raise CostBoundExceededError(
+        f"permutation {target.cycle_string()}", cost_bound
+    )
+
+
+def minimal_cost(
+    target: Permutation,
+    library: GateLibrary,
+    cost_bound: int = DEFAULT_COST_BOUND,
+    cost_model: CostModel = UNIT_COST,
+    search: CascadeSearch | None = None,
+) -> int:
+    """The minimal quantum cost of a target (convenience wrapper)."""
+    return express(
+        target, library, cost_bound, cost_model, search
+    ).cost

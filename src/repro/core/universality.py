@@ -1,0 +1,161 @@
+"""Analysis of G[4]: the Peres-like family of universal gates.
+
+Section 5 of the paper dissects G[4] (the 84 reversible circuits of
+minimal cost 4):
+
+* 60 are products of 4 Feynman gates (linear, hence not universal);
+* 24 use 3 controlled gates and 1 Feynman gate; each of these, together
+  with NOT and Feynman gates, generates the full symmetric group S8 --
+  they are *universal* gates of minimal possible cost;
+* under relabeling of the three qubits the 24 split into 4 families of
+  6, represented by g1 (Peres), g2, g3, g4 (Figures 4-7).
+
+This module reproduces that analysis from a :class:`CostTable`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.fmcf import CostTable
+from repro.core.theorems import universality_group
+from repro.gates import named
+from repro.perm.named_groups import closure_levels, symmetric_group_order
+from repro.perm.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class G4Analysis:
+    """The decomposition of G[4] reported in Section 5.
+
+    Attributes:
+        feynman_only: members realizable with 4 Feynman gates.
+        control_using: the remaining members (the Peres-like family).
+        universal: subset of G[4] passing the universality test.
+        orbits: the control-using members grouped into wire-relabeling
+            conjugacy orbits, each sorted; orbits sorted by their minimal
+            member for determinism.
+        representatives: one canonical member per orbit.
+    """
+
+    feynman_only: tuple[Permutation, ...]
+    control_using: tuple[Permutation, ...]
+    universal: tuple[Permutation, ...]
+    orbits: tuple[tuple[Permutation, ...], ...]
+    representatives: tuple[Permutation, ...]
+
+
+def feynman_word_lengths(n_qubits: int = 3, max_length: int = 8) -> dict[Permutation, int]:
+    """Minimal CNOT-count of every CNOT-network permutation.
+
+    BFS over the 2 * C(n,2) Feynman gates acting on binary patterns; the
+    reachable set is the group of invertible linear maps on n bits
+    (order 168 for n = 3).
+    """
+    generators = [
+        named.cnot_target(t, c, n_qubits)
+        for t, c in itertools.permutations(range(n_qubits), 2)
+    ]
+    levels = closure_levels(generators, 2**n_qubits, max_levels=max_length)
+    lengths: dict[Permutation, int] = {}
+    for length, members in enumerate(levels):
+        for perm in members:
+            lengths.setdefault(perm, length)
+    return lengths
+
+
+def wire_relabeling_orbit(
+    perm: Permutation, n_qubits: int = 3
+) -> frozenset[Permutation]:
+    """All conjugates of a target under qubit relabelings.
+
+    Conjugating by the pattern permutation of a wire relabeling r gives
+    the "same circuit with permuted qubits": r^-1 * g * r.
+    """
+    orbit = set()
+    for wires in itertools.permutations(range(n_qubits)):
+        r = named.wire_relabeling(wires, n_qubits)
+        orbit.add(perm.conjugate_by(r))
+    return frozenset(orbit)
+
+
+def is_universal(perm: Permutation, n_qubits: int = 3) -> bool:
+    """The paper's universality test for a candidate gate.
+
+    True iff <perm, NOT, Feynman> is the full symmetric group on the
+    binary patterns (order (2**n)! -- 40320 for n = 3).
+    """
+    group = universality_group(perm, n_qubits)
+    return group.order() == symmetric_group_order(2**n_qubits)
+
+
+def analyze_g4(table: CostTable) -> G4Analysis:
+    """Reproduce the Section 5 decomposition of G[4].
+
+    Args:
+        table: a :class:`CostTable` with ``cost_bound >= 4``.
+    """
+    n_qubits = table.n_qubits
+    members = table.members(4)
+    lengths = feynman_word_lengths(n_qubits)
+    feynman_only = tuple(
+        sorted(
+            (p for p in members if lengths.get(p) == 4),
+            key=lambda p: p.images,
+        )
+    )
+    control_using = tuple(
+        sorted(
+            (p for p in members if lengths.get(p) != 4),
+            key=lambda p: p.images,
+        )
+    )
+    universal = tuple(
+        p for p in members if is_universal(p, n_qubits)
+    )
+
+    remaining = set(control_using)
+    orbits: list[tuple[Permutation, ...]] = []
+    while remaining:
+        seed = min(remaining, key=lambda p: p.images)
+        orbit = wire_relabeling_orbit(seed, n_qubits) & set(control_using)
+        orbits.append(tuple(sorted(orbit, key=lambda p: p.images)))
+        remaining -= orbit
+    orbits.sort(key=lambda orbit: orbit[0].images)
+    representatives = tuple(orbit[0] for orbit in orbits)
+    return G4Analysis(
+        feynman_only=feynman_only,
+        control_using=control_using,
+        universal=universal,
+        orbits=orbits,
+        representatives=representatives,
+    )
+
+
+def match_paper_representatives(analysis: G4Analysis) -> dict[str, int]:
+    """Locate the paper's g1..g4 in the orbit decomposition.
+
+    Returns:
+        Mapping from paper name ("g1".."g4") to orbit index in
+        ``analysis.orbits``.
+
+    Raises:
+        LookupError: if some paper gate is not found in any orbit (would
+            indicate a reproduction failure).
+    """
+    paper_gates = {
+        "g1": named.PERES,
+        "g2": named.G2,
+        "g3": named.G3,
+        "g4": named.G4,
+    }
+    result: dict[str, int] = {}
+    for name, perm in paper_gates.items():
+        for index, orbit in enumerate(analysis.orbits):
+            if perm in orbit:
+                result[name] = index
+                break
+        else:
+            raise LookupError(f"paper gate {name} not found in any G[4] orbit")
+    return result

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidValueError(ReproError, ValueError):
+    """A quaternary value, pattern or label was malformed or out of range."""
+
+
+class InvalidGateError(ReproError, ValueError):
+    """A gate specification was inconsistent (e.g. control == target)."""
+
+
+class InvalidCircuitError(ReproError, ValueError):
+    """A cascade violates the paper's constraints.
+
+    The typical cause is a gate whose control (or a Feynman gate whose
+    data wire) would carry a non-binary value ``V0``/``V1`` for some pure
+    binary circuit input -- a *non-reasonable* product in the paper's
+    terminology (Definition 1).
+    """
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """An image array or cycle list does not describe a permutation."""
+
+
+class SynthesisError(ReproError):
+    """Synthesis failed for a reason other than the cost bound."""
+
+
+class CostBoundExceededError(SynthesisError):
+    """The target function has no realization within the cost bound ``cb``.
+
+    Mirrors the paper's ``flag = 0`` outcome of the MCE algorithm: the
+    minimal cost of the target exceeds the enumerated bound, so the search
+    is inconclusive rather than the function being unrealizable.
+    """
+
+    def __init__(self, target_description: str, cost_bound: int):
+        self.cost_bound = cost_bound
+        super().__init__(
+            f"no realization of {target_description} found with quantum "
+            f"cost <= {cost_bound}; raise the cost bound to search further"
+        )
+
+
+class SpecificationError(ReproError, ValueError):
+    """A synthesis specification (truth table / output spec) is invalid."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven outside its supported state space."""
+
+
+class NonBinaryControlError(SimulationError):
+    """A control wire carried ``V0``/``V1`` during strict simulation.
+
+    Strict simulators refuse to evaluate the paper's don't-care cases
+    (which FMCF models as identity) because physically they are not
+    identities; this error signals the cascade left the paper's
+    binary-control regime.
+    """

@@ -1,0 +1,59 @@
+"""The gate alphabet of the paper.
+
+Four kinds of elementary quantum gates (Figure 1):
+
+* ``V``     -- controlled square-root-of-NOT (2-qubit),
+* ``VDAG``  -- controlled V-dagger (2-qubit),
+* ``CNOT``  -- Feynman / quantum XOR (2-qubit),
+* ``NOT``   -- inverter (1-qubit).
+
+The paper's cost convention: every 2-qubit gate costs 1, the 1-qubit NOT
+is free ("the quantum cost of 1-qubit gates is usually ignored in the
+presence of 2-qubit implementations").  Alternative cost assignments are
+handled by :class:`repro.core.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GateKind(enum.Enum):
+    """Kind of elementary quantum gate."""
+
+    V = "V"
+    VDAG = "V+"
+    CNOT = "F"
+    NOT = "N"
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for the controlled/Feynman gates."""
+        return self is not GateKind.NOT
+
+    @property
+    def is_controlled(self) -> bool:
+        """True for V and V+ (gates with a genuine control wire)."""
+        return self in (GateKind.V, GateKind.VDAG)
+
+    @property
+    def default_cost(self) -> int:
+        """The paper's unit-cost convention."""
+        return 1 if self.is_two_qubit else 0
+
+    @property
+    def adjoint_kind(self) -> "GateKind":
+        """The kind of the Hermitian adjoint gate.
+
+        CNOT and NOT are self-adjoint; V and V+ swap.  This underlies the
+        paper's observation that swapping all V and V+ gates in a valid
+        implementation yields another valid implementation (Figures 8, 9).
+        """
+        if self is GateKind.V:
+            return GateKind.VDAG
+        if self is GateKind.VDAG:
+            return GateKind.V
+        return self
+
+    def __str__(self) -> str:
+        return self.value

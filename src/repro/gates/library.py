@@ -1,0 +1,221 @@
+"""The quantum gate library: placed gates + permutations + banned masks.
+
+For n = 3 this is exactly the paper's 18-gate library
+
+    L_A = {V_BA, V_CA, V+_BA, V+_CA}   banned set N_A
+    L_B = {V_AB, V_CB, V+_AB, V+_CB}   banned set N_B
+    L_C = {V_AC, V_BC, V+_AC, V+_BC}   banned set N_C
+    L_AB = {F_AB, F_BA}                banned set N_AB
+    L_AC = {F_AC, F_CA}                banned set N_AC
+    L_BC = {F_BC, F_CB}                banned set N_BC
+
+Each library entry pre-computes the data the FMCF/MCE search needs per
+gate-application: a 256-byte translation table (so cascade extension is
+one ``bytes.translate`` call) and the banned-label bitmask implementing
+Definition 1's *reasonable product* test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations as _wire_pairs
+
+from repro.errors import InvalidGateError
+from repro.gates.gate import Gate, wire_letter
+from repro.gates.kinds import GateKind
+from repro.mvl.labels import LabelSpace, label_space
+from repro.perm.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class LibraryGate:
+    """A gate bundled with its search-time data.
+
+    Attributes:
+        index: position in the library (stable identifier for search).
+        gate: the placed gate.
+        permutation: its action on the library's label space.
+        banned_mask: bitmask of labels forbidden as images of the binary
+            inputs when this gate is appended (Definition 1).
+        cost: quantum cost of the gate (paper convention: 1).
+    """
+
+    index: int
+    gate: Gate
+    permutation: Permutation
+    banned_mask: int
+    cost: int
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def table(self) -> bytes:
+        """The 256-byte translate table of the permutation."""
+        return self.permutation.table()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class GateLibrary:
+    """All placements of the 2-qubit gate alphabet on an n-qubit register.
+
+    Args:
+        n_qubits: register width (the paper studies 3; 2 and 4 also work).
+        space: label space to represent gates on; defaults to the reduced
+            space of Section 3.
+        kinds: which 2-qubit kinds to include (default: V, V+, CNOT).
+
+    The NOT gate is deliberately *not* part of the library: following the
+    paper, NOT layers are free and are handled algebraically by Theorem 2
+    rather than searched over.
+    """
+
+    def __init__(
+        self,
+        n_qubits: int = 3,
+        space: LabelSpace | None = None,
+        kinds: tuple[GateKind, ...] = (GateKind.V, GateKind.VDAG, GateKind.CNOT),
+    ):
+        if space is None:
+            space = label_space(n_qubits, reduced=True)
+        if space.n_qubits != n_qubits:
+            raise InvalidGateError(
+                f"space has {space.n_qubits} qubits, expected {n_qubits}"
+            )
+        if any(not kind.is_two_qubit for kind in kinds):
+            raise InvalidGateError("the searchable library holds 2-qubit gates only")
+        self._space = space
+        self._n_qubits = n_qubits
+        entries: list[LibraryGate] = []
+        for target, control in _wire_pairs(range(n_qubits), 2):
+            for kind in kinds:
+                gate = Gate(kind, target, control, n_qubits)
+                entries.append(
+                    LibraryGate(
+                        index=len(entries),
+                        gate=gate,
+                        permutation=gate.permutation(space),
+                        banned_mask=space.banned_mask(gate.constrained_wires),
+                        cost=kind.default_cost,
+                    )
+                )
+        self._gates = tuple(entries)
+        self._by_name = {entry.name: entry for entry in entries}
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def space(self) -> LabelSpace:
+        """The label space all permutations act on."""
+        return self._space
+
+    @property
+    def n_qubits(self) -> int:
+        return self._n_qubits
+
+    @property
+    def gates(self) -> tuple[LibraryGate, ...]:
+        """All library entries, in index order."""
+        return self._gates
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self):
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> LibraryGate:
+        return self._gates[index]
+
+    def by_name(self, name: str) -> LibraryGate:
+        """Look up ``V_BA`` / ``V+_AB`` / ``F_CA`` style names."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise InvalidGateError(
+                f"gate {name!r} is not in the library "
+                f"({', '.join(sorted(self._by_name))})"
+            ) from None
+
+    def entry_for(self, gate: Gate) -> LibraryGate:
+        """The library entry wrapping an equal placed gate."""
+        return self.by_name(gate.name)
+
+    def adjoint_entry(self, entry: LibraryGate) -> LibraryGate:
+        """The entry of the Hermitian-adjoint gate."""
+        return self.entry_for(entry.gate.dagger())
+
+    # -- the paper's sub-libraries ---------------------------------------------------
+
+    def controlled_sublibrary(self, control: int) -> tuple[LibraryGate, ...]:
+        """L_control: all V/V+ gates with the given control wire."""
+        return tuple(
+            e
+            for e in self._gates
+            if e.gate.kind.is_controlled and e.gate.control == control
+        )
+
+    def feynman_sublibrary(self, wire_a: int, wire_b: int) -> tuple[LibraryGate, ...]:
+        """L_{ab}: the two Feynman gates on an unordered wire pair."""
+        wires = {wire_a, wire_b}
+        return tuple(
+            e
+            for e in self._gates
+            if e.gate.kind is GateKind.CNOT
+            and {e.gate.target, e.gate.control} == wires
+        )
+
+    def sublibrary_names(self) -> dict[str, tuple[str, ...]]:
+        """Paper-style table: sub-library label -> gate names.
+
+        For n = 3 reproduces exactly the L_A .. L_BC sets of Section 3.
+        """
+        table: dict[str, tuple[str, ...]] = {}
+        for control in range(self._n_qubits):
+            table[f"L_{wire_letter(control)}"] = tuple(
+                e.name for e in self.controlled_sublibrary(control)
+            )
+        for a in range(self._n_qubits):
+            for b in range(a + 1, self._n_qubits):
+                key = f"L_{wire_letter(a)}{wire_letter(b)}"
+                table[key] = tuple(e.name for e in self.feynman_sublibrary(a, b))
+        return table
+
+    def banned_sets_paper(self) -> dict[str, tuple[int, ...]]:
+        """The banned sets as 1-based label tuples (N_A, ..., N_BC)."""
+        out: dict[str, tuple[int, ...]] = {}
+        for wire in range(self._n_qubits):
+            out[f"N_{wire_letter(wire)}"] = self._space.banned_labels([wire])
+        for a in range(self._n_qubits):
+            for b in range(a + 1, self._n_qubits):
+                key = f"N_{wire_letter(a)}{wire_letter(b)}"
+                out[key] = self._space.banned_labels([a, b])
+        return out
+
+    # -- search-facing views -----------------------------------------------------------
+
+    def search_rows(self) -> tuple[tuple[bytes, int, int], ...]:
+        """Per-gate ``(translate_table, banned_mask, cost)`` rows.
+
+        This is the hot-path view consumed by the cascade search; it
+        avoids touching Python objects inside the BFS inner loop.
+        """
+        return tuple(
+            (entry.table, entry.banned_mask, entry.cost) for entry in self._gates
+        )
+
+    def circuit_permutation(self, gates) -> Permutation:
+        """Product of library gates in cascade order (apply first to last)."""
+        perm = Permutation.identity(self._space.size)
+        for entry in gates:
+            perm = perm * entry.permutation
+        return perm
+
+    def __repr__(self) -> str:
+        return (
+            f"GateLibrary(n_qubits={self._n_qubits}, "
+            f"n_gates={len(self._gates)}, space={self._space!r})"
+        )

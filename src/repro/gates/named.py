@@ -1,0 +1,186 @@
+"""Named reversible targets as permutations of the binary patterns.
+
+A 3-qubit reversible function is a permutation of the 8 binary patterns
+(labels 1..8 in the paper, patterns 000..111 with qubit A most
+significant).  This module defines the classic gates the paper
+synthesizes -- Toffoli, Fredkin, Peres and the g1..g4 family of Figures
+4-7 -- plus builders for arbitrary targets from Boolean output functions,
+NOT layers (the group N of Theorem 2) and wire relabelings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import SpecificationError
+from repro.perm.permutation import Permutation
+
+Bits = tuple[int, ...]
+
+
+def _bits(index: int, n_qubits: int) -> Bits:
+    return tuple((index >> (n_qubits - 1 - w)) & 1 for w in range(n_qubits))
+
+
+def _index(bits: Sequence[int]) -> int:
+    value = 0
+    for b in bits:
+        value = value * 2 + (b & 1)
+    return value
+
+
+def from_output_functions(
+    n_qubits: int, functions: Sequence[Callable[[Bits], int]]
+) -> Permutation:
+    """Build a reversible target from per-output Boolean functions.
+
+    Args:
+        n_qubits: register width.
+        functions: one function per output wire, each mapping the tuple of
+            input bits to that wire's output bit.
+
+    Raises:
+        SpecificationError: if the functions are not jointly reversible.
+    """
+    if len(functions) != n_qubits:
+        raise SpecificationError(
+            f"need {n_qubits} output functions, got {len(functions)}"
+        )
+    images = []
+    for index in range(2**n_qubits):
+        bits = _bits(index, n_qubits)
+        images.append(_index([f(bits) for f in functions]))
+    if len(set(images)) != len(images):
+        raise SpecificationError("output functions are not reversible")
+    return Permutation.from_images(images)
+
+
+def from_cycles(cycles: Sequence[Sequence[int]], n_qubits: int = 3) -> Permutation:
+    """Paper-style 1-based cycles on the binary labels."""
+    return Permutation.from_cycles(2**n_qubits, cycles, one_based=True)
+
+
+def not_layer_permutation(mask: int, n_qubits: int = 3) -> Permutation:
+    """The NOT-layer permutation XOR-ing *mask* into the pattern index.
+
+    These 2**n involutions form the group N of Theorem 2 (``a * a = ()``),
+    and N is a transversal of G = Stab(all-zeros) in the full symmetric
+    group H on the binary patterns.
+    """
+    size = 2**n_qubits
+    if not 0 <= mask < size:
+        raise SpecificationError(f"NOT mask {mask} out of range")
+    return Permutation.from_images([x ^ mask for x in range(size)])
+
+
+def not_group(n_qubits: int = 3) -> list[Permutation]:
+    """All 2**n NOT-layer permutations (the paper's group N)."""
+    return [not_layer_permutation(m, n_qubits) for m in range(2**n_qubits)]
+
+
+def wire_relabeling(wire_perm: Sequence[int], n_qubits: int = 3) -> Permutation:
+    """The pattern permutation induced by relabeling wires.
+
+    ``wire_perm[w]`` is the new position of wire w.  Used to classify the
+    24 universal G[4] circuits into the paper's four 6-element families
+    ("each ... has other five similar circuits with different permutations
+    of the three bits").
+    """
+    if sorted(wire_perm) != list(range(n_qubits)):
+        raise SpecificationError(f"{wire_perm!r} is not a wire permutation")
+    images = []
+    for index in range(2**n_qubits):
+        bits = _bits(index, n_qubits)
+        new_bits = [0] * n_qubits
+        for w, b in enumerate(bits):
+            new_bits[wire_perm[w]] = b
+        images.append(_index(new_bits))
+    return Permutation.from_images(images)
+
+
+def cnot_target(target: int, control: int, n_qubits: int = 3) -> Permutation:
+    """CNOT as a reversible target: target ^= control."""
+    def output(wire: int) -> Callable[[Bits], int]:
+        if wire == target:
+            return lambda bits: bits[target] ^ bits[control]
+        return lambda bits: bits[wire]
+
+    return from_output_functions(n_qubits, [output(w) for w in range(n_qubits)])
+
+
+def swap_target(wire_a: int, wire_b: int, n_qubits: int = 3) -> Permutation:
+    """SWAP of two wires as a reversible target."""
+    order = list(range(n_qubits))
+    order[wire_a], order[wire_b] = order[wire_b], order[wire_a]
+    return wire_relabeling(order, n_qubits)
+
+
+# -- the paper's concrete 3-qubit targets -------------------------------------
+#
+# Labels: 1:(000) 2:(001) 3:(010) 4:(011) 5:(100) 6:(101) 7:(110) 8:(111)
+
+#: Toffoli: P=A, Q=B, R=C^AB -- swaps 110 and 111.
+TOFFOLI = from_cycles([(7, 8)])
+
+#: Fredkin: controlled swap of B and C -- swaps 101 and 110.
+FREDKIN = from_cycles([(6, 7)])
+
+#: Peres (the paper's g1, Figure 4): P=A, Q=B^A, R=C^AB.
+PERES = from_cycles([(5, 7, 6, 8)])
+
+#: Figure 5 family member g2: P=A, Q=B^AC', R=C^A.
+G2 = from_cycles([(5, 8, 7, 6)])
+
+#: Figure 6 family member g3: P=A, Q=B^A, R=C^A'B.
+G3 = from_cycles([(3, 4), (5, 7), (6, 8)])
+
+#: Figure 7 family member g4: P=A, Q=B^A, R=C'^A'B'.
+G4 = from_cycles([(3, 4), (5, 8), (6, 7)])
+
+#: The identity target.
+IDENTITY3 = Permutation.identity(8)
+
+#: Boolean-function forms of the same targets (used to cross-check the
+#: cycle forms and the paper's printed output equations).
+TOFFOLI_FUNCTIONS = (
+    lambda b: b[0],
+    lambda b: b[1],
+    lambda b: b[2] ^ (b[0] & b[1]),
+)
+PERES_FUNCTIONS = (
+    lambda b: b[0],
+    lambda b: b[1] ^ b[0],
+    lambda b: b[2] ^ (b[0] & b[1]),
+)
+G2_FUNCTIONS = (
+    lambda b: b[0],
+    lambda b: b[1] ^ (b[0] & (1 - b[2])),
+    lambda b: b[2] ^ b[0],
+)
+G3_FUNCTIONS = (
+    lambda b: b[0],
+    lambda b: b[1] ^ b[0],
+    lambda b: b[2] ^ ((1 - b[0]) & b[1]),
+)
+G4_FUNCTIONS = (
+    lambda b: b[0],
+    lambda b: b[1] ^ b[0],
+    lambda b: (1 - b[2]) ^ ((1 - b[0]) & (1 - b[1])),
+)
+
+#: Registry for the CLI and examples.
+TARGETS: dict[str, Permutation] = {
+    "identity": IDENTITY3,
+    "toffoli": TOFFOLI,
+    "fredkin": FREDKIN,
+    "peres": PERES,
+    "g1": PERES,
+    "g2": G2,
+    "g3": G3,
+    "g4": G4,
+    "swap_ab": swap_target(0, 1),
+    "swap_ac": swap_target(0, 2),
+    "swap_bc": swap_target(1, 2),
+    "cnot_ba": cnot_target(1, 0),
+    "cnot_cb": cnot_target(2, 1),
+}

@@ -1,0 +1,119 @@
+"""Quaternary truth tables (the paper's Table 1 machinery).
+
+A :class:`TruthTable` is the explicit input-pattern -> output-pattern map
+of a gate or cascade over a label space.  It provides the paper's
+presentation artifacts: numbered rows (1-based), the induced label
+permutation, and restriction to the binary sub-domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+from repro.mvl.labels import LabelSpace
+from repro.mvl.patterns import Pattern
+from repro.perm.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class TruthTableRow:
+    """One row: input label/pattern and output label/pattern (labels 1-based)."""
+
+    input_label: int
+    input_pattern: Pattern
+    output_pattern: Pattern
+    output_label: int
+
+
+class TruthTable:
+    """The pattern-level map of a transformation over a label space."""
+
+    def __init__(self, space: LabelSpace, images: Sequence[int]):
+        if len(images) != space.size or set(images) != set(range(space.size)):
+            raise SpecificationError(
+                "images do not form a permutation of the label space"
+            )
+        self._space = space
+        self._images = tuple(images)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_map(
+        cls, space: LabelSpace, transform: Callable[[Pattern], Pattern]
+    ) -> "TruthTable":
+        """Tabulate a pattern transform (e.g. ``gate.apply``)."""
+        return cls(space, space.images_from_map(transform))
+
+    @classmethod
+    def from_gate(cls, gate, space: LabelSpace) -> "TruthTable":
+        """Tabulate a single gate."""
+        return cls.from_map(space, gate.apply)
+
+    @classmethod
+    def from_permutation(
+        cls, space: LabelSpace, permutation: Permutation
+    ) -> "TruthTable":
+        """Wrap an existing label permutation."""
+        if permutation.degree != space.size:
+            raise SpecificationError("permutation degree does not match space")
+        return cls(space, list(permutation.images))
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def space(self) -> LabelSpace:
+        return self._space
+
+    def output_label(self, input_label: int) -> int:
+        """0-based output label for a 0-based input label."""
+        return self._images[input_label]
+
+    def output_pattern(self, pattern: Pattern) -> Pattern:
+        """Output pattern for an input pattern."""
+        return self._space.pattern(self._images[self._space.label(pattern)])
+
+    def rows(self) -> list[TruthTableRow]:
+        """All rows in label order, 1-based labels (presentation form)."""
+        out = []
+        for label, image in enumerate(self._images):
+            out.append(
+                TruthTableRow(
+                    input_label=label + 1,
+                    input_pattern=self._space.pattern(label),
+                    output_pattern=self._space.pattern(image),
+                    output_label=image + 1,
+                )
+            )
+        return out
+
+    def permutation(self) -> Permutation:
+        """The induced label permutation."""
+        return Permutation.from_images(self._images)
+
+    def restricted_to_binary(self) -> Permutation:
+        """The action on the binary labels (the paper's RestrictedPerm(b, S)).
+
+        Raises:
+            InvalidPermutationError: if binary inputs produce non-binary
+                outputs (the table is probabilistic, not reversible).
+        """
+        return self.permutation().restricted(list(self._space.binary_labels))
+
+    def is_binary_preserving(self) -> bool:
+        """True when b(S) = S: binary inputs give binary outputs."""
+        s = set(self._space.binary_labels)
+        return {self._images[lbl] for lbl in s} == s
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self._space is other._space and self._images == other._images
+
+    def __hash__(self) -> int:
+        return hash((id(self._space), self._images))
+
+    def __repr__(self) -> str:
+        return f"TruthTable(space={self._space!r})"

@@ -1,0 +1,118 @@
+"""JSON serialization of circuits, targets and synthesis results.
+
+Downstream users need to persist synthesized cascades and reload them
+without re-running the search.  The format is deliberately plain:
+
+.. code-block:: json
+
+    {
+      "n_qubits": 3,
+      "gates": ["V_CB", "F_BA", "V_CA", "V+_CB"],
+      "target": "(5,7,6,8)",
+      "cost": 4
+    }
+
+Gate names are the paper-style names (``V_BA``/``V+_AB``/``F_CA``/``N_B``)
+already used everywhere else in the library, and targets use 1-based
+cycle notation on the binary patterns, so files stay readable next to
+the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SpecificationError
+from repro.core.circuit import Circuit
+from repro.core.mce import SynthesisResult
+from repro.perm.permutation import Permutation
+
+
+def circuit_to_dict(circuit: Circuit) -> dict[str, Any]:
+    """Plain-dict form of a circuit."""
+    return {
+        "n_qubits": circuit.n_qubits,
+        "gates": list(circuit.names()),
+    }
+
+
+def circuit_from_dict(data: dict[str, Any]) -> Circuit:
+    """Rebuild a circuit from :func:`circuit_to_dict` output.
+
+    Raises:
+        SpecificationError: on missing keys or malformed gate names.
+    """
+    try:
+        n_qubits = int(data["n_qubits"])
+        gates = list(data["gates"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpecificationError(f"malformed circuit record: {exc}") from None
+    if n_qubits < 1:
+        raise SpecificationError(f"bad register width {n_qubits}")
+    from repro.errors import InvalidGateError
+
+    try:
+        return Circuit.from_names(gates, n_qubits)
+    except InvalidGateError as exc:
+        raise SpecificationError(str(exc)) from None
+
+
+def result_to_dict(result: SynthesisResult) -> dict[str, Any]:
+    """Plain-dict form of a synthesis result (circuit + provenance)."""
+    record = circuit_to_dict(result.circuit)
+    record["target"] = result.target.cycle_string()
+    record["cost"] = result.cost
+    record["not_mask"] = result.not_mask
+    return record
+
+
+def result_circuit_from_dict(data: dict[str, Any]) -> tuple[Circuit, Permutation]:
+    """Rebuild (circuit, target) from a result record and re-verify.
+
+    The stored target is recomputed from the circuit and compared, so a
+    corrupted or hand-edited file fails loudly instead of silently
+    returning a wrong circuit.
+
+    Raises:
+        SpecificationError: if the circuit no longer realizes the stored
+            target or the stored cost disagrees.
+    """
+    circuit = circuit_from_dict(data)
+    degree = 2**circuit.n_qubits
+    try:
+        target = Permutation.from_cycle_string(degree, str(data["target"]))
+        stored_cost = int(data["cost"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpecificationError(f"malformed result record: {exc}") from None
+    from repro.errors import InvalidCircuitError, NonBinaryControlError
+
+    try:
+        realized = circuit.binary_permutation()
+    except (InvalidCircuitError, NonBinaryControlError) as exc:
+        raise SpecificationError(
+            f"stored circuit is not a reversible cascade: {exc}"
+        ) from None
+    if realized != target:
+        raise SpecificationError(
+            f"stored circuit realizes {realized.cycle_string()}, "
+            f"record claims {data['target']}"
+        )
+    if circuit.two_qubit_count != stored_cost:
+        raise SpecificationError(
+            f"stored cost {stored_cost} disagrees with the circuit's "
+            f"{circuit.two_qubit_count} two-qubit gates"
+        )
+    return circuit, target
+
+
+def save_result(result: SynthesisResult, path: str | Path) -> None:
+    """Write a synthesis result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def load_result(path: str | Path) -> tuple[Circuit, Permutation]:
+    """Load and re-verify a synthesis result from a JSON file."""
+    data = json.loads(Path(path).read_text())
+    return result_circuit_from_dict(data)

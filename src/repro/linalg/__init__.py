@@ -1,0 +1,42 @@
+"""Exact linear algebra over the dyadic Gaussian ring Z[i, 1/2].
+
+Every matrix entry that appears anywhere in the paper's gate algebra --
+V, V+, NOT, CNOT, their controlled versions, tensor products and cascades
+-- lives in the ring of complex numbers ``(a + b i) / 2**k`` with integer
+``a, b``.  Implementing that ring exactly lets the test-suite verify
+identities such as ``V * V == NOT`` and the consistency of the
+multiple-valued abstraction with *zero* floating-point tolerance.
+
+:mod:`repro.linalg.dyadic` implements the scalars,
+:mod:`repro.linalg.matrix` dense matrices over them, and
+:mod:`repro.linalg.constants` the concrete gate matrices and the state
+vectors of the four quaternary wire values.
+"""
+
+from repro.linalg.dyadic import DyadicComplex
+from repro.linalg.matrix import Matrix
+from repro.linalg.constants import (
+    I2,
+    X,
+    V,
+    VDAG,
+    value_state,
+    pattern_state,
+    controlled,
+    cnot_matrix,
+    single_qubit,
+)
+
+__all__ = [
+    "DyadicComplex",
+    "Matrix",
+    "I2",
+    "X",
+    "V",
+    "VDAG",
+    "value_state",
+    "pattern_state",
+    "controlled",
+    "cnot_matrix",
+    "single_qubit",
+]

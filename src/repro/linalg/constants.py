@@ -1,0 +1,92 @@
+"""Concrete gate matrices and quaternary value states (exact).
+
+These are the matrices printed in Section 2 of the paper:
+
+    V  = [[(1+i)/2, (1-i)/2],     V+ = [[(1-i)/2, (1+i)/2],
+          [(1-i)/2, (1+i)/2]]           [(1+i)/2, (1-i)/2]]
+
+with ``V @ V == V+ @ V+ == X`` (square root of NOT) and
+``V @ V+ == I``.  Also provides the single-qubit states of the four
+quaternary values and builders for controlled gates on arbitrary wires.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidGateError
+from repro.linalg.dyadic import DyadicComplex
+from repro.linalg.matrix import Matrix
+from repro.mvl.values import Qv
+
+_HALF_P = DyadicComplex.half(1, 1)   # (1 + i) / 2
+_HALF_M = DyadicComplex.half(1, -1)  # (1 - i) / 2
+
+I2 = Matrix([[1, 0], [0, 1]])
+X = Matrix([[0, 1], [1, 0]])
+V = Matrix([[_HALF_P, _HALF_M], [_HALF_M, _HALF_P]])
+VDAG = Matrix([[_HALF_M, _HALF_P], [_HALF_P, _HALF_M]])
+
+_VALUE_STATES = {
+    Qv.ZERO: Matrix.column([1, 0]),
+    Qv.ONE: Matrix.column([0, 1]),
+    Qv.V0: Matrix.column([_HALF_P, _HALF_M]),  # V |0>
+    Qv.V1: Matrix.column([_HALF_M, _HALF_P]),  # V |1>
+}
+
+
+def value_state(value: Qv) -> Matrix:
+    """Single-qubit state vector of a quaternary wire value (exact)."""
+    return _VALUE_STATES[Qv(value)]
+
+
+def pattern_state(pattern) -> Matrix:
+    """Tensor-product state of a quaternary pattern (wire 0 most significant)."""
+    state = value_state(pattern[0])
+    for value in pattern[1:]:
+        state = state.kron(value_state(value))
+    return state
+
+
+def controlled(
+    operator: Matrix, target: int, control: int, n_qubits: int
+) -> Matrix:
+    """Controlled single-qubit *operator* embedded in an n-qubit unitary.
+
+    ``U = |0><0|_control (x) I  +  |1><1|_control (x) operator_target``
+    with wire 0 the most significant qubit (pattern convention).
+
+    Args:
+        operator: 2x2 matrix applied to *target* when *control* is |1>.
+        target: data wire index.
+        control: control wire index (must differ from target).
+        n_qubits: total number of wires.
+    """
+    if target == control:
+        raise InvalidGateError("control and target wires must differ")
+    for wire in (target, control):
+        if not 0 <= wire < n_qubits:
+            raise InvalidGateError(f"wire {wire} out of range for {n_qubits} qubits")
+    p0 = Matrix([[1, 0], [0, 0]])
+    p1 = Matrix([[0, 0], [0, 1]])
+
+    def embed(factors: dict[int, Matrix]) -> Matrix:
+        acc = factors.get(0, I2)
+        for wire in range(1, n_qubits):
+            acc = acc.kron(factors.get(wire, I2))
+        return acc
+
+    return embed({control: p0}) + embed({control: p1, target: operator})
+
+
+def cnot_matrix(target: int, control: int, n_qubits: int) -> Matrix:
+    """CNOT (Feynman) unitary on n qubits: target ^= control."""
+    return controlled(X, target, control, n_qubits)
+
+
+def single_qubit(operator: Matrix, wire: int, n_qubits: int) -> Matrix:
+    """A single-qubit operator embedded on *wire* of an n-qubit register."""
+    if not 0 <= wire < n_qubits:
+        raise InvalidGateError(f"wire {wire} out of range for {n_qubits} qubits")
+    acc = operator if wire == 0 else I2
+    for w in range(1, n_qubits):
+        acc = acc.kron(operator if w == wire else I2)
+    return acc

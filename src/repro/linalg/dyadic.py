@@ -1,0 +1,198 @@
+"""Exact dyadic Gaussian complex numbers: (a + b*i) / 2**k.
+
+The set of such numbers is a subring of the complex numbers that is closed
+under addition, subtraction and multiplication, and contains every entry
+of every matrix in the paper (V and V+ have entries (1 +/- i)/2; NOT,
+CNOT and identities are integer matrices; tensor products and finite
+cascades stay in the ring).  Division is only needed by 2 (never by a
+general element), so the ring suffices for exact verification.
+
+Instances are immutable, hashable and normalized (``k`` minimal, and
+``k == 0`` whenever both numerators are even or zero).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, "DyadicComplex"]
+
+
+class DyadicComplex:
+    """An exact complex number of the form (a + b*i) / 2**k.
+
+    Args:
+        real_num: integer numerator of the real part.
+        imag_num: integer numerator of the imaginary part.
+        exponent: non-negative power of two in the denominator.
+
+    The constructor normalizes, so two equal values always compare and
+    hash identically.
+    """
+
+    __slots__ = ("_a", "_b", "_k")
+
+    def __init__(self, real_num: int = 0, imag_num: int = 0, exponent: int = 0):
+        if exponent < 0:
+            # A negative exponent is a multiplier: fold it into numerators.
+            real_num <<= -exponent
+            imag_num <<= -exponent
+            exponent = 0
+        while exponent > 0 and real_num % 2 == 0 and imag_num % 2 == 0:
+            real_num //= 2
+            imag_num //= 2
+            exponent -= 1
+        self._a = real_num
+        self._b = imag_num
+        self._k = exponent
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_int(cls, value: int) -> "DyadicComplex":
+        """Embed an integer."""
+        return cls(value, 0, 0)
+
+    @classmethod
+    def i(cls) -> "DyadicComplex":
+        """The imaginary unit."""
+        return cls(0, 1, 0)
+
+    @classmethod
+    def half(cls, real_num: int, imag_num: int) -> "DyadicComplex":
+        """Shortcut for (a + b*i)/2 -- the V-matrix entry form."""
+        return cls(real_num, imag_num, 1)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def real_numerator(self) -> int:
+        return self._a
+
+    @property
+    def imag_numerator(self) -> int:
+        return self._b
+
+    @property
+    def exponent(self) -> int:
+        return self._k
+
+    @property
+    def is_zero(self) -> bool:
+        return self._a == 0 and self._b == 0
+
+    @property
+    def is_one(self) -> bool:
+        return self._a == 1 and self._b == 0 and self._k == 0
+
+    @property
+    def is_real(self) -> bool:
+        return self._b == 0
+
+    # -- ring operations -------------------------------------------------------
+
+    def _coerce(self, other: Number) -> "DyadicComplex":
+        if isinstance(other, DyadicComplex):
+            return other
+        if isinstance(other, int):
+            return DyadicComplex(other, 0, 0)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: Number) -> "DyadicComplex":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        k = max(self._k, rhs._k)
+        scale_l = 1 << (k - self._k)
+        scale_r = 1 << (k - rhs._k)
+        return DyadicComplex(
+            self._a * scale_l + rhs._a * scale_r,
+            self._b * scale_l + rhs._b * scale_r,
+            k,
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "DyadicComplex":
+        return DyadicComplex(-self._a, -self._b, self._k)
+
+    def __sub__(self, other: Number) -> "DyadicComplex":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: Number) -> "DyadicComplex":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, other: Number) -> "DyadicComplex":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return DyadicComplex(
+            self._a * rhs._a - self._b * rhs._b,
+            self._a * rhs._b + self._b * rhs._a,
+            self._k + rhs._k,
+        )
+
+    __rmul__ = __mul__
+
+    def conjugate(self) -> "DyadicComplex":
+        """Complex conjugate."""
+        return DyadicComplex(self._a, -self._b, self._k)
+
+    def abs_squared(self) -> "DyadicComplex":
+        """|z|**2 as an exact (real) dyadic number."""
+        return self * self.conjugate()
+
+    def halve(self) -> "DyadicComplex":
+        """Exact division by 2."""
+        return DyadicComplex(self._a, self._b, self._k + 1)
+
+    # -- comparisons / hashing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = DyadicComplex(other, 0, 0)
+        if not isinstance(other, DyadicComplex):
+            return NotImplemented
+        return (
+            self._a == other._a and self._b == other._b and self._k == other._k
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._a, self._b, self._k))
+
+    # -- conversions --------------------------------------------------------------
+
+    def to_complex(self) -> complex:
+        """Convert to a built-in complex (exact for moderate exponents)."""
+        denom = float(1 << self._k)
+        return complex(self._a / denom, self._b / denom)
+
+    def __complex__(self) -> complex:
+        return self.to_complex()
+
+    def __repr__(self) -> str:
+        return f"DyadicComplex({self._a}, {self._b}, {self._k})"
+
+    def __str__(self) -> str:
+        if self.is_zero:
+            return "0"
+        denom = 1 << self._k
+        parts = []
+        if self._a:
+            parts.append(f"{self._a}" if denom == 1 else f"{self._a}/{denom}")
+        if self._b:
+            sign = "+" if self._b > 0 and parts else ""
+            mag = f"{self._b}" if denom == 1 else f"{self._b}/{denom}"
+            parts.append(f"{sign}{mag}i")
+        return "".join(parts)
+
+
+ZERO = DyadicComplex(0)
+ONE = DyadicComplex(1)
+I_UNIT = DyadicComplex(0, 1)

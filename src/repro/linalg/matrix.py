@@ -1,0 +1,262 @@
+"""Dense exact matrices over the dyadic Gaussian ring.
+
+Small, dependency-free matrices sufficient for the paper's verification
+needs: products, tensor (Kronecker) products, Hermitian adjoints,
+unitarity checks and exact equality.  Sizes in this project are at most
+2**n x 2**n for n <= 4 qubits, so no sparse representation is required.
+
+For numeric work (statevector simulation, benchmarks), see
+:mod:`repro.sim.statevector`, which uses numpy; this module is the exact
+oracle those fast paths are validated against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import InvalidValueError
+from repro.linalg.dyadic import DyadicComplex
+
+EntryLike = DyadicComplex | int
+
+
+def _as_entry(value: EntryLike) -> DyadicComplex:
+    if isinstance(value, DyadicComplex):
+        return value
+    if isinstance(value, int):
+        return DyadicComplex(value)
+    raise InvalidValueError(f"cannot use {value!r} as an exact matrix entry")
+
+
+class Matrix:
+    """An immutable exact matrix.
+
+    Args:
+        rows: iterable of row iterables of ``DyadicComplex`` or ``int``.
+    """
+
+    __slots__ = ("_rows", "_n_rows", "_n_cols")
+
+    def __init__(self, rows: Iterable[Iterable[EntryLike]]):
+        data = tuple(tuple(_as_entry(x) for x in row) for row in rows)
+        if not data:
+            raise InvalidValueError("matrix needs at least one row")
+        width = len(data[0])
+        if width == 0 or any(len(row) != width for row in data):
+            raise InvalidValueError("matrix rows must be non-empty and equal length")
+        self._rows = data
+        self._n_rows = len(data)
+        self._n_cols = width
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def identity(cls, size: int) -> "Matrix":
+        """The size x size identity matrix."""
+        return cls(
+            [[1 if r == c else 0 for c in range(size)] for r in range(size)]
+        )
+
+    @classmethod
+    def zero(cls, n_rows: int, n_cols: int | None = None) -> "Matrix":
+        """An all-zero matrix."""
+        n_cols = n_rows if n_cols is None else n_cols
+        return cls([[0] * n_cols for _ in range(n_rows)])
+
+    @classmethod
+    def column(cls, entries: Sequence[EntryLike]) -> "Matrix":
+        """A column vector."""
+        return cls([[e] for e in entries])
+
+    @classmethod
+    def basis_state(cls, index: int, dimension: int) -> "Matrix":
+        """The computational basis column vector |index> in C^dimension."""
+        if not 0 <= index < dimension:
+            raise InvalidValueError(f"basis index {index} out of range")
+        return cls.column([1 if i == index else 0 for i in range(dimension)])
+
+    # -- shape / access ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._n_rows, self._n_cols)
+
+    @property
+    def is_square(self) -> bool:
+        return self._n_rows == self._n_cols
+
+    def __getitem__(self, key: tuple[int, int]) -> DyadicComplex:
+        r, c = key
+        return self._rows[r][c]
+
+    def rows(self) -> tuple[tuple[DyadicComplex, ...], ...]:
+        """The raw row tuples (immutable)."""
+        return self._rows
+
+    def column_vector(self) -> tuple[DyadicComplex, ...]:
+        """Entries of a single-column matrix as a tuple."""
+        if self._n_cols != 1:
+            raise InvalidValueError("matrix is not a column vector")
+        return tuple(row[0] for row in self._rows)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def __add__(self, other: "Matrix") -> "Matrix":
+        self._check_same_shape(other)
+        return Matrix(
+            [
+                [a + b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._rows, other._rows)
+            ]
+        )
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        self._check_same_shape(other)
+        return Matrix(
+            [
+                [a - b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._rows, other._rows)
+            ]
+        )
+
+    def __matmul__(self, other: "Matrix") -> "Matrix":
+        return self.multiply(other)
+
+    def multiply(self, other: "Matrix") -> "Matrix":
+        """Matrix product self @ other."""
+        if self._n_cols != other._n_rows:
+            raise InvalidValueError(
+                f"cannot multiply {self.shape} by {other.shape}"
+            )
+        other_cols = list(zip(*other._rows))
+        result = []
+        for row in self._rows:
+            out_row = []
+            for col in other_cols:
+                acc = DyadicComplex(0)
+                for a, b in zip(row, col):
+                    if not (a.is_zero or b.is_zero):
+                        acc = acc + a * b
+                out_row.append(acc)
+            result.append(out_row)
+        return Matrix(result)
+
+    def scale(self, factor: EntryLike) -> "Matrix":
+        """Scalar multiple."""
+        f = _as_entry(factor)
+        return Matrix([[f * x for x in row] for row in self._rows])
+
+    def kron(self, other: "Matrix") -> "Matrix":
+        """Kronecker (tensor) product self (x) other.
+
+        Qubit convention: ``kron(A, B)`` puts A on the more significant
+        wire, matching the pattern encoding in :mod:`repro.mvl.patterns`.
+        """
+        result = []
+        for ra in self._rows:
+            for rb in other._rows:
+                result.append([a * b for a in ra for b in rb])
+        return Matrix(result)
+
+    def dagger(self) -> "Matrix":
+        """Hermitian adjoint (conjugate transpose)."""
+        return Matrix(
+            [
+                [self._rows[r][c].conjugate() for r in range(self._n_rows)]
+                for c in range(self._n_cols)
+            ]
+        )
+
+    def transpose(self) -> "Matrix":
+        return Matrix(
+            [
+                [self._rows[r][c] for r in range(self._n_rows)]
+                for c in range(self._n_cols)
+            ]
+        )
+
+    def power(self, exponent: int) -> "Matrix":
+        """Non-negative integer matrix power."""
+        if not self.is_square:
+            raise InvalidValueError("matrix power needs a square matrix")
+        if exponent < 0:
+            raise InvalidValueError("negative powers unsupported (use dagger)")
+        result = Matrix.identity(self._n_rows)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result @ base
+            base = base @ base
+            exponent >>= 1
+        return result
+
+    # -- predicates -------------------------------------------------------------
+
+    def is_unitary(self) -> bool:
+        """Exact unitarity check: U @ U+ == I."""
+        if not self.is_square:
+            return False
+        return self @ self.dagger() == Matrix.identity(self._n_rows)
+
+    def is_identity(self) -> bool:
+        return self.is_square and self == Matrix.identity(self._n_rows)
+
+    def is_permutation_matrix(self) -> bool:
+        """True when the matrix is a 0/1 matrix with one 1 per row/column."""
+        if not self.is_square:
+            return False
+        one = DyadicComplex(1)
+        for row in self._rows:
+            ones = sum(1 for x in row if x == one)
+            zeros = sum(1 for x in row if x.is_zero)
+            if ones != 1 or ones + zeros != self._n_cols:
+                return False
+        for col in zip(*self._rows):
+            if sum(1 for x in col if x == one) != 1:
+                return False
+        return True
+
+    def permutation_images(self) -> tuple[int, ...]:
+        """Column-to-row images of a permutation matrix.
+
+        For a permutation matrix U with U|j> = |images[j]>, returns
+        ``images``.  Raises on non-permutation matrices.
+        """
+        if not self.is_permutation_matrix():
+            raise InvalidValueError("matrix is not a permutation matrix")
+        images = []
+        one = DyadicComplex(1)
+        for c in range(self._n_cols):
+            for r in range(self._n_rows):
+                if self._rows[r][c] == one:
+                    images.append(r)
+                    break
+        return tuple(images)
+
+    # -- equality / io -------------------------------------------------------------
+
+    def _check_same_shape(self, other: "Matrix") -> None:
+        if self.shape != other.shape:
+            raise InvalidValueError(f"shape mismatch {self.shape} vs {other.shape}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self.shape == other.shape and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def to_complex_lists(self) -> list[list[complex]]:
+        """Convert to nested lists of built-in complex numbers."""
+        return [[x.to_complex() for x in row] for row in self._rows]
+
+    def __repr__(self) -> str:
+        return f"Matrix({self._n_rows}x{self._n_cols})"
+
+    def __str__(self) -> str:
+        cells = [[str(x) for x in row] for row in self._rows]
+        width = max(len(c) for row in cells for c in row)
+        return "\n".join(
+            "[" + "  ".join(c.rjust(width) for c in row) + "]" for row in cells
+        )

@@ -1,0 +1,57 @@
+"""Multiple-valued (quaternary) logic substrate.
+
+The paper's central reduction: once every control wire is restricted to
+pure binary values, each quantum wire only ever carries one of four values
+
+    ``0``, ``1``, ``V0`` = V|0>, ``V1`` = V|1>
+
+because ``V0 = V+ 1`` and ``V1 = V+ 0``.  This package implements that
+quaternary algebra (:mod:`repro.mvl.values`), fixed-width value tuples
+(:mod:`repro.mvl.patterns`) and the paper's label spaces with banned sets
+(:mod:`repro.mvl.labels`).
+"""
+
+from repro.mvl.values import (
+    Qv,
+    ZERO,
+    ONE,
+    V0,
+    V1,
+    apply_v,
+    apply_vdag,
+    apply_not,
+    is_binary,
+    measurement_probabilities,
+)
+from repro.mvl.patterns import (
+    Pattern,
+    all_patterns,
+    binary_patterns,
+    pattern_from_bits,
+    pattern_from_int,
+    pattern_to_int,
+    pattern_from_string,
+)
+from repro.mvl.labels import LabelSpace, label_space
+
+__all__ = [
+    "Qv",
+    "ZERO",
+    "ONE",
+    "V0",
+    "V1",
+    "apply_v",
+    "apply_vdag",
+    "apply_not",
+    "is_binary",
+    "measurement_probabilities",
+    "Pattern",
+    "all_patterns",
+    "binary_patterns",
+    "pattern_from_bits",
+    "pattern_from_int",
+    "pattern_to_int",
+    "pattern_from_string",
+    "LabelSpace",
+    "label_space",
+]

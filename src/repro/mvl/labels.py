@@ -1,0 +1,233 @@
+"""Label spaces: the paper's enumeration of quaternary patterns.
+
+A :class:`LabelSpace` assigns consecutive integer labels to patterns so
+that quantum gates become permutations of labels:
+
+* **reduced** space (paper, Section 3, used for 3 qubits): only the
+  *permutable* patterns -- those containing a pure ``1``, plus the all-zero
+  pattern.  For n = 3 this is 64 - 27 + 1 = 38 labels.  The 26 dropped
+  patterns are fixed by every gate so they carry no information.
+* **full** space (paper, Table 1, used for 2 qubits): all 4**n patterns.
+
+Both spaces order the pure binary patterns first ("from small to big"),
+then the remaining patterns, also ascending.  Labels are 0-based in code;
+:meth:`LabelSpace.paper_label` converts to the paper's 1-based display
+convention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from functools import lru_cache
+
+from repro.errors import InvalidPermutationError, InvalidValueError
+from repro.mvl.patterns import Pattern, all_patterns
+from repro.mvl.values import Qv
+
+
+class LabelSpace:
+    """Bijection between quaternary patterns and integer labels.
+
+    Args:
+        n_qubits: number of wires (the paper treats 2 and 3; any n >= 1
+            is supported, with label counts 4**n or 4**n - 3**n + 1).
+        reduced: drop the unpermutable patterns (default True, matching
+            the 38-label space of Section 3).  Use ``reduced=False`` to
+            regenerate the full 16-row Table 1 layout.
+        ordering: how the non-binary block is sorted.  ``"value"``
+            (default) is plain ascending order with 0 < 1 < V0 < V1 --
+            the "from small to big" rule of Section 3, validated by every
+            printed 3-qubit permutation and banned set.  ``"grouped"``
+            sorts first by *which wires are mixed* (as a binary mask,
+            wire 0 most significant) and then ascending -- the layout of
+            the paper's 2-qubit Table 1 (B-mixed rows 5-8, A-mixed 9-12,
+            both-mixed 13-16).  Binary patterns always come first, so the
+            two orderings induce the same permutation for any gate whose
+            moved labels stay in the shared prefix (e.g. Table 1's
+            ``(3,7,4,8)``).
+    """
+
+    def __init__(
+        self, n_qubits: int, reduced: bool = True, ordering: str = "value"
+    ):
+        if n_qubits < 1:
+            raise InvalidValueError("label space needs at least one qubit")
+        if ordering not in ("value", "grouped"):
+            raise InvalidValueError(f"unknown ordering {ordering!r}")
+        self._n_qubits = n_qubits
+        self._reduced = reduced
+        self._ordering = ordering
+        binary = []
+        rest = []
+        for pattern in all_patterns(n_qubits):
+            if pattern.is_binary:
+                binary.append(pattern)
+            elif not reduced or pattern.is_permutable:
+                rest.append(pattern)
+        if ordering == "grouped":
+            rest.sort(key=_mixedness_key)
+        # all_patterns yields ascending already; binary patterns first,
+        # then the remaining patterns under the chosen ordering.
+        self._patterns: tuple[Pattern, ...] = tuple(binary + rest)
+        self._label_of = {p: i for i, p in enumerate(self._patterns)}
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of wires."""
+        return self._n_qubits
+
+    @property
+    def reduced(self) -> bool:
+        """True if unpermutable patterns were dropped."""
+        return self._reduced
+
+    @property
+    def ordering(self) -> str:
+        """Non-binary block ordering: ``"value"`` or ``"grouped"``."""
+        return self._ordering
+
+    @property
+    def size(self) -> int:
+        """Number of labels (38 for the reduced 3-qubit space)."""
+        return len(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    @property
+    def n_binary(self) -> int:
+        """Number of pure binary patterns; these occupy labels 0..2**n-1."""
+        return 2**self._n_qubits
+
+    @property
+    def patterns(self) -> tuple[Pattern, ...]:
+        """All patterns in label order."""
+        return self._patterns
+
+    def pattern(self, label: int) -> Pattern:
+        """The pattern carried by a 0-based label."""
+        try:
+            return self._patterns[label]
+        except IndexError:
+            raise InvalidValueError(
+                f"label {label} out of range 0..{self.size - 1}"
+            ) from None
+
+    def label(self, pattern: Pattern) -> int:
+        """0-based label of a pattern.
+
+        Raises:
+            InvalidValueError: if the pattern is outside this space (e.g.
+                an unpermutable pattern queried against a reduced space).
+        """
+        try:
+            return self._label_of[Pattern(pattern)]
+        except KeyError:
+            raise InvalidValueError(
+                f"pattern {Pattern(pattern)} is not in this label space"
+            ) from None
+
+    def __contains__(self, pattern: Pattern) -> bool:
+        return Pattern(pattern) in self._label_of
+
+    @staticmethod
+    def paper_label(label: int) -> int:
+        """Convert a 0-based label to the paper's 1-based numbering."""
+        return label + 1
+
+    # -- the binary sub-domain S --------------------------------------------
+
+    @property
+    def binary_labels(self) -> range:
+        """Labels of the pure binary patterns -- the paper's set S."""
+        return range(self.n_binary)
+
+    @property
+    def s_mask(self) -> int:
+        """Bitmask with a bit set for every label in S."""
+        return (1 << self.n_binary) - 1
+
+    # -- banned sets ---------------------------------------------------------
+
+    def banned_mask(self, wires: Iterable[int]) -> int:
+        """Bitmask of labels whose pattern is mixed on any of *wires*.
+
+        This encodes the paper's banned sets: ``banned_mask([0])`` is
+        N_A (qubit A carries V0/V1), ``banned_mask([0, 1])`` is N_AB, etc.
+        A gate whose controls (or XOR operands) live on *wires* may be
+        cascaded after a circuit ``f`` iff the images of the binary labels
+        under ``f`` avoid this mask (Definition 1, "reasonable product").
+        """
+        wire_list = list(wires)
+        for w in wire_list:
+            if not 0 <= w < self._n_qubits:
+                raise InvalidValueError(f"wire {w} out of range")
+        mask = 0
+        for label, pattern in enumerate(self._patterns):
+            if any(not pattern[w].is_binary for w in wire_list):
+                mask |= 1 << label
+        return mask
+
+    def banned_labels(self, wires: Iterable[int]) -> tuple[int, ...]:
+        """The banned set as a sorted tuple of 1-based (paper) labels."""
+        mask = self.banned_mask(wires)
+        return tuple(
+            label + 1 for label in range(self.size) if (mask >> label) & 1
+        )
+
+    # -- permutation construction --------------------------------------------
+
+    def images_from_map(
+        self, transform: Callable[[Pattern], Pattern]
+    ) -> tuple[int, ...]:
+        """Turn a pattern transform into a label image array.
+
+        Applies *transform* to every pattern in the space and looks up the
+        label of each result.  Validates that the images form a
+        permutation of the label set.
+
+        Raises:
+            InvalidPermutationError: if the transform maps some pattern
+                outside the space or is not a bijection on it.
+        """
+        images = []
+        for pattern in self._patterns:
+            result = transform(pattern)
+            try:
+                images.append(self._label_of[Pattern(result)])
+            except KeyError:
+                raise InvalidPermutationError(
+                    f"transform maps {pattern} to {result}, "
+                    "which is outside the label space"
+                ) from None
+        if len(set(images)) != self.size:
+            raise InvalidPermutationError(
+                "transform is not a bijection on the label space"
+            )
+        return tuple(images)
+
+    def describe_labels(self, labels: Sequence[int]) -> str:
+        """Human-readable rendering of 0-based labels as patterns."""
+        return ", ".join(f"{lbl + 1}:{self.pattern(lbl)}" for lbl in labels)
+
+    def __repr__(self) -> str:
+        mode = "reduced" if self._reduced else "full"
+        return f"LabelSpace(n_qubits={self._n_qubits}, {mode}, size={self.size})"
+
+
+def _mixedness_key(pattern: Pattern) -> tuple[int, Pattern]:
+    """Sort key of the paper's Table 1: mixed-wire mask, then value order."""
+    mask = 0
+    for value in pattern:
+        mask = (mask << 1) | (0 if value.is_binary else 1)
+    return (mask, pattern)
+
+
+@lru_cache(maxsize=16)
+def label_space(
+    n_qubits: int, reduced: bool = True, ordering: str = "value"
+) -> LabelSpace:
+    """Shared, cached label-space instances (they are immutable)."""
+    return LabelSpace(n_qubits, reduced, ordering)

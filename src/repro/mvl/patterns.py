@@ -1,0 +1,172 @@
+"""Quaternary patterns: fixed-width tuples of wire values.
+
+A *pattern* is the joint value of all n wires of a circuit at some time
+step, e.g. ``(1, V0, 0)`` for qubits (A, B, C).  Wire 0 is the paper's
+qubit A (most significant in the sorting order "from small to big").
+
+Patterns are plain tuples of :class:`~repro.mvl.values.Qv` wrapped in a
+lightweight immutable class providing the operations the synthesis core
+needs: binary tests, per-wire substitution, integer encoding (base 4,
+qubit A most significant) and parsing/formatting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from fractions import Fraction
+
+from repro.errors import InvalidValueError
+from repro.mvl.values import Qv, measurement_probabilities
+
+
+class Pattern(tuple):
+    """An immutable tuple of quaternary wire values.
+
+    Subclasses ``tuple`` so patterns hash, compare and sort exactly like
+    the underlying value tuples -- the tuple ordering *is* the paper's
+    "from small to big" row ordering because of the Qv integer codes.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, values: Iterable[Qv | int]) -> "Pattern":
+        vals = tuple(Qv(v) for v in values)
+        return super().__new__(cls, vals)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of wires in the pattern."""
+        return len(self)
+
+    @property
+    def is_binary(self) -> bool:
+        """True when every wire is a pure 0/1 state."""
+        return all(v.is_binary for v in self)
+
+    @property
+    def has_one(self) -> bool:
+        """True when some wire carries the pure value 1.
+
+        The paper observes that a pattern with no ``1`` anywhere is fixed
+        by every gate in the library (no control can fire, no Feynman can
+        flip), which is what lets 26 of the 64 three-qubit patterns be
+        dropped from the permutation domain.
+        """
+        return any(v is Qv.ONE for v in self)
+
+    @property
+    def is_permutable(self) -> bool:
+        """True if the pattern belongs to the reduced label domain.
+
+        Permutable patterns are those containing a ``1`` plus the all-zero
+        pattern (kept so the binary patterns are complete; it is label 1
+        in the paper and anchors Theorem 2).
+        """
+        return self.has_one or all(v is Qv.ZERO for v in self)
+
+    # -- transformations ---------------------------------------------------
+
+    def with_value(self, wire: int, value: Qv) -> "Pattern":
+        """Return a copy with *wire* replaced by *value*."""
+        vals = list(self)
+        vals[wire] = Qv(value)
+        return Pattern(vals)
+
+    def bits(self) -> tuple[int, ...]:
+        """Classical bit tuple for a binary pattern.
+
+        Raises:
+            InvalidValueError: if any wire is non-binary.
+        """
+        return tuple(v.bit for v in self)
+
+    def binary_index(self) -> int:
+        """Integer of the classical bits, qubit A (wire 0) most significant."""
+        index = 0
+        for v in self:
+            index = index * 2 + v.bit
+        return index
+
+    # -- formatting --------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Pattern({', '.join(str(v) for v in self)})"
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(v) for v in self) + ")"
+
+
+def pattern_from_int(code: int, n_qubits: int) -> Pattern:
+    """Decode a base-4 integer (wire 0 most significant) to a pattern."""
+    if not 0 <= code < 4**n_qubits:
+        raise InvalidValueError(
+            f"pattern code {code} out of range for {n_qubits} qubits"
+        )
+    digits = []
+    for _ in range(n_qubits):
+        digits.append(Qv(code % 4))
+        code //= 4
+    return Pattern(reversed(digits))
+
+
+def pattern_to_int(pattern: Pattern) -> int:
+    """Encode a pattern as a base-4 integer (wire 0 most significant)."""
+    code = 0
+    for v in pattern:
+        code = code * 4 + int(v)
+    return code
+
+
+def pattern_from_bits(bits: Iterable[int]) -> Pattern:
+    """Build a pure binary pattern from an iterable of classical bits."""
+    vals = []
+    for b in bits:
+        if b not in (0, 1):
+            raise InvalidValueError(f"bit {b!r} is not 0 or 1")
+        vals.append(Qv(b))
+    return Pattern(vals)
+
+
+def pattern_from_string(text: str) -> Pattern:
+    """Parse ``"1,V0,0"`` or ``"1 V0 0"`` into a pattern."""
+    parts = text.replace(",", " ").split()
+    if not parts:
+        raise InvalidValueError("empty pattern string")
+    return Pattern(Qv.from_string(p) for p in parts)
+
+
+def all_patterns(n_qubits: int) -> Iterator[Pattern]:
+    """All 4**n patterns in ascending (paper) order."""
+    for code in range(4**n_qubits):
+        yield pattern_from_int(code, n_qubits)
+
+
+def binary_patterns(n_qubits: int) -> Iterator[Pattern]:
+    """All 2**n pure binary patterns in ascending order."""
+    for index in range(2**n_qubits):
+        bits = [(index >> (n_qubits - 1 - w)) & 1 for w in range(n_qubits)]
+        yield pattern_from_bits(bits)
+
+
+def pattern_measurement_distribution(
+    pattern: Pattern,
+) -> dict[tuple[int, ...], Fraction]:
+    """Exact joint Born distribution of measuring every wire of *pattern*.
+
+    Under the paper's binary-control discipline the register is always a
+    *product* of single-wire states, so the joint law is the product of
+    per-wire distributions: binary wires are deterministic, V0/V1 wires
+    are independent fair coins.  Zero-probability outcomes are omitted.
+    """
+    dist: dict[tuple[int, ...], Fraction] = {(): Fraction(1)}
+    for value in pattern:
+        wire_dist = measurement_probabilities(value)
+        dist = {
+            bits + (bit,): p * q
+            for bits, p in dist.items()
+            for bit, q in wire_dist.items()
+            if q
+        }
+    return dist

@@ -1,0 +1,136 @@
+"""The quaternary value algebra {0, 1, V0, V1}.
+
+``V`` is the square root of NOT:
+
+    V = [[0.5+0.5i, 0.5-0.5i],
+         [0.5-0.5i, 0.5+0.5i]]
+
+Acting on computational basis states it produces two new single-qubit
+states ``V0 = V|0>`` and ``V1 = V|1>``.  The paper (Section 2) derives the
+closed value system used throughout:
+
+    V 0  = V0     V+ 0 = V1      (so  V0 = V+ 1,  V1 = V+ 0)
+    V 1  = V1     V+ 1 = V0
+    V V0 = 1      V+ V0 = 0
+    V V1 = 0      V+ V1 = 1
+
+Values are encoded as the :class:`Qv` enum with the *numeric ordering the
+paper uses to sort truth-table rows*: ``0 < 1 < V0 < V1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+
+from repro.errors import InvalidValueError
+
+
+class Qv(enum.IntEnum):
+    """A quaternary wire value.
+
+    The integer codes (0, 1, 2, 3) double as the sort key for the paper's
+    "from small to big" truth-table row ordering.
+    """
+
+    ZERO = 0
+    ONE = 1
+    V0 = 2
+    V1 = 3
+
+    def __str__(self) -> str:
+        return _NAMES[self]
+
+    @property
+    def is_binary(self) -> bool:
+        """True for the pure states ``0`` and ``1``."""
+        return self <= Qv.ONE
+
+    @property
+    def bit(self) -> int:
+        """The classical bit for a binary value.
+
+        Raises:
+            InvalidValueError: if the value is ``V0`` or ``V1``.
+        """
+        if not self.is_binary:
+            raise InvalidValueError(f"{self} is not a binary value")
+        return int(self)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Qv":
+        """Parse ``'0' | '1' | 'V0' | 'V1'`` (case-insensitive, also 'v0+'-style
+        aliases ``V+0``/``V+1`` which denote the same states)."""
+        key = text.strip().upper()
+        try:
+            return _PARSE[key]
+        except KeyError:
+            raise InvalidValueError(f"cannot parse quaternary value {text!r}") from None
+
+
+ZERO = Qv.ZERO
+ONE = Qv.ONE
+V0 = Qv.V0
+V1 = Qv.V1
+
+_NAMES = {Qv.ZERO: "0", Qv.ONE: "1", Qv.V0: "V0", Qv.V1: "V1"}
+
+# V+0 denotes V+|0> which equals V1; V+1 equals V0 (paper, Section 2).
+_PARSE = {
+    "0": Qv.ZERO,
+    "1": Qv.ONE,
+    "V0": Qv.V0,
+    "V1": Qv.V1,
+    "V+0": Qv.V1,
+    "V+1": Qv.V0,
+}
+
+# Action tables for the three 1-qubit operations the library ever applies
+# to a data wire.  V cycles 0 -> V0 -> 1 -> V1 -> 0; V+ is its inverse.
+_V_ACTION = {Qv.ZERO: Qv.V0, Qv.V0: Qv.ONE, Qv.ONE: Qv.V1, Qv.V1: Qv.ZERO}
+_VDAG_ACTION = {v: k for k, v in _V_ACTION.items()}
+_NOT_ACTION = {Qv.ZERO: Qv.ONE, Qv.ONE: Qv.ZERO, Qv.V0: Qv.V1, Qv.V1: Qv.V0}
+
+
+def apply_v(value: Qv) -> Qv:
+    """Apply the square-root-of-NOT operator ``V`` to a wire value.
+
+    The four-cycle ``0 -> V0 -> 1 -> V1 -> 0`` encodes all four identities
+    from the paper: ``V(0)=V0``, ``V(V0)=1``, ``V(1)=V1``, ``V(V1)=0``.
+    """
+    return _V_ACTION[Qv(value)]
+
+
+def apply_vdag(value: Qv) -> Qv:
+    """Apply ``V+`` (Hermitian adjoint of V), the inverse cycle of ``V``."""
+    return _VDAG_ACTION[Qv(value)]
+
+
+def apply_not(value: Qv) -> Qv:
+    """Apply NOT.
+
+    On binary values this is the classical inverter.  On mixed values,
+    ``X V|0> = V|1>`` and ``X V|1> = V|0>`` (X commutes with V up to the
+    value swap), so NOT exchanges ``V0`` and ``V1``.
+    """
+    return _NOT_ACTION[Qv(value)]
+
+
+def is_binary(value: Qv) -> bool:
+    """True when *value* is a pure computational-basis state (0 or 1)."""
+    return Qv(value).is_binary
+
+
+def measurement_probabilities(value: Qv) -> dict[int, Fraction]:
+    """Exact Born-rule outcome distribution of measuring one wire.
+
+    ``V0`` and ``V1`` have amplitudes of squared magnitude 1/2 on both
+    basis states, so they measure to a fair coin; binary values are
+    deterministic.  Returns a dict ``{0: p0, 1: p1}`` of exact fractions.
+    """
+    value = Qv(value)
+    if value is Qv.ZERO:
+        return {0: Fraction(1), 1: Fraction(0)}
+    if value is Qv.ONE:
+        return {0: Fraction(0), 1: Fraction(1)}
+    return {0: Fraction(1, 2), 1: Fraction(1, 2)}

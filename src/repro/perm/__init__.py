@@ -1,0 +1,33 @@
+"""Permutation-group substrate (the library's GAP replacement).
+
+The paper leans on GAP for three things: representing gates as
+permutations, composing/deduplicating cascades, and group-order /
+membership queries (|G| = 5040, |S8| = 40320, Theorem 2's cosets).  This
+package provides all of it:
+
+* :class:`~repro.perm.permutation.Permutation` -- immutable, bytes-backed
+  permutations whose product is a single C-speed ``bytes.translate`` call;
+  cycle-notation I/O uses the paper's 1-based convention.
+* :mod:`repro.perm.schreier_sims` -- a base and strong generating set
+  (BSGS) construction giving group order and membership tests.
+* :class:`~repro.perm.group.PermutationGroup` -- the user-facing group
+  API (order, membership, iteration, cosets, stabilizers).
+"""
+
+from repro.perm.permutation import Permutation
+from repro.perm.group import PermutationGroup
+from repro.perm.named_groups import (
+    symmetric_group,
+    symmetric_group_order,
+    coset_decomposition,
+    closure_levels,
+)
+
+__all__ = [
+    "Permutation",
+    "PermutationGroup",
+    "symmetric_group",
+    "symmetric_group_order",
+    "coset_decomposition",
+    "closure_levels",
+]

@@ -1,0 +1,17 @@
+"""Plain-text rendering: circuit diagrams and paper-style tables."""
+
+from repro.render.diagram import circuit_diagram
+from repro.render.tables import (
+    format_table,
+    truth_table_text,
+    cost_table_text,
+    comparison_table_text,
+)
+
+__all__ = [
+    "circuit_diagram",
+    "format_table",
+    "truth_table_text",
+    "cost_table_text",
+    "comparison_table_text",
+]

@@ -1,0 +1,63 @@
+"""ASCII circuit diagrams in the style of the paper's figures.
+
+Example (the Figure 4 Peres realization ``V_CB * F_BA * V_CA * V+_CB``)::
+
+    A ────────●────●─────────
+    B ──●─────(+)──│─────●───
+    C ──[V]────────[V]───[V+]─
+
+Controls are ``●``, Feynman targets ``(+)``, controlled-V/V+ targets
+``[V]`` / ``[V+]``, NOT gates ``[X]``; vertical bars mark the wires a
+gate spans.
+"""
+
+from __future__ import annotations
+
+from repro.core.circuit import Circuit
+from repro.gates.gate import wire_letter
+from repro.gates.kinds import GateKind
+
+_TARGET_SYMBOL = {
+    GateKind.V: "[V]",
+    GateKind.VDAG: "[V+]",
+    GateKind.CNOT: "(+)",
+    GateKind.NOT: "[X]",
+}
+
+
+def circuit_diagram(circuit: Circuit, wire_names: list[str] | None = None) -> str:
+    """Render a cascade as a multi-line ASCII diagram.
+
+    Args:
+        circuit: the cascade to draw.
+        wire_names: custom wire labels (default A, B, C, ...).
+    """
+    n = circuit.n_qubits
+    names = wire_names or [wire_letter(w) for w in range(n)]
+    width = max(len(nm) for nm in names)
+    rows = [[f"{names[w]:<{width}} ──"] for w in range(n)]
+
+    for gate in circuit:
+        symbols = {gate.target: _TARGET_SYMBOL[gate.kind]}
+        if gate.control is not None:
+            symbols[gate.control] = "●"
+        column_width = max(len(s) for s in symbols.values()) + 2
+        span = (
+            range(gate.target, gate.target + 1)
+            if gate.control is None
+            else range(
+                min(gate.target, gate.control), max(gate.target, gate.control) + 1
+            )
+        )
+        for w in range(n):
+            if w in symbols:
+                cell = symbols[w].center(column_width, "─")
+            elif w in span:
+                cell = "│".center(column_width, "─")
+            else:
+                cell = "─" * column_width
+            rows[w].append(cell)
+
+    for w in range(n):
+        rows[w].append("──")
+    return "\n".join("".join(cells) for cells in rows)

@@ -1,0 +1,96 @@
+"""Plain-text tables: Table 1, Table 2 and comparison tables.
+
+A small aligned-column formatter plus the concrete presentation layouts
+the paper uses.  Everything returns strings so the CLI, examples and
+benchmarks can print or persist them uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.fmcf import CostTable
+from repro.gates.truth_table import TruthTable
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], indent: str = ""
+) -> str:
+    """Align columns under headers, separated by two spaces."""
+    headers = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        indent + "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        indent + "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(
+            indent + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def truth_table_text(table: TruthTable) -> str:
+    """Paper's Table 1 layout: labeled input/output pattern rows."""
+    n = table.space.n_qubits
+    in_cols = [chr(ord("A") + w) for w in range(n)]
+    out_cols = [chr(ord("P") + w) for w in range(n)]
+    headers = ["#", *in_cols, *out_cols, "->#"]
+    rows = []
+    for row in table.rows():
+        rows.append(
+            [
+                row.input_label,
+                *[str(v) for v in row.input_pattern],
+                *[str(v) for v in row.output_pattern],
+                row.output_label,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def cost_table_text(
+    table: CostTable, paper_g: Sequence[int] | None = None
+) -> str:
+    """The paper's Table 2 layout, optionally with the published row."""
+    costs = list(range(table.cost_bound + 1))
+    rows = [
+        ["|G[k]|", *table.g_sizes],
+        [f"|S{2**table.n_qubits}[k]|", *table.s8_sizes],
+        ["|B[k]|", *table.b_sizes],
+        ["|A[k]|", *table.a_sizes],
+    ]
+    if paper_g is not None:
+        rows.insert(1, ["paper |G[k]|", *paper_g[: len(costs)]])
+    return format_table(["cost k", *costs], rows)
+
+
+def comparison_table_text(rows) -> str:
+    """Baseline-vs-direct cost comparison (see repro.baselines.compare)."""
+    return format_table(
+        [
+            "target",
+            "NCT gates",
+            "NCT qcost",
+            "MMD gates",
+            "MMD qcost",
+            "direct qcost",
+            "saving",
+        ],
+        [
+            [
+                r.name,
+                r.nct_gate_count,
+                r.nct_quantum_cost,
+                r.mmd_gate_count,
+                r.mmd_quantum_cost,
+                r.direct_quantum_cost,
+                r.advantage,
+            ]
+            for r in rows
+        ],
+    )

@@ -1,0 +1,54 @@
+"""Simulation and verification of synthesized circuits.
+
+Three simulators at different abstraction levels, cross-validated against
+each other by the test-suite:
+
+* :mod:`repro.sim.product_state` -- the quaternary per-wire simulator
+  (the paper's abstraction, fastest, strict about don't-cares);
+* :mod:`repro.sim.statevector` -- numpy complex128 statevectors on the
+  full Hilbert space (fast numeric path);
+* :mod:`repro.sim.exact` -- exact dyadic-Gaussian unitaries (slow,
+  tolerance-free oracle).
+
+Plus measurement sampling (:mod:`repro.sim.measure`) and end-to-end
+verification of synthesis results (:mod:`repro.sim.verify`).
+"""
+
+from repro.sim.product_state import ProductStateSimulator, StepTrace
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    gate_unitary_numpy,
+    circuit_unitary_numpy,
+    pattern_statevector,
+)
+from repro.sim.exact import ExactSimulator
+from repro.sim.measure import (
+    sample_pattern,
+    sample_circuit,
+    empirical_distribution,
+)
+from repro.sim.verify import (
+    VerificationReport,
+    verify_synthesis,
+    verify_probabilistic_synthesis,
+    verify_gate_representation,
+    verify_circuit_against_permutation,
+)
+
+__all__ = [
+    "ProductStateSimulator",
+    "StepTrace",
+    "StatevectorSimulator",
+    "gate_unitary_numpy",
+    "circuit_unitary_numpy",
+    "pattern_statevector",
+    "ExactSimulator",
+    "sample_pattern",
+    "sample_circuit",
+    "empirical_distribution",
+    "VerificationReport",
+    "verify_synthesis",
+    "verify_probabilistic_synthesis",
+    "verify_gate_representation",
+    "verify_circuit_against_permutation",
+]

@@ -1,0 +1,62 @@
+"""Exact simulation over the dyadic Gaussian ring (the verification oracle).
+
+Everything here is tolerance-free: states and unitaries are exact
+:class:`~repro.linalg.matrix.Matrix` objects, so an equality check proves
+(not suggests) that a synthesized cascade implements its specification.
+Slower than numpy by orders of magnitude, which is fine for its role.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidValueError
+from repro.core.circuit import Circuit
+from repro.linalg.constants import pattern_state
+from repro.linalg.matrix import Matrix
+from repro.mvl.patterns import Pattern, binary_patterns
+
+
+class ExactSimulator:
+    """Exact unitary evolution of quaternary product states."""
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 1:
+            raise InvalidValueError("need at least one qubit")
+        self._n_qubits = n_qubits
+
+    @property
+    def n_qubits(self) -> int:
+        return self._n_qubits
+
+    def run(self, circuit: Circuit, pattern: Pattern) -> Matrix:
+        """Final exact state (column matrix) for an initial pattern.
+
+        Applies gates one by one (cheaper than forming the full cascade
+        unitary when the circuit is long).
+        """
+        self._check(circuit, pattern)
+        state = pattern_state(pattern)
+        for gate in circuit:
+            state = gate.unitary @ state
+        return state
+
+    def agrees_with_pattern(
+        self, circuit: Circuit, pattern: Pattern, expected: Pattern
+    ) -> bool:
+        """True iff the exact output state equals |expected> exactly.
+
+        This is the bridge between the unitary semantics and the paper's
+        quaternary abstraction: no global-phase allowance is needed
+        because the value system {0, 1, V0, V1} is phase-exact
+        (V V |1> = |0> literally, not up to phase).
+        """
+        return self.run(circuit, pattern) == pattern_state(expected)
+
+    def binary_action(self, circuit: Circuit) -> list[Matrix]:
+        """Exact output states for all binary basis inputs, in order."""
+        return [self.run(circuit, p) for p in binary_patterns(self._n_qubits)]
+
+    def _check(self, circuit: Circuit, pattern: Pattern) -> None:
+        if circuit.n_qubits != self._n_qubits:
+            raise InvalidValueError("circuit width mismatch")
+        if pattern.n_qubits != self._n_qubits:
+            raise InvalidValueError("pattern width mismatch")

@@ -1,0 +1,83 @@
+"""Measurement: sampling and empirical distributions.
+
+Measuring a quaternary pattern is exact and local: binary wires give
+deterministic bits, V0/V1 wires give independent fair coins (Section 2 of
+the paper: |amplitude|^2 = 1/2 on both basis states).  This module turns
+that into seeded samplers and empirical-frequency helpers used by the
+automata layer, the examples and the statistical tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.core.circuit import Circuit
+from repro.mvl.patterns import (
+    Pattern,
+    pattern_from_bits,
+    pattern_measurement_distribution,
+)
+
+
+def sample_pattern(pattern: Pattern, rng: random.Random) -> tuple[int, ...]:
+    """Measure every wire of a pattern once (Born rule, seeded)."""
+    bits = []
+    for value in pattern:
+        if value.is_binary:
+            bits.append(value.bit)
+        else:
+            bits.append(rng.randrange(2))
+    return tuple(bits)
+
+
+def sample_circuit(
+    circuit: Circuit,
+    input_bits: Sequence[int],
+    rng: random.Random,
+    shots: int = 1,
+) -> list[tuple[int, ...]]:
+    """Run a circuit on classical bits and measure, *shots* times.
+
+    The quaternary output pattern is computed once (strict semantics);
+    each shot then samples the measurement distribution independently,
+    matching the physics (identical preparations, independent
+    measurements).
+    """
+    output = circuit.strict_apply(pattern_from_bits(input_bits))
+    return [sample_pattern(output, rng) for _ in range(shots)]
+
+
+def empirical_distribution(
+    samples: Sequence[tuple[int, ...]]
+) -> dict[tuple[int, ...], float]:
+    """Relative frequencies of measurement outcomes."""
+    counts: dict[tuple[int, ...], int] = {}
+    for s in samples:
+        counts[s] = counts.get(s, 0) + 1
+    total = len(samples)
+    return {outcome: c / total for outcome, c in sorted(counts.items())}
+
+
+def exact_output_distribution(
+    circuit: Circuit, input_bits: Sequence[int]
+) -> dict[tuple[int, ...], Fraction]:
+    """Exact measurement distribution of a circuit on classical inputs."""
+    output = circuit.strict_apply(pattern_from_bits(input_bits))
+    return pattern_measurement_distribution(output)
+
+
+def total_variation_distance(
+    exact: dict[tuple[int, ...], Fraction],
+    empirical: dict[tuple[int, ...], float],
+) -> float:
+    """TV distance between an exact and an empirical distribution.
+
+    Used by statistical tests: for N samples the expected TV distance is
+    O(sqrt(K/N)) for K outcomes, so tests can bound it robustly.
+    """
+    keys = set(exact) | set(empirical)
+    return 0.5 * sum(
+        abs(float(exact.get(k, 0)) - empirical.get(k, 0.0)) for k in keys
+    )

@@ -1,0 +1,68 @@
+"""Shared fixtures: expensive objects built once per test session.
+
+The cascade search and FMCF closures are deterministic and immutable
+once extended, so sharing them across tests is safe and keeps the suite
+fast (the full cost-7 closure alone visits ~6.9e5 permutations).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.nct import NCTLibrary, NCTSynthesizer
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.core.search import CascadeSearch
+from repro.gates.library import GateLibrary
+from repro.mvl.labels import label_space
+
+
+@pytest.fixture(scope="session")
+def space3():
+    """The paper's reduced 38-label space for 3 qubits."""
+    return label_space(3, reduced=True)
+
+
+@pytest.fixture(scope="session")
+def space3_full():
+    return label_space(3, reduced=False)
+
+
+@pytest.fixture(scope="session")
+def space2_full():
+    """The 16-label space of Table 1."""
+    return label_space(2, reduced=False)
+
+
+@pytest.fixture(scope="session")
+def library3():
+    """The paper's 18-gate library on 3 qubits."""
+    return GateLibrary(3)
+
+
+@pytest.fixture(scope="session")
+def library2():
+    return GateLibrary(2)
+
+
+@pytest.fixture(scope="session")
+def search3(library3):
+    """A shared parent-tracking search; tests extend it as needed."""
+    return CascadeSearch(library3, track_parents=True)
+
+
+@pytest.fixture(scope="session")
+def cost_table5(library3, search3):
+    """FMCF to cost 5 (covers Toffoli); fast."""
+    return find_minimum_cost_circuits(library3, cost_bound=5, search=search3)
+
+
+@pytest.fixture(scope="session")
+def cost_table7(library3, search3):
+    """The paper's full cb = 7 table."""
+    return find_minimum_cost_circuits(library3, cost_bound=7, search=search3)
+
+
+@pytest.fixture(scope="session")
+def nct_synthesizer():
+    """Complete optimal-NCT BFS table on 3 wires (40320 functions)."""
+    return NCTSynthesizer(NCTLibrary(3))

@@ -1,0 +1,81 @@
+"""The public API surface: imports, exports, version, packaging."""
+
+import importlib
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_headline_symbols(self):
+        # The names used in README/quickstart must exist at top level.
+        for name in (
+            "GateLibrary",
+            "express",
+            "express_all",
+            "express_probabilistic",
+            "find_minimum_cost_circuits",
+            "named",
+            "Circuit",
+            "Permutation",
+            "Qv",
+            "LabelSpace",
+        ):
+            assert hasattr(repro, name), name
+
+
+class TestSubpackageImports:
+    def test_every_subpackage_imports_cleanly(self):
+        for module in (
+            "repro.mvl",
+            "repro.linalg",
+            "repro.perm",
+            "repro.gates",
+            "repro.core",
+            "repro.sim",
+            "repro.automata",
+            "repro.baselines",
+            "repro.render",
+            "repro.io",
+            "repro.cli",
+            "repro.errors",
+        ):
+            importlib.import_module(module)
+
+    def test_subpackage_alls_resolve(self):
+        for module_name in (
+            "repro.mvl",
+            "repro.linalg",
+            "repro.perm",
+            "repro.gates",
+            "repro.core",
+            "repro.sim",
+            "repro.automata",
+            "repro.baselines",
+            "repro.render",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestDocumentation:
+    def test_every_public_module_has_docstring(self):
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, info.name
+
+    def test_quickstart_snippet_from_readme(self):
+        from repro import GateLibrary, express, named
+
+        library = GateLibrary(n_qubits=3)
+        result = express(named.TOFFOLI, library)
+        assert result.cost == 5

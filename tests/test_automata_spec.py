@@ -1,0 +1,103 @@
+"""Unit tests for machine synthesis specs (repro.automata.spec)."""
+
+import pytest
+from fractions import Fraction
+
+from repro.errors import SpecificationError
+from repro.automata.markov import MarkovChain
+from repro.automata.spec import MachineSynthesisSpec, synthesize_machine
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+
+HOLD_OR_RANDOMIZE_ROWS = {
+    ((0,), (0,)): (0, 0),
+    ((0,), (1,)): (0, 1),
+    ((1,), (0,)): (1, "?"),
+    ((1,), (1,)): (1, "?"),
+}
+
+
+class TestSpecValidation:
+    def test_wires_must_partition(self):
+        with pytest.raises(SpecificationError):
+            MachineSynthesisSpec(
+                input_wires=(0,), state_wires=(2,), rows=HOLD_OR_RANDOMIZE_ROWS
+            )
+
+    def test_all_rows_required(self):
+        rows = dict(HOLD_OR_RANDOMIZE_ROWS)
+        del rows[((1,), (1,))]
+        with pytest.raises(SpecificationError):
+            MachineSynthesisSpec(input_wires=(0,), state_wires=(1,), rows=rows)
+
+    def test_row_width_checked(self):
+        rows = dict(HOLD_OR_RANDOMIZE_ROWS)
+        rows[((0,), (0,))] = (0,)
+        spec = MachineSynthesisSpec(input_wires=(0,), state_wires=(1,), rows=rows)
+        with pytest.raises(SpecificationError):
+            spec.to_probabilistic_spec()
+
+    def test_bad_symbol_rejected(self):
+        rows = dict(HOLD_OR_RANDOMIZE_ROWS)
+        rows[((0,), (0,))] = (0, "x")
+        spec = MachineSynthesisSpec(input_wires=(0,), state_wires=(1,), rows=rows)
+        with pytest.raises(SpecificationError):
+            spec.to_probabilistic_spec()
+
+    def test_n_qubits(self):
+        spec = MachineSynthesisSpec(
+            input_wires=(0,), state_wires=(1,), rows=HOLD_OR_RANDOMIZE_ROWS
+        )
+        assert spec.n_qubits == 2
+
+
+class TestCompilation:
+    def test_fair_coin_encoding_keeps_rows_distinct(self):
+        spec = MachineSynthesisSpec(
+            input_wires=(0,), state_wires=(1,), rows=HOLD_OR_RANDOMIZE_ROWS
+        )
+        prob_spec = spec.to_probabilistic_spec()
+        # '?' on a wire carrying 0 becomes V0; carrying 1 becomes V1.
+        assert prob_spec.outputs[2] == Pattern([1, Qv.V0])
+        assert prob_spec.outputs[3] == Pattern([1, Qv.V1])
+        assert len(set(prob_spec.outputs)) == 4
+
+
+class TestSynthesizeMachine:
+    def test_end_to_end(self, library2):
+        spec = MachineSynthesisSpec(
+            input_wires=(0,), state_wires=(1,), rows=HOLD_OR_RANDOMIZE_ROWS
+        )
+        machine, result = synthesize_machine(spec, library2)
+        assert result.cost == 1
+        assert result.circuit.names() == ("V_BA",)
+        chain = MarkovChain.from_machine(machine, (1,))
+        half = Fraction(1, 2)
+        assert chain.matrix == ((half, half), (half, half))
+
+    def test_width_mismatch_rejected(self, library3):
+        spec = MachineSynthesisSpec(
+            input_wires=(0,), state_wires=(1,), rows=HOLD_OR_RANDOMIZE_ROWS
+        )
+        with pytest.raises(SpecificationError):
+            synthesize_machine(spec, library3)
+
+    def test_three_wire_machine(self, library3, search3):
+        # Enable wire randomizes two state wires at once.
+        rows = {}
+        for inp in ((0,), (1,)):
+            for s1 in (0, 1):
+                for s2 in (0, 1):
+                    symbol = "?" if inp[0] else None
+                    rows[(inp, (s1, s2))] = (
+                        inp[0],
+                        symbol if symbol else s1,
+                        symbol if symbol else s2,
+                    )
+        spec = MachineSynthesisSpec(
+            input_wires=(0,), state_wires=(1, 2), rows=rows
+        )
+        machine, result = synthesize_machine(spec, library3, search=search3)
+        assert result.cost == 2
+        chain = MarkovChain.from_machine(machine, (1,))
+        assert all(p == Fraction(1, 4) for row in chain.matrix for p in row)

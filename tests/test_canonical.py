@@ -1,0 +1,78 @@
+"""Unit tests for symmetry classification (repro.core.canonical)."""
+
+import pytest
+
+from repro.core.canonical import (
+    classify_implementations,
+    xor_wires,
+)
+from repro.core.circuit import Circuit
+from repro.core.mce import express_all
+from repro.gates import named
+
+
+class TestAdjointPairs:
+    def test_peres_implementations_form_one_pair(self, library3, search3):
+        results = express_all(named.PERES, library3, search=search3)
+        families = classify_implementations(results)
+        assert families.adjoint_pairs == ((0, 1),)
+        assert families.self_adjoint == ()
+
+    def test_toffoli_implementations_form_two_pairs(self, library3, search3):
+        results = express_all(named.TOFFOLI, library3, search=search3)
+        families = classify_implementations(results)
+        assert len(families.adjoint_pairs) == 2
+        covered = {i for pair in families.adjoint_pairs for i in pair}
+        assert covered == {0, 1, 2, 3}
+
+    def test_feynman_only_circuit_is_self_adjoint(self):
+        circuits = [Circuit.from_names("F_AB F_BC", 3)]
+        families = classify_implementations(circuits)
+        assert families.self_adjoint == (0,)
+        assert families.adjoint_pairs == ()
+
+
+class TestXorWireSplit:
+    def test_figure9_split_by_xor_wire(self, library3, search3):
+        """The paper: two pairs differ in which qubit carries the XORs."""
+        results = express_all(named.TOFFOLI, library3, search=search3)
+        families = classify_implementations(results)
+        for i, j in families.adjoint_pairs:
+            # Adjoint partners share the XOR wire...
+            assert xor_wires(families.circuits[i]) == xor_wires(
+                families.circuits[j]
+            )
+        pair_wires = {
+            xor_wires(families.circuits[i])
+            for i, _j in families.adjoint_pairs
+        }
+        # ...and the two pairs use different wires (A vs B).
+        assert pair_wires == {frozenset({0}), frozenset({1})}
+
+    def test_xor_wires_of_mixed_cascade(self):
+        circuit = Circuit.from_names("F_BA V_CA F_CB", 3)
+        assert xor_wires(circuit) == frozenset({1, 2})
+
+
+class TestRelabelingClasses:
+    def test_relabeled_copies_share_a_class(self):
+        base = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        moved = base.relabeled({0: 1, 1: 0, 2: 2})
+        families = classify_implementations([base, moved])
+        assert families.relabeling_classes == ((0, 1),)
+
+    def test_unrelated_circuits_split(self):
+        a = Circuit.from_names("F_AB", 3)
+        b = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        families = classify_implementations([a, b])
+        assert len(families.relabeling_classes) == 2
+
+    def test_adjoint_swap_merges_classes(self, library3, search3):
+        results = express_all(named.PERES, library3, search=search3)
+        families = classify_implementations(results)
+        # The two Peres circuits are one class under swap+relabel.
+        assert len(families.relabeling_classes) == 1
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            classify_implementations(["not a circuit"])

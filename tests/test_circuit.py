@@ -1,0 +1,216 @@
+"""Unit tests for circuits (repro.core.circuit)."""
+
+import pytest
+
+from repro.errors import (
+    InvalidCircuitError,
+    InvalidGateError,
+    NonBinaryControlError,
+)
+from repro.core.circuit import Circuit
+from repro.core.cost import CostModel
+from repro.gates.gate import Gate
+from repro.mvl.labels import label_space
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+
+
+@pytest.fixture
+def peres_circuit():
+    """The paper's Figure 4 cascade."""
+    return Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+
+
+class TestConstruction:
+    def test_from_names_star_separated(self):
+        c = Circuit.from_names("V_CB*F_BA*V_CA*V+_CB", 3)
+        assert c.names() == ("V_CB", "F_BA", "V_CA", "V+_CB")
+
+    def test_from_names_list(self):
+        c = Circuit.from_names(["F_AB", "F_BA"], 3)
+        assert len(c) == 2
+
+    def test_empty_needs_width(self):
+        with pytest.raises(InvalidGateError):
+            Circuit(())
+        assert len(Circuit.empty(3)) == 0
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(InvalidGateError):
+            Circuit([Gate.v(1, 0, 3), Gate.v(1, 0, 2)])
+
+    def test_width_inferred(self):
+        c = Circuit([Gate.v(1, 0, 3)])
+        assert c.n_qubits == 3
+
+
+class TestContainer:
+    def test_indexing_and_slicing(self, peres_circuit):
+        assert peres_circuit[0].name == "V_CB"
+        prefix = peres_circuit[:2]
+        assert isinstance(prefix, Circuit)
+        assert prefix.names() == ("V_CB", "F_BA")
+
+    def test_concatenation(self):
+        a = Circuit.from_names("F_AB", 3)
+        b = Circuit.from_names("F_BA", 3)
+        assert (a + b).names() == ("F_AB", "F_BA")
+
+    def test_concatenation_width_mismatch(self):
+        with pytest.raises(InvalidGateError):
+            Circuit.from_names("F_AB", 3) + Circuit.from_names("F_AB", 2)
+
+    def test_appended(self):
+        c = Circuit.empty(3).appended(Gate.not_(0, 3))
+        assert c.names() == ("N_A",)
+
+    def test_appended_width_mismatch(self):
+        with pytest.raises(InvalidGateError):
+            Circuit.empty(3).appended(Gate.not_(0, 2))
+
+    def test_equality_and_hash(self, peres_circuit):
+        other = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        assert peres_circuit == other
+        assert hash(peres_circuit) == hash(other)
+
+
+class TestTransforms:
+    def test_dagger_reverses_and_adjoints(self, peres_circuit):
+        d = peres_circuit.dagger()
+        assert d.names() == ("V_CB", "V+_CA", "F_BA", "V+_CB")
+
+    def test_dagger_inverts_binary_action(self, peres_circuit):
+        d = peres_circuit.dagger()
+        product = peres_circuit.binary_permutation() * d.binary_permutation()
+        assert product.is_identity
+
+    def test_adjoint_swapped_is_figure8_transform(self, peres_circuit):
+        swapped = peres_circuit.adjoint_swapped()
+        assert swapped.names() == ("V+_CB", "F_BA", "V+_CA", "V_CB")
+
+    def test_adjoint_swapped_of_peres_is_peres(self, peres_circuit):
+        # Figures 4 and 8: both realize the same Peres function.
+        assert (
+            peres_circuit.adjoint_swapped().binary_permutation()
+            == peres_circuit.binary_permutation()
+        )
+
+    def test_relabeled(self, peres_circuit):
+        relabeled = peres_circuit.relabeled({0: 1, 1: 0, 2: 2})
+        assert relabeled.names() == ("V_CA", "F_AB", "V_CB", "V+_CA")
+
+
+class TestCost:
+    def test_unit_cost(self, peres_circuit):
+        assert peres_circuit.cost() == 4
+        assert peres_circuit.two_qubit_count == 4
+
+    def test_not_gates_free_by_default(self):
+        c = Circuit.from_names("N_A F_BA N_B", 3)
+        assert c.cost() == 1
+        assert c.not_count == 2
+
+    def test_weighted_model(self, peres_circuit):
+        model = CostModel(v_cost=2, vdag_cost=3, cnot_cost=1)
+        # V_CB(2) + F_BA(1) + V_CA(2) + V+_CB(3) = 8.
+        assert peres_circuit.cost(model) == 8
+
+
+class TestQuaternarySemantics:
+    def test_apply_cascades(self, peres_circuit):
+        out = peres_circuit.apply(Pattern([1, 1, 0]))
+        assert out == Pattern([1, 0, 1])
+
+    def test_strict_apply_on_reasonable_cascade(self, peres_circuit):
+        for bits in range(8):
+            pattern = Pattern([(bits >> 2) & 1, (bits >> 1) & 1, bits & 1])
+            out = peres_circuit.strict_apply(pattern)
+            assert out.is_binary
+
+    def test_strict_apply_raises_on_unreasonable_cascade(self):
+        # V_BA leaves B mixed for A=1; F_BA then needs B binary.
+        c = Circuit.from_names("V_BA F_BA", 3)
+        with pytest.raises(NonBinaryControlError):
+            c.strict_apply(Pattern([1, 0, 0]))
+
+    def test_is_reasonable(self, peres_circuit):
+        assert peres_circuit.is_reasonable()
+        assert not Circuit.from_names("V_BA F_BA", 3).is_reasonable()
+
+    def test_output_patterns(self, peres_circuit):
+        outs = peres_circuit.output_patterns()
+        assert len(outs) == 8
+        assert outs[0] == Pattern([0, 0, 0])
+
+    def test_probabilistic_cascade_strict_ok(self):
+        # A lone V_BA is reasonable but yields mixed outputs.
+        c = Circuit.from_names("V_BA", 3)
+        out = c.strict_apply(Pattern([1, 0, 0]))
+        assert out == Pattern([1, Qv.V0, 0])
+
+
+class TestPermutationSemantics:
+    def test_permutation_matches_gate_product(self, peres_circuit, space3, library3):
+        perm = peres_circuit.permutation(space3)
+        expected = library3.circuit_permutation(
+            [library3.entry_for(g) for g in peres_circuit]
+        )
+        assert perm == expected
+
+    def test_paper_peres_permutation(self, peres_circuit):
+        assert peres_circuit.binary_permutation().cycle_string() == "(5,7,6,8)"
+
+    def test_not_gate_on_reduced_space_rejected(self):
+        c = Circuit.from_names("N_A", 3)
+        with pytest.raises(InvalidCircuitError):
+            c.permutation()
+
+    def test_not_gate_on_full_space_allowed(self):
+        c = Circuit.from_names("N_A", 3)
+        perm = c.permutation(label_space(3, reduced=False))
+        assert not perm.is_identity
+
+    def test_binary_permutation_with_not_gates(self):
+        c = Circuit.from_names("N_A", 3)
+        perm = c.binary_permutation()
+        assert perm(0) == 4  # 000 -> 100
+
+    def test_binary_permutation_rejects_probabilistic(self):
+        c = Circuit.from_names("V_BA", 3)
+        with pytest.raises(InvalidCircuitError):
+            c.binary_permutation()
+
+    def test_binary_permutation_nonstrict_uses_dont_cares(self):
+        c = Circuit.from_names("V_BA F_BA V_BA", 3)
+        # Strict fails, non-strict applies the identity convention.
+        with pytest.raises(NonBinaryControlError):
+            c.binary_permutation(strict=True)
+
+    def test_empty_circuit_identity(self):
+        assert Circuit.empty(3).binary_permutation().is_identity
+
+
+class TestUnitary:
+    def test_unitary_of_empty_is_identity(self):
+        assert Circuit.empty(2).unitary().is_identity()
+
+    def test_unitary_product_order(self):
+        # X then CNOT(B<-A): |00> -> |10> -> |11>.
+        c = Circuit([Gate.not_(0, 2), Gate.cnot(1, 0, 2)])
+        u = c.unitary()
+        assert u.permutation_images()[0] == 3
+
+    def test_unitary_is_unitary(self, peres_circuit):
+        assert peres_circuit.unitary().is_unitary()
+
+
+class TestFormatting:
+    def test_str(self, peres_circuit):
+        assert str(peres_circuit) == "V_CB * F_BA * V_CA * V+_CB"
+
+    def test_str_empty(self):
+        assert "identity" in str(Circuit.empty(3))
+
+    def test_repr_roundtrip(self, peres_circuit):
+        clone = eval(repr(peres_circuit), {"Circuit": Circuit})  # noqa: S307
+        assert clone == peres_circuit

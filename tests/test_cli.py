@@ -1,0 +1,126 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1:
+    def test_prints_permutation(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "(3,7,4,8)" in out
+        assert "V0" in out
+
+
+class TestTable2:
+    def test_small_bound(self, capsys):
+        assert main(["table2", "--cost-bound", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "|G[k]|" in out
+        assert "24" in out
+
+    def test_paper_pseudocode_flag(self, capsys):
+        assert main(["table2", "--cost-bound", "3", "--paper-pseudocode"]) == 0
+        out = capsys.readouterr().out
+        assert "52" in out
+
+
+class TestSynth:
+    def test_named_target(self, capsys):
+        assert main(["synth", "peres"]) == 0
+        out = capsys.readouterr().out
+        assert "cost 4" in out
+        assert "verified" in out
+
+    def test_cycle_notation_target(self, capsys):
+        assert main(["synth", "(7,8)", "--cost-bound", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cost 5" in out
+
+    def test_all_flag(self, capsys):
+        assert main(["synth", "peres", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "2 implementation(s)" in out
+
+    def test_bad_target_is_clean_error(self, capsys):
+        assert main(["synth", "notagate"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_cost_bound_exceeded_is_clean_error(self, capsys):
+        assert main(["synth", "toffoli", "--cost-bound", "3"]) == 1
+        err = capsys.readouterr().err
+        assert "cost" in err
+
+
+class TestOtherCommands:
+    def test_banned_sets(self, capsys):
+        assert main(["banned-sets"]) == 0
+        out = capsys.readouterr().out
+        assert "N_A" in out and "F_CB" in out
+
+    def test_peres_family(self, capsys):
+        assert main(["peres-family"]) == 0
+        out = capsys.readouterr().out
+        assert "60" in out and "24" in out
+        assert "g1" in out
+
+    def test_verify_gates(self, capsys):
+        assert main(["verify-gates"]) == 0
+        out = capsys.readouterr().out
+        assert "372" in out
+
+    def test_rng(self, capsys):
+        assert main(["rng", "--bits", "16", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "16 quantum-random bits" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "peres" in out and "saving" in out
+
+    def test_identities(self, capsys):
+        assert main(["identities"]) == 0
+        out = capsys.readouterr().out
+        assert "cnot-emulation" in out
+        assert "48 commuting pairs" in out
+
+    def test_save_and_load_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "peres.json")
+        assert main(["synth", "peres", "--save", path]) == 0
+        capsys.readouterr()
+        assert main(["load", path]) == 0
+        out = capsys.readouterr().out
+        assert "(5,7,6,8)" in out and "re-verified" in out
+
+    def test_load_missing_file_is_clean_error(self, capsys, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["load", str(tmp_path / "nope.json")])
+
+    def test_load_tampered_file_is_clean_error(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "n_qubits": 3,
+            "gates": ["F_BA"],
+            "target": "(7,8)",
+            "cost": 1,
+        }))
+        assert main(["load", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_synth_reports_depth(self, capsys):
+        assert main(["synth", "peres"]) == 0
+        assert "depth 4" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,140 @@
+"""Unit tests for gate matrices and value states (repro.linalg.constants).
+
+These check the *printed matrices* of Section 2 and their identities.
+"""
+
+import pytest
+
+from repro.errors import InvalidGateError
+from repro.linalg.constants import (
+    I2,
+    V,
+    VDAG,
+    X,
+    cnot_matrix,
+    controlled,
+    pattern_state,
+    single_qubit,
+    value_state,
+)
+from repro.linalg.dyadic import DyadicComplex
+from repro.linalg.matrix import Matrix
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+
+
+class TestElementaryMatrices:
+    def test_v_entries_match_paper(self):
+        p = DyadicComplex.half(1, 1)
+        m = DyadicComplex.half(1, -1)
+        assert V == Matrix([[p, m], [m, p]])
+
+    def test_vdag_is_hermitian_adjoint_of_v(self):
+        assert VDAG == V.dagger()
+
+    def test_v_squared_is_not(self):
+        assert V @ V == X
+
+    def test_vdag_squared_is_not(self):
+        assert VDAG @ VDAG == X
+
+    def test_v_vdag_is_identity(self):
+        assert (V @ VDAG).is_identity()
+        assert (VDAG @ V).is_identity()
+
+    def test_all_unitary(self):
+        for m in (I2, X, V, VDAG):
+            assert m.is_unitary()
+
+
+class TestValueStates:
+    def test_binary_states(self):
+        assert value_state(Qv.ZERO) == Matrix.basis_state(0, 2)
+        assert value_state(Qv.ONE) == Matrix.basis_state(1, 2)
+
+    def test_v0_is_v_applied_to_zero(self):
+        assert value_state(Qv.V0) == V @ value_state(Qv.ZERO)
+
+    def test_v1_is_v_applied_to_one(self):
+        assert value_state(Qv.V1) == V @ value_state(Qv.ONE)
+
+    def test_paper_identity_v0_equals_vdag_one(self):
+        assert value_state(Qv.V0) == VDAG @ value_state(Qv.ONE)
+
+    def test_paper_identity_v1_equals_vdag_zero(self):
+        assert value_state(Qv.V1) == VDAG @ value_state(Qv.ZERO)
+
+    def test_v_on_v1_gives_exact_zero_state(self):
+        # V(V1) = 0 with no global phase -- the key exactness property.
+        assert V @ value_state(Qv.V1) == value_state(Qv.ZERO)
+
+    def test_v_on_v0_gives_exact_one_state(self):
+        assert V @ value_state(Qv.V0) == value_state(Qv.ONE)
+
+    def test_states_normalized(self):
+        for v in Qv:
+            state = value_state(v)
+            norm = (state.dagger() @ state)[0, 0]
+            assert norm == DyadicComplex(1)
+
+
+class TestPatternState:
+    def test_binary_pattern_is_basis_state(self):
+        assert pattern_state(Pattern([1, 0, 1])) == Matrix.basis_state(5, 8)
+
+    def test_mixed_pattern_product(self):
+        state = pattern_state(Pattern([1, Qv.V0]))
+        expected = value_state(Qv.ONE).kron(value_state(Qv.V0))
+        assert state == expected
+
+
+class TestControlled:
+    def test_cnot_on_two_qubits_is_standard(self):
+        # control wire 0, target wire 1 -> the textbook CNOT matrix.
+        cnot = cnot_matrix(1, 0, 2)
+        assert cnot == Matrix(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]]
+        )
+
+    def test_reversed_cnot(self):
+        cnot = cnot_matrix(0, 1, 2)
+        assert cnot.permutation_images() == (0, 3, 2, 1)
+
+    def test_controlled_v_blocks(self):
+        cv = controlled(V, 1, 0, 2)
+        # Control=0 subspace untouched.
+        assert cv[0, 0] == DyadicComplex(1)
+        assert cv[1, 1] == DyadicComplex(1)
+        # Control=1 subspace carries V.
+        assert cv[2, 2] == V[0, 0]
+        assert cv[3, 2] == V[1, 0]
+
+    def test_controlled_is_unitary(self):
+        for target, control in ((0, 1), (1, 0), (2, 0)):
+            assert controlled(V, target, control, 3).is_unitary()
+
+    def test_control_equals_target_rejected(self):
+        with pytest.raises(InvalidGateError):
+            controlled(V, 1, 1, 2)
+
+    def test_wire_out_of_range_rejected(self):
+        with pytest.raises(InvalidGateError):
+            controlled(V, 0, 2, 2)
+
+    def test_controlled_v_squared_is_cnot(self):
+        cv = controlled(V, 1, 0, 3)
+        assert cv @ cv == cnot_matrix(1, 0, 3)
+
+
+class TestSingleQubit:
+    def test_not_on_middle_wire(self):
+        u = single_qubit(X, 1, 3)
+        # |010> -> |000>: basis 2 -> 0.
+        assert u.permutation_images()[2] == 0
+
+    def test_wire_out_of_range(self):
+        with pytest.raises(InvalidGateError):
+            single_qubit(X, 3, 3)
+
+    def test_identity_embedding(self):
+        assert single_qubit(I2, 1, 2).is_identity()

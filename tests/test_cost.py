@@ -1,0 +1,58 @@
+"""Unit tests for cost models (repro.core.cost)."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.core.cost import UNIT_COST, CostModel
+from repro.gates.kinds import GateKind
+
+
+class TestValidation:
+    def test_unit_default(self):
+        model = CostModel()
+        assert model.is_unit
+        assert UNIT_COST.is_unit
+
+    def test_two_qubit_costs_must_be_positive(self):
+        with pytest.raises(InvalidValueError):
+            CostModel(v_cost=0)
+        with pytest.raises(InvalidValueError):
+            CostModel(cnot_cost=-1)
+        with pytest.raises(InvalidValueError):
+            CostModel(vdag_cost=0)
+
+    def test_costs_must_be_integers(self):
+        with pytest.raises(InvalidValueError):
+            CostModel(v_cost=1.5)
+
+    def test_not_cost_non_negative(self):
+        with pytest.raises(InvalidValueError):
+            CostModel(not_cost=-1)
+        assert CostModel(not_cost=2).not_cost == 2
+
+
+class TestGateCost:
+    def test_unit_costs(self):
+        assert UNIT_COST.gate_cost(GateKind.V) == 1
+        assert UNIT_COST.gate_cost(GateKind.VDAG) == 1
+        assert UNIT_COST.gate_cost(GateKind.CNOT) == 1
+        assert UNIT_COST.gate_cost(GateKind.NOT) == 0
+
+    def test_weighted_costs(self):
+        model = CostModel(v_cost=3, vdag_cost=4, cnot_cost=2, not_cost=1)
+        assert model.gate_cost(GateKind.V) == 3
+        assert model.gate_cost(GateKind.VDAG) == 4
+        assert model.gate_cost(GateKind.CNOT) == 2
+        assert model.gate_cost(GateKind.NOT) == 1
+        assert not model.is_unit
+
+    def test_max_two_qubit_cost(self):
+        model = CostModel(v_cost=3, vdag_cost=4, cnot_cost=2)
+        assert model.max_two_qubit_cost == 4
+
+    def test_classmethod_unit(self):
+        assert CostModel.unit() == UNIT_COST
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            UNIT_COST.v_cost = 5

@@ -1,0 +1,140 @@
+"""Unit tests for exact dyadic Gaussian arithmetic (repro.linalg.dyadic)."""
+
+import pytest
+
+from repro.linalg.dyadic import DyadicComplex
+
+
+class TestNormalization:
+    def test_even_numerators_reduce(self):
+        assert DyadicComplex(2, 4, 1) == DyadicComplex(1, 2, 0)
+
+    def test_zero_normalizes_to_exponent_zero(self):
+        z = DyadicComplex(0, 0, 5)
+        assert z.exponent == 0 and z.is_zero
+
+    def test_odd_numerator_stops_reduction(self):
+        z = DyadicComplex(1, 2, 3)
+        assert (z.real_numerator, z.imag_numerator, z.exponent) == (1, 2, 3)
+
+    def test_negative_exponent_folds_into_numerators(self):
+        assert DyadicComplex(1, 0, -2) == DyadicComplex(4, 0, 0)
+
+    def test_equal_values_hash_equal(self):
+        assert hash(DyadicComplex(2, 0, 1)) == hash(DyadicComplex(1, 0, 0))
+
+
+class TestConstructors:
+    def test_from_int(self):
+        assert DyadicComplex.from_int(7) == 7
+
+    def test_i_unit(self):
+        i = DyadicComplex.i()
+        assert i * i == -1 + 0 * i  # i^2 = -1
+        assert (i * i) == DyadicComplex(-1)
+
+    def test_half(self):
+        h = DyadicComplex.half(1, 1)
+        assert h.to_complex() == 0.5 + 0.5j
+
+
+class TestArithmetic:
+    def test_addition_aligns_exponents(self):
+        a = DyadicComplex(1, 0, 1)   # 1/2
+        b = DyadicComplex(1, 0, 2)   # 1/4
+        assert a + b == DyadicComplex(3, 0, 2)
+
+    def test_int_coercion_both_sides(self):
+        a = DyadicComplex(1, 1, 1)
+        assert a + 1 == 1 + a
+        assert a - 1 == -(1 - a)
+        assert 2 * a == a * 2
+
+    def test_subtraction(self):
+        a = DyadicComplex(3, 1, 1)
+        assert a - a == DyadicComplex(0)
+
+    def test_multiplication_complex_rule(self):
+        a = DyadicComplex(1, 1, 0)   # 1 + i
+        b = DyadicComplex(1, -1, 0)  # 1 - i
+        assert a * b == DyadicComplex(2)
+
+    def test_v_entry_square(self):
+        # ((1+i)/2)^2 = i/2 -- the off-diagonal of V*V computations.
+        h = DyadicComplex.half(1, 1)
+        assert h * h == DyadicComplex(0, 1, 1)
+
+    def test_negation(self):
+        a = DyadicComplex(1, -2, 3)
+        assert a + (-a) == DyadicComplex(0)
+
+    def test_halve(self):
+        assert DyadicComplex(1).halve() == DyadicComplex(1, 0, 1)
+        assert DyadicComplex(1, 0, 1).halve() == DyadicComplex(1, 0, 2)
+
+
+class TestConjugation:
+    def test_conjugate(self):
+        a = DyadicComplex(1, 3, 2)
+        assert a.conjugate() == DyadicComplex(1, -3, 2)
+
+    def test_conjugate_involution(self):
+        a = DyadicComplex(5, -7, 3)
+        assert a.conjugate().conjugate() == a
+
+    def test_abs_squared_is_real(self):
+        a = DyadicComplex(1, 1, 1)  # (1+i)/2
+        sq = a.abs_squared()
+        assert sq.is_real
+        assert sq == DyadicComplex(1, 0, 1)  # |.|^2 = 1/2
+
+    def test_abs_squared_of_v_entries_sum_to_one(self):
+        # Unitarity of a V row: |.5+.5i|^2 + |.5-.5i|^2 = 1.
+        p = DyadicComplex.half(1, 1)
+        m = DyadicComplex.half(1, -1)
+        assert p.abs_squared() + m.abs_squared() == DyadicComplex(1)
+
+
+class TestPredicates:
+    def test_is_zero_is_one(self):
+        assert DyadicComplex(0).is_zero
+        assert DyadicComplex(1).is_one
+        assert not DyadicComplex(1, 1).is_one
+
+    def test_is_real(self):
+        assert DyadicComplex(3, 0, 2).is_real
+        assert not DyadicComplex(0, 1).is_real
+
+
+class TestConversion:
+    def test_to_complex(self):
+        assert DyadicComplex(1, -1, 1).to_complex() == 0.5 - 0.5j
+        assert complex(DyadicComplex(3)) == 3 + 0j
+
+    def test_to_complex_is_exact_for_dyadics(self):
+        # Dyadic rationals are exactly representable in binary floats.
+        z = DyadicComplex(5, -3, 4)  # 5/16 - 3i/16
+        assert z.to_complex() == complex(5 / 16, -3 / 16)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,text",
+        [
+            (DyadicComplex(0), "0"),
+            (DyadicComplex(3), "3"),
+            (DyadicComplex(1, 1, 1), "1/2+1/2i"),
+            (DyadicComplex(0, -1, 0), "-1i"),
+            (DyadicComplex(1, -1, 2), "1/4-1/4i"),
+        ],
+    )
+    def test_str(self, value, text):
+        assert str(value) == text
+
+    def test_repr_roundtrip(self):
+        z = DyadicComplex(3, -5, 2)
+        assert eval(repr(z)) == z  # noqa: S307 - controlled input
+
+    def test_equality_against_other_types(self):
+        assert DyadicComplex(2) == 2
+        assert DyadicComplex(2) != "2"

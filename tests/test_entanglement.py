@@ -1,0 +1,72 @@
+"""Entanglement structure: the binary-control discipline keeps states
+separable; violating it creates entanglement the simulator can detect."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit
+from repro.gates.library import GateLibrary
+from repro.mvl.patterns import binary_patterns
+from repro.sim.statevector import StatevectorSimulator
+
+_LIBRARY = GateLibrary(3)
+_GATE_NAMES = [e.name for e in _LIBRARY.gates]
+
+
+class TestProductStateDetection:
+    def test_basis_states_are_product(self):
+        sim = StatevectorSimulator(3)
+        for index in range(8):
+            assert sim.is_product_state(sim.initial_state(index))
+
+    def test_ghz_like_state_is_entangled(self):
+        sim = StatevectorSimulator(2)
+        bell = np.array([1, 0, 0, 1], dtype=np.complex128) / np.sqrt(2)
+        assert not sim.is_product_state(bell)
+
+    def test_superposition_product_state(self):
+        sim = StatevectorSimulator(2)
+        plus = np.array([1, 1], dtype=np.complex128) / np.sqrt(2)
+        state = np.kron(plus, np.array([1, 0], dtype=np.complex128))
+        assert sim.is_product_state(state)
+
+
+class TestBinaryControlDiscipline:
+    @given(names=st.lists(st.sampled_from(_GATE_NAMES), min_size=0, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_reasonable_cascades_never_entangle(self, names):
+        """If the cascade is reasonable, every binary input stays a
+        product state at the output -- the unitary-side justification of
+        the paper's quaternary abstraction."""
+        circuit = Circuit.from_names(names, 3)
+        if not circuit.is_reasonable():
+            return
+        sim = StatevectorSimulator(3)
+        for pattern in binary_patterns(3):
+            state = sim.run(circuit, pattern)
+            assert sim.is_product_state(state)
+
+    def test_unreasonable_cascade_can_entangle(self):
+        """A V-control on a mixed wire -- exactly what the banned sets
+        forbid -- produces genuine entanglement."""
+        # V_BA puts B into V0 (input A=1); V_CB then "controls" on the
+        # mixed wire B, entangling B and C.
+        circuit = Circuit.from_names("V_BA V_CB", 3)
+        assert not circuit.is_reasonable()
+        sim = StatevectorSimulator(3)
+        state = sim.run(circuit, sim.initial_state(4))  # |100>
+        assert not sim.is_product_state(state)
+
+    def test_entangled_state_not_describable_by_any_pattern(self):
+        """The MV abstraction has no value for the entangled state --
+        quantifying why the don't-care entries are don't-cares."""
+        from repro.sim.statevector import pattern_statevector
+        from repro.mvl.patterns import all_patterns
+
+        circuit = Circuit.from_names("V_BA V_CB", 3)
+        sim = StatevectorSimulator(3)
+        state = sim.run(circuit, sim.initial_state(4))
+        for pattern in all_patterns(3):
+            assert not np.allclose(state, pattern_statevector(pattern))

@@ -1,0 +1,51 @@
+"""Unit tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "InvalidValueError",
+            "InvalidGateError",
+            "InvalidCircuitError",
+            "InvalidPermutationError",
+            "SynthesisError",
+            "CostBoundExceededError",
+            "SpecificationError",
+            "SimulationError",
+            "NonBinaryControlError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_value_errors_are_value_errors(self):
+        # Callers using stdlib idioms still catch them.
+        for name in (
+            "InvalidValueError",
+            "InvalidGateError",
+            "InvalidCircuitError",
+            "InvalidPermutationError",
+            "SpecificationError",
+        ):
+            assert issubclass(getattr(errors, name), ValueError), name
+
+    def test_cost_bound_is_synthesis_error(self):
+        assert issubclass(errors.CostBoundExceededError, errors.SynthesisError)
+
+    def test_non_binary_control_is_simulation_error(self):
+        assert issubclass(errors.NonBinaryControlError, errors.SimulationError)
+
+
+class TestCostBoundError:
+    def test_message_and_fields(self):
+        exc = errors.CostBoundExceededError("Toffoli", 4)
+        assert exc.cost_bound == 4
+        assert "Toffoli" in str(exc)
+        assert "4" in str(exc)
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CostBoundExceededError("x", 1)

@@ -1,0 +1,57 @@
+"""Unit tests for the exact simulator (repro.sim.exact)."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.core.circuit import Circuit
+from repro.linalg.constants import pattern_state
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+from repro.sim.exact import ExactSimulator
+
+
+class TestRun:
+    def test_cnot_on_basis_state(self):
+        sim = ExactSimulator(2)
+        out = sim.run(Circuit.from_names("F_BA", 2), Pattern([1, 0]))
+        assert out == pattern_state(Pattern([1, 1]))
+
+    def test_v_gate_produces_v0_state(self):
+        sim = ExactSimulator(3)
+        out = sim.run(Circuit.from_names("V_BA", 3), Pattern([1, 0, 0]))
+        assert out == pattern_state(Pattern([1, Qv.V0, 0]))
+
+    def test_agrees_with_pattern(self):
+        sim = ExactSimulator(3)
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        assert sim.agrees_with_pattern(
+            circuit, Pattern([1, 1, 0]), Pattern([1, 0, 1])
+        )
+        assert not sim.agrees_with_pattern(
+            circuit, Pattern([1, 1, 0]), Pattern([1, 1, 1])
+        )
+
+    def test_exactness_no_phase_slack(self):
+        # V applied twice to |0> must be literally |1> (not e^{i phi}|1>).
+        sim = ExactSimulator(2)
+        circuit = Circuit.from_names("V_BA V_BA", 2)
+        out = sim.run(circuit, Pattern([1, 0]))
+        assert out == pattern_state(Pattern([1, 1]))
+
+    def test_binary_action_covers_all_inputs(self):
+        sim = ExactSimulator(2)
+        states = sim.binary_action(Circuit.from_names("F_BA", 2))
+        assert len(states) == 4
+        assert states[0] == pattern_state(Pattern([0, 0]))
+        assert states[2] == pattern_state(Pattern([1, 1]))
+
+    def test_width_checks(self):
+        sim = ExactSimulator(2)
+        with pytest.raises(InvalidValueError):
+            sim.run(Circuit.empty(3), Pattern([0, 0]))
+        with pytest.raises(InvalidValueError):
+            sim.run(Circuit.empty(2), Pattern([0, 0, 0]))
+
+    def test_needs_positive_width(self):
+        with pytest.raises(InvalidValueError):
+            ExactSimulator(0)

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs cleanly and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "peres_family.py",
+        "quantum_random_machine.py",
+        "cost_comparison.py",
+        "toffoli_implementations.py",
+        "beyond_the_paper.py",
+    } <= names
+
+
+@pytest.mark.slow
+class TestExampleRuns:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Minimum quantum cost: 5" in out
+        assert "Verified exactly: True" in out
+        assert "All minimal implementations found: 4" in out
+
+    def test_peres_family(self):
+        out = run_example("peres_family.py")
+        assert "CNOT-network members : 60" in out
+        assert "control-using members: 24" in out
+        assert "(5,7,6,8)" in out
+
+    def test_quantum_random_machine(self):
+        out = run_example("quantum_random_machine.py")
+        assert "cost 2" in out
+        assert "stationary distribution" in out
+        assert "64 quantum-random bits" in out
+
+    def test_cost_comparison(self):
+        out = run_example("cost_comparison.py")
+        assert "peres" in out
+        assert "Direct synthesis is strictly cheaper on" in out
+        assert "577" in out  # the classic NCT histogram tail
+
+    def test_toffoli_implementations(self):
+        out = run_example("toffoli_implementations.py")
+        assert "4 minimal implementation(s)" in out
+        assert "2 minimal implementation(s)" in out
+        assert "MISMATCH" not in out
+
+    def test_beyond_the_paper(self):
+        out = run_example("beyond_the_paper.py")
+        assert "|G[8]| = 444" in out
+        assert "[1, 12, 96, 542, 2154]" in out
+        assert "4.4332" in out

@@ -1,0 +1,60 @@
+"""Exhaustive (slow-marked) sweeps: the strongest form of Theorem 1/3.
+
+These tests cover *every* member of the cost classes rather than
+samples.  They run in a few minutes and are marked ``slow``; CI can run
+``pytest -m "not slow"`` for the quick lane.
+"""
+
+import pytest
+
+from repro.core.mce import express
+from repro.core.theorems import stabilizer_group
+from repro.gates import named
+from repro.sim.verify import verify_synthesis
+
+
+@pytest.mark.slow
+class TestExhaustiveTheorem1:
+    def test_every_g_member_up_to_cost_5_resynthesizes(
+        self, cost_table5, library3, search3
+    ):
+        """All 322 functions of cost <= 5: express() returns exactly the
+        class cost and a fully verified circuit."""
+        for cost in range(6):
+            for target in cost_table5.members(cost):
+                result = express(target, library3, search=search3)
+                assert result.cost == cost
+                assert result.circuit.binary_permutation() == target
+
+    def test_every_g4_and_g5_member_verifies_exactly(
+        self, cost_table5, library3, search3
+    ):
+        for cost in (4, 5):
+            for target in cost_table5.members(cost):
+                result = express(target, library3, search=search3)
+                report = verify_synthesis(result)
+                assert report, (target.cycle_string(), report.failures)
+
+
+@pytest.mark.slow
+class TestExhaustiveGroupMembership:
+    def test_every_class_member_is_in_the_stabilizer_group(self, cost_table7):
+        """G[k] ⊆ G = Stab(0) for every k (Schreier-Sims membership)."""
+        group = stabilizer_group(3)
+        for members in cost_table7.classes:
+            for perm in members:
+                assert perm in group
+
+    def test_class_sizes_sum_below_group_order(self, cost_table7):
+        assert cost_table7.total_synthesized() <= stabilizer_group(3).order()
+
+
+@pytest.mark.slow
+class TestExhaustiveCosets:
+    def test_full_coset_products_distinct_at_cost_4(self, cost_table7):
+        """All 8 x 84 NOT-layer products of G[4] are distinct in S8."""
+        layers = named.not_group(3)
+        products = {
+            (a * g).images for a in layers for g in cost_table7.members(4)
+        }
+        assert len(products) == 8 * 84

@@ -1,0 +1,119 @@
+"""Unit tests for FMCF (repro.core.fmcf) -- the paper's Table 2."""
+
+import pytest
+
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.core.cost import CostModel
+from repro.gates import named
+from repro.gates.library import GateLibrary
+
+#: Our measured counts (minimal-cost semantics, identity has cost 0).
+OUR_G_SIZES = [1, 6, 24, 51, 84, 156, 398, 540]
+#: The row printed in the paper.
+PAPER_G_SIZES = [1, 6, 30, 52, 84, 156, 398, 540]
+
+
+class TestTable2:
+    def test_g_sizes_to_cost_7(self, cost_table7):
+        assert cost_table7.g_sizes == OUR_G_SIZES
+
+    def test_g_sizes_match_paper_from_cost_3(self, cost_table7):
+        # k = 0, 1, 4, 5, 6, 7 match the paper exactly; k = 2, 3 are the
+        # documented deviations (see EXPERIMENTS.md).
+        for k in (0, 1, 4, 5, 6, 7):
+            assert cost_table7.g_sizes[k] == PAPER_G_SIZES[k]
+
+    def test_paper_pseudocode_mode_reproduces_g3(self, library3):
+        # Without the G[0] subtraction the identity is re-counted at
+        # cost 3, giving the paper's published 52.
+        table = find_minimum_cost_circuits(
+            library3, cost_bound=3, paper_pseudocode=True
+        )
+        assert table.g_sizes == [1, 6, 24, 52]
+
+    def test_s8_sizes_are_eight_times_g(self, cost_table7):
+        assert cost_table7.s8_sizes == [8 * g for g in cost_table7.g_sizes]
+
+    def test_paper_s8_row_from_cost_4(self, cost_table7):
+        assert cost_table7.s8_sizes[4:] == [672, 1248, 3184, 4320]
+
+    def test_b_sizes(self, cost_table7):
+        assert cost_table7.b_sizes[:6] == [1, 18, 162, 1017, 5364, 25761]
+
+    def test_a_sizes_cumulative(self, cost_table7):
+        acc = 0
+        for b, a in zip(cost_table7.b_sizes, cost_table7.a_sizes):
+            acc += b
+            assert a == acc
+
+
+class TestClasses:
+    def test_g0_is_identity_singleton(self, cost_table5):
+        members = cost_table5.members(0)
+        assert len(members) == 1 and members[0].is_identity
+
+    def test_g1_is_the_six_feynman_gates(self, cost_table5):
+        expected = {
+            named.cnot_target(t, c)
+            for t in range(3)
+            for c in range(3)
+            if t != c
+        }
+        assert set(cost_table5.members(1)) == expected
+
+    def test_classes_are_disjoint(self, cost_table7):
+        seen = set()
+        for members in cost_table7.classes:
+            for perm in members:
+                assert perm not in seen
+                seen.add(perm)
+
+    def test_all_members_fix_the_zero_pattern(self, cost_table7):
+        for members in cost_table7.classes:
+            for perm in members:
+                assert perm(0) == 0
+
+    def test_cost_of_named_targets(self, cost_table7):
+        assert cost_table7.cost_of(named.TOFFOLI) == 5
+        assert cost_table7.cost_of(named.PERES) == 4
+        assert cost_table7.cost_of(named.G2) == 4
+        assert cost_table7.cost_of(named.G3) == 4
+        assert cost_table7.cost_of(named.G4) == 4
+        assert cost_table7.cost_of(named.FREDKIN) == 7
+        assert cost_table7.cost_of(named.cnot_target(1, 0)) == 1
+        assert cost_table7.cost_of(named.IDENTITY3) == 0
+
+    def test_cost_of_unknown_returns_none(self, cost_table5):
+        # Fredkin costs 7, beyond this table's bound of 5.
+        assert cost_table5.cost_of(named.FREDKIN) is None
+
+    def test_total_synthesized(self, cost_table7):
+        assert cost_table7.total_synthesized() == sum(OUR_G_SIZES)
+
+
+class TestConfigurations:
+    def test_standalone_run_without_shared_search(self, library3):
+        table = find_minimum_cost_circuits(library3, cost_bound=2)
+        assert table.g_sizes == [1, 6, 24]
+        assert table.stats is not None
+
+    def test_weighted_cost_model(self, library3):
+        # With CNOT twice as expensive, cost-1 circuits vanish (a lone
+        # Feynman costs 2) and G[2] contains the 6 Feynman gates plus the
+        # 12 V*V / V+*V+ CNOT-equivalents... which restrict identically,
+        # so G[2] has exactly 6 members.
+        model = CostModel(v_cost=1, vdag_cost=1, cnot_cost=2)
+        table = find_minimum_cost_circuits(
+            library3, cost_bound=2, cost_model=model
+        )
+        assert table.g_sizes[1] == 0
+        assert len(table.members(2)) == 6
+
+    def test_two_qubit_library(self, library2):
+        table = find_minimum_cost_circuits(library2, cost_bound=3)
+        # Cost 1: the two Feynman gates on 2 qubits.
+        assert table.g_sizes[0] == 1
+        assert table.g_sizes[1] == 2
+
+    def test_n_qubits_recorded(self, cost_table5):
+        assert cost_table5.n_qubits == 3

@@ -1,0 +1,101 @@
+"""Tests for the 4-qubit generalization of the paper's machinery."""
+
+import pytest
+
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.core.mce import express
+from repro.core.search import CascadeSearch
+from repro.gates import named
+from repro.gates.library import GateLibrary
+from repro.mvl.labels import label_space
+from repro.sim.verify import verify_synthesis
+
+
+@pytest.fixture(scope="module")
+def library4():
+    return GateLibrary(4)
+
+
+@pytest.fixture(scope="module")
+def search4(library4):
+    return CascadeSearch(library4, track_parents=True)
+
+
+class TestSpace:
+    def test_label_count(self):
+        assert label_space(4).size == 176
+
+    def test_library_size(self, library4):
+        assert len(library4) == 36
+
+    def test_banned_masks_cover_mixed_labels(self, library4):
+        space = library4.space
+        union = 0
+        for wire in range(4):
+            union |= space.banned_mask([wire])
+        # Everything beyond the 16 binary labels is mixed on some wire.
+        assert union == ((1 << 176) - 1) ^ 0xFFFF
+
+
+class TestCostSpectrum:
+    def test_g_sizes_to_cost_3(self, library4, search4):
+        table = find_minimum_cost_circuits(library4, cost_bound=3, search=search4)
+        assert table.g_sizes == [1, 12, 96, 542]
+
+    def test_g1_is_the_twelve_feynman_gates(self, library4, search4):
+        table = find_minimum_cost_circuits(library4, cost_bound=1, search=search4)
+        expected = {
+            named.cnot_target(t, c, 4)
+            for t in range(4)
+            for c in range(4)
+            if t != c
+        }
+        assert set(table.members(1)) == expected
+
+    def test_s16_factor(self, library4, search4):
+        table = find_minimum_cost_circuits(library4, cost_bound=2, search=search4)
+        assert table.s8_sizes == [16 * g for g in table.g_sizes]
+
+
+class TestSynthesis:
+    def test_embedded_toffoli(self, library4, search4):
+        toffoli4 = named.from_output_functions(
+            4,
+            [
+                lambda b: b[0],
+                lambda b: b[1],
+                lambda b: b[2] ^ (b[0] & b[1]),
+                lambda b: b[3],
+            ],
+        )
+        result = express(toffoli4, library4, cost_bound=5, search=search4)
+        assert result.cost == 5
+        assert verify_synthesis(result)
+
+    def test_embedded_peres_on_high_wires(self, library4, search4):
+        """Peres acting on wires B, C, D of the 4-qubit register."""
+        peres_high = named.from_output_functions(
+            4,
+            [
+                lambda b: b[0],
+                lambda b: b[1],
+                lambda b: b[2] ^ b[1],
+                lambda b: b[3] ^ (b[1] & b[2]),
+            ],
+        )
+        result = express(peres_high, library4, cost_bound=4, search=search4)
+        assert result.cost == 4
+        assert result.circuit.binary_permutation() == peres_high
+
+    def test_not_layer_on_four_qubits(self, library4, search4):
+        target = named.not_layer_permutation(0b1010, 4)
+        result = express(target, library4, search=search4)
+        assert result.cost == 0
+        assert result.circuit.binary_permutation() == target
+
+    def test_double_cnot_pair(self, library4, search4):
+        """Two disjoint CNOTs cost 2 on four wires."""
+        target = named.cnot_target(1, 0, 4) * named.cnot_target(3, 2, 4)
+        result = express(target, library4, cost_bound=3, search=search4)
+        assert result.cost == 2
+        assert result.circuit.binary_permutation() == target

@@ -1,0 +1,96 @@
+"""Fuzzing the text-facing parsers: they must reject garbage, not crash.
+
+Every user-facing parser (cycle notation, gate names, pattern strings,
+circuit records) either returns a valid object or raises a library error
+-- never an unhandled TypeError/IndexError/ValueError from internals.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.core.circuit import Circuit
+from repro.gates.gate import Gate
+from repro.io import circuit_from_dict
+from repro.mvl.patterns import pattern_from_string
+from repro.perm.permutation import Permutation
+
+LIBRARY_ERRORS = (ReproError,)
+
+text = st.text(
+    alphabet=st.sampled_from(list("()0123456789,VF+_ABC vx")), max_size=24
+)
+
+
+class TestCycleStringFuzz:
+    @given(text=text)
+    @settings(max_examples=300, deadline=None)
+    def test_parse_or_clean_error(self, text):
+        try:
+            perm = Permutation.from_cycle_string(8, text)
+        except LIBRARY_ERRORS:
+            return
+        # On success the result must round-trip semantically.
+        assert perm.degree == 8
+        again = Permutation.from_cycle_string(8, perm.cycle_string())
+        assert again == perm
+
+    @given(degree=st.integers(min_value=1, max_value=64), text=text)
+    @settings(max_examples=200, deadline=None)
+    def test_any_degree(self, degree, text):
+        try:
+            perm = Permutation.from_cycle_string(degree, text)
+        except LIBRARY_ERRORS:
+            return
+        assert perm.degree == degree
+
+
+class TestGateNameFuzz:
+    @given(text=text)
+    @settings(max_examples=300, deadline=None)
+    def test_parse_or_clean_error(self, text):
+        try:
+            gate = Gate.from_name(text, 3)
+        except LIBRARY_ERRORS:
+            return
+        assert gate.name == text.strip() or gate.name  # well-formed result
+
+    @given(text=text)
+    @settings(max_examples=150, deadline=None)
+    def test_circuit_from_names(self, text):
+        try:
+            circuit = Circuit.from_names(text, 3)
+        except LIBRARY_ERRORS:
+            return
+        assert circuit.n_qubits == 3
+
+
+class TestPatternStringFuzz:
+    @given(text=text)
+    @settings(max_examples=300, deadline=None)
+    def test_parse_or_clean_error(self, text):
+        try:
+            pattern = pattern_from_string(text)
+        except LIBRARY_ERRORS:
+            return
+        assert pattern.n_qubits >= 1
+
+
+class TestCircuitRecordFuzz:
+    @given(
+        record=st.fixed_dictionaries(
+            {},
+            optional={
+                "n_qubits": st.one_of(st.integers(-2, 5), st.text(max_size=3)),
+                "gates": st.lists(text, max_size=4),
+            },
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_malformed_records_rejected_cleanly(self, record):
+        try:
+            circuit = circuit_from_dict(record)
+        except LIBRARY_ERRORS:
+            return
+        assert isinstance(circuit, Circuit)

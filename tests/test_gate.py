@@ -1,0 +1,207 @@
+"""Unit tests for placed gates (repro.gates.gate) against Section 3."""
+
+import pytest
+
+from repro.errors import InvalidGateError, NonBinaryControlError
+from repro.gates.gate import Gate, wire_letter
+from repro.gates.kinds import GateKind
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+
+
+class TestKinds:
+    def test_two_qubit_flags(self):
+        assert GateKind.V.is_two_qubit and GateKind.CNOT.is_two_qubit
+        assert not GateKind.NOT.is_two_qubit
+
+    def test_controlled_flags(self):
+        assert GateKind.V.is_controlled and GateKind.VDAG.is_controlled
+        assert not GateKind.CNOT.is_controlled
+
+    def test_default_costs(self):
+        assert GateKind.V.default_cost == 1
+        assert GateKind.NOT.default_cost == 0
+
+    def test_adjoint_kinds(self):
+        assert GateKind.V.adjoint_kind is GateKind.VDAG
+        assert GateKind.VDAG.adjoint_kind is GateKind.V
+        assert GateKind.CNOT.adjoint_kind is GateKind.CNOT
+        assert GateKind.NOT.adjoint_kind is GateKind.NOT
+
+
+class TestConstruction:
+    def test_constructors(self):
+        assert Gate.v(1, 0, 3).kind is GateKind.V
+        assert Gate.vdag(0, 1, 3).kind is GateKind.VDAG
+        assert Gate.cnot(2, 0, 3).kind is GateKind.CNOT
+        assert Gate.not_(1, 3).kind is GateKind.NOT
+
+    def test_control_equals_target_rejected(self):
+        with pytest.raises(InvalidGateError):
+            Gate.v(1, 1, 3)
+
+    def test_missing_control_rejected(self):
+        with pytest.raises(InvalidGateError):
+            Gate(GateKind.V, 0, None, 3)
+
+    def test_not_with_control_rejected(self):
+        with pytest.raises(InvalidGateError):
+            Gate(GateKind.NOT, 0, 1, 3)
+
+    def test_wire_range_checks(self):
+        with pytest.raises(InvalidGateError):
+            Gate.v(3, 0, 3)
+        with pytest.raises(InvalidGateError):
+            Gate.v(0, 3, 3)
+
+
+class TestNames:
+    def test_paper_subscript_convention(self):
+        # First subscript = data wire, second = control (Figure 2).
+        assert Gate.v(1, 0, 3).name == "V_BA"
+        assert Gate.vdag(0, 1, 3).name == "V+_AB"
+        assert Gate.cnot(2, 0, 3).name == "F_CA"
+        assert Gate.not_(1, 3).name == "N_B"
+
+    @pytest.mark.parametrize("name", ["V_BA", "V+_AB", "F_CA", "N_B", "V_CB"])
+    def test_from_name_roundtrip(self, name):
+        assert Gate.from_name(name, 3).name == name
+
+    @pytest.mark.parametrize("bad", ["V_B", "Q_BA", "F_BBB", "N_AB", "", "V+AB"])
+    def test_from_name_garbage(self, bad):
+        with pytest.raises(InvalidGateError):
+            Gate.from_name(bad, 3)
+
+    def test_wire_letter(self):
+        assert wire_letter(0) == "A" and wire_letter(3) == "D"
+
+
+class TestQuaternarySemantics:
+    def test_v_fires_on_control_one(self):
+        g = Gate.v(1, 0, 3)
+        assert g.apply(Pattern([1, 0, 0])) == Pattern([1, Qv.V0, 0])
+        assert g.apply(Pattern([1, Qv.V0, 0])) == Pattern([1, 1, 0])
+
+    def test_v_idle_on_control_zero(self):
+        g = Gate.v(1, 0, 3)
+        p = Pattern([0, 1, 0])
+        assert g.apply(p) == p
+
+    def test_v_dont_care_on_mixed_control(self):
+        g = Gate.v(1, 0, 3)
+        p = Pattern([Qv.V1, 1, 0])
+        assert g.apply(p) == p  # paper's identity convention
+
+    def test_vdag_inverse_of_v(self):
+        v = Gate.v(1, 0, 3)
+        vdag = Gate.vdag(1, 0, 3)
+        for code in range(4):
+            p = Pattern([1, Qv(code), 0])
+            assert vdag.apply(v.apply(p)) == p
+
+    def test_cnot_on_binary(self):
+        g = Gate.cnot(2, 0, 3)
+        assert g.apply(Pattern([1, 0, 0])) == Pattern([1, 0, 1])
+        assert g.apply(Pattern([1, 0, 1])) == Pattern([1, 0, 0])
+        assert g.apply(Pattern([0, 0, 1])) == Pattern([0, 0, 1])
+
+    def test_cnot_dont_care_on_mixed_operand(self):
+        g = Gate.cnot(2, 0, 3)
+        p = Pattern([1, 0, Qv.V0])
+        assert g.apply(p) == p
+        q = Pattern([Qv.V1, 0, 1])
+        assert g.apply(q) == q
+
+    def test_not_acts_on_all_values(self):
+        g = Gate.not_(0, 3)
+        assert g.apply(Pattern([0, 0, 0])) == Pattern([1, 0, 0])
+        assert g.apply(Pattern([Qv.V0, 0, 0])) == Pattern([Qv.V1, 0, 0])
+
+
+class TestStrictSemantics:
+    def test_strict_matches_apply_in_binary_regime(self):
+        g = Gate.v(1, 0, 3)
+        p = Pattern([1, Qv.V1, 0])
+        assert g.strict_apply(p) == g.apply(p)
+
+    def test_strict_raises_on_mixed_control(self):
+        g = Gate.v(1, 0, 3)
+        with pytest.raises(NonBinaryControlError):
+            g.strict_apply(Pattern([Qv.V0, 1, 0]))
+
+    def test_strict_raises_on_mixed_cnot_operand(self):
+        g = Gate.cnot(2, 0, 3)
+        with pytest.raises(NonBinaryControlError):
+            g.strict_apply(Pattern([1, 0, Qv.V1]))
+
+    def test_not_never_strict_fails(self):
+        g = Gate.not_(0, 3)
+        g.strict_apply(Pattern([Qv.V0, Qv.V1, 1]))  # no raise
+
+    def test_constrained_wires(self):
+        assert Gate.v(1, 0, 3).constrained_wires == (0,)
+        assert Gate.cnot(2, 1, 3).constrained_wires == (2, 1)
+        assert Gate.not_(0, 3).constrained_wires == ()
+
+
+class TestPermutationRepresentation:
+    """The exact cycle structures printed in Section 3."""
+
+    def test_v_ba(self, space3):
+        perm = Gate.v(1, 0, 3).permutation(space3)
+        assert perm.cycle_string() == "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)"
+
+    def test_vdag_ab(self, space3):
+        perm = Gate.vdag(0, 1, 3).permutation(space3)
+        assert perm.cycle_string() == "(3,33,7,26)(4,34,8,27)(9,35,15,28)(10,36,16,29)"
+
+    def test_f_ca(self, space3):
+        perm = Gate.cnot(2, 0, 3).permutation(space3)
+        assert perm.cycle_string() == "(5,6)(7,8)(17,18)(21,22)"
+
+    def test_table1_gate_on_two_qubits(self, space2_full):
+        perm = Gate.v(1, 0, 2).permutation(space2_full)
+        assert perm.cycle_string() == "(3,7,4,8)"
+
+    def test_v_and_vdag_inverse_permutations(self, space3):
+        v = Gate.v(2, 1, 3).permutation(space3)
+        vdag = Gate.vdag(2, 1, 3).permutation(space3)
+        assert v.inverse() == vdag
+
+    def test_all_gate_permutations_have_order_dividing_4(self, library3):
+        for entry in library3.gates:
+            assert entry.permutation.order() in (2, 4)
+
+    def test_width_mismatch_rejected(self, space3):
+        with pytest.raises(InvalidGateError):
+            Gate.v(1, 0, 2).permutation(space3)
+
+
+class TestTransforms:
+    def test_dagger(self):
+        assert Gate.v(1, 0, 3).dagger() == Gate.vdag(1, 0, 3)
+        assert Gate.cnot(2, 0, 3).dagger() == Gate.cnot(2, 0, 3)
+
+    def test_relabeled(self):
+        g = Gate.v(1, 0, 3).relabeled({0: 2, 1: 1, 2: 0})
+        assert g.name == "V_BC"
+
+    def test_relabeled_not(self):
+        g = Gate.not_(0, 3).relabeled({0: 1, 1: 0, 2: 2})
+        assert g.name == "N_B"
+
+
+class TestUnitary:
+    def test_all_kinds_unitary(self):
+        for g in (Gate.v(1, 0, 3), Gate.vdag(0, 2, 3), Gate.cnot(2, 1, 3),
+                  Gate.not_(1, 3)):
+            assert g.unitary.is_unitary()
+
+    def test_v_gate_squared_is_cnot_unitary(self):
+        v = Gate.v(1, 0, 3)
+        cnot = Gate.cnot(1, 0, 3)
+        assert v.unitary @ v.unitary == cnot.unitary
+
+    def test_unitary_cached(self):
+        g = Gate.v(1, 0, 3)
+        assert g.unitary is g.unitary

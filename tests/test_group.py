@@ -1,0 +1,153 @@
+"""Unit tests for PermutationGroup (repro.perm.group)."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidPermutationError, ReproError
+from repro.perm.group import PermutationGroup
+from repro.perm.named_groups import symmetric_group
+from repro.perm.permutation import Permutation
+
+
+class TestBasics:
+    def test_order_of_s8(self):
+        assert symmetric_group(8).order() == 40320
+
+    def test_degree_and_generators(self):
+        g = symmetric_group(5)
+        assert g.degree == 5
+        assert len(g.generators) == 2
+
+    def test_identity_generators_dropped(self):
+        g = PermutationGroup([Permutation.identity(4)], degree=4)
+        assert g.generators == ()
+        assert g.order() == 1
+        assert g.is_trivial()
+
+    def test_empty_needs_degree(self):
+        with pytest.raises(InvalidPermutationError):
+            PermutationGroup([])
+
+    def test_mixed_degree_generators_rejected(self):
+        with pytest.raises(InvalidPermutationError):
+            PermutationGroup(
+                [Permutation.identity(3), Permutation.transposition(4, 0, 1)]
+            )
+
+
+class TestMembership:
+    def test_contains_products(self):
+        g = symmetric_group(6)
+        rng = random.Random(3)
+        element = g.random_element(rng)
+        assert element in g
+
+    def test_not_contains_wrong_degree(self):
+        assert Permutation.identity(5) not in symmetric_group(6)
+
+    def test_not_contains_non_permutation(self):
+        assert "x" not in symmetric_group(4)
+
+    def test_identity_always_contained(self):
+        g = PermutationGroup([], degree=9)
+        assert Permutation.identity(9) in g
+
+    def test_alternating_membership(self):
+        a4 = PermutationGroup(
+            [
+                Permutation.from_cycles(4, [(1, 2, 3)]),
+                Permutation.from_cycles(4, [(2, 3, 4)]),
+            ]
+        )
+        assert Permutation.transposition(4, 0, 1) not in a4
+
+
+class TestEnumeration:
+    def test_elements_count_matches_order(self):
+        g = symmetric_group(5)
+        elements = list(g.elements())
+        assert len(elements) == 120
+        assert len(set(elements)) == 120
+
+    def test_elements_of_trivial_group(self):
+        g = PermutationGroup([], degree=3)
+        assert list(g) == [Permutation.identity(3)]
+
+    def test_enumeration_limit(self):
+        # S12 has order ~4.8e8 > limit.
+        with pytest.raises(ReproError):
+            next(iter(symmetric_group(12).elements()))
+        # but order() itself is fine
+        assert symmetric_group(12).order() == 479001600
+
+    def test_random_element_is_member_and_seeded(self):
+        g = symmetric_group(7)
+        a = g.random_element(random.Random(42))
+        b = g.random_element(random.Random(42))
+        assert a == b
+        assert a in g
+
+
+class TestRelations:
+    def test_subgroup_relation(self):
+        s4 = symmetric_group(4)
+        a4 = PermutationGroup(
+            [
+                Permutation.from_cycles(4, [(1, 2, 3)]),
+                Permutation.from_cycles(4, [(2, 3, 4)]),
+            ]
+        )
+        assert a4.is_subgroup_of(s4)
+        assert not s4.is_subgroup_of(a4)
+
+    def test_equals(self):
+        g1 = symmetric_group(4)
+        g2 = PermutationGroup(
+            [Permutation.transposition(4, i, i + 1) for i in range(3)]
+        )
+        assert g1.equals(g2) and g2.equals(g1)
+
+    def test_subgroup_constructor_validates(self):
+        s4 = symmetric_group(4)
+        sub = s4.subgroup([Permutation.from_cycles(4, [(1, 2, 3)])])
+        assert sub.order() == 3
+        a4 = PermutationGroup(
+            [
+                Permutation.from_cycles(4, [(1, 2, 3)]),
+                Permutation.from_cycles(4, [(2, 3, 4)]),
+            ]
+        )
+        with pytest.raises(InvalidPermutationError):
+            a4.subgroup([Permutation.transposition(4, 0, 1)])
+
+
+class TestStabilizerAndOrbit:
+    def test_stabilizer_of_point_in_s8(self):
+        # The paper's |G| = 5040: stabilizer of the all-zero pattern.
+        stab = symmetric_group(8).stabilizer(0)
+        assert stab.order() == 5040
+        assert all(g(0) == 0 for g in stab.generators)
+
+    def test_stabilizer_in_cyclic_group(self):
+        c = PermutationGroup([Permutation.from_cycles(5, [(1, 2, 3, 4, 5)])])
+        assert c.stabilizer(0).order() == 1
+
+    def test_stabilizer_point_out_of_range(self):
+        with pytest.raises(InvalidPermutationError):
+            symmetric_group(4).stabilizer(4)
+
+    def test_stabilizer_of_trivial_group(self):
+        g = PermutationGroup([], degree=4)
+        assert g.stabilizer(2).order() == 1
+
+    def test_orbit_transitive_group(self):
+        assert symmetric_group(6).orbit(3) == frozenset(range(6))
+
+    def test_orbit_intransitive_group(self):
+        g = PermutationGroup([Permutation.from_cycles(6, [(1, 2), (4, 5)])])
+        assert g.orbit(0) == frozenset({0, 1})
+        assert g.orbit(5) == frozenset({5})
+
+    def test_repr(self):
+        assert "degree=8" in repr(symmetric_group(8))

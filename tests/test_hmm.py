@@ -1,0 +1,127 @@
+"""Unit tests for quantum HMMs (repro.automata.hmm)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.automata.hmm import QuantumHMM
+from repro.automata.machine import QuantumStateMachine
+from repro.core.circuit import Circuit
+
+HALF = Fraction(1, 2)
+
+
+@pytest.fixture
+def coin_hmm():
+    """Input randomizes the hidden state; the input wire is the output."""
+    machine = QuantumStateMachine(
+        Circuit.from_names("V_BA", 2), input_wires=(0,), state_wires=(1,)
+    )
+    return QuantumHMM(machine)
+
+
+class TestConstruction:
+    def test_default_initial_distribution_is_point_mass(self, coin_hmm):
+        assert coin_hmm.initial_distribution == (Fraction(1), Fraction(0))
+
+    def test_custom_initial_distribution(self):
+        machine = QuantumStateMachine(
+            Circuit.from_names("V_BA", 2), input_wires=(0,), state_wires=(1,)
+        )
+        hmm = QuantumHMM(machine, initial_distribution=(HALF, HALF))
+        assert hmm.initial_distribution == (HALF, HALF)
+
+    def test_bad_initial_distribution(self):
+        machine = QuantumStateMachine(
+            Circuit.from_names("V_BA", 2), input_wires=(0,), state_wires=(1,)
+        )
+        with pytest.raises(SpecificationError):
+            QuantumHMM(machine, initial_distribution=(HALF, HALF, HALF))
+        with pytest.raises(SpecificationError):
+            QuantumHMM(machine, initial_distribution=(Fraction(2), Fraction(-1)))
+
+    def test_n_states(self, coin_hmm):
+        assert coin_hmm.n_states == 2
+
+
+class TestKernel:
+    def test_kernel_probabilities(self, coin_hmm):
+        kernel = coin_hmm.kernel((1,), 0)
+        assert kernel == {((1,), 0): HALF, ((1,), 1): HALF}
+
+    def test_kernel_deterministic_branch(self, coin_hmm):
+        kernel = coin_hmm.kernel((0,), 1)
+        assert kernel == {((0,), 1): Fraction(1)}
+
+
+class TestForward:
+    def test_certain_observation_sequence(self, coin_hmm):
+        # With input 1, the output wire always reads 1.
+        likelihood, posterior = coin_hmm.forward(
+            [(1,), (1,)], inputs=[(1,), (1,)]
+        )
+        assert likelihood == 1
+        assert posterior == (HALF, HALF)
+
+    def test_impossible_observation(self, coin_hmm):
+        likelihood, posterior = coin_hmm.forward([(0,)], inputs=[(1,)])
+        assert likelihood == 0
+        assert posterior == (Fraction(0), Fraction(0))
+
+    def test_sequence_probability_wrapper(self, coin_hmm):
+        assert coin_hmm.sequence_probability([(1,)], inputs=[(1,)]) == 1
+
+    def test_input_length_mismatch(self, coin_hmm):
+        with pytest.raises(SpecificationError):
+            coin_hmm.forward([(1,)], inputs=[(1,), (0,)])
+
+    def test_inputs_required_when_machine_has_input_wires(self, coin_hmm):
+        with pytest.raises(SpecificationError):
+            coin_hmm.forward([(1,)])
+
+
+class TestHiddenEmission:
+    """A machine whose emission depends on the hidden state."""
+
+    @pytest.fixture
+    def hmm(self):
+        # Wires: A = input-driven emission wire (always fed 0),
+        # B = hidden state.  V_AB: if B = 1, emission becomes V(0) = V0.
+        machine = QuantumStateMachine(
+            Circuit.from_names("V_AB", 2),
+            input_wires=(0,),
+            state_wires=(1,),
+            output_wires=(0,),
+            initial_state=(1,),
+        )
+        return QuantumHMM(machine)
+
+    def test_emission_distribution_reflects_hidden_state(self, hmm):
+        # Hidden state 1 -> fair coin on the emission wire.
+        assert hmm.sequence_probability([(1,)], inputs=[(0,)]) == HALF
+        assert hmm.sequence_probability([(0,)], inputs=[(0,)]) == HALF
+
+    def test_two_step_likelihood(self, hmm):
+        p = hmm.sequence_probability([(1,), (1,)], inputs=[(0,), (0,)])
+        assert p == Fraction(1, 4)
+
+    def test_viterbi_path(self, hmm):
+        prob, path = hmm.most_likely_path([(1,)], inputs=[(0,)])
+        assert prob == HALF
+        assert path == (1,)  # hidden state stays 1
+
+
+class TestSampling:
+    def test_sample_length_and_alphabet(self, coin_hmm):
+        rng = random.Random(5)
+        emissions = coin_hmm.sample(10, rng, inputs=[(1,)] * 10)
+        assert len(emissions) == 10
+        assert set(emissions) <= {(0,), (1,)}
+
+    def test_sample_statistics_match_forward(self, coin_hmm):
+        # All-ones inputs force output 1 deterministically.
+        rng = random.Random(5)
+        emissions = coin_hmm.sample(50, rng, inputs=[(1,)] * 50)
+        assert set(emissions) == {(1,)}

@@ -1,0 +1,103 @@
+"""Unit tests for verified gate identities (repro.core.identities)."""
+
+import pytest
+
+from repro.core.identities import (
+    cnot_emulations,
+    commuting_feynman_pairs,
+    commuting_pairs,
+    identity_catalog,
+    inverse_pairs,
+    verify_adjoint_closure,
+)
+from repro.gates.kinds import GateKind
+from repro.gates.library import GateLibrary
+
+
+class TestCommutation:
+    def test_exactly_six_commuting_feynman_pairs(self, library3):
+        """The collision set behind |G[2]| = 24 (paper prints 30)."""
+        pairs = commuting_feynman_pairs(library3)
+        assert len(pairs) == 6
+
+    def test_feynman_pairs_share_control_or_target(self, library3):
+        for identity in commuting_feynman_pairs(library3):
+            a = library3.by_name(identity.left).gate
+            b = library3.by_name(identity.right).gate
+            assert a.target == b.target or a.control == b.control
+
+    def test_commuting_pairs_verified_both_ways(self, library3):
+        for identity in commuting_pairs(library3):
+            a = library3.by_name(identity.left).permutation
+            b = library3.by_name(identity.right).permutation
+            assert a * b == b * a
+
+    def test_noncommuting_example(self, library3):
+        a = library3.by_name("F_AB").permutation
+        b = library3.by_name("F_BA").permutation
+        assert a * b != b * a
+
+    def test_total_commuting_pair_count(self, library3):
+        assert len(commuting_pairs(library3)) == 48
+
+
+class TestInverses:
+    def test_twelve_inverse_pairs(self, library3):
+        # 6 V/V+ pairs + 6 self-inverse Feynman gates.
+        pairs = inverse_pairs(library3)
+        assert len(pairs) == 12
+
+    def test_feynman_gates_self_inverse(self, library3):
+        self_pairs = [
+            p for p in inverse_pairs(library3) if p.left == p.right
+        ]
+        assert len(self_pairs) == 6
+        assert all(p.left.startswith("F") for p in self_pairs)
+
+    def test_v_pairs_with_their_adjoints(self, library3):
+        cross = [p for p in inverse_pairs(library3) if p.left != p.right]
+        assert len(cross) == 6
+        for p in cross:
+            names = {p.left, p.right}
+            base = p.left.replace("V+", "V")
+            assert names == {base, base.replace("V_", "V+_")}
+
+
+class TestCnotEmulation:
+    def test_every_controlled_square_emulates_its_cnot(self, library3):
+        emulations = cnot_emulations(library3)
+        # 12 controlled gates, each squares to its wire-pair's Feynman.
+        assert len(emulations) == 12
+        for identity in emulations:
+            squared_name = identity.left[:-2]  # strip "^2"
+            gate = library3.by_name(squared_name).gate
+            feynman = library3.by_name(identity.right).gate
+            assert gate.target == feynman.target
+            assert gate.control == feynman.control
+
+    def test_squares_differ_from_cnot_on_full_domain(self, library3):
+        # The emulation holds on S only -- as 38-label permutations the
+        # square and the Feynman gate are distinct.
+        v = library3.by_name("V_BA").permutation
+        f = library3.by_name("F_BA").permutation
+        assert v * v != f
+
+
+class TestAdjointClosure:
+    def test_three_qubit_library(self, library3):
+        assert verify_adjoint_closure(library3)
+
+    def test_two_qubit_library(self, library2):
+        assert verify_adjoint_closure(library2)
+
+    def test_four_qubit_library(self):
+        assert verify_adjoint_closure(GateLibrary(4))
+
+
+class TestCatalog:
+    def test_catalog_groups(self, library3):
+        catalog = identity_catalog(library3)
+        assert set(catalog) == {"commute", "inverse", "cnot-emulation"}
+        assert len(catalog["commute"]) == 48
+        assert len(catalog["inverse"]) == 12
+        assert len(catalog["cnot-emulation"]) == 12

@@ -1,0 +1,97 @@
+"""Integration: Section 4 end-to-end -- synthesize, run, analyze machines."""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+
+from repro.automata.hmm import QuantumHMM
+from repro.automata.machine import QuantumStateMachine
+from repro.automata.markov import MarkovChain
+from repro.automata.rng import ControlledRandomBitGenerator
+from repro.automata.spec import MachineSynthesisSpec, synthesize_machine
+from repro.sim.measure import (
+    empirical_distribution,
+    total_variation_distance,
+)
+
+HALF = Fraction(1, 2)
+
+
+class TestLazyCoinMachine:
+    """A machine that re-flips its state only when told to."""
+
+    def build(self, library2):
+        rows = {
+            ((0,), (0,)): (0, 0),
+            ((0,), (1,)): (0, 1),
+            ((1,), (0,)): (1, "?"),
+            ((1,), (1,)): (1, "?"),
+        }
+        spec = MachineSynthesisSpec(
+            input_wires=(0,), state_wires=(1,), rows=rows
+        )
+        return synthesize_machine(spec, library2)
+
+    def test_synthesis_and_chain(self, library2):
+        machine, result = self.build(library2)
+        assert result.cost == 1
+        flip = MarkovChain.from_machine(machine, (1,))
+        hold = MarkovChain.from_machine(machine, (0,))
+        assert flip.matrix == ((HALF, HALF), (HALF, HALF))
+        assert hold.matrix == ((Fraction(1), 0), (0, Fraction(1)))
+        assert flip.is_irreducible()
+        assert not hold.is_irreducible()
+
+    def test_stationary_distribution_from_simulation(self, library2):
+        machine, _result = self.build(library2)
+        rng = random.Random(31)
+        visits = [0, 0]
+        machine.reset()
+        for _ in range(4000):
+            step = machine.step((1,), rng)
+            visits[step.state_after[0]] += 1
+        empirical = np.array(visits) / sum(visits)
+        chain = MarkovChain.from_machine(machine, (1,))
+        assert np.allclose(
+            empirical, chain.stationary_distribution(), atol=0.05
+        )
+
+    def test_hmm_likelihoods(self, library2):
+        machine, _result = self.build(library2)
+        hmm = QuantumHMM(machine)
+        # Output wire is the (deterministic) input echo.
+        assert hmm.sequence_probability(
+            [(1,), (1,)], inputs=[(1,), (1,)]
+        ) == 1
+        assert hmm.sequence_probability(
+            [(0,)], inputs=[(1,)]
+        ) == 0
+
+
+class TestControlledRNGEndToEnd:
+    def test_sampled_statistics_match_exact_distribution(self):
+        generator = ControlledRandomBitGenerator(n_random=2)
+        rng = random.Random(7)
+        samples = [
+            (1,) + generator.generate(rng) for _ in range(6000)
+        ]
+        tv = total_variation_distance(
+            generator.exact_distribution(1),
+            empirical_distribution(samples),
+        )
+        assert tv < 0.05
+
+    def test_machine_wrapper_around_rng(self):
+        """The RNG circuit doubles as a memoryless state machine."""
+        generator = ControlledRandomBitGenerator(n_random=2)
+        machine = QuantumStateMachine(
+            generator.circuit,
+            input_wires=(0,),
+            state_wires=(1, 2),
+            output_wires=(1, 2),
+        )
+        joint = machine.joint_distribution((1,), (0, 0))
+        outputs = {out for (out, _nxt) in joint}
+        assert len(outputs) == 4
+        assert sum(joint.values()) == 1

@@ -1,0 +1,110 @@
+"""Integration: synthesis round-trips verified at every semantic level."""
+
+import random
+
+import pytest
+
+from repro.core.mce import express
+from repro.core.probabilistic import ProbabilisticSpec, express_probabilistic
+from repro.gates import named
+from repro.perm.permutation import Permutation
+from repro.sim.verify import (
+    verify_probabilistic_synthesis,
+    verify_synthesis,
+)
+
+
+class TestReversibleRoundTrips:
+    @pytest.mark.parametrize("cost", [0, 1, 2, 3, 4, 5])
+    def test_class_members_roundtrip(self, cost, cost_table5, library3, search3):
+        """Sampled G[k] members synthesize at cost k and fully verify."""
+        members = cost_table5.members(cost)
+        rng = random.Random(cost)
+        sample = members if len(members) <= 6 else rng.sample(members, 6)
+        for target in sample:
+            result = express(target, library3, search=search3)
+            assert result.cost == cost
+            report = verify_synthesis(result)
+            assert report, report.failures
+
+    def test_random_coset_targets_roundtrip(self, cost_table5, library3, search3):
+        """NOT-layer times G[k] member: full Theorem 2 path."""
+        rng = random.Random(99)
+        for _ in range(10):
+            cost = rng.randint(1, 5)
+            base = rng.choice(cost_table5.members(cost))
+            mask = rng.randrange(8)
+            target = named.not_layer_permutation(mask) * base
+            result = express(target, library3, search=search3)
+            assert result.cost == cost  # NOT layers are free
+            assert verify_synthesis(result)
+
+    def test_whole_g4_class_verifies(self, cost_table5, library3, search3):
+        for target in cost_table5.members(4):
+            result = express(target, library3, search=search3)
+            assert result.cost == 4
+            assert result.circuit.binary_permutation() == target
+
+
+class TestProbabilisticRoundTrips:
+    def test_reachable_specs_synthesize_and_verify(self, library3, search3):
+        """Specs sampled from actual search levels are feasible by
+        construction; synthesis must find them at minimal cost."""
+        space = library3.space
+        rng = random.Random(5)
+        for cost in (1, 2, 3):
+            level = search3.level(cost)
+            for perm, _mask in rng.sample(level, 4):
+                outputs = tuple(space.pattern(perm[i]) for i in range(8))
+                spec = ProbabilisticSpec(outputs)
+                result = express_probabilistic(
+                    spec, library3, search=search3
+                )
+                assert result.cost <= cost
+                report = verify_probabilistic_synthesis(result)
+                assert report, report.failures
+
+    def test_spec_cost_minimality(self, library3, search3):
+        """The found cost is the first level containing a match."""
+        space = library3.space
+        level3 = search3.level(3)
+        perm, _mask = level3[0]
+        outputs = tuple(space.pattern(perm[i]) for i in range(8))
+        result = express_probabilistic(
+            ProbabilisticSpec(outputs), library3, search=search3
+        )
+        # Some other cascade may realize the same S-images cheaper, but
+        # never at more than the sampled cascade's cost.
+        assert result.cost <= 3
+        # And re-synthesizing the result's own images reproduces its cost.
+        again = express_probabilistic(
+            ProbabilisticSpec(outputs), library3, search=search3
+        )
+        assert again.cost == result.cost
+
+
+class TestCrossSimulatorAgreement:
+    def test_statevector_matches_exact_on_synthesized_circuits(
+        self, library3, search3
+    ):
+        import numpy as np
+
+        from repro.mvl.patterns import binary_patterns
+        from repro.sim.exact import ExactSimulator
+        from repro.sim.statevector import StatevectorSimulator
+
+        numeric = StatevectorSimulator(3)
+        exact = ExactSimulator(3)
+        for name in ("toffoli", "peres", "fredkin"):
+            circuit = express(
+                named.TARGETS[name], library3, search=search3
+            ).circuit
+            for pattern in binary_patterns(3):
+                fast = numeric.run(circuit, pattern)
+                slow = np.array(
+                    [
+                        x.to_complex()
+                        for x in exact.run(circuit, pattern).column_vector()
+                    ]
+                )
+                assert np.array_equal(fast, slow)

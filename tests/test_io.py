@@ -1,0 +1,94 @@
+"""Unit tests for JSON persistence (repro.io)."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.core.circuit import Circuit
+from repro.core.mce import express
+from repro.gates import named
+from repro.io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_result,
+    result_to_dict,
+    result_circuit_from_dict,
+    save_result,
+)
+
+
+class TestCircuitRoundTrip:
+    def test_roundtrip(self):
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        assert circuit_from_dict(circuit_to_dict(circuit)) == circuit
+
+    def test_with_not_gates(self):
+        circuit = Circuit.from_names("N_A F_BA", 3)
+        assert circuit_from_dict(circuit_to_dict(circuit)) == circuit
+
+    def test_missing_keys(self):
+        with pytest.raises(SpecificationError):
+            circuit_from_dict({"gates": ["F_BA"]})
+
+    def test_bad_gate_name(self):
+        with pytest.raises(SpecificationError):
+            circuit_from_dict({"n_qubits": 3, "gates": ["Q_XY"]})
+
+
+class TestResultRoundTrip:
+    def test_save_and_load(self, tmp_path, library3, search3):
+        result = express(named.PERES, library3, search=search3)
+        path = tmp_path / "peres.json"
+        save_result(result, path)
+        circuit, target = load_result(path)
+        assert circuit == result.circuit
+        assert target == named.PERES
+
+    def test_record_fields(self, library3, search3):
+        result = express(named.TOFFOLI, library3, search=search3)
+        record = result_to_dict(result)
+        assert record["cost"] == 5
+        assert record["target"] == "(7,8)"
+        assert record["not_mask"] == 0
+        assert len(record["gates"]) == 5
+
+    def test_tampered_target_rejected(self, library3, search3):
+        result = express(named.PERES, library3, search=search3)
+        record = result_to_dict(result)
+        record["target"] = "(7,8)"  # lie: claim it's a Toffoli
+        with pytest.raises(SpecificationError):
+            result_circuit_from_dict(record)
+
+    def test_tampered_cost_rejected(self, library3, search3):
+        result = express(named.PERES, library3, search=search3)
+        record = result_to_dict(result)
+        record["cost"] = 3
+        with pytest.raises(SpecificationError):
+            result_circuit_from_dict(record)
+
+    def test_probabilistic_circuit_rejected(self):
+        record = {
+            "n_qubits": 3,
+            "gates": ["V_BA"],
+            "target": "()",
+            "cost": 1,
+        }
+        with pytest.raises(SpecificationError):
+            result_circuit_from_dict(record)
+
+    def test_file_is_valid_json(self, tmp_path, library3, search3):
+        result = express(named.G3, library3, search=search3)
+        path = tmp_path / "g3.json"
+        save_result(result, path)
+        data = json.loads(path.read_text())
+        assert data["target"] == "(3,4)(5,7)(6,8)"
+
+    def test_not_layer_result_roundtrip(self, tmp_path, library3, search3):
+        target = named.not_layer_permutation(0b110) * named.PERES
+        result = express(target, library3, search=search3)
+        path = tmp_path / "shifted.json"
+        save_result(result, path)
+        circuit, loaded_target = load_result(path)
+        assert loaded_target == target
+        assert circuit.binary_permutation() == target

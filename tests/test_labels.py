@@ -1,0 +1,210 @@
+"""Unit tests for label spaces (repro.mvl.labels) against Section 3."""
+
+import pytest
+
+from repro.errors import InvalidPermutationError, InvalidValueError
+from repro.mvl.labels import LabelSpace, label_space
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+
+
+class TestSizes:
+    def test_reduced_three_qubit_space_has_38_labels(self):
+        assert label_space(3).size == 38
+
+    def test_full_three_qubit_space_has_64_labels(self):
+        assert label_space(3, reduced=False).size == 64
+
+    def test_full_two_qubit_space_has_16_labels(self):
+        assert label_space(2, reduced=False).size == 16
+
+    def test_reduced_two_qubit_space_has_8_labels(self):
+        assert label_space(2).size == 8
+
+    def test_reduced_four_qubit_space_size(self):
+        # 4**4 - 3**4 + 1 = 176.
+        assert label_space(4).size == 176
+
+    def test_len_matches_size(self, space3):
+        assert len(space3) == space3.size
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(InvalidValueError):
+            LabelSpace(0)
+
+
+class TestOrdering:
+    def test_binary_patterns_come_first_ascending(self, space3):
+        for index in range(8):
+            pattern = space3.pattern(index)
+            assert pattern.is_binary
+            assert pattern.binary_index() == index
+
+    def test_paper_label_examples(self, space3):
+        # Spot-check the labels used in the paper's printed permutations.
+        assert space3.label(Pattern([1, 0, 0])) + 1 == 5
+        assert space3.label(Pattern([1, Qv.V0, 0])) + 1 == 17
+        assert space3.label(Pattern([0, 1, 0])) + 1 == 3
+        assert space3.label(Pattern([Qv.V1, 1, 0])) + 1 == 33
+        assert space3.label(Pattern([Qv.V0, 1, 0])) + 1 == 26
+        assert space3.label(Pattern([Qv.V1, Qv.V1, 1])) + 1 == 38
+
+    def test_mixed_patterns_ascending_after_binary(self, space3):
+        mixed = space3.patterns[8:]
+        assert list(mixed) == sorted(mixed)
+
+    def test_table1_row_order_two_qubits(self, space2_full):
+        # Paper Table 1 rows 5..8: (0,V0), (0,V1), (1,V0), (1,V1) --
+        # shared by both orderings.
+        assert space2_full.pattern(4) == Pattern([0, Qv.V0])
+        assert space2_full.pattern(5) == Pattern([0, Qv.V1])
+        assert space2_full.pattern(6) == Pattern([1, Qv.V0])
+        assert space2_full.pattern(7) == Pattern([1, Qv.V1])
+
+    def test_table1_grouped_ordering_matches_paper_rows(self):
+        # The paper's Table 1 sorts rows 9..16 by which wire is mixed.
+        space = label_space(2, reduced=False, ordering="grouped")
+        expected_tail = [
+            Pattern([Qv.V0, 0]),
+            Pattern([Qv.V0, 1]),
+            Pattern([Qv.V1, 0]),
+            Pattern([Qv.V1, 1]),
+            Pattern([Qv.V0, Qv.V0]),
+            Pattern([Qv.V0, Qv.V1]),
+            Pattern([Qv.V1, Qv.V0]),
+            Pattern([Qv.V1, Qv.V1]),
+        ]
+        assert list(space.patterns[8:]) == expected_tail
+
+    def test_both_orderings_give_same_ctrl_v_permutation(self):
+        from repro.gates.gate import Gate
+
+        gate = Gate.v(1, 0, 2)
+        for ordering in ("value", "grouped"):
+            space = label_space(2, reduced=False, ordering=ordering)
+            perm = gate.permutation(space)
+            assert perm.cycle_string() == "(3,7,4,8)"
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(InvalidValueError):
+            LabelSpace(2, ordering="weird")
+
+
+class TestLookups:
+    def test_label_pattern_roundtrip(self, space3):
+        for label in range(space3.size):
+            assert space3.label(space3.pattern(label)) == label
+
+    def test_label_of_excluded_pattern_raises(self, space3):
+        with pytest.raises(InvalidValueError):
+            space3.label(Pattern([0, Qv.V0, 0]))
+
+    def test_pattern_out_of_range_raises(self, space3):
+        with pytest.raises(InvalidValueError):
+            space3.pattern(38)
+
+    def test_contains(self, space3):
+        assert Pattern([1, 1, 1]) in space3
+        assert Pattern([Qv.V0, 0, 0]) not in space3
+
+    def test_paper_label_conversion(self):
+        assert LabelSpace.paper_label(0) == 1
+        assert LabelSpace.paper_label(37) == 38
+
+
+class TestBinarySubdomain:
+    def test_binary_labels(self, space3):
+        assert list(space3.binary_labels) == list(range(8))
+
+    def test_s_mask(self, space3):
+        assert space3.s_mask == 0xFF
+
+    def test_n_binary(self, space3, space2_full):
+        assert space3.n_binary == 8
+        assert space2_full.n_binary == 4
+
+
+class TestBannedSets:
+    """The exact banned sets printed in Section 3."""
+
+    def test_n_a(self, space3):
+        assert space3.banned_labels([0]) == tuple(range(25, 39))
+
+    def test_n_b(self, space3):
+        assert space3.banned_labels([1]) == (
+            11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 30, 31, 37, 38,
+        )
+
+    def test_n_c(self, space3):
+        assert space3.banned_labels([2]) == (
+            9, 10, 13, 14, 15, 16, 19, 20, 23, 24, 28, 29, 35, 36,
+        )
+
+    def test_n_ab(self, space3):
+        assert space3.banned_labels([0, 1]) == (
+            11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29,
+            30, 31, 32, 33, 34, 35, 36, 37, 38,
+        )
+
+    def test_n_ac(self, space3):
+        assert space3.banned_labels([0, 2]) == (
+            9, 10, 13, 14, 15, 16, 19, 20, 23, 24, 25, 26, 27, 28, 29,
+            30, 31, 32, 33, 34, 35, 36, 37, 38,
+        )
+
+    def test_n_bc(self, space3):
+        assert space3.banned_labels([1, 2]) == (
+            9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
+            24, 28, 29, 30, 31, 35, 36, 37, 38,
+        )
+
+    def test_banned_mask_matches_banned_labels(self, space3):
+        for wires in ([0], [1], [2], [0, 1], [0, 2], [1, 2]):
+            mask = space3.banned_mask(wires)
+            labels = space3.banned_labels(wires)
+            assert labels == tuple(
+                i + 1 for i in range(space3.size) if (mask >> i) & 1
+            )
+
+    def test_banned_mask_never_touches_binary_labels(self, space3):
+        for wires in ([0], [1], [2], [0, 1], [0, 2], [1, 2]):
+            assert space3.banned_mask(wires) & space3.s_mask == 0
+
+    def test_bad_wire_raises(self, space3):
+        with pytest.raises(InvalidValueError):
+            space3.banned_mask([3])
+
+
+class TestImagesFromMap:
+    def test_identity_map(self, space3):
+        images = space3.images_from_map(lambda p: p)
+        assert images == tuple(range(space3.size))
+
+    def test_map_out_of_space_raises(self, space3):
+        def escape(pattern):
+            if pattern == Pattern([0, 0, 0]):
+                return Pattern([0, Qv.V0, 0])  # unpermutable
+            return pattern
+
+        with pytest.raises(InvalidPermutationError):
+            space3.images_from_map(escape)
+
+    def test_non_bijective_map_raises(self, space3):
+        def collapse(pattern):
+            return space3.pattern(0)
+
+        with pytest.raises(InvalidPermutationError):
+            space3.images_from_map(collapse)
+
+
+class TestCaching:
+    def test_label_space_is_cached(self):
+        assert label_space(3) is label_space(3)
+        assert label_space(3) is not label_space(3, reduced=False)
+
+    def test_describe_labels(self, space3):
+        text = space3.describe_labels([0, 4])
+        assert "1:(0, 0, 0)" in text and "5:(1, 0, 0)" in text
+
+    def test_repr(self, space3):
+        assert "reduced" in repr(space3) and "38" in repr(space3)

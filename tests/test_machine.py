@@ -1,0 +1,150 @@
+"""Unit tests for quantum state machines (repro.automata.machine)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.core.circuit import Circuit
+from repro.automata.machine import QuantumStateMachine
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+
+
+@pytest.fixture
+def coin_machine():
+    """1 input wire (A), 1 state wire (B): input=1 randomizes the state."""
+    return QuantumStateMachine(
+        Circuit.from_names("V_BA", 2),
+        input_wires=(0,),
+        state_wires=(1,),
+    )
+
+
+class TestConstruction:
+    def test_wires_must_partition(self):
+        with pytest.raises(SpecificationError):
+            QuantumStateMachine(
+                Circuit.from_names("V_BA", 2), input_wires=(0,), state_wires=(0,)
+            )
+        with pytest.raises(SpecificationError):
+            QuantumStateMachine(
+                Circuit.from_names("V_BA", 2), input_wires=(0,), state_wires=()
+            )
+
+    def test_output_wires_default_to_inputs(self, coin_machine):
+        assert coin_machine.output_wires == (0,)
+
+    def test_output_wire_range_check(self):
+        with pytest.raises(SpecificationError):
+            QuantumStateMachine(
+                Circuit.from_names("V_BA", 2),
+                input_wires=(0,),
+                state_wires=(1,),
+                output_wires=(2,),
+            )
+
+    def test_initial_state_default_zero(self, coin_machine):
+        assert coin_machine.state == (0,)
+
+    def test_initial_state_custom(self):
+        machine = QuantumStateMachine(
+            Circuit.from_names("V_BA", 2),
+            input_wires=(0,),
+            state_wires=(1,),
+            initial_state=(1,),
+        )
+        assert machine.state == (1,)
+
+    def test_bad_initial_state(self):
+        with pytest.raises(SpecificationError):
+            QuantumStateMachine(
+                Circuit.from_names("V_BA", 2),
+                input_wires=(0,),
+                state_wires=(1,),
+                initial_state=(2,),
+            )
+
+    def test_n_states(self, coin_machine):
+        assert coin_machine.n_states == 2
+
+
+class TestSemantics:
+    def test_output_pattern(self, coin_machine):
+        assert coin_machine.output_pattern((0,), (1,)) == Pattern([0, 1])
+        assert coin_machine.output_pattern((1,), (0,)) == Pattern([1, Qv.V0])
+
+    def test_joint_distribution_deterministic(self, coin_machine):
+        joint = coin_machine.joint_distribution((0,), (1,))
+        assert joint == {((0,), (1,)): Fraction(1)}
+
+    def test_joint_distribution_random(self, coin_machine):
+        joint = coin_machine.joint_distribution((1,), (0,))
+        assert joint == {
+            ((1,), (0,)): Fraction(1, 2),
+            ((1,), (1,)): Fraction(1, 2),
+        }
+
+    def test_joint_distribution_sums_to_one(self, coin_machine):
+        for inp in ((0,), (1,)):
+            for st in ((0,), (1,)):
+                assert sum(coin_machine.joint_distribution(inp, st).values()) == 1
+
+    def test_bad_bits_rejected(self, coin_machine):
+        with pytest.raises(SpecificationError):
+            coin_machine.output_pattern((2,), (0,))
+        with pytest.raises(SpecificationError):
+            coin_machine.joint_distribution((0, 1), (0,))
+
+
+class TestStepping:
+    def test_step_updates_state(self, coin_machine):
+        rng = random.Random(4)
+        step = coin_machine.step((1,), rng)
+        assert step.state_before == (0,)
+        assert step.state_after in ((0,), (1,))
+        assert coin_machine.state == step.state_after
+
+    def test_hold_input_preserves_state(self, coin_machine):
+        rng = random.Random(4)
+        coin_machine.reset()
+        for _ in range(5):
+            step = coin_machine.step((0,), rng)
+            assert step.state_after == (0,)
+
+    def test_run_sequence(self, coin_machine):
+        rng = random.Random(8)
+        steps = coin_machine.run([(1,), (0,), (1,)], rng)
+        assert len(steps) == 3
+        # The hold step keeps whatever the first step produced.
+        assert steps[1].state_after == steps[0].state_after
+
+    def test_reset(self, coin_machine):
+        rng = random.Random(6)
+        coin_machine.run([(1,)] * 4, rng)
+        coin_machine.reset()
+        assert coin_machine.state == (0,)
+
+    def test_measured_bits_recorded(self, coin_machine):
+        rng = random.Random(2)
+        step = coin_machine.step((1,), rng)
+        assert step.measured[0] == 1  # input wire passes through
+        assert step.output_bits == (step.measured[0],)
+
+    def test_repr(self, coin_machine):
+        assert "inputs=(0,)" in repr(coin_machine)
+
+
+class TestThreeWireMachine:
+    def test_machine_with_two_state_wires(self):
+        # V_BA, V_CA: enable randomizes both state wires.
+        machine = QuantumStateMachine(
+            Circuit.from_names("V_BA V_CA", 3),
+            input_wires=(0,),
+            state_wires=(1, 2),
+        )
+        joint = machine.joint_distribution((1,), (0, 0))
+        assert len(joint) == 4
+        assert machine.n_states == 4
+        assert sum(joint.values()) == 1

@@ -1,0 +1,116 @@
+"""Unit tests for induced Markov chains (repro.automata.markov)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.automata.machine import QuantumStateMachine
+from repro.automata.markov import MarkovChain
+from repro.core.circuit import Circuit
+
+HALF = Fraction(1, 2)
+
+
+@pytest.fixture
+def coin_machine():
+    return QuantumStateMachine(
+        Circuit.from_names("V_BA", 2), input_wires=(0,), state_wires=(1,)
+    )
+
+
+class TestConstruction:
+    def test_valid_chain(self):
+        chain = MarkovChain([[HALF, HALF], [Fraction(1), Fraction(0)]])
+        assert chain.size == 2
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(SpecificationError):
+            MarkovChain([[HALF, HALF], [HALF, Fraction(1, 4)]])
+
+    def test_rows_must_be_non_negative(self):
+        with pytest.raises(SpecificationError):
+            MarkovChain([[Fraction(3, 2), Fraction(-1, 2)], [HALF, HALF]])
+
+    def test_matrix_must_be_square(self):
+        with pytest.raises(SpecificationError):
+            MarkovChain([[Fraction(1)], [Fraction(1), Fraction(0)]])
+
+    def test_int_entries_coerced(self):
+        chain = MarkovChain([[1, 0], [0, 1]])
+        assert chain.probability(0, 0) == 1
+
+
+class TestFromMachine:
+    def test_randomizing_input(self, coin_machine):
+        chain = MarkovChain.from_machine(coin_machine, (1,))
+        assert chain.matrix == ((HALF, HALF), (HALF, HALF))
+
+    def test_holding_input(self, coin_machine):
+        chain = MarkovChain.from_machine(coin_machine, (0,))
+        assert chain.matrix == ((Fraction(1), Fraction(0)),
+                                (Fraction(0), Fraction(1)))
+
+
+class TestEvolution:
+    def test_step_distribution(self):
+        chain = MarkovChain([[HALF, HALF], [Fraction(1), Fraction(0)]])
+        dist = chain.step_distribution((Fraction(1), Fraction(0)))
+        assert dist == (HALF, HALF)
+
+    def test_n_step_distribution(self):
+        chain = MarkovChain([[HALF, HALF], [HALF, HALF]])
+        dist = chain.n_step_distribution((Fraction(1), Fraction(0)), 3)
+        assert dist == (HALF, HALF)
+
+    def test_zero_steps_is_identity(self):
+        chain = MarkovChain([[HALF, HALF], [HALF, HALF]])
+        start = (Fraction(1), Fraction(0))
+        assert chain.n_step_distribution(start, 0) == start
+
+    def test_distribution_size_checked(self):
+        chain = MarkovChain([[1, 0], [0, 1]])
+        with pytest.raises(SpecificationError):
+            chain.step_distribution((Fraction(1),))
+
+
+class TestStationarity:
+    def test_uniform_stationary_for_fair_chain(self, coin_machine):
+        chain = MarkovChain.from_machine(coin_machine, (1,))
+        stationary = chain.stationary_distribution()
+        assert np.allclose(stationary, [0.5, 0.5])
+
+    def test_is_stationary_exact(self, coin_machine):
+        chain = MarkovChain.from_machine(coin_machine, (1,))
+        assert chain.is_stationary((HALF, HALF))
+        assert not chain.is_stationary((Fraction(1), Fraction(0)))
+
+    def test_stationary_sums_to_one(self):
+        chain = MarkovChain(
+            [[HALF, HALF, 0], [0, HALF, HALF], [HALF, 0, HALF]]
+        )
+        stationary = chain.stationary_distribution()
+        assert np.isclose(stationary.sum(), 1.0)
+        p = chain.to_numpy()
+        assert np.allclose(stationary @ p, stationary)
+
+
+class TestStructure:
+    def test_irreducible_chain(self, coin_machine):
+        chain = MarkovChain.from_machine(coin_machine, (1,))
+        assert chain.is_irreducible()
+        assert len(chain.communicating_classes()) == 1
+
+    def test_reducible_chain(self, coin_machine):
+        chain = MarkovChain.from_machine(coin_machine, (0,))
+        assert not chain.is_irreducible()
+        assert len(chain.communicating_classes()) == 2
+
+    def test_to_numpy_dtype(self):
+        chain = MarkovChain([[1, 0], [0, 1]])
+        matrix = chain.to_numpy()
+        assert matrix.dtype == np.float64
+
+    def test_repr(self):
+        assert "size=2" in repr(MarkovChain([[1, 0], [0, 1]]))

@@ -1,0 +1,171 @@
+"""Unit tests for exact matrices (repro.linalg.matrix)."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.linalg.dyadic import DyadicComplex
+from repro.linalg.matrix import Matrix
+
+
+def d(a, b=0, k=0):
+    return DyadicComplex(a, b, k)
+
+
+class TestConstruction:
+    def test_from_ints(self):
+        m = Matrix([[1, 0], [0, 1]])
+        assert m.shape == (2, 2)
+        assert m[0, 0] == d(1)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(InvalidValueError):
+            Matrix([[1, 0], [1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidValueError):
+            Matrix([])
+        with pytest.raises(InvalidValueError):
+            Matrix([[]])
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(InvalidValueError):
+            Matrix([[1.5]])
+
+    def test_identity(self):
+        assert Matrix.identity(3).is_identity()
+
+    def test_zero(self):
+        z = Matrix.zero(2, 3)
+        assert z.shape == (2, 3)
+        assert all(z[r, c].is_zero for r in range(2) for c in range(3))
+
+    def test_basis_state(self):
+        v = Matrix.basis_state(2, 4)
+        assert v.column_vector() == (d(0), d(0), d(1), d(0))
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(InvalidValueError):
+            Matrix.basis_state(4, 4)
+
+
+class TestAlgebra:
+    def test_addition_and_subtraction(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[5, 6], [7, 8]])
+        assert (a + b) - b == a
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InvalidValueError):
+            Matrix([[1]]) + Matrix([[1, 2]])
+
+    def test_matmul(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[0, 1], [1, 0]])
+        assert a @ b == Matrix([[2, 1], [4, 3]])
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(InvalidValueError):
+            Matrix([[1, 2]]) @ Matrix([[1, 2]])
+
+    def test_scale(self):
+        assert Matrix([[1, 2]]).scale(3) == Matrix([[3, 6]])
+
+    def test_power(self):
+        x = Matrix([[0, 1], [1, 0]])
+        assert x.power(0).is_identity()
+        assert x.power(2).is_identity()
+        assert x.power(5) == x
+
+    def test_power_negative_raises(self):
+        with pytest.raises(InvalidValueError):
+            Matrix.identity(2).power(-1)
+
+    def test_power_non_square_raises(self):
+        with pytest.raises(InvalidValueError):
+            Matrix([[1, 2]]).power(2)
+
+
+class TestKron:
+    def test_kron_shapes(self):
+        a = Matrix.identity(2)
+        assert a.kron(a).shape == (4, 4)
+
+    def test_kron_identity_is_identity(self):
+        assert Matrix.identity(2).kron(Matrix.identity(4)).is_identity()
+
+    def test_kron_wire_zero_most_significant(self):
+        # |1> kron |0> should be basis state 2 of dimension 4.
+        one = Matrix.column([0, 1])
+        zero = Matrix.column([1, 0])
+        assert one.kron(zero) == Matrix.basis_state(2, 4)
+
+    def test_kron_mixed_product_rule(self):
+        # (A kron B)(C kron D) = AC kron BD
+        a = Matrix([[1, 1], [0, 1]])
+        b = Matrix([[2, 0], [1, 1]])
+        c = Matrix([[1, 0], [1, 1]])
+        e = Matrix([[0, 1], [1, 0]])
+        assert a.kron(b) @ c.kron(e) == (a @ c).kron(b @ e)
+
+
+class TestDagger:
+    def test_dagger_conjugates_and_transposes(self):
+        m = Matrix([[d(1, 1), d(0)], [d(2), d(0, -1)]])
+        dm = m.dagger()
+        assert dm[0, 0] == d(1, -1)
+        assert dm[0, 1] == d(2)
+        assert dm[1, 1] == d(0, 1)
+
+    def test_dagger_of_product(self):
+        a = Matrix([[d(1, 1), d(0)], [d(1), d(1)]])
+        b = Matrix([[d(0), d(1)], [d(1, -1), d(0)]])
+        assert (a @ b).dagger() == b.dagger() @ a.dagger()
+
+    def test_transpose(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose().shape == (3, 2)
+        assert m.transpose()[2, 1] == d(6)
+
+
+class TestPredicates:
+    def test_is_unitary_of_permutation(self):
+        x = Matrix([[0, 1], [1, 0]])
+        assert x.is_unitary()
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not Matrix([[1, 1], [0, 1]]).is_unitary()
+        assert not Matrix([[1, 0]]).is_unitary()
+
+    def test_permutation_matrix_detection(self):
+        p = Matrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        assert p.is_permutation_matrix()
+        assert not Matrix([[1, 1], [0, 0]]).is_permutation_matrix()
+
+    def test_permutation_images(self):
+        # Column j maps to the row holding the 1.
+        p = Matrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        assert p.permutation_images() == (2, 0, 1)
+
+    def test_permutation_images_rejects_general_matrix(self):
+        with pytest.raises(InvalidValueError):
+            Matrix([[1, 1], [0, 0]]).permutation_images()
+
+
+class TestAccessors:
+    def test_column_vector_on_matrix_raises(self):
+        with pytest.raises(InvalidValueError):
+            Matrix.identity(2).column_vector()
+
+    def test_rows_immutable_view(self):
+        m = Matrix([[1, 2]])
+        assert m.rows() == ((d(1), d(2)),)
+
+    def test_to_complex_lists(self):
+        m = Matrix([[d(1, 1, 1)]])
+        assert m.to_complex_lists() == [[0.5 + 0.5j]]
+
+    def test_str_contains_entries(self):
+        assert "1/2" in str(Matrix([[d(1, 0, 1)]]))
+
+    def test_hash_equal_matrices(self):
+        assert hash(Matrix.identity(2)) == hash(Matrix.identity(2))

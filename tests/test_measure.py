@@ -1,0 +1,80 @@
+"""Unit tests for measurement sampling (repro.sim.measure)."""
+
+import random
+from fractions import Fraction
+
+from repro.core.circuit import Circuit
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+from repro.sim.measure import (
+    empirical_distribution,
+    exact_output_distribution,
+    sample_circuit,
+    sample_pattern,
+    total_variation_distance,
+)
+
+
+class TestSamplePattern:
+    def test_binary_pattern_deterministic(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            assert sample_pattern(Pattern([1, 0, 1]), rng) == (1, 0, 1)
+
+    def test_mixed_wires_sampled(self):
+        rng = random.Random(0)
+        outcomes = {
+            sample_pattern(Pattern([1, Qv.V0, 0]), rng) for _ in range(200)
+        }
+        assert outcomes == {(1, 0, 0), (1, 1, 0)}
+
+    def test_seeded_reproducibility(self):
+        a = [sample_pattern(Pattern([Qv.V0, Qv.V1]), random.Random(9))
+             for _ in range(1)]
+        b = [sample_pattern(Pattern([Qv.V0, Qv.V1]), random.Random(9))
+             for _ in range(1)]
+        assert a == b
+
+
+class TestSampleCircuit:
+    def test_shots_count(self):
+        circuit = Circuit.from_names("V_BA", 3)
+        samples = sample_circuit(circuit, (1, 0, 0), random.Random(1), shots=25)
+        assert len(samples) == 25
+
+    def test_deterministic_circuit_constant_samples(self):
+        circuit = Circuit.from_names("F_BA", 3)
+        samples = sample_circuit(circuit, (1, 0, 1), random.Random(2), shots=5)
+        assert set(samples) == {(1, 1, 1)}
+
+
+class TestDistributions:
+    def test_empirical_distribution_sums_to_one(self):
+        samples = [(0,), (1,), (1,), (1,)]
+        dist = empirical_distribution(samples)
+        assert dist == {(0,): 0.25, (1,): 0.75}
+
+    def test_exact_output_distribution(self):
+        circuit = Circuit.from_names("V_BA V_CA", 3)
+        dist = exact_output_distribution(circuit, (1, 0, 0))
+        assert len(dist) == 4
+        assert all(p == Fraction(1, 4) for p in dist.values())
+
+    def test_total_variation_identical(self):
+        exact = {(0,): Fraction(1, 2), (1,): Fraction(1, 2)}
+        assert total_variation_distance(exact, {(0,): 0.5, (1,): 0.5}) == 0
+
+    def test_total_variation_disjoint(self):
+        exact = {(0,): Fraction(1)}
+        assert total_variation_distance(exact, {(1,): 1.0}) == 1.0
+
+    def test_sampling_converges_to_exact(self):
+        # Statistical check with a fixed seed: TV distance for 8000
+        # samples over 4 outcomes stays well under 0.05.
+        circuit = Circuit.from_names("V_BA V_CA", 3)
+        samples = sample_circuit(circuit, (1, 0, 0), random.Random(77), shots=8000)
+        tv = total_variation_distance(
+            exact_output_distribution(circuit, (1, 0, 0)),
+            empirical_distribution(samples),
+        )
+        assert tv < 0.05

@@ -1,0 +1,97 @@
+"""Unit tests for the MMD transformation heuristic (repro.baselines.mmd)."""
+
+import random
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.baselines.mmd import mmd_synthesize
+from repro.baselines.nct import NCTLibrary
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+
+@pytest.fixture(scope="module")
+def lib3():
+    return NCTLibrary(3)
+
+
+class TestCorrectness:
+    def test_identity_gives_empty_circuit(self, lib3):
+        assert mmd_synthesize(named.IDENTITY3, 3) == []
+
+    @pytest.mark.parametrize(
+        "name", ["toffoli", "fredkin", "peres", "g2", "g3", "g4", "swap_bc"]
+    )
+    def test_named_targets_roundtrip(self, lib3, name):
+        target = named.TARGETS[name]
+        circuit = mmd_synthesize(target, 3)
+        assert lib3.permutation_of(circuit) == target
+
+    def test_not_layer_targets(self, lib3):
+        for mask in range(8):
+            target = named.not_layer_permutation(mask)
+            circuit = mmd_synthesize(target, 3)
+            assert lib3.permutation_of(circuit) == target
+            # Pure NOT layers synthesize as pure NOT gates.
+            assert all(g.kind == "NOT" for g in circuit)
+
+    def test_exhaustive_roundtrip_random_sample(self, lib3):
+        rng = random.Random(11)
+        for _ in range(200):
+            images = list(range(8))
+            rng.shuffle(images)
+            target = Permutation.from_images(images)
+            circuit = mmd_synthesize(target, 3)
+            assert lib3.permutation_of(circuit) == target
+
+    def test_two_wire_targets(self):
+        lib2 = NCTLibrary(2)
+        import itertools
+
+        for images in itertools.permutations(range(4)):
+            target = Permutation.from_images(images)
+            circuit = mmd_synthesize(target, 2)
+            assert lib2.permutation_of(circuit) == target
+
+
+class TestQuality:
+    def test_gate_count_at_least_optimal(self, lib3, nct_synthesizer):
+        rng = random.Random(21)
+        for _ in range(50):
+            images = list(range(8))
+            rng.shuffle(images)
+            target = Permutation.from_images(images)
+            heuristic = len(mmd_synthesize(target, 3))
+            optimal = nct_synthesizer.optimal_gate_count(target)
+            assert heuristic >= optimal
+
+    def test_heuristic_is_not_always_optimal(self, lib3, nct_synthesizer):
+        # There must exist targets where MMD loses (otherwise it would
+        # solve optimal synthesis in linear time).
+        rng = random.Random(3)
+        gaps = 0
+        for _ in range(100):
+            images = list(range(8))
+            rng.shuffle(images)
+            target = Permutation.from_images(images)
+            gap = len(mmd_synthesize(target, 3)) - (
+                nct_synthesizer.optimal_gate_count(target)
+            )
+            gaps += gap > 0
+        assert gaps > 0
+
+    def test_gate_count_bounded(self, lib3):
+        # Crude worst-case bound: at most n * 2**n gates for n = 3.
+        rng = random.Random(13)
+        for _ in range(100):
+            images = list(range(8))
+            rng.shuffle(images)
+            circuit = mmd_synthesize(Permutation.from_images(images), 3)
+            assert len(circuit) <= 24
+
+
+class TestValidation:
+    def test_degree_mismatch(self):
+        with pytest.raises(SpecificationError):
+            mmd_synthesize(Permutation.identity(8), 2)

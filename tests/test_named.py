@@ -1,0 +1,157 @@
+"""Unit tests for named reversible targets (repro.gates.named)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+
+class TestPaperCycleForms:
+    """The cycle representations printed in Section 5."""
+
+    def test_toffoli(self):
+        assert named.TOFFOLI.cycle_string() == "(7,8)"
+
+    def test_fredkin(self):
+        assert named.FREDKIN.cycle_string() == "(6,7)"
+
+    def test_peres_g1(self):
+        assert named.PERES.cycle_string() == "(5,7,6,8)"
+
+    def test_g2(self):
+        assert named.G2.cycle_string() == "(5,8,7,6)"
+
+    def test_g3(self):
+        assert named.G3.cycle_string() == "(3,4)(5,7)(6,8)"
+
+    def test_g4(self):
+        assert named.G4.cycle_string() == "(3,4)(5,8)(6,7)"
+
+    def test_g1_to_g4_pairwise_distinct(self):
+        gates = [named.PERES, named.G2, named.G3, named.G4]
+        assert len(set(gates)) == 4
+
+
+class TestFunctionForms:
+    """Cycle forms must equal the paper's printed Boolean equations."""
+
+    @pytest.mark.parametrize(
+        "perm,functions",
+        [
+            (named.TOFFOLI, named.TOFFOLI_FUNCTIONS),
+            (named.PERES, named.PERES_FUNCTIONS),
+            (named.G2, named.G2_FUNCTIONS),
+            (named.G3, named.G3_FUNCTIONS),
+            (named.G4, named.G4_FUNCTIONS),
+        ],
+    )
+    def test_cycle_equals_boolean_spec(self, perm, functions):
+        assert named.from_output_functions(3, list(functions)) == perm
+
+    def test_fredkin_functions(self):
+        fredkin = named.from_output_functions(
+            3,
+            [
+                lambda b: b[0],
+                lambda b: b[2] if b[0] else b[1],
+                lambda b: b[1] if b[0] else b[2],
+            ],
+        )
+        assert fredkin == named.FREDKIN
+
+
+class TestFromOutputFunctions:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SpecificationError):
+            named.from_output_functions(3, [lambda b: b[0]])
+
+    def test_irreversible_rejected(self):
+        with pytest.raises(SpecificationError):
+            named.from_output_functions(
+                2, [lambda b: b[0], lambda b: b[0]]
+            )
+
+    def test_identity(self):
+        perm = named.from_output_functions(
+            2, [lambda b: b[0], lambda b: b[1]]
+        )
+        assert perm.is_identity
+
+
+class TestNotLayers:
+    def test_involutions(self):
+        for mask in range(8):
+            layer = named.not_layer_permutation(mask)
+            assert (layer * layer).is_identity
+
+    def test_xor_action(self):
+        layer = named.not_layer_permutation(0b101)
+        assert layer(0b000) == 0b101
+        assert layer(0b110) == 0b011
+
+    def test_group_closure(self):
+        layers = named.not_group(3)
+        assert len(layers) == 8
+        products = {a * b for a in layers for b in layers}
+        assert products == set(layers)
+
+    def test_distinct_products_condition(self):
+        # Paper: for a, b in N, a*b = () iff a = b.
+        layers = named.not_group(3)
+        for a in layers:
+            for b in layers:
+                assert ((a * b).is_identity) == (a == b)
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(SpecificationError):
+            named.not_layer_permutation(8, 3)
+
+
+class TestWireRelabeling:
+    def test_identity_relabeling(self):
+        assert named.wire_relabeling([0, 1, 2]).is_identity
+
+    def test_swap_ab_moves_patterns(self):
+        perm = named.wire_relabeling([1, 0, 2])
+        # (1,0,0) -> (0,1,0): index 4 -> 2.
+        assert perm(4) == 2
+
+    def test_homomorphism(self):
+        # relabel(p) * relabel(q) corresponds to composing wire maps.
+        p = [1, 2, 0]
+        q = [2, 0, 1]
+        composed = [q[p[w]] for w in range(3)]
+        assert (
+            named.wire_relabeling(p) * named.wire_relabeling(q)
+            == named.wire_relabeling(composed)
+        )
+
+    def test_invalid_relabeling(self):
+        with pytest.raises(SpecificationError):
+            named.wire_relabeling([0, 0, 1])
+
+
+class TestTargetBuilders:
+    def test_cnot_target(self):
+        perm = named.cnot_target(1, 0)
+        assert perm.cycle_string() == "(5,7)(6,8)"
+
+    def test_swap_target(self):
+        perm = named.swap_target(1, 2)
+        # (0,1,0) <-> (0,0,1) and (1,1,0) <-> (1,0,1).
+        assert perm.cycle_string() == "(2,3)(6,7)"
+
+    def test_swap_is_involution(self):
+        assert (named.swap_target(0, 2) * named.swap_target(0, 2)).is_identity
+
+    def test_registry_contents(self):
+        assert named.TARGETS["toffoli"] == named.TOFFOLI
+        assert named.TARGETS["g1"] == named.PERES
+        assert all(
+            isinstance(p, Permutation) and p.degree == 8
+            for p in named.TARGETS.values()
+        )
+
+    def test_identity3(self):
+        assert named.IDENTITY3.is_identity

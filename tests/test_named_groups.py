@@ -1,0 +1,94 @@
+"""Unit tests for named groups and coset machinery (repro.perm.named_groups)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gates import named
+from repro.perm.group import PermutationGroup
+from repro.perm.named_groups import (
+    closure_levels,
+    coset_decomposition,
+    symmetric_group,
+    symmetric_group_order,
+)
+from repro.perm.permutation import Permutation
+
+
+class TestSymmetricGroup:
+    @pytest.mark.parametrize("n,order", [(1, 1), (2, 2), (3, 6), (4, 24), (8, 40320)])
+    def test_orders(self, n, order):
+        assert symmetric_group(n).order() == order
+        assert symmetric_group_order(n) == order
+
+    def test_contains_arbitrary_permutation(self):
+        g = symmetric_group(6)
+        assert Permutation.from_cycles(6, [(1, 4, 2), (3, 6)]) in g
+
+
+class TestCosetDecomposition:
+    def test_not_group_transversal_of_stabilizer(self):
+        # Theorem 2 for n = 2: S4 = union of 4 cosets of Stab(0).
+        stab = symmetric_group(4).stabilizer(0)
+        layers = named.not_group(2)
+        cosets = coset_decomposition(stab, layers)
+        assert len(cosets) == 4
+        union = set()
+        for coset in cosets.values():
+            assert len(coset) == 6
+            union |= coset
+        assert len(union) == 24
+
+    def test_non_transversal_rejected(self):
+        stab = symmetric_group(4).stabilizer(0)
+        # Two elements of the same coset (both fix point 0).
+        a = Permutation.identity(4)
+        b = Permutation.from_cycles(4, [(2, 3)])
+        with pytest.raises(ReproError):
+            coset_decomposition(stab, [a, b])
+
+    def test_single_coset(self):
+        g = PermutationGroup([Permutation.from_cycles(3, [(1, 2, 3)])])
+        cosets = coset_decomposition(g, [Permutation.identity(3)])
+        assert len(next(iter(cosets.values()))) == 3
+
+
+class TestClosureLevels:
+    def test_cnot_closure_is_gl32(self):
+        gens = [
+            named.cnot_target(t, c)
+            for t in range(3)
+            for c in range(3)
+            if t != c
+        ]
+        levels = closure_levels(gens, 8)
+        total = sum(len(level) for level in levels)
+        assert total == 168  # |GL(3,2)|
+        assert len(levels[0]) == 1 and len(levels[1]) == 6
+
+    def test_levels_are_minimal_word_lengths(self):
+        gens = [
+            named.cnot_target(t, c)
+            for t in range(3)
+            for c in range(3)
+            if t != c
+        ]
+        levels = closure_levels(gens, 8)
+        # No element appears at two levels.
+        seen = set()
+        for level in levels:
+            assert not (level & seen)
+            seen |= level
+
+    def test_max_levels_cap(self):
+        gens = [Permutation.from_cycles(10, [tuple(range(1, 11))])]
+        levels = closure_levels(gens, 10, max_levels=3)
+        assert len(levels) <= 4
+
+    def test_identity_only_for_empty_generators(self):
+        levels = closure_levels([], 5)
+        assert levels == [{Permutation.identity(5)}]
+
+    def test_involution_closure(self):
+        t = Permutation.transposition(4, 0, 1)
+        levels = closure_levels([t], 4)
+        assert [len(l) for l in levels] == [1, 1]

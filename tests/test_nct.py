@@ -1,0 +1,144 @@
+"""Unit tests for the NCT baseline (repro.baselines.nct)."""
+
+import pytest
+
+from repro.errors import InvalidGateError, SynthesisError
+from repro.baselines.nct import (
+    NCTCostAssignment,
+    NCTGate,
+    NCTLibrary,
+    NCTSynthesizer,
+    nct_quantum_cost,
+)
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+#: The classic optimal NCT synthesis histogram (Shende et al., ICCAD'02).
+CLASSIC_HISTOGRAM = {
+    0: 1, 1: 12, 2: 102, 3: 625, 4: 2780,
+    5: 8921, 6: 17049, 7: 10253, 8: 577,
+}
+
+
+class TestNCTGate:
+    def test_kinds(self):
+        assert NCTGate(0, (), 3).kind == "NOT"
+        assert NCTGate(0, (1,), 3).kind == "CNOT"
+        assert NCTGate(0, (1, 2), 3).kind == "TOFFOLI"
+
+    def test_names(self):
+        assert NCTGate(0, (), 3).name == "NOT_A"
+        assert NCTGate(1, (0,), 3).name == "CNOT_BA"
+        assert NCTGate(2, (0, 1), 3).name == "TOF_C(AB)"
+
+    def test_validation(self):
+        with pytest.raises(InvalidGateError):
+            NCTGate(0, (0,), 3)
+        with pytest.raises(InvalidGateError):
+            NCTGate(3, (), 3)
+        with pytest.raises(InvalidGateError):
+            NCTGate(0, (2, 1), 3)  # unsorted controls
+
+    def test_not_permutation(self):
+        perm = NCTGate(0, (), 3).permutation()
+        assert perm(0) == 4 and perm(7) == 3
+
+    def test_toffoli_permutation(self):
+        perm = NCTGate(2, (0, 1), 3).permutation()
+        assert perm == named.TOFFOLI
+
+    def test_gates_are_involutions(self):
+        for gate in NCTLibrary(3).gates:
+            p = gate.permutation()
+            assert (p * p).is_identity
+
+
+class TestNCTLibrary:
+    def test_three_wire_count(self):
+        # 3 NOT + 6 CNOT + 3 Toffoli = 12.
+        assert len(NCTLibrary(3)) == 12
+
+    def test_two_wire_count(self):
+        # 2 NOT + 2 CNOT.
+        assert len(NCTLibrary(2)) == 4
+
+    def test_max_controls_cap(self):
+        assert len(NCTLibrary(3, max_controls=1)) == 9
+
+    def test_by_name(self):
+        lib = NCTLibrary(3)
+        assert lib.by_name("TOF_C(AB)").controls == (0, 1)
+        with pytest.raises(InvalidGateError):
+            lib.by_name("TOF_X")
+
+    def test_permutation_of_cascade(self):
+        lib = NCTLibrary(3)
+        circuit = [lib.by_name("CNOT_BA"), lib.by_name("CNOT_BA")]
+        assert lib.permutation_of(circuit).is_identity
+
+
+class TestCostAssignment:
+    def test_default_costs(self):
+        assign = NCTCostAssignment()
+        lib = NCTLibrary(3)
+        assert assign.gate_cost(lib.by_name("NOT_A")) == 0
+        assert assign.gate_cost(lib.by_name("CNOT_BA")) == 1
+        assert assign.gate_cost(lib.by_name("TOF_C(AB)")) == 5
+
+    def test_multi_control_flagged(self):
+        gate = NCTGate(0, (1, 2, 3), 4)
+        assert NCTCostAssignment().gate_cost(gate) == 1_000
+
+    def test_circuit_cost(self):
+        lib = NCTLibrary(3)
+        circuit = [lib.by_name("TOF_C(AB)"), lib.by_name("CNOT_BA"),
+                   lib.by_name("NOT_A")]
+        assert nct_quantum_cost(circuit) == 6
+
+
+class TestSynthesizer:
+    def test_reaches_all_of_s8(self, nct_synthesizer):
+        assert nct_synthesizer.reachable_count() == 40320
+
+    def test_classic_distribution(self, nct_synthesizer):
+        assert nct_synthesizer.gate_count_distribution() == CLASSIC_HISTOGRAM
+
+    def test_toffoli_is_one_gate(self, nct_synthesizer):
+        assert nct_synthesizer.optimal_gate_count(named.TOFFOLI) == 1
+        circuit = nct_synthesizer.synthesize(named.TOFFOLI)
+        assert [g.name for g in circuit] == ["TOF_C(AB)"]
+
+    def test_peres_is_two_gates(self, nct_synthesizer):
+        assert nct_synthesizer.optimal_gate_count(named.PERES) == 2
+
+    def test_fredkin_is_three_gates(self, nct_synthesizer):
+        assert nct_synthesizer.optimal_gate_count(named.FREDKIN) == 3
+
+    def test_identity_is_zero_gates(self, nct_synthesizer):
+        assert nct_synthesizer.optimal_gate_count(named.IDENTITY3) == 0
+        assert nct_synthesizer.synthesize(named.IDENTITY3) == []
+
+    def test_synthesis_roundtrip_on_samples(self, nct_synthesizer):
+        import random
+
+        lib = nct_synthesizer.library
+        rng = random.Random(5)
+        for _ in range(25):
+            images = list(range(8))
+            rng.shuffle(images)
+            target = Permutation.from_images(images)
+            circuit = nct_synthesizer.synthesize(target)
+            assert lib.permutation_of(circuit) == target
+            assert len(circuit) == nct_synthesizer.optimal_gate_count(target)
+
+    def test_unreachable_target_raises(self):
+        # A wrong-degree target is never in the BFS table.
+        synth = NCTSynthesizer(NCTLibrary(2))
+        with pytest.raises(SynthesisError):
+            synth.optimal_gate_count(Permutation.identity(8))
+        with pytest.raises(SynthesisError):
+            synth.synthesize(Permutation.identity(8))
+
+    def test_two_wire_nct_generates_s4(self):
+        synth = NCTSynthesizer(NCTLibrary(2))
+        assert synth.reachable_count() == 24

@@ -1,0 +1,195 @@
+"""Integration test: every quantitative claim of the paper in one place.
+
+This is the reproduction's headline check.  Each test cites the paper
+section it validates; EXPERIMENTS.md documents the two deviations
+(|G[2]| and |G[3]| of Table 2).
+"""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.core.mce import express, express_all
+from repro.core.theorems import paper_generator_group, verify_theorem2
+from repro.core.universality import analyze_g4, is_universal, match_paper_representatives
+from repro.gates import named
+from repro.gates.gate import Gate
+from repro.gates.truth_table import TruthTable
+from repro.mvl.labels import label_space
+from repro.sim.verify import verify_synthesis
+
+
+class TestSection2:
+    """Elementary gates and the value system."""
+
+    def test_v_is_square_root_of_not(self):
+        from repro.linalg import V, VDAG, X
+
+        assert V @ V == X and VDAG @ VDAG == X
+        assert (V @ VDAG).is_identity() and (VDAG @ V).is_identity()
+
+    def test_value_identities(self):
+        # V0 = V+1, V1 = V+0; V(V1) = V+(V0) = 0; V(V0) = V+(V1) = 1.
+        from repro.linalg import V, VDAG, value_state
+        from repro.mvl.values import Qv
+
+        assert value_state(Qv.V0) == VDAG @ value_state(Qv.ONE)
+        assert value_state(Qv.V1) == VDAG @ value_state(Qv.ZERO)
+        assert V @ value_state(Qv.V1) == value_state(Qv.ZERO)
+        assert VDAG @ value_state(Qv.V0) == value_state(Qv.ZERO)
+        assert V @ value_state(Qv.V0) == value_state(Qv.ONE)
+        assert VDAG @ value_state(Qv.V1) == value_state(Qv.ONE)
+
+
+class TestTable1:
+    def test_ctrl_v_truth_table_permutation(self):
+        space = label_space(2, reduced=False, ordering="grouped")
+        table = TruthTable.from_gate(Gate.v(1, 0, 2), space)
+        assert table.permutation().cycle_string() == "(3,7,4,8)"
+
+
+class TestSection3:
+    """The 38-label formulation."""
+
+    def test_domain_reduction_64_to_38(self, space3):
+        assert space3.size == 38
+
+    def test_printed_gate_permutations(self, library3):
+        assert (
+            library3.by_name("V_BA").permutation.cycle_string()
+            == "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)"
+        )
+        assert (
+            library3.by_name("V+_AB").permutation.cycle_string()
+            == "(3,33,7,26)(4,34,8,27)(9,35,15,28)(10,36,16,29)"
+        )
+        assert (
+            library3.by_name("F_CA").permutation.cycle_string()
+            == "(5,6)(7,8)(17,18)(21,22)"
+        )
+
+    def test_printed_banned_sets(self, library3):
+        banned = library3.banned_sets_paper()
+        assert banned["N_A"] == tuple(range(25, 39))
+        assert banned["N_B"] == (
+            11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 30, 31, 37, 38,
+        )
+        assert banned["N_C"] == (
+            9, 10, 13, 14, 15, 16, 19, 20, 23, 24, 28, 29, 35, 36,
+        )
+
+    def test_group_orders(self):
+        # |G| = 5040, |S8| = 40320.
+        assert paper_generator_group().order() == 5040
+        summary = verify_theorem2(3)
+        assert summary["h_order"] == 40320
+        assert summary["n_cosets"] == 8
+
+
+class TestTable2:
+    def test_full_cost_spectrum(self, cost_table7):
+        paper = [1, 6, 30, 52, 84, 156, 398, 540]
+        ours = cost_table7.g_sizes
+        # Exact agreement at k = 0, 1, 4, 5, 6, 7.
+        for k in (0, 1, 4, 5, 6, 7):
+            assert ours[k] == paper[k], f"k={k}"
+        # Documented deviations: 24 vs 30 at k=2, 51 vs 52 at k=3.
+        assert ours[2] == 24
+        assert ours[3] == 51
+
+    def test_s8_row_is_eight_times_g_row(self, cost_table7):
+        assert cost_table7.s8_sizes == [8 * g for g in cost_table7.g_sizes]
+
+    def test_paper_pseudocode_recovers_52_at_cost_3(self, library3):
+        table = find_minimum_cost_circuits(
+            library3, cost_bound=3, paper_pseudocode=True
+        )
+        assert table.g_sizes[3] == 52
+
+
+class TestSection5Gates:
+    """G[4] structure and the g1..g4 family (Figures 4-7)."""
+
+    def test_g4_decomposition(self, cost_table5):
+        analysis = analyze_g4(cost_table5)
+        assert len(analysis.feynman_only) == 60
+        assert len(analysis.control_using) == 24
+        assert len(analysis.universal) == 24
+        assert [len(o) for o in analysis.orbits] == [6, 6, 6, 6]
+        assert len(match_paper_representatives(analysis)) == 4
+
+    def test_universality_claim(self):
+        for gate in (named.PERES, named.G2, named.G3, named.G4):
+            assert is_universal(gate)
+
+    @pytest.mark.parametrize(
+        "target,cascade",
+        [
+            (named.PERES, "V_CB F_BA V_CA V+_CB"),   # Figure 4
+            (named.G2, "V+_BC F_CA V_BA V_BC"),      # Figure 5
+            (named.G3, "V_CB F_BA V+_CA V_CB"),      # Figure 6
+            (named.G4, "V_CB F_BA V_CA V_CB"),       # Figure 7
+        ],
+    )
+    def test_printed_cascades_realize_printed_permutations(
+        self, target, cascade
+    ):
+        circuit = Circuit.from_names(cascade, 3)
+        assert circuit.binary_permutation() == target
+        assert circuit.cost() == 4
+        assert circuit.is_reasonable()
+
+    @pytest.mark.parametrize(
+        "target", [named.PERES, named.G2, named.G3, named.G4]
+    )
+    def test_family_synthesizes_at_cost_4(self, target, library3, search3):
+        result = express(target, library3, search=search3)
+        assert result.cost == 4
+        assert verify_synthesis(result)
+
+
+class TestPeresAndToffoli:
+    """Figures 4, 8, 9 and the reported implementation counts."""
+
+    def test_peres_two_implementations_adjoint_pair(self, library3, search3):
+        results = express_all(named.PERES, library3, search=search3)
+        assert len(results) == 2
+        for result in results:
+            assert result.cost == 4
+            assert verify_synthesis(result)
+
+    def test_figure8_is_adjoint_swap_of_figure4(self):
+        figure4 = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        figure8 = Circuit.from_names("V+_CB F_BA V+_CA V_CB", 3)
+        assert figure4.adjoint_swapped() == figure8
+        assert figure8.binary_permutation() == named.PERES
+
+    def test_toffoli_four_implementations(self, library3, search3):
+        results = express_all(named.TOFFOLI, library3, search=search3)
+        assert len(results) == 4
+        for result in results:
+            assert result.cost == 5
+            assert verify_synthesis(result)
+
+    @pytest.mark.parametrize(
+        "cascade",
+        [
+            "F_BA V+_CB F_BA V_CA V_CB",   # Figure 9a
+            "F_BA V_CB F_BA V+_CA V+_CB",  # Figure 9b
+            "F_AB V+_CA F_AB V_CA V_CB",   # Figure 9c
+            "F_AB V_CA F_AB V+_CA V+_CB",  # Figure 9d
+        ],
+    )
+    def test_figure9_cascades(self, cascade):
+        circuit = Circuit.from_names(cascade, 3)
+        assert circuit.binary_permutation() == named.TOFFOLI
+        assert circuit.cost() == 5
+        assert circuit.is_reasonable()
+
+    def test_figure9_pairs_are_adjoint_swaps(self):
+        a = Circuit.from_names("F_BA V+_CB F_BA V_CA V_CB", 3)
+        b = Circuit.from_names("F_BA V_CB F_BA V+_CA V+_CB", 3)
+        assert a.adjoint_swapped() == b
+        c = Circuit.from_names("F_AB V+_CA F_AB V_CA V_CB", 3)
+        d = Circuit.from_names("F_AB V_CA F_AB V+_CA V+_CB", 3)
+        assert c.adjoint_swapped() == d

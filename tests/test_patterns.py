@@ -1,0 +1,157 @@
+"""Unit tests for quaternary patterns (repro.mvl.patterns)."""
+
+import pytest
+from fractions import Fraction
+
+from repro.errors import InvalidValueError
+from repro.mvl.patterns import (
+    Pattern,
+    all_patterns,
+    binary_patterns,
+    pattern_from_bits,
+    pattern_from_int,
+    pattern_from_string,
+    pattern_measurement_distribution,
+    pattern_to_int,
+)
+from repro.mvl.values import Qv
+
+
+class TestConstruction:
+    def test_from_values_and_ints(self):
+        p = Pattern([1, Qv.V0, 0])
+        assert p == (Qv.ONE, Qv.V0, Qv.ZERO)
+        assert p.n_qubits == 3
+
+    def test_pattern_is_tuple_subclass(self):
+        p = Pattern([0, 1])
+        assert isinstance(p, tuple)
+        assert p[0] is Qv.ZERO and p[1] is Qv.ONE
+
+    def test_from_bits(self):
+        assert pattern_from_bits([1, 0, 1]) == Pattern([1, 0, 1])
+
+    def test_from_bits_rejects_non_bits(self):
+        with pytest.raises(InvalidValueError):
+            pattern_from_bits([0, 2])
+
+    def test_from_string(self):
+        assert pattern_from_string("1,V0,0") == Pattern([1, Qv.V0, 0])
+        assert pattern_from_string("1 V1") == Pattern([1, Qv.V1])
+
+    def test_from_string_empty_raises(self):
+        with pytest.raises(InvalidValueError):
+            pattern_from_string("  ")
+
+
+class TestIntEncoding:
+    def test_roundtrip_all_three_qubit_codes(self):
+        for code in range(64):
+            assert pattern_to_int(pattern_from_int(code, 3)) == code
+
+    def test_wire_zero_most_significant(self):
+        # code 16 = 1*4^2: wire A carries value 1.
+        assert pattern_from_int(16, 3) == Pattern([1, 0, 0])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(InvalidValueError):
+            pattern_from_int(64, 3)
+        with pytest.raises(InvalidValueError):
+            pattern_from_int(-1, 3)
+
+    def test_tuple_order_matches_int_order(self):
+        codes = list(range(64))
+        patterns = [pattern_from_int(c, 3) for c in codes]
+        assert patterns == sorted(patterns)
+
+
+class TestPredicates:
+    def test_is_binary(self):
+        assert Pattern([0, 1, 1]).is_binary
+        assert not Pattern([0, Qv.V0, 1]).is_binary
+
+    def test_has_one(self):
+        assert Pattern([0, 1, Qv.V0]).has_one
+        assert not Pattern([0, Qv.V0, Qv.V1]).has_one
+
+    def test_is_permutable_includes_all_zero(self):
+        assert Pattern([0, 0, 0]).is_permutable
+        assert Pattern([0, 1, Qv.V0]).is_permutable
+        assert not Pattern([0, Qv.V0, 0]).is_permutable
+
+    def test_permutable_count_is_38_for_three_qubits(self):
+        # The paper's 64 - 27 + 1 = 38.
+        assert sum(p.is_permutable for p in all_patterns(3)) == 38
+
+    def test_permutable_count_is_8_for_two_qubits(self):
+        # 16 - 9 + 1 = 8.
+        assert sum(p.is_permutable for p in all_patterns(2)) == 8
+
+
+class TestTransforms:
+    def test_with_value(self):
+        p = Pattern([0, 0, 0]).with_value(1, Qv.V1)
+        assert p == Pattern([0, Qv.V1, 0])
+
+    def test_with_value_returns_new_pattern(self):
+        p = Pattern([0, 0])
+        q = p.with_value(0, 1)
+        assert p == Pattern([0, 0]) and q == Pattern([1, 0])
+
+    def test_bits(self):
+        assert Pattern([1, 0, 1]).bits() == (1, 0, 1)
+
+    def test_bits_of_mixed_raises(self):
+        with pytest.raises(InvalidValueError):
+            Pattern([1, Qv.V0]).bits()
+
+    def test_binary_index(self):
+        assert Pattern([1, 1, 0]).binary_index() == 6
+
+
+class TestEnumerations:
+    def test_all_patterns_counts(self):
+        assert len(list(all_patterns(2))) == 16
+        assert len(list(all_patterns(3))) == 64
+
+    def test_binary_patterns_order(self):
+        pats = list(binary_patterns(3))
+        assert len(pats) == 8
+        assert pats[0] == Pattern([0, 0, 0])
+        assert pats[5] == Pattern([1, 0, 1])
+        assert [p.binary_index() for p in pats] == list(range(8))
+
+
+class TestMeasurementDistribution:
+    def test_binary_pattern_deterministic(self):
+        dist = pattern_measurement_distribution(Pattern([1, 0, 1]))
+        assert dist == {(1, 0, 1): Fraction(1)}
+
+    def test_one_mixed_wire_splits_in_half(self):
+        dist = pattern_measurement_distribution(Pattern([1, Qv.V0, 0]))
+        assert dist == {
+            (1, 0, 0): Fraction(1, 2),
+            (1, 1, 0): Fraction(1, 2),
+        }
+
+    def test_two_mixed_wires_give_uniform_quarter(self):
+        dist = pattern_measurement_distribution(Pattern([Qv.V0, 1, Qv.V1]))
+        assert len(dist) == 4
+        assert all(p == Fraction(1, 4) for p in dist.values())
+
+    def test_distribution_sums_to_one(self):
+        for code in range(64):
+            dist = pattern_measurement_distribution(pattern_from_int(code, 3))
+            assert sum(dist.values()) == 1
+
+    def test_zero_probability_outcomes_omitted(self):
+        dist = pattern_measurement_distribution(Pattern([0, 0]))
+        assert set(dist) == {(0, 0)}
+
+
+class TestFormatting:
+    def test_str(self):
+        assert str(Pattern([1, Qv.V0, 0])) == "(1, V0, 0)"
+
+    def test_repr_mentions_values(self):
+        assert "V1" in repr(Pattern([Qv.V1, 0]))

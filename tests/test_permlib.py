@@ -1,0 +1,146 @@
+"""Unit tests for generalized permutative libraries (repro.baselines.permlib)."""
+
+import pytest
+
+from repro.errors import InvalidGateError, InvalidValueError, SynthesisError
+from repro.baselines.permlib import (
+    OptimalPermutativeSynthesizer,
+    PermutativeGate,
+    PermutativeLibrary,
+    nct_library,
+    nctp_library,
+    peres_gates,
+    pnc_library,
+)
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+
+class TestLibraryConstruction:
+    def test_nct_library(self):
+        lib = nct_library()
+        assert lib.name == "NCT" and len(lib) == 12
+
+    def test_peres_gates_are_12_distinct(self):
+        gates = peres_gates()
+        assert len(gates) == 12
+        assert len({g.permutation for g in gates}) == 12
+        assert all(g.quantum_cost == 4 for g in gates)
+
+    def test_peres_gates_include_g1(self):
+        perms = {g.permutation for g in peres_gates()}
+        assert named.PERES in perms
+        assert named.PERES.inverse() in perms
+
+    def test_nctp_and_pnc_sizes(self):
+        assert len(nctp_library()) == 24
+        assert len(pnc_library()) == 21
+
+    def test_duplicate_names_rejected(self):
+        g = PermutativeGate("x", Permutation.identity(8), 1)
+        with pytest.raises(InvalidGateError):
+            PermutativeLibrary("bad", [g, g])
+
+    def test_mixed_degrees_rejected(self):
+        a = PermutativeGate("a", Permutation.identity(8), 1)
+        b = PermutativeGate("b", Permutation.identity(4), 1)
+        with pytest.raises(InvalidGateError):
+            PermutativeLibrary("bad", [a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidGateError):
+            PermutativeLibrary("empty", [])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(InvalidValueError):
+            PermutativeGate("x", Permutation.identity(8), -1)
+
+    def test_by_name(self):
+        lib = nct_library()
+        assert lib.by_name("TOF_C(AB)").permutation == named.TOFFOLI
+        with pytest.raises(InvalidGateError):
+            lib.by_name("missing")
+
+    def test_circuit_helpers(self):
+        lib = nct_library()
+        circuit = [lib.by_name("TOF_C(AB)"), lib.by_name("CNOT_BA")]
+        assert lib.permutation_of(circuit) == named.TOFFOLI * named.cnot_target(1, 0)
+        assert lib.quantum_cost_of(circuit) == 6
+
+    def test_peres_placements_need_three_wires(self):
+        with pytest.raises(InvalidValueError):
+            peres_gates(4)
+
+
+class TestCountObjective:
+    @pytest.fixture(scope="class")
+    def synth(self):
+        return OptimalPermutativeSynthesizer(nctp_library(), "count")
+
+    def test_complete(self, synth):
+        assert synth.reachable_count() == 40320
+
+    def test_peres_is_one_gate(self, synth):
+        assert synth.optimal_cost(named.PERES) == 1
+
+    def test_worst_case_six(self, synth):
+        assert synth.worst_case() == 6
+
+    def test_distribution_sums_to_total(self, synth):
+        assert sum(synth.cost_distribution().values()) == 40320
+
+    def test_synthesis_roundtrip(self, synth):
+        import random
+
+        lib = synth.library
+        rng = random.Random(17)
+        for _ in range(20):
+            images = list(range(8))
+            rng.shuffle(images)
+            target = Permutation.from_images(images)
+            circuit = synth.synthesize(target)
+            assert lib.permutation_of(circuit) == target
+            assert len(circuit) == synth.optimal_cost(target)
+
+    def test_average_below_nct(self, synth):
+        nct = OptimalPermutativeSynthesizer(nct_library(), "count")
+        assert synth.average_cost() < nct.average_cost()
+
+
+class TestQuantumObjective:
+    @pytest.fixture(scope="class")
+    def synth(self):
+        return OptimalPermutativeSynthesizer(nct_library(), "quantum")
+
+    def test_free_not_gates(self, synth):
+        # A NOT layer costs 0 under the quantum objective.
+        assert synth.optimal_cost(named.not_layer_permutation(0b111)) == 0
+
+    def test_toffoli_quantum_cost(self, synth):
+        assert synth.optimal_cost(named.TOFFOLI) == 5
+
+    def test_peres_quantum_cost_via_nct(self, synth):
+        assert synth.optimal_cost(named.PERES) == 6
+
+    def test_quantum_cost_of_witness_matches(self, synth):
+        circuit = synth.synthesize(named.PERES)
+        assert synth.library.quantum_cost_of(circuit) == 6
+
+    def test_unreachable_raises(self, synth):
+        with pytest.raises(SynthesisError):
+            synth.optimal_cost(Permutation.identity(4))
+        with pytest.raises(SynthesisError):
+            synth.synthesize(Permutation.identity(4))
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(InvalidValueError):
+            OptimalPermutativeSynthesizer(nct_library(), "speed")
+
+    def test_quantum_never_below_count_times_min_gate_cost(self):
+        count = OptimalPermutativeSynthesizer(nctp_library(), "count")
+        quantum = OptimalPermutativeSynthesizer(nctp_library(), "quantum")
+        for name in ("toffoli", "peres", "fredkin", "g3"):
+            target = named.TARGETS[name]
+            assert quantum.optimal_cost(target) <= (
+                4 * count.optimal_cost(target) + 1
+            )

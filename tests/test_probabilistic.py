@@ -1,0 +1,167 @@
+"""Unit tests for probabilistic synthesis (repro.core.probabilistic) -- Sec. 4."""
+
+import pytest
+from fractions import Fraction
+
+from repro.errors import CostBoundExceededError, SpecificationError
+from repro.core.probabilistic import (
+    ProbabilisticSpec,
+    express_probabilistic,
+)
+from repro.core.search import CascadeSearch
+from repro.gates import named
+from repro.mvl.patterns import Pattern, binary_patterns
+from repro.mvl.values import Qv
+
+
+def v_spec_3q():
+    """enable=A; when A=1, wire B becomes V(B): the 1-bit controlled RNG."""
+    outputs = []
+    for p in binary_patterns(3):
+        if p[0] is Qv.ONE:
+            from repro.mvl.values import apply_v
+
+            outputs.append(p.with_value(1, apply_v(p[1])))
+        else:
+            outputs.append(p)
+    return ProbabilisticSpec(tuple(outputs))
+
+
+class TestSpecValidation:
+    def test_needs_power_of_two_rows(self):
+        with pytest.raises(SpecificationError):
+            ProbabilisticSpec((Pattern([0]), Pattern([1]), Pattern([0, 1])))
+
+    def test_row_count_must_match_width(self):
+        with pytest.raises(SpecificationError):
+            ProbabilisticSpec((Pattern([0, 0]), Pattern([0, 1])))
+
+    def test_mixed_width_rows_rejected(self):
+        with pytest.raises(SpecificationError):
+            ProbabilisticSpec(
+                (Pattern([0]), Pattern([1, 0]))
+            )
+
+    def test_from_strings(self):
+        spec = ProbabilisticSpec.from_strings(["0", "1"])
+        assert spec.n_qubits == 1
+
+    def test_from_bit_distributions(self):
+        spec = ProbabilisticSpec.from_bit_distributions(
+            [(0, 0), (0, 1), (1, "?"), (1, "?")]
+        )
+        assert spec.outputs[2] == Pattern([1, Qv.V0])
+
+    def test_from_bit_distributions_bad_symbol(self):
+        with pytest.raises(SpecificationError):
+            ProbabilisticSpec.from_bit_distributions([(0, "x"), (0, 1)])
+
+    def test_deterministic_wrapper(self):
+        spec = ProbabilisticSpec.deterministic(named.TOFFOLI, 3)
+        assert spec.is_deterministic()
+        assert spec.outputs[6] == Pattern([1, 1, 1])
+
+
+class TestFeasibility:
+    def test_zero_row_must_be_fixed(self, library3):
+        outputs = list(binary_patterns(3))
+        outputs[0], outputs[1] = outputs[1], outputs[0]
+        spec = ProbabilisticSpec(tuple(outputs))
+        with pytest.raises(SpecificationError):
+            spec.validate_feasible(library3)
+
+    def test_duplicate_outputs_rejected(self, library3):
+        outputs = list(binary_patterns(3))
+        outputs[3] = outputs[2]
+        spec = ProbabilisticSpec(tuple(outputs))
+        with pytest.raises(SpecificationError):
+            spec.validate_feasible(library3)
+
+    def test_unreachable_pattern_rejected(self, library3):
+        # (V0, 0, 0) has no pure 1: outside the reachable label space.
+        outputs = list(binary_patterns(3))
+        outputs[4] = Pattern([Qv.V0, 0, 0])
+        spec = ProbabilisticSpec(tuple(outputs))
+        with pytest.raises(SpecificationError):
+            spec.validate_feasible(library3)
+
+    def test_width_mismatch_rejected(self, library3):
+        spec = ProbabilisticSpec.from_strings(["0", "1"])
+        with pytest.raises(SpecificationError):
+            spec.validate_feasible(library3)
+
+    def test_feasible_spec_returns_images(self, library3):
+        images = v_spec_3q().validate_feasible(library3)
+        assert len(images) == 8
+        assert images[0] == 0
+
+
+class TestMeasurementDistribution:
+    def test_deterministic_rows(self):
+        spec = v_spec_3q()
+        assert spec.measurement_distribution(0) == {(0, 0, 0): Fraction(1)}
+
+    def test_random_rows_split(self):
+        spec = v_spec_3q()
+        dist = spec.measurement_distribution(4)  # input (1,0,0)
+        assert dist == {
+            (1, 0, 0): Fraction(1, 2),
+            (1, 1, 0): Fraction(1, 2),
+        }
+
+
+class TestSynthesis:
+    def test_single_v_gate_spec(self, library3, search3):
+        result = express_probabilistic(v_spec_3q(), library3, search=search3)
+        assert result.cost == 1
+        assert result.circuit.names() == ("V_BA",)
+
+    def test_identity_spec_costs_zero(self, library3, search3):
+        spec = ProbabilisticSpec(tuple(binary_patterns(3)))
+        result = express_probabilistic(spec, library3, search=search3)
+        assert result.cost == 0
+        assert len(result.circuit) == 0
+
+    def test_deterministic_spec_matches_mce(self, library3, search3):
+        spec = ProbabilisticSpec.deterministic(named.PERES, 3)
+        result = express_probabilistic(spec, library3, search=search3)
+        assert result.cost == 4
+        assert result.circuit.binary_permutation() == named.PERES
+
+    def test_synthesized_circuit_realizes_spec_exactly(self, library3, search3):
+        spec = v_spec_3q()
+        result = express_probabilistic(spec, library3, search=search3)
+        for index, pattern in enumerate(binary_patterns(3)):
+            assert result.circuit.strict_apply(pattern) == spec.outputs[index]
+
+    def test_all_implementations(self, library3, search3):
+        results = express_probabilistic(
+            v_spec_3q(), library3, search=search3, all_implementations=True
+        )
+        assert isinstance(results, list)
+        assert all(r.cost == results[0].cost for r in results)
+
+    def test_cost_bound_exceeded(self, library3):
+        # A two-random-bit generator needs cost 2 > bound 1.
+        from repro.mvl.values import apply_v
+
+        outputs = []
+        for p in binary_patterns(3):
+            if p[0] is Qv.ONE:
+                outputs.append(
+                    p.with_value(1, apply_v(p[1])).with_value(2, apply_v(p[2]))
+                )
+            else:
+                outputs.append(p)
+        spec = ProbabilisticSpec(tuple(outputs))
+        with pytest.raises(CostBoundExceededError):
+            express_probabilistic(spec, library3, cost_bound=1)
+
+    def test_search_without_parents_rejected(self, library3):
+        search = CascadeSearch(library3, track_parents=False)
+        with pytest.raises(SpecificationError):
+            express_probabilistic(v_spec_3q(), library3, search=search)
+
+    def test_result_str(self, library3, search3):
+        result = express_probabilistic(v_spec_3q(), library3, search=search3)
+        assert "cost 1" in str(result)

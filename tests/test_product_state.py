@@ -1,0 +1,59 @@
+"""Unit tests for the product-state simulator (repro.sim.product_state)."""
+
+import pytest
+
+from repro.errors import NonBinaryControlError
+from repro.core.circuit import Circuit
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+from repro.sim.product_state import ProductStateSimulator
+
+
+@pytest.fixture
+def peres_sim():
+    return ProductStateSimulator(Circuit.from_names("V_CB F_BA V_CA V+_CB", 3))
+
+
+class TestRun:
+    def test_run_binary_input(self, peres_sim):
+        out = peres_sim.run(Pattern([1, 1, 0]))
+        assert out == Pattern([1, 0, 1])
+
+    def test_run_bits(self, peres_sim):
+        assert peres_sim.run_bits((1, 1, 0)) == Pattern([1, 0, 1])
+
+    def test_run_strict_raises_on_unreasonable(self):
+        sim = ProductStateSimulator(Circuit.from_names("V_BA F_BA", 3))
+        with pytest.raises(NonBinaryControlError):
+            sim.run(Pattern([1, 0, 0]))
+
+    def test_circuit_property(self, peres_sim):
+        assert len(peres_sim.circuit) == 4
+
+
+class TestTrace:
+    def test_trace_length(self, peres_sim):
+        steps = peres_sim.trace(Pattern([1, 1, 0]))
+        assert len(steps) == 4
+        assert [s.gate.name for s in steps] == ["V_CB", "F_BA", "V_CA", "V+_CB"]
+
+    def test_trace_shows_intermediate_mixed_value(self, peres_sim):
+        # Input (1,1,0): V_CB fires (B=1) putting C into V0 -- the
+        # signature non-classical intermediate state of the Peres cascade.
+        steps = peres_sim.trace(Pattern([1, 1, 0]))
+        assert steps[0].pattern == Pattern([1, 1, Qv.V0])
+        assert steps[-1].pattern.is_binary
+
+    def test_trace_matches_run(self, peres_sim):
+        pattern = Pattern([1, 0, 1])
+        steps = peres_sim.trace(pattern)
+        assert steps[-1].pattern == peres_sim.run(pattern)
+
+    def test_wire_history_includes_input(self, peres_sim):
+        history = peres_sim.wire_history(Pattern([0, 1, 0]))
+        assert len(history) == 5
+        assert history[0] == (Qv.ZERO, Qv.ONE, Qv.ZERO)
+
+    def test_empty_circuit_trace(self):
+        sim = ProductStateSimulator(Circuit.empty(3))
+        assert sim.trace(Pattern([1, 0, 1])) == []

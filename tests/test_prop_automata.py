@@ -1,0 +1,73 @@
+"""Property-based tests: automata-layer probability invariants."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.machine import QuantumStateMachine
+from repro.automata.markov import MarkovChain
+from repro.core.circuit import Circuit
+from repro.gates.library import GateLibrary
+
+_LIBRARY = GateLibrary(3)
+_GATE_NAMES = [e.name for e in _LIBRARY.gates]
+
+
+@st.composite
+def reasonable_machines(draw):
+    """Random reasonable 3-wire machines: 1 input wire, 2 state wires."""
+    names = draw(st.lists(st.sampled_from(_GATE_NAMES), min_size=0, max_size=4))
+    circuit = Circuit.from_names(names, 3)
+    if not circuit.is_reasonable():
+        circuit = Circuit.empty(3)
+    return QuantumStateMachine(
+        circuit, input_wires=(0,), state_wires=(1, 2)
+    )
+
+
+class TestJointDistribution:
+    @given(reasonable_machines(), st.integers(0, 1), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_distributions_normalize(self, machine, inp, state):
+        state_bits = ((state >> 1) & 1, state & 1)
+        joint = machine.joint_distribution((inp,), state_bits)
+        assert sum(joint.values()) == 1
+        assert all(p > 0 for p in joint.values())
+
+    @given(reasonable_machines(), st.integers(0, 1), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_are_dyadic(self, machine, inp, state):
+        """Every outcome probability is 1/2^k (product of fair coins)."""
+        state_bits = ((state >> 1) & 1, state & 1)
+        for p in machine.joint_distribution((inp,), state_bits).values():
+            assert p.numerator == 1
+            assert p.denominator & (p.denominator - 1) == 0
+
+    @given(reasonable_machines(), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_markov_rows_stochastic(self, machine, inp):
+        chain = MarkovChain.from_machine(machine, (inp,))
+        for row in chain.matrix:
+            assert sum(row) == 1
+
+    @given(reasonable_machines(), st.integers(0, 1), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_n_step_preserves_mass(self, machine, inp, steps):
+        chain = MarkovChain.from_machine(machine, (inp,))
+        start = [Fraction(1)] + [Fraction(0)] * (chain.size - 1)
+        dist = chain.n_step_distribution(start, steps)
+        assert sum(dist) == 1
+
+    @given(reasonable_machines(), st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_sampled_steps_live_in_support(self, machine, rnd):
+        import random
+
+        rng = random.Random(rnd.randrange(10**6))
+        machine.reset()
+        for _ in range(3):
+            before = machine.state
+            step = machine.step((1,), rng)
+            joint = machine.joint_distribution((1,), before)
+            assert (step.output_bits, step.state_after) in joint

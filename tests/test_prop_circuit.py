@@ -1,0 +1,104 @@
+"""Property-based tests: random cascades keep all semantics consistent."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit
+from repro.errors import NonBinaryControlError
+from repro.gates.gate import Gate
+from repro.gates.library import GateLibrary
+from repro.mvl.labels import label_space
+from repro.mvl.patterns import binary_patterns
+from repro.sim.exact import ExactSimulator
+
+_LIBRARY = GateLibrary(3)
+_SPACE = label_space(3)
+_GATE_NAMES = [entry.name for entry in _LIBRARY.gates]
+
+gate_lists = st.lists(st.sampled_from(_GATE_NAMES), min_size=0, max_size=6)
+
+
+def build(names):
+    return Circuit.from_names(list(names), 3)
+
+
+class TestSemanticConsistency:
+    @given(gate_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_equals_composed_gate_permutations(self, names):
+        circuit = build(names)
+        perm = circuit.permutation(_SPACE)
+        expected = _LIBRARY.circuit_permutation(
+            [_LIBRARY.by_name(n) for n in names]
+        )
+        assert perm == expected
+
+    @given(gate_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_label_semantics_match_pattern_semantics(self, names):
+        circuit = build(names)
+        perm = circuit.permutation(_SPACE)
+        for label in range(0, 38, 7):
+            pattern = _SPACE.pattern(label)
+            assert circuit.apply(pattern) == _SPACE.pattern(perm(label))
+
+    @given(gate_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_strict_semantics_agree_with_exact_unitary(self, names):
+        """Wherever strict simulation succeeds, the exact unitary agrees."""
+        circuit = build(names)
+        simulator = ExactSimulator(3)
+        for pattern in binary_patterns(3):
+            try:
+                produced = circuit.strict_apply(pattern)
+            except NonBinaryControlError:
+                continue
+            assert simulator.agrees_with_pattern(circuit, pattern, produced)
+
+    @given(gate_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_dagger_inverts_unitary(self, names):
+        circuit = build(names)
+        product = circuit.unitary() @ circuit.dagger().unitary()
+        assert product.is_identity()
+
+    @given(gate_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_dagger_inverts_label_permutation(self, names):
+        circuit = build(names)
+        forward = circuit.permutation(_SPACE)
+        backward = circuit.dagger().permutation(_SPACE)
+        assert (forward * backward).is_identity
+
+    @given(gate_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_equals_length_for_two_qubit_cascades(self, names):
+        circuit = build(names)
+        assert circuit.cost() == len(circuit)
+        assert circuit.two_qubit_count == len(circuit)
+
+    @given(gate_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_unitary_always_unitary(self, names):
+        assert build(names).unitary().is_unitary()
+
+
+class TestRelabeling:
+    @given(gate_lists, st.permutations([0, 1, 2]))
+    @settings(max_examples=40, deadline=None)
+    def test_relabeling_conjugates_binary_action(self, names, wires):
+        """Moving a reasonable circuit to new wires conjugates its
+        restricted permutation by the wire-relabeling pattern map."""
+        from repro.gates import named
+
+        circuit = build(names)
+        if not circuit.is_reasonable():
+            return
+        try:
+            base = circuit.binary_permutation()
+        except Exception:
+            return  # probabilistic outputs: relabeling claim not applicable
+        wire_map = {w: wires[w] for w in range(3)}
+        moved = circuit.relabeled(wire_map)
+        relabel = named.wire_relabeling(wires)
+        assert moved.binary_permutation() == base.conjugate_by(relabel)

@@ -1,0 +1,90 @@
+"""Property-based tests: the dyadic Gaussian ring (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.dyadic import DyadicComplex
+
+dyadics = st.builds(
+    DyadicComplex,
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=0, max_value=12),
+)
+
+
+class TestRingAxioms:
+    @given(dyadics, dyadics, dyadics)
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(dyadics, dyadics)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(dyadics, dyadics, dyadics)
+    def test_multiplication_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(dyadics, dyadics)
+    def test_multiplication_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(dyadics, dyadics, dyadics)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(dyadics)
+    def test_additive_inverse(self, a):
+        assert a + (-a) == DyadicComplex(0)
+
+    @given(dyadics)
+    def test_multiplicative_identity(self, a):
+        assert a * DyadicComplex(1) == a
+
+    @given(dyadics)
+    def test_zero_annihilates(self, a):
+        assert a * DyadicComplex(0) == DyadicComplex(0)
+
+
+class TestNormalizationInvariants:
+    @given(dyadics)
+    def test_normal_form(self, a):
+        # Either exponent is 0, or at least one numerator is odd.
+        assert a.exponent == 0 or (
+            a.real_numerator % 2 or a.imag_numerator % 2
+        )
+
+    @given(dyadics, dyadics)
+    def test_equality_consistent_with_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+    @given(dyadics)
+    def test_halve_doubles_back(self, a):
+        assert a.halve() + a.halve() == a
+
+
+class TestConjugation:
+    @given(dyadics, dyadics)
+    def test_conjugate_distributes_over_product(self, a, b):
+        assert (a * b).conjugate() == a.conjugate() * b.conjugate()
+
+    @given(dyadics, dyadics)
+    def test_conjugate_distributes_over_sum(self, a, b):
+        assert (a + b).conjugate() == a.conjugate() + b.conjugate()
+
+    @given(dyadics)
+    def test_abs_squared_nonnegative_real(self, a):
+        sq = a.abs_squared()
+        assert sq.is_real
+        assert sq.real_numerator >= 0
+
+
+class TestFloatAgreement:
+    @settings(max_examples=50)
+    @given(dyadics, dyadics)
+    def test_complex_arithmetic_agrees(self, a, b):
+        # Exact ops must agree with float complex within float precision.
+        assert abs((a * b).to_complex() - a.to_complex() * b.to_complex()) < 1e-6
+        assert abs((a + b).to_complex() - (a.to_complex() + b.to_complex())) < 1e-9

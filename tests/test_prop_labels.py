@@ -1,0 +1,93 @@
+"""Property-based tests: label spaces and matrices (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.dyadic import DyadicComplex
+from repro.linalg.matrix import Matrix
+from repro.mvl.labels import label_space
+from repro.mvl.patterns import Pattern, pattern_from_int, pattern_to_int
+from repro.mvl.values import Qv
+
+
+class TestPatternEncoding:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=4))
+    def test_roundtrip(self, code, n):
+        code %= 4**n
+        assert pattern_to_int(pattern_from_int(code, n)) == code
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=4))
+    def test_pattern_ordering_matches_code_ordering(self, values):
+        pattern = Pattern([Qv(v) for v in values])
+        code = pattern_to_int(pattern)
+        again = pattern_from_int(code, len(values))
+        assert again == pattern
+
+
+class TestLabelSpaceInvariants:
+    @given(st.integers(min_value=1, max_value=4), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_size_formula(self, n, reduced):
+        space = label_space(n, reduced)
+        expected = 4**n - 3**n + 1 if reduced else 4**n
+        assert space.size == expected
+
+    @given(st.integers(min_value=1, max_value=3), st.booleans())
+    @settings(max_examples=12, deadline=None)
+    def test_binary_prefix(self, n, reduced):
+        space = label_space(n, reduced)
+        for label in range(2**n):
+            assert space.pattern(label).is_binary
+
+    @given(st.integers(min_value=1, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_banned_masks_union(self, n):
+        """The union of single-wire banned sets is every mixed label."""
+        space = label_space(n)
+        union = 0
+        for wire in range(n):
+            union |= space.banned_mask([wire])
+        expected = 0
+        for label, pattern in enumerate(space.patterns):
+            if not pattern.is_binary:
+                expected |= 1 << label
+        assert union == expected
+
+
+matrices2 = st.builds(
+    lambda a, b, c, d: Matrix(
+        [[DyadicComplex(*a), DyadicComplex(*b)],
+         [DyadicComplex(*c), DyadicComplex(*d)]]
+    ),
+    *(
+        st.tuples(
+            st.integers(min_value=-8, max_value=8),
+            st.integers(min_value=-8, max_value=8),
+            st.integers(min_value=0, max_value=3),
+        )
+        for _ in range(4)
+    ),
+)
+
+
+class TestMatrixProperties:
+    @given(matrices2, matrices2)
+    @settings(max_examples=60)
+    def test_dagger_antihomomorphism(self, a, b):
+        assert (a @ b).dagger() == b.dagger() @ a.dagger()
+
+    @given(matrices2, matrices2, matrices2)
+    @settings(max_examples=40)
+    def test_matmul_associative(self, a, b, c):
+        assert (a @ b) @ c == a @ (b @ c)
+
+    @given(matrices2, matrices2)
+    @settings(max_examples=40)
+    def test_kron_mixed_product(self, a, b):
+        i = Matrix.identity(2)
+        assert a.kron(i) @ i.kron(b) == a.kron(b)
+
+    @given(matrices2)
+    @settings(max_examples=40)
+    def test_double_dagger(self, a):
+        assert a.dagger().dagger() == a

@@ -1,0 +1,96 @@
+"""Property-based tests: permutations and their group laws (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perm.permutation import Permutation
+
+
+@st.composite
+def permutations(draw, degree=None):
+    if degree is None:
+        degree = draw(st.integers(min_value=1, max_value=40))
+    images = draw(st.permutations(list(range(degree))))
+    return Permutation.from_images(images)
+
+
+perms38 = permutations(degree=38)
+perms8 = permutations(degree=8)
+
+
+class TestGroupLaws:
+    @given(perms38, perms38, perms38)
+    def test_associativity(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(perms38)
+    def test_inverse_law(self, a):
+        assert (a * a.inverse()).is_identity
+        assert (a.inverse() * a).is_identity
+
+    @given(perms38, perms38)
+    def test_product_inverse_rule(self, a, b):
+        assert (a * b).inverse() == b.inverse() * a.inverse()
+
+    @given(perms38)
+    def test_double_inverse(self, a):
+        assert a.inverse().inverse() == a
+
+    @given(perms38, perms38)
+    def test_composition_convention(self, a, b):
+        # (a*b)(x) = b(a(x)) for every point.
+        product = a * b
+        for x in range(0, 38, 5):
+            assert product(x) == b(a(x))
+
+
+class TestStructuralInvariants:
+    @given(perms38)
+    def test_order_annihilates(self, a):
+        assert a.power(a.order()).is_identity
+
+    @given(perms38)
+    def test_cycle_string_roundtrip(self, a):
+        text = a.cycle_string()
+        assert Permutation.from_cycle_string(38, text) == a
+
+    @given(perms38)
+    def test_cycle_lengths_partition_degree(self, a):
+        total = sum(
+            length * count for length, count in a.cycle_structure().items()
+        )
+        assert total == 38
+
+    @given(perms38, perms38)
+    def test_parity_is_homomorphism(self, a, b):
+        assert (a * b).parity() == (a.parity() + b.parity()) % 2
+
+    @given(perms38, perms38)
+    def test_conjugation_preserves_cycle_structure(self, a, g):
+        assert a.conjugate_by(g).cycle_structure() == a.cycle_structure()
+
+    @given(perms38)
+    def test_support_excludes_fixed_points(self, a):
+        for point in a.support():
+            assert a(point) != point
+
+    @given(perms8, st.integers(min_value=-6, max_value=6))
+    def test_power_consistency(self, a, n):
+        direct = Permutation.identity(8)
+        step = a if n >= 0 else a.inverse()
+        for _ in range(abs(n)):
+            direct = direct * step
+        assert a.power(n) == direct
+
+
+class TestRestriction:
+    @given(perms8, perms8)
+    def test_extension_then_restriction_roundtrip(self, a, b):
+        ea, eb = a.extended(20), b.extended(20)
+        s = list(range(8))
+        assert (ea * eb).restricted(s) == a * b
+
+    @given(perms8)
+    def test_image_of_invariant_set(self, a):
+        assert a.image_of_set(range(8)) == frozenset(range(8))
+        assert a.fixes(range(8))

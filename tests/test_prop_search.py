@@ -1,0 +1,96 @@
+"""Property-based tests: search/synthesis invariants (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mce import express
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+
+class TestWitnessInvariants:
+    @given(cost=st.integers(min_value=1, max_value=4), rnd=st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_witnesses_realize_their_permutation(
+        self, cost, rnd, search3, library3
+    ):
+        level = search3.level(cost)
+        perm, _mask = level[rnd.randrange(len(level))]
+        circuit = search3.witness_circuit(perm)
+        assert len(circuit) == cost
+        assert circuit.permutation(library3.space).images == perm
+
+    @given(cost=st.integers(min_value=1, max_value=4), rnd=st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_witnesses_are_reasonable_cascades(self, cost, rnd, search3):
+        level = search3.level(cost)
+        perm, _mask = level[rnd.randrange(len(level))]
+        circuit = search3.witness_circuit(perm)
+        assert circuit.is_reasonable()
+
+    @given(cost=st.integers(min_value=0, max_value=4), rnd=st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_level_members_have_no_cheaper_path(self, cost, rnd, search3):
+        level = search3.level(cost)
+        perm, _mask = level[rnd.randrange(len(level))]
+        assert search3.cost_of(perm) == cost
+
+
+class TestExpressInvariants:
+    @given(images=st.permutations(list(range(8))))
+    @settings(max_examples=20, deadline=None)
+    def test_not_normalization_consistency(self, images, library3, search3):
+        """For any target: the NOT mask strips to a zero-fixing remainder,
+        and if synthesis succeeds the circuit realizes the target."""
+        from repro.errors import CostBoundExceededError
+
+        target = Permutation.from_images(images)
+        try:
+            result = express(
+                target, library3, cost_bound=5, search=search3
+            )
+        except CostBoundExceededError:
+            return  # fine: the target costs more than the test bound
+        assert result.circuit.binary_permutation() == target
+        assert result.cost == result.circuit.two_qubit_count
+        # The NOT mask is the preimage of the zero pattern.
+        assert result.not_mask == target.inverse()(0)
+
+    @given(mask=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_not_layer_conjugates_cost(self, mask, library3, search3):
+        """cost(a * g) == cost(g) for free NOT layers a (Theorem 2)."""
+        layer = named.not_layer_permutation(mask)
+        for base_name in ("peres", "toffoli"):
+            base = named.TARGETS[base_name]
+            shifted = layer * base
+            result = express(shifted, library3, search=search3)
+            baseline = express(base, library3, search=search3)
+            assert result.cost == baseline.cost
+
+
+class TestProbabilisticInvariants:
+    @given(cost=st.integers(min_value=1, max_value=3), rnd=st.randoms(use_true_random=False))
+    @settings(max_examples=15, deadline=None)
+    def test_spec_from_reachable_cascade_is_feasible(
+        self, cost, rnd, search3, library3
+    ):
+        from repro.core.probabilistic import (
+            ProbabilisticSpec,
+            express_probabilistic,
+        )
+
+        level = search3.level(cost)
+        perm, _mask = level[rnd.randrange(len(level))]
+        space = library3.space
+        outputs = tuple(space.pattern(perm[i]) for i in range(8))
+        spec = ProbabilisticSpec(outputs)
+        result = express_probabilistic(spec, library3, search=search3)
+        assert result.cost <= cost
+        for index, pattern in enumerate(outputs):
+            from repro.mvl.patterns import binary_patterns
+
+            inputs = list(binary_patterns(3))
+            assert result.circuit.strict_apply(inputs[index]) == pattern

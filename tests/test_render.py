@@ -1,0 +1,106 @@
+"""Unit tests for rendering (repro.render)."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.fmcf import find_minimum_cost_circuits
+from repro.gates.gate import Gate
+from repro.gates.truth_table import TruthTable
+from repro.mvl.labels import label_space
+from repro.render.diagram import circuit_diagram
+from repro.render.tables import (
+    comparison_table_text,
+    cost_table_text,
+    format_table,
+    truth_table_text,
+)
+
+
+class TestDiagram:
+    def test_line_per_wire(self):
+        text = circuit_diagram(Circuit.from_names("V_CB F_BA", 3))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("A ")
+        assert lines[2].startswith("C ")
+
+    def test_symbols_present(self):
+        text = circuit_diagram(Circuit.from_names("V_CB F_BA V_CA V+_CB", 3))
+        assert "[V]" in text
+        assert "[V+]" in text
+        assert "(+)" in text
+        assert "●" in text
+
+    def test_not_gate_symbol(self):
+        text = circuit_diagram(Circuit.from_names("N_B", 3))
+        assert "[X]" in text
+
+    def test_span_bar_between_distant_wires(self):
+        # V_CA spans wire B: the middle line gets a vertical bar.
+        text = circuit_diagram(Circuit.from_names("V_CA", 3))
+        lines = text.splitlines()
+        assert "│" in lines[1]
+
+    def test_columns_aligned(self):
+        text = circuit_diagram(Circuit.from_names("V_CB F_BA V_CA", 3))
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_custom_wire_names(self):
+        text = circuit_diagram(
+            Circuit.from_names("F_BA", 2), wire_names=["ctl", "tgt"]
+        )
+        assert text.splitlines()[0].startswith("ctl")
+
+    def test_empty_circuit(self):
+        text = circuit_diagram(Circuit.empty(2))
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1
+
+    def test_indent(self):
+        text = format_table(["x"], [[1]], indent="  ")
+        assert all(line.startswith("  ") for line in text.splitlines())
+
+
+class TestTruthTableText:
+    def test_table1_rendering(self):
+        space = label_space(2, reduced=False, ordering="grouped")
+        table = TruthTable.from_gate(Gate.v(1, 0, 2), space)
+        text = truth_table_text(table)
+        lines = text.splitlines()
+        assert len(lines) == 18  # header + rule + 16 rows
+        assert "V0" in text
+        # Row 3 maps to row 7 (paper Table 1).
+        row3 = lines[4]
+        assert row3.split()[-1] == "7"
+
+
+class TestCostTableText:
+    def test_includes_rows(self, library3):
+        table = find_minimum_cost_circuits(library3, cost_bound=2)
+        text = cost_table_text(table)
+        assert "|G[k]|" in text
+        assert "|B[k]|" in text
+        assert "24" in text
+
+    def test_paper_row_optional(self, library3):
+        table = find_minimum_cost_circuits(library3, cost_bound=2)
+        text = cost_table_text(table, paper_g=[1, 6, 30])
+        assert "paper" in text and "30" in text
+
+
+class TestComparisonTableText:
+    def test_renders_rows(self):
+        from repro.baselines.compare import ComparisonRow
+
+        rows = [ComparisonRow("peres", 2, 6, 2, 6, 4)]
+        text = comparison_table_text(rows)
+        assert "peres" in text and "saving" in text
+        assert text.splitlines()[-1].split()[-1] == "2"

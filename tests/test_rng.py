@@ -1,0 +1,78 @@
+"""Unit tests for the controlled quantum RNG (repro.automata.rng)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.automata.rng import ControlledRandomBitGenerator
+from repro.gates.library import GateLibrary
+
+
+@pytest.fixture(scope="module")
+def rng2():
+    return ControlledRandomBitGenerator(n_random=2)
+
+
+class TestSynthesis:
+    def test_cost_is_one_gate_per_bit(self, rng2):
+        assert rng2.cost == 2
+
+    def test_circuit_is_v_gates_controlled_by_enable(self, rng2):
+        names = set(rng2.circuit.names())
+        assert names == {"V_BA", "V_CA"}
+
+    def test_one_bit_generator_on_two_qubits(self, library2):
+        generator = ControlledRandomBitGenerator(n_random=1, library=library2)
+        assert generator.cost == 1
+
+    def test_library_width_checked(self, library2):
+        with pytest.raises(SpecificationError):
+            ControlledRandomBitGenerator(n_random=2, library=library2)
+
+    def test_needs_at_least_one_bit(self):
+        with pytest.raises(SpecificationError):
+            ControlledRandomBitGenerator(n_random=0)
+
+
+class TestDistributions:
+    def test_enabled_uniform(self, rng2):
+        dist = rng2.exact_distribution(1)
+        assert len(dist) == 4
+        assert all(p == Fraction(1, 4) for p in dist.values())
+        assert all(bits[0] == 1 for bits in dist)  # enable wire reads 1
+
+    def test_disabled_passthrough(self, rng2):
+        assert rng2.exact_distribution(0) == {(0, 0, 0): Fraction(1)}
+
+    def test_disabled_with_data(self, rng2):
+        dist = rng2.exact_distribution(0, (1, 0))
+        assert dist == {(0, 1, 0): Fraction(1)}
+
+    def test_data_width_checked(self, rng2):
+        with pytest.raises(SpecificationError):
+            rng2.output_pattern(1, (0,))
+
+
+class TestGeneration:
+    def test_generate_returns_data_bits_only(self, rng2):
+        bits = rng2.generate(random.Random(3))
+        assert len(bits) == 2
+        assert set(bits) <= {0, 1}
+
+    def test_generate_disabled_is_deterministic(self, rng2):
+        for seed in range(5):
+            assert rng2.generate(random.Random(seed), enable=0) == (0, 0)
+
+    def test_generate_bits_exact_count(self, rng2):
+        stream = rng2.generate_bits(17, random.Random(1))
+        assert len(stream) == 17
+
+    def test_stream_is_balanced(self, rng2):
+        stream = rng2.generate_bits(4000, random.Random(123))
+        ones = sum(stream)
+        assert 1800 < ones < 2200  # ~10 sigma window around 2000
+
+    def test_repr(self, rng2):
+        assert "n_random=2" in repr(rng2)

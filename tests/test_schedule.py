@@ -1,0 +1,84 @@
+"""Unit tests for depth analysis (repro.core.schedule)."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.schedule import (
+    asap_schedule,
+    depth,
+    gate_wires,
+    is_fully_sequential,
+    min_depth_implementation,
+)
+from repro.gates.gate import Gate
+
+
+class TestGateWires:
+    def test_two_qubit(self):
+        assert gate_wires(Gate.v(2, 0, 3)) == frozenset({0, 2})
+
+    def test_not(self):
+        assert gate_wires(Gate.not_(1, 3)) == frozenset({1})
+
+
+class TestAsapSchedule:
+    def test_empty_circuit(self):
+        schedule = asap_schedule(Circuit.empty(3))
+        assert schedule.depth == 0
+        assert schedule.width == 0
+
+    def test_sequential_cascade(self):
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        schedule = asap_schedule(circuit)
+        assert schedule.depth == 4
+        assert is_fully_sequential(circuit)
+
+    def test_disjoint_gates_share_a_layer(self):
+        circuit = Circuit.from_names("F_BA F_DC", 4)
+        schedule = asap_schedule(circuit)
+        assert schedule.depth == 1
+        assert schedule.width == 2
+
+    def test_mixed_parallelism(self):
+        # F_BA (wires 0,1) || N_D (wire 3); then F_DC needs wires 2,3.
+        circuit = Circuit.from_names("F_BA N_D F_DC", 4)
+        schedule = asap_schedule(circuit)
+        assert schedule.depth == 2
+        assert schedule.layer_names() == [["F_BA", "N_D"], ["F_DC"]]
+
+    def test_schedule_covers_every_gate_once(self):
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB F_AB", 3)
+        schedule = asap_schedule(circuit)
+        placed = sorted(i for layer in schedule.layers for i in layer)
+        assert placed == list(range(len(circuit)))
+
+    def test_wire_conflict_never_within_layer(self):
+        circuit = Circuit.from_names("F_BA F_CA V_BA N_A F_DC V_DB", 4)
+        schedule = asap_schedule(circuit)
+        for layer in schedule.layers:
+            wires: set[int] = set()
+            for index in layer:
+                gw = gate_wires(circuit[index])
+                assert not (wires & gw)
+                wires |= gw
+
+
+class TestPaperCircuitDepths:
+    def test_all_paper_cascades_are_fully_sequential(self):
+        cascades = [
+            "V_CB F_BA V_CA V+_CB",          # Figure 4
+            "V+_CB F_BA V+_CA V_CB",         # Figure 8
+            "F_BA V+_CB F_BA V_CA V_CB",     # Figure 9a
+            "F_AB V+_CA F_AB V_CA V_CB",     # Figure 9c
+        ]
+        for names in cascades:
+            circuit = Circuit.from_names(names, 3)
+            assert is_fully_sequential(circuit), names
+
+    def test_min_depth_implementation_selection(self, library3, search3):
+        from repro.core.mce import express_all
+        from repro.gates import named
+
+        results = express_all(named.TOFFOLI, library3, search=search3)
+        best = min_depth_implementation(results)
+        assert depth(best.circuit) == min(depth(r.circuit) for r in results)

@@ -1,0 +1,158 @@
+"""Unit tests for the cascade search engine (repro.core.search)."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.core.cost import CostModel
+from repro.core.search import CascadeSearch
+from repro.gates.kinds import GateKind
+from repro.gates.library import GateLibrary
+from repro.perm.permutation import Permutation
+
+#: Level sizes measured by this reproduction (stable regression values).
+EXPECTED_B_SIZES = [1, 18, 162, 1017, 5364, 25761]
+
+
+class TestLevels:
+    def test_level_zero_is_identity(self, search3):
+        level = search3.level(0)
+        assert len(level) == 1
+        perm, mask = level[0]
+        assert perm == bytes(range(38))
+        assert mask == search3.s_mask
+
+    def test_level_one_is_whole_library(self, search3):
+        assert search3.level_size(1) == 18
+
+    @pytest.mark.parametrize("cost", range(6))
+    def test_level_sizes(self, search3, cost):
+        assert search3.level_size(cost) == EXPECTED_B_SIZES[cost]
+
+    def test_incremental_extension_is_idempotent(self, library3):
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(3)
+        first = search.level_size(3)
+        search.extend_to(3)
+        assert search.level_size(3) == first
+        search.extend_to(4)
+        assert search.level_size(4) == EXPECTED_B_SIZES[4]
+
+    def test_negative_bound_rejected(self, search3):
+        with pytest.raises(InvalidValueError):
+            search3.extend_to(-1)
+
+    def test_total_seen_is_cumulative(self, library3):
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(3)
+        assert search.total_seen() == sum(EXPECTED_B_SIZES[:4])
+
+
+class TestReasonableProducts:
+    def test_banned_masks_prune_extensions(self, library3):
+        """V_BA leaves B mixed on binary inputs; no L_B/F*B gate may follow."""
+        search = CascadeSearch(library3, track_parents=True)
+        v_ba = library3.by_name("V_BA")
+        forbidden_after_v_ba = {"V_AB", "V_CB", "V+_AB", "V+_CB",
+                                "F_AB", "F_BA", "F_BC", "F_CB"}
+        # Collect all 2-gate witnesses that start with V_BA.
+        seconds = set()
+        for perm, _mask in search.level(2):
+            names = [g.name for g in search.witness_circuit(perm).gates]
+            if names[0] == "V_BA":
+                seconds.add(names[1])
+        assert seconds  # some extensions exist
+        assert not (seconds & forbidden_after_v_ba)
+
+    def test_masks_describe_binary_images(self, search3):
+        for perm, mask in search3.level(2):
+            expected = 0
+            for image in perm[:8]:
+                expected |= 1 << image
+            assert mask == expected
+
+
+class TestCostQueries:
+    def test_cost_of_identity(self, search3):
+        assert search3.cost_of(bytes(range(38))) == 0
+
+    def test_cost_of_single_gate(self, search3, library3):
+        perm = library3.by_name("V_BA").permutation
+        assert search3.cost_of(perm) == 1
+
+    def test_cost_of_unknown(self, search3):
+        # A permutation that is not a reasonable cascade: a bare swap of
+        # two mixed labels.
+        probe = Permutation.transposition(38, 20, 21)
+        assert search3.cost_of(probe) is None
+
+    def test_cost_is_minimal(self, search3, library3):
+        # V * V+ on the same wires collapses to the identity (cost 0).
+        v = library3.by_name("V_BA").permutation
+        vdag = library3.by_name("V+_BA").permutation
+        assert search3.cost_of(v * vdag) == 0
+
+
+class TestWitnesses:
+    def test_witness_reproduces_permutation(self, search3, library3):
+        for perm, _mask in search3.level(3)[:50]:
+            circuit = search3.witness_circuit(perm)
+            assert len(circuit) == 3
+            entries = [library3.entry_for(g) for g in circuit]
+            assert library3.circuit_permutation(entries).images == perm
+
+    def test_witness_indices_of_identity_is_empty(self, search3):
+        assert search3.witness_indices(bytes(range(38))) == []
+
+    def test_witness_requires_parent_tracking(self, library3):
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(1)
+        perm, _mask = search.level(1)[0]
+        with pytest.raises(InvalidValueError):
+            search.witness_indices(perm)
+
+    def test_witness_of_undiscovered_raises(self, search3):
+        probe = Permutation.transposition(38, 20, 21)
+        with pytest.raises(InvalidValueError):
+            search3.witness_indices(probe)
+
+
+class TestWeightedCosts:
+    def test_weighted_levels_respect_gate_costs(self, library3):
+        model = CostModel(v_cost=2, vdag_cost=2, cnot_cost=1)
+        search = CascadeSearch(library3, model, track_parents=True)
+        # At cost 1 only the 6 Feynman gates exist.
+        names1 = {
+            search.witness_circuit(p).gates[0].name
+            for p, _m in search.level(1)
+        }
+        assert names1 == {"F_AB", "F_BA", "F_AC", "F_CA", "F_BC", "F_CB"}
+        # V gates first appear at cost 2 (alongside Feynman pairs).
+        kinds2 = set()
+        for p, _m in search.level(2):
+            kinds2.update(g.kind for g in search.witness_circuit(p).gates)
+        assert GateKind.V in kinds2 and GateKind.VDAG in kinds2
+
+    def test_weighted_witness_cost_matches_level(self, library3):
+        model = CostModel(v_cost=2, vdag_cost=2, cnot_cost=1)
+        search = CascadeSearch(library3, model, track_parents=True)
+        for cost in (1, 2, 3):
+            for perm, _mask in search.level(cost)[:30]:
+                circuit = search.witness_circuit(perm)
+                assert circuit.cost(model) == cost
+
+
+class TestStats:
+    def test_stats_snapshot(self, library3):
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(2)
+        stats = search.stats()
+        assert stats.cost_bound == 2
+        assert stats.level_sizes == (1, 18, 162)
+        assert stats.a_sizes == (1, 19, 181)
+        assert stats.total_seen == 181
+        assert stats.elapsed_seconds >= 0
+
+    def test_properties(self, search3, library3):
+        assert search3.library is library3
+        assert search3.tracks_parents
+        assert search3.cost_model.is_unit

@@ -1,0 +1,150 @@
+"""Unit tests for the numpy statevector simulator (repro.sim.statevector)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.core.circuit import Circuit
+from repro.gates.gate import Gate
+from repro.mvl.patterns import Pattern, binary_patterns
+from repro.mvl.values import Qv
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    circuit_unitary_numpy,
+    gate_unitary_numpy,
+    pattern_statevector,
+    value_statevector,
+)
+
+
+def exact_as_numpy(matrix):
+    return np.array(matrix.to_complex_lists(), dtype=np.complex128)
+
+
+class TestGateUnitaries:
+    def test_every_library_gate_matches_exact_unitary(self, library3):
+        for entry in library3.gates:
+            numeric = gate_unitary_numpy(entry.gate)
+            exact = exact_as_numpy(entry.gate.unitary)
+            assert np.array_equal(numeric, exact), entry.name
+
+    def test_not_gate_matches_exact(self):
+        gate = Gate.not_(1, 3)
+        assert np.array_equal(
+            gate_unitary_numpy(gate), exact_as_numpy(gate.unitary)
+        )
+
+    def test_unitarity_numeric(self):
+        for gate in (Gate.v(2, 0, 3), Gate.vdag(0, 1, 3), Gate.cnot(1, 2, 3)):
+            u = gate_unitary_numpy(gate)
+            assert np.allclose(u @ u.conj().T, np.eye(8))
+
+
+class TestCircuitUnitary:
+    def test_matches_exact_for_peres(self):
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        assert np.array_equal(
+            circuit_unitary_numpy(circuit), exact_as_numpy(circuit.unitary())
+        )
+
+    def test_empty_circuit(self):
+        assert np.array_equal(
+            circuit_unitary_numpy(Circuit.empty(2)), np.eye(4)
+        )
+
+
+class TestStates:
+    def test_value_statevectors(self):
+        assert np.array_equal(value_statevector(Qv.ZERO), [1, 0])
+        v0 = value_statevector(Qv.V0)
+        assert v0[0] == 0.5 + 0.5j and v0[1] == 0.5 - 0.5j
+
+    def test_pattern_statevector_binary(self):
+        state = pattern_statevector(Pattern([1, 0]))
+        assert np.array_equal(state, [0, 0, 1, 0])
+
+    def test_pattern_statevector_normalized(self):
+        state = pattern_statevector(Pattern([1, Qv.V0, Qv.V1]))
+        assert np.isclose(np.vdot(state, state).real, 1.0)
+
+
+class TestSimulator:
+    def test_initial_state_from_index(self):
+        sim = StatevectorSimulator(3)
+        state = sim.initial_state(5)
+        assert state[5] == 1.0 and np.sum(np.abs(state)) == 1.0
+
+    def test_initial_state_from_pattern(self):
+        sim = StatevectorSimulator(2)
+        state = sim.initial_state(Pattern([1, 1]))
+        assert state[3] == 1.0
+
+    def test_initial_state_validation(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(InvalidValueError):
+            sim.initial_state(4)
+        with pytest.raises(InvalidValueError):
+            sim.initial_state(Pattern([1, 1, 1]))
+        with pytest.raises(InvalidValueError):
+            sim.initial_state(np.zeros(3))
+
+    def test_apply_gate_equals_matrix_multiply(self, library3):
+        sim = StatevectorSimulator(3)
+        rng = np.random.default_rng(11)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state /= np.linalg.norm(state)
+        for entry in library3.gates[:9]:
+            via_tensor = sim.apply_gate(state, entry.gate)
+            via_matrix = gate_unitary_numpy(entry.gate) @ state
+            assert np.allclose(via_tensor, via_matrix)
+
+    def test_apply_not_gate(self):
+        sim = StatevectorSimulator(2)
+        state = sim.initial_state(0)
+        out = sim.apply_gate(state, Gate.not_(0, 2))
+        assert out[2] == 1.0
+
+    def test_run_toffoli_truth_table(self, library3, search3):
+        from repro.core.mce import express
+        from repro.gates import named
+
+        circuit = express(named.TOFFOLI, library3, search=search3).circuit
+        sim = StatevectorSimulator(3)
+        for index in range(8):
+            state = sim.run(circuit, index)
+            expected = named.TOFFOLI(index)
+            assert np.isclose(abs(state[expected]), 1.0)
+
+    def test_run_matches_exact_simulator_on_patterns(self):
+        from repro.sim.exact import ExactSimulator
+
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        sim = StatevectorSimulator(3)
+        exact = ExactSimulator(3)
+        for pattern in binary_patterns(3):
+            numeric = sim.run(circuit, pattern)
+            reference = np.array(
+                [x.to_complex() for x in exact.run(circuit, pattern).column_vector()]
+            )
+            assert np.array_equal(numeric, reference)
+
+    def test_width_mismatch(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(InvalidValueError):
+            sim.run(Circuit.empty(3), 0)
+        with pytest.raises(InvalidValueError):
+            sim.apply_gate(np.zeros(4, dtype=complex), Gate.v(1, 0, 3))
+
+    def test_probabilities_and_distribution(self):
+        sim = StatevectorSimulator(3)
+        circuit = Circuit.from_names("V_BA", 3)
+        state = sim.run(circuit, 4)  # |100>
+        probs = sim.probabilities(state)
+        assert np.isclose(probs.sum(), 1.0)
+        dist = sim.basis_distribution(state)
+        assert set(dist) == {4, 6}  # (1,0,0) and (1,1,0)
+        assert np.isclose(dist[4], 0.5) and np.isclose(dist[6], 0.5)
+
+    def test_needs_positive_width(self):
+        with pytest.raises(InvalidValueError):
+            StatevectorSimulator(0)

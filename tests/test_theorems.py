@@ -1,0 +1,84 @@
+"""Unit tests for the paper's theorems (repro.core.theorems)."""
+
+import pytest
+
+from repro.core.theorems import (
+    coset_cost_is_invariant,
+    not_layer_circuit,
+    paper_generator_group,
+    stabilizer_group,
+    universality_group,
+    verify_theorem1_consistency,
+    verify_theorem2,
+)
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+
+class TestGroupFacts:
+    def test_stabilizer_group_order_is_5040(self):
+        # |G| = 5040 (Section 3).
+        assert stabilizer_group(3).order() == 5040
+
+    def test_paper_generators_give_the_same_group(self):
+        # G = <F_AB, F_BA, F_BC, F_CB, Peres_AB>, |G| = 5040.
+        g = paper_generator_group()
+        assert g.order() == 5040
+        assert g.equals(stabilizer_group(3))
+
+    def test_paper_generator_group_needs_three_qubits(self):
+        with pytest.raises(ValueError):
+            paper_generator_group(2)
+
+    def test_universality_group_of_toffoli_is_s8(self):
+        # <Toffoli, NOT, CNOT> is classically universal on 3 bits.
+        assert universality_group(named.TOFFOLI).order() == 40320
+
+    def test_universality_group_of_cnot_is_linear_only(self):
+        # CNOT adds nothing beyond the affine group: 8 * 168 = 1344.
+        assert universality_group(named.cnot_target(1, 0)).order() == 1344
+
+    def test_universality_group_of_peres_is_s8(self):
+        assert universality_group(named.PERES).order() == 40320
+
+
+class TestTheorem2:
+    def test_verify_theorem2_for_three_qubits(self):
+        summary = verify_theorem2(3)
+        assert summary["g_order"] == 5040
+        assert summary["h_order"] == 40320
+        assert summary["n_cosets"] == 8
+        assert summary["coset_size"] == 5040
+
+    def test_verify_theorem2_for_two_qubits(self):
+        summary = verify_theorem2(2)
+        assert summary["g_order"] == 6
+        assert summary["h_order"] == 24
+        assert summary["n_cosets"] == 4
+
+    def test_coset_cost_invariance_on_table(self, cost_table5):
+        assert coset_cost_is_invariant(cost_table5)
+
+    def test_theorem1_consistency(self, cost_table5, library3):
+        assert verify_theorem1_consistency(cost_table5, library3)
+
+
+class TestNotLayerCircuit:
+    def test_empty_mask(self):
+        circuit = not_layer_circuit(0)
+        assert len(circuit) == 0
+
+    def test_full_mask(self):
+        circuit = not_layer_circuit(0b111)
+        assert circuit.names() == ("N_A", "N_B", "N_C")
+
+    def test_circuit_action_matches_permutation(self):
+        for mask in range(8):
+            circuit = not_layer_circuit(mask)
+            expected = named.not_layer_permutation(mask)
+            assert circuit.binary_permutation() == expected
+
+    def test_wire_zero_is_most_significant(self):
+        circuit = not_layer_circuit(0b100)
+        assert circuit.names() == ("N_A",)
+        assert circuit.binary_permutation()(0) == 4

@@ -1,0 +1,113 @@
+"""Unit tests for truth tables (repro.gates.truth_table) -- Table 1."""
+
+import pytest
+
+from repro.errors import InvalidPermutationError, SpecificationError
+from repro.gates.gate import Gate
+from repro.gates.truth_table import TruthTable
+from repro.mvl.labels import label_space
+from repro.mvl.patterns import Pattern
+from repro.mvl.values import Qv
+from repro.perm.permutation import Permutation
+
+#: The paper's Table 1, row for row: (label, A, B, P, Q, out-label),
+#: in the paper's grouped row ordering.
+PAPER_TABLE_1 = [
+    (1, "0", "0", "0", "0", 1),
+    (2, "0", "1", "0", "1", 2),
+    (3, "1", "0", "1", "V0", 7),
+    (4, "1", "1", "1", "V1", 8),
+    (5, "0", "V0", "0", "V0", 5),
+    (6, "0", "V1", "0", "V1", 6),
+    (7, "1", "V0", "1", "1", 4),
+    (8, "1", "V1", "1", "0", 3),
+    (9, "V0", "0", "V0", "0", 9),
+    (10, "V0", "1", "V0", "1", 10),
+    (11, "V1", "0", "V1", "0", 11),
+    (12, "V1", "1", "V1", "1", 12),
+    (13, "V0", "V0", "V0", "V0", 13),
+    (14, "V0", "V1", "V0", "V1", 14),
+    (15, "V1", "V0", "V1", "V0", 15),
+    (16, "V1", "V1", "V1", "V1", 16),
+]
+
+
+@pytest.fixture(scope="module")
+def table1():
+    space = label_space(2, reduced=False, ordering="grouped")
+    return TruthTable.from_gate(Gate.v(1, 0, 2), space)
+
+
+class TestPaperTable1:
+    def test_every_row_matches_the_paper(self, table1):
+        rows = table1.rows()
+        assert len(rows) == 16
+        for row, expected in zip(rows, PAPER_TABLE_1):
+            label, a, b, p, q, out_label = expected
+            assert row.input_label == label
+            assert [str(v) for v in row.input_pattern] == [a, b]
+            assert [str(v) for v in row.output_pattern] == [p, q]
+            assert row.output_label == out_label
+
+    def test_permutation_representation(self, table1):
+        assert table1.permutation().cycle_string() == "(3,7,4,8)"
+
+    def test_binary_rows_enumerated_first(self, table1):
+        for row in table1.rows()[:4]:
+            assert row.input_pattern.is_binary
+
+
+class TestConstruction:
+    def test_from_map(self, space3):
+        table = TruthTable.from_map(space3, lambda p: p)
+        assert table.permutation().is_identity
+
+    def test_from_permutation(self, space3):
+        perm = Gate.v(1, 0, 3).permutation(space3)
+        table = TruthTable.from_permutation(space3, perm)
+        assert table.permutation() == perm
+
+    def test_from_permutation_degree_mismatch(self, space3):
+        with pytest.raises(SpecificationError):
+            TruthTable.from_permutation(space3, Permutation.identity(8))
+
+    def test_bad_images_rejected(self, space3):
+        with pytest.raises(SpecificationError):
+            TruthTable(space3, [0] * space3.size)
+
+
+class TestQueries:
+    def test_output_label(self, table1):
+        assert table1.output_label(2) == 6  # row 3 -> row 7 (0-based)
+
+    def test_output_pattern(self, table1):
+        out = table1.output_pattern(Pattern([1, 0]))
+        assert out == Pattern([1, Qv.V0])
+
+    def test_is_binary_preserving_false_for_ctrl_v(self, table1):
+        assert not table1.is_binary_preserving()
+
+    def test_is_binary_preserving_true_for_cnot(self, space3):
+        table = TruthTable.from_gate(Gate.cnot(1, 0, 3), space3)
+        assert table.is_binary_preserving()
+
+    def test_restricted_to_binary_of_cnot(self, space3):
+        table = TruthTable.from_gate(Gate.cnot(1, 0, 3), space3)
+        restricted = table.restricted_to_binary()
+        assert restricted.degree == 8
+        # B ^= A swaps (1,0,c) and (1,1,c): labels 5<->7 and 6<->8.
+        assert restricted.cycle_string() == "(5,7)(6,8)"
+
+    def test_restricted_to_binary_raises_for_ctrl_v(self, table1):
+        with pytest.raises(InvalidPermutationError):
+            table1.restricted_to_binary()
+
+    def test_equality_and_hash(self, space3):
+        a = TruthTable.from_gate(Gate.cnot(1, 0, 3), space3)
+        b = TruthTable.from_gate(Gate.cnot(1, 0, 3), space3)
+        c = TruthTable.from_gate(Gate.cnot(0, 1, 3), space3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr(self, table1):
+        assert "TruthTable" in repr(table1)

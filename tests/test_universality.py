@@ -1,0 +1,138 @@
+"""Unit tests for the G[4] analysis (repro.core.universality) -- Section 5."""
+
+import pytest
+
+from repro.core.universality import (
+    analyze_g4,
+    feynman_word_lengths,
+    is_universal,
+    match_paper_representatives,
+    wire_relabeling_orbit,
+)
+from repro.gates import named
+
+
+@pytest.fixture(scope="module")
+def analysis(cost_table5):
+    return analyze_g4(cost_table5)
+
+
+class TestG4Decomposition:
+    def test_g4_splits_60_plus_24(self, analysis):
+        # Paper: "there are 60 circuits realized by 4 Feynman gates, the
+        # other 24 circuits realized by 3 control gates and 1 Feynman".
+        assert len(analysis.feynman_only) == 60
+        assert len(analysis.control_using) == 24
+
+    def test_exactly_the_24_are_universal(self, analysis):
+        assert len(analysis.universal) == 24
+        assert set(analysis.universal) == set(analysis.control_using)
+
+    def test_four_orbits_of_six(self, analysis):
+        # "There are four representative circuits ... each of these four
+        # circuits has other five similar circuits."
+        assert [len(orbit) for orbit in analysis.orbits] == [6, 6, 6, 6]
+
+    def test_orbits_partition_control_using(self, analysis):
+        all_members = [p for orbit in analysis.orbits for p in orbit]
+        assert sorted(all_members, key=lambda p: p.images) == sorted(
+            analysis.control_using, key=lambda p: p.images
+        )
+
+    def test_paper_gates_land_in_distinct_orbits(self, analysis):
+        mapping = match_paper_representatives(analysis)
+        assert sorted(mapping) == ["g1", "g2", "g3", "g4"]
+        assert len(set(mapping.values())) == 4
+
+    def test_representatives_are_orbit_minima(self, analysis):
+        for orbit, rep in zip(analysis.orbits, analysis.representatives):
+            assert rep == orbit[0]
+
+
+class TestWitnessStructure:
+    def test_control_using_members_need_3_controlled_gates(
+        self, analysis, search3, library3
+    ):
+        # Each control-using member's witness: 3 V/V+ + 1 Feynman.
+        from repro.gates.kinds import GateKind
+
+        s_mask = search3.s_mask
+        for target in analysis.control_using[:6]:
+            wanted = target.images
+            witnesses = [
+                p
+                for p, m in search3.level(4)
+                if m == s_mask and p[:8] == wanted
+            ]
+            assert witnesses
+            circuit = search3.witness_circuit(witnesses[0])
+            kinds = [g.kind for g in circuit]
+            assert kinds.count(GateKind.CNOT) == 1
+            assert len(kinds) == 4
+
+    def test_feynman_only_members_have_cnot_witnesses(
+        self, analysis, search3, library3
+    ):
+        from repro.gates.kinds import GateKind
+
+        s_mask = search3.s_mask
+        for target in analysis.feynman_only[:6]:
+            wanted = target.images
+            witnesses = [
+                p
+                for p, m in search3.level(4)
+                if m == s_mask and p[:8] == wanted
+            ]
+            kind_sets = []
+            for w in witnesses:
+                circuit = search3.witness_circuit(w)
+                kind_sets.append({g.kind for g in circuit})
+            assert {GateKind.CNOT} in kind_sets
+
+
+class TestFeynmanWordLengths:
+    def test_reachable_set_is_gl32(self):
+        lengths = feynman_word_lengths()
+        assert len(lengths) == 168
+
+    def test_identity_has_length_zero(self):
+        lengths = feynman_word_lengths()
+        assert lengths[named.IDENTITY3] == 0
+
+    def test_single_gates_have_length_one(self):
+        lengths = feynman_word_lengths()
+        assert lengths[named.cnot_target(1, 0)] == 1
+
+    def test_swap_needs_three(self):
+        lengths = feynman_word_lengths()
+        assert lengths[named.swap_target(0, 1)] == 3
+
+
+class TestIsUniversal:
+    def test_peres_family_universal(self):
+        for gate in (named.PERES, named.G2, named.G3, named.G4):
+            assert is_universal(gate)
+
+    def test_toffoli_universal(self):
+        assert is_universal(named.TOFFOLI)
+
+    def test_linear_gates_not_universal(self):
+        assert not is_universal(named.cnot_target(1, 0))
+        assert not is_universal(named.swap_target(0, 1))
+        assert not is_universal(named.IDENTITY3)
+
+
+class TestOrbits:
+    def test_orbit_of_peres_has_six_members(self):
+        orbit = wire_relabeling_orbit(named.PERES)
+        assert len(orbit) == 6
+        assert named.PERES in orbit
+
+    def test_orbit_closed_under_relabeling(self):
+        orbit = wire_relabeling_orbit(named.G3)
+        for member in orbit:
+            assert wire_relabeling_orbit(member) == orbit
+
+    def test_toffoli_orbit_smaller(self):
+        # Toffoli is symmetric in its two controls: orbit size 3.
+        assert len(wire_relabeling_orbit(named.TOFFOLI)) == 3

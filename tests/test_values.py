@@ -1,0 +1,143 @@
+"""Unit tests for the quaternary value algebra (repro.mvl.values)."""
+
+import pytest
+from fractions import Fraction
+
+from repro.errors import InvalidValueError
+from repro.mvl.values import (
+    Qv,
+    ZERO,
+    ONE,
+    V0,
+    V1,
+    apply_not,
+    apply_v,
+    apply_vdag,
+    is_binary,
+    measurement_probabilities,
+)
+
+ALL = [Qv.ZERO, Qv.ONE, Qv.V0, Qv.V1]
+
+
+class TestQvBasics:
+    def test_integer_codes_match_paper_sort_order(self):
+        assert [int(v) for v in ALL] == [0, 1, 2, 3]
+        assert Qv.ZERO < Qv.ONE < Qv.V0 < Qv.V1
+
+    def test_str_forms(self):
+        assert [str(v) for v in ALL] == ["0", "1", "V0", "V1"]
+
+    def test_is_binary(self):
+        assert Qv.ZERO.is_binary and Qv.ONE.is_binary
+        assert not Qv.V0.is_binary and not Qv.V1.is_binary
+
+    def test_is_binary_function_coerces_ints(self):
+        assert is_binary(0) and is_binary(1)
+        assert not is_binary(2) and not is_binary(3)
+
+    def test_bit_of_binary_values(self):
+        assert Qv.ZERO.bit == 0
+        assert Qv.ONE.bit == 1
+
+    def test_bit_of_mixed_value_raises(self):
+        with pytest.raises(InvalidValueError):
+            _ = Qv.V0.bit
+        with pytest.raises(InvalidValueError):
+            _ = Qv.V1.bit
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", Qv.ZERO),
+            ("1", Qv.ONE),
+            ("V0", Qv.V0),
+            ("v1", Qv.V1),
+            (" V0 ", Qv.V0),
+        ],
+    )
+    def test_parse_plain(self, text, expected):
+        assert Qv.from_string(text) is expected
+
+    def test_parse_vdag_aliases_follow_paper_identities(self):
+        # Paper: V0 = V+1 and V1 = V+0.
+        assert Qv.from_string("V+1") is Qv.V0
+        assert Qv.from_string("V+0") is Qv.V1
+
+    @pytest.mark.parametrize("bad", ["", "2", "V2", "x", "VV0"])
+    def test_parse_garbage_raises(self, bad):
+        with pytest.raises(InvalidValueError):
+            Qv.from_string(bad)
+
+
+class TestVAction:
+    def test_v_four_cycle(self):
+        # 0 -> V0 -> 1 -> V1 -> 0 (Section 2 identities).
+        assert apply_v(Qv.ZERO) is Qv.V0
+        assert apply_v(Qv.V0) is Qv.ONE
+        assert apply_v(Qv.ONE) is Qv.V1
+        assert apply_v(Qv.V1) is Qv.ZERO
+
+    def test_vdag_is_inverse_of_v(self):
+        for v in ALL:
+            assert apply_vdag(apply_v(v)) is v
+            assert apply_v(apply_vdag(v)) is v
+
+    def test_v_squared_is_not(self):
+        # V * V = NOT on every value.
+        for v in ALL:
+            assert apply_v(apply_v(v)) is apply_not(v)
+
+    def test_vdag_squared_is_not(self):
+        for v in ALL:
+            assert apply_vdag(apply_vdag(v)) is apply_not(v)
+
+    def test_v_has_order_four(self):
+        for v in ALL:
+            w = v
+            for _ in range(4):
+                w = apply_v(w)
+            assert w is v
+
+    def test_not_is_involution(self):
+        for v in ALL:
+            assert apply_not(apply_not(v)) is v
+
+    def test_not_swaps_mixed_values(self):
+        assert apply_not(Qv.V0) is Qv.V1
+        assert apply_not(Qv.V1) is Qv.V0
+
+    def test_x_conjugation_fixes_v(self):
+        # Matrix identity X V X = V at the value level.
+        for v in ALL:
+            assert apply_not(apply_v(apply_not(v))) is apply_v(v)
+
+
+class TestMeasurement:
+    def test_binary_values_deterministic(self):
+        assert measurement_probabilities(Qv.ZERO) == {0: 1, 1: 0}
+        assert measurement_probabilities(Qv.ONE) == {0: 0, 1: 1}
+
+    def test_mixed_values_are_fair_coins(self):
+        for v in (Qv.V0, Qv.V1):
+            dist = measurement_probabilities(v)
+            assert dist == {0: Fraction(1, 2), 1: Fraction(1, 2)}
+
+    def test_probabilities_are_exact_fractions(self):
+        for v in ALL:
+            for p in measurement_probabilities(v).values():
+                assert isinstance(p, Fraction)
+
+    def test_distributions_sum_to_one(self):
+        for v in ALL:
+            assert sum(measurement_probabilities(v).values()) == 1
+
+
+class TestModuleConstants:
+    def test_aliases(self):
+        assert ZERO is Qv.ZERO
+        assert ONE is Qv.ONE
+        assert V0 is Qv.V0
+        assert V1 is Qv.V1

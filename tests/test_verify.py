@@ -1,0 +1,96 @@
+"""Unit tests for end-to-end verification (repro.sim.verify)."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.mce import express
+from repro.core.probabilistic import express_probabilistic
+from repro.gates import named
+from repro.sim.verify import (
+    VerificationReport,
+    verify_circuit_against_permutation,
+    verify_gate_representation,
+    verify_probabilistic_synthesis,
+    verify_synthesis,
+)
+
+
+class TestReport:
+    def test_record_and_bool(self):
+        report = VerificationReport(passed=True)
+        report.record("a", True)
+        assert bool(report) and report.checks == ["a"]
+        report.record("b", False, "broke")
+        assert not bool(report)
+        assert report.failures == ["b: broke"]
+
+
+class TestVerifyCircuit:
+    def test_correct_circuit_passes(self):
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        report = verify_circuit_against_permutation(circuit, named.PERES)
+        assert report
+        assert "reasonable-cascade" in report.checks
+
+    def test_wrong_target_fails(self):
+        circuit = Circuit.from_names("V_CB F_BA V_CA V+_CB", 3)
+        report = verify_circuit_against_permutation(circuit, named.TOFFOLI)
+        assert not report
+
+    def test_unreasonable_cascade_fails_early(self):
+        circuit = Circuit.from_names("V_BA F_BA", 3)
+        report = verify_circuit_against_permutation(circuit, named.IDENTITY3)
+        assert not report
+        assert any("reasonable" in f for f in report.failures)
+
+
+class TestVerifySynthesis:
+    def test_express_results_verify(self, library3, search3):
+        for name in ("toffoli", "peres", "fredkin", "g2", "g3", "g4"):
+            result = express(named.TARGETS[name], library3, search=search3)
+            assert verify_synthesis(result), name
+
+    def test_not_layer_results_verify(self, library3, search3):
+        target = named.not_layer_permutation(0b011)
+        result = express(target, library3, search=search3)
+        assert verify_synthesis(result)
+
+    def test_cost_consistency_checked(self, library3, search3):
+        import dataclasses
+
+        result = express(named.PERES, library3, search=search3)
+        tampered = dataclasses.replace(result, cost=3)
+        report = verify_synthesis(tampered)
+        assert not report
+        assert any("cost" in f for f in report.failures)
+
+
+class TestVerifyProbabilistic:
+    def test_rng_spec_verifies(self, library3, search3):
+        from tests.test_probabilistic import v_spec_3q
+
+        result = express_probabilistic(v_spec_3q(), library3, search=search3)
+        assert verify_probabilistic_synthesis(result)
+
+    def test_tampered_spec_fails(self, library3, search3):
+        import dataclasses
+
+        from tests.test_probabilistic import v_spec_3q
+        from repro.core.probabilistic import ProbabilisticSpec
+        from repro.mvl.patterns import binary_patterns
+
+        result = express_probabilistic(v_spec_3q(), library3, search=search3)
+        wrong_spec = ProbabilisticSpec(tuple(binary_patterns(3)))
+        tampered = dataclasses.replace(result, spec=wrong_spec)
+        assert not verify_probabilistic_synthesis(tampered)
+
+
+class TestGateRepresentation:
+    def test_three_qubit_library_fully_consistent(self, library3):
+        report = verify_gate_representation(library3)
+        assert report
+        # 18 gates x (38 - |banned patterns per gate|) checks.
+        assert len(report.checks) == 372
+
+    def test_two_qubit_library_consistent(self, library2):
+        assert verify_gate_representation(library2)
