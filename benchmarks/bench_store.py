@@ -1,0 +1,130 @@
+"""E-store -- precompute-then-serve: cold search vs warm-store latency.
+
+Measures the point of the persistent closure store: a cold synthesis
+pays for expanding the cascade closure on every call, while a
+precomputed store is loaded once and each query is a remainder-index
+lookup.  The acceptance bar is a >= 10x per-query speedup; in practice
+the gap is 3-4 orders of magnitude.
+
+Run standalone (prints a small report)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+
+or as a pytest module (asserts the speedup)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_store.py -s
+
+Markers: carries ``benchmark`` (timing-sensitive; excluded from the
+default tier-1 selection, run explicitly or with ``-m benchmark``).
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.errors import CostBoundExceededError
+from repro.core.batch import BatchSynthesizer
+from repro.core.mce import express
+from repro.core.search import CascadeSearch
+from repro.core.store import load_search, save_search
+from repro.gates import named
+from repro.gates.library import GateLibrary
+from repro.perm.permutation import Permutation
+
+COST_BOUND = 7
+N_COLD = 3
+N_WARM = 200
+
+
+def _sample_targets(count: int, seed: int = 2005) -> list[Permutation]:
+    """Named paper targets padded with random reversible functions."""
+    targets = [named.TARGETS[k] for k in ("toffoli", "peres", "fredkin")]
+    rnd = random.Random(seed)
+    while len(targets) < count:
+        images = list(range(8))
+        rnd.shuffle(images)
+        targets.append(Permutation.from_images(images))
+    return targets[:count]
+
+
+def measure(store_path: Path) -> dict[str, float]:
+    """Time cold full-search queries vs load-once warm-store queries."""
+    library = GateLibrary(3)
+
+    # Precompute once (this is `repro precompute`).
+    started = perf_counter()
+    search = CascadeSearch(library, track_parents=True)
+    search.extend_to(COST_BOUND)
+    precompute_s = perf_counter() - started
+    save_search(search, store_path)
+
+    # Cold: every query re-expands its own closure from scratch.
+    cold_targets = _sample_targets(N_COLD)
+    started = perf_counter()
+    for target in cold_targets:
+        express(target, library, cost_bound=COST_BOUND)
+    cold_per_query = (perf_counter() - started) / len(cold_targets)
+
+    # Warm: load the store once, then serve index lookups.
+    started = perf_counter()
+    loaded = load_search(store_path, library)
+    batch = BatchSynthesizer(loaded)
+    load_s = perf_counter() - started
+    # A realistic serve mix: every synthesizable target from a random
+    # stream (cost-8+ functions exist; a server would triage them the
+    # same way, via the index).
+    warm_targets = []
+    rnd = random.Random(7)
+    while len(warm_targets) < N_WARM:
+        images = list(range(8))
+        rnd.shuffle(images)
+        target = Permutation.from_images(images)
+        try:
+            batch.minimal_cost(target)
+        except CostBoundExceededError:
+            continue
+        warm_targets.append(target)
+    started = perf_counter()
+    for target in warm_targets:
+        batch.synthesize(target)
+    warm_per_query = (perf_counter() - started) / len(warm_targets)
+
+    return {
+        "precompute_s": precompute_s,
+        "store_mb": store_path.stat().st_size / 1e6,
+        "load_s": load_s,
+        "cold_per_query_s": cold_per_query,
+        "warm_per_query_s": warm_per_query,
+        "speedup": cold_per_query / warm_per_query,
+    }
+
+
+def report(numbers: dict[str, float]) -> str:
+    return (
+        f"precompute (once):   {numbers['precompute_s'] * 1e3:10.1f} ms\n"
+        f"store size:          {numbers['store_mb']:10.1f} MB\n"
+        f"store load (once):   {numbers['load_s'] * 1e3:10.1f} ms\n"
+        f"cold query (search): {numbers['cold_per_query_s'] * 1e3:10.2f} ms\n"
+        f"warm query (store):  {numbers['warm_per_query_s'] * 1e6:10.2f} us\n"
+        f"per-query speedup:   {numbers['speedup']:10.0f} x"
+    )
+
+
+@pytest.mark.benchmark
+def test_warm_store_is_10x_faster_than_cold_search(tmp_path):
+    numbers = measure(tmp_path / "closure.rpro")
+    print("\n" + report(numbers))
+    assert numbers["speedup"] >= 10.0, (
+        f"warm-store query only {numbers['speedup']:.1f}x faster than cold "
+        "full search; the store is not paying for itself"
+    )
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        print(report(measure(Path(tmp) / "closure.rpro")))

@@ -13,6 +13,31 @@ Quickstart::
     print(result.circuit)        # 5-gate V/V+/CNOT cascade
     print(result.cost)           # 5
 
+Precompute workflow -- the closure for a fixed (library, cost model)
+pair is a pure artifact, so expand it once, persist it, and answer any
+number of synthesis queries against the loaded store::
+
+    from repro import (
+        BatchSynthesizer, CascadeSearch, GateLibrary,
+        load_search, save_search, named,
+    )
+
+    library = GateLibrary(n_qubits=3)
+
+    # Precompute (once; `repro precompute closure.rpro` from a shell):
+    search = CascadeSearch(library, track_parents=True)
+    search.extend_to(7)
+    save_search(search, "closure.rpro")
+
+    # Serve (many times; `repro synth --store closure.rpro ...`):
+    batch = BatchSynthesizer(load_search("closure.rpro", library))
+    batch.synthesize(named.TOFFOLI).cost       # 5, in microseconds
+    batch.synthesize_many(named.TARGETS.values())
+    batch.cost_table().g_sizes                 # Table 2, no re-scan
+
+Loading verifies a payload checksum and refuses stores whose library or
+cost-model fingerprints do not match (`StoreMismatchError`).
+
 See README.md for the full tour and DESIGN.md for the architecture.
 """
 
@@ -29,6 +54,8 @@ from repro.errors import (
     SpecificationError,
     SimulationError,
     NonBinaryControlError,
+    StoreError,
+    StoreMismatchError,
 )
 from repro.mvl import Qv, Pattern, LabelSpace, label_space
 from repro.linalg import DyadicComplex, Matrix
@@ -38,12 +65,21 @@ from repro.core import (
     Circuit,
     CostModel,
     CascadeSearch,
+    SearchState,
+    StoreHeader,
+    BatchSynthesizer,
     CostTable,
+    dump_search,
     find_minimum_cost_circuits,
     express,
     express_all,
     express_probabilistic,
+    load_search,
+    loads_search,
+    open_store,
     ProbabilisticSpec,
+    read_header,
+    save_search,
     SynthesisResult,
 )
 
@@ -60,6 +96,8 @@ __all__ = [
     "SpecificationError",
     "SimulationError",
     "NonBinaryControlError",
+    "StoreError",
+    "StoreMismatchError",
     # substrates
     "Qv",
     "Pattern",
@@ -80,11 +118,20 @@ __all__ = [
     "Circuit",
     "CostModel",
     "CascadeSearch",
+    "SearchState",
+    "StoreHeader",
+    "BatchSynthesizer",
     "CostTable",
+    "dump_search",
     "find_minimum_cost_circuits",
     "express",
     "express_all",
     "express_probabilistic",
+    "load_search",
+    "loads_search",
+    "open_store",
     "ProbabilisticSpec",
+    "read_header",
+    "save_search",
     "SynthesisResult",
 ]

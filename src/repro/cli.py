@@ -10,6 +10,15 @@ Examples::
     repro banned-sets                # Section 3's N_A .. N_BC and L_A .. L_BC
     repro compare                    # baseline-vs-direct cost table
     repro rng --bits 32 --seed 7     # controlled quantum RNG demo
+
+Precompute-then-serve workflow (the closure is expanded once, then any
+number of synthesis queries are answered against the stored artifact)::
+
+    repro precompute closure.rpro            # expand + save the closure
+    repro store-info closure.rpro            # peek at a store's header
+    repro synth toffoli --store closure.rpro # query without re-expanding
+    repro synth --store closure.rpro --batch targets.txt --save out.json
+    repro table2 --store closure.rpro        # Table 2 from the store
 """
 
 from __future__ import annotations
@@ -36,25 +45,65 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="2-qubit Ctrl-V truth table (Table 1)")
 
     p_table2 = sub.add_parser("table2", help="cost spectrum |G[k]| (Table 2)")
-    p_table2.add_argument("--cost-bound", type=int, default=7)
+    p_table2.add_argument(
+        "--cost-bound", type=int, default=None,
+        help="highest cost level (default: 7, or a store's full bound)",
+    )
     p_table2.add_argument(
         "--paper-pseudocode",
         action="store_true",
         help="reproduce the published pseudocode verbatim (no G[0] subtraction)",
     )
+    p_table2.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="serve the table from a precomputed closure store",
+    )
 
     p_synth = sub.add_parser("synth", help="synthesize a reversible target")
     p_synth.add_argument(
         "target",
+        nargs="?",
+        default=None,
         help="named target (toffoli, peres, fredkin, g2..g4, ...) or "
-        "1-based cycle notation like '(5,7,6,8)'",
+        "1-based cycle notation like '(5,7,6,8)'; omit with --batch",
     )
     p_synth.add_argument("--all", action="store_true", help="all implementations")
-    p_synth.add_argument("--cost-bound", type=int, default=7)
+    p_synth.add_argument(
+        "--cost-bound", type=int, default=None,
+        help="abandon the search beyond this cost "
+        "(default: 7, or a store's full bound)",
+    )
     p_synth.add_argument(
         "--save", metavar="FILE", default=None,
-        help="write the (first) result to a JSON file",
+        help="write the (first) result -- or the whole batch -- to a JSON file",
     )
+    p_synth.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="answer from a precomputed closure store (no re-expansion)",
+    )
+    p_synth.add_argument(
+        "--batch", metavar="FILE", default=None,
+        help="synthesize every target listed in FILE (one spec per line)",
+    )
+
+    p_pre = sub.add_parser(
+        "precompute",
+        help="expand the cascade closure once and save it as a store file",
+    )
+    p_pre.add_argument("out", help="store file to write (e.g. closure.rpro)")
+    p_pre.add_argument("--cost-bound", type=int, default=7)
+    p_pre.add_argument("--qubits", type=int, default=3)
+    p_pre.add_argument(
+        "--no-parents",
+        action="store_true",
+        help="counting-only store (smaller; serves costs/tables, no witnesses)",
+    )
+    p_pre.add_argument("--v-cost", type=int, default=1)
+    p_pre.add_argument("--vdag-cost", type=int, default=1)
+    p_pre.add_argument("--cnot-cost", type=int, default=1)
+
+    p_info = sub.add_parser("store-info", help="print a store file's header")
+    p_info.add_argument("file", help="store file written by `repro precompute`")
 
     p_load = sub.add_parser("load", help="reload and re-verify a saved result")
     p_load.add_argument("file", help="JSON file written by `repro synth --save`")
@@ -87,66 +136,253 @@ def _cmd_table1() -> int:
     return 0
 
 
-def _cmd_table2(cost_bound: int, paper_pseudocode: bool) -> int:
+def _store_bound(requested: int | None, expanded_to: int, store: str) -> int:
+    """Resolve a --cost-bound against a store's expanded bound."""
+    if requested is None:
+        return expanded_to
+    if requested > expanded_to:
+        from repro.errors import SpecificationError
+
+        raise SpecificationError(
+            f"{store} only covers cost <= {expanded_to}; re-run "
+            f"`repro precompute --cost-bound {requested}` to go deeper"
+        )
+    return requested
+
+
+def _cmd_table2(
+    cost_bound: int | None, paper_pseudocode: bool, store: str | None = None
+) -> int:
     from repro.core.fmcf import find_minimum_cost_circuits
     from repro.gates.library import GateLibrary
     from repro.render.tables import cost_table_text
 
-    library = GateLibrary(3)
-    table = find_minimum_cost_circuits(
-        library, cost_bound=cost_bound, paper_pseudocode=paper_pseudocode
-    )
+    if store is not None:
+        if paper_pseudocode:
+            from repro.errors import SpecificationError
+
+            raise SpecificationError(
+                "--paper-pseudocode re-counts the identity per level; a "
+                "store index keeps minimal costs only, so the two cannot "
+                "be combined"
+            )
+        from repro.core.batch import BatchSynthesizer
+        from repro.io import open_store
+
+        header, _library, search = open_store(store)
+        bound = _store_bound(cost_bound, header.expanded_to, store)
+        table = BatchSynthesizer(search, cost_bound=bound).cost_table()
+    else:
+        library = GateLibrary(3)
+        table = find_minimum_cost_circuits(
+            library,
+            cost_bound=7 if cost_bound is None else cost_bound,
+            paper_pseudocode=paper_pseudocode,
+        )
     paper_row = [1, 6, 30, 52, 84, 156, 398, 540]
-    print(cost_table_text(table, paper_g=paper_row if cost_bound <= 7 else None))
+    print(cost_table_text(
+        table, paper_g=paper_row if table.cost_bound <= 7 else None
+    ))
     if table.stats is not None:
         print(f"\nclosure: {table.stats.total_seen} cascades, "
-              f"{table.stats.elapsed_seconds:.2f}s")
+              f"{table.stats.elapsed_seconds:.2f}s"
+              + (f" (precomputed, served from {store})" if store else ""))
     return 0
 
 
-def _resolve_target(text: str):
-    from repro.gates import named
-    from repro.perm.permutation import Permutation
+def _resolve_target(text: str, n_qubits: int = 3):
+    from repro.io import parse_target
 
-    key = text.strip().lower()
-    if key in named.TARGETS:
-        return named.TARGETS[key]
-    return Permutation.from_cycle_string(8, text)
+    return parse_target(text, n_qubits=n_qubits)
 
 
-def _cmd_synth(
-    target_text: str,
-    all_implementations: bool,
-    cost_bound: int,
-    save: str | None = None,
-) -> int:
-    from repro.core.mce import express, express_all
+def _print_result(result) -> bool:
     from repro.core.schedule import depth
-    from repro.gates.library import GateLibrary
     from repro.render.diagram import circuit_diagram
     from repro.sim.verify import verify_synthesis
 
-    target = _resolve_target(target_text)
-    library = GateLibrary(3)
-    if all_implementations:
-        results = express_all(target, library, cost_bound=cost_bound)
+    print(f"{result.circuit}   [depth {depth(result.circuit)}]")
+    print(circuit_diagram(result.circuit))
+    report = verify_synthesis(result)
+    status = "verified (MV + exact unitary)" if report else "FAILED"
+    print(f"  -> {status}\n")
+    return bool(report)
+
+
+def _cmd_synth(
+    target_text: str | None,
+    all_implementations: bool,
+    cost_bound: int | None,
+    save: str | None = None,
+    store: str | None = None,
+    batch_file: str | None = None,
+) -> int:
+    from repro.errors import SpecificationError
+    from repro.gates.library import GateLibrary
+
+    if (target_text is None) == (batch_file is None):
+        raise SpecificationError(
+            "give exactly one of a target or --batch FILE"
+        )
+
+    if store is not None:
+        from repro.core.batch import BatchSynthesizer
+        from repro.io import open_store
+
+        header, library, search = open_store(store)
+        bound = _store_bound(cost_bound, header.expanded_to, store)
+        batch = BatchSynthesizer(search, cost_bound=bound)
+        print(
+            f"store {store}: closure to cost {header.expanded_to}, "
+            f"{header.total_seen} cascades (no re-expansion, "
+            f"serving cost <= {bound})\n"
+        )
     else:
-        results = [express(target, library, cost_bound=cost_bound)]
+        library = GateLibrary(3)
+        batch = None
+        if cost_bound is None:
+            from repro.core.mce import DEFAULT_COST_BOUND
+
+            cost_bound = DEFAULT_COST_BOUND
+
+    if batch_file is not None:
+        return _synth_batch(batch_file, library, batch, cost_bound, save)
+
+    target = _resolve_target(target_text, library.n_qubits)
+    if batch is not None:
+        if all_implementations:
+            results = batch.synthesize_all(target)
+        else:
+            results = [batch.synthesize(target)]
+    else:
+        from repro.core.mce import express, express_all
+
+        if all_implementations:
+            results = express_all(target, library, cost_bound=cost_bound)
+        else:
+            results = [express(target, library, cost_bound=cost_bound)]
     print(
         f"target {target.cycle_string()} -- minimal quantum cost "
         f"{results[0].cost}, {len(results)} implementation(s):\n"
     )
     for result in results:
-        print(f"{result.circuit}   [depth {depth(result.circuit)}]")
-        print(circuit_diagram(result.circuit))
-        report = verify_synthesis(result)
-        status = "verified (MV + exact unitary)" if report else "FAILED"
-        print(f"  -> {status}\n")
+        _print_result(result)
     if save is not None:
         from repro.io import save_result
 
         save_result(results[0], save)
         print(f"saved first implementation to {save}")
+    return 0
+
+
+def _synth_batch(
+    batch_file: str,
+    library,
+    batch,
+    cost_bound: int,
+    save: str | None,
+) -> int:
+    from repro.errors import CostBoundExceededError
+    from repro.core.mce import express
+    from repro.core.search import CascadeSearch
+    from repro.io import load_targets, save_batch_results
+    from repro.sim.verify import verify_synthesis
+
+    targets = load_targets(batch_file, n_qubits=library.n_qubits)
+    if batch is None:
+        # One shared live closure amortizes the BFS across the batch.
+        search = CascadeSearch(library, track_parents=True)
+    results = []
+    failures = 0
+    for spec, target in targets:
+        try:
+            if batch is not None:
+                result = batch.synthesize(target)
+            else:
+                result = express(
+                    target, library, cost_bound=cost_bound, search=search
+                )
+        except CostBoundExceededError as exc:
+            print(f"{spec:24} -> no realization ({exc})")
+            failures += 1
+            continue
+        ok = verify_synthesis(result)
+        results.append(result)
+        status = "ok" if ok else "VERIFY FAILED"
+        if not ok:
+            failures += 1
+        print(
+            f"{spec:24} -> cost {result.cost}  {result.circuit}  [{status}]"
+        )
+    print(
+        f"\n{len(results)}/{len(targets)} synthesized"
+        + (f", {failures} failure(s)" if failures else "")
+    )
+    if save is not None:
+        save_batch_results(results, save)
+        print(f"saved batch results to {save}")
+    return 1 if failures else 0
+
+
+def _cmd_precompute(
+    out: str,
+    cost_bound: int,
+    qubits: int,
+    no_parents: bool,
+    v_cost: int,
+    vdag_cost: int,
+    cnot_cost: int,
+) -> int:
+    from pathlib import Path
+
+    from repro.core.cost import CostModel
+    from repro.core.search import CascadeSearch
+    from repro.gates.library import GateLibrary
+    from repro.io import save_search
+
+    library = GateLibrary(qubits)
+    cost_model = CostModel(
+        v_cost=v_cost, vdag_cost=vdag_cost, cnot_cost=cnot_cost
+    )
+    search = CascadeSearch(
+        library, cost_model, track_parents=not no_parents
+    )
+    search.extend_to(cost_bound)
+    stats = search.stats()
+    header = save_search(search, out)
+    size = Path(out).stat().st_size
+    print(
+        f"expanded {library!r} to cost {cost_bound}: "
+        f"{stats.total_seen} cascades in {stats.elapsed_seconds:.2f}s"
+    )
+    print(f"levels |B[k]|: {list(stats.level_sizes)}")
+    print(
+        f"wrote {out} ({size / 1e6:.1f} MB, format {header.format_version}, "
+        f"parents {'yes' if header.track_parents else 'no'})"
+    )
+    print(f"library fingerprint {header.library_fingerprint[:16]}...")
+    return 0
+
+
+def _cmd_store_info(path: str) -> int:
+    from repro.io import read_header
+
+    header = read_header(path)
+    print(f"{path}: closure store, format {header.format_version}")
+    print(
+        f"  library: {header.n_qubits} qubits, {header.degree} labels "
+        f"(reduced={header.space_reduced}, ordering={header.space_ordering}), "
+        f"kinds {'/'.join(header.gate_kinds)}"
+    )
+    print(f"  library fingerprint: {header.library_fingerprint}")
+    print(f"  cost model: {header.cost_model}")
+    print(
+        f"  closure: cost bound {header.expanded_to}, "
+        f"{header.total_seen} cascades, parents "
+        f"{'tracked' if header.track_parents else 'not tracked'}"
+    )
+    print(f"  levels |B[k]|: {list(header.level_sizes)}")
+    print(f"  expansion time: {header.elapsed_seconds:.2f}s")
     return 0
 
 
@@ -261,9 +497,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "table1":
             return _cmd_table1()
         if args.command == "table2":
-            return _cmd_table2(args.cost_bound, args.paper_pseudocode)
+            return _cmd_table2(args.cost_bound, args.paper_pseudocode, args.store)
         if args.command == "synth":
-            return _cmd_synth(args.target, args.all, args.cost_bound, args.save)
+            return _cmd_synth(
+                args.target, args.all, args.cost_bound, args.save,
+                args.store, args.batch,
+            )
+        if args.command == "precompute":
+            return _cmd_precompute(
+                args.out, args.cost_bound, args.qubits, args.no_parents,
+                args.v_cost, args.vdag_cost, args.cnot_cost,
+            )
+        if args.command == "store-info":
+            return _cmd_store_info(args.file)
         if args.command == "load":
             return _cmd_load(args.file)
         if args.command == "identities":

@@ -3,6 +3,8 @@
 * :mod:`repro.core.circuit` -- gate cascades with three semantics.
 * :mod:`repro.core.cost` -- quantum cost models.
 * :mod:`repro.core.search` -- the reasonable-product layered closure.
+* :mod:`repro.core.store` -- persistent closure store (precompute/serve).
+* :mod:`repro.core.batch` -- batch synthesis against one shared closure.
 * :mod:`repro.core.fmcf` -- Finding_Minimum_Cost_Circuits (Table 2).
 * :mod:`repro.core.mce` -- Minimum_Cost_Expressing (Figures 4-9).
 * :mod:`repro.core.theorems` -- machine checks of Theorems 1-3.
@@ -12,7 +14,19 @@
 
 from repro.core.circuit import Circuit
 from repro.core.cost import CostModel, UNIT_COST
-from repro.core.search import CascadeSearch, SearchStats
+from repro.core.search import CascadeSearch, SearchState, SearchStats
+from repro.core.store import (
+    StoreHeader,
+    cost_model_fingerprint,
+    dump_search,
+    library_fingerprint,
+    load_search,
+    loads_search,
+    open_store,
+    read_header,
+    save_search,
+)
+from repro.core.batch import BatchSynthesizer
 from repro.core.fmcf import CostTable, find_minimum_cost_circuits
 from repro.core.mce import (
     DEFAULT_COST_BOUND,
@@ -20,6 +34,7 @@ from repro.core.mce import (
     express,
     express_all,
     minimal_cost,
+    normalize_target,
 )
 from repro.core.probabilistic import (
     ProbabilisticSpec,
@@ -67,7 +82,18 @@ __all__ = [
     "CostModel",
     "UNIT_COST",
     "CascadeSearch",
+    "SearchState",
     "SearchStats",
+    "StoreHeader",
+    "cost_model_fingerprint",
+    "dump_search",
+    "library_fingerprint",
+    "load_search",
+    "loads_search",
+    "open_store",
+    "read_header",
+    "save_search",
+    "BatchSynthesizer",
     "CostTable",
     "find_minimum_cost_circuits",
     "DEFAULT_COST_BOUND",
@@ -75,6 +101,7 @@ __all__ = [
     "express",
     "express_all",
     "minimal_cost",
+    "normalize_target",
     "ProbabilisticSpec",
     "ProbabilisticSynthesisResult",
     "express_probabilistic",

@@ -134,6 +134,78 @@ def express_all(
     )
 
 
+def normalize_target(
+    target: Permutation, library: GateLibrary, allow_not: bool = True
+) -> tuple[int, Permutation, tuple[Gate, ...]]:
+    """Theorem 2 normalization: strip the free NOT layer off a target.
+
+    Returns ``(not_mask, remainder, not_gates)`` where ``remainder``
+    fixes the all-zero pattern and ``target = d0(not_mask) * remainder``
+    (``d0`` is an involution), so synthesizing the NOT-free remainder
+    synthesizes the target.
+
+    Raises:
+        SpecificationError: degree mismatch, or the target needs a NOT
+            layer while ``allow_not=False``.
+    """
+    _check_target(target, library)
+    zero_preimage = target.inverse()(0)
+    not_mask = zero_preimage if allow_not else 0
+    if not allow_not and zero_preimage != 0:
+        raise SpecificationError(
+            "target moves the all-zero pattern; it needs a NOT layer "
+            "(allow_not=True) since no NOT-free cascade can move it"
+        )
+    d0 = not_layer_permutation(not_mask, library.n_qubits)
+    remainder = d0 * target  # g = d0 * remainder with d0 an involution
+    return not_mask, remainder, _not_layer_gates(not_mask, library.n_qubits)
+
+
+def _not_layer_result(
+    target: Permutation,
+    library: GateLibrary,
+    not_mask: int,
+    not_gates: tuple[Gate, ...],
+) -> SynthesisResult:
+    """The cost-0 result for a target that is (at most) a pure NOT layer."""
+    return SynthesisResult(
+        target=target,
+        circuit=Circuit(not_gates, library.n_qubits),
+        cost=0,
+        not_mask=not_mask,
+        cascade_permutation=Permutation.identity(library.space.size),
+    )
+
+
+def _results_from_matches(
+    matches: list[bytes],
+    search: CascadeSearch,
+    target: Permutation,
+    not_mask: int,
+    not_gates: tuple[Gate, ...],
+    cost_model: CostModel,
+    first_only: bool,
+) -> list[SynthesisResult]:
+    """Turn matching cascade permutations into witness-backed results."""
+    n_qubits = search.library.n_qubits
+    results = []
+    for perm in matches:
+        cascade = search.witness_circuit(perm)
+        circuit = Circuit(not_gates + cascade.gates, n_qubits)
+        results.append(
+            SynthesisResult(
+                target=target,
+                circuit=circuit,
+                cost=cascade.cost(cost_model),
+                not_mask=not_mask,
+                cascade_permutation=Permutation.from_images(perm),
+            )
+        )
+        if first_only:
+            break
+    return results
+
+
 def _express_impl(
     target: Permutation,
     library: GateLibrary,
@@ -143,35 +215,11 @@ def _express_impl(
     allow_not: bool,
     first_only: bool,
 ) -> list[SynthesisResult]:
-    _check_target(target, library)
-    n_qubits = library.n_qubits
+    not_mask, remainder, not_gates = normalize_target(target, library, allow_not)
     n_binary = library.space.n_binary
 
-    # Theorem 2 normalization: strip a free NOT layer so the remainder
-    # fixes the all-zero pattern (label 0).
-    zero_preimage = target.inverse()(0)
-    not_mask = zero_preimage if allow_not else 0
-    if not allow_not and zero_preimage != 0:
-        raise SpecificationError(
-            "target moves the all-zero pattern; it needs a NOT layer "
-            "(allow_not=True) since no NOT-free cascade can move it"
-        )
-    d0 = not_layer_permutation(not_mask, n_qubits)
-    remainder = d0 * target  # g = d0 * remainder with d0 an involution
-    not_gates = _not_layer_gates(not_mask, n_qubits)
-
-    # Cost-0 case: the target is (at most) a pure NOT layer.
     if remainder.is_identity:
-        circuit = Circuit(not_gates, n_qubits)
-        return [
-            SynthesisResult(
-                target=target,
-                circuit=circuit,
-                cost=0,
-                not_mask=not_mask,
-                cascade_permutation=Permutation.identity(library.space.size),
-            )
-        ]
+        return [_not_layer_result(target, library, not_mask, not_gates)]
 
     if search is None:
         search = CascadeSearch(library, cost_model, track_parents=True)
@@ -187,22 +235,10 @@ def _express_impl(
             if mask == s_mask and perm[:n_binary] == wanted
         ]
         if matches:
-            results = []
-            for perm in matches:
-                cascade = search.witness_circuit(perm)
-                circuit = Circuit(not_gates + cascade.gates, n_qubits)
-                results.append(
-                    SynthesisResult(
-                        target=target,
-                        circuit=circuit,
-                        cost=cascade.cost(cost_model),
-                        not_mask=not_mask,
-                        cascade_permutation=Permutation.from_images(perm),
-                    )
-                )
-                if first_only:
-                    break
-            return results
+            return _results_from_matches(
+                matches, search, target, not_mask, not_gates, cost_model,
+                first_only,
+            )
     raise CostBoundExceededError(
         f"permutation {target.cycle_string()}", cost_bound
     )

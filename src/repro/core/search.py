@@ -27,6 +27,41 @@ from repro.perm.permutation import Permutation
 
 
 @dataclass(frozen=True)
+class SearchState:
+    """Complete snapshot of an expanded :class:`CascadeSearch`.
+
+    This is the clean export surface consumed by the persistent closure
+    store (:mod:`repro.core.store`): everything the search accumulated --
+    level sets, S-image masks, parent pointers -- without any of the
+    library-derived data that is cheaper to rebuild than to ship.
+
+    Attributes:
+        expanded_to: highest fully-computed cost level.
+        levels: ``levels[k]`` is the B[k] level as a tuple of
+            ``(permutation bytes, S-image mask)`` pairs in discovery
+            order; empty levels (possible with non-unit cost models) are
+            present as empty tuples.
+        parents: one ``perm -> (predecessor perm, library gate index)``
+            entry per non-identity permutation, or None when the search
+            was counting-only (``track_parents=False``).
+        elapsed_seconds: accumulated expansion wall time.
+    """
+
+    expanded_to: int
+    levels: tuple[tuple[tuple[bytes, int], ...], ...]
+    parents: dict[bytes, tuple[bytes, int]] | None
+    elapsed_seconds: float
+
+    @property
+    def total_seen(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    @property
+    def level_sizes(self) -> tuple[int, ...]:
+        return tuple(len(level) for level in self.levels)
+
+
+@dataclass(frozen=True)
 class SearchStats:
     """Size/timing snapshot of an expanded search."""
 
@@ -184,6 +219,101 @@ class CascadeSearch:
             total_seen=len(self._seen),
             elapsed_seconds=self._elapsed,
         )
+
+    # -- state export / restore ----------------------------------------------------------
+
+    def export_state(self) -> SearchState:
+        """Snapshot the accumulated closure as an immutable value.
+
+        The snapshot is independent of this instance: later
+        :meth:`extend_to` calls do not mutate it.
+        """
+        return SearchState(
+            expanded_to=self._expanded_to,
+            levels=tuple(
+                tuple(self._levels.get(cost, ()))
+                for cost in range(self._expanded_to + 1)
+            ),
+            parents=dict(self._parents) if self._parents is not None else None,
+            elapsed_seconds=self._elapsed,
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        library: GateLibrary,
+        state: SearchState,
+        cost_model: CostModel = UNIT_COST,
+    ) -> "CascadeSearch":
+        """Rebuild a search from an exported snapshot in O(closure size).
+
+        The result behaves exactly like the search the state was exported
+        from: queries answer without re-expansion, and :meth:`extend_to`
+        continues the closure past the stored bound.
+
+        Raises:
+            InvalidValueError: if the state is structurally inconsistent
+                with *library* (wrong degree, missing identity level,
+                duplicate permutations, or dangling parent pointers).
+        """
+        if state.expanded_to != len(state.levels) - 1:
+            raise InvalidValueError(
+                f"state claims bound {state.expanded_to} but carries "
+                f"{len(state.levels)} levels"
+            )
+        search = cls(
+            library, cost_model, track_parents=state.parents is not None
+        )
+        degree = search._degree
+        if not state.levels or state.levels[0] != (
+            (search._identity, search._mask_of(search._identity)),
+        ):
+            raise InvalidValueError(
+                "state level 0 is not the identity singleton"
+            )
+        seen: dict[bytes, int] = {}
+        levels: dict[int, list[tuple[bytes, int]]] = {}
+        for cost, level in enumerate(state.levels):
+            for perm, _mask in level:
+                if len(perm) != degree:
+                    raise InvalidValueError(
+                        f"permutation of degree {len(perm)} in a state "
+                        f"for a degree-{degree} space"
+                    )
+                if perm in seen:
+                    raise InvalidValueError(
+                        "duplicate permutation across state levels"
+                    )
+                seen[perm] = cost
+            levels[cost] = list(level)
+        parents = state.parents
+        if parents is not None:
+            if len(parents) != len(seen) - 1:
+                raise InvalidValueError(
+                    f"state has {len(parents)} parent pointers for "
+                    f"{len(seen) - 1} non-identity permutations"
+                )
+            n_gates = len(library)
+            for child, (parent, gate_index) in parents.items():
+                child_cost = seen.get(child)
+                parent_cost = seen.get(parent)
+                if child_cost is None or parent_cost is None:
+                    raise InvalidValueError("dangling parent pointer in state")
+                if not 0 <= gate_index < n_gates:
+                    raise InvalidValueError(
+                        f"parent gate index {gate_index} outside the "
+                        f"{n_gates}-gate library"
+                    )
+                if parent_cost >= child_cost:
+                    raise InvalidValueError(
+                        "parent pointer does not decrease cost"
+                    )
+            search._parents = dict(parents)
+        search._seen = seen
+        search._levels = levels
+        search._expanded_to = state.expanded_to
+        search._elapsed = state.elapsed_seconds
+        return search
 
     # -- witnesses -----------------------------------------------------------------------
 

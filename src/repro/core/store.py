@@ -1,0 +1,440 @@
+"""Persistent closure store: save an expanded search once, query forever.
+
+The cost-bounded cascade closure for a fixed (library, cost model) pair
+is a pure artifact: it never changes, and every MCE/FMCF query is a
+lookup against it.  This module serializes a :class:`CascadeSearch`
+snapshot to a compact versioned binary format so the closure is computed
+once (``repro precompute``) and any number of synthesis queries are
+answered against the loaded store (``repro synth --store``) without
+re-running the BFS.
+
+Layout of a store file::
+
+    magic   8 bytes   b"RPROCLS\\x01"
+    hlen    4 bytes   little-endian header length
+    header  hlen      JSON: format version, library/cost fingerprints,
+                      space geometry, level sizes, payload sha256
+    payload           level records then parent records
+
+Each level record is ``degree`` permutation bytes followed by the
+S-image bitmask (``mask_bytes`` little-endian bytes); records appear in
+level-major discovery order, so a permutation's position in the stream
+is its *global index*.  When parents are tracked, one
+``(parent global index: u32, library gate index: u16)`` pair follows for
+every non-identity permutation, in the same global order.
+
+Integrity is layered: the payload is checksummed (sha256, verified on
+load), the header pins fingerprints of the gate library and cost model
+(mismatches are refused with :class:`StoreMismatchError` -- a closure
+loaded against the wrong library would silently return wrong costs),
+and :meth:`CascadeSearch.from_state` re-validates the structural
+invariants (identity level, no duplicates, cost-decreasing parents).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StoreError, StoreMismatchError
+from repro.core.cost import CostModel, UNIT_COST
+from repro.core.search import CascadeSearch, SearchState
+from repro.gates.kinds import GateKind
+from repro.gates.library import GateLibrary
+from repro.mvl.labels import label_space
+
+MAGIC = b"RPROCLS\x01"
+FORMAT_VERSION = 1
+
+_PARENT_RECORD = 6  # u32 parent index + u16 gate index
+
+
+def _int_bytes(value: int) -> bytes:
+    """Minimal little-endian encoding of a non-negative int (>= 1 byte)."""
+    return value.to_bytes(max(1, (value.bit_length() + 7) // 8), "little")
+
+
+def library_fingerprint(library: GateLibrary) -> str:
+    """Content hash of everything the search reads from a library.
+
+    Covers the label-space geometry and, per gate in index order, the
+    name, permutation and banned mask -- so two libraries fingerprint
+    equal exactly when a closure expanded under one is valid for the
+    other.
+    """
+    space = library.space
+    digest = hashlib.sha256()
+    digest.update(
+        f"space:{space.n_qubits}:{space.size}:{space.n_binary}:"
+        f"{space.reduced}:{space.ordering}:{space.s_mask}".encode()
+    )
+    for entry in library.gates:
+        digest.update(b"\x00" + entry.name.encode())
+        digest.update(entry.permutation.images)
+        digest.update(_int_bytes(entry.banned_mask))
+    return digest.hexdigest()
+
+
+def cost_model_fingerprint(cost_model: CostModel) -> str:
+    """Content hash of a cost model's four integer weights."""
+    text = (
+        f"cost:{cost_model.v_cost}:{cost_model.vdag_cost}:"
+        f"{cost_model.cnot_cost}:{cost_model.not_cost}"
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreHeader:
+    """Parsed metadata block of a closure store.
+
+    Carries everything needed to rebuild the matching library and cost
+    model (the store is self-describing for the default gate alphabet)
+    plus the size/checksum data that frames the payload.
+    """
+
+    format_version: int
+    library_fingerprint: str
+    cost_fingerprint: str
+    n_qubits: int
+    degree: int
+    n_binary: int
+    mask_bytes: int
+    space_reduced: bool
+    space_ordering: str
+    gate_kinds: tuple[str, ...]
+    cost_model: CostModel
+    expanded_to: int
+    level_sizes: tuple[int, ...]
+    track_parents: bool
+    elapsed_seconds: float
+    payload_size: int
+    payload_sha256: str
+
+    @property
+    def total_seen(self) -> int:
+        return sum(self.level_sizes)
+
+    def rebuild_library(self) -> GateLibrary:
+        """The default-alphabet library this store was expanded under."""
+        try:
+            kinds = tuple(GateKind[name] for name in self.gate_kinds)
+        except KeyError as exc:
+            raise StoreError(f"store names unknown gate kind {exc}") from None
+        space = label_space(
+            self.n_qubits, reduced=self.space_reduced, ordering=self.space_ordering
+        )
+        return GateLibrary(self.n_qubits, space=space, kinds=kinds)
+
+
+def _header_dict(header: StoreHeader) -> dict:
+    cm = header.cost_model
+    return {
+        "format": header.format_version,
+        "library_fingerprint": header.library_fingerprint,
+        "cost_fingerprint": header.cost_fingerprint,
+        "n_qubits": header.n_qubits,
+        "degree": header.degree,
+        "n_binary": header.n_binary,
+        "mask_bytes": header.mask_bytes,
+        "space_reduced": header.space_reduced,
+        "space_ordering": header.space_ordering,
+        "gate_kinds": list(header.gate_kinds),
+        "cost_model": {
+            "v_cost": cm.v_cost,
+            "vdag_cost": cm.vdag_cost,
+            "cnot_cost": cm.cnot_cost,
+            "not_cost": cm.not_cost,
+        },
+        "expanded_to": header.expanded_to,
+        "level_sizes": list(header.level_sizes),
+        "track_parents": header.track_parents,
+        "elapsed_seconds": header.elapsed_seconds,
+        "payload_size": header.payload_size,
+        "payload_sha256": header.payload_sha256,
+    }
+
+
+def _header_from_dict(data: dict) -> StoreHeader:
+    try:
+        cm = data["cost_model"]
+        return StoreHeader(
+            format_version=int(data["format"]),
+            library_fingerprint=str(data["library_fingerprint"]),
+            cost_fingerprint=str(data["cost_fingerprint"]),
+            n_qubits=int(data["n_qubits"]),
+            degree=int(data["degree"]),
+            n_binary=int(data["n_binary"]),
+            mask_bytes=int(data["mask_bytes"]),
+            space_reduced=bool(data["space_reduced"]),
+            space_ordering=str(data["space_ordering"]),
+            gate_kinds=tuple(str(k) for k in data["gate_kinds"]),
+            cost_model=CostModel(
+                v_cost=int(cm["v_cost"]),
+                vdag_cost=int(cm["vdag_cost"]),
+                cnot_cost=int(cm["cnot_cost"]),
+                not_cost=int(cm["not_cost"]),
+            ),
+            expanded_to=int(data["expanded_to"]),
+            level_sizes=tuple(int(s) for s in data["level_sizes"]),
+            track_parents=bool(data["track_parents"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            payload_size=int(data["payload_size"]),
+            payload_sha256=str(data["payload_sha256"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"malformed store header: {exc}") from None
+
+
+# -- encoding --------------------------------------------------------------------------
+
+
+def _library_kinds(library: GateLibrary) -> tuple[str, ...]:
+    """Gate kinds in construction order (gate indices depend on it)."""
+    kinds: list[str] = []
+    for entry in library.gates:
+        name = entry.gate.kind.name
+        if name in kinds:
+            break
+        kinds.append(name)
+    return tuple(kinds)
+
+
+def dump_search(search: CascadeSearch) -> bytes:
+    """Serialize a search's accumulated closure to store bytes."""
+    state = search.export_state()
+    library = search.library
+    cost_model = search.cost_model
+    degree = library.space.size
+    mask_bytes = (degree + 7) // 8
+
+    chunks: list[bytes] = []
+    index_of: dict[bytes, int] = {}
+    for level in state.levels:
+        for perm, mask in level:
+            index_of[perm] = len(index_of)
+            chunks.append(perm)
+            chunks.append(mask.to_bytes(mask_bytes, "little"))
+    if state.parents is not None:
+        for level in state.levels[1:]:
+            for perm, _mask in level:
+                parent, gate_index = state.parents[perm]
+                chunks.append(index_of[parent].to_bytes(4, "little"))
+                chunks.append(gate_index.to_bytes(2, "little"))
+    payload = b"".join(chunks)
+
+    header = StoreHeader(
+        format_version=FORMAT_VERSION,
+        library_fingerprint=library_fingerprint(library),
+        cost_fingerprint=cost_model_fingerprint(cost_model),
+        n_qubits=library.n_qubits,
+        degree=degree,
+        n_binary=library.space.n_binary,
+        mask_bytes=mask_bytes,
+        space_reduced=library.space.reduced,
+        space_ordering=library.space.ordering,
+        gate_kinds=_library_kinds(library),
+        cost_model=cost_model,
+        expanded_to=state.expanded_to,
+        level_sizes=state.level_sizes,
+        track_parents=state.parents is not None,
+        elapsed_seconds=state.elapsed_seconds,
+        payload_size=len(payload),
+        payload_sha256=hashlib.sha256(payload).hexdigest(),
+    )
+    header_blob = json.dumps(_header_dict(header), separators=(",", ":")).encode()
+    return MAGIC + len(header_blob).to_bytes(4, "little") + header_blob + payload
+
+
+def save_search(search: CascadeSearch, path: str | Path) -> StoreHeader:
+    """Write a search's closure to *path*; returns the store header."""
+    data = dump_search(search)
+    Path(path).write_bytes(data)
+    return _split(data)[0]
+
+
+# -- decoding --------------------------------------------------------------------------
+
+
+def _split(data: bytes) -> tuple[StoreHeader, memoryview]:
+    """Validate framing + checksum; return (header, payload view)."""
+    if len(data) < len(MAGIC) + 4 or data[: len(MAGIC)] != MAGIC:
+        raise StoreError("not a closure store (bad magic)")
+    hlen = int.from_bytes(data[len(MAGIC) : len(MAGIC) + 4], "little")
+    header_start = len(MAGIC) + 4
+    if len(data) < header_start + hlen:
+        raise StoreError("truncated store header")
+    try:
+        raw = json.loads(data[header_start : header_start + hlen])
+    except ValueError:
+        raise StoreError("store header is not valid JSON") from None
+    header = _header_from_dict(raw)
+    if header.format_version != FORMAT_VERSION:
+        raise StoreError(
+            f"store format {header.format_version} is not supported "
+            f"(this build reads format {FORMAT_VERSION})"
+        )
+    payload = memoryview(data)[header_start + hlen :]
+    if len(payload) != header.payload_size:
+        raise StoreError(
+            f"store payload is {len(payload)} bytes, header says "
+            f"{header.payload_size} (truncated or padded file)"
+        )
+    if hashlib.sha256(payload).hexdigest() != header.payload_sha256:
+        raise StoreError("store payload fails its sha256 checksum")
+    record = header.degree + header.mask_bytes
+    expected = header.total_seen * record
+    if header.track_parents:
+        expected += (header.total_seen - 1) * _PARENT_RECORD
+    if header.payload_size != expected:
+        raise StoreError(
+            f"payload size {header.payload_size} inconsistent with "
+            f"{header.total_seen} records of {record} bytes"
+        )
+    if len(header.level_sizes) != header.expanded_to + 1:
+        raise StoreError(
+            f"store claims bound {header.expanded_to} but lists "
+            f"{len(header.level_sizes)} level sizes"
+        )
+    return header, payload
+
+
+def _decode_state(header: StoreHeader, payload: memoryview) -> SearchState:
+    degree = header.degree
+    mask_bytes = header.mask_bytes
+    record = degree + mask_bytes
+    from_bytes = int.from_bytes
+
+    perms: list[bytes] = []
+    levels: list[tuple[tuple[bytes, int], ...]] = []
+    offset = 0
+    for size in header.level_sizes:
+        level = []
+        for _ in range(size):
+            perm = bytes(payload[offset : offset + degree])
+            mask = from_bytes(payload[offset + degree : offset + record], "little")
+            level.append((perm, mask))
+            perms.append(perm)
+            offset += record
+        levels.append(tuple(level))
+
+    parents: dict[bytes, tuple[bytes, int]] | None = None
+    if header.track_parents:
+        parents = {}
+        total = len(perms)
+        for child_index in range(1, total):
+            parent_index = from_bytes(payload[offset : offset + 4], "little")
+            gate_index = from_bytes(payload[offset + 4 : offset + 6], "little")
+            offset += _PARENT_RECORD
+            if parent_index >= child_index:
+                raise StoreError(
+                    f"parent index {parent_index} does not precede its "
+                    f"child {child_index}"
+                )
+            parents[perms[child_index]] = (perms[parent_index], gate_index)
+
+    return SearchState(
+        expanded_to=header.expanded_to,
+        levels=tuple(levels),
+        parents=parents,
+        elapsed_seconds=header.elapsed_seconds,
+    )
+
+
+def read_header(path: str | Path) -> StoreHeader:
+    """Read only the metadata block of a store file (cheap peek).
+
+    The payload is not read or verified; use :func:`load_search` for a
+    fully checked load.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise StoreError("not a closure store (bad magic)")
+        hlen_bytes = handle.read(4)
+        if len(hlen_bytes) < 4:
+            raise StoreError("truncated store header")
+        hlen = int.from_bytes(hlen_bytes, "little")
+        blob = handle.read(hlen)
+    if len(blob) < hlen:
+        raise StoreError("truncated store header")
+    try:
+        raw = json.loads(blob)
+    except ValueError:
+        raise StoreError("store header is not valid JSON") from None
+    return _header_from_dict(raw)
+
+
+def _check_compatible(
+    header: StoreHeader, library: GateLibrary, cost_model: CostModel
+) -> None:
+    expected_lib = library_fingerprint(library)
+    if header.library_fingerprint != expected_lib:
+        raise StoreMismatchError(
+            f"store was expanded under library fingerprint "
+            f"{header.library_fingerprint[:12]}..., the given "
+            f"{library!r} fingerprints {expected_lib[:12]}...; "
+            "rebuild the store with `repro precompute` for this library"
+        )
+    expected_cost = cost_model_fingerprint(cost_model)
+    if header.cost_fingerprint != expected_cost:
+        raise StoreMismatchError(
+            f"store was expanded under cost model {header.cost_model}, "
+            f"refusing to serve queries for {cost_model}"
+        )
+
+
+def _load_split(
+    header: StoreHeader,
+    payload: memoryview,
+    library: GateLibrary,
+    cost_model: CostModel,
+) -> CascadeSearch:
+    """Decode an already-validated (header, payload) pair."""
+    _check_compatible(header, library, cost_model)
+    state = _decode_state(header, payload)
+    return CascadeSearch.from_state(library, state, cost_model)
+
+
+def loads_search(
+    data: bytes,
+    library: GateLibrary,
+    cost_model: CostModel = UNIT_COST,
+) -> CascadeSearch:
+    """Rebuild a search from store bytes (see :func:`load_search`)."""
+    header, payload = _split(data)
+    return _load_split(header, payload, library, cost_model)
+
+
+def load_search(
+    path: str | Path,
+    library: GateLibrary,
+    cost_model: CostModel = UNIT_COST,
+) -> CascadeSearch:
+    """Load a store file back into a ready-to-query :class:`CascadeSearch`.
+
+    Raises:
+        StoreError: corrupted, truncated or unsupported file.
+        StoreMismatchError: the store was expanded under a different
+            library or cost model than the ones given.
+    """
+    return loads_search(Path(path).read_bytes(), library, cost_model)
+
+
+def open_store(
+    path: str | Path,
+) -> tuple[StoreHeader, GateLibrary, CascadeSearch]:
+    """Self-describing load: rebuild the library from the store header.
+
+    Convenience for the CLI and services that hold only a store path:
+    the library and cost model are reconstructed from the header (this
+    only works for default-alphabet libraries) and the fingerprints are
+    still verified against the rebuilt objects.
+    """
+    data = Path(path).read_bytes()
+    header, payload = _split(data)
+    library = header.rebuild_library()
+    search = _load_split(header, payload, library, header.cost_model)
+    return header, library, search

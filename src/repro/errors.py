@@ -58,6 +58,19 @@ class SpecificationError(ReproError, ValueError):
     """A synthesis specification (truth table / output spec) is invalid."""
 
 
+class StoreError(ReproError):
+    """A persisted closure store is malformed, corrupted or truncated."""
+
+
+class StoreMismatchError(StoreError):
+    """A closure store was built for a different library or cost model.
+
+    The store format records fingerprints of the gate library and cost
+    model the closure was expanded under; loading against anything else
+    would silently return wrong costs and witnesses, so it is refused.
+    """
+
+
 class SimulationError(ReproError):
     """A simulator was driven outside its supported state space."""
 

@@ -1,4 +1,4 @@
-"""JSON serialization of circuits, targets and synthesis results.
+"""Serialization: circuits, targets, batches and synthesis results.
 
 Downstream users need to persist synthesized cascades and reload them
 without re-running the search.  The format is deliberately plain:
@@ -16,6 +16,17 @@ Gate names are the paper-style names (``V_BA``/``V+_AB``/``F_CA``/``N_B``)
 already used everywhere else in the library, and targets use 1-based
 cycle notation on the binary patterns, so files stay readable next to
 the paper.
+
+Two heavier persistence layers build on this module:
+
+* batch target files (:func:`load_targets`) -- one named target or cycle
+  string per line -- and batch result files
+  (:func:`save_batch_results` / :func:`load_batch_results`), feeding the
+  ``repro synth --batch`` workflow;
+* the binary closure store of :mod:`repro.core.store`, re-exported here
+  (:func:`save_search` / :func:`load_search` / :func:`open_store` /
+  :func:`read_header`) so ``repro.io`` is the one-stop persistence
+  facade.
 """
 
 from __future__ import annotations
@@ -27,6 +38,13 @@ from typing import Any
 from repro.errors import SpecificationError
 from repro.core.circuit import Circuit
 from repro.core.mce import SynthesisResult
+from repro.core.store import (  # noqa: F401  (re-exported persistence facade)
+    StoreHeader,
+    load_search,
+    open_store,
+    read_header,
+    save_search,
+)
 from repro.perm.permutation import Permutation
 
 
@@ -116,3 +134,74 @@ def load_result(path: str | Path) -> tuple[Circuit, Permutation]:
     """Load and re-verify a synthesis result from a JSON file."""
     data = json.loads(Path(path).read_text())
     return result_circuit_from_dict(data)
+
+
+# -- batch files -----------------------------------------------------------------------
+
+
+def parse_target(text: str, n_qubits: int = 3) -> Permutation:
+    """Resolve a target spec: a named target or paper cycle notation.
+
+    Named targets (``toffoli``, ``peres``, ``fredkin``, ``g2`` ...) are
+    the 3-qubit catalog of :mod:`repro.gates.named`; anything else is
+    parsed as 1-based cycle notation on the ``2**n_qubits`` binary
+    patterns, e.g. ``"(5,7,6,8)"``.
+    """
+    from repro.gates import named
+
+    key = text.strip().lower()
+    if n_qubits == 3 and key in named.TARGETS:
+        return named.TARGETS[key]
+    return Permutation.from_cycle_string(2**n_qubits, text)
+
+
+def load_targets(
+    path: str | Path, n_qubits: int = 3
+) -> list[tuple[str, Permutation]]:
+    """Read a batch target file: one target spec per line.
+
+    Blank lines and ``#`` comment lines are skipped.  Returns
+    ``(original text, permutation)`` pairs in file order.
+
+    Raises:
+        SpecificationError: on an unparseable line (with its number).
+    """
+    from repro.errors import InvalidPermutationError
+
+    pairs: list[tuple[str, Permutation]] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        spec = line.split("#", 1)[0].strip()
+        if not spec:
+            continue
+        try:
+            pairs.append((spec, parse_target(spec, n_qubits)))
+        except InvalidPermutationError as exc:
+            raise SpecificationError(
+                f"{path}:{lineno}: bad target {spec!r}: {exc}"
+            ) from None
+    return pairs
+
+
+def save_batch_results(
+    results: list[SynthesisResult], path: str | Path
+) -> None:
+    """Write many synthesis results to one JSON file (a list of records)."""
+    records = [result_to_dict(result) for result in results]
+    Path(path).write_text(json.dumps(records, indent=2) + "\n")
+
+
+def load_batch_results(
+    path: str | Path,
+) -> list[tuple[Circuit, Permutation]]:
+    """Load and re-verify a batch result file.
+
+    Raises:
+        SpecificationError: if the file is not a list of result records
+            or any record fails re-verification.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise SpecificationError(
+            "batch result file must hold a JSON list of result records"
+        )
+    return [result_circuit_from_dict(record) for record in data]

@@ -3,6 +3,15 @@
 The cascade search and FMCF closures are deterministic and immutable
 once extended, so sharing them across tests is safe and keeps the suite
 fast (the full cost-7 closure alone visits ~6.9e5 permutations).
+
+Marker convention (registered in pyproject.toml):
+
+* ``slow`` -- multi-second tests (exhaustive sweeps, end-to-end example
+  scripts).  Deselected by the default ``addopts``; run them with
+  ``pytest -m slow`` or everything with ``pytest --override-ini addopts=``.
+* ``benchmark`` -- timing-sensitive performance assertions (the
+  ``benchmarks/`` harness).  Same treatment, so a loaded CI machine
+  cannot flake the functional tier.
 """
 
 from __future__ import annotations
@@ -48,6 +57,14 @@ def library2():
 def search3(library3):
     """A shared parent-tracking search; tests extend it as needed."""
     return CascadeSearch(library3, track_parents=True)
+
+
+@pytest.fixture(scope="session")
+def batch3(search3):
+    """Batch synthesis index over the shared closure at the paper's cb = 7."""
+    from repro.core.batch import BatchSynthesizer
+
+    return BatchSynthesizer(search3, cost_bound=7)
 
 
 @pytest.fixture(scope="session")

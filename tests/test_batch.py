@@ -1,0 +1,163 @@
+"""Equivalence tests: BatchSynthesizer vs single-target MCE.
+
+The batch engine answers from a precomputed remainder index; these tests
+pin it to the reference implementation (:func:`express` /
+:func:`express_all` / :func:`find_minimum_cost_circuits`) on randomized
+targets, so the index can never drift from the level-scan semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CostBoundExceededError,
+    SpecificationError,
+)
+from repro.core.batch import BatchSynthesizer
+from repro.core.mce import express, express_all
+from repro.core.search import CascadeSearch
+from repro.gates import named
+from repro.perm.permutation import Permutation
+
+
+def _random_targets(count: int, seed: int) -> list[Permutation]:
+    rnd = random.Random(seed)
+    targets = []
+    for _ in range(count):
+        images = list(range(8))
+        rnd.shuffle(images)
+        targets.append(Permutation.from_images(images))
+    return targets
+
+
+class TestSingleTargetEquivalence:
+    def test_randomized_targets_match_express(self, batch3, library3, search3):
+        checked = 0
+        for target in _random_targets(40, seed=1205):
+            try:
+                reference = express(target, library3, search=search3)
+            except CostBoundExceededError:
+                with pytest.raises(CostBoundExceededError):
+                    batch3.synthesize(target)
+                continue
+            result = batch3.synthesize(target)
+            assert result.cost == reference.cost
+            assert result.not_mask == reference.not_mask
+            assert result.circuit.gates == reference.circuit.gates
+            assert result.circuit.binary_permutation() == target
+            checked += 1
+        assert checked >= 5  # the sample must actually exercise synthesis
+
+    def test_named_targets_match_express_all(self, batch3, library3, search3):
+        for name, target in named.TARGETS.items():
+            reference = express_all(target, library3, search=search3)
+            results = batch3.synthesize_all(target)
+            assert [r.circuit.gates for r in results] == [
+                r.circuit.gates for r in reference
+            ], name
+
+    def test_minimal_cost_matches(self, batch3, library3, search3):
+        for target in _random_targets(20, seed=7):
+            try:
+                expected = express(target, library3, search=search3).cost
+            except CostBoundExceededError:
+                with pytest.raises(CostBoundExceededError):
+                    batch3.minimal_cost(target)
+                continue
+            assert batch3.minimal_cost(target) == expected
+
+    def test_verified_permutation_for_every_result(self, batch3):
+        from repro.sim.verify import verify_synthesis
+
+        for target in _random_targets(10, seed=42):
+            try:
+                result = batch3.synthesize(target)
+            except CostBoundExceededError:
+                continue
+            assert verify_synthesis(result)
+
+    def test_allow_not_false_matches(self, batch3, library3, search3):
+        zero_fixing = named.TARGETS["toffoli"]
+        reference = express(
+            zero_fixing, library3, search=search3, allow_not=False
+        )
+        result = batch3.synthesize(zero_fixing, allow_not=False)
+        assert result.circuit.gates == reference.circuit.gates
+        moving = named.not_layer_permutation(5) * named.TARGETS["toffoli"]
+        assert moving.inverse()(0) != 0
+        with pytest.raises(SpecificationError):
+            batch3.synthesize(moving, allow_not=False)
+
+    def test_not_layer_targets_cost_zero(self, batch3):
+        for mask in range(8):
+            target = named.not_layer_permutation(mask)
+            result = batch3.synthesize(target)
+            assert result.cost == 0
+            assert result.not_mask == mask
+            assert result.circuit.binary_permutation() == target
+
+
+class TestBatchModes:
+    def test_synthesize_many_preserves_order(self, batch3):
+        targets = [named.TARGETS[k] for k in ("peres", "toffoli", "swap_ab")]
+        results = batch3.synthesize_many(targets)
+        assert [r.target for r in results] == targets
+        assert [r.cost for r in results] == [4, 5, 3]
+
+    def test_targets_at_cost_matches_fmcf_classes(self, batch3, cost_table7):
+        for cost in range(8):
+            members = batch3.targets_at_cost(cost)
+            assert sorted(p.images for p in members) == sorted(
+                p.images for p in cost_table7.members(cost)
+            )
+
+    def test_not_layer_expansion_is_eightfold(self, batch3, cost_table7):
+        coset = batch3.targets_at_cost(2, include_not_layers=True)
+        assert len(coset) == 8 * len(cost_table7.members(2))
+        assert len({p.images for p in coset}) == len(coset)
+
+    def test_synthesize_level_is_exact(self, batch3):
+        for result in batch3.synthesize_level(2):
+            assert result.cost == 2
+            assert result.circuit.binary_permutation() == result.target
+
+    def test_synthesize_level_with_not_layers(self, batch3):
+        results = batch3.synthesize_level(1, include_not_layers=True)
+        assert len(results) == 48  # |S8[1]| = 8 * |G[1]|
+        for result in results:
+            assert result.cost == 1
+            assert result.circuit.binary_permutation() == result.target
+
+    def test_cost_table_equals_fmcf(self, batch3, cost_table7):
+        table = batch3.cost_table()
+        assert table.g_sizes == cost_table7.g_sizes
+        assert table.b_sizes == cost_table7.b_sizes
+        assert table.a_sizes == cost_table7.a_sizes
+        for k in range(8):
+            assert {p.images for p in table.members(k)} == {
+                p.images for p in cost_table7.members(k)
+            }
+
+    def test_truncated_cost_table(self, batch3, cost_table5):
+        table = batch3.cost_table(cost_bound=5)
+        assert table.g_sizes == cost_table5.g_sizes
+
+
+class TestBounds:
+    def test_bounded_index_raises_beyond_bound(self, library3):
+        search = CascadeSearch(library3, track_parents=True)
+        batch = BatchSynthesizer(search, cost_bound=3)
+        assert batch.cost_bound == 3
+        with pytest.raises(CostBoundExceededError):
+            batch.synthesize(named.TARGETS["toffoli"])  # cost 5
+
+    def test_level_outside_index_is_an_error(self, batch3):
+        with pytest.raises(SpecificationError):
+            batch3.targets_at_cost(8)
+        with pytest.raises(SpecificationError):
+            batch3.cost_table(cost_bound=9)
+
+    def test_fresh_search_defaults_to_paper_bound(self, library3):
+        batch = BatchSynthesizer(CascadeSearch(library3, track_parents=True))
+        assert batch.cost_bound == 7

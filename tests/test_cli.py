@@ -54,6 +54,113 @@ class TestSynth:
         assert "cost" in err
 
 
+class TestStoreWorkflow:
+    """The precompute-then-serve loop: precompute / store-info / synth / table2."""
+
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("store") / "closure.rpro")
+        assert main(["precompute", path, "--cost-bound", "5"]) == 0
+        return path
+
+    def test_precompute_reports_closure(self, store_path, capsys):
+        assert main(["store-info", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "cost bound 5" in out
+        assert "32323 cascades" in out
+        assert "parents tracked" in out
+
+    def test_synth_from_store(self, store_path, capsys):
+        assert main(["synth", "toffoli", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "no re-expansion" in out
+        assert "cost 5" in out and "verified" in out
+
+    def test_synth_all_from_store(self, store_path, capsys):
+        assert main(["synth", "peres", "--all", "--store", store_path]) == 0
+        assert "2 implementation(s)" in capsys.readouterr().out
+
+    def test_batch_from_store(self, store_path, capsys, tmp_path):
+        targets = tmp_path / "targets.txt"
+        targets.write_text("toffoli\nperes  # a comment\n\n(7,8)\n")
+        save = tmp_path / "results.json"
+        assert main([
+            "synth", "--store", store_path,
+            "--batch", str(targets), "--save", str(save),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 synthesized" in out
+        from repro.io import load_batch_results
+
+        assert len(load_batch_results(save)) == 3
+
+    def test_batch_reports_out_of_bound_targets(self, store_path, capsys, tmp_path):
+        targets = tmp_path / "targets.txt"
+        targets.write_text("(1,5,3)(2,7,8)(4,6)\ntoffoli\n")
+        assert main(["synth", "--store", store_path, "--batch", str(targets)]) == 1
+        out = capsys.readouterr().out
+        assert "no realization" in out
+        assert "1/2 synthesized" in out
+
+    def test_table2_from_store(self, store_path, capsys):
+        assert main(["table2", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "|G[k]|" in out
+        assert "precomputed" in out
+
+    def test_table2_store_rejects_paper_pseudocode(self, store_path, capsys):
+        code = main(["table2", "--store", store_path, "--paper-pseudocode"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_respects_explicit_cost_bound(self, store_path, capsys):
+        # toffoli costs 5; a bound-1 query against a bound-5 store must
+        # refuse, exactly like the live search would.
+        assert main([
+            "synth", "toffoli", "--store", store_path, "--cost-bound", "1",
+        ]) == 1
+        assert "cost <= 1" in capsys.readouterr().err
+
+    def test_store_refuses_bound_beyond_its_own(self, store_path, capsys):
+        assert main([
+            "synth", "toffoli", "--store", store_path, "--cost-bound", "9",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "only covers cost <= 5" in err and "precompute" in err
+        assert main([
+            "table2", "--store", store_path, "--cost-bound", "9",
+        ]) == 1
+        assert "only covers cost <= 5" in capsys.readouterr().err
+
+    def test_four_qubit_store_single_target(self, capsys, tmp_path):
+        path = str(tmp_path / "closure4.rpro")
+        assert main([
+            "precompute", path, "--qubits", "4", "--cost-bound", "2",
+        ]) == 0
+        capsys.readouterr()
+        # F_DC on 4 wires: degree-16 cycle spec, resolvable only if the
+        # store's own library (not the 3-qubit default) parses targets.
+        assert main([
+            "synth", "(3,4)(7,8)(11,12)(15,16)", "--store", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "minimal quantum cost 1" in out and "verified" in out
+
+    def test_synth_requires_target_or_batch(self, capsys):
+        assert main(["synth"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_corrupt_store_is_clean_error(self, store_path, capsys, tmp_path):
+        from pathlib import Path
+
+        corrupt = tmp_path / "corrupt.rpro"
+        data = bytearray(Path(store_path).read_bytes())
+        data[-1] ^= 0xFF
+        corrupt.write_bytes(bytes(data))
+        assert main(["synth", "toffoli", "--store", str(corrupt)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_banned_sets(self, capsys):
         assert main(["banned-sets"]) == 0
@@ -76,6 +183,9 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "16 quantum-random bits" in out
 
+    # Rebuilds the complete optimal-NCT table (40320 functions): `slow`
+    # tier (marker convention in tests/conftest.py).
+    @pytest.mark.slow
     def test_compare(self, capsys):
         assert main(["compare"]) == 0
         out = capsys.readouterr().out

@@ -58,6 +58,10 @@ class TestCostSpectrum:
 
 
 class TestSynthesis:
+    # Marker convention (see tests/conftest.py): the 4-qubit Toffoli
+    # expands a 176-label closure to cost 5 -- seconds of work, so it
+    # rides in the `slow` tier rather than the default selection.
+    @pytest.mark.slow
     def test_embedded_toffoli(self, library4, search4):
         toffoli4 = named.from_output_functions(
             4,

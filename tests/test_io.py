@@ -92,3 +92,52 @@ class TestResultRoundTrip:
         circuit, loaded_target = load_result(path)
         assert loaded_target == target
         assert circuit.binary_permutation() == target
+
+
+class TestBatchFiles:
+    def test_parse_target_named_and_cycles(self):
+        from repro.io import parse_target
+
+        assert parse_target("toffoli") == named.TOFFOLI
+        assert parse_target("  PERES ") == named.PERES
+        assert parse_target("(5,7,6,8)") == named.PERES
+
+    def test_load_targets_skips_blanks_and_comments(self, tmp_path):
+        from repro.io import load_targets
+
+        path = tmp_path / "targets.txt"
+        path.write_text("# header\n\ntoffoli\n(7,8)  # trailing comment\n")
+        pairs = load_targets(path)
+        assert [spec for spec, _ in pairs] == ["toffoli", "(7,8)"]
+        assert pairs[0][1] == named.TOFFOLI
+
+    def test_load_targets_bad_line_reports_lineno(self, tmp_path):
+        from repro.io import load_targets
+
+        path = tmp_path / "targets.txt"
+        path.write_text("toffoli\nnot-a-target\n")
+        with pytest.raises(SpecificationError, match=":2:"):
+            load_targets(path)
+
+    def test_batch_results_roundtrip(self, tmp_path, library3, search3):
+        from repro.io import load_batch_results, save_batch_results
+
+        results = [
+            express(named.TARGETS[k], library3, search=search3)
+            for k in ("peres", "toffoli")
+        ]
+        path = tmp_path / "batch.json"
+        save_batch_results(results, path)
+        loaded = load_batch_results(path)
+        assert len(loaded) == 2
+        for (circuit, target), result in zip(loaded, results):
+            assert target == result.target
+            assert circuit.binary_permutation() == target
+
+    def test_batch_results_must_be_a_list(self, tmp_path):
+        from repro.io import load_batch_results
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(SpecificationError):
+            load_batch_results(path)
