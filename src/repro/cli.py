@@ -12,10 +12,14 @@ Examples::
     repro rng --bits 32 --seed 7     # controlled quantum RNG demo
 
 Precompute-then-serve workflow (the closure is expanded once, then any
-number of synthesis queries are answered against the stored artifact)::
+number of synthesis queries are answered against the stored artifact;
+format-v2 stores are memory-mapped, so serving opens in milliseconds)::
 
     repro precompute closure.rpro            # expand + save the closure
-    repro store-info closure.rpro            # peek at a store's header
+    repro precompute closure.rpro --extend --cost-bound 8   # deepen it
+    repro store info closure.rpro            # peek at a store's header
+    repro store verify closure.rpro          # full checksum pass
+    repro store migrate old.rpro new.rpro    # rewrite v1 as v2
     repro synth toffoli --store closure.rpro # query without re-expanding
     repro synth --store closure.rpro --batch targets.txt --save out.json
     repro table2 --store closure.rpro        # Table 2 from the store
@@ -101,9 +105,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p_pre.add_argument("--v-cost", type=int, default=1)
     p_pre.add_argument("--vdag-cost", type=int, default=1)
     p_pre.add_argument("--cnot-cost", type=int, default=1)
+    p_pre.add_argument(
+        "--extend",
+        action="store_true",
+        help="if OUT already exists, load it, deepen the closure to "
+        "--cost-bound with the vectorized kernel, and re-save (library "
+        "and cost-model flags must match the existing store)",
+    )
+    p_pre.add_argument(
+        "--kernel", choices=("vector", "translate"), default="vector",
+        help="expansion kernel (vector: NumPy engine, default; "
+        "translate: the byte-level reference loop)",
+    )
+    p_pre.add_argument(
+        "--format-version", type=int, choices=(1, 2), default=None,
+        help="store format to write (default: 2, the memory-mapped "
+        "layout with the serialized remainder index)",
+    )
 
     p_info = sub.add_parser("store-info", help="print a store file's header")
     p_info.add_argument("file", help="store file written by `repro precompute`")
+
+    p_store = sub.add_parser(
+        "store", help="store maintenance: info / verify / migrate"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sinfo = store_sub.add_parser("info", help="print a store file's header")
+    p_sinfo.add_argument("file")
+    p_sverify = store_sub.add_parser(
+        "verify",
+        help="full integrity pass: framing, sha256 checksum, invariants",
+    )
+    p_sverify.add_argument("file")
+    p_smigrate = store_sub.add_parser(
+        "migrate",
+        help="rewrite a store (e.g. legacy v1) in the current v2 format",
+    )
+    p_smigrate.add_argument("src", help="existing store file")
+    p_smigrate.add_argument("dst", help="v2 store file to write")
 
     p_load = sub.add_parser("load", help="reload and re-verify a saved result")
     p_load.add_argument("file", help="JSON file written by `repro synth --save`")
@@ -332,27 +371,75 @@ def _cmd_precompute(
     v_cost: int,
     vdag_cost: int,
     cnot_cost: int,
+    extend: bool = False,
+    kernel: str = "vector",
+    format_version: int | None = None,
 ) -> int:
     from pathlib import Path
 
     from repro.core.cost import CostModel
     from repro.core.search import CascadeSearch
+    from repro.core.store import (
+        cost_model_fingerprint,
+        library_fingerprint,
+        read_header,
+    )
+    from repro.errors import StoreMismatchError
     from repro.gates.library import GateLibrary
-    from repro.io import save_search
+    from repro.io import open_store, save_search
 
     library = GateLibrary(qubits)
     cost_model = CostModel(
         v_cost=v_cost, vdag_cost=vdag_cost, cnot_cost=cnot_cost
     )
-    search = CascadeSearch(
-        library, cost_model, track_parents=not no_parents
-    )
+    if extend and Path(out).exists():
+        old = read_header(out)
+        if old.library_fingerprint != library_fingerprint(library) or (
+            old.cost_fingerprint != cost_model_fingerprint(cost_model)
+        ):
+            raise StoreMismatchError(
+                f"{out} was expanded under a different library or cost "
+                "model than the given flags; refusing to extend it"
+            )
+        if no_parents and old.track_parents:
+            raise StoreMismatchError(
+                f"{out} tracks parents but --no-parents was given; "
+                "precompute a fresh counting-only store instead"
+            )
+        if not no_parents and not old.track_parents:
+            raise StoreMismatchError(
+                f"{out} is a counting-only store (no parents); extending "
+                "it cannot add witnesses -- pass --no-parents to extend "
+                "it as-is, or precompute a fresh parent-tracking store"
+            )
+        _header, library, search = open_store(out)
+        search.use_kernel(kernel)
+        previous = search.expanded_to
+        if cost_bound <= previous:
+            print(
+                f"{out} already covers cost {previous} (>= {cost_bound}); "
+                "nothing to extend"
+            )
+            return 0
+        print(
+            f"extending {out} from cost {previous} to {cost_bound} "
+            f"({kernel} kernel)"
+        )
+    else:
+        previous = None
+        search = CascadeSearch(
+            library, cost_model, track_parents=not no_parents, kernel=kernel
+        )
     search.extend_to(cost_bound)
     stats = search.stats()
-    header = save_search(search, out)
+    if format_version is None:
+        header = save_search(search, out)
+    else:
+        header = save_search(search, out, format_version=format_version)
     size = Path(out).stat().st_size
+    verb = "extended" if previous is not None else "expanded"
     print(
-        f"expanded {library!r} to cost {cost_bound}: "
+        f"{verb} {library!r} to cost {cost_bound}: "
         f"{stats.total_seen} cascades in {stats.elapsed_seconds:.2f}s"
     )
     print(f"levels |B[k]|: {list(stats.level_sizes)}")
@@ -383,6 +470,56 @@ def _cmd_store_info(path: str) -> int:
     )
     print(f"  levels |B[k]|: {list(header.level_sizes)}")
     print(f"  expansion time: {header.elapsed_seconds:.2f}s")
+    if header.format_version >= 2:
+        print(
+            "  layout: memory-mapped v2 (8-aligned sections, "
+            "O(queries touched) open)"
+        )
+        print(
+            f"  sections: "
+            + ", ".join(
+                f"{name}@{off}+{length}"
+                for name, (off, length) in header.sections.items()
+            )
+        )
+        print(
+            f"  remainder index: {header.index_entries} reversible "
+            f"functions, {header.index_matches} minimal-cost witnesses "
+            "(serialized; no closure scan on open)"
+        )
+    else:
+        print(
+            "  layout: legacy v1 (eager byte records; "
+            "`repro store migrate` upgrades to v2)"
+        )
+    return 0
+
+
+def _cmd_store_verify(path: str) -> int:
+    from repro.io import verify_store
+
+    header = verify_store(path)
+    print(
+        f"{path}: OK (format {header.format_version}, "
+        f"{header.total_seen} cascades, sha256 verified)"
+    )
+    return 0
+
+
+def _cmd_store_migrate(src: str, dst: str) -> int:
+    from pathlib import Path
+
+    from repro.io import migrate_store
+
+    old, new = migrate_store(src, dst)
+    print(
+        f"migrated {src} (format {old.format_version}) -> {dst} "
+        f"(format {new.format_version}, {Path(dst).stat().st_size / 1e6:.1f} MB)"
+    )
+    print(
+        f"  {new.total_seen} cascades to cost {new.expanded_to}, "
+        f"remainder index: {new.index_entries} entries"
+    )
     return 0
 
 
@@ -507,9 +644,18 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_precompute(
                 args.out, args.cost_bound, args.qubits, args.no_parents,
                 args.v_cost, args.vdag_cost, args.cnot_cost,
+                args.extend, args.kernel, args.format_version,
             )
         if args.command == "store-info":
             return _cmd_store_info(args.file)
+        if args.command == "store":
+            if args.store_command == "info":
+                return _cmd_store_info(args.file)
+            if args.store_command == "verify":
+                return _cmd_store_verify(args.file)
+            if args.store_command == "migrate":
+                return _cmd_store_migrate(args.src, args.dst)
+            raise AssertionError(f"unhandled store command {args.store_command}")
         if args.command == "load":
             return _cmd_load(args.file)
         if args.command == "identities":

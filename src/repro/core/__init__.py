@@ -3,6 +3,7 @@
 * :mod:`repro.core.circuit` -- gate cascades with three semantics.
 * :mod:`repro.core.cost` -- quantum cost models.
 * :mod:`repro.core.search` -- the reasonable-product layered closure.
+* :mod:`repro.core.kernel` -- the NumPy-vectorized expansion engine.
 * :mod:`repro.core.store` -- persistent closure store (precompute/serve).
 * :mod:`repro.core.batch` -- batch synthesis against one shared closure.
 * :mod:`repro.core.fmcf` -- Finding_Minimum_Cost_Circuits (Table 2).
@@ -14,7 +15,12 @@
 
 from repro.core.circuit import Circuit
 from repro.core.cost import CostModel, UNIT_COST
-from repro.core.search import CascadeSearch, SearchState, SearchStats
+from repro.core.search import (
+    CascadeSearch,
+    SearchArrays,
+    SearchState,
+    SearchStats,
+)
 from repro.core.store import (
     StoreHeader,
     cost_model_fingerprint,
@@ -22,11 +28,13 @@ from repro.core.store import (
     library_fingerprint,
     load_search,
     loads_search,
+    migrate_store,
     open_store,
     read_header,
     save_search,
+    verify_store,
 )
-from repro.core.batch import BatchSynthesizer
+from repro.core.batch import BatchSynthesizer, build_remainder_index
 from repro.core.fmcf import CostTable, find_minimum_cost_circuits
 from repro.core.mce import (
     DEFAULT_COST_BOUND,
@@ -82,6 +90,7 @@ __all__ = [
     "CostModel",
     "UNIT_COST",
     "CascadeSearch",
+    "SearchArrays",
     "SearchState",
     "SearchStats",
     "StoreHeader",
@@ -90,10 +99,13 @@ __all__ = [
     "library_fingerprint",
     "load_search",
     "loads_search",
+    "migrate_store",
     "open_store",
     "read_header",
     "save_search",
+    "verify_store",
     "BatchSynthesizer",
+    "build_remainder_index",
     "CostTable",
     "find_minimum_cost_circuits",
     "DEFAULT_COST_BOUND",

@@ -4,9 +4,9 @@
 for every call.  When many targets are synthesized against the same
 closure -- the precompute-then-serve workflow of ``repro precompute`` /
 ``repro synth --store`` -- that scan is redundant work: the closure is
-fixed, so the *remainder index* (minimal cost and matching cascade
-permutations per NOT-free reversible function) can be built once and
-every query becomes a dictionary lookup.
+fixed, so the *remainder index* (minimal cost and matching cascade rows
+per NOT-free reversible function) can be built once and every query
+becomes a dictionary lookup.
 
 :class:`BatchSynthesizer` is that index.  It wraps any expanded
 :class:`CascadeSearch` -- freshly computed or loaded from a store -- and
@@ -19,11 +19,20 @@ answers:
   :meth:`synthesize_level` emits one result per G[k] (or S8[k]) member
   and :meth:`cost_table` rebuilds the paper's Table 2 from the index
   without re-scanning the closure.
+
+The index maps remainders to *global closure rows* rather than raw
+permutation bytes, so it serializes compactly (the v2 store embeds it;
+see :mod:`repro.core.store`) and witness extraction walks parent arrays
+without any byte-level lookup.  When a search arrives from a v2 store
+with the index already attached
+(:meth:`CascadeSearch.attach_remainder_index`), construction does no
+closure scan at all -- the store open plus first query costs
+milliseconds instead of seconds.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.errors import CostBoundExceededError, SpecificationError
 from repro.core.fmcf import CostTable
@@ -31,12 +40,48 @@ from repro.core.mce import (
     DEFAULT_COST_BOUND,
     SynthesisResult,
     _not_layer_result,
-    _results_from_matches,
+    _results_from_rows,
     normalize_target,
 )
 from repro.core.search import CascadeSearch
 from repro.gates.named import not_layer_permutation
 from repro.perm.permutation import Permutation
+
+#: The remainder index: remainder images -> (minimal cost, global rows
+#: of the matching cascade permutations at that cost, in row order).
+RemainderIndex = dict[bytes, tuple[int, Sequence[int]]]
+
+
+def build_remainder_index(
+    search: CascadeSearch, cost_bound: int
+) -> RemainderIndex:
+    """Scan levels ``1..cost_bound`` for S-fixing cascades and group them.
+
+    The first level containing a remainder defines its minimal cost;
+    every matching cascade at that cost is kept (in discovery order) so
+    ``synthesize_all`` can enumerate label-level implementations.  The
+    scan itself is vectorized (one mask comparison per level); only the
+    S-fixing survivors -- a tiny fraction of the closure -- are touched
+    in Python.
+    """
+    index: RemainderIndex = {}
+    for cost in range(1, cost_bound + 1):
+        rows, remainders = search.s_fixing_rows(cost)
+        if not rows:
+            continue
+        if not isinstance(remainders, list):
+            n, width = remainders.shape
+            blob = remainders.tobytes()
+            remainders = [
+                blob[i : i + width] for i in range(0, n * width, width)
+            ]
+        for row, remainder in zip(rows, remainders):
+            hit = index.get(remainder)
+            if hit is None:
+                index[remainder] = (cost, [row])
+            elif hit[0] == cost:
+                hit[1].append(row)
+    return index
 
 
 class BatchSynthesizer:
@@ -47,8 +92,9 @@ class BatchSynthesizer:
             *cost_bound* on construction if needed; a search loaded from
             a store at that bound is served as-is, with no re-expansion.
         cost_bound: highest cost the index covers.  Defaults to the
-            search's already-expanded bound (or the paper's ``cb = 7``
-            for a fresh search).
+            search's already-expanded bound -- including a deliberate
+            bound of 0 for a store-loaded search -- or the paper's
+            ``cb = 7`` for a fresh, never-expanded search.
 
     Witness extraction (:meth:`synthesize` and friends) needs a
     parent-tracking search; counting-only stores still support
@@ -57,26 +103,27 @@ class BatchSynthesizer:
 
     def __init__(self, search: CascadeSearch, cost_bound: int | None = None):
         if cost_bound is None:
-            cost_bound = search.expanded_to or DEFAULT_COST_BOUND
+            if search.expanded_to or search.was_restored:
+                cost_bound = search.expanded_to
+            else:
+                cost_bound = DEFAULT_COST_BOUND
         search.extend_to(cost_bound)
         self._search = search
         self._library = search.library
         self._cost_bound = cost_bound
+        attached = search.attached_remainder_index
+        if attached is not None and attached[0] >= cost_bound:
+            attached_bound, index = attached
+            if attached_bound > cost_bound:
+                index = {
+                    remainder: hit
+                    for remainder, hit in index.items()
+                    if hit[0] <= cost_bound
+                }
+            self._index: RemainderIndex = index
+        else:
+            self._index = build_remainder_index(search, cost_bound)
         n_binary = self._library.space.n_binary
-        s_mask = search.s_mask
-        # remainder images -> (minimal cost, cascade perms at that cost).
-        index: dict[bytes, tuple[int, list[bytes]]] = {}
-        for cost in range(1, cost_bound + 1):
-            for perm, mask in search.level(cost):
-                if mask != s_mask:
-                    continue
-                remainder = perm[:n_binary]
-                hit = index.get(remainder)
-                if hit is None:
-                    index[remainder] = (cost, [perm])
-                elif hit[0] == cost:
-                    hit[1].append(perm)
-        self._index = index
         self._identity_images = Permutation.identity(n_binary).images
 
     # -- introspection -----------------------------------------------------------------
@@ -88,6 +135,11 @@ class BatchSynthesizer:
     @property
     def cost_bound(self) -> int:
         return self._cost_bound
+
+    @property
+    def remainder_index(self) -> RemainderIndex:
+        """The (read-only) remainder index; the v2 store serializes this."""
+        return self._index
 
     def __len__(self) -> int:
         """Distinct NOT-free reversible functions the index can serve."""
@@ -101,7 +153,7 @@ class BatchSynthesizer:
 
     def _lookup(
         self, remainder: Permutation, description: str
-    ) -> tuple[int, list[bytes]]:
+    ) -> tuple[int, Sequence[int]]:
         hit = self._index.get(remainder.images)
         if hit is None:
             raise CostBoundExceededError(description, self._cost_bound)
@@ -134,11 +186,11 @@ class BatchSynthesizer:
                 "closure was computed without parent tracking; it can "
                 "answer costs but not witness circuits"
             )
-        _cost, matches = self._lookup(
+        _cost, rows = self._lookup(
             remainder, f"permutation {target.cycle_string()}"
         )
-        return _results_from_matches(
-            matches,
+        return _results_from_rows(
+            rows,
             self._search,
             target,
             not_mask,
@@ -154,7 +206,7 @@ class BatchSynthesizer:
         )
         if remainder.is_identity:
             return 0
-        cost, _matches = self._lookup(
+        cost, _rows = self._lookup(
             remainder, f"permutation {target.cycle_string()}"
         )
         return cost
@@ -188,7 +240,7 @@ class BatchSynthesizer:
         if cost == 0:
             members.append(Permutation.from_images(self._identity_images))
         else:
-            for remainder, (first_cost, _matches) in self._index.items():
+            for remainder, (first_cost, _rows) in self._index.items():
                 if first_cost == cost and remainder != self._identity_images:
                     members.append(Permutation.from_images(remainder))
         if not include_not_layers:
@@ -231,7 +283,7 @@ class BatchSynthesizer:
         ]
         for _ in range(cost_bound):
             classes.append([])
-        for remainder, (first_cost, _matches) in self._index.items():
+        for remainder, (first_cost, _rows) in self._index.items():
             if remainder == self._identity_images or first_cost > cost_bound:
                 continue
             classes[first_cost].append(Permutation.from_images(remainder))

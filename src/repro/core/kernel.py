@@ -1,0 +1,731 @@
+"""NumPy-vectorized closure-expansion kernel (the hot path of the search).
+
+The seed engine extended a level by looping over every (cascade, gate)
+pair in Python: one ``bytes.translate`` per candidate plus a dict lookup
+for dedup.  This module replaces that inner loop with whole-level array
+operations on a :class:`VectorEngine`:
+
+* **Representation.**  Each discovered permutation is one row of a
+  contiguous ``(n_rows, padded_width)`` uint8 array (padded to a
+  multiple of 8 so rows view as uint64 words); rows are appended in
+  discovery order, so a row index is the permutation's *global index*
+  and levels are contiguous row ranges.  Parallel per-level arrays hold
+  the S-image bitmask (``mask_words`` uint64 words per row), the parent
+  global row and the appended gate index.
+
+* **Candidate generation.**  Per gate, Definition 1's reasonable-product
+  test is one vectorized mask filter (``masks & banned == 0``) and
+  composition is one fancy-indexing gather through a precomputed
+  65536-entry uint16 *pair table* (two labels substituted per lookup --
+  half the gathers of a byte-wise table).  A guaranteed-duplicate
+  back-edge filter drops candidates that would just undo the gate that
+  created their source (``p * g * g^-1 = p`` is always already seen).
+
+* **Dedup.**  New candidates are separated from duplicates with a
+  vectorized open-addressing hash table (double hashing over a 64-bit
+  mulxor row hash).  Hash hits are verified by comparing full packed
+  rows, so the result is exact -- a hash collision only costs an extra
+  comparison, never a wrong count.  Batch-internal duplicates resolve
+  through claim races: every candidate scatters its id into empty slots
+  (lowest id wins, preserving the seed kernel's first-discovery order)
+  and losers compare against the winner.
+
+The engine is exact: for any library and cost model it discovers the
+same level sets, in the same order, with the same parent pointers as the
+seed ``bytes.translate`` kernel (``CascadeSearch(kernel="translate")``),
+roughly 3-5x faster end to end on the paper's cost-7 closure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidValueError
+
+#: 64-bit mulxor hash constant (golden-ratio multiplier).
+_HASH_C = np.uint64(0x9E3779B97F4A7C15)
+_ONE = np.uint64(1)
+_LOW32 = np.uint64(0xFFFFFFFF)
+#: Initial hash-table capacity (slots); grows by doubling.
+_MIN_CAP_BITS = 16
+
+
+def padded_width(degree: int) -> int:
+    """Row width in bytes: *degree* rounded up to a multiple of 8."""
+    return -(-degree // 8) * 8
+
+
+def mask_word_count(degree: int) -> int:
+    """uint64 words needed for a *degree*-bit S-image mask."""
+    return -(-degree // 64) or 1
+
+
+def mask_int_to_words(value: int, words: int) -> np.ndarray:
+    """Split an arbitrary-precision bitmask into little-endian u64 words."""
+    return np.array(
+        [(value >> (64 * w)) & 0xFFFFFFFFFFFFFFFF for w in range(words)],
+        dtype=np.uint64,
+    )
+
+
+def mask_words_to_int(row: np.ndarray) -> int:
+    """Recombine u64 mask words into a Python int bitmask."""
+    out = 0
+    for w, word in enumerate(row.tolist()):
+        out |= word << (64 * w)
+    return out
+
+
+def pack_rows(rows: np.ndarray, degree: int) -> np.ndarray:
+    """Pad ``(n, degree)`` uint8 rows to the kernel's aligned width.
+
+    Pad columns hold the fixed points ``degree .. padded_width-1`` so a
+    padded row is itself a valid permutation of the padded domain and
+    gate tables (identity beyond *degree*) leave the padding untouched.
+    """
+    width = padded_width(degree)
+    n = rows.shape[0]
+    if rows.shape[1] == width:
+        return np.ascontiguousarray(rows, dtype=np.uint8)
+    out = np.empty((n, width), dtype=np.uint8)
+    out[:, :degree] = rows
+    out[:, degree:] = np.arange(degree, width, dtype=np.uint8)
+    return out
+
+
+#: Row-block size for cache-blocked column sweeps (rows * width ~ L2).
+_CHUNK = 1 << 16
+
+
+def hash_rows(packed: np.ndarray) -> np.ndarray:
+    """Mulxor hash of packed rows: ``(n, words) u64 -> (n,) u64``.
+
+    Processed in row blocks so the per-word column sweeps stay in cache
+    (each sweep touches every row's cache line; blocking pays the DRAM
+    traffic once instead of once per word).
+    """
+    n = packed.shape[0]
+    if not n:
+        return np.empty(0, dtype=np.uint64)
+    words = packed.view(np.uint64).reshape(n, -1)
+    out = np.empty(n, dtype=np.uint64)
+    for start in range(0, n, _CHUNK):
+        block = words[start : start + _CHUNK]
+        h = block[:, 0] * _HASH_C
+        for j in range(1, block.shape[1]):
+            h = (h ^ block[:, j]) * _HASH_C
+        out[start : start + _CHUNK] = h
+    return out
+
+
+#: ``_BIT64[i] == 1 << i`` -- gather table for vectorized mask building.
+_BIT64 = _ONE << np.arange(64, dtype=np.uint64)
+
+
+def compute_masks(perms: np.ndarray, n_binary: int, words: int) -> np.ndarray:
+    """S-image mask words for each row: OR of ``1 << image`` over S.
+
+    ``perms`` may be padded or degree-wide; only the first *n_binary*
+    columns (the binary labels, always the low indices of the reduced
+    ordering) are read.
+    """
+    n = perms.shape[0]
+    out = np.zeros((n, words), dtype=np.uint64)
+    if words == 1:
+        for start in range(0, n, _CHUNK):
+            block = perms[start : start + _CHUNK]
+            mask = _BIT64[block[:, 0]]
+            for j in range(1, n_binary):
+                mask |= _BIT64[block[:, j]]
+            out[start : start + _CHUNK, 0] = mask
+    else:
+        img = perms[:, :n_binary].astype(np.uint64)
+        word_idx = img >> np.uint64(6)
+        bit = _ONE << (img & np.uint64(63))
+        for w in range(words):
+            out[:, w] = np.bitwise_or.reduce(
+                np.where(word_idx == w, bit, np.uint64(0)), axis=1
+            )
+    return out
+
+
+def _pair_table(table: bytes) -> np.ndarray:
+    """uint16 pair-substitution table for a 256-byte translate table.
+
+    Entry ``hi << 8 | lo`` maps to ``t[hi] << 8 | t[lo]``, so composing
+    a little-endian uint16 view of a row substitutes two labels per
+    gather.
+    """
+    t16 = np.frombuffer(table, dtype=np.uint8).astype(np.uint16)
+    return ((t16[:, None] << np.uint16(8)) | t16[None, :]).ravel()
+
+
+class GateRows:
+    """Static per-gate kernel data derived from a gate library.
+
+    Attributes:
+        tables16: per-gate uint16 pair tables.
+        banned: per-gate ``(mask_words,)`` u64 banned masks.
+        costs: per-gate integer costs.
+        inverse: per-gate index of the inverse gate (-1 if the inverse
+            is not in the library), for the back-edge duplicate filter.
+    """
+
+    __slots__ = ("tables16", "banned", "costs", "inverse", "groups")
+
+    def __init__(
+        self,
+        tables: list[bytes],
+        banned_masks: list[int],
+        costs: list[int],
+        inverse: list[int],
+        mask_words: int,
+    ):
+        self.tables16 = [_pair_table(t) for t in tables]
+        self.banned = [mask_int_to_words(b, mask_words) for b in banned_masks]
+        self.costs = list(costs)
+        self.inverse = list(inverse)
+        # Gates sharing (banned set, cost) also share the reasonable-
+        # product filter, so the per-level keep mask is computed once per
+        # group (the paper's L_A..L_BC sub-libraries for n = 3).
+        groups: dict[tuple, list[int]] = {}
+        for gi, (mask, cost) in enumerate(zip(banned_masks, costs)):
+            groups.setdefault((mask, cost), []).append(gi)
+        self.groups = list(groups.values())
+
+    def __len__(self) -> int:
+        return len(self.tables16)
+
+
+class VectorEngine:
+    """Array-backed closure state plus the vectorized expansion kernel.
+
+    One engine instance owns everything the vector kernel touches: the
+    global row store (packed permutations + hashes), the per-level mask,
+    parent and gate arrays, and the dedup hash table.  The public
+    :class:`~repro.core.search.CascadeSearch` delegates its array-form
+    state here and keeps the byte-level legacy API on top.
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        n_binary: int,
+        gate_rows: GateRows,
+        track_parents: bool = True,
+    ):
+        self.degree = degree
+        self.n_binary = n_binary
+        self.width = padded_width(degree)
+        self.words = self.width // 8
+        self.mask_words = mask_word_count(degree)
+        self.gate_rows = gate_rows
+        self.track_parents = track_parents
+
+        cap = 1024
+        self._perms = np.empty((cap, self.width), dtype=np.uint8)
+        self._hashes = np.empty(cap, dtype=np.uint64)
+        self.n_rows = 0
+        self.offsets: list[int] = [0]
+        self.level_masks: list[np.ndarray] = []
+        self.level_parents: list[np.ndarray] = []
+        self.level_gates: list[np.ndarray] = []
+
+        self._cap_bits = _MIN_CAP_BITS
+        self._ht = np.zeros(1 << self._cap_bits, dtype=np.uint64)
+
+    # -- row store ---------------------------------------------------------------------
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.offsets) - 1
+
+    def level_size(self, level: int) -> int:
+        return self.offsets[level + 1] - self.offsets[level]
+
+    def level_perms(self, level: int) -> np.ndarray:
+        """Padded ``(n, width)`` uint8 view of one level's rows."""
+        return self._perms[self.offsets[level] : self.offsets[level + 1]]
+
+    def level_perms_raw(self, level: int) -> np.ndarray:
+        """Degree-wide ``(n, degree)`` view (drops the pad columns)."""
+        return self.level_perms(level)[:, : self.degree]
+
+    def all_perms_raw(self) -> np.ndarray:
+        """Degree-wide view of every row, level-major discovery order."""
+        return self._perms[: self.n_rows, : self.degree]
+
+    def row_bytes(self, row: int) -> bytes:
+        """The raw image bytes of one global row."""
+        if not 0 <= row < self.n_rows:
+            raise InvalidValueError(f"row {row} outside 0..{self.n_rows - 1}")
+        return self._perms[row, : self.degree].tobytes()
+
+    def level_of_row(self, row: int) -> int:
+        """The level (= cost layer) a global row belongs to."""
+        import bisect
+
+        return bisect.bisect_right(self.offsets, row) - 1
+
+    def parent_of(self, row: int) -> tuple[int, int]:
+        """``(parent global row, gate index)`` of a non-identity row."""
+        level = self.level_of_row(row)
+        local = row - self.offsets[level]
+        return (
+            int(self.level_parents[level][local]),
+            int(self.level_gates[level][local]),
+        )
+
+    def _grow_rows(self, extra: int) -> None:
+        need = self.n_rows + extra
+        cap = self._perms.shape[0]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        perms = np.empty((cap, self.width), dtype=np.uint8)
+        perms[: self.n_rows] = self._perms[: self.n_rows]
+        self._perms = perms
+        hashes = np.empty(cap, dtype=np.uint64)
+        hashes[: self.n_rows] = self._hashes[: self.n_rows]
+        self._hashes = hashes
+
+    # -- hash table --------------------------------------------------------------------
+    #
+    # One uint64 word per slot: the high 32 bits hold the row hash's high
+    # half, the low 32 bits the *encoding* -- 0 for empty, ``row + 1``
+    # for a discovered row, ``-(candidate_id + 1)`` (two's complement)
+    # for an in-flight batch claim.  A single gather per probe reads
+    # both; truncating the stored hash to 32 bits is safe because every
+    # hash match is verified against the full packed rows anyway.
+
+    @staticmethod
+    def _pack_word(hashes: np.ndarray, enc: np.ndarray) -> np.ndarray:
+        """Combine hash high halves with int32 encodings into slot words."""
+        return (hashes & ~_LOW32) | (
+            enc.astype(np.int64).view(np.uint64) & _LOW32
+        )
+
+    def _ensure_capacity(self, total_rows: int) -> None:
+        """Grow + rebuild the table so *total_rows* keeps load under 1/4.
+
+        The array is allocated with an explicit sequential fill rather
+        than ``np.zeros`` so the page faults happen in one streaming pass
+        instead of randomly during the first probe rounds.
+        """
+        if total_rows * 4 <= (1 << self._cap_bits):
+            return
+        while total_rows * 4 > (1 << self._cap_bits):
+            self._cap_bits += 1
+        cap = 1 << self._cap_bits
+        self._ht = np.empty(cap, dtype=np.uint64)
+        self._ht.fill(0)
+        if self.n_rows:
+            self._insert_distinct(
+                self._hashes[: self.n_rows],
+                np.arange(1, self.n_rows + 1, dtype=np.int32),
+            )
+
+    def _insert_distinct(self, hashes: np.ndarray, rows: np.ndarray) -> None:
+        """Insert rows known to be pairwise-distinct and not in the table.
+
+        ``rows`` carries the +1-encoded slot values (row index plus one).
+        """
+        msk = np.uint64((1 << self._cap_bits) - 1)
+        ht = self._ht
+        words = self._pack_word(hashes, rows)
+        alive = np.arange(hashes.size, dtype=np.int64)
+        rnd = np.uint64(0)
+        while alive.size:
+            h = hashes[alive]
+            step = (h >> np.uint64(42)) | _ONE
+            slot = ((h + rnd * step) & msk).view(np.int64)
+            empty = (np.take(ht, slot, mode="clip") & _LOW32) == 0
+            idx = alive[empty]
+            sl = slot[empty]
+            ht[sl[::-1]] = words[idx[::-1]]
+            won = np.take(ht, sl, mode="clip") == words[idx]
+            alive = np.concatenate([alive[~empty], idx[~won]])
+            rnd += _ONE
+
+    def find_row(self, images: bytes) -> int:
+        """Global row of a permutation, or -1 if not discovered."""
+        row = np.frombuffer(images, dtype=np.uint8)[None, :]
+        packed = pack_rows(row, self.degree)
+        h = hash_rows(packed)[0]
+        key = packed.view(np.uint64)[0]
+        msk = np.uint64((1 << self._cap_bits) - 1)
+        step = (h >> np.uint64(42)) | _ONE
+        probe = h & msk
+        high = int(h >> np.uint64(32))
+        for _ in range(1 << self._cap_bits):
+            slot = int(probe)
+            word = int(self._ht[slot])
+            occupant = (word & 0xFFFFFFFF) - ((word & 0x80000000) << 1)
+            if occupant == 0:
+                return -1
+            if occupant > 0 and (word >> 32) == high:
+                stored = self._perms[occupant - 1].view(np.uint64)
+                if bool((stored == key).all()):
+                    return occupant - 1
+            probe = (probe + step) & msk
+        return -1
+
+    # -- dedup + insert ----------------------------------------------------------------
+
+    def _occupant_packed(
+        self, occupant: np.ndarray, candw: np.ndarray
+    ) -> np.ndarray:
+        """Packed rows behind occupant encodings.
+
+        ``occupant`` holds slot values: discovered rows as ``row + 1``
+        (positive) or batch claims as ``-(candidate_id + 1)`` (negative).
+        """
+        permw = self._perms.view(np.uint64)
+        batch = occupant < 0
+        if batch.any():
+            packed = np.empty((occupant.size, self.words), dtype=np.uint64)
+            packed[batch] = np.take(
+                candw, -occupant[batch] - 1, axis=0, mode="clip"
+            )
+            glob = ~batch
+            if glob.any():
+                packed[glob] = np.take(
+                    permw, occupant[glob] - 1, axis=0, mode="clip"
+                )
+            return packed
+        return np.take(permw, occupant - 1, axis=0, mode="clip")
+
+    def _dedup_insert(self, cand: np.ndarray, ch: np.ndarray) -> np.ndarray:
+        """Classify candidate rows, returning the accepted-as-new mask.
+
+        Exactly-once semantics: among candidates with equal images the
+        lowest index survives (matching the seed kernel's first-discovery
+        order), and a candidate equal to an already-discovered row is
+        dropped.  Winners are inserted with their final global rows.
+
+        A candidate whose hash matches an occupant is *optimistically*
+        treated as that occupant's duplicate during the probe rounds; all
+        such pairs are then verified in one vectorized row comparison,
+        and the (cosmically rare) hash-collision victims are re-inserted
+        through the exact scalar path -- so the optimistic fast path
+        never changes the result, only the speed.
+        """
+        M = cand.shape[0]
+        self._ensure_capacity(self.n_rows + M)
+        msk = np.uint64((1 << self._cap_bits) - 1)
+        ht = self._ht
+        candw = cand.view(np.uint64)
+        status = np.zeros(M, dtype=np.int8)  # 0 pending, 1 new, 2 dup
+        slot_of = np.empty(M, dtype=np.int64)
+        pair_cand: list[np.ndarray] = []  # assumed-dup candidate ids
+        pair_occ: list[np.ndarray] = []  # the occupant encodings they hit
+        ids = None  # None = all candidates (round 0 fast path)
+        rnd = np.uint64(0)
+        while True:
+            if ids is None:
+                h = ch
+                slot = (h & msk).view(np.int64)
+            else:
+                if not ids.size:
+                    break
+                h = np.take(ch, ids)
+                step = (h >> np.uint64(42)) | _ONE
+                slot = ((h + rnd * step) & msk).view(np.int64)
+            word = np.take(ht, slot, mode="clip")
+            enc = (word & _LOW32).astype(np.uint32).view(np.int32)
+            survivors = []
+            # Occupied slots (nonzero encoding): a hash-high match is an
+            # assumed duplicate (deferred verification); a mismatch
+            # probes on.
+            occ_i = np.flatnonzero(enc)
+            if occ_i.size:
+                own = occ_i if ids is None else np.take(ids, occ_i)
+                hmatch = (
+                    np.take(word, occ_i) >> np.uint64(32)
+                ) == (np.take(h, occ_i) >> np.uint64(32))
+                if hmatch.any():
+                    dup_own = own[hmatch]
+                    status[dup_own] = 2
+                    pair_cand.append(dup_own)
+                    pair_occ.append(np.take(enc, occ_i[hmatch]))
+                    survivors.append(own[~hmatch])
+                else:
+                    survivors.append(own)
+            # Empty slots: claim with the candidate id; the reversed
+            # scatter makes the lowest id win, and a loser whose hash
+            # matches the winner's is an assumed batch-internal duplicate.
+            emp_i = np.flatnonzero(enc == 0)
+            if emp_i.size:
+                claimants = emp_i if ids is None else np.take(ids, emp_i)
+                sl = np.take(slot, emp_i)
+                my_h = np.take(ch, claimants)
+                my_word = self._pack_word(
+                    my_h, (-1 - claimants).astype(np.int32)
+                )
+                ht[sl[::-1]] = my_word[::-1]
+                got = np.take(ht, sl, mode="clip")
+                won = got == my_word
+                winners = claimants[won]
+                status[winners] = 1
+                slot_of[winners] = sl[won]
+                lost = ~won
+                if lost.any():
+                    lcl = claimants[lost]
+                    gotl = got[lost]
+                    same_h = (gotl >> np.uint64(32)) == (
+                        my_h[lost] >> np.uint64(32)
+                    )
+                    if same_h.any():
+                        si = np.flatnonzero(same_h)
+                        status[lcl[si]] = 2
+                        pair_cand.append(lcl[si])
+                        pair_occ.append(
+                            (gotl[si] & _LOW32)
+                            .astype(np.uint32)
+                            .view(np.int32)
+                        )
+                        keep = np.ones(lcl.size, dtype=bool)
+                        keep[si] = False
+                        survivors.append(lcl[keep])
+                    else:
+                        survivors.append(lcl)
+            ids = (
+                np.concatenate(survivors)
+                if survivors
+                else np.empty(0, dtype=np.int64)
+            )
+            rnd += _ONE
+        # Verify every assumed duplicate in one vectorized comparison.
+        if pair_cand:
+            cids = np.concatenate(pair_cand)
+            occs = np.concatenate(pair_occ)
+            eq = (
+                self._occupant_packed(occs, candw)
+                == np.take(candw, cids, axis=0, mode="clip")
+            ).all(axis=1)
+            for cid in np.sort(cids[~eq]):
+                # Hash collision: not a duplicate after all.  Exact
+                # scalar re-insert (one candidate per ~2^64 hashes).
+                self._scalar_insert(int(cid), cand, ch, status, slot_of)
+        new_mask = status == 1
+        accepted = np.flatnonzero(new_mask)
+        final_rows = (self.n_rows + 1 + np.arange(accepted.size)).astype(
+            np.int32
+        )
+        ht[slot_of[accepted]] = self._pack_word(
+            np.take(ch, accepted), final_rows
+        )
+        return new_mask
+
+    def _scalar_insert(
+        self,
+        cid: int,
+        cand: np.ndarray,
+        ch: np.ndarray,
+        status: np.ndarray,
+        slot_of: np.ndarray,
+    ) -> None:
+        """Exact single-candidate probe for hash-collision victims."""
+        candw = cand.view(np.uint64)
+        msk = np.uint64((1 << self._cap_bits) - 1)
+        h = ch[cid]
+        step = (h >> np.uint64(42)) | _ONE
+        probe = h & msk
+        high = int(h >> np.uint64(32))
+        key = candw[cid]
+        for _ in range(1 << self._cap_bits):
+            slot = int(probe)
+            word = int(self._ht[slot])
+            occupant = (word & 0xFFFFFFFF) - ((word & 0x80000000) << 1)
+            if occupant == 0:
+                self._ht[slot] = self._pack_word(
+                    h[None], np.array([-1 - cid], dtype=np.int32)
+                )[0]
+                status[cid] = 1
+                slot_of[cid] = slot
+                return
+            if (word >> 32) == high:
+                if occupant > 0:
+                    stored = self._perms[occupant - 1].view(np.uint64)
+                else:
+                    stored = candw[-occupant - 1]
+                if bool((stored == key).all()):
+                    status[cid] = 2
+                    return
+            probe = (probe + step) & msk
+        raise InvalidValueError("hash table full during scalar insert")
+
+    # -- level append ------------------------------------------------------------------
+
+    def _append_level(
+        self,
+        perms: np.ndarray,
+        hashes: np.ndarray,
+        masks: np.ndarray,
+        parents: np.ndarray,
+        gates: np.ndarray,
+    ) -> None:
+        n = perms.shape[0]
+        self._grow_rows(n)
+        self._perms[self.n_rows : self.n_rows + n] = perms
+        self._hashes[self.n_rows : self.n_rows + n] = hashes
+        self.n_rows += n
+        self.offsets.append(self.n_rows)
+        self.level_masks.append(masks)
+        self.level_parents.append(parents)
+        self.level_gates.append(gates)
+
+    def seed_identity(self) -> None:
+        """Install level 0: the identity singleton."""
+        if self.n_levels:
+            raise InvalidValueError("engine already seeded")
+        identity = np.arange(self.width, dtype=np.uint8)[None, :]
+        h = hash_rows(identity)
+        self._ensure_capacity(1)
+        self._append_level(
+            identity,
+            h,
+            compute_masks(identity, self.n_binary, self.mask_words),
+            np.full(1, -1, dtype=np.int32),
+            np.full(1, -1, dtype=np.int32),
+        )
+        self._insert_distinct(h, np.ones(1, dtype=np.int32))
+
+    def load_level(
+        self,
+        perms: np.ndarray,
+        masks: np.ndarray | None = None,
+        parents: np.ndarray | None = None,
+        gates: np.ndarray | None = None,
+    ) -> None:
+        """Append one level of already-validated, pairwise-distinct rows.
+
+        Used when rebuilding the engine from a store or a legacy
+        snapshot.  ``masks`` are recomputed when absent; ``parents`` and
+        ``gates`` default to -1 (unknown -- the back-edge filter then
+        skips those rows, which only costs a few extra candidates).
+        """
+        n = perms.shape[0]
+        # Explicit copies throughout: the inputs may be views of a
+        # memory-mapped store file, and the engine must not keep that
+        # mapping alive (the caller may re-save over the file).
+        packed = pack_rows(np.array(perms, dtype=np.uint8), self.degree)
+        hashes = hash_rows(packed)
+        if masks is None:
+            masks = compute_masks(packed, self.n_binary, self.mask_words)
+        else:
+            masks = np.array(masks, dtype=np.uint64).reshape(
+                n, self.mask_words
+            )
+        if parents is None:
+            parents = np.full(n, -1, dtype=np.int32)
+        else:
+            parents = np.array(parents, dtype=np.int32)
+        if gates is None:
+            gates = np.full(n, -1, dtype=np.int32)
+        else:
+            gates = np.array(gates, dtype=np.int32)
+        start = self.n_rows
+        self._ensure_capacity(self.n_rows + n)
+        self._append_level(packed, hashes, masks, parents, gates)
+        if n:
+            self._insert_distinct(
+                hashes, (start + 1 + np.arange(n)).astype(np.int32)
+            )
+
+    # -- the kernel --------------------------------------------------------------------
+
+    def expand_level(self, cost: int) -> int:
+        """Compute the next level (must be ``n_levels``); returns its size."""
+        if cost != self.n_levels:
+            raise InvalidValueError(
+                f"levels must be expanded in order: next is {self.n_levels}, "
+                f"got {cost}"
+            )
+        rows = self.gate_rows
+        chunks: list[tuple[int, int, np.ndarray]] = []
+        total = 0
+        for group in rows.groups:
+            src = cost - rows.costs[group[0]]
+            if src < 0 or src >= self.n_levels:
+                continue
+            if not self.level_size(src):
+                continue
+            masks = self.level_masks[src]
+            banned = rows.banned[group[0]]
+            if self.mask_words == 1:
+                keep_group = (masks[:, 0] & banned[0]) == 0
+            else:
+                keep_group = ~((masks & banned[None, :]).any(axis=1))
+            for gi in group:
+                inverse = rows.inverse[gi]
+                if inverse >= 0:
+                    # p * g * g^-1 == p is always already discovered.
+                    keep = keep_group & (self.level_gates[src] != inverse)
+                else:
+                    keep = keep_group
+                kept = np.flatnonzero(keep)
+                if kept.size:
+                    chunks.append((gi, src, kept))
+                    total += kept.size
+        # Candidates must appear in library-gate order for discovery
+        # order (and hence parent choice) to match the translate kernel.
+        chunks.sort(key=lambda chunk: chunk[0])
+        if not total:
+            self._append_level(
+                np.empty((0, self.width), dtype=np.uint8),
+                np.empty(0, dtype=np.uint64),
+                np.empty((0, self.mask_words), dtype=np.uint64),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int32),
+            )
+            return 0
+        cand = np.empty((total, self.width), dtype=np.uint8)
+        cand16 = cand.view(np.uint16)
+        # Counting-only runs skip the parent arrays entirely; the gate
+        # array stays (it feeds the back-edge duplicate filter).
+        parents = (
+            np.empty(total, dtype=np.int32) if self.track_parents else None
+        )
+        gates = np.empty(total, dtype=np.int32)
+        ch = np.empty(total, dtype=np.uint64)
+        pos = 0
+        for gi, src, kept in chunks:
+            m = kept.size
+            src16 = self.level_perms(src).view(np.uint16)
+            block = cand16[pos : pos + m]
+            # mode="clip" skips the bounds check; uint16 indices cannot
+            # exceed the 65536-entry pair table anyway.
+            np.take(
+                rows.tables16[gi],
+                np.take(src16, kept, axis=0),
+                out=block,
+                mode="clip",
+            )
+            # Hash while the freshly written block is still cache-hot.
+            ch[pos : pos + m] = hash_rows(cand[pos : pos + m])
+            if parents is not None:
+                parents[pos : pos + m] = self.offsets[src] + kept
+            gates[pos : pos + m] = gi
+            pos += m
+        new_mask = self._dedup_insert(cand, ch)
+        accepted = np.flatnonzero(new_mask)
+        n_new = accepted.size
+        self._grow_rows(n_new)
+        start = self.n_rows
+        np.take(cand, accepted, axis=0, out=self._perms[start : start + n_new])
+        np.take(ch, accepted, out=self._hashes[start : start + n_new])
+        new_perms = self._perms[start : start + n_new]
+        self.n_rows += n_new
+        self.offsets.append(self.n_rows)
+        self.level_masks.append(
+            compute_masks(new_perms, self.n_binary, self.mask_words)
+        )
+        self.level_parents.append(
+            parents[accepted]
+            if parents is not None
+            else np.empty(0, dtype=np.int32)
+        )
+        self.level_gates.append(gates[accepted])
+        return int(n_new)

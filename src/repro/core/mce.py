@@ -177,8 +177,8 @@ def _not_layer_result(
     )
 
 
-def _results_from_matches(
-    matches: list[bytes],
+def _results_from_rows(
+    rows,
     search: CascadeSearch,
     target: Permutation,
     not_mask: int,
@@ -186,19 +186,32 @@ def _results_from_matches(
     cost_model: CostModel,
     first_only: bool,
 ) -> list[SynthesisResult]:
-    """Turn matching cascade permutations into witness-backed results."""
-    n_qubits = search.library.n_qubits
+    """Turn matching *global closure rows* into witness-backed results.
+
+    Witness extraction walks parent arrays directly by row -- the path
+    shared by the level scan here, by
+    :class:`~repro.core.batch.BatchSynthesizer` and by the v2 store's
+    serialized remainder index (no byte-level lookups, O(cost) per
+    witness).
+    """
+    library = search.library
     results = []
-    for perm in matches:
-        cascade = search.witness_circuit(perm)
-        circuit = Circuit(not_gates + cascade.gates, n_qubits)
+    for row in rows:
+        row = int(row)
+        gates = tuple(
+            library[i].gate for i in search.witness_indices_for_row(row)
+        )
+        cascade = Circuit(gates, library.n_qubits)
+        circuit = Circuit(not_gates + gates, library.n_qubits)
         results.append(
             SynthesisResult(
                 target=target,
                 circuit=circuit,
                 cost=cascade.cost(cost_model),
                 not_mask=not_mask,
-                cascade_permutation=Permutation.from_images(perm),
+                cascade_permutation=Permutation.from_images(
+                    search.perm_bytes_at(row)
+                ),
             )
         )
         if first_only:
@@ -216,7 +229,6 @@ def _express_impl(
     first_only: bool,
 ) -> list[SynthesisResult]:
     not_mask, remainder, not_gates = normalize_target(target, library, allow_not)
-    n_binary = library.space.n_binary
 
     if remainder.is_identity:
         return [_not_layer_result(target, library, not_mask, not_gates)]
@@ -227,16 +239,13 @@ def _express_impl(
         raise SpecificationError("express() needs a parent-tracking search")
 
     wanted = remainder.images  # first 2**n bytes of a matching cascade
-    s_mask = search.s_mask
     for cost in range(1, cost_bound + 1):
-        matches = [
-            perm
-            for perm, mask in search.level(cost)
-            if mask == s_mask and perm[:n_binary] == wanted
-        ]
-        if matches:
-            return _results_from_matches(
-                matches, search, target, not_mask, not_gates, cost_model,
+        # One vectorized boolean reduction per level instead of a Python
+        # scan over every cascade permutation.
+        rows = search.find_matching_rows(cost, wanted)
+        if rows:
+            return _results_from_rows(
+                rows, search, target, not_mask, not_gates, cost_model,
                 first_only,
             )
     raise CostBoundExceededError(

@@ -3,52 +3,96 @@
 The cost-bounded cascade closure for a fixed (library, cost model) pair
 is a pure artifact: it never changes, and every MCE/FMCF query is a
 lookup against it.  This module serializes a :class:`CascadeSearch`
-snapshot to a compact versioned binary format so the closure is computed
-once (``repro precompute``) and any number of synthesis queries are
-answered against the loaded store (``repro synth --store``) without
-re-running the BFS.
+snapshot to a versioned binary format so the closure is computed once
+(``repro precompute``) and any number of synthesis queries are answered
+against the stored artifact (``repro synth --store``) without re-running
+the BFS.
 
-Layout of a store file::
+Framing shared by both formats::
 
-    magic   8 bytes   b"RPROCLS\\x01"
+    magic   8 bytes   b"RPROCLS" + format byte (\\x01 or \\x02)
     hlen    4 bytes   little-endian header length
-    header  hlen      JSON: format version, library/cost fingerprints,
-                      space geometry, level sizes, payload sha256
-    payload           level records then parent records
+    header  hlen      JSON metadata (see :class:`StoreHeader`)
+    payload           format-specific binary sections
 
-Each level record is ``degree`` permutation bytes followed by the
-S-image bitmask (``mask_bytes`` little-endian bytes); records appear in
-level-major discovery order, so a permutation's position in the stream
-is its *global index*.  When parents are tracked, one
-``(parent global index: u32, library gate index: u16)`` pair follows for
-every non-identity permutation, in the same global order.
+**Format v2 (current)** is laid out for ``np.memmap``: the header is
+space-padded so the payload starts 8-byte aligned, and the payload is a
+sequence of 8-aligned sections whose offsets are recorded in the header
+(``sections``)::
 
-Integrity is layered: the payload is checksummed (sha256, verified on
-load), the header pins fingerprints of the gate library and cost model
+    perms     n_rows * degree        uint8   image arrays, level-major
+                                             discovery order (a row
+                                             index is the permutation's
+                                             global index; level k spans
+                                             rows level_row_offsets[k]
+                                             .. level_row_offsets[k+1])
+    masks     n_rows * mask_words    uint64  S-image bitmasks
+    parents   n_rows                 int32   parent global row (row 0 =
+                                             -1); only when parents are
+                                             tracked
+    gates     n_rows                 int32   appended library gate index
+                                             (row 0 = -1); with parents
+    rkeys     entries * n_binary     uint8   remainder index keys
+    rcosts    entries                int32   minimal cost per remainder
+    rindptr   entries + 1            int64   CSR row pointers into
+                                             rmatches
+    rmatches  total matches          int32   global rows of the minimal-
+                                             cost cascades per remainder
+
+Opening a v2 file maps it read-only and touches **only the bytes a
+query needs** -- O(levels touched) instead of O(closure).  The embedded
+remainder index means :class:`~repro.core.batch.BatchSynthesizer`
+construction does no closure scan at all: store open plus first query is
+milliseconds against ~2 s for a v1 eager load (``benchmarks/
+bench_store.py`` tracks this).
+
+**Format v1 (legacy)** packs byte-level level records plus parent pairs
+and is decoded eagerly through :class:`~repro.core.search.SearchState`.
+v1 files remain fully readable (auto-detected by the magic byte);
+``repro store migrate`` rewrites them as v2.
+
+Integrity is layered: the payload is checksummed (sha256 -- verified on
+eager loads and by :func:`verify_store`; lazy memory-mapped opens check
+framing and sizes only, deferring byte verification to the checksum
+tool), the header pins fingerprints of the gate library and cost model
 (mismatches are refused with :class:`StoreMismatchError` -- a closure
 loaded against the wrong library would silently return wrong costs),
-and :meth:`CascadeSearch.from_state` re-validates the structural
-invariants (identity level, no duplicates, cost-decreasing parents).
+and the structural invariants (identity level, monotonic offsets,
+cost-decreasing parents) are re-validated on restore.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import StoreError, StoreMismatchError
+import numpy as np
+
+from repro.errors import StoreError, StoreMismatchError, StoreVersionError
 from repro.core.cost import CostModel, UNIT_COST
-from repro.core.search import CascadeSearch, SearchState
+from repro.core.search import CascadeSearch, SearchArrays, SearchState
 from repro.gates.kinds import GateKind
 from repro.gates.library import GateLibrary
 from repro.mvl.labels import label_space
 
-MAGIC = b"RPROCLS\x01"
-FORMAT_VERSION = 1
+MAGIC_PREFIX = b"RPROCLS"
+MAGIC_V1 = MAGIC_PREFIX + b"\x01"
+MAGIC_V2 = MAGIC_PREFIX + b"\x02"
+#: Compatibility alias: the magic of the current default format.
+MAGIC = MAGIC_V2
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
-_PARENT_RECORD = 6  # u32 parent index + u16 gate index
+_PARENT_RECORD = 6  # v1: u32 parent index + u16 gate index
+_ALIGN = 8
+#: v2 section names in payload order (parents/gates optional).
+_SECTIONS = (
+    "perms", "masks", "parents", "gates",
+    "rkeys", "rcosts", "rindptr", "rmatches",
+)
 
 
 def _int_bytes(value: int) -> bytes:
@@ -92,7 +136,9 @@ class StoreHeader:
 
     Carries everything needed to rebuild the matching library and cost
     model (the store is self-describing for the default gate alphabet)
-    plus the size/checksum data that frames the payload.
+    plus the size/checksum data that frames the payload.  The v2-only
+    fields (``mask_words``, ``sections``, ``level_row_offsets``, index
+    sizes) are zero/None on v1 headers.
     """
 
     format_version: int
@@ -112,6 +158,15 @@ class StoreHeader:
     elapsed_seconds: float
     payload_size: int
     payload_sha256: str
+    mask_words: int = 0
+    level_row_offsets: tuple[int, ...] = ()
+    sections: dict = field(default_factory=dict)
+    index_entries: int = 0
+    index_matches: int = 0
+    #: Per-section sha256 of the (small) remainder-index sections; these
+    #: are read eagerly on open, so they are verified even on the lazy
+    #: memory-mapped path.
+    index_sha256: dict = field(default_factory=dict)
 
     @property
     def total_seen(self) -> int:
@@ -131,7 +186,7 @@ class StoreHeader:
 
 def _header_dict(header: StoreHeader) -> dict:
     cm = header.cost_model
-    return {
+    data = {
         "format": header.format_version,
         "library_fingerprint": header.library_fingerprint,
         "cost_fingerprint": header.cost_fingerprint,
@@ -155,6 +210,16 @@ def _header_dict(header: StoreHeader) -> dict:
         "payload_size": header.payload_size,
         "payload_sha256": header.payload_sha256,
     }
+    if header.format_version >= 2:
+        data["mask_words"] = header.mask_words
+        data["level_row_offsets"] = list(header.level_row_offsets)
+        data["sections"] = {
+            name: list(span) for name, span in header.sections.items()
+        }
+        data["index_entries"] = header.index_entries
+        data["index_matches"] = header.index_matches
+        data["index_sha256"] = dict(header.index_sha256)
+    return data
 
 
 def _header_from_dict(data: dict) -> StoreHeader:
@@ -183,8 +248,22 @@ def _header_from_dict(data: dict) -> StoreHeader:
             elapsed_seconds=float(data["elapsed_seconds"]),
             payload_size=int(data["payload_size"]),
             payload_sha256=str(data["payload_sha256"]),
+            mask_words=int(data.get("mask_words", 0)),
+            level_row_offsets=tuple(
+                int(o) for o in data.get("level_row_offsets", ())
+            ),
+            sections={
+                str(name): (int(span[0]), int(span[1]))
+                for name, span in data.get("sections", {}).items()
+            },
+            index_entries=int(data.get("index_entries", 0)),
+            index_matches=int(data.get("index_matches", 0)),
+            index_sha256={
+                str(name): str(digest)
+                for name, digest in data.get("index_sha256", {}).items()
+            },
         )
-    except (KeyError, TypeError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise StoreError(f"malformed store header: {exc}") from None
 
 
@@ -202,8 +281,8 @@ def _library_kinds(library: GateLibrary) -> tuple[str, ...]:
     return tuple(kinds)
 
 
-def dump_search(search: CascadeSearch) -> bytes:
-    """Serialize a search's accumulated closure to store bytes."""
+def _dump_v1(search: CascadeSearch) -> bytes:
+    """Serialize in the legacy byte-record format (kept for migration tests)."""
     state = search.export_state()
     library = search.library
     cost_model = search.cost_model
@@ -226,7 +305,7 @@ def dump_search(search: CascadeSearch) -> bytes:
     payload = b"".join(chunks)
 
     header = StoreHeader(
-        format_version=FORMAT_VERSION,
+        format_version=1,
         library_fingerprint=library_fingerprint(library),
         cost_fingerprint=cost_model_fingerprint(cost_model),
         n_qubits=library.n_qubits,
@@ -245,25 +324,170 @@ def dump_search(search: CascadeSearch) -> bytes:
         payload_sha256=hashlib.sha256(payload).hexdigest(),
     )
     header_blob = json.dumps(_header_dict(header), separators=(",", ":")).encode()
-    return MAGIC + len(header_blob).to_bytes(4, "little") + header_blob + payload
+    return MAGIC_V1 + len(header_blob).to_bytes(4, "little") + header_blob + payload
 
 
-def save_search(search: CascadeSearch, path: str | Path) -> StoreHeader:
-    """Write a search's closure to *path*; returns the store header."""
-    data = dump_search(search)
-    Path(path).write_bytes(data)
-    return _split(data)[0]
+def _serialized_index(search: CascadeSearch, cost_bound: int):
+    """The remainder index as flat arrays (keys, costs, indptr, matches)."""
+    from repro.core.batch import build_remainder_index
+
+    attached = search.attached_remainder_index
+    if attached is not None and attached[0] == cost_bound:
+        index = attached[1]
+    else:
+        index = build_remainder_index(search, cost_bound)
+    keys = b"".join(index.keys())
+    costs = np.array(
+        [hit[0] for hit in index.values()], dtype="<i4"
+    )
+    counts = [len(hit[1]) for hit in index.values()]
+    indptr = np.zeros(len(index) + 1, dtype="<i8")
+    np.cumsum(counts, out=indptr[1:])
+    matches = np.array(
+        [int(row) for hit in index.values() for row in hit[1]], dtype="<i4"
+    )
+    return keys, costs, indptr, matches
+
+
+def _dump_v2(search: CascadeSearch) -> bytes:
+    """Serialize in the memory-mappable array format (current default)."""
+    arrays = search.export_arrays()
+    library = search.library
+    cost_model = search.cost_model
+    degree = arrays.degree
+
+    keys, costs, indptr, matches = _serialized_index(
+        search, arrays.expanded_to
+    )
+
+    blobs: dict[str, bytes] = {
+        "perms": np.ascontiguousarray(arrays.perms, dtype=np.uint8).tobytes(),
+        "masks": np.ascontiguousarray(arrays.masks, dtype="<u8").tobytes(),
+        "rkeys": keys,
+        "rcosts": costs.tobytes(),
+        "rindptr": indptr.tobytes(),
+        "rmatches": matches.tobytes(),
+    }
+    if arrays.parents is not None:
+        blobs["parents"] = np.ascontiguousarray(
+            arrays.parents, dtype="<i4"
+        ).tobytes()
+        blobs["gates"] = np.ascontiguousarray(
+            arrays.gates, dtype="<i4"
+        ).tobytes()
+
+    chunks: list[bytes] = []
+    sections: dict[str, tuple[int, int]] = {}
+    offset = 0
+    for name in _SECTIONS:
+        blob = blobs.get(name)
+        if blob is None:
+            continue
+        pad = (-offset) % _ALIGN
+        if pad:
+            chunks.append(b"\x00" * pad)
+            offset += pad
+        sections[name] = (offset, len(blob))
+        chunks.append(blob)
+        offset += len(blob)
+    payload = b"".join(chunks)
+    index_sha = {
+        name: hashlib.sha256(blobs[name]).hexdigest()
+        for name in ("rkeys", "rcosts", "rindptr", "rmatches")
+    }
+
+    header = StoreHeader(
+        format_version=2,
+        library_fingerprint=library_fingerprint(library),
+        cost_fingerprint=cost_model_fingerprint(cost_model),
+        n_qubits=library.n_qubits,
+        degree=degree,
+        n_binary=arrays.n_binary,
+        mask_bytes=8 * arrays.mask_words,
+        space_reduced=library.space.reduced,
+        space_ordering=library.space.ordering,
+        gate_kinds=_library_kinds(library),
+        cost_model=cost_model,
+        expanded_to=arrays.expanded_to,
+        level_sizes=arrays.level_sizes,
+        track_parents=arrays.parents is not None,
+        elapsed_seconds=arrays.elapsed_seconds,
+        payload_size=len(payload),
+        payload_sha256=hashlib.sha256(payload).hexdigest(),
+        mask_words=arrays.mask_words,
+        level_row_offsets=tuple(int(o) for o in arrays.level_offsets),
+        sections=sections,
+        index_entries=len(costs),
+        index_matches=len(matches),
+        index_sha256=index_sha,
+    )
+    header_blob = json.dumps(_header_dict(header), separators=(",", ":")).encode()
+    # Space-pad the header so the payload starts 8-byte aligned -- the
+    # memmap views of the u64/i64 sections are then always aligned.
+    frame = len(MAGIC_V2) + 4
+    pad = (-(frame + len(header_blob))) % _ALIGN
+    header_blob += b" " * pad
+    return (
+        MAGIC_V2
+        + len(header_blob).to_bytes(4, "little")
+        + header_blob
+        + payload
+    )
+
+
+def dump_search(
+    search: CascadeSearch, format_version: int = FORMAT_VERSION
+) -> bytes:
+    """Serialize a search's accumulated closure to store bytes."""
+    if format_version == 1:
+        return _dump_v1(search)
+    if format_version == 2:
+        return _dump_v2(search)
+    raise StoreVersionError(
+        f"cannot write store format {format_version}; this build writes "
+        f"formats {SUPPORTED_VERSIONS}"
+    )
+
+
+def save_search(
+    search: CascadeSearch,
+    path: str | Path,
+    format_version: int = FORMAT_VERSION,
+) -> StoreHeader:
+    """Write a search's closure to *path*; returns the store header.
+
+    The write is atomic (temp file + rename), so an interrupted save
+    never leaves a truncated store behind -- and re-saving over a store
+    that is currently memory-mapped (``precompute --extend``) is safe:
+    the mapping keeps the old inode alive.
+    """
+    data = dump_search(search, format_version)
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, target)
+    header, _payload_start = _parse_frame(data)
+    return header
 
 
 # -- decoding --------------------------------------------------------------------------
 
 
-def _split(data: bytes) -> tuple[StoreHeader, memoryview]:
-    """Validate framing + checksum; return (header, payload view)."""
-    if len(data) < len(MAGIC) + 4 or data[: len(MAGIC)] != MAGIC:
+def _parse_frame(data: bytes) -> tuple[StoreHeader, int]:
+    """Parse magic + header; return (header, payload start offset)."""
+    if len(data) < len(MAGIC_PREFIX) + 5 or data[: len(MAGIC_PREFIX)] != (
+        MAGIC_PREFIX
+    ):
         raise StoreError("not a closure store (bad magic)")
-    hlen = int.from_bytes(data[len(MAGIC) : len(MAGIC) + 4], "little")
-    header_start = len(MAGIC) + 4
+    magic_version = data[len(MAGIC_PREFIX)]
+    if magic_version not in SUPPORTED_VERSIONS:
+        raise StoreVersionError(
+            f"store format {magic_version} is not supported (this build "
+            f"reads formats {SUPPORTED_VERSIONS})"
+        )
+    frame = len(MAGIC_PREFIX) + 1
+    hlen = int.from_bytes(data[frame : frame + 4], "little")
+    header_start = frame + 4
     if len(data) < header_start + hlen:
         raise StoreError("truncated store header")
     try:
@@ -271,12 +495,20 @@ def _split(data: bytes) -> tuple[StoreHeader, memoryview]:
     except ValueError:
         raise StoreError("store header is not valid JSON") from None
     header = _header_from_dict(raw)
-    if header.format_version != FORMAT_VERSION:
-        raise StoreError(
+    if header.format_version not in SUPPORTED_VERSIONS:
+        raise StoreVersionError(
             f"store format {header.format_version} is not supported "
-            f"(this build reads format {FORMAT_VERSION})"
+            f"(this build reads formats {SUPPORTED_VERSIONS})"
         )
-    payload = memoryview(data)[header_start + hlen :]
+    if header.format_version != magic_version:
+        raise StoreError(
+            f"store magic says format {magic_version} but the header "
+            f"says {header.format_version}"
+        )
+    return header, header_start + hlen
+
+
+def _check_v1_payload(header: StoreHeader, payload: memoryview) -> None:
     if len(payload) != header.payload_size:
         raise StoreError(
             f"store payload is {len(payload)} bytes, header says "
@@ -298,10 +530,142 @@ def _split(data: bytes) -> tuple[StoreHeader, memoryview]:
             f"store claims bound {header.expanded_to} but lists "
             f"{len(header.level_sizes)} level sizes"
         )
+
+
+def _check_v2_header(header: StoreHeader, payload_size: int) -> None:
+    """Structural sanity of a v2 header against the payload size."""
+    if payload_size != header.payload_size:
+        raise StoreError(
+            f"store payload is {payload_size} bytes, header says "
+            f"{header.payload_size} (truncated or padded file)"
+        )
+    if len(header.level_sizes) != header.expanded_to + 1:
+        raise StoreError(
+            f"store claims bound {header.expanded_to} but lists "
+            f"{len(header.level_sizes)} level sizes"
+        )
+    offsets = header.level_row_offsets
+    if len(offsets) != header.expanded_to + 2 or offsets[0] != 0:
+        raise StoreError("store level offset table is malformed")
+    n = offsets[-1]
+    for k, size in enumerate(header.level_sizes):
+        if offsets[k + 1] - offsets[k] != size:
+            raise StoreError(
+                f"level {k} offsets disagree with its recorded size"
+            )
+    if header.mask_words < 1:
+        raise StoreError("store mask_words must be positive")
+    expected = {
+        "perms": n * header.degree,
+        "masks": n * header.mask_words * 8,
+        "rkeys": header.index_entries * header.n_binary,
+        "rcosts": header.index_entries * 4,
+        "rindptr": (header.index_entries + 1) * 8,
+        "rmatches": header.index_matches * 4,
+    }
+    if header.track_parents:
+        expected["parents"] = n * 4
+        expected["gates"] = n * 4
+    for name, size in expected.items():
+        span = header.sections.get(name)
+        if span is None:
+            raise StoreError(f"store is missing its {name!r} section")
+        offset, length = span
+        if length != size:
+            raise StoreError(
+                f"store section {name!r} is {length} bytes, expected {size}"
+            )
+        if offset < 0 or offset + length > header.payload_size:
+            raise StoreError(
+                f"store section {name!r} lies outside the payload"
+            )
+
+
+def _section(header: StoreHeader, payload, name: str, dtype, shape=None):
+    """A zero-copy ndarray view of one v2 payload section.
+
+    ``dtype`` must be an explicit little-endian spec (``"<u8"`` etc.) --
+    sections are written little-endian, so native-order views would be
+    byte-swapped on big-endian hosts.
+    """
+    offset, length = header.sections[name]
+    view = np.frombuffer(payload, dtype=np.uint8, count=length, offset=offset)
+    arr = view.view(np.dtype(dtype))
+    if shape is not None:
+        arr = arr.reshape(shape)
+    return arr
+
+
+def _v2_arrays(header: StoreHeader, payload) -> SearchArrays:
+    """SearchArrays over a v2 payload (a memmap, bytes or memoryview)."""
+    n = header.level_row_offsets[-1]
+    parents = gates = None
+    if header.track_parents:
+        parents = _section(header, payload, "parents", "<i4", (n,))
+        gates = _section(header, payload, "gates", "<i4", (n,))
+    return SearchArrays(
+        expanded_to=header.expanded_to,
+        degree=header.degree,
+        n_binary=header.n_binary,
+        mask_words=header.mask_words,
+        level_offsets=np.asarray(header.level_row_offsets, dtype=np.int64),
+        perms=_section(
+            header, payload, "perms", np.uint8, (n, header.degree)
+        ),
+        masks=_section(
+            header, payload, "masks", "<u8", (n, header.mask_words)
+        ),
+        parents=parents,
+        gates=gates,
+        elapsed_seconds=header.elapsed_seconds,
+    )
+
+
+def _v2_remainder_index(header: StoreHeader, payload) -> dict:
+    """Deserialize the remainder index; verifies its per-section hashes.
+
+    These sections are tiny and read eagerly, so the checksum pass costs
+    microseconds -- corruption of the index fails loudly even on the
+    lazy memory-mapped open (closure sections are only covered by the
+    full :func:`verify_store` pass).
+    """
+    for name, expected in header.index_sha256.items():
+        section = _section(header, payload, name, np.uint8)
+        if hashlib.sha256(section.tobytes()).hexdigest() != expected:
+            raise StoreError(
+                f"store section {name!r} fails its sha256 checksum"
+            )
+    entries = header.index_entries
+    width = header.n_binary
+    keys = _section(header, payload, "rkeys", np.uint8).tobytes()
+    costs = _section(header, payload, "rcosts", "<i4")
+    indptr = _section(header, payload, "rindptr", "<i8")
+    matches = _section(header, payload, "rmatches", "<i4")
+    index: dict[bytes, tuple[int, np.ndarray]] = {}
+    for e in range(entries):
+        remainder = keys[e * width : (e + 1) * width]
+        index[remainder] = (
+            int(costs[e]),
+            matches[int(indptr[e]) : int(indptr[e + 1])],
+        )
+    return index
+
+
+def _split(data: bytes) -> tuple[StoreHeader, memoryview]:
+    """Validate framing + checksum; return (header, payload view)."""
+    header, payload_start = _parse_frame(data)
+    payload = memoryview(data)[payload_start:]
+    if header.format_version == 1:
+        _check_v1_payload(header, payload)
+    else:
+        _check_v2_header(header, len(payload))
+        if hashlib.sha256(payload).hexdigest() != header.payload_sha256:
+            raise StoreError("store payload fails its sha256 checksum")
     return header, payload
 
 
 def _decode_state(header: StoreHeader, payload: memoryview) -> SearchState:
+    """Decode a v1 payload into a byte-level snapshot."""
     degree = header.degree
     mask_bytes = header.mask_bytes
     record = degree + mask_bytes
@@ -346,13 +710,20 @@ def _decode_state(header: StoreHeader, payload: memoryview) -> SearchState:
 def read_header(path: str | Path) -> StoreHeader:
     """Read only the metadata block of a store file (cheap peek).
 
-    The payload is not read or verified; use :func:`load_search` for a
-    fully checked load.
+    The payload is not read or verified; use :func:`verify_store` for a
+    fully checked pass.
     """
     with open(path, "rb") as handle:
-        magic = handle.read(len(MAGIC))
-        if magic != MAGIC:
+        magic = handle.read(len(MAGIC_PREFIX) + 1)
+        if len(magic) < len(MAGIC_PREFIX) + 1 or not magic.startswith(
+            MAGIC_PREFIX
+        ):
             raise StoreError("not a closure store (bad magic)")
+        if magic[-1] not in SUPPORTED_VERSIONS:
+            raise StoreVersionError(
+                f"store format {magic[-1]} is not supported (this build "
+                f"reads formats {SUPPORTED_VERSIONS})"
+            )
         hlen_bytes = handle.read(4)
         if len(hlen_bytes) < 4:
             raise StoreError("truncated store header")
@@ -394,8 +765,16 @@ def _load_split(
 ) -> CascadeSearch:
     """Decode an already-validated (header, payload) pair."""
     _check_compatible(header, library, cost_model)
-    state = _decode_state(header, payload)
-    return CascadeSearch.from_state(library, state, cost_model)
+    if header.format_version == 1:
+        state = _decode_state(header, payload)
+        return CascadeSearch.from_state(library, state, cost_model)
+    search = CascadeSearch.from_arrays(
+        library, _v2_arrays(header, payload), cost_model
+    )
+    search.attach_remainder_index(
+        header.expanded_to, _v2_remainder_index(header, payload)
+    )
+    return search
 
 
 def loads_search(
@@ -403,7 +782,7 @@ def loads_search(
     library: GateLibrary,
     cost_model: CostModel = UNIT_COST,
 ) -> CascadeSearch:
-    """Rebuild a search from store bytes (see :func:`load_search`)."""
+    """Rebuild a search from in-memory store bytes (checksum verified)."""
     header, payload = _split(data)
     return _load_split(header, payload, library, cost_model)
 
@@ -415,12 +794,62 @@ def load_search(
 ) -> CascadeSearch:
     """Load a store file back into a ready-to-query :class:`CascadeSearch`.
 
+    v2 stores are memory-mapped: the call returns after reading the
+    header and the (small) remainder index, and closure bytes are paged
+    in only as queries touch them -- O(queries touched), not O(closure).
+    The sha256 checksum is *not* verified on this lazy path (that would
+    read every byte); run :func:`verify_store` or ``repro store verify``
+    for a full integrity pass.  v1 stores are decoded eagerly, checksum
+    included.
+
     Raises:
         StoreError: corrupted, truncated or unsupported file.
         StoreMismatchError: the store was expanded under a different
             library or cost model than the ones given.
     """
-    return loads_search(Path(path).read_bytes(), library, cost_model)
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC_PREFIX) + 1)
+    if len(magic) < len(MAGIC_PREFIX) + 1 or not magic.startswith(MAGIC_PREFIX):
+        raise StoreError("not a closure store (bad magic)")
+    if magic[-1] == 1:
+        # Eager v1 decode; framing and header are parsed from the bytes.
+        return loads_search(path.read_bytes(), library, cost_model)
+    return _load_from_path(path, read_header(path), library, cost_model)
+
+
+def _load_from_path(
+    path: Path,
+    header: StoreHeader,
+    library: GateLibrary,
+    cost_model: CostModel,
+) -> CascadeSearch:
+    """Load with an already-parsed header.
+
+    The lazy v2 path reuses *header* so the open costs a single header
+    parse; the eager v1 path re-frames the bytes it reads anyway (the
+    extra parse is noise next to decoding the full closure).
+    """
+    if header.format_version == 1:
+        return loads_search(path.read_bytes(), library, cost_model)
+    payload = _map_v2(path, header)
+    return _load_split(header, payload, library, cost_model)
+
+
+def _map_v2(path: Path, header: StoreHeader) -> np.memmap:
+    """Memory-map a v2 store; validates framing and sizes, not bytes."""
+    if header.format_version != 2:
+        raise StoreVersionError(
+            f"expected a v2 store, found format {header.format_version}"
+        )
+    frame = len(MAGIC_PREFIX) + 5
+    with open(path, "rb") as handle:
+        handle.seek(len(MAGIC_PREFIX) + 1)
+        hlen = int.from_bytes(handle.read(4), "little")
+    payload_start = frame + hlen
+    actual = path.stat().st_size - payload_start
+    _check_v2_header(header, actual)
+    return np.memmap(path, dtype=np.uint8, mode="r", offset=payload_start)
 
 
 def open_store(
@@ -431,10 +860,95 @@ def open_store(
     Convenience for the CLI and services that hold only a store path:
     the library and cost model are reconstructed from the header (this
     only works for default-alphabet libraries) and the fingerprints are
-    still verified against the rebuilt objects.
+    still verified against the rebuilt objects.  v2 stores open lazily
+    (see :func:`load_search`).
+    """
+    path = Path(path)
+    header = read_header(path)
+    library = header.rebuild_library()
+    search = _load_from_path(path, header, library, header.cost_model)
+    return header, library, search
+
+
+def verify_store(path: str | Path) -> StoreHeader:
+    """Full integrity pass: framing, checksum and structural invariants.
+
+    Reads the entire file (unlike the lazy v2 open) and raises
+    :class:`StoreError` on any corruption; returns the header on
+    success.
     """
     data = Path(path).read_bytes()
     header, payload = _split(data)
-    library = header.rebuild_library()
-    search = _load_split(header, payload, library, header.cost_model)
-    return header, library, search
+    if header.format_version == 2:
+        arrays = _v2_arrays(header, payload)
+        library = header.rebuild_library()
+        # Full structural validation (identity row, offsets, shapes).
+        CascadeSearch.from_arrays(
+            library, arrays, header.cost_model, validate=True
+        )
+        if arrays.parents is not None:
+            _check_v2_parents(header, arrays, len(library))
+        index = _v2_remainder_index(header, payload)
+        n = header.level_row_offsets[-1]
+        for remainder, (cost, rows) in index.items():
+            if not 0 < cost <= header.expanded_to:
+                raise StoreError(
+                    f"remainder index cost {cost} outside the stored bound"
+                )
+            if len(rows) and (
+                int(rows.min()) < 1 or int(rows.max()) >= n
+            ):
+                raise StoreError("remainder index row outside the closure")
+    return header
+
+
+def _check_v2_parents(
+    header: StoreHeader, arrays: SearchArrays, n_gates: int
+) -> None:
+    """Level-decreasing parents and in-range gate indices (vectorized).
+
+    Mirrors the cost-decreasing-parent invariant that the v1 path
+    enforces through :meth:`CascadeSearch.from_state`: every non-
+    identity row must point to a parent in a strictly earlier level and
+    name a library gate.
+    """
+    n = arrays.n_rows
+    parents = np.asarray(arrays.parents)
+    gates = np.asarray(arrays.gates)
+    if n and (int(parents[0]) != -1 or int(gates[0]) != -1):
+        raise StoreError("store identity row carries a parent pointer")
+    child = parents[1:]
+    if child.size:
+        if int(child.min()) < 0 or int(child.max()) >= n:
+            raise StoreError("store parent pointer outside the closure")
+        offsets = np.asarray(header.level_row_offsets, dtype=np.int64)
+        row_level = np.searchsorted(
+            offsets, np.arange(1, n, dtype=np.int64), side="right"
+        )
+        parent_level = np.searchsorted(
+            offsets, child.astype(np.int64), side="right"
+        )
+        if not (parent_level < row_level).all():
+            raise StoreError("store parent pointer does not decrease cost")
+        if int(gates[1:].min()) < 0 or int(gates[1:].max()) >= n_gates:
+            raise StoreError(
+                f"store gate index outside the {n_gates}-gate library"
+            )
+
+
+def migrate_store(
+    src: str | Path, dst: str | Path
+) -> tuple[StoreHeader, StoreHeader]:
+    """Rewrite a store (any readable version) in the current v2 format.
+
+    The source is read once and fully verified (checksum included)
+    before writing.  Returns ``(source header, new header)``;
+    fingerprints, bound and expansion timing are preserved, so the
+    migrated store serves byte-identical query results.
+    """
+    data = Path(src).read_bytes()
+    src_header, payload = _split(data)
+    library = src_header.rebuild_library()
+    search = _load_split(src_header, payload, library, src_header.cost_model)
+    dst_header = save_search(search, dst, format_version=2)
+    return src_header, dst_header

@@ -62,6 +62,15 @@ class StoreError(ReproError):
     """A persisted closure store is malformed, corrupted or truncated."""
 
 
+class StoreVersionError(StoreError):
+    """A closure store uses a format version this build cannot read.
+
+    Newer-format stores (or doctored version fields) are refused rather
+    than misparsed; `repro store migrate` upgrades v1 stores to the
+    current memory-mappable v2 layout.
+    """
+
+
 class StoreMismatchError(StoreError):
     """A closure store was built for a different library or cost model.
 

@@ -25,8 +25,11 @@ Two heavier persistence layers build on this module:
   ``repro synth --batch`` workflow;
 * the binary closure store of :mod:`repro.core.store`, re-exported here
   (:func:`save_search` / :func:`load_search` / :func:`open_store` /
-  :func:`read_header`) so ``repro.io`` is the one-stop persistence
-  facade.
+  :func:`read_header` / :func:`verify_store` / :func:`migrate_store`)
+  so ``repro.io`` is the one-stop persistence facade.  Stores are
+  written in the memory-mapped v2 format (opened in O(queries touched),
+  remainder index included); legacy v1 files stay readable and
+  :func:`migrate_store` upgrades them.
 """
 
 from __future__ import annotations
@@ -41,9 +44,11 @@ from repro.core.mce import SynthesisResult
 from repro.core.store import (  # noqa: F401  (re-exported persistence facade)
     StoreHeader,
     load_search,
+    migrate_store,
     open_store,
     read_header,
     save_search,
+    verify_store,
 )
 from repro.perm.permutation import Permutation
 

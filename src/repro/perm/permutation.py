@@ -23,6 +23,33 @@ _MAX_DEGREE = 256
 _TAILS: dict[int, bytes] = {}
 
 
+def pack_images(images: "Sequence[bytes]", degree: int):
+    """Stack raw image arrays into one ``(n, degree)`` uint8 ndarray.
+
+    The bulk bytes->array adapter used by the vectorized search kernel
+    and the v2 closure store: one contiguous buffer copy instead of a
+    Python-level loop per permutation.
+    """
+    import numpy as np
+
+    n = len(images)
+    if n == 0:
+        return np.empty((0, degree), dtype=np.uint8)
+    return np.frombuffer(b"".join(images), dtype=np.uint8).reshape(n, degree)
+
+
+def unpack_images(array) -> list[bytes]:
+    """Split an ``(n, degree)`` uint8 ndarray back into image bytes.
+
+    Inverse of :func:`pack_images`; one ``tobytes`` plus C-level slicing,
+    so materializing a 5e5-row level costs tenths of a second, not
+    minutes.
+    """
+    n, degree = array.shape
+    blob = array.tobytes()
+    return [blob[i : i + degree] for i in range(0, n * degree, degree)]
+
+
 def _tail(degree: int) -> bytes:
     tail = _TAILS.get(degree)
     if tail is None:

@@ -161,6 +161,118 @@ class TestStoreWorkflow:
         assert "error:" in capsys.readouterr().err
 
 
+class TestStoreMaintenance:
+    """The `repro store ...` group and `precompute --extend`."""
+
+    @pytest.fixture(scope="class")
+    def v2_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("maint") / "closure.rpro")
+        assert main(["precompute", path, "--cost-bound", "4"]) == 0
+        return path
+
+    def test_store_info_reports_v2_layout(self, v2_path, capsys):
+        assert main(["store", "info", v2_path]) == 0
+        out = capsys.readouterr().out
+        assert "format 2" in out
+        assert "memory-mapped" in out
+        assert "remainder index" in out
+
+    def test_store_verify_passes(self, v2_path, capsys):
+        assert main(["store", "verify", v2_path]) == 0
+        assert "sha256 verified" in capsys.readouterr().out
+
+    def test_store_verify_catches_corruption(self, v2_path, capsys, tmp_path):
+        from pathlib import Path
+
+        data = bytearray(Path(v2_path).read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        bad = tmp_path / "bad.rpro"
+        bad.write_bytes(bytes(data))
+        assert main(["store", "verify", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_extend_deepens_an_existing_store(self, v2_path, capsys):
+        assert main([
+            "precompute", v2_path, "--extend", "--cost-bound", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "extending" in out and "from cost 4 to 5" in out
+        assert main(["store", "info", v2_path]) == 0
+        assert "cost bound 5" in capsys.readouterr().out
+
+    def test_extend_refuses_mismatched_flags(self, v2_path, capsys):
+        assert main([
+            "precompute", v2_path, "--extend", "--cost-bound", "5",
+            "--cnot-cost", "2",
+        ]) == 1
+        assert "refusing to extend" in capsys.readouterr().err
+
+    def test_migrate_v1_store(self, capsys, tmp_path):
+        old = str(tmp_path / "old.rpro")
+        new = str(tmp_path / "new.rpro")
+        assert main([
+            "precompute", old, "--cost-bound", "3", "--format-version", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["store", "migrate", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "(format 1)" in out and "format 2" in out
+        assert main(["synth", "swap_ab", "--store", new]) == 0
+        assert "cost 3" in capsys.readouterr().out
+
+    def test_translate_kernel_precompute_matches(self, capsys, tmp_path):
+        path = str(tmp_path / "tk.rpro")
+        assert main([
+            "precompute", path, "--cost-bound", "3", "--kernel", "translate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[1, 18, 162, 1017]" in out
+
+    def test_extend_honors_kernel_flag(self, capsys, tmp_path):
+        path = str(tmp_path / "ek.rpro")
+        assert main(["precompute", path, "--cost-bound", "3"]) == 0
+        capsys.readouterr()
+        assert main([
+            "precompute", path, "--extend", "--cost-bound", "4",
+            "--kernel", "translate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(translate kernel)" in out
+        assert "[1, 18, 162, 1017, 5364]" in out
+
+    def test_extend_at_or_below_bound_is_a_noop(self, v2_path, capsys):
+        assert main([
+            "precompute", v2_path, "--extend", "--cost-bound", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to extend" in out
+        assert "extended" not in out
+
+    def test_extend_refuses_no_parents_on_parent_store(
+        self, v2_path, capsys
+    ):
+        assert main([
+            "precompute", v2_path, "--extend", "--cost-bound", "5",
+            "--no-parents",
+        ]) == 1
+        assert "counting-only" in capsys.readouterr().err
+
+    def test_extend_counting_only_store_needs_explicit_flag(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "np.rpro")
+        assert main([
+            "precompute", path, "--cost-bound", "3", "--no-parents",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["precompute", path, "--extend", "--cost-bound", "4"]) == 1
+        assert "counting-only" in capsys.readouterr().err
+        assert main([
+            "precompute", path, "--extend", "--cost-bound", "4",
+            "--no-parents",
+        ]) == 0
+
+
 class TestOtherCommands:
     def test_banned_sets(self, capsys):
         assert main(["banned-sets"]) == 0

@@ -7,9 +7,11 @@ cannot silently change results.  If a change legitimately alters these
 numbers, that is a results change, not a refactor: update the constants
 here in the same commit and say why.
 
-Every closure-level assertion runs twice, against the live search and
-against a store-roundtripped copy (``dump_search``/``loads_search``), so
-the persistence layer is held to the same golden values as the BFS.
+Every closure-level assertion runs four ways -- against the live vector
+search, the byte-level ``translate`` reference kernel, and
+store-roundtripped copies in both the legacy v1 and memory-mapped v2
+formats (``dump_search``/``loads_search``) -- so both expansion kernels
+and both persistence formats are held to the same golden values.
 
 Documented deviations from the published Table 2 (see bench_table2.py):
 |G[2]| = 24 vs the paper's 30 and |G[3]| = 51 vs 52; the
@@ -51,13 +53,27 @@ GOLDEN_NAMED = {
 }
 
 
-@pytest.fixture(scope="module", params=["live", "store-roundtrip"])
+@pytest.fixture(
+    scope="module",
+    params=["live", "translate-kernel", "store-v1", "store-v2"],
+)
 def closure(request, search3, library3):
-    """The cost-7 closure, served live and from a loaded store."""
+    """The cost-7 closure: both kernels and both store formats."""
     search3.extend_to(7)
     if request.param == "live":
         return search3
-    return loads_search(dump_search(search3), library3)
+    if request.param == "translate-kernel":
+        from repro.core.search import CascadeSearch
+
+        search = CascadeSearch(
+            library3, track_parents=True, kernel="translate"
+        )
+        search.extend_to(7)
+        return search
+    version = 1 if request.param == "store-v1" else 2
+    return loads_search(
+        dump_search(search3, format_version=version), library3
+    )
 
 
 @pytest.fixture(scope="module")

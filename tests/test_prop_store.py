@@ -1,9 +1,11 @@
 """Property-based tests: store-format roundtrip invariants (hypothesis).
 
-For random small libraries, cost models and bounds: expanding a closure,
-serializing it and loading it back must reproduce the search exactly --
-level sizes and contents, minimal costs, parent pointers and witness
-circuits -- and the loaded search must keep expanding identically.
+For random small libraries, cost models, bounds and store formats (the
+legacy v1 byte records and the memory-mapped v2 array layout):
+expanding a closure, serializing it and loading it back must reproduce
+the search exactly -- level sizes and contents, minimal costs, parent
+pointers and witness circuits -- and the loaded search must keep
+expanding identically.
 """
 
 from hypothesis import given, settings
@@ -26,6 +28,7 @@ library_configs = st.tuples(
         st.sampled_from(_ALL_KINDS), min_size=1, max_size=3, unique=True
     ),
 )
+store_formats = st.sampled_from((1, 2))
 cost_models = st.builds(
     CostModel,
     v_cost=st.integers(min_value=1, max_value=2),
@@ -47,11 +50,12 @@ class TestRoundtripInvariants:
         config=library_configs,
         cost_model=cost_models,
         bound=st.integers(min_value=0, max_value=3),
+        fmt=store_formats,
     )
     @settings(max_examples=20, deadline=None)
-    def test_levels_and_costs_survive(self, config, cost_model, bound):
+    def test_levels_and_costs_survive(self, config, cost_model, bound, fmt):
         library, search = _expand(config, cost_model, bound, True)
-        loaded = loads_search(dump_search(search), library, cost_model)
+        loaded = loads_search(dump_search(search, fmt), library, cost_model)
         assert loaded.expanded_to == search.expanded_to
         assert loaded.stats().level_sizes == search.stats().level_sizes
         for cost in range(bound + 1):
@@ -63,11 +67,12 @@ class TestRoundtripInvariants:
         config=library_configs,
         cost_model=cost_models,
         bound=st.integers(min_value=1, max_value=3),
+        fmt=store_formats,
     )
     @settings(max_examples=15, deadline=None)
-    def test_witness_circuits_survive(self, config, cost_model, bound):
+    def test_witness_circuits_survive(self, config, cost_model, bound, fmt):
         library, search = _expand(config, cost_model, bound, True)
-        loaded = loads_search(dump_search(search), library, cost_model)
+        loaded = loads_search(dump_search(search, fmt), library, cost_model)
         for cost in range(1, bound + 1):
             for perm, _mask in search.level(cost):
                 assert loaded.witness_indices(perm) == search.witness_indices(
@@ -81,13 +86,14 @@ class TestRoundtripInvariants:
         cost_model=cost_models,
         bound=st.integers(min_value=0, max_value=2),
         track_parents=st.booleans(),
+        fmt=store_formats,
     )
     @settings(max_examples=15, deadline=None)
     def test_loaded_search_extends_like_the_original(
-        self, config, cost_model, bound, track_parents
+        self, config, cost_model, bound, track_parents, fmt
     ):
         library, search = _expand(config, cost_model, bound, track_parents)
-        loaded = loads_search(dump_search(search), library, cost_model)
+        loaded = loads_search(dump_search(search, fmt), library, cost_model)
         assert loaded.tracks_parents == track_parents
         search.extend_to(bound + 1)
         loaded.extend_to(bound + 1)
@@ -99,11 +105,30 @@ class TestRoundtripInvariants:
     @given(
         config=library_configs,
         bound=st.integers(min_value=0, max_value=3),
+        fmt=store_formats,
     )
     @settings(max_examples=15, deadline=None)
-    def test_dump_is_deterministic(self, config, bound):
+    def test_dump_is_deterministic(self, config, bound, fmt):
         _library, search = _expand(config, CostModel(), bound, True)
-        assert dump_search(search) == dump_search(search)
+        assert dump_search(search, fmt) == dump_search(search, fmt)
+
+    @given(
+        config=library_configs,
+        cost_model=cost_models,
+        bound=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_v1_and_v2_loads_agree(self, config, cost_model, bound):
+        library, search = _expand(config, cost_model, bound, True)
+        via_v1 = loads_search(dump_search(search, 1), library, cost_model)
+        via_v2 = loads_search(dump_search(search, 2), library, cost_model)
+        assert via_v1.stats().level_sizes == via_v2.stats().level_sizes
+        for cost in range(bound + 1):
+            assert via_v1.level(cost) == via_v2.level(cost)
+            for perm, _mask in via_v1.level(cost):
+                assert via_v1.witness_indices(perm) == (
+                    via_v2.witness_indices(perm)
+                )
 
 
 class TestStateRoundtrip:

@@ -1,0 +1,339 @@
+"""Unit tests for store format v2: memmap layout, index, migration.
+
+Complements tests/test_store.py (which exercises the format-agnostic
+API against the current default format): this module pins the
+v2-specific guarantees -- lazy memory-mapped opens, the serialized
+remainder index, v1 -> v2 migration equivalence, and rejection of
+truncated/corrupted/unknown-version files.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError, StoreVersionError
+from repro.core.batch import BatchSynthesizer, build_remainder_index
+from repro.core.search import CascadeSearch
+from repro.core.store import (
+    MAGIC_V1,
+    MAGIC_V2,
+    dump_search,
+    load_search,
+    loads_search,
+    migrate_store,
+    open_store,
+    read_header,
+    save_search,
+    verify_store,
+)
+from repro.gates import named
+
+
+@pytest.fixture(scope="module")
+def search5(library3):
+    search = CascadeSearch(library3, track_parents=True)
+    search.extend_to(5)
+    return search
+
+
+@pytest.fixture(scope="module")
+def v2_path(search5, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "closure.rpro"
+    save_search(search5, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def v1_path(search5, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "closure_v1.rpro"
+    save_search(search5, path, format_version=1)
+    return path
+
+
+class TestFormatFraming:
+    def test_default_format_is_v2(self, search5):
+        assert dump_search(search5)[:8] == MAGIC_V2
+
+    def test_v1_still_writable(self, search5):
+        assert dump_search(search5, format_version=1)[:8] == MAGIC_V1
+
+    def test_unknown_write_version_refused(self, search5):
+        with pytest.raises(StoreVersionError):
+            dump_search(search5, format_version=3)
+
+    def test_header_describes_v2_layout(self, v2_path, search5):
+        header = read_header(v2_path)
+        assert header.format_version == 2
+        assert header.mask_words == 1
+        assert header.level_row_offsets == (0, 1, 19, 181, 1198, 6562, 32323)
+        for name in ("perms", "masks", "parents", "gates",
+                     "rkeys", "rcosts", "rindptr", "rmatches"):
+            assert name in header.sections
+        # Sections are 8-byte aligned for safe memmap views.
+        for offset, _length in header.sections.values():
+            assert offset % 8 == 0
+        assert header.index_entries > 0
+        assert header.index_matches >= header.index_entries
+
+    def test_payload_starts_aligned(self, search5):
+        data = dump_search(search5)
+        hlen = int.from_bytes(data[8:12], "little")
+        assert (12 + hlen) % 8 == 0
+
+    def test_atomic_save_leaves_no_temp_file(self, search5, tmp_path):
+        path = tmp_path / "closure.rpro"
+        save_search(search5, path)
+        assert path.exists()
+        assert not (tmp_path / "closure.rpro.tmp").exists()
+
+
+class TestLazyOpen:
+    def test_open_attaches_serialized_index(self, v2_path):
+        _header, _library, search = open_store(v2_path)
+        attached = search.attached_remainder_index
+        assert attached is not None
+        bound, index = attached
+        assert bound == 5
+        assert len(index) > 0
+
+    def test_batch_does_no_closure_scan(self, v2_path, monkeypatch):
+        """BatchSynthesizer must serve purely from the attached index."""
+        import repro.core.batch as batch_module
+
+        _header, _library, search = open_store(v2_path)
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("closure scan on a v2-attached search")
+
+        monkeypatch.setattr(batch_module, "build_remainder_index", boom)
+        batch = BatchSynthesizer(search)
+        assert batch.cost_bound == 5
+        assert batch.synthesize(named.TARGETS["peres"]).cost == 4
+
+    def test_attached_index_matches_scan(self, v2_path, search5):
+        _header, _library, loaded = open_store(v2_path)
+        _bound, attached = loaded.attached_remainder_index
+        scanned = build_remainder_index(search5, 5)
+        assert list(attached.keys()) == list(scanned.keys())
+        for remainder, (cost, rows) in scanned.items():
+            a_cost, a_rows = attached[remainder]
+            assert a_cost == cost
+            assert [int(r) for r in a_rows] == rows
+
+    def test_lower_bound_filters_attached_index(self, v2_path, search5):
+        _header, _library, loaded = open_store(v2_path)
+        batch = BatchSynthesizer(loaded, cost_bound=3)
+        reference = BatchSynthesizer(search5, cost_bound=3)
+        assert len(batch) == len(reference)
+        assert batch.cost_table().g_sizes == reference.cost_table().g_sizes
+        with pytest.raises(Exception):
+            batch.synthesize(named.TARGETS["toffoli"])  # cost 5 > 3
+
+    def test_query_results_equal_live_search(self, v2_path, search5):
+        _header, _library, loaded = open_store(v2_path)
+        batch = BatchSynthesizer(loaded)
+        live = BatchSynthesizer(search5, cost_bound=5)
+        for name in ("cnot_ba", "swap_ab", "peres", "toffoli"):
+            ours = batch.synthesize_all(named.TARGETS[name])
+            theirs = live.synthesize_all(named.TARGETS[name])
+            assert [r.circuit.names() for r in ours] == [
+                r.circuit.names() for r in theirs
+            ]
+
+    def test_levels_readable_without_engine(self, v2_path, search5):
+        """level() on a lazy search touches only that level's rows."""
+        _header, _library, loaded = open_store(v2_path)
+        assert loaded.level(2) == search5.level(2)
+        assert loaded.level_size(5) == search5.level_size(5)
+
+    def test_extend_after_lazy_load_matches_fresh(self, v2_path, library3):
+        _header, _library, loaded = open_store(v2_path)
+        loaded.extend_to(6)
+        fresh = CascadeSearch(library3, track_parents=True)
+        fresh.extend_to(6)
+        assert loaded.stats().level_sizes == fresh.stats().level_sizes
+        assert sorted(p for p, _m in loaded.level(6)) == sorted(
+            p for p, _m in fresh.level(6)
+        )
+
+    def test_was_restored_controls_default_bound(self, library3):
+        zero = CascadeSearch(library3, track_parents=True)
+        state = zero.export_state()
+        restored = CascadeSearch.from_state(library3, state)
+        assert restored.was_restored
+        # A deliberately level-0 restored closure must not silently
+        # re-expand to the paper's default bound.
+        assert BatchSynthesizer(restored).cost_bound == 0
+        assert restored.expanded_to == 0
+
+
+class TestMigration:
+    def test_migrate_v1_to_v2(self, v1_path, tmp_path, library3):
+        dst = tmp_path / "migrated.rpro"
+        old, new = migrate_store(v1_path, dst)
+        assert (old.format_version, new.format_version) == (1, 2)
+        assert old.library_fingerprint == new.library_fingerprint
+        assert old.cost_fingerprint == new.cost_fingerprint
+        assert old.level_sizes == new.level_sizes
+        assert dst.read_bytes()[:8] == MAGIC_V2
+
+    def test_migrated_store_serves_identical_results(
+        self, v1_path, tmp_path, library3
+    ):
+        dst = tmp_path / "migrated.rpro"
+        migrate_store(v1_path, dst)
+        from_v1 = BatchSynthesizer(load_search(v1_path, library3))
+        from_v2 = BatchSynthesizer(load_search(dst, library3))
+        assert from_v1.cost_table().g_sizes == from_v2.cost_table().g_sizes
+        for name in ("peres", "toffoli", "swap_bc"):
+            a = from_v1.synthesize_all(named.TARGETS[name])
+            b = from_v2.synthesize_all(named.TARGETS[name])
+            assert [r.circuit.names() for r in a] == [
+                r.circuit.names() for r in b
+            ]
+
+    def test_migrate_is_idempotent_on_v2(self, v2_path, tmp_path):
+        dst = tmp_path / "again.rpro"
+        old, new = migrate_store(v2_path, dst)
+        assert old.format_version == new.format_version == 2
+        assert old.level_sizes == new.level_sizes
+
+
+class TestCorruption:
+    def test_truncated_file_rejected_on_open(self, v2_path, tmp_path):
+        clipped = tmp_path / "short.rpro"
+        clipped.write_bytes(v2_path.read_bytes()[:-64])
+        with pytest.raises(StoreError, match="truncated|bytes"):
+            load_search(clipped, open_store(v2_path)[1])
+
+    def test_truncated_bytes_rejected(self, search5, library3):
+        data = dump_search(search5)
+        with pytest.raises(StoreError):
+            loads_search(data[:-10], library3)
+
+    def test_flipped_byte_fails_eager_checksum(self, search5, library3):
+        data = bytearray(dump_search(search5))
+        data[-3] ^= 0xFF
+        with pytest.raises(StoreError, match="sha256"):
+            loads_search(bytes(data), library3)
+
+    def test_flipped_byte_fails_verify_store(self, v2_path, tmp_path):
+        data = bytearray(v2_path.read_bytes())
+        data[-3] ^= 0xFF
+        bad = tmp_path / "bad.rpro"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="sha256"):
+            verify_store(bad)
+
+    def test_verify_store_accepts_both_formats(self, v1_path, v2_path):
+        assert verify_store(v1_path).format_version == 1
+        assert verify_store(v2_path).format_version == 2
+
+    def test_verify_store_rejects_non_decreasing_parents(
+        self, search5, tmp_path
+    ):
+        """Doctored parents with a recomputed checksum still fail verify."""
+        import hashlib
+        import json
+
+        data = bytearray(dump_search(search5))
+        hlen = int.from_bytes(data[8:12], "little")
+        header = json.loads(data[12 : 12 + hlen])
+        off, length = header["sections"]["parents"]
+        start = 12 + hlen
+        parents = np.frombuffer(
+            bytes(data[start + off : start + off + length]), dtype="<i4"
+        ).copy()
+        parents[50] = 40  # rows 19..180 are level 2: same-level parent
+        data[start + off : start + off + length] = parents.tobytes()
+        header["payload_sha256"] = hashlib.sha256(
+            bytes(data[start:])
+        ).hexdigest()
+        blob = json.dumps(header, separators=(",", ":")).encode()
+        blob += b" " * ((-(12 + len(blob))) % 8)
+        bad = tmp_path / "bad-parents.rpro"
+        bad.write_bytes(
+            bytes(data[:8])
+            + len(blob).to_bytes(4, "little")
+            + blob
+            + bytes(data[start:])
+        )
+        with pytest.raises(StoreError, match="decrease cost"):
+            verify_store(bad)
+
+    def test_unknown_magic_version_rejected(self, v2_path, tmp_path):
+        data = bytearray(v2_path.read_bytes())
+        data[7] = 9
+        bad = tmp_path / "future.rpro"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(StoreVersionError):
+            read_header(bad)
+
+    def test_magic_header_version_mismatch_rejected(self, search5, library3):
+        data = dump_search(search5)
+        doctored = MAGIC_V1 + data[8:]
+        with pytest.raises(StoreError):
+            loads_search(doctored, library3)
+
+    def test_doctored_section_size_rejected(self, search5, library3):
+        import json
+
+        data = dump_search(search5)
+        hlen = int.from_bytes(data[8:12], "little")
+        header = json.loads(data[12 : 12 + hlen])
+        header["sections"]["perms"][1] -= 38
+        blob = json.dumps(header, separators=(",", ":")).encode()
+        pad = (-(12 + len(blob))) % 8
+        blob += b" " * pad
+        doctored = (
+            MAGIC_V2 + len(blob).to_bytes(4, "little") + blob + data[12 + hlen :]
+        )
+        with pytest.raises(StoreError, match="section|payload"):
+            loads_search(doctored, library3)
+
+
+class TestParentlessV2:
+    def test_counting_only_roundtrip(self, library3):
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(3)
+        loaded = loads_search(dump_search(search), library3)
+        assert not loaded.tracks_parents
+        assert loaded.stats().level_sizes == search.stats().level_sizes
+        batch = BatchSynthesizer(loaded)
+        assert batch.minimal_cost(named.TARGETS["cnot_ba"]) == 1
+        header = read_header_bytes(dump_search(search))
+        assert "parents" not in header.sections
+
+
+def read_header_bytes(data: bytes):
+    """Parse a header from in-memory store bytes (test helper)."""
+    import json
+
+    from repro.core.store import _header_from_dict
+
+    hlen = int.from_bytes(data[8:12], "little")
+    return _header_from_dict(json.loads(data[12 : 12 + hlen]))
+
+
+class TestMemmapViews:
+    def test_arrays_are_views_not_copies(self, v2_path):
+        """The loaded arrays must be memmap-backed, not eager copies."""
+        import mmap
+
+        _header, _library, search = open_store(v2_path)
+        arrays = search.export_arrays()
+        base = arrays.perms
+        while isinstance(base, np.ndarray) and base.base is not None:
+            if isinstance(base, np.memmap):
+                break
+            base = base.base
+        assert isinstance(base, (np.memmap, mmap.mmap))
+
+    def test_row_accessors_against_live(self, v2_path, search5):
+        _header, _library, loaded = open_store(v2_path)
+        for row in (0, 1, 100, 6561):
+            assert loaded.perm_bytes_at(row) == search5.perm_bytes_at(row)
+            assert loaded.cost_of_row(row) == search5.cost_of_row(row)
+        for row in (5, 500, 20000):
+            assert loaded.witness_indices_for_row(
+                row
+            ) == search5.witness_indices_for_row(row)
