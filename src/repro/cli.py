@@ -23,6 +23,15 @@ format-v2 stores are memory-mapped, so serving opens in milliseconds)::
     repro synth toffoli --store closure.rpro # query without re-expanding
     repro synth --store closure.rpro --batch targets.txt --save out.json
     repro table2 --store closure.rpro        # Table 2 from the store
+
+Long-lived serving (one process keeps the store open and answers any
+number of queries over HTTP/1.1 + newline-delimited JSON; see
+:mod:`repro.server`)::
+
+    repro serve closure.rpro --port 7205     # SIGHUP reloads the store
+    repro synth toffoli --server 127.0.0.1:7205
+    repro synth --server :7205 --batch targets.txt
+    curl http://127.0.0.1:7205/healthz
 """
 
 from __future__ import annotations
@@ -88,6 +97,40 @@ def _build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument(
         "--batch", metavar="FILE", default=None,
         help="synthesize every target listed in FILE (one spec per line)",
+    )
+    p_synth.add_argument(
+        "--server", metavar="ADDR", default=None,
+        help="answer from a running `repro serve` instance "
+        "(HOST:PORT; mutually exclusive with --store)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived synthesis service over a precomputed store",
+        description=(
+            "Serve synth / synth-batch / cost-table / store-info / healthz "
+            "from one shared read-only closure (HTTP/1.1 + newline-"
+            "delimited JSON on a single port).  SIGHUP reloads the store "
+            "atomically; SIGINT/SIGTERM shut down gracefully."
+        ),
+    )
+    p_serve.add_argument("store", help="store file written by `repro precompute`")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: 7205; 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="query worker threads (default: 2)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=None,
+        help="request-coalescing limit per dispatch (default: 64)",
+    )
+    p_serve.add_argument(
+        "--cost-bound", type=int, default=None,
+        help="serve only costs up to this bound (default: the store's)",
     )
 
     p_pre = sub.add_parser(
@@ -176,17 +219,10 @@ def _cmd_table1() -> int:
 
 
 def _store_bound(requested: int | None, expanded_to: int, store: str) -> int:
-    """Resolve a --cost-bound against a store's expanded bound."""
-    if requested is None:
-        return expanded_to
-    if requested > expanded_to:
-        from repro.errors import SpecificationError
+    """Resolve a --cost-bound against what a store/server covers."""
+    from repro.io import resolve_cost_bound
 
-        raise SpecificationError(
-            f"{store} only covers cost <= {expanded_to}; re-run "
-            f"`repro precompute --cost-bound {requested}` to go deeper"
-        )
-    return requested
+    return resolve_cost_bound(requested, expanded_to, store)
 
 
 def _cmd_table2(
@@ -255,6 +291,7 @@ def _cmd_synth(
     save: str | None = None,
     store: str | None = None,
     batch_file: str | None = None,
+    server: str | None = None,
 ) -> int:
     from repro.errors import SpecificationError
     from repro.gates.library import GateLibrary
@@ -262,6 +299,14 @@ def _cmd_synth(
     if (target_text is None) == (batch_file is None):
         raise SpecificationError(
             "give exactly one of a target or --batch FILE"
+        )
+    if store is not None and server is not None:
+        raise SpecificationError("give at most one of --store and --server")
+
+    if server is not None:
+        return _synth_via_server(
+            server, target_text, all_implementations, cost_bound, save,
+            batch_file,
         )
 
     if store is not None:
@@ -300,6 +345,52 @@ def _cmd_synth(
             results = express_all(target, library, cost_bound=cost_bound)
         else:
             results = [express(target, library, cost_bound=cost_bound)]
+    return _print_synth_results(results, save)
+
+
+def _synth_via_server(
+    server: str,
+    target_text: str | None,
+    all_implementations: bool,
+    cost_bound: int | None,
+    save: str | None,
+    batch_file: str | None,
+) -> int:
+    """``repro synth --server``: same output, remote backend.
+
+    The result body (everything after the banner line) is byte-
+    identical to ``repro synth --store`` against the same store: the
+    server ships :func:`repro.io.result_to_dict` records, the client
+    rebuilds and *re-verifies* them locally, and the shared printing
+    path does the rest.
+    """
+    from repro.client import ServeClient
+    from repro.gates.library import GateLibrary
+
+    with ServeClient(server) as client:
+        info = client.store_info()
+        bound = _store_bound(
+            cost_bound, info["serving_cost_bound"], f"server {server}"
+        )
+        print(
+            f"server {server}: store {info['path']}, closure to cost "
+            f"{info['expanded_to']}, {info['total_seen']} cascades "
+            f"(no re-expansion, serving cost <= {bound})\n"
+        )
+        if batch_file is not None:
+            library = GateLibrary(info["n_qubits"])
+            return _synth_batch(
+                batch_file, library, None, cost_bound, save, client=client
+            )
+        results = client.synth_results(
+            target_text, all=all_implementations, cost_bound=cost_bound
+        )
+        return _print_synth_results(results, save)
+
+
+def _print_synth_results(results, save: str | None) -> int:
+    """The shared result-printing tail of every ``repro synth`` backend."""
+    target = results[0].target
     print(
         f"target {target.cycle_string()} -- minimal quantum cost "
         f"{results[0].cost}, {len(results)} implementation(s):\n"
@@ -320,6 +411,7 @@ def _synth_batch(
     batch,
     cost_bound: int,
     save: str | None,
+    client=None,
 ) -> int:
     from repro.errors import CostBoundExceededError
     from repro.core.mce import express
@@ -328,14 +420,30 @@ def _synth_batch(
     from repro.sim.verify import verify_synthesis
 
     targets = load_targets(batch_file, n_qubits=library.n_qubits)
-    if batch is None:
+    entries = None
+    if client is not None:
+        # One coalesced server-side batch; per-target errors come back
+        # as structured payloads alongside the successful records.
+        from repro.io import result_from_dict
+        from repro.server.protocol import error_to_exception
+
+        reply = client.synth_batch(
+            [spec for spec, _target in targets], cost_bound=cost_bound
+        )
+        entries = reply["results"]
+    elif batch is None:
         # One shared live closure amortizes the BFS across the batch.
         search = CascadeSearch(library, track_parents=True)
     results = []
     failures = 0
-    for spec, target in targets:
+    for i, (spec, target) in enumerate(targets):
         try:
-            if batch is not None:
+            if entries is not None:
+                entry = entries[i]
+                if not entry["ok"]:
+                    raise error_to_exception(entry["error"])
+                result = result_from_dict(entry["result"])
+            elif batch is not None:
                 result = batch.synthesize(target)
             else:
                 result = express(
@@ -451,6 +559,46 @@ def _cmd_precompute(
     return 0
 
 
+def _cmd_serve(
+    store: str,
+    host: str,
+    port: int | None,
+    workers: int | None,
+    max_batch: int | None,
+    cost_bound: int | None,
+) -> int:
+    import asyncio
+
+    from repro.server import DEFAULT_PORT, run_server
+
+    def ready(address, service) -> None:
+        bound_host, bound_port = address
+        state = service.state
+        print(
+            f"serving {state.path}: closure to cost "
+            f"{state.header.expanded_to}, {state.header.total_seen} "
+            f"cascades (cost <= {state.cost_bound})"
+        )
+        print(
+            f"listening on {bound_host}:{bound_port} "
+            "(HTTP/1.1 + NDJSON; SIGHUP reloads the store, "
+            "SIGINT/SIGTERM stop)",
+            flush=True,
+        )
+
+    return asyncio.run(
+        run_server(
+            store,
+            host=host,
+            port=DEFAULT_PORT if port is None else port,
+            cost_bound=cost_bound,
+            workers=workers,
+            max_batch=max_batch,
+            ready=ready,
+        )
+    )
+
+
 def _cmd_store_info(path: str) -> int:
     from repro.io import read_header
 
@@ -462,7 +610,18 @@ def _cmd_store_info(path: str) -> int:
         f"kinds {'/'.join(header.gate_kinds)}"
     )
     print(f"  library fingerprint: {header.library_fingerprint}")
-    print(f"  cost model: {header.cost_model}")
+    cm = header.cost_model
+    print(
+        f"  cost model: V={cm.v_cost} V+={cm.vdag_cost} "
+        f"CNOT={cm.cnot_cost} NOT={cm.not_cost}"
+        + (" (free)" if cm.not_cost == 0 else "")
+    )
+    if header.writer or header.kernel:
+        kernel = f"{header.kernel} kernel" if header.kernel else "unknown kernel"
+        writer = header.writer or "unknown writer"
+        print(f"  written by: {writer} ({kernel})")
+    else:
+        print("  written by: not recorded (pre-provenance store)")
     print(
         f"  closure: cost bound {header.expanded_to}, "
         f"{header.total_seen} cascades, parents "
@@ -638,7 +797,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "synth":
             return _cmd_synth(
                 args.target, args.all, args.cost_bound, args.save,
-                args.store, args.batch,
+                args.store, args.batch, args.server,
+            )
+        if args.command == "serve":
+            return _cmd_serve(
+                args.store, args.host, args.port, args.workers,
+                args.max_batch, args.cost_bound,
             )
         if args.command == "precompute":
             return _cmd_precompute(

@@ -1,0 +1,294 @@
+"""Thin client for the ``repro serve`` synthesis service.
+
+:class:`ServeClient` speaks the NDJSON IPC framing of
+:mod:`repro.server.protocol` over one persistent socket: connect once,
+then every query is a single JSON line each way.  Errors come back as
+structured payloads and are re-raised as the *same*
+:class:`~repro.errors.ReproError` subclasses the local
+:class:`~repro.core.batch.BatchSynthesizer` would raise -- a
+:class:`~repro.errors.CostBoundExceededError` from a server has a
+byte-identical message to one from a local store, so CLI output and
+``except`` clauses work unchanged against either backend.
+
+:func:`http_request` is the HTTP sibling for one-shot calls (health
+checks, curl-style tooling) and :func:`wait_until_ready` polls a
+server's ``healthz`` until it accepts queries.
+
+Example::
+
+    from repro.client import ServeClient
+
+    with ServeClient("127.0.0.1:7205") as client:
+        print(client.healthz()["status"])
+        record = client.synth("toffoli")["results"][0]
+        results = client.synth_results("toffoli")  # verified SynthesisResult
+
+Everything here is standard library only (socket + json).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.errors import ProtocolError, ServerError
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    MAX_BODY,
+    error_to_exception,
+    parse_address,
+)
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServeClient:
+    """Persistent NDJSON connection to one ``repro serve`` instance.
+
+    Args:
+        address: ``host:port`` / ``:port`` / ``port`` (see
+            :func:`repro.server.protocol.parse_address`).
+        timeout: per-response socket timeout in seconds.
+
+    The socket is opened lazily on the first call and can be reused for
+    any number of requests; the client is a context manager.  One
+    client is **not** thread-safe (requests share the socket) -- use
+    one client per thread, the server multiplexes happily.
+    """
+
+    def __init__(self, address: str = "", timeout: float = DEFAULT_TIMEOUT):
+        self._host, self._port = parse_address(address or str(DEFAULT_PORT))
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self._port}"
+
+    # -- connection lifecycle ----------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport ---------------------------------------------------------------------
+
+    def call(self, op: str, **params) -> dict:
+        """One request/response round trip; raises the mapped exception."""
+        self.connect()
+        assert self._file is not None
+        self._next_id += 1
+        request_id = self._next_id
+        line = json.dumps(
+            {"id": request_id, "op": op, "params": params},
+            separators=(",", ":"),
+        ).encode() + b"\n"
+        try:
+            self._file.write(line)
+            self._file.flush()
+            # Responses have no server-side size cap (MAX_BODY bounds
+            # requests only -- a big batch legitimately returns more
+            # than it asked with), so accumulate until the newline
+            # instead of letting a capped readline() truncate mid-JSON.
+            chunks = []
+            while True:
+                chunk = self._file.readline(MAX_BODY)
+                chunks.append(chunk)
+                if not chunk or chunk.endswith(b"\n"):
+                    break
+            reply = b"".join(chunks)
+        except OSError as exc:
+            self.close()
+            raise ServerError(
+                f"lost connection to {self.address}: {exc}"
+            ) from None
+        if not reply:
+            self.close()
+            raise ServerError(f"server {self.address} closed the connection")
+        try:
+            response = json.loads(reply)
+        except ValueError:
+            self.close()
+            raise ProtocolError(
+                f"server {self.address} sent a non-JSON response"
+            ) from None
+        if not isinstance(response, dict):
+            raise ProtocolError("response must be a JSON object")
+        if response.get("id") != request_id:
+            self.close()
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if response.get("ok"):
+            result = response.get("result")
+            if not isinstance(result, dict):
+                raise ProtocolError("ok response carries no result object")
+            return result
+        raise error_to_exception(response.get("error") or {})
+
+    # -- operations --------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.call("healthz")
+
+    def store_info(self) -> dict:
+        return self.call("store-info")
+
+    def synth(
+        self,
+        target: str,
+        all: bool = False,
+        allow_not: bool = True,
+        cost_bound: int | None = None,
+    ) -> dict:
+        """Synthesize one target spec; returns the raw result payload."""
+        params: dict = {"target": target, "all": all, "allow_not": allow_not}
+        if cost_bound is not None:
+            params["cost_bound"] = cost_bound
+        return self.call("synth", **params)
+
+    def synth_results(
+        self,
+        target: str,
+        all: bool = False,
+        allow_not: bool = True,
+        cost_bound: int | None = None,
+    ) -> list:
+        """Like :meth:`synth`, rebuilt into verified ``SynthesisResult``s.
+
+        Every record is re-verified locally
+        (:func:`repro.io.result_from_dict` recomputes the circuit's
+        permutation and compares), so a lying or corrupted server fails
+        loudly instead of returning a wrong circuit.
+        """
+        from repro.io import result_from_dict
+
+        payload = self.synth(
+            target, all=all, allow_not=allow_not, cost_bound=cost_bound
+        )
+        return [result_from_dict(record) for record in payload["results"]]
+
+    def synth_batch(
+        self,
+        targets: list,
+        allow_not: bool = True,
+        cost_bound: int | None = None,
+    ) -> dict:
+        """Submit many target specs as one coalesced server-side batch."""
+        params: dict = {"targets": list(targets), "allow_not": allow_not}
+        if cost_bound is not None:
+            params["cost_bound"] = cost_bound
+        return self.call("synth-batch", **params)
+
+    def cost_table(
+        self, cost_bound: int | None = None, include_members: bool = False
+    ) -> dict:
+        params: dict = {"include_members": include_members}
+        if cost_bound is not None:
+            params["cost_bound"] = cost_bound
+        return self.call("cost-table", **params)
+
+
+def http_request(
+    address: str,
+    path: str,
+    method: str = "GET",
+    body: dict | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> tuple[int, dict]:
+    """One-shot HTTP/1.1 request against a ``repro serve`` instance.
+
+    Returns ``(status, decoded JSON body)``.  Raises
+    :class:`ServerError` on connection failure and
+    :class:`ProtocolError` on an unparseable response.
+    """
+    host, port = parse_address(address)
+    payload = b""
+    if body is not None:
+        payload = json.dumps(body, separators=(",", ":")).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Connection: close\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "\r\n"
+    ).encode("ascii")
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(head + payload)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+    except OSError as exc:
+        raise ServerError(f"HTTP request to {host}:{port} failed: {exc}") from None
+    raw = b"".join(chunks)
+    header, sep, rest = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise ProtocolError("malformed HTTP response (no header terminator)")
+    try:
+        status = int(header.split(None, 2)[1])
+        data = json.loads(rest) if rest.strip() else {}
+    except (IndexError, ValueError):
+        raise ProtocolError("malformed HTTP response") from None
+    if not isinstance(data, dict):
+        raise ProtocolError("HTTP response body must be a JSON object")
+    return status, data
+
+
+def wait_until_ready(
+    address: str, timeout: float = 30.0, interval: float = 0.05
+) -> dict:
+    """Poll ``healthz`` until the server answers; returns the payload.
+
+    Raises:
+        ServerError: the server did not come up within *timeout*.
+    """
+    deadline = time.monotonic() + timeout
+    last_error = "no attempt made"
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(address, timeout=min(timeout, 5.0)) as client:
+                health = client.healthz()
+            if health.get("status") == "ok":
+                return health
+            last_error = f"status {health.get('status')!r}"
+        except (OSError, ServerError, ProtocolError) as exc:
+            last_error = str(exc)
+        time.sleep(interval)
+    raise ServerError(
+        f"server {address} not ready after {timeout:.0f}s ({last_error})"
+    )

@@ -99,6 +99,24 @@ class BatchSynthesizer:
     Witness extraction (:meth:`synthesize` and friends) needs a
     parent-tracking search; counting-only stores still support
     :meth:`minimal_cost`, :meth:`targets_at_cost` and :meth:`cost_table`.
+
+    **Thread safety.**  After construction the index itself is never
+    mutated, and every query method only *reads*: the remainder
+    dictionary, the wrapped search's row accessors and the library.
+    Two caveats keep that from being a blanket guarantee:
+
+    * the wrapped :class:`CascadeSearch` builds some byte-level caches
+      lazily on first touch -- call :meth:`CascadeSearch.freeze` (or
+      :meth:`warm`, which does it for you and exercises every query
+      path once) before sharing an instance across threads;
+    * the search must not be extended or re-kerneled while queries are
+      in flight -- freezing makes those operations raise instead of
+      racing.
+
+    This is the contract the long-lived service (:mod:`repro.server`)
+    relies on: one frozen, warmed ``BatchSynthesizer`` serves all
+    worker threads, and a store reload builds a *new* instance and
+    atomically swaps the reference rather than mutating the old one.
     """
 
     def __init__(self, search: CascadeSearch, cost_bound: int | None = None):
@@ -125,6 +143,26 @@ class BatchSynthesizer:
             self._index = build_remainder_index(search, cost_bound)
         n_binary = self._library.space.n_binary
         self._identity_images = Permutation.identity(n_binary).images
+
+    def warm(self) -> "BatchSynthesizer":
+        """Freeze the search and pre-touch every query path once.
+
+        Materializes all lazily-built state (see
+        :meth:`CascadeSearch.freeze`) and runs one representative query
+        per code path -- an index lookup, a witness extraction and a
+        cost-table scan -- so the first real query after ``warm()``
+        hits only immutable, already-faulted-in structures.  Safe to
+        call more than once; returns ``self`` for chaining.
+        """
+        self._search.freeze()
+        if self._search.tracks_parents:
+            for remainder, (_cost, rows) in self._index.items():
+                if remainder != self._identity_images:
+                    # One witness walk faults in the parent arrays.
+                    self._search.witness_indices_for_row(int(rows[0]))
+                    break
+        self.cost_table(min(1, self._cost_bound))
+        return self
 
     # -- introspection -----------------------------------------------------------------
 

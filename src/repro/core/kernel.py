@@ -34,6 +34,62 @@ The engine is exact: for any library and cost model it discovers the
 same level sets, in the same order, with the same parent pointers as the
 seed ``bytes.translate`` kernel (``CascadeSearch(kernel="translate")``),
 roughly 3-5x faster end to end on the paper's cost-7 closure.
+
+Dedup-table claim protocol (normative)
+--------------------------------------
+
+This section is the reference specification of the vectorized dedup
+table; ``tests/test_kernels.py`` (including its forced-collision cases)
+pins the behaviour, and any reimplementation -- a sharded or on-disk
+table for the 4-qubit closure, a parallel expansion worker -- must
+preserve these invariants.
+
+**Slot layout.**  The table is an open-addressing array of ``2**c``
+uint64 words, load factor kept under 1/4 (capacity doubles on demand;
+rebuilds reinsert all discovered rows).  Each word packs two fields:
+
+* bits 63..32 -- the high half of the occupant's 64-bit mulxor row hash
+  (:func:`hash_rows` over the 8-padded row bytes);
+* bits 31..0 -- the *encoding*, an int32 in two's complement: ``0`` for
+  an empty slot, ``row + 1`` (positive) for a committed global row,
+  ``-(candidate_id + 1)`` (negative) for an in-flight batch claim.
+
+**Probe sequence.**  Candidate ``i`` with hash ``h`` probes slot
+``(h + r * step) mod 2**c`` in round ``r``, with ``step = (h >> 42) | 1``
+(double hashing; round 0 probes ``h mod 2**c`` directly).
+
+**Batch round protocol.**  Each round, every still-unresolved candidate
+gathers its slot word once, then exactly one of three transitions
+applies:
+
+1. *Occupied, hash-high match* -- the candidate is **assumed** to be a
+   duplicate of the occupant and leaves the probe loop; the (candidate,
+   occupant-encoding) pair is queued for deferred verification.
+2. *Occupied, hash-high mismatch* -- the candidate survives to the next
+   round (ordinary collision, probe on).
+3. *Empty* -- every candidate that probed this slot scatters its claim
+   word (hash high | claim encoding) **in reverse candidate order**, so
+   after numpy's last-write-wins scatter the *lowest* candidate id owns
+   the slot: first-discovery order is exactly the seed kernel's.  Each
+   claimant re-reads the slot; the winner is provisionally **new**,
+   a loser whose hash-high matches the winner is an assumed
+   batch-internal duplicate (queued as in 1), any other loser probes on.
+
+**Deferred verification.**  After the probe loop, all assumed-duplicate
+pairs are verified in one vectorized comparison of full packed rows
+(claims resolve against the claiming candidate's row, committed
+encodings against the stored row).  A pair that fails -- a genuine
+64-bit hash collision -- is re-inserted through an exact scalar probe
+path in ascending candidate order.  Optimism therefore never changes
+*what* is deduplicated, only how fast.
+
+**Commit.**  Accepted candidates receive consecutive global rows in
+candidate order (``n_rows + 1 ..``), and their slots are rewritten from
+claim encodings to committed ``row + 1`` encodings; claims never
+survive a batch.  Readers (:meth:`VectorEngine.find_row`) treat any
+positive encoding with a matching hash-high as a hit candidate and
+verify against the full row, so they are correct against committed
+state at any batch boundary.
 """
 
 from __future__ import annotations

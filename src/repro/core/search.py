@@ -207,6 +207,7 @@ class CascadeSearch:
         self._expanded_to = 0
         self._elapsed = 0.0
         self._restored = False
+        self._frozen = False
         self._attached_index: tuple[int, dict] | None = None
 
         # Byte-level (legacy) form: complete for translate-kernel
@@ -290,6 +291,12 @@ class CascadeSearch:
         byte-level and array forms convert lazily -- so switching is
         cheap until the next expansion actually runs.
         """
+        if self._frozen:
+            from repro.errors import FrozenSearchError
+
+            raise FrozenSearchError(
+                "search is frozen for serving; kernels cannot be switched"
+            )
         if kernel not in KERNELS:
             raise InvalidValueError(
                 f"unknown kernel {kernel!r}; pick one of {KERNELS}"
@@ -297,6 +304,61 @@ class CascadeSearch:
         if kernel == "vector" and _np is None:
             raise InvalidValueError("the vector kernel needs numpy")
         self._kernel = kernel
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has pinned this search for serving."""
+        return self._frozen
+
+    def freeze(self) -> "CascadeSearch":
+        """Pin the closure for concurrent read-only serving.
+
+        The long-lived service (:mod:`repro.server`) hands one search to
+        a pool of worker threads.  Most query accessors only read state
+        that never changes after expansion -- the engine's arrays, a
+        store's memory-mapped :class:`SearchArrays`, the byte-level
+        level lists -- but a few paths *build* that state lazily on
+        first touch (:meth:`_ensure_level_lists`,
+        :meth:`_ensure_seen`, :meth:`_ensure_parents_dict`,
+        :meth:`_ensure_engine`), and :meth:`extend_to` /
+        :meth:`use_kernel` mutate it outright.  ``freeze()`` makes the
+        concurrency contract explicit:
+
+        * every lazily-built structure the query paths can touch is
+          materialized *now*, on the calling thread -- for a
+          store-loaded (array-backed) search this is a no-op beyond a
+          handful of cheap probes, for a translate-kernel search it
+          materializes the byte-level dictionaries;
+        * mutating operations (:meth:`extend_to` beyond the expanded
+          bound, :meth:`use_kernel`, :meth:`attach_remainder_index`)
+          raise :class:`~repro.errors.FrozenSearchError` afterwards.
+
+        After ``freeze()`` returns, these methods are safe to call from
+        any number of threads concurrently: :meth:`perm_bytes_at`,
+        :meth:`cost_of_row`, :meth:`witness_indices_for_row`,
+        :meth:`witness_indices`, :meth:`witness_circuit`,
+        :meth:`find_matching_rows`, :meth:`s_fixing_rows`,
+        :meth:`cost_of`, :meth:`level`, :meth:`level_size`,
+        :meth:`total_seen` and :meth:`stats` (all for costs within the
+        frozen bound).  Returns ``self`` for chaining.
+        """
+        if self._frozen:
+            return self
+        if self._engine is None and self._raw is None:
+            # Byte-level (translate) search: the witness and lookup
+            # paths run through the seen/parents dictionaries.
+            self._ensure_level_lists(self._expanded_to)
+            self._ensure_seen()
+            if self._track_parents:
+                self._ensure_parents_dict()
+        # Level starts and stats tables are pure reads for the array
+        # forms; touch them once so any one-off conversion cost (and any
+        # latent inconsistency) surfaces here instead of mid-query.
+        self.stats()
+        for cost in range(self._expanded_to + 1):
+            self._level_start(cost)
+        self._frozen = True
+        return self
 
     @property
     def was_restored(self) -> bool:
@@ -390,6 +452,13 @@ class CascadeSearch:
         """Materialize the vector engine (pads rows, builds the table)."""
         if self._engine is not None:
             return self._engine
+        if self._frozen:
+            from repro.errors import FrozenSearchError
+
+            raise FrozenSearchError(
+                "search is frozen for serving; materializing the vector "
+                "engine now would race against concurrent readers"
+            )
         if _np is None:
             raise InvalidValueError(
                 "the vector engine needs numpy; this search can only use "
@@ -440,6 +509,13 @@ class CascadeSearch:
             raise InvalidValueError("cost bound must be non-negative")
         if cost_bound <= self._expanded_to:
             return
+        if self._frozen:
+            from repro.errors import FrozenSearchError
+
+            raise FrozenSearchError(
+                f"search is frozen for serving at cost bound "
+                f"{self._expanded_to}; cannot extend to {cost_bound}"
+            )
         started = perf_counter()
         if self._kernel == "vector":
             engine = self._ensure_engine()
@@ -535,6 +611,15 @@ class CascadeSearch:
         return None if row < 0 else self._level_of_row(row)
 
     def _find_row(self, key: bytes) -> int:
+        if self._engine is None and self._raw is not None:
+            # Store-loaded search: one vectorized scan over the (memory-
+            # mapped) rows instead of copying the whole closure into an
+            # engine hash table.  O(n) per call, but it keeps the lazy
+            # open lazy -- and it never mutates, so frozen searches can
+            # serve cost_of() concurrently.
+            wanted = _np.frombuffer(key, dtype=_np.uint8)
+            hits = _np.flatnonzero((self._raw.perms == wanted[None, :]).all(axis=1))
+            return int(hits[0]) if hits.size else -1
         engine = self._ensure_engine()
         return engine.find_row(key)
 
@@ -696,6 +781,12 @@ class CascadeSearch:
         :class:`~repro.core.batch.BatchSynthesizer` picks this up and
         skips its closure scan entirely.
         """
+        if self._frozen:
+            from repro.errors import FrozenSearchError
+
+            raise FrozenSearchError(
+                "search is frozen for serving; cannot swap its index"
+            )
         self._attached_index = (cost_bound, index)
 
     @property

@@ -46,6 +46,53 @@ construction does no closure scan at all: store open plus first query is
 milliseconds against ~2 s for a v1 eager load (``benchmarks/
 bench_store.py`` tracks this).
 
+v2 section/offset format (normative)
+------------------------------------
+
+This is the reference specification of the on-disk layout; readers in
+other languages (or future sharded writers) must honour every rule, and
+``tests/test_store_v2.py`` pins them.
+
+* **Framing.**  Byte 0..6 are ``b"RPROCLS"``, byte 7 is the format
+  number (``0x02``).  Bytes 8..11 are the header length ``hlen``
+  (little-endian uint32).  Bytes 12..12+hlen are the UTF-8 JSON header,
+  right-padded with ASCII spaces so that ``12 + hlen`` -- the payload
+  start -- is a multiple of 8.  Everything after is the payload.
+* **Alignment.**  Every section starts at a payload offset that is a
+  multiple of 8 (zero-padding between sections), so memory-mapped
+  uint64/int64 views are always aligned.
+* **Section table.**  ``header["sections"]`` maps section name to
+  ``[offset, length]`` *within the payload*.  Order on disk is
+  ``perms, masks, parents, gates, rkeys, rcosts, rindptr, rmatches``
+  (``parents``/``gates`` present iff ``track_parents``); lengths are
+  fully determined by the row/entry counts (validated on open).  All
+  multi-byte values in every section are little-endian.
+* **Row addressing.**  A *global row* is a permutation's index in
+  level-major discovery order.  ``header["level_row_offsets"]`` has
+  ``expanded_to + 2`` entries, starts at 0, and level ``k`` spans rows
+  ``offsets[k] .. offsets[k+1]``; row 0 is the identity.  ``parents``
+  holds each row's parent global row (int32, row 0 = -1), ``gates``
+  the appended library gate index (int32, row 0 = -1); parents point
+  strictly to earlier levels.
+* **Remainder index (CSR).**  ``rkeys`` holds ``index_entries`` keys of
+  ``n_binary`` uint8 image bytes each (the NOT-free reversible
+  functions, i.e. cascade restrictions to S); ``rcosts[e]`` is entry
+  *e*'s minimal cost; its minimal-cost witness rows are
+  ``rmatches[rindptr[e] : rindptr[e+1]]`` (int32 global rows, in
+  discovery order).  ``rindptr`` has ``index_entries + 1`` int64
+  entries starting at 0.
+* **Integrity.**  ``payload_sha256`` covers the whole payload (checked
+  by eager loads and ``verify_store``; not by the lazy mapped open).
+  ``index_sha256`` holds per-section digests of the four ``r*``
+  sections, which are read eagerly and therefore verified even on the
+  lazy path.
+* **Replacement, not mutation.**  Files are written atomically (temp
+  file + ``os.replace``) and must only ever be *replaced* the same
+  way: live readers hold memory maps of the old inode, and truncating
+  or rewriting a store in place would turn their page faults into
+  ``SIGBUS``.  The ``repro serve`` SIGHUP reload relies on this: the
+  old map stays valid until the last in-flight query drops it.
+
 **Format v1 (legacy)** packs byte-level level records plus parent pairs
 and is decoded eagerly through :class:`~repro.core.search.SearchState`.
 v1 files remain fully readable (auto-detected by the magic byte);
@@ -93,6 +140,13 @@ _SECTIONS = (
     "perms", "masks", "parents", "gates",
     "rkeys", "rcosts", "rindptr", "rmatches",
 )
+
+
+def _writer_tag() -> str:
+    """Provenance string naming the build that wrote a store."""
+    from repro._version import __version__
+
+    return f"repro {__version__}"
 
 
 def _int_bytes(value: int) -> bytes:
@@ -158,6 +212,13 @@ class StoreHeader:
     elapsed_seconds: float
     payload_size: int
     payload_sha256: str
+    #: Provenance: the expansion kernel that produced the closure
+    #: (``"vector"``/``"translate"``) and the writing build
+    #: (``"repro <version>"``).  Empty strings on stores written before
+    #: these fields existed; purely informational -- compatibility is
+    #: governed by the fingerprints, never by provenance.
+    kernel: str = ""
+    writer: str = ""
     mask_words: int = 0
     level_row_offsets: tuple[int, ...] = ()
     sections: dict = field(default_factory=dict)
@@ -209,6 +270,8 @@ def _header_dict(header: StoreHeader) -> dict:
         "elapsed_seconds": header.elapsed_seconds,
         "payload_size": header.payload_size,
         "payload_sha256": header.payload_sha256,
+        "kernel": header.kernel,
+        "writer": header.writer,
     }
     if header.format_version >= 2:
         data["mask_words"] = header.mask_words
@@ -248,6 +311,8 @@ def _header_from_dict(data: dict) -> StoreHeader:
             elapsed_seconds=float(data["elapsed_seconds"]),
             payload_size=int(data["payload_size"]),
             payload_sha256=str(data["payload_sha256"]),
+            kernel=str(data.get("kernel", "")),
+            writer=str(data.get("writer", "")),
             mask_words=int(data.get("mask_words", 0)),
             level_row_offsets=tuple(
                 int(o) for o in data.get("level_row_offsets", ())
@@ -322,6 +387,8 @@ def _dump_v1(search: CascadeSearch) -> bytes:
         elapsed_seconds=state.elapsed_seconds,
         payload_size=len(payload),
         payload_sha256=hashlib.sha256(payload).hexdigest(),
+        kernel=search.kernel,
+        writer=_writer_tag(),
     )
     header_blob = json.dumps(_header_dict(header), separators=(",", ":")).encode()
     return MAGIC_V1 + len(header_blob).to_bytes(4, "little") + header_blob + payload
@@ -414,6 +481,8 @@ def _dump_v2(search: CascadeSearch) -> bytes:
         elapsed_seconds=arrays.elapsed_seconds,
         payload_size=len(payload),
         payload_sha256=hashlib.sha256(payload).hexdigest(),
+        kernel=search.kernel,
+        writer=_writer_tag(),
         mask_words=arrays.mask_words,
         level_row_offsets=tuple(int(o) for o in arrays.level_offsets),
         sections=sections,

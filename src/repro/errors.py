@@ -48,6 +48,10 @@ class CostBoundExceededError(SynthesisError):
 
     def __init__(self, target_description: str, cost_bound: int):
         self.cost_bound = cost_bound
+        #: Human-readable description of the target (kept so transports
+        #: -- e.g. the ``repro serve`` JSON protocol -- can rebuild an
+        #: identical exception on the other side of the wire).
+        self.target_description = target_description
         super().__init__(
             f"no realization of {target_description} found with quantum "
             f"cost <= {cost_bound}; raise the cost bound to search further"
@@ -77,6 +81,36 @@ class StoreMismatchError(StoreError):
     The store format records fingerprints of the gate library and cost
     model the closure was expanded under; loading against anything else
     would silently return wrong costs and witnesses, so it is refused.
+    """
+
+
+class ServerError(ReproError):
+    """The synthesis service failed outside of normal query semantics.
+
+    Raised client-side for errors the ``repro serve`` protocol reports
+    without a more specific :class:`ReproError` subclass (internal
+    server faults, unreachable endpoints), and used as the base class
+    for the protocol-level errors below.
+    """
+
+
+class ProtocolError(ServerError, ValueError):
+    """A ``repro serve`` request or response violates the wire protocol.
+
+    Covers malformed JSON lines, missing/unknown operations, invalid
+    parameter shapes and unparseable HTTP framing.  The server maps this
+    to a structured ``protocol`` error (HTTP 400) rather than dropping
+    the connection, so a buggy client sees *why* it was refused.
+    """
+
+
+class FrozenSearchError(ReproError):
+    """A mutating operation was attempted on a frozen search.
+
+    :meth:`repro.core.search.CascadeSearch.freeze` pins a closure for
+    concurrent read-only serving; expanding it further or switching
+    kernels afterwards would race against in-flight queries, so those
+    operations are refused explicitly.
     """
 
 

@@ -53,6 +53,29 @@ from repro.core.store import (  # noqa: F401  (re-exported persistence facade)
 from repro.perm.permutation import Permutation
 
 
+def resolve_cost_bound(
+    requested: int | None, available: int, what: str
+) -> int:
+    """Resolve a requested cost bound against what an artifact covers.
+
+    The one shared rule for everything that answers from a precomputed
+    closure -- ``--store`` CLI paths, server startup, per-query server
+    bounds: ``None`` means "whatever is available", anything deeper
+    than *available* is refused with the remedy spelled out.
+
+    Raises:
+        SpecificationError: *requested* exceeds *available*.
+    """
+    if requested is None:
+        return available
+    if requested > available:
+        raise SpecificationError(
+            f"{what} only covers cost <= {available}; re-run "
+            f"`repro precompute --cost-bound {requested}` to go deeper"
+        )
+    return requested
+
+
 def circuit_to_dict(circuit: Circuit) -> dict[str, Any]:
     """Plain-dict form of a circuit."""
     return {
@@ -128,6 +151,38 @@ def result_circuit_from_dict(data: dict[str, Any]) -> tuple[Circuit, Permutation
             f"{circuit.two_qubit_count} two-qubit gates"
         )
     return circuit, target
+
+
+def result_from_dict(data: dict[str, Any]) -> SynthesisResult:
+    """Rebuild a full :class:`SynthesisResult` from a result record.
+
+    The inverse of :func:`result_to_dict`, with the same re-verification
+    as :func:`result_circuit_from_dict` -- the circuit must actually
+    realize the stored target at the stored cost.  This is how
+    ``repro synth --server`` turns the service's JSON records back into
+    first-class results: the cascade's label permutation is recomputed
+    locally (on the default reduced label space), so a corrupted or
+    malicious response cannot smuggle in a wrong circuit.
+
+    Raises:
+        SpecificationError: malformed record or failed re-verification.
+    """
+    circuit, target = result_circuit_from_dict(data)
+    try:
+        not_mask = int(data.get("not_mask", 0))
+    except (TypeError, ValueError) as exc:
+        raise SpecificationError(f"malformed result record: {exc}") from None
+    two_qubit = Circuit(
+        tuple(g for g in circuit.gates if g.kind.is_two_qubit),
+        circuit.n_qubits,
+    )
+    return SynthesisResult(
+        target=target,
+        circuit=circuit,
+        cost=int(data["cost"]),
+        not_mask=not_mask,
+        cascade_permutation=two_qubit.permutation(),
+    )
 
 
 def save_result(result: SynthesisResult, path: str | Path) -> None:

@@ -1,0 +1,79 @@
+"""Long-lived synthesis service over a precomputed closure store.
+
+With the v2 memory-mapped store opening in milliseconds
+(:mod:`repro.core.store`), the remaining cost of ``repro synth
+--store`` is process lifecycle: every CLI invocation pays Python
+startup, opens the store, answers exactly one query and exits.  This
+package keeps one process -- and one shared, frozen, read-only
+:class:`~repro.core.batch.BatchSynthesizer` -- alive behind a TCP
+listener, so the marginal query costs a socket round trip instead of an
+interpreter launch (``benchmarks/bench_serve.py`` tracks the gap).
+
+Public API
+----------
+
+The stable, documented surface of the service stack:
+
+* :class:`~repro.server.service.SynthesisService` -- the
+  framing-independent core: owns the open store, the bounded worker
+  pool and the coalescing queue; ``await handle(request)`` per query;
+  ``await reload()`` for an atomic store swap.
+* :class:`~repro.server.app.ReproServer` -- asyncio front end binding
+  the listener and sniffing HTTP vs NDJSON per connection.
+* :func:`~repro.server.app.run_server` -- blocking entry point with
+  signal handling (what ``repro serve`` calls).
+* :class:`~repro.server.app.BackgroundServer` -- the same stack on a
+  daemon thread, for tests, benchmarks and embedding.
+* :mod:`repro.server.protocol` -- the wire protocol: operations,
+  request/response framing, the structured error-code mapping
+  (:func:`~repro.server.protocol.error_payload` /
+  :func:`~repro.server.protocol.error_to_exception`) and
+  :func:`~repro.server.protocol.parse_address`.
+
+The matching client lives in :mod:`repro.client`
+(:class:`~repro.client.ServeClient`); the CLI verbs are ``repro serve``
+and ``repro synth --server HOST:PORT``.  Everything here is standard
+library only (asyncio + sockets + json) -- serving adds no
+dependencies beyond the core package.
+
+The service is deliberately *query-only*: stores are produced by
+``repro precompute`` and reloaded wholesale on SIGHUP; nothing ever
+writes through the server.  That matches the artifact's nature -- the
+paper's closure for a fixed (library, cost model) pair never changes --
+and keeps the concurrency story trivial (see the thread-safety contract
+on :class:`~repro.core.batch.BatchSynthesizer`).
+"""
+
+from repro.server.app import BackgroundServer, ReproServer, run_server
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    OPERATIONS,
+    Request,
+    error_payload,
+    error_to_exception,
+    parse_address,
+)
+from repro.server.service import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_WORKERS,
+    StoreState,
+    SynthesisService,
+    open_store_state,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_PORT",
+    "DEFAULT_WORKERS",
+    "OPERATIONS",
+    "ReproServer",
+    "Request",
+    "StoreState",
+    "SynthesisService",
+    "error_payload",
+    "error_to_exception",
+    "open_store_state",
+    "parse_address",
+    "run_server",
+]

@@ -1,0 +1,339 @@
+"""The asyncio front end of ``repro serve``.
+
+:class:`ReproServer` binds one TCP listener (``asyncio.start_server``)
+and speaks both wire framings of :mod:`repro.server.protocol`, sniffed
+per connection from the first line.  :func:`run_server` is the blocking
+entry point the CLI uses (signal handling included), and
+:class:`BackgroundServer` runs the same stack on a daemon thread for
+tests, benchmarks and embedding.
+
+Signals (installed only when running on the main thread):
+
+* ``SIGHUP`` -- graceful store reload: reopen the store file, swap it
+  in atomically, keep serving throughout (see
+  :meth:`~repro.server.service.SynthesisService.reload`).
+* ``SIGINT`` / ``SIGTERM`` -- graceful shutdown: stop accepting, drain
+  in-flight work, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+from typing import Callable
+
+from repro.errors import ProtocolError, ReproError
+from repro.server.protocol import (
+    MAX_BODY,
+    Request,
+    decode_request_line,
+    encode_response,
+    error_payload,
+    http_response,
+    read_http_request,
+)
+from repro.server.service import SynthesisService
+
+
+class ReproServer:
+    """One TCP listener over one :class:`SynthesisService`."""
+
+    def __init__(
+        self, service: SynthesisService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set = set()
+
+    @property
+    def service(self) -> SynthesisService:
+        return self._service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` ephemerals)."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        await self._service.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port, limit=MAX_BODY
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        # One yield so handlers of just-accepted connections get to
+        # register themselves before the nudge below.
+        await asyncio.sleep(0)
+        # Nudge idle keep-alive connections off their reads BEFORE
+        # awaiting wait_closed(): on Python >= 3.12 wait_closed() waits
+        # for every connection handler, so an idle client would hang
+        # the shutdown forever if its writer were closed only
+        # afterwards.  (Closing first also lets the handlers finish
+        # cleanly instead of being cancelled noisily by loop teardown.)
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        await asyncio.sleep(0)
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:
+                # Stragglers stuck mid-transfer: abort their transports
+                # rather than hang the shutdown.
+                for writer in list(self._connections):
+                    with contextlib.suppress(Exception):
+                        writer.transport.abort()
+                await self._server.wait_closed()
+            self._server = None
+        await self._service.close()
+
+    # -- connection handling -----------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            first = await self._read_line(reader, writer)
+            if not first:
+                return
+            if first.lstrip().startswith(b"{"):
+                await self._serve_ndjson(first, reader, writer)
+            else:
+                await self._serve_http(first, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-request; nothing to save
+        finally:
+            self._connections.discard(writer)
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_line(self, reader, writer) -> bytes:
+        """One framing line; oversized input gets a structured refusal.
+
+        The stream limit makes ``readline`` raise ``ValueError`` /
+        ``LimitOverrunError`` past ``MAX_BODY``; swallowing that would
+        silently reset flooding-but-honest clients, so they get one
+        protocol-error line (valid JSON for NDJSON peers, readable in
+        an HTTP client's error too) before the connection closes.
+        """
+        try:
+            return await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            payload, _status = error_payload(
+                ProtocolError(f"request line exceeds {MAX_BODY} bytes")
+            )
+            with contextlib.suppress(ConnectionError):
+                writer.write(encode_response(None, None, payload))
+                await writer.drain()
+            return b""
+
+    async def _serve_ndjson(self, first: bytes, reader, writer) -> None:
+        line = first
+        while line:
+            request_id: object = None
+            try:
+                request = decode_request_line(line)
+                request_id = request.id
+                result = await self._service.handle(request)
+                response = encode_response(request_id, result)
+            except Exception as exc:  # noqa: BLE001 -- mapped to wire error
+                payload, _status = error_payload(exc)
+                response = encode_response(request_id, None, payload)
+            writer.write(response)
+            await writer.drain()
+            line = await self._read_line(reader, writer)
+
+    async def _serve_http(self, first: bytes, reader, writer) -> None:
+        request_line = first
+        while request_line not in (b"", b"\r\n", b"\n"):
+            keep_alive = False
+            try:
+                request = await read_http_request(reader, request_line)
+                keep_alive = request.keep_alive
+                result = await self._service.handle(request)
+                response = http_response(200, result, keep_alive)
+            except ProtocolError as exc:
+                payload, status = error_payload(exc)
+                response = http_response(status, {"error": payload}, False)
+                keep_alive = False
+            except (asyncio.LimitOverrunError, ValueError):
+                # Stream-limit overflow inside the header/body read
+                # (ProtocolError, though a ValueError, matched above).
+                payload, status = error_payload(
+                    ProtocolError(f"request exceeds {MAX_BODY} bytes")
+                )
+                response = http_response(status, {"error": payload}, False)
+                keep_alive = False
+            except Exception as exc:  # noqa: BLE001 -- mapped to wire error
+                payload, status = error_payload(exc)
+                response = http_response(status, {"error": payload}, keep_alive)
+            writer.write(response)
+            await writer.drain()
+            if not keep_alive:
+                return
+            try:
+                request_line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                payload, _status = error_payload(
+                    ProtocolError(f"request line exceeds {MAX_BODY} bytes")
+                )
+                writer.write(http_response(400, {"error": payload}, False))
+                await writer.drain()
+                return
+
+
+async def run_server(
+    store_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cost_bound: int | None = None,
+    workers: int | None = None,
+    max_batch: int | None = None,
+    ready: Callable[[tuple[str, int], SynthesisService], None] | None = None,
+    stop_event: asyncio.Event | None = None,
+) -> int:
+    """Run the service until stopped; the CLI's ``repro serve`` body.
+
+    *ready* is called once with the bound address after the listener is
+    up (the CLI prints its "listening on" line from it).  Returns the
+    process exit code.
+    """
+    from repro.server.service import DEFAULT_MAX_BATCH, DEFAULT_WORKERS
+
+    service = SynthesisService(
+        store_path,
+        cost_bound=cost_bound,
+        workers=DEFAULT_WORKERS if workers is None else workers,
+        max_batch=DEFAULT_MAX_BATCH if max_batch is None else max_batch,
+    )
+    server = ReproServer(service, host, port)
+    await server.start()
+
+    loop = asyncio.get_running_loop()
+    stop = stop_event or asyncio.Event()
+    installed: list[int] = []
+    if threading.current_thread() is threading.main_thread():
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(
+                signal.SIGHUP,
+                lambda: loop.create_task(service.reload()),
+            )
+            installed.append(signal.SIGHUP)
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+    try:
+        if ready is not None:
+            ready(server.address, service)
+        await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.close()
+    return 0
+
+
+class BackgroundServer:
+    """A ``repro serve`` stack on a daemon thread (tests/benchmarks).
+
+    Usage::
+
+        with BackgroundServer("closure.rpro") as server:
+            client = ServeClient(server.address_text)
+            ...
+
+    The server binds an ephemeral port by default.  Signals are *not*
+    installed (they require the main thread); use :meth:`reload` for
+    the SIGHUP path.
+    """
+
+    def __init__(self, store_path: str, **kwargs):
+        self._store_path = str(store_path)
+        self._kwargs = kwargs
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._service: SynthesisService | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._address: tuple[str, int] | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._address is not None, "server not started"
+        return self._address
+
+    @property
+    def address_text(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    @property
+    def service(self) -> SynthesisService:
+        assert self._service is not None, "server not started"
+        return self._service
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._error is not None:
+            raise self._error
+        if self._address is None:
+            raise ReproError("server failed to start within 60s")
+        return self
+
+    def reload(self, timeout: float = 30.0) -> None:
+        """Synchronously run the SIGHUP store-reload path."""
+        assert self._loop is not None and self._service is not None
+        asyncio.run_coroutine_threadsafe(
+            self._service.reload(), self._loop
+        ).result(timeout)
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+
+            def on_ready(address, service):
+                self._address = address
+                self._service = service
+                self._ready.set()
+
+            await run_server(
+                self._store_path,
+                ready=on_ready,
+                stop_event=self._stop,
+                **self._kwargs,
+            )
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # noqa: BLE001 -- reported to starter
+            self._error = exc
+        finally:
+            self._ready.set()

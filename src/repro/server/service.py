@@ -1,0 +1,477 @@
+"""The synthesis service: one shared read-only closure, many requests.
+
+:class:`SynthesisService` is the framing-independent middle of ``repro
+serve``: it owns the open store (a frozen
+:class:`~repro.core.search.CascadeSearch` wrapped by a warmed
+:class:`~repro.core.batch.BatchSynthesizer`), a bounded thread pool for
+the GIL-bound query work, and a coalescing queue between them.
+
+Concurrency model
+-----------------
+
+* The asyncio event loop only ever *frames* requests and responses; no
+  query math runs on it, so accepts and health checks stay responsive
+  while workers chew on big batches.
+* Query operations are enqueued as jobs on an ``asyncio.Queue`` with a
+  bounded depth (back-pressure: a flooded server makes clients wait on
+  ``write`` instead of buffering unboundedly).
+* A dispatcher task drains the queue, **coalescing** everything
+  currently waiting (up to ``max_batch`` jobs) into one executor call
+  -- so a burst of 64 concurrent single-target requests costs one
+  thread hop, not 64.  A semaphore sized to the pool keeps at most
+  ``workers`` batches in flight, which bounds thread-pool queue growth.
+* Workers only touch frozen, warmed state (see the thread-safety
+  contract on :class:`~repro.core.batch.BatchSynthesizer`), so any
+  number of in-flight batches can read the same closure.
+
+Store reloads (SIGHUP, or :meth:`SynthesisService.reload`) are atomic:
+the new store is opened, frozen and warmed off-loop, then a single
+reference assignment swaps it in.  Jobs dispatched before the swap
+finish against the old state object (whose memory map stays alive until
+they drop it); a failed reload leaves the previous store serving and is
+reported via ``healthz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import (
+    CostBoundExceededError,
+    ProtocolError,
+    ServerError,
+    SpecificationError,
+)
+from repro.core.batch import BatchSynthesizer
+from repro.server.protocol import OPERATIONS, Request
+
+#: Default worker-thread count: the kernel work is GIL-bound numpy +
+#: pure Python, so a small pool is enough to overlap queries with
+#: framing; more threads mostly add contention.
+DEFAULT_WORKERS = 2
+#: Default coalescing limit per executor dispatch.
+DEFAULT_MAX_BATCH = 64
+
+
+@dataclass(frozen=True)
+class StoreState:
+    """Everything derived from one open of the store file (immutable)."""
+
+    path: str
+    header: object  # repro.core.store.StoreHeader
+    library: object  # repro.gates.library.GateLibrary
+    batch: BatchSynthesizer
+    cost_bound: int
+    #: The full cost table, computed once per open -- the cost-table
+    #: endpoint slices this instead of rebuilding ~|G| Permutation
+    #: objects per request.
+    table: object  # repro.core.fmcf.CostTable
+
+
+class _Job:
+    """One unit of query work: a thread function plus its asyncio future."""
+
+    __slots__ = ("fn", "future", "loop")
+
+    def __init__(self, fn: Callable[[], dict], future, loop):
+        self.fn = fn
+        self.future = future
+        self.loop = loop
+
+
+def open_store_state(path: str, cost_bound: int | None = None) -> StoreState:
+    """Open, validate, freeze and warm a store for serving (blocking).
+
+    Raises:
+        StoreError / StoreMismatchError: unreadable or mismatched store.
+        SpecificationError: *cost_bound* exceeds the store's bound.
+    """
+    from repro.io import open_store, resolve_cost_bound
+
+    header, library, search = open_store(path)
+    bound = resolve_cost_bound(cost_bound, header.expanded_to, str(path))
+    search.freeze()
+    batch = BatchSynthesizer(search, cost_bound=bound).warm()
+    return StoreState(
+        path=str(path), header=header, library=library, batch=batch,
+        cost_bound=bound, table=batch.cost_table(),
+    )
+
+
+class SynthesisService:
+    """Dispatches protocol requests against one shared store.
+
+    Args:
+        store_path: the ``repro precompute`` artifact to serve.
+        cost_bound: serve only costs up to this bound (default: the
+            store's full expanded bound).
+        workers: worker threads for query execution.
+        max_batch: coalescing limit -- the most queued jobs one executor
+            dispatch may absorb.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        cost_bound: int | None = None,
+        workers: int = DEFAULT_WORKERS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        if workers < 1:
+            raise SpecificationError("need at least one worker thread")
+        if max_batch < 1:
+            raise SpecificationError("max_batch must be positive")
+        self._store_path = str(store_path)
+        self._requested_bound = cost_bound
+        self._workers = workers
+        self._max_batch = max_batch
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._state: StoreState | None = None
+        self._queue: asyncio.Queue[_Job] | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._reload_lock: asyncio.Lock | None = None
+        self._started_monotonic = time.monotonic()
+        self._closing = False
+        # Counters (event-loop-thread only).
+        self._queries = {op: 0 for op in OPERATIONS}
+        self._batches_executed = 0
+        self._jobs_coalesced = 0
+        self._errors = 0
+        self._reloads = 0
+        self._last_reload_error: str | None = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def state(self) -> StoreState:
+        if self._state is None:
+            raise ServerError("service is not started")
+        return self._state
+
+    async def start(self) -> None:
+        """Open the store and start the dispatcher (idempotent)."""
+        if self._dispatcher is not None:
+            return
+        loop = asyncio.get_running_loop()
+        if self._state is None:
+            self._state = await loop.run_in_executor(
+                self._pool, open_store_state, self._store_path,
+                self._requested_bound,
+            )
+        self._queue = asyncio.Queue(maxsize=4 * self._max_batch)
+        self._slots = asyncio.Semaphore(self._workers)
+        self._reload_lock = asyncio.Lock()
+        self._dispatcher = loop.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatcher"
+        )
+
+    async def close(self) -> None:
+        """Stop dispatching, fail queued jobs and release the pool."""
+        self._closing = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._queue is not None:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServerError("server is shutting down")
+                    )
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._pool.shutdown, True
+        )
+
+    async def reload(self) -> None:
+        """Reopen the store file and atomically swap it in (SIGHUP).
+
+        A failed open keeps the current store serving; the failure is
+        recorded and surfaced through ``healthz``.
+        """
+        assert self._reload_lock is not None, "service not started"
+        async with self._reload_lock:
+            loop = asyncio.get_running_loop()
+            try:
+                state = await loop.run_in_executor(
+                    self._pool, open_store_state, self._store_path,
+                    self._requested_bound,
+                )
+            except Exception as exc:
+                self._last_reload_error = f"{type(exc).__name__}: {exc}"
+                return
+            self._state = state  # atomic reference swap
+            self._reloads += 1
+            self._last_reload_error = None
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    async def handle(self, request: Request) -> dict:
+        """Execute one request; returns the result payload or raises."""
+        op = request.op
+        self._queries[op] = self._queries.get(op, 0) + 1
+        try:
+            if op == "healthz":
+                return self._do_healthz()
+            if op == "store-info":
+                return self._do_store_info()
+            state = self.state
+            params = request.params
+            if op == "synth":
+                return await self._submit(lambda: _run_synth(state, params))
+            if op == "synth-batch":
+                return await self._submit(
+                    lambda: _run_synth_batch(state, params)
+                )
+            if op == "cost-table":
+                return await self._submit(
+                    lambda: _run_cost_table(state, params)
+                )
+            raise ProtocolError(f"unknown operation {op!r}")
+        except Exception:
+            self._errors += 1
+            raise
+
+    async def _submit(self, fn: Callable[[], dict]) -> dict:
+        if self._queue is None or self._closing:
+            raise ServerError("service is not accepting queries")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        await self._queue.put(_Job(fn, future, loop))
+        return await future
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None and self._slots is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            # Acquire the worker slot BEFORE popping anything: the only
+            # awaits happen while no job is held, so cancellation (from
+            # close()) can never strand popped jobs with unresolved
+            # futures -- everything still queued is failed by close().
+            await self._slots.acquire()
+            try:
+                job = await self._queue.get()
+            except asyncio.CancelledError:
+                self._slots.release()
+                raise
+            jobs = [job]
+            while len(jobs) < self._max_batch:
+                try:
+                    jobs.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._batches_executed += 1
+            self._jobs_coalesced += len(jobs)
+            executor_future = loop.run_in_executor(
+                self._pool, _run_jobs, jobs
+            )
+            executor_future.add_done_callback(
+                lambda _fut: self._slots.release()
+            )
+
+    # -- inline (event-loop) operations ------------------------------------------------
+
+    def _do_healthz(self) -> dict:
+        state = self._state
+        return {
+            "status": "ok" if state is not None else "starting",
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "store": self._store_path,
+            "expanded_to": None if state is None else state.header.expanded_to,
+            "serving_cost_bound": None if state is None else state.cost_bound,
+            "queries": dict(self._queries),
+            "batches_executed": self._batches_executed,
+            "jobs_coalesced": self._jobs_coalesced,
+            "errors": self._errors,
+            "reloads": self._reloads,
+            "last_reload_error": self._last_reload_error,
+            "workers": self._workers,
+            "max_batch": self._max_batch,
+        }
+
+    def _do_store_info(self) -> dict:
+        state = self.state
+        header = state.header
+        cm = header.cost_model
+        return {
+            "path": state.path,
+            "format_version": header.format_version,
+            "n_qubits": header.n_qubits,
+            "degree": header.degree,
+            "expanded_to": header.expanded_to,
+            "serving_cost_bound": state.cost_bound,
+            "total_seen": header.total_seen,
+            "level_sizes": list(header.level_sizes),
+            "track_parents": header.track_parents,
+            "library_fingerprint": header.library_fingerprint,
+            "cost_fingerprint": header.cost_fingerprint,
+            "kernel": header.kernel,
+            "writer": header.writer,
+            "cost_model": {
+                "v_cost": cm.v_cost,
+                "vdag_cost": cm.vdag_cost,
+                "cnot_cost": cm.cnot_cost,
+                "not_cost": cm.not_cost,
+            },
+            "index_entries": len(state.batch.remainder_index),
+            "gate_kinds": list(header.gate_kinds),
+        }
+
+
+# -- worker-thread query functions (pure reads of frozen state) ------------------------
+
+
+def _run_jobs(jobs: list[_Job]) -> None:
+    """Execute one coalesced batch on a worker thread.
+
+    Results and exceptions cross back to the event loop thread through
+    ``call_soon_threadsafe``; a cancelled (e.g. disconnected) waiter is
+    skipped rather than poked.
+    """
+    for job in jobs:
+        try:
+            outcome: object = job.fn()
+            error: BaseException | None = None
+        except BaseException as exc:  # noqa: BLE001 -- forwarded to waiter
+            outcome, error = None, exc
+        job.loop.call_soon_threadsafe(_resolve, job.future, outcome, error)
+
+
+def _resolve(future, outcome, error) -> None:
+    if future.done():
+        return
+    if error is None:
+        future.set_result(outcome)
+    else:
+        future.set_exception(error)
+
+
+def _parse_spec(state: StoreState, spec: object):
+    from repro.io import parse_target
+
+    if not isinstance(spec, str):
+        raise ProtocolError("target must be a spec string")
+    return parse_target(spec, n_qubits=state.library.n_qubits)
+
+
+def _check_query_bound(state: StoreState, params: dict) -> int:
+    from repro.io import resolve_cost_bound
+
+    bound = params.get("cost_bound")
+    if bound is not None and (not isinstance(bound, int) or bound < 0):
+        raise ProtocolError("cost_bound must be a non-negative integer")
+    return resolve_cost_bound(bound, state.cost_bound, state.path)
+
+
+def _synthesize_bounded(
+    state: StoreState, target, bound: int, allow_not: bool, all_: bool
+) -> list:
+    """Synthesize under a per-query bound with local-identical errors.
+
+    A ``CostBoundExceededError`` must cite the *resolved query* bound --
+    the bound a local ``BatchSynthesizer(search, cost_bound=bound)``
+    would have been built with -- not the (possibly deeper) serving
+    bound, so the server-side message stays byte-identical to the
+    ``--store`` path's.
+    """
+    description = f"permutation {target.cycle_string()}"
+    try:
+        if all_:
+            results = state.batch.synthesize_all(target, allow_not=allow_not)
+        else:
+            results = [state.batch.synthesize(target, allow_not=allow_not)]
+    except CostBoundExceededError:
+        raise CostBoundExceededError(description, bound) from None
+    kept = [result for result in results if result.cost <= bound]
+    if not kept:
+        raise CostBoundExceededError(description, bound)
+    return kept
+
+
+def _run_synth(state: StoreState, params: dict) -> dict:
+    from repro.io import result_to_dict
+
+    target = _parse_spec(state, params.get("target"))
+    bound = _check_query_bound(state, params)
+    allow_not = bool(params.get("allow_not", True))
+    results = _synthesize_bounded(
+        state, target, bound, allow_not, bool(params.get("all", False))
+    )
+    return {
+        "target": target.cycle_string(),
+        "cost": results[0].cost,
+        "results": [result_to_dict(result) for result in results],
+    }
+
+
+def _run_synth_batch(state: StoreState, params: dict) -> dict:
+    """One entry per spec, errors reported per entry, never wholesale.
+
+    The success path is exactly
+    :meth:`BatchSynthesizer.synthesize_many`'s loop body, so an all-ok
+    batch returns results identical to calling it directly
+    (``tests/test_server.py`` and ``benchmarks/bench_serve.py`` pin
+    this); any per-target failure -- unparseable spec, over-bound cost
+    -- becomes that entry's structured ``{ok: false, error}`` record
+    instead of failing the sibling targets.
+    """
+    from repro.errors import ReproError
+    from repro.io import result_to_dict
+    from repro.server.protocol import error_payload
+
+    specs = params.get("targets")
+    if not isinstance(specs, list):
+        raise ProtocolError("targets must be a list of spec strings")
+    bound = _check_query_bound(state, params)
+    allow_not = bool(params.get("allow_not", True))
+
+    entries: list[dict] = []
+    failures = 0
+    for spec in specs:
+        try:
+            target = _parse_spec(state, spec)
+            result = _synthesize_bounded(
+                state, target, bound, allow_not, all_=False
+            )[0]
+            entries.append({"ok": True, "result": result_to_dict(result)})
+        except ReproError as exc:
+            failures += 1
+            entries.append({"ok": False, "error": error_payload(exc)[0]})
+    return {"results": entries, "count": len(entries), "failures": failures}
+
+
+def _run_cost_table(state: StoreState, params: dict) -> dict:
+    # Same validation and error codes as the synth endpoints; the full
+    # table was built once at open, so a bound is just a slice (class
+    # membership by *minimal* cost never changes with the bound).
+    bound = _check_query_bound(state, params)
+    table = state.table
+    classes = table.classes[: bound + 1]
+    payload = {
+        "cost_bound": bound,
+        "n_qubits": table.n_qubits,
+        "g_sizes": [len(members) for members in classes],
+        "b_sizes": list(table.b_sizes[: bound + 1]),
+        "a_sizes": list(table.a_sizes[: bound + 1]),
+    }
+    if params.get("include_members", False):
+        payload["members"] = [
+            [perm.cycle_string() for perm in members]
+            for members in classes
+        ]
+    return payload

@@ -1,0 +1,518 @@
+"""Lifecycle and protocol tests for the synthesis service (repro.server).
+
+Covers the service's whole life: start, serving under concurrency,
+SIGHUP store reload (both in-process and against a real ``repro
+serve`` subprocess), malformed requests mapping to structured errors,
+and the golden guarantee that ``repro synth --server`` output is
+byte-identical to ``repro synth --store`` (body and ``--save`` files).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.client import ServeClient, http_request, wait_until_ready
+from repro.core.batch import BatchSynthesizer
+from repro.core.search import CascadeSearch
+from repro.core.store import save_search
+from repro.errors import (
+    CostBoundExceededError,
+    FrozenSearchError,
+    InvalidPermutationError,
+    ProtocolError,
+    ServerError,
+    SpecificationError,
+)
+from repro.gates.library import GateLibrary
+from repro.io import open_store, result_to_dict
+from repro.server import BackgroundServer, parse_address
+from repro.server.protocol import error_payload, error_to_exception
+
+BOUND = 4
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "closure.rpro"
+    search = CascadeSearch(GateLibrary(3), track_parents=True)
+    search.extend_to(BOUND)
+    save_search(search, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def server(store_path):
+    with BackgroundServer(store_path) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def reference(store_path):
+    """A local BatchSynthesizer over the same store (ground truth)."""
+    _header, _library, search = open_store(store_path)
+    return BatchSynthesizer(search)
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(server.address_text) as handle:
+        yield handle
+
+
+class TestProtocolUnits:
+    def test_parse_address_forms(self):
+        from repro.server.protocol import DEFAULT_PORT
+
+        assert parse_address("1.2.3.4:99") == ("1.2.3.4", 99)
+        assert parse_address(":99") == ("127.0.0.1", 99)
+        assert parse_address("99") == ("127.0.0.1", 99)
+        assert parse_address("myhost") == ("myhost", DEFAULT_PORT)
+
+    def test_parse_address_rejects_bad_ports(self):
+        with pytest.raises(SpecificationError):
+            parse_address("host:notaport")
+        with pytest.raises(SpecificationError):
+            parse_address("host:99999")
+
+    def test_cost_bound_error_roundtrips_byte_identical(self):
+        original = CostBoundExceededError("permutation (7,8)", 4)
+        payload, status = error_payload(original)
+        assert status == 422 and payload["code"] == "cost-bound-exceeded"
+        rebuilt = error_to_exception(payload)
+        assert isinstance(rebuilt, CostBoundExceededError)
+        assert str(rebuilt) == str(original)
+        assert rebuilt.cost_bound == 4
+
+    def test_unknown_code_becomes_server_error(self):
+        exc = error_to_exception({"code": "???", "message": "boom"})
+        assert isinstance(exc, ServerError) and "boom" in str(exc)
+
+    def test_internal_errors_do_not_leak_messages(self):
+        payload, status = error_payload(RuntimeError("secret detail"))
+        assert status == 500
+        assert "secret" not in payload["message"]
+
+
+class TestFrozenSearch:
+    """The thread-safety contract the service relies on."""
+
+    def test_freeze_blocks_mutation(self, store_path):
+        _h, _lib, search = open_store(store_path)
+        search.freeze()
+        assert search.frozen
+        with pytest.raises(FrozenSearchError):
+            search.extend_to(BOUND + 1)
+        with pytest.raises(FrozenSearchError):
+            search.use_kernel("translate")
+        with pytest.raises(FrozenSearchError):
+            search.attach_remainder_index(BOUND, {})
+        # Within-bound extend_to stays a no-op, not an error.
+        search.extend_to(BOUND)
+
+    def test_frozen_store_search_still_serves(self, store_path, reference):
+        _h, _lib, search = open_store(store_path)
+        batch = BatchSynthesizer(search.freeze()).warm()
+        from repro.gates import named
+
+        want = reference.synthesize(named.TARGETS["peres"])
+        got = batch.synthesize(named.TARGETS["peres"])
+        assert result_to_dict(got) == result_to_dict(want)
+        assert batch.cost_table().classes == reference.cost_table().classes
+
+    def test_warm_is_idempotent(self, store_path):
+        _h, _lib, search = open_store(store_path)
+        batch = BatchSynthesizer(search)
+        assert batch.warm() is batch
+        assert batch.warm() is batch
+
+
+class TestServing:
+    def test_healthz(self, client, store_path):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["store"] == store_path
+        assert health["expanded_to"] == BOUND
+
+    def test_store_info_matches_header(self, client, reference):
+        info = client.store_info()
+        assert info["expanded_to"] == BOUND
+        assert info["total_seen"] == reference.search.total_seen()
+        assert info["kernel"] == "vector"
+        assert info["track_parents"] is True
+        assert info["index_entries"] == len(reference.remainder_index)
+
+    def test_synth_matches_local_store(self, client, reference):
+        from repro.gates import named
+
+        payload = client.synth("peres")
+        local = reference.synthesize(named.TARGETS["peres"])
+        assert payload["cost"] == local.cost == 4
+        assert payload["results"] == [result_to_dict(local)]
+
+    def test_synth_all_matches_local_store(self, client, reference):
+        from repro.gates import named
+
+        payload = client.synth("peres", all=True)
+        local = reference.synthesize_all(named.TARGETS["peres"])
+        assert payload["results"] == [result_to_dict(r) for r in local]
+
+    def test_synth_results_are_verified_locally(self, client):
+        from repro.sim.verify import verify_synthesis
+
+        results = client.synth_results("peres")
+        assert len(results) == 1
+        assert verify_synthesis(results[0])
+
+    def test_cost_table_matches_local_store(self, client, reference):
+        table = reference.cost_table()
+        payload = client.cost_table()
+        assert payload["g_sizes"] == [len(c) for c in table.classes]
+        assert payload["b_sizes"] == list(table.b_sizes)
+        assert payload["a_sizes"] == list(table.a_sizes)
+
+    def test_cost_table_members(self, client, reference):
+        payload = client.cost_table(cost_bound=2, include_members=True)
+        table = reference.cost_table(2)
+        assert payload["members"] == [
+            [p.cycle_string() for p in members] for members in table.classes
+        ]
+
+    def test_over_bound_target_raises_cost_bound_error(self, client):
+        with pytest.raises(CostBoundExceededError) as excinfo:
+            client.synth("toffoli")  # cost 5 > stored bound 4
+        assert excinfo.value.cost_bound == BOUND
+
+    def test_per_query_cost_bound(self, client):
+        assert client.synth("peres", cost_bound=4)["cost"] == 4
+        with pytest.raises(CostBoundExceededError) as excinfo:
+            client.synth("peres", cost_bound=3)
+        assert excinfo.value.cost_bound == 3
+        # A target missing from the index entirely must still cite the
+        # *query* bound (like a local BatchSynthesizer(cost_bound=3)),
+        # not the deeper serving bound.
+        with pytest.raises(CostBoundExceededError) as excinfo:
+            client.synth("toffoli", cost_bound=3)
+        assert excinfo.value.cost_bound == 3
+
+    def test_bad_target_is_structured_error(self, client):
+        with pytest.raises(InvalidPermutationError):
+            client.synth("(1,2,99)")
+
+    def test_http_healthz_and_synth(self, server):
+        status, health = http_request(server.address_text, "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, payload = http_request(
+            server.address_text, "/synth", method="POST",
+            body={"target": "peres"},
+        )
+        assert status == 200 and payload["cost"] == 4
+
+    def test_http_error_statuses(self, server):
+        status, body = http_request(server.address_text, "/no-such")
+        assert status == 400 and body["error"]["code"] == "protocol"
+        status, body = http_request(
+            server.address_text, "/synth", method="POST",
+            body={"target": "toffoli"},
+        )
+        assert status == 422
+        assert body["error"]["code"] == "cost-bound-exceeded"
+
+
+class TestMalformedRequests:
+    def test_bad_json_line_yields_protocol_error(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b"{not json at all\n")
+            stream.flush()
+            import json
+
+            reply = json.loads(stream.readline())
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "protocol"
+            # The connection survives a malformed line.
+            stream.write(
+                b'{"id": 2, "op": "healthz", "params": {}}\n'
+            )
+            stream.flush()
+            reply = json.loads(stream.readline())
+            assert reply["ok"] is True and reply["id"] == 2
+
+    def test_unknown_op_names_the_op(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b'{"id": 1, "op": "bogus"}\n')
+            stream.flush()
+            import json
+
+            reply = json.loads(stream.readline())
+            assert reply["ok"] is False
+            assert "bogus" in reply["error"]["message"]
+
+    def test_large_request_line_is_served_not_reset(self, server):
+        # Lines between the old 1 MB stream limit and MAX_BODY used to
+        # be dropped with a silent connection reset; they must parse
+        # (and here fail as a bad target, structurally).
+        spec = "(" + "9" * (2 << 20) + ")"
+        with ServeClient(server.address_text) as handle:
+            with pytest.raises(InvalidPermutationError):
+                handle.synth(spec)
+            assert handle.healthz()["status"] == "ok"  # conn still usable
+
+    def test_oversized_line_gets_structured_refusal(self, server):
+        import json
+
+        from repro.server.protocol import MAX_BODY
+
+        blob = b'{"id":1,"op":"synth","params":{"target":"' + (
+            b"x" * (MAX_BODY + 1024)
+        )
+        with socket.create_connection(server.address, timeout=30) as sock:
+            sock.sendall(blob)
+            reply = json.loads(sock.makefile("rb").readline())
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "protocol"
+            assert "exceeds" in reply["error"]["message"]
+
+    def test_http_garbage_gets_400(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            assert sock.recv(200).startswith(b"HTTP/1.1 400")
+
+    def test_client_rejects_wrong_params_type(self, client):
+        with pytest.raises(ProtocolError):
+            client.call("synth", target=123)
+
+
+class TestConcurrency:
+    def test_concurrent_clients_agree_with_local_store(
+        self, server, reference
+    ):
+        from repro.gates import named
+
+        specs = ["peres", "g2", "g3", "g4"]
+        expected = {
+            spec: result_to_dict(reference.synthesize(named.TARGETS[spec]))
+            for spec in specs
+        }
+        errors: list = []
+
+        def worker() -> None:
+            try:
+                with ServeClient(server.address_text) as handle:
+                    for _round in range(5):
+                        for spec in specs:
+                            payload = handle.synth(spec)
+                            assert payload["results"][0] == expected[spec]
+            except Exception as exc:  # noqa: BLE001 -- surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+    def test_64_target_batch_identical_to_synthesize_many(
+        self, server, reference
+    ):
+        # 64 in-bound targets spread over every cost level, NOT layers
+        # included (the S8 coset), exactly as a traffic mix would be.
+        targets = []
+        for cost in range(BOUND + 1):
+            targets.extend(reference.targets_at_cost(cost, True))
+        targets = targets[:64]
+        assert len(targets) == 64
+        specs = [target.cycle_string() for target in targets]
+        want = [
+            result_to_dict(result)
+            for result in reference.synthesize_many(targets)
+        ]
+        with ServeClient(server.address_text) as handle:
+            reply = handle.synth_batch(specs)
+        assert reply["count"] == 64 and reply["failures"] == 0
+        got = [entry["result"] for entry in reply["results"]]
+        assert got == want
+
+    def test_mixed_batch_reports_per_target_failures(self, client):
+        reply = client.synth_batch(["peres", "toffoli", "g2"])
+        oks = [entry["ok"] for entry in reply["results"]]
+        assert oks == [True, False, True]
+        assert reply["failures"] == 1
+        error = reply["results"][1]["error"]
+        assert error["code"] == "cost-bound-exceeded"
+
+    def test_unparseable_spec_fails_only_its_entry(self, client, reference):
+        from repro.gates import named
+
+        reply = client.synth_batch(["(1,2,99)", "peres"])
+        assert [entry["ok"] for entry in reply["results"]] == [False, True]
+        assert reply["results"][0]["error"]["code"] == "bad-target"
+        assert reply["results"][1]["result"] == result_to_dict(
+            reference.synthesize(named.TARGETS["peres"])
+        )
+
+
+class TestReload:
+    def test_in_process_reload_swaps_atomically(self, store_path):
+        with BackgroundServer(store_path) as srv:
+            with ServeClient(srv.address_text) as handle:
+                before = handle.healthz()["reloads"]
+                old = handle.synth("peres")
+                srv.reload()
+                health = handle.healthz()
+                assert health["reloads"] == before + 1
+                assert health["last_reload_error"] is None
+                assert handle.synth("peres") == old
+
+    def test_failed_reload_keeps_serving(self, store_path, tmp_path):
+        import shutil
+
+        moving = tmp_path / "moving.rpro"
+        shutil.copy(store_path, moving)
+        with BackgroundServer(str(moving)) as srv:
+            with ServeClient(srv.address_text) as handle:
+                old = handle.synth("peres")
+                # Replace (never truncate!) the store with garbage: the
+                # server's memmap of the old inode must stay intact, so
+                # corruption arrives the way `save_search` writes --
+                # atomically, via rename.
+                corrupt = tmp_path / "corrupt.tmp"
+                corrupt.write_bytes(b"definitely not a store")
+                os.replace(corrupt, moving)
+                srv.reload()
+                health = handle.healthz()
+                assert health["reloads"] == 0
+                assert "StoreError" in health["last_reload_error"]
+                # The original store keeps serving.
+                assert handle.synth("peres") == old
+
+
+class TestServeSubprocess:
+    """The real `repro serve` process: ready line, SIGHUP, SIGTERM."""
+
+    def test_sighup_reload_and_sigterm_shutdown(self, store_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", store_path,
+                "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            address = None
+            for _ in range(200):
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                match = re.search(r"listening on (\S+) ", line)
+                if match:
+                    address = match.group(1)
+                    break
+            assert address, "server never printed its ready line"
+            wait_until_ready(address, timeout=30)
+
+            with ServeClient(address) as handle:
+                assert handle.synth("peres")["cost"] == 4
+                proc.send_signal(signal.SIGHUP)
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline:
+                    if handle.healthz()["reloads"] == 1:
+                        break
+                    time.sleep(0.05)
+                assert handle.healthz()["reloads"] == 1
+                assert handle.synth("peres")["cost"] == 4
+
+            # An idle connection left open must not hang the graceful
+            # shutdown (Python >= 3.12 wait_closed() waits on handlers).
+            idle = ServeClient(address).connect()
+            try:
+                proc.send_signal(signal.SIGTERM)
+                assert proc.wait(timeout=20) == 0
+            finally:
+                idle.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+class TestCliGolden:
+    """`synth --server` output is byte-identical to `synth --store`."""
+
+    @staticmethod
+    def _body(text: str) -> str:
+        """Everything after the backend banner (the first line)."""
+        return text.split("\n", 1)[1]
+
+    def test_single_target_output_identical(
+        self, server, store_path, capsys, tmp_path
+    ):
+        store_save = tmp_path / "result.json"
+        assert main(
+            ["synth", "peres", "--store", store_path,
+             "--save", str(store_save)]
+        ) == 0
+        store_out = capsys.readouterr().out
+        server_save = tmp_path / "result_server.json"
+        assert main(
+            ["synth", "peres", "--server", server.address_text,
+             "--save", str(server_save)]
+        ) == 0
+        server_out = capsys.readouterr().out
+        assert self._body(store_out).replace(
+            str(store_save), "SAVE"
+        ) == self._body(server_out).replace(str(server_save), "SAVE")
+        assert store_save.read_bytes() == server_save.read_bytes()
+
+    def test_all_implementations_identical(self, server, store_path, capsys):
+        assert main(["synth", "g4", "--all", "--store", store_path]) == 0
+        store_out = capsys.readouterr().out
+        assert main(
+            ["synth", "g4", "--all", "--server", server.address_text]
+        ) == 0
+        server_out = capsys.readouterr().out
+        assert self._body(store_out) == self._body(server_out)
+
+    def test_batch_output_identical(
+        self, server, store_path, capsys, tmp_path
+    ):
+        batch_file = tmp_path / "targets.txt"
+        batch_file.write_text("peres\ng2\ntoffoli\n(5,7,6,8)\n")
+        store_code = main(
+            ["synth", "--store", store_path, "--batch", str(batch_file)]
+        )
+        store_out = capsys.readouterr().out
+        server_code = main(
+            ["synth", "--server", server.address_text,
+             "--batch", str(batch_file)]
+        )
+        server_out = capsys.readouterr().out
+        assert store_code == server_code == 1  # toffoli exceeds bound 4
+        assert self._body(store_out) == self._body(server_out)
+
+    def test_store_and_server_are_mutually_exclusive(
+        self, server, store_path, capsys
+    ):
+        assert main(
+            ["synth", "peres", "--store", store_path,
+             "--server", server.address_text]
+        ) == 1
+        assert "at most one" in capsys.readouterr().err
