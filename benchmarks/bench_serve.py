@@ -6,7 +6,7 @@ is *process lifecycle* -- interpreter startup, imports, store open,
 one query, exit.  A long-lived server pays that once, so the marginal
 query is a socket round trip against a warm, frozen closure.
 
-Four measurements:
+Five measurements:
 
 * **per-invocation CLI**: wall time of ``python -m repro synth toffoli
   --store ...`` subprocesses (the workflow the server replaces);
@@ -16,10 +16,16 @@ Four measurements:
   client threads in flight (exercises the coalescing dispatcher);
 * **64-target batch**: one ``synth-batch`` call, verified **identical**
   to a local :meth:`BatchSynthesizer.synthesize_many` over the same
-  store -- the correctness bar for the whole serving stack.
+  store -- the correctness bar for the whole serving stack;
+* **multi-store / UNIX socket**: one process serving two stores
+  (routed per request by alias) over TCP *and* a UNIX socket with an
+  access log attached -- per-alias latency on both transports, routed
+  results verified identical to a local synthesizer per store, and the
+  server's own ``healthz`` queue-wait/latency percentiles captured.
 
 Acceptance bars: warm-server per-query latency >= 50x better than the
-per-invocation CLI, and the 64-target batch identity.  Results land in
+per-invocation CLI, the 64-target batch identity, and per-alias
+multi-store identity over both transports.  Results land in
 ``BENCH_serve.json`` at the repo root so performance is trendable
 across PRs.
 
@@ -59,8 +65,10 @@ from repro.io import open_store, result_to_dict
 from repro.server import BackgroundServer
 
 COST_BOUND = 5  # covers Toffoli; precompute stays a couple of seconds
+SHALLOW_BOUND = 4  # the second registry store in the multi-store scenario
 N_CLI = 3
 N_WARM = 400
+N_MULTI = 200  # per-alias queries in the multi-store/UNIX scenario
 N_THREADS = 4
 N_PER_THREAD = 100
 SPEEDUP_BAR = 50.0
@@ -169,6 +177,8 @@ def measure(work_dir: Path) -> dict:
         with ServeClient(server.address_text) as client:
             health = client.healthz()
 
+    multi = _measure_multi_store(work_dir, store_path, local_batch)
+
     warm_mean = statistics.mean(latencies)
     numbers = {
         "cost_bound": COST_BOUND,
@@ -187,10 +197,76 @@ def measure(work_dir: Path) -> dict:
         "speedup_vs_cli": cli_per_invocation / warm_mean,
         "jobs_coalesced": health["jobs_coalesced"],
         "batches_executed": health["batches_executed"],
+        "multi_store": multi,
         "python": platform.python_version(),
     }
     _JSON_PATH.write_text(json.dumps(numbers, indent=2) + "\n")
     return numbers
+
+
+def _measure_multi_store(
+    work_dir: Path, deep_path: Path, deep_batch: BatchSynthesizer
+) -> dict:
+    """One process, two stores, TCP + UNIX socket, access log attached.
+
+    Routed single-target answers are verified identical to a local
+    :class:`BatchSynthesizer` over the matching store/bound, per alias,
+    on both transports.
+    """
+    from repro.io import load_access_log, parse_target
+
+    shallow_path = work_dir / "shallow.rpro"
+    search = CascadeSearch(GateLibrary(3), track_parents=True)
+    search.extend_to(SHALLOW_BOUND)
+    save_search(search, shallow_path)
+    _h, _l, shallow_loaded = open_store(shallow_path)
+    shallow_batch = BatchSynthesizer(shallow_loaded)
+
+    specs = {
+        "deep": [t.cycle_string() for t in _batch_targets(deep_batch, N_MULTI)],
+        "shallow": [
+            t.cycle_string()
+            for t in _batch_targets(shallow_batch, N_MULTI)
+        ],
+    }
+    sock = str(work_dir / "serve.sock")
+    log = str(work_dir / "access.ndjson")
+    latencies: dict = {}
+    identical = True
+    with BackgroundServer(
+        [f"deep={deep_path}", f"shallow={shallow_path}"],
+        unix=sock,
+        access_log=log,
+    ) as server:
+        endpoints = {"tcp": server.address_text, "unix": f"unix:{sock}"}
+        locals_ = {"deep": deep_batch, "shallow": shallow_batch}
+        for transport, endpoint in endpoints.items():
+            for alias, spec_list in specs.items():
+                with ServeClient(endpoint, store=alias) as client:
+                    client.healthz()
+                    samples = []
+                    for spec in spec_list:
+                        started = perf_counter()
+                        payload = client.synth(spec)
+                        samples.append(perf_counter() - started)
+                        local = locals_[alias].synthesize(parse_target(spec))
+                        if payload["results"][0] != result_to_dict(local):
+                            identical = False
+                    latencies[f"{transport}_{alias}_p50_s"] = _percentile(
+                        samples, 0.50
+                    )
+        with ServeClient(endpoints["tcp"]) as client:
+            health = client.healthz()
+    records = load_access_log(log)
+    return {
+        "aliases": sorted(health["stores"]),
+        "routed_identical_to_local": identical,
+        "queries_per_alias_per_transport": N_MULTI,
+        **{key: latencies[key] for key in sorted(latencies)},
+        "access_log_records": len(records),
+        "healthz_latency_ms": health["latency_ms"].get("synth"),
+        "healthz_queue_wait_ms": health["queue_wait_ms"].get("synth"),
+    }
 
 
 def report(numbers: dict) -> str:
@@ -206,6 +282,12 @@ def report(numbers: dict) -> str:
         f"coalescing:                {numbers['jobs_coalesced']} jobs in "
         f"{numbers['batches_executed']} dispatches\n"
         f"speedup vs CLI:            {numbers['speedup_vs_cli']:10.0f} x\n"
+        f"multi-store (2 aliases):   tcp p50 "
+        f"{numbers['multi_store']['tcp_deep_p50_s'] * 1e6:.1f} us / unix p50 "
+        f"{numbers['multi_store']['unix_deep_p50_s'] * 1e6:.1f} us"
+        f"   (routed identical: "
+        f"{numbers['multi_store']['routed_identical_to_local']}, "
+        f"{numbers['multi_store']['access_log_records']} access-log records)\n"
         f"(wrote {_JSON_PATH.name})"
     )
 
@@ -222,6 +304,16 @@ def test_warm_server_is_50x_cli_and_batch_is_identical(tmp_path):
         f"per-invocation CLI; the serving stack regressed past the "
         f"{SPEEDUP_BAR:.0f}x bar"
     )
+    multi = numbers["multi_store"]
+    assert multi["routed_identical_to_local"], (
+        "multi-store routing returned results that differ from a local "
+        "BatchSynthesizer over the matching store"
+    )
+    assert multi["aliases"] == ["deep", "shallow"]
+    # Every routed request (plus the healthz warmups/snapshot) logged.
+    assert multi["access_log_records"] >= 4 * multi[
+        "queries_per_alias_per_transport"
+    ]
 
 
 if __name__ == "__main__":

@@ -24,14 +24,18 @@ format-v2 stores are memory-mapped, so serving opens in milliseconds)::
     repro synth --store closure.rpro --batch targets.txt --save out.json
     repro table2 --store closure.rpro        # Table 2 from the store
 
-Long-lived serving (one process keeps the store open and answers any
-number of queries over HTTP/1.1 + newline-delimited JSON; see
-:mod:`repro.server`)::
+Long-lived serving (one process keeps any number of stores open and
+answers queries over HTTP/1.1 + newline-delimited JSON, on TCP and/or
+a UNIX socket; see :mod:`repro.server`)::
 
-    repro serve closure.rpro --port 7205     # SIGHUP reloads the store
+    repro serve closure.rpro --port 7205     # SIGHUP reloads the stores
+    repro serve fast=c5.rpro deep=c7.rpro --unix /tmp/repro.sock \\
+        --access-log /var/log/repro-access.ndjson
+    repro serve --store-dir stores/          # every *.rpro, rescan on SIGHUP
     repro synth toffoli --server 127.0.0.1:7205
+    repro synth toffoli --server unix:/tmp/repro.sock --store-alias deep
     repro synth --server :7205 --batch targets.txt
-    curl http://127.0.0.1:7205/healthz
+    curl http://127.0.0.1:7205/healthz       # incl. p50/p90/p99 timings
 """
 
 from __future__ import annotations
@@ -101,24 +105,53 @@ def _build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument(
         "--server", metavar="ADDR", default=None,
         help="answer from a running `repro serve` instance "
-        "(HOST:PORT; mutually exclusive with --store)",
+        "(HOST:PORT or unix:PATH; mutually exclusive with --store)",
+    )
+    p_synth.add_argument(
+        "--store-alias", metavar="NAME", default=None,
+        help="route to this store on a multi-store server "
+        "(an alias or LIBFP:COSTFP fingerprints; requires --server)",
     )
 
     p_serve = sub.add_parser(
         "serve",
-        help="long-lived synthesis service over a precomputed store",
+        help="long-lived synthesis service over precomputed stores",
         description=(
             "Serve synth / synth-batch / cost-table / store-info / healthz "
-            "from one shared read-only closure (HTTP/1.1 + newline-"
-            "delimited JSON on a single port).  SIGHUP reloads the store "
+            "from shared read-only closures (HTTP/1.1 + newline-"
+            "delimited JSON, sniffed per connection, on TCP and/or a UNIX "
+            "socket).  Several stores may be served at once -- requests "
+            "route by alias or fingerprint via the optional 'store' "
+            "field.  SIGHUP reloads every store (and rescans --store-dir) "
             "atomically; SIGINT/SIGTERM shut down gracefully."
         ),
     )
-    p_serve.add_argument("store", help="store file written by `repro precompute`")
+    p_serve.add_argument(
+        "stores", nargs="*", metavar="STORE",
+        help="store files written by `repro precompute`, each PATH or "
+        "ALIAS=PATH (default alias: the file stem)",
+    )
+    p_serve.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="also serve every *.rpro file in DIR (rescanned on SIGHUP)",
+    )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
         "--port", type=int, default=None,
         help="TCP port (default: 7205; 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="also listen on a UNIX socket at PATH (same protocol)",
+    )
+    p_serve.add_argument(
+        "--no-tcp", action="store_true",
+        help="do not bind the TCP listener (requires --unix)",
+    )
+    p_serve.add_argument(
+        "--access-log", metavar="FILE", default=None,
+        help="append one NDJSON record per request (op, store, queue "
+        "wait, execute time, outcome) to FILE",
     )
     p_serve.add_argument(
         "--workers", type=int, default=None,
@@ -130,7 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--cost-bound", type=int, default=None,
-        help="serve only costs up to this bound (default: the store's)",
+        help="serve only costs up to this bound (default: each store's)",
     )
 
     p_pre = sub.add_parser(
@@ -292,6 +325,7 @@ def _cmd_synth(
     store: str | None = None,
     batch_file: str | None = None,
     server: str | None = None,
+    store_alias: str | None = None,
 ) -> int:
     from repro.errors import SpecificationError
     from repro.gates.library import GateLibrary
@@ -302,11 +336,13 @@ def _cmd_synth(
         )
     if store is not None and server is not None:
         raise SpecificationError("give at most one of --store and --server")
+    if store_alias is not None and server is None:
+        raise SpecificationError("--store-alias requires --server")
 
     if server is not None:
         return _synth_via_server(
             server, target_text, all_implementations, cost_bound, save,
-            batch_file,
+            batch_file, store_alias,
         )
 
     if store is not None:
@@ -355,6 +391,7 @@ def _synth_via_server(
     cost_bound: int | None,
     save: str | None,
     batch_file: str | None,
+    store_alias: str | None = None,
 ) -> int:
     """``repro synth --server``: same output, remote backend.
 
@@ -362,12 +399,13 @@ def _synth_via_server(
     identical to ``repro synth --store`` against the same store: the
     server ships :func:`repro.io.result_to_dict` records, the client
     rebuilds and *re-verifies* them locally, and the shared printing
-    path does the rest.
+    path does the rest.  *store_alias* routes every request on a
+    multi-store server.
     """
     from repro.client import ServeClient
     from repro.gates.library import GateLibrary
 
-    with ServeClient(server) as client:
+    with ServeClient(server, store=store_alias) as client:
         info = client.store_info()
         bound = _store_bound(
             cost_bound, info["serving_cost_bound"], f"server {server}"
@@ -560,41 +598,67 @@ def _cmd_precompute(
 
 
 def _cmd_serve(
-    store: str,
+    stores: list[str],
+    store_dir: str | None,
     host: str,
     port: int | None,
+    unix: str | None,
+    no_tcp: bool,
+    access_log: str | None,
     workers: int | None,
     max_batch: int | None,
     cost_bound: int | None,
 ) -> int:
     import asyncio
 
+    from repro.errors import SpecificationError
     from repro.server import DEFAULT_PORT, run_server
 
-    def ready(address, service) -> None:
-        bound_host, bound_port = address
-        state = service.state
-        print(
-            f"serving {state.path}: closure to cost "
-            f"{state.header.expanded_to}, {state.header.total_seen} "
-            f"cascades (cost <= {state.cost_bound})"
+    if not stores and store_dir is None:
+        raise SpecificationError(
+            "nothing to serve: give store files and/or --store-dir"
         )
+    if no_tcp:
+        if unix is None:
+            raise SpecificationError("--no-tcp requires --unix PATH")
+        if port is not None:
+            raise SpecificationError("give at most one of --port and --no-tcp")
+        bind_port = None
+    else:
+        bind_port = DEFAULT_PORT if port is None else port
+
+    def ready(address, service) -> None:
+        for alias, state in service.registry:
+            print(
+                f"serving {alias}={state.path}: closure to cost "
+                f"{state.header.expanded_to}, {state.header.total_seen} "
+                f"cascades (cost <= {state.cost_bound})"
+            )
+        if access_log is not None:
+            print(f"access log: {access_log} (NDJSON, one record/request)")
+        if unix is not None:
+            print(f"listening on unix:{unix} (HTTP/1.1 + NDJSON)")
+        if address is not None:
+            bound_host, bound_port = address
+            print(f"listening on {bound_host}:{bound_port} "
+                  "(HTTP/1.1 + NDJSON)")
         print(
-            f"listening on {bound_host}:{bound_port} "
-            "(HTTP/1.1 + NDJSON; SIGHUP reloads the store, "
-            "SIGINT/SIGTERM stop)",
+            "SIGHUP reloads the stores, SIGINT/SIGTERM stop",
             flush=True,
         )
 
     return asyncio.run(
         run_server(
-            store,
+            stores,
             host=host,
-            port=DEFAULT_PORT if port is None else port,
+            port=bind_port,
             cost_bound=cost_bound,
             workers=workers,
             max_batch=max_batch,
             ready=ready,
+            unix=unix,
+            store_dir=store_dir,
+            access_log=access_log,
         )
     )
 
@@ -797,11 +861,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "synth":
             return _cmd_synth(
                 args.target, args.all, args.cost_bound, args.save,
-                args.store, args.batch, args.server,
+                args.store, args.batch, args.server, args.store_alias,
             )
         if args.command == "serve":
             return _cmd_serve(
-                args.store, args.host, args.port, args.workers,
+                args.stores, args.store_dir, args.host, args.port,
+                args.unix, args.no_tcp, args.access_log, args.workers,
                 args.max_batch, args.cost_bound,
             )
         if args.command == "precompute":

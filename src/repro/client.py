@@ -14,6 +14,11 @@ byte-identical message to one from a local store, so CLI output and
 checks, curl-style tooling) and :func:`wait_until_ready` polls a
 server's ``healthz`` until it accepts queries.
 
+Endpoints are either TCP (``host:port`` forms) or UNIX-socket
+(``unix:/path/to.sock``); both speak the identical protocol.  Against
+a multi-store server, pass ``store=`` (an alias or ``LIBFP:COSTFP``
+fingerprint pair) per call or as the client-wide default.
+
 Example::
 
     from repro.client import ServeClient
@@ -22,6 +27,9 @@ Example::
         print(client.healthz()["status"])
         record = client.synth("toffoli")["results"][0]
         results = client.synth_results("toffoli")  # verified SynthesisResult
+
+    with ServeClient("unix:/tmp/repro.sock", store="deep") as client:
+        client.synth_batch(["toffoli", "peres"])
 
 Everything here is standard library only (socket + json).
 """
@@ -37,19 +45,39 @@ from repro.server.protocol import (
     DEFAULT_PORT,
     MAX_BODY,
     error_to_exception,
-    parse_address,
+    parse_endpoint,
 )
 
 DEFAULT_TIMEOUT = 30.0
+
+
+def _open_socket(family: str, target, timeout: float) -> socket.socket:
+    """Connect a TCP or AF_UNIX stream socket (parse_endpoint's output)."""
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(target)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+    sock = socket.create_connection(target, timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
 
 
 class ServeClient:
     """Persistent NDJSON connection to one ``repro serve`` instance.
 
     Args:
-        address: ``host:port`` / ``:port`` / ``port`` (see
-            :func:`repro.server.protocol.parse_address`).
+        address: ``host:port`` / ``:port`` / ``port`` /
+            ``unix:/path/to.sock`` (see
+            :func:`repro.server.protocol.parse_endpoint`).
         timeout: per-response socket timeout in seconds.
+        store: default store selector sent with every request (a
+            registry alias or ``LIBFP:COSTFP`` fingerprints); ``None``
+            targets a single-store server's sole store.
 
     The socket is opened lazily on the first call and can be reused for
     any number of requests; the client is a context manager.  One
@@ -57,25 +85,33 @@ class ServeClient:
     one client per thread, the server multiplexes happily.
     """
 
-    def __init__(self, address: str = "", timeout: float = DEFAULT_TIMEOUT):
-        self._host, self._port = parse_address(address or str(DEFAULT_PORT))
+    def __init__(
+        self,
+        address: str = "",
+        timeout: float = DEFAULT_TIMEOUT,
+        store: str | None = None,
+    ):
+        self._family, self._target = parse_endpoint(
+            address or str(DEFAULT_PORT)
+        )
         self._timeout = timeout
+        self._store = store
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
 
     @property
     def address(self) -> str:
-        return f"{self._host}:{self._port}"
+        if self._family == "unix":
+            return f"unix:{self._target}"
+        host, port = self._target
+        return f"{host}:{port}"
 
     # -- connection lifecycle ----------------------------------------------------------
 
     def connect(self) -> "ServeClient":
         if self._sock is None:
-            sock = socket.create_connection(
-                (self._host, self._port), timeout=self._timeout
-            )
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock = _open_socket(self._family, self._target, self._timeout)
             self._sock = sock
             self._file = sock.makefile("rwb")
         return self
@@ -102,16 +138,21 @@ class ServeClient:
 
     # -- transport ---------------------------------------------------------------------
 
-    def call(self, op: str, **params) -> dict:
-        """One request/response round trip; raises the mapped exception."""
+    def call(self, op: str, store: str | None = None, **params) -> dict:
+        """One request/response round trip; raises the mapped exception.
+
+        *store* overrides the client-wide default selector for this
+        call only.
+        """
         self.connect()
         assert self._file is not None
         self._next_id += 1
         request_id = self._next_id
-        line = json.dumps(
-            {"id": request_id, "op": op, "params": params},
-            separators=(",", ":"),
-        ).encode() + b"\n"
+        request: dict = {"id": request_id, "op": op, "params": params}
+        selector = self._store if store is None else store
+        if selector is not None:
+            request["store"] = selector
+        line = json.dumps(request, separators=(",", ":")).encode() + b"\n"
         try:
             self._file.write(line)
             self._file.flush()
@@ -161,8 +202,8 @@ class ServeClient:
     def healthz(self) -> dict:
         return self.call("healthz")
 
-    def store_info(self) -> dict:
-        return self.call("store-info")
+    def store_info(self, store: str | None = None) -> dict:
+        return self.call("store-info", store=store)
 
     def synth(
         self,
@@ -170,12 +211,13 @@ class ServeClient:
         all: bool = False,
         allow_not: bool = True,
         cost_bound: int | None = None,
+        store: str | None = None,
     ) -> dict:
         """Synthesize one target spec; returns the raw result payload."""
         params: dict = {"target": target, "all": all, "allow_not": allow_not}
         if cost_bound is not None:
             params["cost_bound"] = cost_bound
-        return self.call("synth", **params)
+        return self.call("synth", store=store, **params)
 
     def synth_results(
         self,
@@ -183,6 +225,7 @@ class ServeClient:
         all: bool = False,
         allow_not: bool = True,
         cost_bound: int | None = None,
+        store: str | None = None,
     ) -> list:
         """Like :meth:`synth`, rebuilt into verified ``SynthesisResult``s.
 
@@ -194,7 +237,8 @@ class ServeClient:
         from repro.io import result_from_dict
 
         payload = self.synth(
-            target, all=all, allow_not=allow_not, cost_bound=cost_bound
+            target, all=all, allow_not=allow_not, cost_bound=cost_bound,
+            store=store,
         )
         return [result_from_dict(record) for record in payload["results"]]
 
@@ -203,20 +247,24 @@ class ServeClient:
         targets: list,
         allow_not: bool = True,
         cost_bound: int | None = None,
+        store: str | None = None,
     ) -> dict:
         """Submit many target specs as one coalesced server-side batch."""
         params: dict = {"targets": list(targets), "allow_not": allow_not}
         if cost_bound is not None:
             params["cost_bound"] = cost_bound
-        return self.call("synth-batch", **params)
+        return self.call("synth-batch", store=store, **params)
 
     def cost_table(
-        self, cost_bound: int | None = None, include_members: bool = False
+        self,
+        cost_bound: int | None = None,
+        include_members: bool = False,
+        store: str | None = None,
     ) -> dict:
         params: dict = {"include_members": include_members}
         if cost_bound is not None:
             params["cost_bound"] = cost_bound
-        return self.call("cost-table", **params)
+        return self.call("cost-table", store=store, **params)
 
 
 def http_request(
@@ -228,24 +276,27 @@ def http_request(
 ) -> tuple[int, dict]:
     """One-shot HTTP/1.1 request against a ``repro serve`` instance.
 
-    Returns ``(status, decoded JSON body)``.  Raises
-    :class:`ServerError` on connection failure and
-    :class:`ProtocolError` on an unparseable response.
+    *address* may be a TCP ``host:port`` form or ``unix:/path/to.sock``
+    (the server speaks the same sniffed protocol on both).  Returns
+    ``(status, decoded JSON body)``.  Raises :class:`ServerError` on
+    connection failure and :class:`ProtocolError` on an unparseable
+    response.
     """
-    host, port = parse_address(address)
+    family, target = parse_endpoint(address)
+    host_header = "localhost" if family == "unix" else f"{target[0]}:{target[1]}"
     payload = b""
     if body is not None:
         payload = json.dumps(body, separators=(",", ":")).encode()
     head = (
         f"{method} {path} HTTP/1.1\r\n"
-        f"Host: {host}:{port}\r\n"
+        f"Host: {host_header}\r\n"
         "Connection: close\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(payload)}\r\n"
         "\r\n"
     ).encode("ascii")
     try:
-        with socket.create_connection((host, port), timeout=timeout) as sock:
+        with _open_socket(family, target, timeout) as sock:
             sock.sendall(head + payload)
             chunks = []
             while True:
@@ -254,7 +305,7 @@ def http_request(
                     break
                 chunks.append(chunk)
     except OSError as exc:
-        raise ServerError(f"HTTP request to {host}:{port} failed: {exc}") from None
+        raise ServerError(f"HTTP request to {address} failed: {exc}") from None
     raw = b"".join(chunks)
     header, sep, rest = raw.partition(b"\r\n\r\n")
     if not sep:
@@ -274,21 +325,38 @@ def wait_until_ready(
 ) -> dict:
     """Poll ``healthz`` until the server answers; returns the payload.
 
+    At least one attempt is always made.  Each attempt's socket timeout
+    is clamped to the *remaining* deadline (never beyond 5 s), so a
+    caller asking for ``timeout=0.3`` cannot be held up for seconds by
+    a black-holed connect; between attempts the poll interval backs off
+    geometrically from *interval* up to one second.
+
     Raises:
         ServerError: the server did not come up within *timeout*.
     """
     deadline = time.monotonic() + timeout
     last_error = "no attempt made"
-    while time.monotonic() < deadline:
+    delay = interval
+    attempts = 0
+    while True:
+        remaining = deadline - time.monotonic()
+        if attempts and remaining <= 0:
+            break
+        attempts += 1
+        per_attempt = min(5.0, max(remaining, 0.05))
         try:
-            with ServeClient(address, timeout=min(timeout, 5.0)) as client:
+            with ServeClient(address, timeout=per_attempt) as client:
                 health = client.healthz()
             if health.get("status") == "ok":
                 return health
             last_error = f"status {health.get('status')!r}"
         except (OSError, ServerError, ProtocolError) as exc:
             last_error = str(exc)
-        time.sleep(interval)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        time.sleep(min(delay, remaining))
+        delay = min(delay * 2, 1.0)
     raise ServerError(
         f"server {address} not ready after {timeout:.0f}s ({last_error})"
     )

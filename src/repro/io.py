@@ -30,6 +30,9 @@ Two heavier persistence layers build on this module:
   written in the memory-mapped v2 format (opened in O(queries touched),
   remainder index included); legacy v1 files stay readable and
   :func:`migrate_store` upgrades them.
+
+:func:`load_access_log` parses the NDJSON request log ``repro serve
+--access-log`` writes (one structured record per served request).
 """
 
 from __future__ import annotations
@@ -240,6 +243,45 @@ def load_targets(
                 f"{path}:{lineno}: bad target {spec!r}: {exc}"
             ) from None
     return pairs
+
+
+def load_access_log(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a ``repro serve --access-log`` NDJSON file.
+
+    One record per request, in arrival order; blank lines are skipped
+    (a crashed writer can leave at most a final partial line, which is
+    reported, not ignored).  Each record carries at least ``op``,
+    ``store``, ``queue_wait_ms``, ``execute_ms``, ``total_ms`` and
+    ``outcome`` (``"ok"`` or a structured error code).
+
+    Raises:
+        SpecificationError: a line is not a JSON object or a record is
+            missing one of the required fields (with its line number).
+    """
+    required = ("op", "store", "queue_wait_ms", "execute_ms", "total_ms",
+                "outcome")
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise SpecificationError(
+                f"{path}:{lineno}: access-log line is not valid JSON"
+            ) from None
+        if not isinstance(record, dict):
+            raise SpecificationError(
+                f"{path}:{lineno}: access-log record must be a JSON object"
+            )
+        missing = [key for key in required if key not in record]
+        if missing:
+            raise SpecificationError(
+                f"{path}:{lineno}: access-log record is missing "
+                + ", ".join(missing)
+            )
+        records.append(record)
+    return records
 
 
 def save_batch_results(

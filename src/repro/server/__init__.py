@@ -15,11 +15,16 @@ Public API
 The stable, documented surface of the service stack:
 
 * :class:`~repro.server.service.SynthesisService` -- the
-  framing-independent core: owns the open store, the bounded worker
-  pool and the coalescing queue; ``await handle(request)`` per query;
-  ``await reload()`` for an atomic store swap.
+  framing-independent core: owns the registry of open stores, the
+  bounded worker pool and the coalescing queue; ``await
+  handle(request)`` per query; ``await reload()`` for an atomic
+  registry swap.
+* :class:`~repro.server.registry.StoreRegistry` -- many stores behind
+  one server, routed per request by alias or ``(library, cost-model)``
+  fingerprints (:mod:`repro.server.registry`).
 * :class:`~repro.server.app.ReproServer` -- asyncio front end binding
-  the listener and sniffing HTTP vs NDJSON per connection.
+  the TCP (and optional UNIX-socket) listeners and sniffing HTTP vs
+  NDJSON per connection.
 * :func:`~repro.server.app.run_server` -- blocking entry point with
   signal handling (what ``repro serve`` calls).
 * :class:`~repro.server.app.BackgroundServer` -- the same stack on a
@@ -27,14 +32,17 @@ The stable, documented surface of the service stack:
 * :mod:`repro.server.protocol` -- the wire protocol: operations,
   request/response framing, the structured error-code mapping
   (:func:`~repro.server.protocol.error_payload` /
-  :func:`~repro.server.protocol.error_to_exception`) and
-  :func:`~repro.server.protocol.parse_address`.
+  :func:`~repro.server.protocol.error_to_exception`),
+  :func:`~repro.server.protocol.parse_address` and
+  :func:`~repro.server.protocol.parse_endpoint`.
+* :mod:`repro.server.metrics` -- reservoir-sampled per-op queue-wait
+  and latency percentiles behind ``healthz``.
 
 The matching client lives in :mod:`repro.client`
 (:class:`~repro.client.ServeClient`); the CLI verbs are ``repro serve``
-and ``repro synth --server HOST:PORT``.  Everything here is standard
-library only (asyncio + sockets + json) -- serving adds no
-dependencies beyond the core package.
+and ``repro synth --server HOST:PORT`` (or ``--server unix:PATH``).
+Everything here is standard library only (asyncio + sockets + json) --
+serving adds no dependencies beyond the core package.
 
 The service is deliberately *query-only*: stores are produced by
 ``repro precompute`` and reloaded wholesale on SIGHUP; nothing ever
@@ -45,6 +53,7 @@ on :class:`~repro.core.batch.BatchSynthesizer`).
 """
 
 from repro.server.app import BackgroundServer, ReproServer, run_server
+from repro.server.metrics import Reservoir, ServiceMetrics
 from repro.server.protocol import (
     DEFAULT_PORT,
     OPERATIONS,
@@ -52,7 +61,9 @@ from repro.server.protocol import (
     error_payload,
     error_to_exception,
     parse_address,
+    parse_endpoint,
 )
+from repro.server.registry import StoreRegistry, build_registry
 from repro.server.service import (
     DEFAULT_MAX_BATCH,
     DEFAULT_WORKERS,
@@ -69,11 +80,16 @@ __all__ = [
     "OPERATIONS",
     "ReproServer",
     "Request",
+    "Reservoir",
+    "ServiceMetrics",
+    "StoreRegistry",
     "StoreState",
     "SynthesisService",
+    "build_registry",
     "error_payload",
     "error_to_exception",
     "open_store_state",
     "parse_address",
+    "parse_endpoint",
     "run_server",
 ]

@@ -1,7 +1,9 @@
 """The asyncio front end of ``repro serve``.
 
 :class:`ReproServer` binds one TCP listener (``asyncio.start_server``)
-and speaks both wire framings of :mod:`repro.server.protocol`, sniffed
+and, optionally, one UNIX-socket listener
+(``asyncio.start_unix_server``, the ``--unix PATH`` flag); both speak
+the same sniffed HTTP/NDJSON framings of :mod:`repro.server.protocol`,
 per connection from the first line.  :func:`run_server` is the blocking
 entry point the CLI uses (signal handling included), and
 :class:`BackgroundServer` runs the same stack on a daemon thread for
@@ -9,8 +11,9 @@ tests, benchmarks and embedding.
 
 Signals (installed only when running on the main thread):
 
-* ``SIGHUP`` -- graceful store reload: reopen the store file, swap it
-  in atomically, keep serving throughout (see
+* ``SIGHUP`` -- graceful registry reload: reopen every store, re-scan
+  ``--store-dir``, swap the registry in atomically, keep serving
+  throughout (see
   :meth:`~repro.server.service.SynthesisService.reload`).
 * ``SIGINT`` / ``SIGTERM`` -- graceful shutdown: stop accepting, drain
   in-flight work, exit 0.
@@ -20,9 +23,12 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import signal
+import socket
+import stat
 import threading
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ProtocolError, ReproError
 from repro.server.protocol import (
@@ -37,16 +43,63 @@ from repro.server.protocol import (
 from repro.server.service import SynthesisService
 
 
+def _remove_stale_socket(path: str) -> None:
+    """Unlink a leftover socket file so rebinding after a crash works.
+
+    Only *dead* socket files are removed: a connect probe that anything
+    accepts means another server is live on this path, which is refused
+    loudly rather than hijacked (unlinking a live listener would strand
+    it invisibly).  Non-socket files are left in place for ``bind`` to
+    fail on.
+
+    Raises:
+        ReproError: another process is accepting connections at *path*.
+    """
+    try:
+        if not stat.S_ISSOCK(os.stat(path).st_mode):
+            return
+    except OSError:
+        return  # nothing there; bind will create it
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.25)
+    try:
+        probe.connect(path)
+    except (ConnectionRefusedError, FileNotFoundError):
+        with contextlib.suppress(OSError):
+            os.unlink(path)  # genuinely stale: no listener behind it
+    except OSError:
+        pass  # can't prove it's dead; leave it for bind to report
+    else:
+        raise ReproError(
+            f"unix socket {path} is already accepting connections; "
+            "is another `repro serve` running?"
+        )
+    finally:
+        probe.close()
+
+
 class ReproServer:
-    """One TCP listener over one :class:`SynthesisService`."""
+    """TCP and/or UNIX-socket listeners over one service.
+
+    ``port=None`` skips the TCP listener entirely (UNIX-socket-only
+    serving); at least one of the two listeners must be configured.
+    """
 
     def __init__(
-        self, service: SynthesisService, host: str = "127.0.0.1", port: int = 0
+        self,
+        service: SynthesisService,
+        host: str = "127.0.0.1",
+        port: int | None = 0,
+        unix_path: str | None = None,
     ):
+        if port is None and unix_path is None:
+            raise ReproError("server needs a TCP port or a unix socket path")
         self._service = service
         self._host = host
         self._port = port
+        self._unix_path = unix_path
         self._server: asyncio.AbstractServer | None = None
+        self._unix_server: asyncio.AbstractServer | None = None
         self._connections: set = set()
 
     @property
@@ -57,19 +110,32 @@ class ReproServer:
     def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` (resolves ``port=0`` ephemerals)."""
         if self._server is None or not self._server.sockets:
-            raise ReproError("server is not started")
+            raise ReproError("server has no TCP listener")
         host, port = self._server.sockets[0].getsockname()[:2]
         return host, port
 
+    @property
+    def unix_path(self) -> str | None:
+        """The UNIX-socket path, or None when only TCP is bound."""
+        return self._unix_path if self._unix_server is not None else None
+
     async def start(self) -> None:
         await self._service.start()
-        self._server = await asyncio.start_server(
-            self._on_connection, self._host, self._port, limit=MAX_BODY
-        )
+        if self._port is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, self._host, self._port, limit=MAX_BODY
+            )
+        if self._unix_path is not None:
+            _remove_stale_socket(self._unix_path)
+            self._unix_server = await asyncio.start_unix_server(
+                self._on_connection, path=self._unix_path, limit=MAX_BODY
+            )
 
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
+        if self._unix_server is not None:
+            self._unix_server.close()
         # One yield so handlers of just-accepted connections get to
         # register themselves before the nudge below.
         await asyncio.sleep(0)
@@ -83,17 +149,23 @@ class ReproServer:
             with contextlib.suppress(Exception):
                 writer.close()
         await asyncio.sleep(0)
-        if self._server is not None:
+        for server in (self._server, self._unix_server):
+            if server is None:
+                continue
             try:
-                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+                await asyncio.wait_for(server.wait_closed(), timeout=5.0)
             except asyncio.TimeoutError:
                 # Stragglers stuck mid-transfer: abort their transports
                 # rather than hang the shutdown.
                 for writer in list(self._connections):
                     with contextlib.suppress(Exception):
                         writer.transport.abort()
-                await self._server.wait_closed()
-            self._server = None
+                await server.wait_closed()
+        self._server = None
+        if self._unix_server is not None:
+            self._unix_server = None
+            with contextlib.suppress(OSError):
+                os.unlink(self._unix_path)
         await self._service.close()
 
     # -- connection handling -----------------------------------------------------------
@@ -192,30 +264,40 @@ class ReproServer:
 
 
 async def run_server(
-    store_path: str,
+    stores: str | Sequence[str],
     host: str = "127.0.0.1",
-    port: int = 0,
+    port: int | None = 0,
     cost_bound: int | None = None,
     workers: int | None = None,
     max_batch: int | None = None,
     ready: Callable[[tuple[str, int], SynthesisService], None] | None = None,
     stop_event: asyncio.Event | None = None,
+    unix: str | None = None,
+    store_dir: str | None = None,
+    access_log: str | None = None,
 ) -> int:
     """Run the service until stopped; the CLI's ``repro serve`` body.
 
-    *ready* is called once with the bound address after the listener is
-    up (the CLI prints its "listening on" line from it).  Returns the
-    process exit code.
+    *stores* is one store path or a sequence of ``PATH`` /
+    ``ALIAS=PATH`` specs; *store_dir* adds every ``*.rpro`` under a
+    directory; *unix* additionally binds a UNIX-socket listener at the
+    given path (with ``port=None`` it is the *only* listener);
+    *access_log* appends one NDJSON record per request.  *ready* is
+    called once with the bound TCP address -- or ``None`` when serving
+    UNIX-only -- after the listeners are up (the CLI prints its
+    "listening on" line from it).  Returns the process exit code.
     """
     from repro.server.service import DEFAULT_MAX_BATCH, DEFAULT_WORKERS
 
     service = SynthesisService(
-        store_path,
+        stores,
         cost_bound=cost_bound,
         workers=DEFAULT_WORKERS if workers is None else workers,
         max_batch=DEFAULT_MAX_BATCH if max_batch is None else max_batch,
+        store_dir=store_dir,
+        access_log=access_log,
     )
-    server = ReproServer(service, host, port)
+    server = ReproServer(service, host, port, unix_path=unix)
     await server.start()
 
     loop = asyncio.get_running_loop()
@@ -233,7 +315,7 @@ async def run_server(
                 installed.append(signum)
     try:
         if ready is not None:
-            ready(server.address, service)
+            ready(server.address if port is not None else None, service)
         await stop.wait()
     finally:
         for signum in installed:
@@ -251,31 +333,47 @@ class BackgroundServer:
             client = ServeClient(server.address_text)
             ...
 
-    The server binds an ephemeral port by default.  Signals are *not*
-    installed (they require the main thread); use :meth:`reload` for
-    the SIGHUP path.
+        with BackgroundServer(["fast=a.rpro", "deep=b.rpro"],
+                              unix="/tmp/repro.sock") as server:
+            client = ServeClient("unix:/tmp/repro.sock", store="deep")
+
+    The server binds an ephemeral port by default; keyword arguments
+    pass through to :func:`run_server` (``unix``, ``store_dir``,
+    ``access_log``, ...).  Signals are *not* installed (they require
+    the main thread); use :meth:`reload` for the SIGHUP path.
     """
 
-    def __init__(self, store_path: str, **kwargs):
-        self._store_path = str(store_path)
+    def __init__(self, stores: str | Sequence[str], **kwargs):
+        if isinstance(stores, (str, os.PathLike)):
+            self._stores: list[str] = [str(stores)]
+        else:
+            self._stores = [str(spec) for spec in stores]
         self._kwargs = kwargs
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._service: SynthesisService | None = None
         self._stop: asyncio.Event | None = None
         self._ready = threading.Event()
+        self._started = False
         self._address: tuple[str, int] | None = None
         self._error: BaseException | None = None
 
     @property
     def address(self) -> tuple[str, int]:
-        assert self._address is not None, "server not started"
+        assert self._address is not None, "server not started or unix-only"
         return self._address
 
     @property
     def address_text(self) -> str:
         host, port = self.address
         return f"{host}:{port}"
+
+    @property
+    def unix_address_text(self) -> str:
+        """The ``unix:PATH`` endpoint (requires ``unix=`` at construction)."""
+        path = self._kwargs.get("unix")
+        assert path is not None, "server has no unix listener"
+        return f"unix:{path}"
 
     @property
     def service(self) -> SynthesisService:
@@ -290,7 +388,7 @@ class BackgroundServer:
         self._ready.wait(timeout=60)
         if self._error is not None:
             raise self._error
-        if self._address is None:
+        if not self._started:
             raise ReproError("server failed to start within 60s")
         return self
 
@@ -320,12 +418,13 @@ class BackgroundServer:
             self._stop = asyncio.Event()
 
             def on_ready(address, service):
-                self._address = address
+                self._address = address  # None when serving UNIX-only
                 self._service = service
+                self._started = True
                 self._ready.set()
 
             await run_server(
-                self._store_path,
+                self._stores,
                 ready=on_ready,
                 stop_event=self._stop,
                 **self._kwargs,

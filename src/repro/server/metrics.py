@@ -1,0 +1,123 @@
+"""Reservoir-sampled latency percentiles for ``healthz`` back-pressure.
+
+Flat counters (the PR-3 ``healthz`` shape) say *how many* queries ran
+but not *how long* anything waited -- the number an operator actually
+needs to see back-pressure building is the tail of the queue-wait
+distribution.  Keeping every sample would grow without bound on a
+long-lived server, so each ``(op, dimension)`` pair keeps a fixed-size
+uniform **reservoir** (Vitter's algorithm R): the first ``capacity``
+observations are stored verbatim, after which each new observation
+replaces a random slot with probability ``capacity / seen``.  Any
+moment's reservoir is a uniform sample of everything observed so far,
+so the p50/p90/p99 read off it estimate the true lifetime percentiles
+with O(capacity) memory and O(1) amortized update cost.
+
+Percentiles use the same nearest-rank rule as
+``benchmarks/bench_serve.py`` (``round(q * (n - 1))`` on the sorted
+sample), so a benchmark's offline numbers and a live server's
+``healthz`` are directly comparable.
+
+Thread model: observations are only recorded from the event-loop
+thread (the service records them after the worker future resolves), so
+no locking is needed -- mirroring the service's counter discipline.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Default per-(op, dimension) reservoir size.  512 float samples keep
+#: the p99 estimate stable (~5 samples above the 99th rank) at a few KB
+#: per op.
+DEFAULT_CAPACITY = 512
+
+#: The quantiles ``healthz`` reports, with their payload field names.
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class Reservoir:
+    """Fixed-size uniform sample of an unbounded observation stream."""
+
+    __slots__ = ("capacity", "_samples", "_seen", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._seen = 0
+        # Seeded so two servers given identical traffic report identical
+        # percentiles (and tests stay deterministic).
+        self._rng = random.Random(seed)
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not the sample size)."""
+        return self._seen
+
+    def observe(self, value: float) -> None:
+        self._seen += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    def summary(self, scale: float = 1.0) -> dict | None:
+        """``{count, p50, p90, p99}`` (values scaled), or None if empty."""
+        if not self._samples:
+            return None
+        payload: dict = {"count": self._seen}
+        for name, q in QUANTILES:
+            payload[name] = round(percentile(self._samples, q) * scale, 4)
+        return payload
+
+
+class OpMetrics:
+    """Queue-wait and total-latency reservoirs for one operation."""
+
+    __slots__ = ("queue_wait", "latency")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.queue_wait = Reservoir(capacity)
+        self.latency = Reservoir(capacity)
+
+
+class ServiceMetrics:
+    """Per-op timing metrics behind the service's ``healthz`` payload.
+
+    ``observe`` takes seconds; ``summary`` reports milliseconds (the
+    unit every duration in the access log and ``healthz`` uses).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._capacity = capacity
+        self._ops: dict[str, OpMetrics] = {}
+
+    def observe(self, op: str, queue_wait_s: float, latency_s: float) -> None:
+        metrics = self._ops.get(op)
+        if metrics is None:
+            metrics = self._ops[op] = OpMetrics(self._capacity)
+        metrics.queue_wait.observe(queue_wait_s)
+        metrics.latency.observe(latency_s)
+
+    def summary(self) -> dict:
+        """``{"queue_wait_ms": {op: {...}}, "latency_ms": {op: {...}}}``."""
+        queue_wait: dict = {}
+        latency: dict = {}
+        for op, metrics in sorted(self._ops.items()):
+            wait = metrics.queue_wait.summary(scale=1e3)
+            total = metrics.latency.summary(scale=1e3)
+            if wait is not None:
+                queue_wait[op] = wait
+            if total is not None:
+                latency[op] = total
+        return {"queue_wait_ms": queue_wait, "latency_ms": latency}

@@ -27,7 +27,16 @@ Operations (the JSON surface is identical under both framings)::
                   cost_bound?                          error}], count, failures}
     cost-table    cost_bound?, include_members?       {cost_bound, g_sizes, ...}
     store-info    --                                  store header + serving info
-    healthz       --                                  liveness + counters
+    healthz       --                                  liveness, counters and
+                                                      p50/p90/p99 timings
+
+Every store-touching operation additionally accepts an optional
+**store selector** -- a registry alias or a ``LIBFP:COSTFP``
+fingerprint pair (see :mod:`repro.server.registry`).  In the NDJSON
+framing it is the top-level ``"store"`` field next to ``op``/``params``;
+in HTTP it is the ``store`` query parameter or body key.  Servers with
+one store treat an absent selector as that store; servers with several
+answer a structured ``protocol`` error listing the aliases.
 
 ``record`` is the JSON result form of :func:`repro.io.result_to_dict`
 (n_qubits / gates / target / cost / not_mask), so server responses can
@@ -154,6 +163,27 @@ def error_to_exception(error: dict) -> ReproError:
     return klass(message)
 
 
+def parse_endpoint(
+    text: str, default_host: str = "127.0.0.1", default_port: int = DEFAULT_PORT
+) -> tuple[str, object]:
+    """Classify a server endpoint string as TCP or UNIX-socket.
+
+    ``unix:/path/to.sock`` -> ``("unix", "/path/to.sock")``; anything
+    else goes through :func:`parse_address` ->
+    ``("tcp", (host, port))``.
+
+    Raises:
+        SpecificationError: empty UNIX path or unparseable TCP address.
+    """
+    text = text.strip()
+    if text.startswith("unix:"):
+        path = text[len("unix:"):]
+        if not path:
+            raise SpecificationError("unix: endpoint is missing a socket path")
+        return "unix", path
+    return "tcp", parse_address(text, default_host, default_port)
+
+
 def parse_address(
     text: str, default_host: str = "127.0.0.1", default_port: int = DEFAULT_PORT
 ) -> tuple[str, int]:
@@ -193,16 +223,25 @@ class Request:
     op: str
     params: dict = field(default_factory=dict)
     id: object = None
+    #: Optional store selector: a registry alias or ``LIBFP:COSTFP``
+    #: fingerprint pair; ``None`` means the server's sole store.
+    store: str | None = None
     #: HTTP only: client asked to keep the connection open.
     keep_alive: bool = True
+
+
+def _check_store_field(store: object) -> str | None:
+    if store is not None and not isinstance(store, str):
+        raise ProtocolError("store must be a string alias or fingerprint")
+    return store
 
 
 def decode_request_line(line: bytes) -> Request:
     """Decode one NDJSON request line.
 
     Raises:
-        ProtocolError: not a JSON object, missing/unknown ``op``, or a
-            non-object ``params``.
+        ProtocolError: not a JSON object, missing/unknown ``op``, a
+            non-object ``params``, or a non-string ``store``.
     """
     if len(line) > MAX_BODY:
         raise ProtocolError(f"request line exceeds {MAX_BODY} bytes")
@@ -220,7 +259,12 @@ def decode_request_line(line: bytes) -> Request:
     params = data.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError("params must be a JSON object")
-    return Request(op=op, params=params, id=data.get("id"))
+    return Request(
+        op=op,
+        params=params,
+        id=data.get("id"),
+        store=_check_store_field(data.get("store")),
+    )
 
 
 def encode_response(
@@ -260,6 +304,11 @@ _POST_ROUTES = {
 }
 
 
+#: Query keys whose values are names, never numbers/booleans -- an
+#: all-digit store alias like ``007`` must survive the query parser.
+_STRING_QUERY_KEYS = frozenset({"store"})
+
+
 def _parse_query(query: str) -> dict:
     """Decode ``a=1&b=x`` into JSON-ish params (ints/bools recognized)."""
     params: dict = {}
@@ -267,7 +316,9 @@ def _parse_query(query: str) -> dict:
         if not pair:
             continue
         key, _sep, value = pair.partition("=")
-        if value.isdigit() or (value[:1] == "-" and value[1:].isdigit()):
+        if key in _STRING_QUERY_KEYS:
+            params[key] = value
+        elif value.isdigit() or (value[:1] == "-" and value[1:].isdigit()):
             params[key] = int(value)
         elif value.lower() in ("true", "false"):
             params[key] = value.lower() == "true"
@@ -330,7 +381,14 @@ async def read_http_request(reader, request_line: bytes) -> Request:
     if op is None:
         raise ProtocolError(f"no such endpoint: {method} {path}")
     keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-    return Request(op=op, params=params, keep_alive=keep_alive)
+    # The store selector rides as a query parameter (kept raw by
+    # _parse_query) or body key; an ill-typed body value is the same
+    # ProtocolError the NDJSON framing raises.
+    return Request(
+        op=op, params=params,
+        store=_check_store_field(params.pop("store", None)),
+        keep_alive=keep_alive,
+    )
 
 
 def http_response(status: int, payload: dict, keep_alive: bool = True) -> bytes:

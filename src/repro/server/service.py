@@ -1,7 +1,7 @@
-"""The synthesis service: one shared read-only closure, many requests.
+"""The synthesis service: shared read-only closures, many requests.
 
 :class:`SynthesisService` is the framing-independent middle of ``repro
-serve``: it owns the open store (a frozen
+serve``: it owns a registry of open stores (each a frozen
 :class:`~repro.core.search.CascadeSearch` wrapped by a warmed
 :class:`~repro.core.batch.BatchSynthesizer`), a bounded thread pool for
 the GIL-bound query work, and a coalescing queue between them.
@@ -22,24 +22,44 @@ Concurrency model
   ``workers`` batches in flight, which bounds thread-pool queue growth.
 * Workers only touch frozen, warmed state (see the thread-safety
   contract on :class:`~repro.core.batch.BatchSynthesizer`), so any
-  number of in-flight batches can read the same closure.
+  number of in-flight batches can read the same closures.
+* Store opens (startup and SIGHUP reload) run on a **dedicated
+  single-thread opener executor**, never on the query pool: a reload
+  queued behind a saturated pool would wait on the very jobs whose
+  back-pressure prompted it -- and could deadlock shutdown ordering.
+
+Routing: each request may carry a ``store`` selector (alias or
+``LIBFP:COSTFP`` fingerprints, see :mod:`repro.server.registry`);
+a single-store server treats an absent selector as that store.
 
 Store reloads (SIGHUP, or :meth:`SynthesisService.reload`) are atomic:
-the new store is opened, frozen and warmed off-loop, then a single
-reference assignment swaps it in.  Jobs dispatched before the swap
-finish against the old state object (whose memory map stays alive until
-they drop it); a failed reload leaves the previous store serving and is
-reported via ``healthz``.
+a whole new registry is built off-loop (every named store re-opened,
+``--store-dir`` re-scanned), then a single reference assignment swaps
+it in.  Jobs dispatched before the swap finish against the old state
+objects (whose memory maps stay alive until they drop them); a failed
+reload leaves the previous registry serving and is reported via
+``healthz``.
+
+Observability: per-op queue-wait and total-latency percentiles
+(reservoir-sampled, :mod:`repro.server.metrics`) ride on ``healthz``
+next to the counters, and an optional NDJSON **access log** records one
+line per request (op, store alias, queue wait, execute time, outcome).
+Errors are split into ``client_errors`` (4xx-mapped: bad targets,
+unknown stores, over-bound queries) and ``server_errors`` (5xx-mapped)
+so client mistakes cannot inflate the server-fault signal;
+``errors`` stays their sum for pre-split scrapers.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import (
     CostBoundExceededError,
@@ -48,7 +68,9 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.core.batch import BatchSynthesizer
-from repro.server.protocol import OPERATIONS, Request
+from repro.server.metrics import ServiceMetrics
+from repro.server.protocol import OPERATIONS, Request, error_payload
+from repro.server.registry import StoreRegistry, build_registry
 
 #: Default worker-thread count: the kernel work is GIL-bound numpy +
 #: pure Python, so a small pool is enough to overlap queries with
@@ -60,7 +82,7 @@ DEFAULT_MAX_BATCH = 64
 
 @dataclass(frozen=True)
 class StoreState:
-    """Everything derived from one open of the store file (immutable)."""
+    """Everything derived from one open of a store file (immutable)."""
 
     path: str
     header: object  # repro.core.store.StoreHeader
@@ -74,14 +96,20 @@ class StoreState:
 
 
 class _Job:
-    """One unit of query work: a thread function plus its asyncio future."""
+    """One unit of query work: a thread function, its future, timings."""
 
-    __slots__ = ("fn", "future", "loop")
+    __slots__ = ("fn", "future", "loop", "enqueued", "started", "finished")
 
     def __init__(self, fn: Callable[[], dict], future, loop):
         self.fn = fn
         self.future = future
         self.loop = loop
+        self.enqueued = time.perf_counter()
+        #: Set by the worker thread around ``fn()``; the resolving
+        #: ``call_soon_threadsafe`` orders these writes before any
+        #: event-loop read, so no lock is needed.
+        self.started: float | None = None
+        self.finished: float | None = None
 
 
 def open_store_state(path: str, cost_bound: int | None = None) -> StoreState:
@@ -104,67 +132,115 @@ def open_store_state(path: str, cost_bound: int | None = None) -> StoreState:
 
 
 class SynthesisService:
-    """Dispatches protocol requests against one shared store.
+    """Dispatches protocol requests against a registry of stores.
 
     Args:
-        store_path: the ``repro precompute`` artifact to serve.
-        cost_bound: serve only costs up to this bound (default: the
-            store's full expanded bound).
+        stores: one store path, or a sequence of ``PATH`` /
+            ``ALIAS=PATH`` specs (see :mod:`repro.server.registry`).
+        cost_bound: serve only costs up to this bound (default: each
+            store's full expanded bound; must be within every store's).
         workers: worker threads for query execution.
         max_batch: coalescing limit -- the most queued jobs one executor
             dispatch may absorb.
+        store_dir: also serve every ``*.rpro`` file in this directory
+            (re-scanned on reload/SIGHUP).
+        access_log: append one NDJSON record per request to this file.
     """
 
     def __init__(
         self,
-        store_path: str,
+        stores: str | os.PathLike | Sequence[str],
         cost_bound: int | None = None,
         workers: int = DEFAULT_WORKERS,
         max_batch: int = DEFAULT_MAX_BATCH,
+        store_dir: str | None = None,
+        access_log: str | None = None,
     ):
         if workers < 1:
             raise SpecificationError("need at least one worker thread")
         if max_batch < 1:
             raise SpecificationError("max_batch must be positive")
-        self._store_path = str(store_path)
+        if isinstance(stores, (str, os.PathLike)):
+            stores = [stores]
+        self._store_specs = [str(spec) for spec in stores]
+        self._store_dir = None if store_dir is None else str(store_dir)
+        if not self._store_specs and self._store_dir is None:
+            raise SpecificationError(
+                "no stores to serve: give store files or store_dir"
+            )
         self._requested_bound = cost_bound
         self._workers = workers
         self._max_batch = max_batch
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
-        self._state: StoreState | None = None
+        # Store opens must never compete with (or wait behind) query
+        # work -- see the concurrency notes in the module docstring.
+        self._opener = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-open"
+        )
+        # Access-log writes run on their own single thread (ordered,
+        # fire-and-forget): a slow or hung log filesystem must add
+        # latency to the *log*, never to the event loop serving
+        # requests.
+        self._log_pool: ThreadPoolExecutor | None = None
+        self._registry: StoreRegistry | None = None
         self._queue: asyncio.Queue[_Job] | None = None
         self._dispatcher: asyncio.Task | None = None
         self._slots: asyncio.Semaphore | None = None
         self._reload_lock: asyncio.Lock | None = None
         self._started_monotonic = time.monotonic()
         self._closing = False
+        self._access_log_path = access_log
+        self._access_log = None
         # Counters (event-loop-thread only).
         self._queries = {op: 0 for op in OPERATIONS}
         self._batches_executed = 0
         self._jobs_coalesced = 0
-        self._errors = 0
+        self._client_errors = 0
+        self._server_errors = 0
         self._reloads = 0
         self._last_reload_error: str | None = None
+        self._metrics = ServiceMetrics()
 
     # -- lifecycle ---------------------------------------------------------------------
 
     @property
-    def state(self) -> StoreState:
-        if self._state is None:
+    def registry(self) -> StoreRegistry:
+        if self._registry is None:
             raise ServerError("service is not started")
-        return self._state
+        return self._registry
+
+    @property
+    def state(self) -> StoreState:
+        """The sole store's state (single-store compatibility accessor)."""
+        sole = self.registry.sole()
+        if sole is None:
+            raise ServerError(
+                "service serves multiple stores; use .registry"
+            )
+        return sole[1]
+
+    def _build_registry(self) -> StoreRegistry:
+        return build_registry(
+            self._store_specs, self._store_dir, self._requested_bound
+        )
 
     async def start(self) -> None:
-        """Open the store and start the dispatcher (idempotent)."""
+        """Open the stores and start the dispatcher (idempotent)."""
         if self._dispatcher is not None:
             return
         loop = asyncio.get_running_loop()
-        if self._state is None:
-            self._state = await loop.run_in_executor(
-                self._pool, open_store_state, self._store_path,
-                self._requested_bound,
+        if self._registry is None:
+            self._registry = await loop.run_in_executor(
+                self._opener, self._build_registry
+            )
+        if self._access_log_path is not None and self._access_log is None:
+            self._access_log = open(
+                self._access_log_path, "a", encoding="utf-8"
+            )
+            self._log_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-log"
             )
         self._queue = asyncio.Queue(maxsize=4 * self._max_batch)
         self._slots = asyncio.Semaphore(self._workers)
@@ -174,7 +250,7 @@ class SynthesisService:
         )
 
     async def close(self) -> None:
-        """Stop dispatching, fail queued jobs and release the pool."""
+        """Stop dispatching, fail queued jobs and release the pools."""
         self._closing = True
         if self._dispatcher is not None:
             self._dispatcher.cancel()
@@ -193,28 +269,37 @@ class SynthesisService:
                     job.future.set_exception(
                         ServerError("server is shutting down")
                     )
-        await asyncio.get_running_loop().run_in_executor(
-            None, self._pool.shutdown, True
-        )
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._pool.shutdown, True)
+        await loop.run_in_executor(None, self._opener.shutdown, True)
+        if self._log_pool is not None:
+            # Drain pending log lines before closing the file.
+            await loop.run_in_executor(None, self._log_pool.shutdown, True)
+            self._log_pool = None
+        if self._access_log is not None:
+            with contextlib.suppress(OSError):
+                self._access_log.close()
+            self._access_log = None
 
     async def reload(self) -> None:
-        """Reopen the store file and atomically swap it in (SIGHUP).
+        """Rebuild the whole registry and atomically swap it in (SIGHUP).
 
-        A failed open keeps the current store serving; the failure is
-        recorded and surfaced through ``healthz``.
+        Every named store is re-opened and ``store_dir`` re-scanned on
+        the dedicated opener executor -- a saturated query pool cannot
+        delay the reload.  A failed build keeps the current registry
+        serving; the failure is recorded and surfaced via ``healthz``.
         """
         assert self._reload_lock is not None, "service not started"
         async with self._reload_lock:
             loop = asyncio.get_running_loop()
             try:
-                state = await loop.run_in_executor(
-                    self._pool, open_store_state, self._store_path,
-                    self._requested_bound,
+                registry = await loop.run_in_executor(
+                    self._opener, self._build_registry
                 )
             except Exception as exc:
                 self._last_reload_error = f"{type(exc).__name__}: {exc}"
                 return
-            self._state = state  # atomic reference swap
+            self._registry = registry  # atomic reference swap
             self._reloads += 1
             self._last_reload_error = None
 
@@ -224,35 +309,94 @@ class SynthesisService:
         """Execute one request; returns the result payload or raises."""
         op = request.op
         self._queries[op] = self._queries.get(op, 0) + 1
+        started = time.perf_counter()
+        trace = {"queue_wait": 0.0, "execute": 0.0}
+        alias: str | None = None
         try:
             if op == "healthz":
-                return self._do_healthz()
-            if op == "store-info":
-                return self._do_store_info()
-            state = self.state
-            params = request.params
-            if op == "synth":
-                return await self._submit(lambda: _run_synth(state, params))
-            if op == "synth-batch":
-                return await self._submit(
-                    lambda: _run_synth_batch(state, params)
-                )
-            if op == "cost-table":
-                return await self._submit(
-                    lambda: _run_cost_table(state, params)
-                )
-            raise ProtocolError(f"unknown operation {op!r}")
-        except Exception:
-            self._errors += 1
+                result = self._do_healthz()
+                trace["execute"] = time.perf_counter() - started
+            else:
+                alias, state = self.registry.resolve(request.store)
+                params = request.params
+                if op == "store-info":
+                    result = self._do_store_info(alias, state)
+                    trace["execute"] = time.perf_counter() - started
+                elif op == "synth":
+                    result = await self._submit(
+                        lambda: _run_synth(state, params), trace
+                    )
+                elif op == "synth-batch":
+                    result = await self._submit(
+                        lambda: _run_synth_batch(state, params), trace
+                    )
+                elif op == "cost-table":
+                    result = await self._submit(
+                        lambda: _run_cost_table(state, params), trace
+                    )
+                else:
+                    raise ProtocolError(f"unknown operation {op!r}")
+        except Exception as exc:
+            # The wire mapping already splits fault domains: 4xx
+            # statuses are client mistakes, 5xx are server faults.
+            payload, status = error_payload(exc)
+            if status >= 500:
+                self._server_errors += 1
+            else:
+                self._client_errors += 1
+            self._finish_request(request, alias, started, trace,
+                                 payload["code"])
             raise
+        self._finish_request(request, alias, started, trace, "ok")
+        return result
 
-    async def _submit(self, fn: Callable[[], dict]) -> dict:
+    def _finish_request(
+        self,
+        request: Request,
+        alias: str | None,
+        started: float,
+        trace: dict,
+        outcome: str,
+    ) -> None:
+        total = time.perf_counter() - started
+        self._metrics.observe(request.op, trace["queue_wait"], total)
+        if self._log_pool is None:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "op": request.op,
+            "store": alias,
+            "id": request.id,
+            "queue_wait_ms": round(trace["queue_wait"] * 1e3, 3),
+            "execute_ms": round(trace["execute"] * 1e3, 3),
+            "total_ms": round(total * 1e3, 3),
+            "outcome": outcome,
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        # Fire-and-forget onto the single log thread: lines stay
+        # ordered, and a stalled log device never blocks the loop.
+        with contextlib.suppress(RuntimeError):  # pool shut down mid-close
+            self._log_pool.submit(self._write_log_line, line)
+
+    def _write_log_line(self, line: str) -> None:
+        # A full disk must degrade the log, never the serving path.
+        with contextlib.suppress(OSError, ValueError):
+            self._access_log.write(line)
+            self._access_log.flush()
+
+    async def _submit(self, fn: Callable[[], dict], trace: dict) -> dict:
         if self._queue is None or self._closing:
             raise ServerError("service is not accepting queries")
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        await self._queue.put(_Job(fn, future, loop))
-        return await future
+        job = _Job(fn, future, loop)
+        await self._queue.put(job)
+        try:
+            return await future
+        finally:
+            if job.started is not None and job.finished is not None:
+                trace["queue_wait"] = job.started - job.enqueued
+                trace["execute"] = job.finished - job.started
 
     async def _dispatch_loop(self) -> None:
         assert self._queue is not None and self._slots is not None
@@ -286,29 +430,36 @@ class SynthesisService:
     # -- inline (event-loop) operations ------------------------------------------------
 
     def _do_healthz(self) -> dict:
-        state = self._state
-        return {
-            "status": "ok" if state is not None else "starting",
+        registry = self._registry
+        sole = None if registry is None else registry.sole()
+        payload = {
+            "status": "ok" if registry is not None else "starting",
             "pid": os.getpid(),
             "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
-            "store": self._store_path,
-            "expanded_to": None if state is None else state.header.expanded_to,
-            "serving_cost_bound": None if state is None else state.cost_bound,
+            # Single-store compatibility fields (null on multi-store).
+            "store": None if sole is None else sole[1].path,
+            "expanded_to": None if sole is None else sole[1].header.expanded_to,
+            "serving_cost_bound": None if sole is None else sole[1].cost_bound,
+            "stores": {} if registry is None else registry.describe(),
             "queries": dict(self._queries),
             "batches_executed": self._batches_executed,
             "jobs_coalesced": self._jobs_coalesced,
-            "errors": self._errors,
+            "errors": self._client_errors + self._server_errors,
+            "client_errors": self._client_errors,
+            "server_errors": self._server_errors,
             "reloads": self._reloads,
             "last_reload_error": self._last_reload_error,
             "workers": self._workers,
             "max_batch": self._max_batch,
         }
+        payload.update(self._metrics.summary())
+        return payload
 
-    def _do_store_info(self) -> dict:
-        state = self.state
+    def _do_store_info(self, alias: str, state: StoreState) -> dict:
         header = state.header
         cm = header.cost_model
         return {
+            "alias": alias,
             "path": state.path,
             "format_version": header.format_version,
             "n_qubits": header.n_qubits,
@@ -344,11 +495,13 @@ def _run_jobs(jobs: list[_Job]) -> None:
     skipped rather than poked.
     """
     for job in jobs:
+        job.started = time.perf_counter()
         try:
             outcome: object = job.fn()
             error: BaseException | None = None
         except BaseException as exc:  # noqa: BLE001 -- forwarded to waiter
             outcome, error = None, exc
+        job.finished = time.perf_counter()
         job.loop.call_soon_threadsafe(_resolve, job.future, outcome, error)
 
 
@@ -432,7 +585,6 @@ def _run_synth_batch(state: StoreState, params: dict) -> dict:
     """
     from repro.errors import ReproError
     from repro.io import result_to_dict
-    from repro.server.protocol import error_payload
 
     specs = params.get("targets")
     if not isinstance(specs, list):

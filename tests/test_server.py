@@ -2,22 +2,30 @@
 
 Covers the service's whole life: start, serving under concurrency,
 SIGHUP store reload (both in-process and against a real ``repro
-serve`` subprocess), malformed requests mapping to structured errors,
-and the golden guarantee that ``repro synth --server`` output is
-byte-identical to ``repro synth --store`` (body and ``--save`` files).
+serve`` subprocess), multi-store routing by alias/fingerprint, the
+UNIX-socket transport, the NDJSON access log, healthz percentiles,
+malformed requests mapping to structured errors, and the golden
+guarantee that ``repro synth --server`` output is byte-identical to
+``repro synth --store`` (body and ``--save`` files) over both
+transports.
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
 import os
 import re
+import shutil
 import signal
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
+from types import SimpleNamespace
 
 import pytest
 
@@ -35,11 +43,19 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.gates.library import GateLibrary
-from repro.io import open_store, result_to_dict
-from repro.server import BackgroundServer, parse_address
+from repro.io import load_access_log, open_store, result_to_dict
+from repro.server import BackgroundServer, parse_address, parse_endpoint
+from repro.server.metrics import Reservoir, ServiceMetrics
 from repro.server.protocol import error_payload, error_to_exception
+from repro.server.registry import (
+    StoreRegistry,
+    derive_alias,
+    parse_store_spec,
+    resolve_specs,
+)
 
 BOUND = 4
+SHALLOW_BOUND = 3
 
 
 @pytest.fixture(scope="module")
@@ -52,9 +68,45 @@ def store_path(tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
+def shallow_store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve-shallow") / "shallow.rpro"
+    search = CascadeSearch(GateLibrary(3), track_parents=True)
+    search.extend_to(SHALLOW_BOUND)
+    save_search(search, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
 def server(store_path):
     with BackgroundServer(store_path) as srv:
         yield srv
+
+
+@pytest.fixture(scope="module")
+def shallow_server(shallow_store_path):
+    with BackgroundServer(shallow_store_path) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def multi(store_path, shallow_store_path):
+    """One server over both stores, with a UNIX socket and access log.
+
+    Yields ``(server, unix_socket_path, access_log_path)``.  The socket
+    lives under a short ``/tmp`` dir (AF_UNIX paths are length-capped).
+    """
+    workdir = tempfile.mkdtemp(prefix="repro-serve-")
+    sock = os.path.join(workdir, "serve.sock")
+    log = os.path.join(workdir, "access.ndjson")
+    try:
+        with BackgroundServer(
+            [f"deep={store_path}", f"shallow={shallow_store_path}"],
+            unix=sock,
+            access_log=log,
+        ) as srv:
+            yield srv, sock, log
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
 
 
 @pytest.fixture(scope="module")
@@ -102,6 +154,120 @@ class TestProtocolUnits:
         payload, status = error_payload(RuntimeError("secret detail"))
         assert status == 500
         assert "secret" not in payload["message"]
+
+    def test_parse_endpoint_forms(self):
+        assert parse_endpoint("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_endpoint("1.2.3.4:99") == ("tcp", ("1.2.3.4", 99))
+        assert parse_endpoint(":99") == ("tcp", ("127.0.0.1", 99))
+        with pytest.raises(SpecificationError):
+            parse_endpoint("unix:")
+
+
+class TestMetricsUnits:
+    def test_reservoir_exact_below_capacity(self):
+        reservoir = Reservoir(capacity=512)
+        for value in range(1, 101):
+            reservoir.observe(float(value))
+        summary = reservoir.summary()
+        assert summary["count"] == 100
+        # Nearest-rank on the exact sample: round(q * 99) + 1.
+        assert summary["p50"] == 51.0
+        assert summary["p90"] == 90.0
+        assert summary["p99"] == 99.0
+
+    def test_reservoir_bounds_memory(self):
+        reservoir = Reservoir(capacity=8)
+        for value in range(1000):
+            reservoir.observe(float(value))
+        assert reservoir.count == 1000
+        assert len(reservoir._samples) == 8
+        summary = reservoir.summary()
+        assert 0.0 <= summary["p50"] <= 999.0
+
+    def test_empty_reservoir_has_no_summary(self):
+        assert Reservoir().summary() is None
+        assert ServiceMetrics().summary() == {
+            "queue_wait_ms": {}, "latency_ms": {},
+        }
+
+    def test_service_metrics_scale_to_milliseconds(self):
+        metrics = ServiceMetrics()
+        metrics.observe("synth", queue_wait_s=0.001, latency_s=0.002)
+        summary = metrics.summary()
+        assert summary["queue_wait_ms"]["synth"]["p50"] == 1.0
+        assert summary["latency_ms"]["synth"]["p50"] == 2.0
+        assert summary["latency_ms"]["synth"]["count"] == 1
+
+
+def _fake_state(path: str, lib_fp: str, cost_fp: str, bound: int = 4):
+    header = SimpleNamespace(
+        library_fingerprint=lib_fp, cost_fingerprint=cost_fp,
+        expanded_to=bound,
+    )
+    return SimpleNamespace(path=path, header=header, cost_bound=bound)
+
+
+class TestRegistryUnits:
+    def test_parse_store_spec_forms(self):
+        assert parse_store_spec("a.rpro").path == "a.rpro"
+        assert parse_store_spec("fast=a.rpro").alias == "fast"
+        assert parse_store_spec("fast=a.rpro").path == "a.rpro"
+        assert parse_store_spec("a.rpro").alias is None
+        with pytest.raises(SpecificationError):
+            parse_store_spec("bad alias=a.rpro")
+        with pytest.raises(SpecificationError):
+            parse_store_spec("fast=")
+
+    def test_derive_alias_sanitizes_and_dedupes(self):
+        assert derive_alias("/stores/closure.rpro", set()) == "closure"
+        assert derive_alias("/stores/my store!.rpro", set()) == "my-store-"
+        assert derive_alias("closure.rpro", {"closure"}) == "closure-2"
+        assert derive_alias("closure.rpro", {"closure", "closure-2"}) == (
+            "closure-3"
+        )
+
+    def test_resolve_specs_rejects_duplicates_and_empty(self):
+        with pytest.raises(SpecificationError):
+            resolve_specs(["x=a.rpro", "x=b.rpro"], None)
+        with pytest.raises(SpecificationError):
+            resolve_specs([], None)
+
+    def test_resolve_sole_and_alias(self):
+        registry = StoreRegistry({"only": _fake_state("a", "L1", "C1")})
+        assert registry.resolve(None)[0] == "only"
+        assert registry.resolve("only")[0] == "only"
+
+    def test_resolve_without_selector_is_ambiguous(self):
+        registry = StoreRegistry({
+            "a": _fake_state("a", "L1", "C1"),
+            "b": _fake_state("b", "L2", "C1"),
+        })
+        with pytest.raises(ProtocolError) as excinfo:
+            registry.resolve(None)
+        assert "a" in str(excinfo.value) and "b" in str(excinfo.value)
+
+    def test_resolve_by_fingerprint_prefix(self):
+        registry = StoreRegistry({
+            "a": _fake_state("a", "L1abc", "C1xyz"),
+            "b": _fake_state("b", "L2abc", "C1xyz"),
+        })
+        assert registry.resolve("L1abc:C1xyz")[0] == "a"
+        assert registry.resolve("L2:C1")[0] == "b"
+        with pytest.raises(ProtocolError) as excinfo:
+            registry.resolve("L:C1")  # matches both libraries
+        assert "ambiguous" in str(excinfo.value)
+
+    def test_resolve_unknown_lists_aliases(self):
+        registry = StoreRegistry({
+            "a": _fake_state("a", "L1", "C1"),
+            "b": _fake_state("b", "L2", "C1"),
+        })
+        with pytest.raises(ProtocolError) as excinfo:
+            registry.resolve("nope")
+        message = str(excinfo.value)
+        assert "nope" in message and "a" in message and "b" in message
+        with pytest.raises(ProtocolError):
+            registry.resolve(7)
 
 
 class TestFrozenSearch:
@@ -398,6 +564,346 @@ class TestReload:
                 # The original store keeps serving.
                 assert handle.synth("peres") == old
 
+    def test_store_dir_rescan_picks_up_new_stores(
+        self, store_path, shallow_store_path, tmp_path
+    ):
+        directory = tmp_path / "stores"
+        directory.mkdir()
+        shutil.copy(store_path, directory / "deep.rpro")
+        with BackgroundServer([], store_dir=str(directory)) as srv:
+            with ServeClient(srv.address_text) as handle:
+                assert sorted(handle.healthz()["stores"]) == ["deep"]
+                shutil.copy(shallow_store_path, directory / "shallow.rpro")
+                srv.reload()
+                health = handle.healthz()
+                assert sorted(health["stores"]) == ["deep", "shallow"]
+                assert health["reloads"] == 1
+                assert handle.synth("swap_bc", store="shallow")["cost"] == 3
+
+    def test_reload_completes_while_pool_is_saturated(self, store_path):
+        """Regression: store opens must not queue behind query work.
+
+        With one worker and the pool wedged on a blocking job, a reload
+        scheduled on the *query* pool would sit behind the blocker
+        forever; the dedicated opener executor must finish it anyway.
+        """
+        from repro.server.service import SynthesisService
+
+        async def scenario() -> None:
+            service = SynthesisService(store_path, workers=1, max_batch=1)
+            await service.start()
+            release = threading.Event()
+            entered = threading.Event()
+
+            def blocker() -> dict:
+                entered.set()
+                release.wait(30)
+                return {}
+
+            trace = {"queue_wait": 0.0, "execute": 0.0}
+            jobs = [
+                asyncio.ensure_future(service._submit(blocker, dict(trace)))
+                for _ in range(3)
+            ]
+            loop = asyncio.get_running_loop()
+            assert await loop.run_in_executor(None, entered.wait, 10), (
+                "worker never picked up the blocking job"
+            )
+            try:
+                # Saturated pool: the sole worker is wedged on `blocker`.
+                await asyncio.wait_for(service.reload(), timeout=30)
+                assert service._reloads == 1
+            finally:
+                release.set()
+                await asyncio.gather(*jobs, return_exceptions=True)
+                await service.close()
+
+        asyncio.run(scenario())
+
+
+class TestErrorSplit:
+    """Client mistakes must not inflate the server-fault signal."""
+
+    def test_client_errors_counted_separately(self, client):
+        before = client.healthz()
+        with pytest.raises(InvalidPermutationError):
+            client.synth("(1,2,99)")
+        with pytest.raises(CostBoundExceededError):
+            client.synth("peres", cost_bound=0)
+        after = client.healthz()
+        assert after["client_errors"] == before["client_errors"] + 2
+        assert after["server_errors"] == before["server_errors"]
+        # The pre-split key stays as the sum for old scrapers.
+        assert after["errors"] == (
+            after["client_errors"] + after["server_errors"]
+        )
+
+
+class TestHealthzPercentiles:
+    def test_latency_and_queue_wait_percentiles(self, client):
+        for _ in range(5):
+            client.synth("peres")
+        health = client.healthz()
+        for dimension in ("latency_ms", "queue_wait_ms"):
+            stats = health[dimension]["synth"]
+            assert stats["count"] >= 5
+            assert 0.0 <= stats["p50"] <= stats["p90"] <= stats["p99"]
+        # healthz itself is measured too (inline, zero queue wait).
+        assert health["latency_ms"]["healthz"]["count"] >= 1
+        assert health["queue_wait_ms"]["healthz"]["p99"] == 0.0
+
+
+class TestMultiStore:
+    def test_healthz_lists_both_stores(self, multi, store_path):
+        srv, _sock, _log = multi
+        with ServeClient(srv.address_text) as handle:
+            health = handle.healthz()
+        assert sorted(health["stores"]) == ["deep", "shallow"]
+        assert health["stores"]["deep"]["path"] == store_path
+        assert health["stores"]["deep"]["expanded_to"] == BOUND
+        assert health["stores"]["shallow"]["expanded_to"] == SHALLOW_BOUND
+        # Single-store compatibility fields go null on a multi server.
+        assert health["store"] is None and health["expanded_to"] is None
+
+    def test_routing_matches_single_store_servers(
+        self, multi, server, shallow_server
+    ):
+        """Byte-identity bar: one two-store process == two one-store ones."""
+        srv, _sock, _log = multi
+        with ServeClient(srv.address_text) as both, ServeClient(
+            server.address_text
+        ) as deep_only, ServeClient(shallow_server.address_text) as shallow_only:
+            for spec in ("peres", "g2", "swap_bc"):
+                assert both.synth(spec, store="deep") == deep_only.synth(spec)
+            assert both.synth("swap_bc", store="shallow") == (
+                shallow_only.synth("swap_bc")
+            )
+            # Same closure, different bounds: the shallow alias must
+            # refuse what the deep one serves.
+            assert both.synth("peres", store="deep")["cost"] == 4
+            with pytest.raises(CostBoundExceededError) as excinfo:
+                both.synth("peres", store="shallow")
+            assert excinfo.value.cost_bound == SHALLOW_BOUND
+            assert both.cost_table(store="deep") == deep_only.cost_table()
+            assert both.cost_table(store="shallow") == (
+                shallow_only.cost_table()
+            )
+
+    def test_store_info_carries_alias(self, multi):
+        srv, _sock, _log = multi
+        with ServeClient(srv.address_text) as handle:
+            info = handle.store_info(store="shallow")
+        assert info["alias"] == "shallow"
+        assert info["expanded_to"] == SHALLOW_BOUND
+
+    def test_no_selector_is_structured_ambiguity_error(self, multi):
+        srv, _sock, _log = multi
+        with ServeClient(srv.address_text) as handle:
+            with pytest.raises(ProtocolError) as excinfo:
+                handle.synth("peres")
+            message = str(excinfo.value)
+            assert "deep" in message and "shallow" in message
+            # The connection survives the refusal.
+            assert handle.healthz()["status"] == "ok"
+
+    def test_missing_alias_is_structured_error_not_drop(self, multi):
+        srv, _sock, _log = multi
+        with ServeClient(srv.address_text) as handle:
+            with pytest.raises(ProtocolError) as excinfo:
+                handle.synth("peres", store="nope")
+            assert "nope" in str(excinfo.value)
+            assert handle.healthz()["status"] == "ok"
+        status, body = http_request(
+            srv.address_text, "/synth?store=nope", method="POST",
+            body={"target": "peres"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "protocol"
+
+    def test_fingerprint_routing(self, multi, server):
+        srv, _sock, _log = multi
+        with ServeClient(srv.address_text) as handle:
+            info = handle.store_info(store="deep")
+            fingerprint = (
+                f"{info['library_fingerprint']}:{info['cost_fingerprint']}"
+            )
+            # Both stores are the same library + cost model, so the
+            # full fingerprint pair is ambiguous between the aliases.
+            with pytest.raises(ProtocolError) as excinfo:
+                handle.synth("peres", store=fingerprint)
+            assert "ambiguous" in str(excinfo.value)
+        # Against the single-store server the same fingerprint resolves.
+        with ServeClient(server.address_text) as handle:
+            assert handle.synth("peres", store=fingerprint)["cost"] == 4
+
+    def test_http_store_selector_via_body(self, multi):
+        srv, _sock, _log = multi
+        status, deep = http_request(
+            srv.address_text, "/synth", method="POST",
+            body={"target": "swap_bc", "store": "deep"},
+        )
+        status2, shallow = http_request(
+            srv.address_text, "/synth?store=shallow", method="POST",
+            body={"target": "swap_bc"},
+        )
+        assert status == status2 == 200
+        assert deep == shallow  # same minimal circuit from both stores
+
+
+class TestUnixTransport:
+    def test_unix_and_tcp_answers_are_identical(self, multi):
+        srv, sock, _log = multi
+        with ServeClient(f"unix:{sock}", store="deep") as unix_handle:
+            with ServeClient(srv.address_text, store="deep") as tcp_handle:
+                assert unix_handle.synth("peres") == tcp_handle.synth("peres")
+                assert unix_handle.synth_batch(["peres", "g2"]) == (
+                    tcp_handle.synth_batch(["peres", "g2"])
+                )
+        assert unix_handle.address == f"unix:{sock}"
+
+    def test_http_over_unix_socket(self, multi):
+        _srv, sock, _log = multi
+        status, health = http_request(f"unix:{sock}", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+    def test_wait_until_ready_over_unix(self, multi):
+        _srv, sock, _log = multi
+        assert wait_until_ready(f"unix:{sock}", timeout=10)["status"] == "ok"
+
+    def test_socket_file_vanishes_on_shutdown(self, store_path):
+        workdir = tempfile.mkdtemp(prefix="repro-sock-")
+        sock = os.path.join(workdir, "one.sock")
+        try:
+            with BackgroundServer(store_path, unix=sock) as srv:
+                with ServeClient(f"unix:{sock}") as handle:
+                    assert handle.synth("peres")["cost"] == 4
+                assert os.path.exists(sock)
+            assert not os.path.exists(sock)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_unix_only_server_skips_tcp(self, store_path):
+        workdir = tempfile.mkdtemp(prefix="repro-sock-")
+        sock = os.path.join(workdir, "only.sock")
+        try:
+            with BackgroundServer(store_path, port=None, unix=sock) as srv:
+                assert srv._address is None  # no TCP listener bound
+                with ServeClient(f"unix:{sock}") as handle:
+                    assert handle.synth("peres")["cost"] == 4
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_live_socket_is_refused_not_hijacked(self, store_path):
+        from repro.errors import ReproError
+
+        workdir = tempfile.mkdtemp(prefix="repro-sock-")
+        sock = os.path.join(workdir, "live.sock")
+        try:
+            with BackgroundServer(store_path, unix=sock):
+                with pytest.raises(ReproError) as excinfo:
+                    BackgroundServer(store_path, port=None, unix=sock).start()
+                assert "already accepting" in str(excinfo.value)
+                # The original server's socket survived the collision.
+                with ServeClient(f"unix:{sock}") as handle:
+                    assert handle.healthz()["status"] == "ok"
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_stale_socket_is_cleaned_up(self, store_path):
+        workdir = tempfile.mkdtemp(prefix="repro-sock-")
+        sock = os.path.join(workdir, "stale.sock")
+        try:
+            # A dead server's leftover: bound, never accepting again.
+            stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            stale.bind(sock)
+            stale.close()
+            with BackgroundServer(store_path, unix=sock):
+                with ServeClient(f"unix:{sock}") as handle:
+                    assert handle.synth("peres")["cost"] == 4
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_all_digit_alias_routes_over_http(self, store_path):
+        with BackgroundServer([f"007={store_path}"]) as srv:
+            status, payload = http_request(
+                srv.address_text, "/synth?store=007", method="POST",
+                body={"target": "peres"},
+            )
+            assert status == 200 and payload["cost"] == 4
+            status, body = http_request(
+                srv.address_text, "/synth", method="POST",
+                body={"target": "peres", "store": 7},
+            )
+            assert status == 400  # ill-typed selector, same as NDJSON
+            assert body["error"]["code"] == "protocol"
+
+
+class TestAccessLog:
+    @staticmethod
+    def _records_when(log, predicate, timeout=5.0):
+        """Poll the log until *predicate*(records) holds (writes are
+        fire-and-forget on the server's log thread, so a just-answered
+        request's record can trail its response by a moment)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            records = load_access_log(log)
+            if predicate(records) or time.monotonic() > deadline:
+                return records
+            time.sleep(0.01)
+
+    def test_one_record_per_request(self, multi):
+        srv, sock, log = multi
+        base = len(self._records_when(log, lambda r: False, timeout=0.2))
+        with ServeClient(f"unix:{sock}", store="deep") as handle:
+            handle.synth("peres")
+            handle.synth_batch(["peres", "swap_bc"])
+            with pytest.raises(ProtocolError):
+                handle.synth("peres", store="nope")
+            handle.healthz()
+        records = self._records_when(
+            log, lambda r: len(r) >= base + 4
+        )[base:]
+        assert [r["op"] for r in records] == [
+            "synth", "synth-batch", "synth", "healthz",
+        ]
+        assert records[0]["store"] == "deep"
+        assert records[0]["outcome"] == "ok"
+        assert records[2]["outcome"] == "protocol"
+        assert records[2]["store"] is None  # resolution failed
+        for record in records:
+            assert record["queue_wait_ms"] >= 0.0
+            assert record["execute_ms"] >= 0.0
+            # total spans queue wait + execution (rounding-tolerant).
+            assert record["total_ms"] + 0.01 >= record["execute_ms"]
+
+    def test_malformed_access_log_is_refused(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"op": "synth"}\n')
+        with pytest.raises(SpecificationError):
+            load_access_log(path)
+        path.write_text("not json\n")
+        with pytest.raises(SpecificationError):
+            load_access_log(path)
+
+
+class TestWaitUntilReady:
+    def test_fails_fast_when_server_never_comes_up(self):
+        # Bind-then-close guarantees a port that refuses connections.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        started = time.monotonic()
+        with pytest.raises(ServerError) as excinfo:
+            wait_until_ready(f"127.0.0.1:{port}", timeout=0.4, interval=0.01)
+        elapsed = time.monotonic() - started
+        assert elapsed < 3.0, f"gave up after {elapsed:.1f}s, not ~0.4s"
+        assert "not ready" in str(excinfo.value)
+
+    def test_tiny_timeout_still_attempts_once(self, server):
+        health = wait_until_ready(server.address_text, timeout=0.001)
+        assert health["status"] == "ok"
+
 
 class TestServeSubprocess:
     """The real `repro serve` process: ready line, SIGHUP, SIGTERM."""
@@ -508,6 +1014,36 @@ class TestCliGolden:
         assert store_code == server_code == 1  # toffoli exceeds bound 4
         assert self._body(store_out) == self._body(server_out)
 
+    def test_unix_transport_output_identical(self, multi, store_path, capsys):
+        """The golden byte-identity bar extends to the UNIX socket."""
+        _srv, sock, _log = multi
+        assert main(["synth", "peres", "--store", store_path]) == 0
+        store_out = capsys.readouterr().out
+        assert main(
+            ["synth", "peres", "--server", f"unix:{sock}",
+             "--store-alias", "deep"]
+        ) == 0
+        unix_out = capsys.readouterr().out
+        assert self._body(store_out) == self._body(unix_out)
+
+    def test_unix_batch_output_identical(
+        self, multi, store_path, capsys, tmp_path
+    ):
+        _srv, sock, _log = multi
+        batch_file = tmp_path / "targets.txt"
+        batch_file.write_text("peres\ng2\ntoffoli\n(5,7,6,8)\n")
+        store_code = main(
+            ["synth", "--store", store_path, "--batch", str(batch_file)]
+        )
+        store_out = capsys.readouterr().out
+        unix_code = main(
+            ["synth", "--server", f"unix:{sock}", "--store-alias", "deep",
+             "--batch", str(batch_file)]
+        )
+        unix_out = capsys.readouterr().out
+        assert store_code == unix_code == 1  # toffoli exceeds bound 4
+        assert self._body(store_out) == self._body(unix_out)
+
     def test_store_and_server_are_mutually_exclusive(
         self, server, store_path, capsys
     ):
@@ -516,3 +1052,18 @@ class TestCliGolden:
              "--server", server.address_text]
         ) == 1
         assert "at most one" in capsys.readouterr().err
+
+    def test_store_alias_requires_server(self, store_path, capsys):
+        assert main(
+            ["synth", "peres", "--store", store_path, "--store-alias", "x"]
+        ) == 1
+        assert "--store-alias requires --server" in capsys.readouterr().err
+
+    def test_no_tcp_requires_unix(self, store_path, capsys):
+        assert main(["serve", store_path, "--no-tcp"]) == 1
+        assert "--no-tcp requires --unix" in capsys.readouterr().err
+        assert main(
+            ["serve", store_path, "--no-tcp", "--unix", "/tmp/x.sock",
+             "--port", "0"]
+        ) == 1
+        assert "at most one of --port and --no-tcp" in capsys.readouterr().err
