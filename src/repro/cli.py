@@ -16,8 +16,12 @@ number of synthesis queries are answered against the stored artifact;
 format-v2 stores are memory-mapped, so serving opens in milliseconds)::
 
     repro precompute closure.rpro            # expand + save the closure
+    repro precompute closure.rpro --jobs 4   # parallel sharded expansion
+    repro precompute big.rpro --jobs 8 --dedup-budget 512M \\
+        --checkpoint-dir ck/                 # disk-backed dedup + resume
     repro precompute closure.rpro --extend --cost-bound 8   # deepen it
     repro store info closure.rpro            # peek at a store's header
+    repro store shards closure.rpro          # per-level/shard layout
     repro store verify closure.rpro          # full checksum pass
     repro store migrate old.rpro new.rpro    # rewrite v1 as v2
     repro synth toffoli --store closure.rpro # query without re-expanding
@@ -189,14 +193,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "and cost-model flags must match the existing store)",
     )
     p_pre.add_argument(
-        "--kernel", choices=("vector", "translate"), default="vector",
+        "--kernel", choices=("vector", "translate", "parallel"), default=None,
         help="expansion kernel (vector: NumPy engine, default; "
-        "translate: the byte-level reference loop)",
+        "translate: the byte-level reference loop; parallel: the "
+        "sharded multi-worker engine -- implied by --jobs > 1 or any "
+        "--dedup-*/--shard-bits/--checkpoint-dir flag)",
     )
     p_pre.add_argument(
         "--format-version", type=int, choices=(1, 2), default=None,
         help="store format to write (default: 2, the memory-mapped "
         "layout with the serialized remainder index)",
+    )
+    p_pre.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for candidate generation (parallel "
+        "kernel; 1 = in-process)",
+    )
+    p_pre.add_argument(
+        "--dedup-budget", metavar="SIZE", default=None,
+        help="RAM budget for the dedup table (bytes, or 512M/2G); past "
+        "it, per-shard slabs spill to disk-backed memmaps",
+    )
+    p_pre.add_argument(
+        "--shard-bits", type=int, default=None, metavar="B",
+        help="split the dedup keyspace into 2**B hash-prefix shards "
+        "(default: 6)",
+    )
+    p_pre.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="persist completed levels + dedup slabs under DIR and "
+        "resume from them after a crash (also the spill directory)",
     )
 
     p_info = sub.add_parser("store-info", help="print a store file's header")
@@ -208,6 +234,17 @@ def _build_parser() -> argparse.ArgumentParser:
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
     p_sinfo = store_sub.add_parser("info", help="print a store file's header")
     p_sinfo.add_argument("file")
+    p_shards = store_sub.add_parser(
+        "shards",
+        help="per-level row counts, section sizes and dedup-shard "
+        "layout (for sizing --dedup-budget)",
+    )
+    p_shards.add_argument("file")
+    p_shards.add_argument(
+        "--bits", type=int, default=None, metavar="B",
+        help="no recorded layout? project one by hashing the stored "
+        "rows into 2**B shards",
+    )
     p_sverify = store_sub.add_parser(
         "verify",
         help="full integrity pass: framing, sha256 checksum, invariants",
@@ -509,6 +546,41 @@ def _synth_batch(
     return 1 if failures else 0
 
 
+def _resolve_precompute_kernel(
+    kernel: str | None,
+    jobs: int | None,
+    dedup_budget: str | None,
+    shard_bits: int | None,
+    checkpoint_dir: str | None,
+) -> tuple[str, dict]:
+    """Pick the expansion kernel + options from the precompute flags.
+
+    Any parallel-engine tunable implies ``kernel="parallel"``; flags on
+    a non-parallel kernel are refused rather than silently ignored.
+    """
+    from repro.core.dedup import parse_budget
+    from repro.errors import SpecificationError
+
+    options: dict = {}
+    if jobs is not None:
+        options["jobs"] = jobs
+    if dedup_budget is not None:
+        options["memory_budget"] = parse_budget(dedup_budget)
+    if shard_bits is not None:
+        options["shard_bits"] = shard_bits
+    if checkpoint_dir is not None:
+        options["checkpoint_dir"] = checkpoint_dir
+    if kernel is None:
+        kernel = "parallel" if options else "vector"
+    elif options and kernel != "parallel":
+        raise SpecificationError(
+            "--jobs/--dedup-budget/--shard-bits/--checkpoint-dir are "
+            f"parallel-kernel options; they cannot combine with "
+            f"--kernel {kernel}"
+        )
+    return kernel, options
+
+
 def _cmd_precompute(
     out: str,
     cost_bound: int,
@@ -518,8 +590,12 @@ def _cmd_precompute(
     vdag_cost: int,
     cnot_cost: int,
     extend: bool = False,
-    kernel: str = "vector",
+    kernel: str | None = None,
     format_version: int | None = None,
+    jobs: int | None = None,
+    dedup_budget: str | None = None,
+    shard_bits: int | None = None,
+    checkpoint_dir: str | None = None,
 ) -> int:
     from pathlib import Path
 
@@ -534,6 +610,9 @@ def _cmd_precompute(
     from repro.gates.library import GateLibrary
     from repro.io import open_store, save_search
 
+    kernel, kernel_options = _resolve_precompute_kernel(
+        kernel, jobs, dedup_budget, shard_bits, checkpoint_dir
+    )
     library = GateLibrary(qubits)
     cost_model = CostModel(
         v_cost=v_cost, vdag_cost=vdag_cost, cnot_cost=cnot_cost
@@ -559,7 +638,7 @@ def _cmd_precompute(
                 "it as-is, or precompute a fresh parent-tracking store"
             )
         _header, library, search = open_store(out)
-        search.use_kernel(kernel)
+        search.use_kernel(kernel, kernel_options or None)
         previous = search.expanded_to
         if cost_bound <= previous:
             print(
@@ -574,20 +653,41 @@ def _cmd_precompute(
     else:
         previous = None
         search = CascadeSearch(
-            library, cost_model, track_parents=not no_parents, kernel=kernel
+            library,
+            cost_model,
+            track_parents=not no_parents,
+            kernel=kernel,
+            kernel_options=kernel_options,
         )
-    search.extend_to(cost_bound)
-    stats = search.stats()
-    if format_version is None:
-        header = save_search(search, out)
-    else:
-        header = save_search(search, out, format_version=format_version)
+        if search.was_restored and search.expanded_to:
+            print(
+                f"resumed checkpoint {checkpoint_dir} at cost "
+                f"{search.expanded_to}"
+            )
+    try:
+        search.extend_to(cost_bound)
+        stats = search.stats()
+        if format_version is None:
+            header = save_search(search, out)
+        else:
+            header = save_search(search, out, format_version=format_version)
+    finally:
+        search.close()
     size = Path(out).stat().st_size
     verb = "extended" if previous is not None else "expanded"
     print(
         f"{verb} {library!r} to cost {cost_bound}: "
         f"{stats.total_seen} cascades in {stats.elapsed_seconds:.2f}s"
     )
+    if kernel == "parallel":
+        layout = header.shards
+        if layout:
+            spill = "disk-backed" if layout.get("spilled") else "in-RAM"
+            print(
+                f"dedup table: {1 << layout['shard_bits']} shards x "
+                f"{layout['slab_slots']} slots ({spill}), "
+                f"jobs {kernel_options.get('jobs', 1)}"
+            )
     print(f"levels |B[k]|: {list(stats.level_sizes)}")
     print(
         f"wrote {out} ({size / 1e6:.1f} MB, format {header.format_version}, "
@@ -710,10 +810,92 @@ def _cmd_store_info(path: str) -> int:
             f"functions, {header.index_matches} minimal-cost witnesses "
             "(serialized; no closure scan on open)"
         )
+        if header.shards:
+            layout = header.shards
+            rows = layout.get("rows_per_shard", [])
+            print(
+                f"  dedup shards: {1 << layout['shard_bits']} x "
+                f"{layout['slab_slots']} slots, max {max(rows, default=0)} "
+                f"rows/shard "
+                f"({'disk-backed' if layout.get('spilled') else 'in-RAM'}; "
+                "`repro store shards` for the full layout)"
+            )
     else:
         print(
             "  layout: legacy v1 (eager byte records; "
             "`repro store migrate` upgrades to v2)"
+        )
+    return 0
+
+
+def _cmd_store_shards(path: str, bits: int | None) -> int:
+    """Per-level rows, section sizes, shard layout -- budget sizing aid."""
+    from repro.io import read_header
+    from repro.render.tables import format_table
+
+    header = read_header(path)
+    print(f"{path}: closure store, format {header.format_version}")
+    offsets = header.level_row_offsets
+    if offsets:
+        rows = [
+            [k, offsets[k], offsets[k + 1] - offsets[k]]
+            for k in range(len(offsets) - 1)
+        ]
+        print(format_table(["level", "first row", "rows"], rows))
+    else:
+        print(f"  levels |B[k]|: {list(header.level_sizes)} (v1: no offsets)")
+    if header.sections:
+        rows = [
+            [name, offset, length]
+            for name, (offset, length) in header.sections.items()
+        ]
+        print(format_table(["section", "offset", "bytes"], rows))
+    layout = header.shards
+    if not layout and bits is None and header.format_version >= 2:
+        print(
+            "no recorded shard layout (store not written by the parallel "
+            "kernel); pass --bits B to project one"
+        )
+        return 0
+    if layout and bits is None:
+        per_shard = layout.get("rows_per_shard", [])
+        shard_bits = layout["shard_bits"]
+        slots = layout["slab_slots"]
+        source = "recorded by the parallel kernel"
+    else:
+        if header.format_version < 2:
+            print(
+                "legacy v1 store: no mappable rows to project a shard "
+                "layout from (`repro store migrate` first)"
+            )
+            return 0
+        from repro.core.dedup import MAX_SHARD_BITS
+        from repro.errors import SpecificationError
+
+        from repro.core.store import projected_shard_layout
+
+        shard_bits = 6 if bits is None else bits
+        if not 0 <= shard_bits <= MAX_SHARD_BITS:
+            raise SpecificationError(
+                f"--bits must be in 0..{MAX_SHARD_BITS} (the engine's "
+                f"supported shard range), got {shard_bits}"
+            )
+        per_shard, slots = projected_shard_layout(path, shard_bits)
+        source = f"projected from the stored rows at --bits {shard_bits}"
+    if per_shard:
+        peak = max(per_shard)
+        total_bytes = (1 << shard_bits) * slots * 8
+        print(
+            f"dedup shards ({source}): {1 << shard_bits} shards, "
+            f"{slots} slots each"
+        )
+        print(
+            f"  rows/shard: min {min(per_shard)}, max {peak}, "
+            f"total {sum(per_shard)}"
+        )
+        print(
+            f"  table bytes at load<=1/4: {total_bytes} "
+            f"(--dedup-budget below this spills to disk)"
         )
     return 0
 
@@ -874,12 +1056,16 @@ def main(argv: list[str] | None = None) -> int:
                 args.out, args.cost_bound, args.qubits, args.no_parents,
                 args.v_cost, args.vdag_cost, args.cnot_cost,
                 args.extend, args.kernel, args.format_version,
+                args.jobs, args.dedup_budget, args.shard_bits,
+                args.checkpoint_dir,
             )
         if args.command == "store-info":
             return _cmd_store_info(args.file)
         if args.command == "store":
             if args.store_command == "info":
                 return _cmd_store_info(args.file)
+            if args.store_command == "shards":
+                return _cmd_store_shards(args.file, args.bits)
             if args.store_command == "verify":
                 return _cmd_store_verify(args.file)
             if args.store_command == "migrate":

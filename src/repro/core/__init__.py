@@ -4,6 +4,8 @@
 * :mod:`repro.core.cost` -- quantum cost models.
 * :mod:`repro.core.search` -- the reasonable-product layered closure.
 * :mod:`repro.core.kernel` -- the NumPy-vectorized expansion engine.
+* :mod:`repro.core.parallel` -- sharded multi-worker expansion engine.
+* :mod:`repro.core.dedup` -- disk-backed sharded dedup table.
 * :mod:`repro.core.store` -- persistent closure store (precompute/serve).
 * :mod:`repro.core.batch` -- batch synthesis against one shared closure.
 * :mod:`repro.core.fmcf` -- Finding_Minimum_Cost_Circuits (Table 2).
@@ -16,11 +18,14 @@
 from repro.core.circuit import Circuit
 from repro.core.cost import CostModel, UNIT_COST
 from repro.core.search import (
+    KERNELS,
     CascadeSearch,
     SearchArrays,
     SearchState,
     SearchStats,
 )
+from repro.core.dedup import ShardedDedupTable, parse_budget
+from repro.core.parallel import RelationFilter, ShardedExpansion
 from repro.core.store import (
     StoreHeader,
     cost_model_fingerprint,
@@ -89,10 +94,15 @@ __all__ = [
     "Circuit",
     "CostModel",
     "UNIT_COST",
+    "KERNELS",
     "CascadeSearch",
     "SearchArrays",
     "SearchState",
     "SearchStats",
+    "ShardedDedupTable",
+    "parse_budget",
+    "RelationFilter",
+    "ShardedExpansion",
     "StoreHeader",
     "cost_model_fingerprint",
     "dump_search",

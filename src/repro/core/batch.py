@@ -111,7 +111,11 @@ class BatchSynthesizer:
       path once) before sharing an instance across threads;
     * the search must not be extended or re-kerneled while queries are
       in flight -- freezing makes those operations raise instead of
-      racing.
+      racing.  For a parallel-kernel search
+      (``CascadeSearch(kernel="parallel")``) the freeze also releases
+      the expansion worker pool and scratch mappings, so a serving
+      process never holds idle forked workers; the sharded dedup table
+      stays alive (row lookups read it).
 
     This is the contract the long-lived service (:mod:`repro.server`)
     relies on: one frozen, warmed ``BatchSynthesizer`` serves all

@@ -220,6 +220,8 @@ class GateRows:
     """Static per-gate kernel data derived from a gate library.
 
     Attributes:
+        tables: per-gate raw 256-byte translate tables (the source the
+            derived pair tables and relation filters are built from).
         tables16: per-gate uint16 pair tables.
         banned: per-gate ``(mask_words,)`` u64 banned masks.
         costs: per-gate integer costs.
@@ -227,7 +229,7 @@ class GateRows:
             is not in the library), for the back-edge duplicate filter.
     """
 
-    __slots__ = ("tables16", "banned", "costs", "inverse", "groups")
+    __slots__ = ("tables", "tables16", "banned", "costs", "inverse", "groups")
 
     def __init__(
         self,
@@ -237,6 +239,7 @@ class GateRows:
         inverse: list[int],
         mask_words: int,
     ):
+        self.tables = [bytes(t) for t in tables]
         self.tables16 = [_pair_table(t) for t in tables]
         self.banned = [mask_int_to_words(b, mask_words) for b in banned_masks]
         self.costs = list(costs)
@@ -691,14 +694,30 @@ class VectorEngine:
             )
 
     # -- the kernel --------------------------------------------------------------------
+    #
+    # ``expand_level`` is split into four phases so sharded/parallel
+    # engines (:mod:`repro.core.parallel`) can override one phase at a
+    # time while inheriting the rest:
+    #
+    #   _plan_chunks         -> which (gate, source level, kept rows)
+    #                           pairs become candidates, in the
+    #                           determinism-critical library-gate order;
+    #   _filter_candidates   -> per-chunk pruning hook (identity here;
+    #                           the relation filter of the parallel
+    #                           engine drops provable duplicates);
+    #   _generate_candidates -> compose + hash every kept pair;
+    #   _commit_level        -> dedup, append accepted rows, build the
+    #                           per-level mask/parent/gate arrays.
 
-    def expand_level(self, cost: int) -> int:
-        """Compute the next level (must be ``n_levels``); returns its size."""
-        if cost != self.n_levels:
-            raise InvalidValueError(
-                f"levels must be expanded in order: next is {self.n_levels}, "
-                f"got {cost}"
-            )
+    def _plan_chunks(
+        self, cost: int
+    ) -> tuple[list[tuple[int, int, np.ndarray]], int]:
+        """Candidate chunks ``(gate, src level, kept src rows)`` for a level.
+
+        Chunks are returned sorted by library-gate index: candidates
+        must appear in gate order for discovery order (and hence parent
+        choice) to match the translate kernel.
+        """
         rows = self.gate_rows
         chunks: list[tuple[int, int, np.ndarray]] = []
         total = 0
@@ -723,29 +742,37 @@ class VectorEngine:
                     keep = keep_group
                 kept = np.flatnonzero(keep)
                 if kept.size:
+                    kept = self._filter_candidates(src, gi, kept)
+                if kept.size:
                     chunks.append((gi, src, kept))
                     total += kept.size
-        # Candidates must appear in library-gate order for discovery
-        # order (and hence parent choice) to match the translate kernel.
         chunks.sort(key=lambda chunk: chunk[0])
-        if not total:
-            self._append_level(
-                np.empty((0, self.width), dtype=np.uint8),
-                np.empty(0, dtype=np.uint64),
-                np.empty((0, self.mask_words), dtype=np.uint64),
-                np.empty(0, dtype=np.int32),
-                np.empty(0, dtype=np.int32),
-            )
-            return 0
-        cand = np.empty((total, self.width), dtype=np.uint8)
+        return chunks, total
+
+    def _filter_candidates(
+        self, src: int, gi: int, kept: np.ndarray
+    ) -> np.ndarray:
+        """Hook: drop kept rows whose candidates are provable duplicates.
+
+        The base engine keeps everything; overrides must only remove
+        candidates that some earlier candidate (earlier level, or same
+        level and smaller gate index) is guaranteed to have produced,
+        so levels, discovery order and parents stay byte-identical.
+        """
+        return kept
+
+    def _generate_candidates(
+        self, chunks: list[tuple[int, int, np.ndarray]], total: int
+    ):
+        """Compose + hash all planned candidates.
+
+        Returns ``(cand, ch, parents, gates)``: packed candidate rows,
+        their hashes, parent global rows (None on counting-only runs)
+        and appended-gate indices, all in chunk order.
+        """
+        rows = self.gate_rows
+        cand, ch, parents, gates = self._candidate_buffers(total)
         cand16 = cand.view(np.uint16)
-        # Counting-only runs skip the parent arrays entirely; the gate
-        # array stays (it feeds the back-edge duplicate filter).
-        parents = (
-            np.empty(total, dtype=np.int32) if self.track_parents else None
-        )
-        gates = np.empty(total, dtype=np.int32)
-        ch = np.empty(total, dtype=np.uint64)
         pos = 0
         for gi, src, kept in chunks:
             m = kept.size
@@ -765,6 +792,28 @@ class VectorEngine:
                 parents[pos : pos + m] = self.offsets[src] + kept
             gates[pos : pos + m] = gi
             pos += m
+        return cand, ch, parents, gates
+
+    def _wants_parents(self) -> bool:
+        """Whether candidate parents are materialized during expansion."""
+        return self.track_parents
+
+    def _candidate_buffers(self, total: int):
+        """Scratch arrays for one level's candidates (overridable).
+
+        Returns ``(cand, ch, parents, gates)``; *parents* is None on
+        counting-only runs (the gate array stays -- it feeds the
+        back-edge duplicate filter).
+        """
+        return (
+            np.empty((total, self.width), dtype=np.uint8),
+            np.empty(total, dtype=np.uint64),
+            np.empty(total, dtype=np.int32) if self._wants_parents() else None,
+            np.empty(total, dtype=np.int32),
+        )
+
+    def _commit_level(self, cand, ch, parents, gates) -> int:
+        """Dedup the candidate batch and append the accepted rows."""
         new_mask = self._dedup_insert(cand, ch)
         accepted = np.flatnonzero(new_mask)
         n_new = accepted.size
@@ -785,3 +834,23 @@ class VectorEngine:
         )
         self.level_gates.append(gates[accepted])
         return int(n_new)
+
+    def expand_level(self, cost: int) -> int:
+        """Compute the next level (must be ``n_levels``); returns its size."""
+        if cost != self.n_levels:
+            raise InvalidValueError(
+                f"levels must be expanded in order: next is {self.n_levels}, "
+                f"got {cost}"
+            )
+        chunks, total = self._plan_chunks(cost)
+        if not total:
+            self._append_level(
+                np.empty((0, self.width), dtype=np.uint8),
+                np.empty(0, dtype=np.uint64),
+                np.empty((0, self.mask_words), dtype=np.uint64),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int32),
+            )
+            return 0
+        cand, ch, parents, gates = self._generate_candidates(chunks, total)
+        return self._commit_level(cand, ch, parents, gates)

@@ -20,10 +20,16 @@ Two interchangeable kernels drive the expansion:
   ``bytes.translate`` per candidate, dict-based dedup), kept as the
   reference implementation and benchmark baseline
   (``benchmarks/bench_kernel.py``).
+* ``kernel="parallel"``: the sharded expansion engine of
+  :mod:`repro.core.parallel` -- relation-filtered candidate generation,
+  optionally fanned out to a ``multiprocessing`` worker pool, merged
+  through a disk-backed sharded dedup table.  Tunables (worker count,
+  shard bits, dedup memory budget, checkpoint directory) arrive via
+  ``kernel_options``.
 
-Both kernels produce identical levels in identical discovery order with
-identical parent pointers; ``tests/test_kernels.py`` pins that
-equivalence.  Optional parent pointers give O(cost) witness extraction
+All kernels produce identical levels in identical discovery order with
+identical parent pointers; ``tests/test_kernels.py`` and
+``tests/test_parallel.py`` pin that equivalence.  Optional parent pointers give O(cost) witness extraction
 for MCE, and row-based accessors (:meth:`CascadeSearch.perm_bytes_at`,
 :meth:`CascadeSearch.witness_indices_for_row`) let index-serving layers
 avoid byte-level lookups entirely.
@@ -46,7 +52,9 @@ except ImportError:  # pragma: no cover - the container ships numpy
     _np = None
 
 #: Kernel names accepted by :class:`CascadeSearch`.
-KERNELS = ("vector", "translate")
+KERNELS = ("vector", "translate", "parallel")
+#: Kernels whose closure state is the array engine of repro.core.kernel.
+_ARRAY_KERNELS = ("vector", "parallel")
 
 
 @dataclass(frozen=True)
@@ -166,9 +174,15 @@ class CascadeSearch:
             permutation, enabling :meth:`witness_circuit`.  Costs memory
             proportional to the closure size; disable for counting-only
             runs such as Table 2.
-        kernel: ``"vector"`` (NumPy engine, default) or ``"translate"``
-            (the reference pure-Python loop).  Both produce identical
+        kernel: ``"vector"`` (NumPy engine, default), ``"translate"``
+            (the reference pure-Python loop) or ``"parallel"`` (the
+            sharded multi-worker engine).  All produce identical
             closures; see the module docstring.
+        kernel_options: tunables for the parallel kernel -- ``jobs``,
+            ``shard_bits``, ``memory_budget``, ``checkpoint_dir``,
+            ``relation_filter`` (see
+            :class:`repro.core.parallel.ShardedExpansion`).  Ignored by
+            the other kernels.
     """
 
     def __init__(
@@ -177,13 +191,15 @@ class CascadeSearch:
         cost_model: CostModel = UNIT_COST,
         track_parents: bool = True,
         kernel: str = "vector",
+        kernel_options: dict | None = None,
     ):
         if kernel not in KERNELS:
             raise InvalidValueError(
                 f"unknown kernel {kernel!r}; pick one of {KERNELS}"
             )
-        if kernel == "vector" and _np is None:
+        if kernel in _ARRAY_KERNELS and _np is None:
             kernel = "translate"
+        self._kernel_options = dict(kernel_options or {})
         self._library = library
         self._cost_model = cost_model
         self._track_parents = track_parents
@@ -229,11 +245,18 @@ class CascadeSearch:
         else:
             self._engine = self._new_engine()
             self._engine.seed_identity()
+            if kernel == "parallel" and self._kernel_options.get(
+                "checkpoint_dir"
+            ):
+                resumed = self._engine.try_resume()
+                if resumed:
+                    self._expanded_to = resumed
+                    self._restored = True
 
     # -- infrastructure ----------------------------------------------------------------
 
-    def _new_engine(self):
-        from repro.core.kernel import GateRows, VectorEngine, mask_word_count
+    def _gate_rows(self):
+        from repro.core.kernel import GateRows, mask_word_count
 
         inverse = []
         for entry in self._library.gates:
@@ -241,17 +264,46 @@ class CascadeSearch:
                 inverse.append(self._library.adjoint_entry(entry).index)
             except Exception:
                 inverse.append(-1)
-        gate_rows = GateRows(
+        return GateRows(
             [row[0] for row in self._rows],
             [row[1] for row in self._rows],
             [row[2] for row in self._rows],
             inverse,
             mask_words=mask_word_count(self._degree),
         )
+
+    def _new_engine(self):
+        if self._kernel == "parallel":
+            from repro.core.parallel import ShardedExpansion
+
+            options = dict(self._kernel_options)
+            provenance = options.pop("provenance", None)
+            if provenance is None and options.get("checkpoint_dir"):
+                from repro.core.store import (
+                    cost_model_fingerprint,
+                    library_fingerprint,
+                )
+
+                provenance = {
+                    "library_fingerprint": library_fingerprint(self._library),
+                    "cost_fingerprint": cost_model_fingerprint(
+                        self._cost_model
+                    ),
+                }
+            return ShardedExpansion(
+                self._degree,
+                self._n_binary,
+                self._gate_rows(),
+                track_parents=self._track_parents,
+                provenance=provenance,
+                **options,
+            )
+        from repro.core.kernel import VectorEngine
+
         return VectorEngine(
             self._degree,
             self._n_binary,
-            gate_rows,
+            self._gate_rows(),
             track_parents=self._track_parents,
         )
 
@@ -284,12 +336,13 @@ class CascadeSearch:
         """The expansion kernel this search uses."""
         return self._kernel
 
-    def use_kernel(self, kernel: str) -> None:
+    def use_kernel(self, kernel: str, kernel_options: dict | None = None) -> None:
         """Switch the expansion kernel for future :meth:`extend_to` calls.
 
-        Either kernel can pick up a closure the other built -- the
+        Any kernel can pick up a closure another one built -- the
         byte-level and array forms convert lazily -- so switching is
-        cheap until the next expansion actually runs.
+        cheap until the next expansion actually runs.  *kernel_options*
+        replaces the parallel-kernel tunables when given.
         """
         if self._frozen:
             from repro.errors import FrozenSearchError
@@ -301,9 +354,11 @@ class CascadeSearch:
             raise InvalidValueError(
                 f"unknown kernel {kernel!r}; pick one of {KERNELS}"
             )
-        if kernel == "vector" and _np is None:
-            raise InvalidValueError("the vector kernel needs numpy")
+        if kernel in _ARRAY_KERNELS and _np is None:
+            raise InvalidValueError(f"the {kernel} kernel needs numpy")
         self._kernel = kernel
+        if kernel_options is not None:
+            self._kernel_options = dict(kernel_options)
 
     @property
     def frozen(self) -> bool:
@@ -357,8 +412,25 @@ class CascadeSearch:
         self.stats()
         for cost in range(self._expanded_to + 1):
             self._level_start(cost)
+        if self._engine is not None and hasattr(self._engine, "release_workers"):
+            # A parallel-kernel search keeps no idle worker processes
+            # once pinned for serving (the dedup table stays for
+            # row lookups).
+            self._engine.release_workers()
         self._frozen = True
         return self
+
+    def shard_layout(self) -> dict | None:
+        """Dedup-shard layout, when the parallel kernel holds this closure.
+
+        ``None`` for the other kernels; the v2 store writer embeds a
+        non-None layout into the header so `repro store shards` can
+        report it.
+        """
+        engine = self._engine
+        if engine is not None and hasattr(engine, "dedup_table"):
+            return engine.dedup_table.layout()
+        return None
 
     @property
     def was_restored(self) -> bool:
@@ -501,6 +573,51 @@ class CascadeSearch:
         self._engine = engine
         return engine
 
+    def _upgrade_engine_if_needed(self, engine):
+        """Swap in a sharded engine when the parallel kernel is selected.
+
+        A :class:`~repro.core.parallel.ShardedExpansion` *is* a
+        ``VectorEngine``, so a search that switches ``parallel ->
+        vector`` keeps its engine; only the opposite switch replays the
+        levels into a fresh sharded engine (O(closure size), once).
+        """
+        if self._kernel != "parallel":
+            return engine
+        from repro.core.parallel import ShardedExpansion
+
+        if isinstance(engine, ShardedExpansion):
+            return engine
+        upgraded = self._new_engine()
+        for cost in range(engine.n_levels):
+            upgraded.load_level(
+                engine.level_perms_raw(cost),
+                engine.level_masks[cost],
+                engine.level_parents[cost]
+                if engine.level_parents[cost].shape[0]
+                else None,
+                engine.level_gates[cost]
+                if engine.level_gates[cost].shape[0]
+                else None,
+            )
+        self._engine = upgraded
+        return upgraded
+
+    def close(self) -> None:
+        """Release kernel resources (worker pools, dedup slabs, scratch).
+
+        Only the parallel kernel holds any; calling this on other
+        kernels (or twice) is a no-op.  After closing, level reads and
+        witness walks keep working (they read the engine's arrays), but
+        exact row lookups (:meth:`cost_of` / ``find_row`` on a
+        parallel-kernel engine) need the dedup slabs and raise a clean
+        :class:`~repro.errors.InvalidValueError`.  To keep a search
+        fully queryable while only shedding worker processes, use
+        :meth:`freeze` instead.
+        """
+        engine = self._engine
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
+
     # -- expansion ---------------------------------------------------------------------
 
     def extend_to(self, cost_bound: int) -> None:
@@ -517,8 +634,9 @@ class CascadeSearch:
                 f"{self._expanded_to}; cannot extend to {cost_bound}"
             )
         started = perf_counter()
-        if self._kernel == "vector":
+        if self._kernel in _ARRAY_KERNELS:
             engine = self._ensure_engine()
+            engine = self._upgrade_engine_if_needed(engine)
             for cost in range(self._expanded_to + 1, cost_bound + 1):
                 engine.expand_level(cost)
                 self._expanded_to = cost
@@ -862,6 +980,7 @@ class CascadeSearch:
         state: SearchState,
         cost_model: CostModel = UNIT_COST,
         kernel: str = "vector",
+        kernel_options: dict | None = None,
     ) -> "CascadeSearch":
         """Rebuild a search from an exported snapshot in O(closure size).
 
@@ -884,6 +1003,7 @@ class CascadeSearch:
             cost_model,
             track_parents=state.parents is not None,
             kernel=kernel,
+            kernel_options=kernel_options,
         )
         degree = search._degree
         if not state.levels or state.levels[0] != (
@@ -948,6 +1068,7 @@ class CascadeSearch:
         cost_model: CostModel = UNIT_COST,
         kernel: str = "vector",
         validate: bool = True,
+        kernel_options: dict | None = None,
     ) -> "CascadeSearch":
         """Rebuild a search from an array snapshot without copying rows.
 
@@ -970,6 +1091,7 @@ class CascadeSearch:
             cost_model,
             track_parents=arrays.parents is not None,
             kernel=kernel,
+            kernel_options=kernel_options,
         )
         if validate:
             search._validate_arrays(arrays)

@@ -228,6 +228,12 @@ class StoreHeader:
     #: are read eagerly on open, so they are verified even on the lazy
     #: memory-mapped path.
     index_sha256: dict = field(default_factory=dict)
+    #: Dedup-shard layout of the expansion that built this store
+    #: (``shard_bits``, ``rows_per_shard``, ``slab_slots``, ``spilled``)
+    #: -- written by the parallel kernel, empty otherwise.  Purely
+    #: informational: `repro store shards` uses it to help operators
+    #: size ``--dedup-budget``; readers must not depend on it.
+    shards: dict = field(default_factory=dict)
 
     @property
     def total_seen(self) -> int:
@@ -282,6 +288,8 @@ def _header_dict(header: StoreHeader) -> dict:
         data["index_entries"] = header.index_entries
         data["index_matches"] = header.index_matches
         data["index_sha256"] = dict(header.index_sha256)
+        if header.shards:
+            data["shards"] = dict(header.shards)
     return data
 
 
@@ -327,6 +335,7 @@ def _header_from_dict(data: dict) -> StoreHeader:
                 str(name): str(digest)
                 for name, digest in data.get("index_sha256", {}).items()
             },
+            shards=dict(data.get("shards", {})),
         )
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise StoreError(f"malformed store header: {exc}") from None
@@ -416,12 +425,97 @@ def _serialized_index(search: CascadeSearch, cost_bound: int):
     return keys, costs, indptr, matches
 
 
+def _v2_section_plan(
+    n: int,
+    degree: int,
+    mask_words: int,
+    n_binary: int,
+    track_parents: bool,
+    index_entries: int,
+    index_matches: int,
+) -> tuple[dict[str, tuple[int, int]], int]:
+    """Section offsets/lengths (8-aligned) from the row/entry counts."""
+    lengths = {
+        "perms": n * degree,
+        "masks": n * mask_words * 8,
+        "rkeys": index_entries * n_binary,
+        "rcosts": index_entries * 4,
+        "rindptr": (index_entries + 1) * 8,
+        "rmatches": index_matches * 4,
+    }
+    if track_parents:
+        lengths["parents"] = n * 4
+        lengths["gates"] = n * 4
+    sections: dict[str, tuple[int, int]] = {}
+    offset = 0
+    for name in _SECTIONS:
+        length = lengths.get(name)
+        if length is None:
+            continue
+        offset += (-offset) % _ALIGN
+        sections[name] = (offset, length)
+        offset += length
+    return sections, offset
+
+
+def _v2_header(
+    search: CascadeSearch,
+    arrays,
+    sections: dict[str, tuple[int, int]],
+    payload_size: int,
+    payload_sha256: str,
+    index_sha: dict,
+    index_entries: int,
+    index_matches: int,
+) -> StoreHeader:
+    """The v2 header shared by the in-memory and streaming writers."""
+    library = search.library
+    return StoreHeader(
+        format_version=2,
+        library_fingerprint=library_fingerprint(library),
+        cost_fingerprint=cost_model_fingerprint(search.cost_model),
+        n_qubits=library.n_qubits,
+        degree=arrays.degree,
+        n_binary=arrays.n_binary,
+        mask_bytes=8 * arrays.mask_words,
+        space_reduced=library.space.reduced,
+        space_ordering=library.space.ordering,
+        gate_kinds=_library_kinds(library),
+        cost_model=search.cost_model,
+        expanded_to=arrays.expanded_to,
+        level_sizes=arrays.level_sizes,
+        track_parents=arrays.parents is not None,
+        elapsed_seconds=arrays.elapsed_seconds,
+        payload_size=payload_size,
+        payload_sha256=payload_sha256,
+        kernel=search.kernel,
+        writer=_writer_tag(),
+        mask_words=arrays.mask_words,
+        level_row_offsets=tuple(int(o) for o in arrays.level_offsets),
+        sections=sections,
+        index_entries=index_entries,
+        index_matches=index_matches,
+        index_sha256=index_sha,
+        shards=search.shard_layout() or {},
+    )
+
+
+def _frame_header(header: StoreHeader) -> bytes:
+    """Magic + length + space-padded JSON header (payload 8-aligned)."""
+    header_blob = json.dumps(
+        _header_dict(header), separators=(",", ":")
+    ).encode()
+    frame = len(MAGIC_V2) + 4
+    pad = (-(frame + len(header_blob))) % _ALIGN
+    header_blob += b" " * pad
+    return (
+        MAGIC_V2 + len(header_blob).to_bytes(4, "little") + header_blob
+    )
+
+
 def _dump_v2(search: CascadeSearch) -> bytes:
     """Serialize in the memory-mappable array format (current default)."""
     arrays = search.export_arrays()
-    library = search.library
-    cost_model = search.cost_model
-    degree = arrays.degree
 
     keys, costs, indptr, matches = _serialized_index(
         search, arrays.expanded_to
@@ -463,45 +557,114 @@ def _dump_v2(search: CascadeSearch) -> bytes:
         for name in ("rkeys", "rcosts", "rindptr", "rmatches")
     }
 
-    header = StoreHeader(
-        format_version=2,
-        library_fingerprint=library_fingerprint(library),
-        cost_fingerprint=cost_model_fingerprint(cost_model),
-        n_qubits=library.n_qubits,
-        degree=degree,
-        n_binary=arrays.n_binary,
-        mask_bytes=8 * arrays.mask_words,
-        space_reduced=library.space.reduced,
-        space_ordering=library.space.ordering,
-        gate_kinds=_library_kinds(library),
-        cost_model=cost_model,
-        expanded_to=arrays.expanded_to,
-        level_sizes=arrays.level_sizes,
-        track_parents=arrays.parents is not None,
-        elapsed_seconds=arrays.elapsed_seconds,
-        payload_size=len(payload),
-        payload_sha256=hashlib.sha256(payload).hexdigest(),
-        kernel=search.kernel,
-        writer=_writer_tag(),
-        mask_words=arrays.mask_words,
-        level_row_offsets=tuple(int(o) for o in arrays.level_offsets),
-        sections=sections,
-        index_entries=len(costs),
-        index_matches=len(matches),
-        index_sha256=index_sha,
+    header = _v2_header(
+        search,
+        arrays,
+        sections,
+        len(payload),
+        hashlib.sha256(payload).hexdigest(),
+        index_sha,
+        len(costs),
+        len(matches),
     )
-    header_blob = json.dumps(_header_dict(header), separators=(",", ":")).encode()
-    # Space-pad the header so the payload starts 8-byte aligned -- the
-    # memmap views of the u64/i64 sections are then always aligned.
-    frame = len(MAGIC_V2) + 4
-    pad = (-(frame + len(header_blob))) % _ALIGN
-    header_blob += b" " * pad
-    return (
-        MAGIC_V2
-        + len(header_blob).to_bytes(4, "little")
-        + header_blob
-        + payload
+    return _frame_header(header) + payload
+
+
+#: Placeholder digest patched in place by the streaming writer (same
+#: length as a real sha256 hex digest, so the header size is stable).
+_SHA_PLACEHOLDER = "0" * 64
+
+#: Rows per write in the streaming writer (bounds its extra RSS).
+_STREAM_ROWS = 1 << 16
+
+
+def _save_v2_streamed(search: CascadeSearch, target: Path) -> StoreHeader:
+    """Write a v2 store per-level/per-chunk, never holding the payload.
+
+    Byte-identical to :func:`_dump_v2`'s output: the section plan is
+    computed from the row counts up front, the payload streams through
+    an incremental sha256, and the header's placeholder digest is
+    patched in place before the atomic rename.  Peak extra memory is
+    one ~:data:`_STREAM_ROWS`-row chunk instead of a whole second copy
+    of the closure -- the property that lets the parallel engine write
+    stores bigger than RAM headroom.
+    """
+    arrays = search.export_arrays()
+    keys, costs, indptr, matches = _serialized_index(
+        search, arrays.expanded_to
     )
+    n = arrays.n_rows
+    sections, payload_size = _v2_section_plan(
+        n,
+        arrays.degree,
+        arrays.mask_words,
+        arrays.n_binary,
+        arrays.parents is not None,
+        len(costs),
+        len(matches),
+    )
+    index_blobs = {
+        "rkeys": keys,
+        "rcosts": costs.tobytes(),
+        "rindptr": indptr.tobytes(),
+        "rmatches": matches.tobytes(),
+    }
+    index_sha = {
+        name: hashlib.sha256(blob).hexdigest()
+        for name, blob in index_blobs.items()
+    }
+    header = _v2_header(
+        search, arrays, sections, payload_size, _SHA_PLACEHOLDER,
+        index_sha, len(costs), len(matches),
+    )
+    frame = _frame_header(header)
+    sha_at = frame.index(_SHA_PLACEHOLDER.encode())
+
+    def _array_chunks(name: str, dtype):
+        source = {
+            "perms": (arrays.perms, np.uint8),
+            "masks": (arrays.masks, "<u8"),
+            "parents": (arrays.parents, "<i4"),
+            "gates": (arrays.gates, "<i4"),
+        }[name]
+        array, want = source
+        for start in range(0, n, _STREAM_ROWS):
+            yield np.ascontiguousarray(
+                array[start : start + _STREAM_ROWS], dtype=want
+            ).tobytes()
+
+    digest = hashlib.sha256()
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(frame)
+        written = 0
+        for name, (offset, length) in sections.items():
+            pad = offset - written
+            if pad:
+                handle.write(b"\x00" * pad)
+                digest.update(b"\x00" * pad)
+                written += pad
+            if name in index_blobs:
+                chunks = (index_blobs[name],)
+            else:
+                chunks = _array_chunks(name, None)
+            for chunk in chunks:
+                handle.write(chunk)
+                digest.update(chunk)
+                written += len(chunk)
+            if written - offset != length:
+                raise StoreError(
+                    f"streamed section {name!r} wrote {written - offset} "
+                    f"bytes, planned {length}"
+                )
+        # Patch the placeholder digest in place; same length, so every
+        # other byte of the file is untouched.
+        handle.seek(sha_at)
+        handle.write(digest.hexdigest().encode())
+    os.replace(tmp, target)
+    from dataclasses import replace
+
+    return replace(header, payload_sha256=digest.hexdigest())
 
 
 def dump_search(
@@ -529,9 +692,16 @@ def save_search(
     never leaves a truncated store behind -- and re-saving over a store
     that is currently memory-mapped (``precompute --extend``) is safe:
     the mapping keeps the old inode alive.
+
+    v2 stores are **streamed** section by section, level by level
+    (:func:`_save_v2_streamed`) -- byte-identical to
+    :func:`dump_search` output, but peak RSS stays bounded by one
+    chunk instead of a full second copy of the payload.
     """
-    data = dump_search(search, format_version)
     target = Path(path)
+    if format_version == 2:
+        return _save_v2_streamed(search, target)
+    data = dump_search(search, format_version)
     tmp = target.with_name(target.name + ".tmp")
     tmp.write_bytes(data)
     os.replace(tmp, target)
@@ -690,20 +860,59 @@ def _v2_arrays(header: StoreHeader, payload) -> SearchArrays:
     )
 
 
-def _v2_remainder_index(header: StoreHeader, payload) -> dict:
+#: File identities whose index sections already passed verification
+#: this process: ``identity -> index_sha256`` (the digests verified).
+#: Keyed by (resolved path, dev, inode, size, mtime_ns), so a re-saved
+#: store (new inode/mtime) re-verifies while repeated opens of the same
+#: bytes -- e.g. back-to-back ``repro precompute --extend`` calls in
+#: one process -- skip the rescan.
+_INDEX_VERIFIED: dict[tuple, dict] = {}
+_INDEX_VERIFIED_MAX = 64
+
+
+def _file_identity(path: Path) -> tuple | None:
+    """Stable identity of a store file's current bytes, or None."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (
+        str(path.resolve()),
+        stat.st_dev,
+        stat.st_ino,
+        stat.st_size,
+        stat.st_mtime_ns,
+    )
+
+
+def _v2_remainder_index(
+    header: StoreHeader, payload, cache_key: tuple | None = None
+) -> dict:
     """Deserialize the remainder index; verifies its per-section hashes.
 
-    These sections are tiny and read eagerly, so the checksum pass costs
-    microseconds -- corruption of the index fails loudly even on the
-    lazy memory-mapped open (closure sections are only covered by the
-    full :func:`verify_store` pass).
+    These sections are small and read eagerly, so the checksum pass is
+    cheap -- corruption of the index fails loudly even on the lazy
+    memory-mapped open (closure sections are only covered by the full
+    :func:`verify_store` pass).  With a *cache_key* (the opened file's
+    identity), a successful verification is remembered per process, so
+    repeated opens of the same unchanged file -- e.g. consecutive
+    ``precompute --extend`` rounds -- skip re-hashing the sections.
     """
-    for name, expected in header.index_sha256.items():
-        section = _section(header, payload, name, np.uint8)
-        if hashlib.sha256(section.tobytes()).hexdigest() != expected:
-            raise StoreError(
-                f"store section {name!r} fails its sha256 checksum"
-            )
+    verified = (
+        cache_key is not None
+        and _INDEX_VERIFIED.get(cache_key) == header.index_sha256
+    )
+    if not verified:
+        for name, expected in header.index_sha256.items():
+            section = _section(header, payload, name, np.uint8)
+            if hashlib.sha256(section.tobytes()).hexdigest() != expected:
+                raise StoreError(
+                    f"store section {name!r} fails its sha256 checksum"
+                )
+        if cache_key is not None:
+            while len(_INDEX_VERIFIED) >= _INDEX_VERIFIED_MAX:
+                _INDEX_VERIFIED.pop(next(iter(_INDEX_VERIFIED)))
+            _INDEX_VERIFIED[cache_key] = dict(header.index_sha256)
     entries = header.index_entries
     width = header.n_binary
     keys = _section(header, payload, "rkeys", np.uint8).tobytes()
@@ -831,6 +1040,7 @@ def _load_split(
     payload: memoryview,
     library: GateLibrary,
     cost_model: CostModel,
+    cache_key: tuple | None = None,
 ) -> CascadeSearch:
     """Decode an already-validated (header, payload) pair."""
     _check_compatible(header, library, cost_model)
@@ -841,7 +1051,8 @@ def _load_split(
         library, _v2_arrays(header, payload), cost_model
     )
     search.attach_remainder_index(
-        header.expanded_to, _v2_remainder_index(header, payload)
+        header.expanded_to,
+        _v2_remainder_index(header, payload, cache_key=cache_key),
     )
     return search
 
@@ -902,7 +1113,10 @@ def _load_from_path(
     if header.format_version == 1:
         return loads_search(path.read_bytes(), library, cost_model)
     payload = _map_v2(path, header)
-    return _load_split(header, payload, library, cost_model)
+    return _load_split(
+        header, payload, library, cost_model,
+        cache_key=_file_identity(path),
+    )
 
 
 def _map_v2(path: Path, header: StoreHeader) -> np.memmap:
@@ -937,6 +1151,49 @@ def open_store(
     library = header.rebuild_library()
     search = _load_from_path(path, header, library, header.cost_model)
     return header, library, search
+
+
+def projected_shard_layout(
+    path: str | Path, shard_bits: int
+) -> tuple[list[int], int]:
+    """Project a dedup-shard layout from a v2 store's rows (sizing aid).
+
+    Hashes the stored permutations level by level through the
+    memory-mapped ``perms`` section -- O(one level) of extra memory, so
+    it stays usable on stores bigger than RAM headroom -- and returns
+    ``(rows per shard, slab slots per shard at load <= 1/4)``.  `repro
+    store shards --bits` uses this when a store carries no recorded
+    layout.
+    """
+    from repro.core.dedup import MAX_SHARD_BITS, shard_of
+    from repro.core.kernel import hash_rows, pack_rows
+
+    if not 0 <= shard_bits <= MAX_SHARD_BITS:
+        raise StoreError(
+            f"shard bits must be in 0..{MAX_SHARD_BITS}, got {shard_bits}"
+        )
+    path = Path(path)
+    header = read_header(path)
+    if header.format_version < 2:
+        raise StoreVersionError(
+            "projecting a shard layout needs a memory-mapped v2 store"
+        )
+    payload = _map_v2(path, header)
+    arrays = _v2_arrays(header, payload)
+    counts = np.zeros(1 << shard_bits, dtype=np.int64)
+    for level in range(header.expanded_to + 1):
+        start, stop = arrays.level_rows(level)
+        if start == stop:
+            continue
+        hashes = hash_rows(
+            pack_rows(np.array(arrays.perms[start:stop]), header.degree)
+        )
+        counts += np.bincount(
+            shard_of(hashes, shard_bits), minlength=1 << shard_bits
+        )
+    peak = int(counts.max()) if counts.size else 0
+    slots = 1 << max(8, (4 * max(peak, 1) - 1).bit_length())
+    return [int(c) for c in counts], slots
 
 
 def verify_store(path: str | Path) -> StoreHeader:

@@ -346,3 +346,113 @@ class TestOtherCommands:
     def test_no_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestParallelPrecompute:
+    """`repro precompute --jobs/--dedup-budget/...` and `repro store shards`."""
+
+    @pytest.fixture(scope="class")
+    def parallel_store(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("par") / "closure.rpro")
+        assert main([
+            "precompute", path, "--cost-bound", "4", "--jobs", "2",
+            "--shard-bits", "4",
+        ]) == 0
+        return path
+
+    def test_parallel_precompute_reports_shards(
+        self, parallel_store, capsys
+    ):
+        assert main(["store", "info", parallel_store]) == 0
+        out = capsys.readouterr().out
+        assert "dedup shards: 16 x" in out
+
+    def test_parallel_store_verifies_and_serves(
+        self, parallel_store, capsys
+    ):
+        assert main(["store", "verify", parallel_store]) == 0
+        capsys.readouterr()
+        assert main(["synth", "peres", "--store", parallel_store]) == 0
+        assert "cost 4" in capsys.readouterr().out
+
+    def test_store_shards_recorded_layout(self, parallel_store, capsys):
+        assert main(["store", "shards", parallel_store]) == 0
+        out = capsys.readouterr().out
+        assert "recorded by the parallel kernel" in out
+        assert "level" in out and "perms" in out
+        assert "total 6562" in out
+
+    def test_store_shards_projected_layout(self, capsys, tmp_path):
+        path = str(tmp_path / "seq.rpro")
+        assert main(["precompute", path, "--cost-bound", "3"]) == 0
+        capsys.readouterr()
+        assert main(["store", "shards", path]) == 0
+        assert "no recorded shard layout" in capsys.readouterr().out
+        assert main(["store", "shards", path, "--bits", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "projected from the stored rows at --bits 3" in out
+        assert "total 1198" in out
+
+    def test_store_shards_v1_needs_migration(self, capsys, tmp_path):
+        path = str(tmp_path / "v1.rpro")
+        assert main([
+            "precompute", path, "--cost-bound", "2", "--format-version", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["store", "shards", path, "--bits", "2"]) == 0
+        assert "legacy v1 store" in capsys.readouterr().out
+
+    def test_parallel_flags_imply_parallel_kernel(self, capsys, tmp_path):
+        path = str(tmp_path / "imp.rpro")
+        assert main([
+            "precompute", path, "--cost-bound", "3", "--dedup-budget", "64M",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dedup table:" in out and "[1, 18, 162, 1017]" in out
+
+    def test_parallel_flags_refuse_other_kernels(self, capsys, tmp_path):
+        path = str(tmp_path / "bad.rpro")
+        assert main([
+            "precompute", path, "--cost-bound", "3", "--jobs", "2",
+            "--kernel", "translate",
+        ]) == 1
+        assert "parallel-kernel options" in capsys.readouterr().err
+
+    def test_budget_spill_reported(self, capsys, tmp_path):
+        path = str(tmp_path / "spill.rpro")
+        assert main([
+            "precompute", path, "--cost-bound", "4", "--shard-bits", "3",
+            "--dedup-budget", "16K",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "disk-backed" in out
+
+    def test_checkpoint_resume_via_cli(self, capsys, tmp_path):
+        store = str(tmp_path / "ck.rpro")
+        ckdir = str(tmp_path / "ckpt")
+        assert main([
+            "precompute", store, "--cost-bound", "3",
+            "--checkpoint-dir", ckdir,
+        ]) == 0
+        capsys.readouterr()
+        deeper = str(tmp_path / "ck2.rpro")
+        assert main([
+            "precompute", deeper, "--cost-bound", "4",
+            "--checkpoint-dir", ckdir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"resumed checkpoint {ckdir} at cost 3" in out
+        assert "[1, 18, 162, 1017, 5364]" in out
+        assert main(["store", "verify", deeper]) == 0
+
+    def test_parallel_extend(self, capsys, tmp_path):
+        path = str(tmp_path / "pe.rpro")
+        assert main(["precompute", path, "--cost-bound", "3"]) == 0
+        capsys.readouterr()
+        assert main([
+            "precompute", path, "--extend", "--cost-bound", "4",
+            "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(parallel kernel)" in out
+        assert "[1, 18, 162, 1017, 5364]" in out

@@ -7,11 +7,12 @@ cannot silently change results.  If a change legitimately alters these
 numbers, that is a results change, not a refactor: update the constants
 here in the same commit and say why.
 
-Every closure-level assertion runs four ways -- against the live vector
-search, the byte-level ``translate`` reference kernel, and
-store-roundtripped copies in both the legacy v1 and memory-mapped v2
-formats (``dump_search``/``loads_search``) -- so both expansion kernels
-and both persistence formats are held to the same golden values.
+Every closure-level assertion runs five ways -- against the live vector
+search, the byte-level ``translate`` reference kernel, the sharded
+``parallel`` engine, and store-roundtripped copies in both the legacy
+v1 and memory-mapped v2 formats (``dump_search``/``loads_search``) --
+so all three expansion kernels and both persistence formats are held to
+the same golden values.
 
 Documented deviations from the published Table 2 (see bench_table2.py):
 |G[2]| = 24 vs the paper's 30 and |G[3]| = 51 vs 52; the
@@ -55,18 +56,22 @@ GOLDEN_NAMED = {
 
 @pytest.fixture(
     scope="module",
-    params=["live", "translate-kernel", "store-v1", "store-v2"],
+    params=[
+        "live", "translate-kernel", "parallel-kernel", "store-v1", "store-v2",
+    ],
 )
 def closure(request, search3, library3):
-    """The cost-7 closure: both kernels and both store formats."""
+    """The cost-7 closure: all three kernels and both store formats."""
     search3.extend_to(7)
     if request.param == "live":
         return search3
-    if request.param == "translate-kernel":
+    if request.param in ("translate-kernel", "parallel-kernel"):
         from repro.core.search import CascadeSearch
 
         search = CascadeSearch(
-            library3, track_parents=True, kernel="translate"
+            library3,
+            track_parents=True,
+            kernel=request.param.removesuffix("-kernel"),
         )
         search.extend_to(7)
         return search

@@ -1,0 +1,663 @@
+"""The sharded parallel expansion engine vs the vector/translate kernels.
+
+The parallel engine is only allowed to be *faster*: for any library,
+cost model, shard count, worker count, memory budget and spill state it
+must produce levels byte-identical in content and discovery order --
+with identical parent pointers -- to both reference kernels.  These
+tests pin that determinism contract, the relation filter's exactness,
+the sharded dedup table's claim protocol under forced collisions and
+claim races, spill-to-disk behaviour, and the crash-mid-level
+checkpoint/resume path.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.dedup import ShardedDedupTable, parse_budget, shard_of
+from repro.core.kernel import compute_masks, hash_rows, pack_rows
+from repro.core.parallel import RelationFilter, ShardedExpansion
+from repro.core.search import CascadeSearch
+from repro.errors import InvalidValueError
+from repro.gates.kinds import GateKind
+from repro.gates.library import GateLibrary
+
+
+def _trio(library, cost_model=None, bound=3, track_parents=True, options=None):
+    kwargs = {"track_parents": track_parents}
+    if cost_model is not None:
+        kwargs["cost_model"] = cost_model
+    searches = [
+        CascadeSearch(library, kernel="translate", **kwargs),
+        CascadeSearch(library, kernel="vector", **kwargs),
+        CascadeSearch(
+            library, kernel="parallel", kernel_options=options, **kwargs
+        ),
+    ]
+    for search in searches:
+        search.extend_to(bound)
+    return searches
+
+
+def _assert_identical(reference, other, bound):
+    assert reference.stats().level_sizes == other.stats().level_sizes
+    for cost in range(bound + 1):
+        assert reference.level(cost) == other.level(cost), (
+            f"level {cost} differs"
+        )
+    if reference.tracks_parents:
+        assert (
+            reference.export_state().parents == other.export_state().parents
+        )
+
+
+class TestKernelTrioEquivalence:
+    def test_three_qubit_unit_costs(self, library3):
+        translate, vector, parallel = _trio(library3, bound=4)
+        _assert_identical(translate, vector, 4)
+        _assert_identical(translate, parallel, 4)
+
+    def test_two_qubit(self, library2):
+        translate, _vector, parallel = _trio(library2, bound=5)
+        _assert_identical(translate, parallel, 5)
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            CostModel(v_cost=1, vdag_cost=1, cnot_cost=2),
+            CostModel(v_cost=2, vdag_cost=1, cnot_cost=1),
+            CostModel(v_cost=2, vdag_cost=2, cnot_cost=3),
+        ],
+    )
+    def test_non_unit_cost_models(self, library3, model):
+        """Relation costs differ per gate; the filter must respect them."""
+        translate, _vector, parallel = _trio(
+            library3, cost_model=model, bound=4
+        )
+        _assert_identical(translate, parallel, 4)
+
+    def test_partial_gate_alphabet(self):
+        """V without V+: no inverse back-edges, fewer relations."""
+        library = GateLibrary(3, kinds=(GateKind.V, GateKind.CNOT))
+        translate, _vector, parallel = _trio(library, bound=4)
+        _assert_identical(translate, parallel, 4)
+
+    def test_counting_only(self, library3):
+        translate, _vector, parallel = _trio(
+            library3, bound=4, track_parents=False
+        )
+        _assert_identical(translate, parallel, 4)
+
+    def test_four_qubit_multiword_masks(self):
+        """176 labels -> 3 mask words: the filter's multiword path."""
+        library = GateLibrary(4)
+        translate, _vector, parallel = _trio(library, bound=2)
+        _assert_identical(translate, parallel, 2)
+
+    @pytest.mark.parametrize("shard_bits", [0, 1, 5, 9])
+    def test_shard_count_is_invisible(self, library3, shard_bits):
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(4)
+        sharded = CascadeSearch(
+            library3,
+            kernel="parallel",
+            kernel_options={"shard_bits": shard_bits},
+        )
+        sharded.extend_to(4)
+        _assert_identical(reference, sharded, 4)
+
+    def test_relation_filter_off_is_identical(self, library3):
+        plain = CascadeSearch(
+            library3,
+            kernel="parallel",
+            kernel_options={"relation_filter": False},
+        )
+        plain.extend_to(4)
+        filtered = CascadeSearch(library3, kernel="parallel")
+        filtered.extend_to(4)
+        _assert_identical(filtered, plain, 4)
+
+    def test_worker_pool_jobs(self, library3):
+        """jobs=2 drives the mmap-scratch worker-pool compose path."""
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(5)
+        pooled = CascadeSearch(
+            library3, kernel="parallel", kernel_options={"jobs": 2}
+        )
+        try:
+            pooled.extend_to(5)
+            _assert_identical(reference, pooled, 5)
+        finally:
+            pooled.close()
+
+    def test_kernel_handoff_vector_to_parallel(self, library3):
+        """use_kernel upgrades mid-closure and stays byte-identical."""
+        handoff = CascadeSearch(library3, kernel="vector")
+        handoff.extend_to(3)
+        handoff.use_kernel("parallel", {"shard_bits": 3})
+        handoff.extend_to(5)
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(5)
+        _assert_identical(reference, handoff, 5)
+
+    def test_restored_store_extends_with_parallel_kernel(self, library3):
+        from repro.core.store import dump_search, loads_search
+
+        base = CascadeSearch(library3, kernel="vector")
+        base.extend_to(3)
+        restored = loads_search(dump_search(base), library3)
+        restored.use_kernel("parallel")
+        restored.extend_to(5)
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(5)
+        _assert_identical(reference, restored, 5)
+
+
+class TestForcedCollisions:
+    def test_constant_hash_still_exact(self, library2, monkeypatch):
+        """Every candidate hashes (and shards) identically; still exact."""
+        import repro.core.kernel as kernel_module
+        import repro.core.parallel as parallel_module
+
+        real_hash = kernel_module.hash_rows
+
+        def degenerate(packed):
+            return np.zeros(packed.shape[0], dtype=np.uint64)
+
+        monkeypatch.setattr(kernel_module, "hash_rows", degenerate)
+        monkeypatch.setattr(parallel_module, "hash_rows", degenerate)
+        colliding = CascadeSearch(
+            library2, kernel="parallel", kernel_options={"shard_bits": 4}
+        )
+        colliding.extend_to(4)
+        monkeypatch.setattr(kernel_module, "hash_rows", real_hash)
+        monkeypatch.setattr(parallel_module, "hash_rows", real_hash)
+        reference = CascadeSearch(library2, kernel="translate")
+        reference.extend_to(4)
+        assert colliding.stats().level_sizes == reference.stats().level_sizes
+        for cost in range(5):
+            assert sorted(p for p, _m in colliding.level(cost)) == sorted(
+                p for p, _m in reference.level(cost)
+            )
+
+    def test_few_hash_buckets_preserve_order_and_parents(
+        self, library2, monkeypatch
+    ):
+        """A 2-bit hash shards everything into shard 0 and collides
+        constantly inside it, yet order and parents match the seed."""
+        import repro.core.kernel as kernel_module
+        import repro.core.parallel as parallel_module
+
+        real_hash = kernel_module.hash_rows
+
+        def tiny(packed):
+            return real_hash(packed) & np.uint64(3)
+
+        monkeypatch.setattr(kernel_module, "hash_rows", tiny)
+        monkeypatch.setattr(parallel_module, "hash_rows", tiny)
+        colliding = CascadeSearch(
+            library2, kernel="parallel", kernel_options={"shard_bits": 6}
+        )
+        colliding.extend_to(4)
+        monkeypatch.setattr(kernel_module, "hash_rows", real_hash)
+        monkeypatch.setattr(parallel_module, "hash_rows", real_hash)
+        reference = CascadeSearch(library2, kernel="translate")
+        reference.extend_to(4)
+        _assert_identical(reference, colliding, 4)
+
+    def test_top_bits_only_hash_exercises_cross_shard_spread(
+        self, library2, monkeypatch
+    ):
+        """Hashes differing only in shard bits: every slab sees slot-0
+        claim races among all of its candidates (cross-shard protocol)."""
+        import repro.core.kernel as kernel_module
+        import repro.core.parallel as parallel_module
+
+        real_hash = kernel_module.hash_rows
+
+        def top_heavy(packed):
+            return real_hash(packed) & ~np.uint64((1 << 58) - 1)
+
+        monkeypatch.setattr(kernel_module, "hash_rows", top_heavy)
+        monkeypatch.setattr(parallel_module, "hash_rows", top_heavy)
+        colliding = CascadeSearch(
+            library2, kernel="parallel", kernel_options={"shard_bits": 6}
+        )
+        colliding.extend_to(4)
+        monkeypatch.setattr(kernel_module, "hash_rows", real_hash)
+        monkeypatch.setattr(parallel_module, "hash_rows", real_hash)
+        reference = CascadeSearch(library2, kernel="translate")
+        reference.extend_to(4)
+        _assert_identical(reference, colliding, 4)
+
+
+class TestShardedDedupTable:
+    def _rows(self, n, words=2, seed=0):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 2**63, (n, words), dtype=np.uint64)
+        return rows, hash_rows(rows.view(np.uint8))
+
+    def test_insert_find_roundtrip(self):
+        table = ShardedDedupTable(shard_bits=3)
+        rows, hashes = self._rows(500)
+        table.insert_distinct(
+            hashes, np.arange(1, 501, dtype=np.int32), hashes, 500
+        )
+        assert table.n_rows == 500
+        for i in (0, 123, 499):
+            assert table.find(rows[i], hashes[i], rows) == i
+        absent, ah = self._rows(1, seed=99)
+        assert table.find(absent[0], ah[0], rows) == -1
+
+    def test_dedup_commit_lowest_candidate_wins(self):
+        table = ShardedDedupTable(shard_bits=2)
+        rows, hashes = self._rows(8)
+        # candidates: [A, B, A, C, B, D] -> first occurrence wins
+        cand = rows[[0, 1, 0, 2, 1, 3]]
+        ch = hashes[[0, 1, 0, 2, 1, 3]]
+        new = table.dedup_commit(cand, ch, rows, 0)
+        assert new.tolist() == [True, True, False, True, False, True]
+
+    def test_spills_past_budget(self, tmp_path):
+        table = ShardedDedupTable(
+            shard_bits=2, memory_budget=1 << 12, spill_dir=tmp_path
+        )
+        rows, hashes = self._rows(4096)
+        table.insert_distinct(
+            hashes, np.arange(1, 4097, dtype=np.int32), hashes, 4096
+        )
+        assert table.spilled
+        slabs = sorted(p.name for p in tmp_path.glob("shard-*.slab"))
+        assert slabs == [f"shard-{s:04d}.slab" for s in range(4)]
+        for i in (0, 4095):
+            assert table.find(rows[i], hashes[i], rows) == i
+        layout = table.layout()
+        assert layout["spilled"] and sum(layout["rows_per_shard"]) == 4096
+
+    def test_sweep_uncommitted_restores_checkpoint(self):
+        table = ShardedDedupTable(shard_bits=2)
+        rows, hashes = self._rows(600)
+        table.insert_distinct(
+            hashes[:400], np.arange(1, 401, dtype=np.int32), hashes, 400
+        )
+        # a "crashed" batch: claims + commits past the checkpoint
+        new = table.dedup_commit(rows[400:], hashes[400:], rows, 400)
+        assert new.all()
+        assert table.n_rows == 600
+        cleared = table.sweep_uncommitted(400)
+        assert cleared == 200
+        assert table.n_rows == 400
+        assert table.find(rows[0], hashes[0], rows) == 0
+        assert table.find(rows[599], hashes[599], rows) == -1
+        # the swept batch re-runs to the same result
+        again = table.dedup_commit(rows[400:], hashes[400:], rows, 400)
+        assert again.all()
+
+    def test_stats_shape(self):
+        table = ShardedDedupTable(shard_bits=1)
+        stats = table.stats()
+        assert [s["shard"] for s in stats] == [0, 1]
+        assert all(s["rows"] == 0 and not s["spilled"] for s in stats)
+
+    def test_shard_bits_bounds(self):
+        with pytest.raises(InvalidValueError):
+            ShardedDedupTable(shard_bits=13)
+        with pytest.raises(InvalidValueError):
+            ShardedDedupTable(memory_budget=-1)
+
+    def test_parse_budget(self):
+        assert parse_budget("4096") == 4096
+        assert parse_budget("512M") == 512 << 20
+        assert parse_budget("2g") == 2 << 30
+        assert parse_budget("1K") == 1024
+        with pytest.raises(InvalidValueError):
+            parse_budget("lots")
+        with pytest.raises(InvalidValueError):
+            parse_budget("-1M")
+
+    def test_shard_of_prefix(self):
+        hashes = np.array([0, 1 << 63, (1 << 64) - 1], dtype=np.uint64)
+        assert shard_of(hashes, 0).tolist() == [0, 0, 0]
+        assert shard_of(hashes, 1).tolist() == [0, 1, 1]
+        assert shard_of(hashes, 4).tolist() == [0, 8, 15]
+
+
+class TestSpilledExpansion:
+    def test_tiny_budget_spills_and_stays_exact(self, library3):
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(4)
+        budgeted = CascadeSearch(
+            library3,
+            kernel="parallel",
+            kernel_options={"shard_bits": 4, "memory_budget": 1 << 14},
+        )
+        budgeted.extend_to(4)
+        _assert_identical(reference, budgeted, 4)
+        assert budgeted.shard_layout()["spilled"]
+        budgeted.close()
+
+    def test_shard_layout_reported(self, library3):
+        search = CascadeSearch(library3, kernel="parallel")
+        search.extend_to(3)
+        layout = search.shard_layout()
+        assert layout["shard_bits"] == 6
+        assert sum(layout["rows_per_shard"]) == search.total_seen()
+        assert CascadeSearch(library3, kernel="vector").shard_layout() is None
+
+
+class TestCheckpointResume:
+    def _options(self, directory, **extra):
+        options = {"checkpoint_dir": str(directory), "shard_bits": 3}
+        options.update(extra)
+        return options
+
+    def test_clean_resume_continues_identically(self, library3, tmp_path):
+        first = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        first.extend_to(3)
+        first.close()
+        resumed = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        assert resumed.was_restored and resumed.expanded_to == 3
+        resumed.extend_to(5)
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(5)
+        _assert_identical(reference, resumed, 5)
+        resumed.close()
+
+    def test_crash_mid_level_resumes_cleanly(
+        self, library3, tmp_path, monkeypatch
+    ):
+        """Kill the expansion after dedup mutated the slabs but before
+        the level checkpoint: resume must sweep the in-flight claims and
+        uncommitted rows and land on the reference closure."""
+        first = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        first.extend_to(3)
+
+        real_commit = ShardedExpansion._commit_level
+
+        def crash_after_dedup(self, cand, ch, parents, gates):
+            self._dedup_insert(cand, ch)  # slabs now hold claims/commits
+            raise RuntimeError("simulated crash mid-level")
+
+        monkeypatch.setattr(
+            ShardedExpansion, "_commit_level", crash_after_dedup
+        )
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            first.extend_to(4)
+        monkeypatch.setattr(ShardedExpansion, "_commit_level", real_commit)
+        del first  # no close(): a crashed process would not clean up
+
+        resumed = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        assert resumed.was_restored and resumed.expanded_to == 3
+        resumed.extend_to(5)
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(5)
+        _assert_identical(reference, resumed, 5)
+        resumed.close()
+
+    def test_corrupted_slab_file_is_rebuilt(self, library3, tmp_path):
+        first = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        first.extend_to(3)
+        first.close()
+        # Scribble over one slab: resume must detect the row-count
+        # mismatch and re-derive the shard from the committed rows.
+        slab = tmp_path / "slabs" / "shard-0002.slab"
+        data = np.memmap(slab, dtype=np.uint64, mode="r+")
+        data[:] = np.uint64(0x1234567800000001)
+        del data
+        resumed = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        assert resumed.expanded_to == 3
+        resumed.extend_to(4)
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(4)
+        _assert_identical(reference, resumed, 4)
+        resumed.close()
+
+    def test_incompatible_checkpoint_is_refused(self, library3, tmp_path):
+        first = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        first.extend_to(3)
+        first.close()
+        other_model = CostModel(v_cost=2, vdag_cost=1, cnot_cost=1)
+        fresh = CascadeSearch(
+            library3, other_model, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        assert not fresh.was_restored and fresh.expanded_to == 0
+        fresh.extend_to(3)
+        reference = CascadeSearch(
+            library3, other_model, kernel="translate"
+        )
+        reference.extend_to(3)
+        _assert_identical(reference, fresh, 3)
+        fresh.close()
+
+    def test_extend_over_crashed_checkpoint_is_exact(
+        self, library3, tmp_path, monkeypatch
+    ):
+        """A store-loaded search extended with a crashed run's
+        checkpoint dir must not trust the stale slabs: the replayed
+        closure discards them, or in-flight claims would swallow
+        genuine first producers (regression: silently empty levels)."""
+        from repro.core.store import dump_search, loads_search
+
+        first = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        first.extend_to(3)
+        blob = dump_search(first)
+        real_commit = ShardedExpansion._commit_level
+
+        def crash_after_dedup(self, cand, ch, parents, gates):
+            self._dedup_insert(cand, ch)
+            raise RuntimeError("simulated crash mid-level")
+
+        monkeypatch.setattr(
+            ShardedExpansion, "_commit_level", crash_after_dedup
+        )
+        with pytest.raises(RuntimeError):
+            first.extend_to(4)
+        monkeypatch.setattr(ShardedExpansion, "_commit_level", real_commit)
+        del first
+
+        # the precompute --extend path: load the store, point the
+        # parallel kernel at the crashed checkpoint dir, deepen
+        restored = loads_search(blob, library3)
+        restored.use_kernel("parallel", self._options(tmp_path))
+        restored.extend_to(4)
+        reference = CascadeSearch(library3, kernel="vector")
+        reference.extend_to(4)
+        _assert_identical(reference, restored, 4)
+        restored.close()
+
+    def test_manifest_records_identity(self, library3, tmp_path):
+        search = CascadeSearch(
+            library3, kernel="parallel",
+            kernel_options=self._options(tmp_path),
+        )
+        search.extend_to(2)
+        search.close()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["degree"] == 38
+        assert manifest["shard_bits"] == 3
+        assert manifest["level_offsets"] == [0, 1, 19, 181]
+        assert len(manifest["library_fingerprint"]) == 64
+
+
+class TestRelationFilter:
+    def test_permuted_masks_match_composition(self, library3):
+        """perm_g(mask(a)) must equal the mask of t_g . a exactly."""
+        search = CascadeSearch(library3, kernel="parallel")
+        search.extend_to(3)
+        engine = search._engine
+        rf = engine._filter
+        perms = engine.level_perms_raw(3)
+        masks = engine.level_masks[3]
+        tables = engine.gate_rows.tables
+        for gi in (0, 7, 17):
+            table = np.frombuffer(tables[gi], dtype=np.uint8)
+            composed = pack_rows(table[perms], engine.degree)
+            expected = compute_masks(composed, engine.n_binary, 1)
+            gates = np.full(perms.shape[0], gi, dtype=np.int64)
+            got = rf.permuted_masks(masks, gates)
+            assert (got == expected).all()
+
+    def test_filter_prunes_only_duplicates(self, library3):
+        """The filtered engine visits fewer candidates yet commits the
+        same rows -- the pruned mass was pure duplicates."""
+        counted = {}
+
+        class Counting(ShardedExpansion):
+            def _generate_candidates(self, chunks, total):
+                counted[self.n_levels] = total
+                return super()._generate_candidates(chunks, total)
+
+        filtered = Counting(
+            38, 8, CascadeSearch(library3, kernel="parallel")._engine.gate_rows
+        )
+        filtered.seed_identity()
+        plain = Counting(
+            38, 8,
+            CascadeSearch(library3, kernel="parallel")._engine.gate_rows,
+            relation_filter=False,
+        )
+        plain.seed_identity()
+        totals_filtered = {}
+        for cost in range(1, 5):
+            filtered.expand_level(cost)
+            totals_filtered[cost] = counted[cost]
+        counted.clear()
+        for cost in range(1, 5):
+            plain.expand_level(cost)
+        assert filtered.n_rows == plain.n_rows
+        assert filtered.offsets == plain.offsets
+        assert all(
+            totals_filtered[c] < counted[c] for c in range(2, 5)
+        ), (totals_filtered, counted)
+
+    def test_relations_found_for_paper_library(self, library3):
+        search = CascadeSearch(library3, kernel="parallel")
+        rf = search._engine._filter
+        assert rf is not None and rf.active
+        # The paper's library commutes across disjoint wire pairs, and
+        # every gate has its adjoint in the alphabet (identity pairs).
+        # Note V^2 = CNOT holds only on the binary sublabels, not on
+        # the full 38-label space, so no single-gate relations exist.
+        assert rf._pair_q2 and rf._uncond.any()
+        assert not rf._singles
+
+
+class TestSyntheticSingleRelations:
+    """A toy alphabet where a two-gate product equals a cheaper gate.
+
+    The paper's library has no such relation on the full label space,
+    so this pins the filter's 'single' rule directly: shift1 . shift1 =
+    shift2 with cost(shift2) = 1 < 2, and the engines must stay
+    byte-identical with the rule firing.
+    """
+
+    def _gate_rows(self):
+        from repro.core.kernel import GateRows
+
+        degree = 8
+
+        def shift_table(k):
+            table = bytearray(range(256))
+            for i in range(degree):
+                table[i] = (i + k) % degree
+            return bytes(table)
+
+        # gates: shift1, shift2, shift6 (= shift2^-1 . shift... no --
+        # inverse of shift2), shift7 (= inverse of shift1)
+        tables = [shift_table(1), shift_table(2), shift_table(6),
+                  shift_table(7)]
+        return GateRows(
+            tables,
+            banned_masks=[0, 0, 0, 0],
+            costs=[1, 1, 1, 1],
+            inverse=[3, 2, 1, 0],
+            mask_words=1,
+        ), degree
+
+    def test_single_rule_is_detected_and_exact(self):
+        gate_rows, degree = self._gate_rows()
+        rf = RelationFilter(gate_rows, degree, 1)
+        assert rf._singles, "shift1.shift1 = shift2 should register"
+        filtered = ShardedExpansion(degree, 2, gate_rows, shard_bits=2)
+        filtered.seed_identity()
+        plain = ShardedExpansion(
+            degree, 2, gate_rows, shard_bits=2, relation_filter=False
+        )
+        plain.seed_identity()
+        from repro.core.kernel import VectorEngine
+
+        reference = VectorEngine(degree, 2, gate_rows)
+        reference.seed_identity()
+        for cost in range(1, 6):
+            filtered.expand_level(cost)
+            plain.expand_level(cost)
+            reference.expand_level(cost)
+        # the cyclic group C8: closure saturates at 8 rows
+        assert filtered.n_rows == plain.n_rows == reference.n_rows == 8
+        assert filtered.offsets == reference.offsets
+        assert (
+            filtered.all_perms_raw() == reference.all_perms_raw()
+        ).all()
+        for cost in range(reference.n_levels):
+            assert (
+                filtered.level_parents[cost]
+                == reference.level_parents[cost]
+            ).all()
+            assert (
+                filtered.level_gates[cost] == reference.level_gates[cost]
+            ).all()
+
+
+class TestServingIntegration:
+    def test_freeze_releases_workers(self, library3):
+        search = CascadeSearch(
+            library3, kernel="parallel", kernel_options={"jobs": 2}
+        )
+        search.extend_to(5)
+        assert search._engine._pool is not None
+        search.freeze()
+        assert search._engine._pool is None
+        # row lookups still work after the pool is gone
+        perm, _mask = search.level(3)[5]
+        assert search.cost_of(perm) == 3
+        search.close()
+
+    def test_batch_synthesizer_over_parallel_closure(self, library3):
+        from repro.core.batch import BatchSynthesizer
+        from repro.gates import named
+
+        search = CascadeSearch(library3, kernel="parallel")
+        batch = BatchSynthesizer(search, cost_bound=5).warm()
+        result = batch.synthesize(named.TARGETS["toffoli"])
+        assert result.cost == 5
+        reference = BatchSynthesizer(
+            CascadeSearch(library3, kernel="vector"), cost_bound=5
+        ).synthesize(named.TARGETS["toffoli"])
+        assert str(result.circuit) == str(reference.circuit)

@@ -337,3 +337,112 @@ class TestMemmapViews:
             assert loaded.witness_indices_for_row(
                 row
             ) == search5.witness_indices_for_row(row)
+
+
+class TestStreamedWriter:
+    """save_search streams v2 sections; output must be byte-identical
+    to the in-memory dump_search serialization."""
+
+    def test_streamed_bytes_equal_dump(self, search5, tmp_path):
+        path = tmp_path / "streamed.rpro"
+        header = save_search(search5, path)
+        assert path.read_bytes() == dump_search(search5)
+        assert header.payload_sha256 != "0" * 64
+        verify_store(path)
+
+    def test_streamed_counting_only(self, library3, tmp_path):
+        search = CascadeSearch(library3, track_parents=False)
+        search.extend_to(3)
+        path = tmp_path / "counting.rpro"
+        save_search(search, path)
+        assert path.read_bytes() == dump_search(search)
+        verify_store(path)
+
+    def test_streamed_parallel_kernel_roundtrip(self, library3, tmp_path):
+        search = CascadeSearch(library3, kernel="parallel")
+        search.extend_to(4)
+        path = tmp_path / "parallel.rpro"
+        written = save_search(search, path)
+        assert written.shards["shard_bits"] == 6
+        assert sum(written.shards["rows_per_shard"]) == search.total_seen()
+        header = read_header(path)
+        assert header.shards == written.shards
+        verify_store(path)
+        # vector-built store of the same closure differs only in the
+        # shards provenance + timings, and serves identical results
+        _h, _l, loaded = open_store(path)
+        assert loaded.stats().level_sizes == search.stats().level_sizes
+        search.close()
+
+    def test_vector_store_has_no_shard_metadata(self, v2_path):
+        assert read_header(v2_path).shards == {}
+
+
+class TestIndexVerificationCache:
+    """Repeated opens of one unchanged file skip re-hashing the index
+    sections; any rewrite (new identity) re-verifies."""
+
+    def test_second_open_skips_index_hashing(
+        self, search5, tmp_path, monkeypatch
+    ):
+        import hashlib as real_hashlib
+
+        import repro.core.store as store_module
+
+        path = tmp_path / "cached.rpro"
+        save_search(search5, path)
+        store_module._INDEX_VERIFIED.clear()
+        calls = []
+        real = real_hashlib.sha256
+
+        def counting(*args):
+            calls.append(1)
+            return real(*args)
+
+        monkeypatch.setattr(store_module.hashlib, "sha256", counting)
+        open_store(path)
+        first = len(calls)
+        open_store(path)
+        second = len(calls) - first
+        # the four r* section digests are skipped on the second open
+        assert first - second == 4
+
+    def test_rewrite_invalidates_cache(self, search5, tmp_path, monkeypatch):
+        import repro.core.store as store_module
+
+        path = tmp_path / "rewrite.rpro"
+        save_search(search5, path)
+        store_module._INDEX_VERIFIED.clear()
+        open_store(path)
+        assert len(store_module._INDEX_VERIFIED) == 1
+        key = next(iter(store_module._INDEX_VERIFIED))
+        save_search(search5, path)  # same bytes, new inode/mtime
+        open_store(path)
+        new_keys = set(store_module._INDEX_VERIFIED) - {key}
+        assert new_keys, (
+            "rewriting the file must change its identity: the old cache "
+            "entry cannot cover the new inode/mtime"
+        )
+        # a corrupted index section still fails loudly after caching
+        data = bytearray(path.read_bytes())
+        header = read_header(path)
+        rkeys_offset, rkeys_len = header.sections["rkeys"]
+        start = len(data) - header.payload_size + rkeys_offset
+        data[start] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="sha256"):
+            open_store(path)
+
+    def test_cache_is_bounded(self, search5, tmp_path):
+        import repro.core.store as store_module
+
+        path = tmp_path / "bound.rpro"
+        save_search(search5, path)
+        store_module._INDEX_VERIFIED.clear()
+        for i in range(store_module._INDEX_VERIFIED_MAX + 8):
+            store_module._INDEX_VERIFIED[("fake", i)] = {}
+        open_store(path)
+        assert (
+            len(store_module._INDEX_VERIFIED)
+            <= store_module._INDEX_VERIFIED_MAX
+        )
