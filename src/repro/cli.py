@@ -20,10 +20,14 @@ format-v2 stores are memory-mapped, so serving opens in milliseconds)::
     repro precompute big.rpro --jobs 8 --dedup-budget 512M \\
         --checkpoint-dir ck/                 # disk-backed dedup + resume
     repro precompute closure.rpro --extend --cost-bound 8   # deepen it
+    repro precompute small.rpro --format-version 3           # compressed v3
+    repro plan --cost-bound 8                # size --jobs/--shard-bits/budget
+    repro plan closure.rpro --cost-bound 9   # ... seeded by a real store
     repro store info closure.rpro            # peek at a store's header
     repro store shards closure.rpro          # per-level/shard layout
     repro store verify closure.rpro          # full checksum pass
     repro store migrate old.rpro new.rpro    # rewrite v1 as v2
+    repro store migrate big.rpro small.rpro --format-version 3  # compress
     repro synth toffoli --store closure.rpro # query without re-expanding
     repro synth --store closure.rpro --batch targets.txt --save out.json
     repro table2 --store closure.rpro        # Table 2 from the store
@@ -200,9 +204,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dedup-*/--shard-bits/--checkpoint-dir flag)",
     )
     p_pre.add_argument(
-        "--format-version", type=int, choices=(1, 2), default=None,
+        "--format-version", type=int, choices=(1, 2, 3), default=None,
         help="store format to write (default: 2, the memory-mapped "
-        "layout with the serialized remainder index)",
+        "layout with the serialized remainder index; 3 compresses the "
+        "sections per level and decompresses them on touch)",
+    )
+    p_pre.add_argument(
+        "--codec", choices=("auto", "zstd", "zlib", "raw"), default=None,
+        help="v3 section codec (default auto: zstd when available, "
+        "else zlib; requires --format-version 3)",
     )
     p_pre.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -252,10 +262,51 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sverify.add_argument("file")
     p_smigrate = store_sub.add_parser(
         "migrate",
-        help="rewrite a store (e.g. legacy v1) in the current v2 format",
+        help="rewrite a store in another format (v1 -> v2 upgrade, "
+        "v2 <-> v3 compress/decompress)",
     )
     p_smigrate.add_argument("src", help="existing store file")
-    p_smigrate.add_argument("dst", help="v2 store file to write")
+    p_smigrate.add_argument("dst", help="store file to write")
+    p_smigrate.add_argument(
+        "--format-version", type=int, choices=(1, 2, 3), default=None,
+        help="target format (default: 2)",
+    )
+    p_smigrate.add_argument(
+        "--codec", choices=("auto", "zstd", "zlib", "raw"), default=None,
+        help="v3 section codec (default auto: zstd when available, "
+        "else zlib; requires --format-version 3)",
+    )
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="size --jobs/--shard-bits/--dedup-budget for a precompute run",
+        description=(
+            "Project the closure size for a cost bound and size the "
+            "parallel-expansion flags from this machine's CPU count and "
+            "available RAM.  An existing store seeds the projection with "
+            "its recorded level sizes and shard skew."
+        ),
+    )
+    p_plan.add_argument(
+        "store", nargs="?", default=None,
+        help="existing store whose level sizes seed the projection",
+    )
+    p_plan.add_argument(
+        "--cost-bound", type=int, default=7,
+        help="closure bound being planned (default: 7)",
+    )
+    p_plan.add_argument(
+        "--memory", metavar="SIZE", default=None,
+        help="plan for this much RAM (bytes, or 512M/8G/1.5GiB) "
+        "instead of the detected available memory",
+    )
+    p_plan.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="plan for N workers instead of this machine's CPU count",
+    )
+    p_plan.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     p_load = sub.add_parser("load", help="reload and re-verify a saved result")
     p_load.add_argument("file", help="JSON file written by `repro synth --save`")
@@ -592,6 +643,7 @@ def _cmd_precompute(
     extend: bool = False,
     kernel: str | None = None,
     format_version: int | None = None,
+    codec: str | None = None,
     jobs: int | None = None,
     dedup_budget: str | None = None,
     shard_bits: int | None = None,
@@ -610,6 +662,13 @@ def _cmd_precompute(
     from repro.gates.library import GateLibrary
     from repro.io import open_store, save_search
 
+    if codec is not None and format_version != 3:
+        from repro.errors import SpecificationError
+
+        raise SpecificationError(
+            "--codec chooses the v3 section compression; it requires "
+            "--format-version 3"
+        )
     kernel, kernel_options = _resolve_precompute_kernel(
         kernel, jobs, dedup_budget, shard_bits, checkpoint_dir
     )
@@ -670,7 +729,9 @@ def _cmd_precompute(
         if format_version is None:
             header = save_search(search, out)
         else:
-            header = save_search(search, out, format_version=format_version)
+            header = save_search(
+                search, out, format_version=format_version, codec=codec
+            )
     finally:
         search.close()
     size = Path(out).stat().st_size
@@ -793,7 +854,25 @@ def _cmd_store_info(path: str) -> int:
     )
     print(f"  levels |B[k]|: {list(header.level_sizes)}")
     print(f"  expansion time: {header.elapsed_seconds:.2f}s")
-    if header.format_version >= 2:
+    if header.format_version >= 3:
+        stored = sum(
+            s for spans in header.chunks.values() for (_, s, _) in spans
+        )
+        raw = sum(
+            r for spans in header.chunks.values() for (_, _, r) in spans
+        )
+        ratio = stored / raw if raw else 1.0
+        print(
+            f"  layout: chunk-compressed v3 ({header.codec} codec, "
+            "decompress-on-touch)"
+        )
+        print(
+            f"  chunks: {sum(len(s) for s in header.chunks.values())} "
+            f"spans over {len(header.chunks)} sections, "
+            f"{stored / 1e6:.1f} MB compressed / {raw / 1e6:.1f} MB raw "
+            f"({ratio:.2f}x)"
+        )
+    elif header.format_version >= 2:
         print(
             "  layout: memory-mapped v2 (8-aligned sections, "
             "O(queries touched) open)"
@@ -805,6 +884,7 @@ def _cmd_store_info(path: str) -> int:
                 for name, (off, length) in header.sections.items()
             )
         )
+    if header.format_version >= 2:
         print(
             f"  remainder index: {header.index_entries} reversible "
             f"functions, {header.index_matches} minimal-cost witnesses "
@@ -850,6 +930,19 @@ def _cmd_store_shards(path: str, bits: int | None) -> int:
             for name, (offset, length) in header.sections.items()
         ]
         print(format_table(["section", "offset", "bytes"], rows))
+    elif header.chunks:
+        rows = [
+            [
+                name,
+                len(spans),
+                sum(s for (_, s, _) in spans),
+                sum(r for (_, _, r) in spans),
+            ]
+            for name, spans in header.chunks.items()
+        ]
+        print(format_table(
+            ["section", "chunks", "stored bytes", "raw bytes"], rows
+        ))
     layout = header.shards
     if not layout and bits is None and header.format_version >= 2:
         print(
@@ -911,20 +1004,85 @@ def _cmd_store_verify(path: str) -> int:
     return 0
 
 
-def _cmd_store_migrate(src: str, dst: str) -> int:
+def _cmd_store_migrate(
+    src: str,
+    dst: str,
+    format_version: int | None = None,
+    codec: str | None = None,
+) -> int:
     from pathlib import Path
 
     from repro.io import migrate_store
 
-    old, new = migrate_store(src, dst)
+    if codec is not None and format_version != 3:
+        from repro.errors import SpecificationError
+
+        raise SpecificationError(
+            "--codec chooses the v3 section compression; it requires "
+            "--format-version 3"
+        )
+    if format_version is None:
+        old, new = migrate_store(src, dst)
+    else:
+        old, new = migrate_store(
+            src, dst, format_version=format_version, codec=codec
+        )
+    detail = f"format {new.format_version}"
+    if new.codec:
+        detail += f", {new.codec}"
     print(
         f"migrated {src} (format {old.format_version}) -> {dst} "
-        f"(format {new.format_version}, {Path(dst).stat().st_size / 1e6:.1f} MB)"
+        f"({detail}, {Path(dst).stat().st_size / 1e6:.1f} MB)"
     )
     print(
         f"  {new.total_seen} cascades to cost {new.expanded_to}, "
         f"remainder index: {new.index_entries} entries"
     )
+    return 0
+
+
+def _cmd_plan(
+    store: str | None,
+    cost_bound: int,
+    memory: str | None,
+    jobs: int | None,
+    as_json: bool,
+) -> int:
+    from repro.core.dedup import parse_budget
+    from repro.core.plan import plan_resources
+    from repro.io import read_header
+
+    header = None if store is None else read_header(store)
+    memory_bytes = None if memory is None else parse_budget(memory)
+    plan = plan_resources(
+        cost_bound,
+        header=header,
+        memory_bytes=memory_bytes,
+        jobs=jobs,
+    )
+    if as_json:
+        import json
+
+        print(json.dumps(plan.as_dict(), indent=2))
+        return 0
+    print(f"plan for cost bound {plan.cost_bound}:")
+    print(f"  projected closure: {plan.projected_rows} cascades")
+    mem = (
+        "unknown" if plan.memory_bytes is None
+        else f"{plan.memory_bytes / 1e9:.1f} GB"
+    )
+    print(
+        f"  dedup table at load<=1/4: {plan.table_bytes / 1e6:.1f} MB "
+        f"(available RAM: {mem})"
+    )
+    for note in plan.notes:
+        print(f"  note: {note}")
+    print(
+        f"  --jobs {plan.jobs}  --shard-bits {plan.shard_bits}  "
+        f"--dedup-budget {plan.dedup_budget_text}"
+        + ("  (slabs will spill to disk)" if plan.spills else "")
+    )
+    print(f"  {plan.command(store or 'closure.rpro')}")
     return 0
 
 
@@ -1056,8 +1214,13 @@ def main(argv: list[str] | None = None) -> int:
                 args.out, args.cost_bound, args.qubits, args.no_parents,
                 args.v_cost, args.vdag_cost, args.cnot_cost,
                 args.extend, args.kernel, args.format_version,
-                args.jobs, args.dedup_budget, args.shard_bits,
-                args.checkpoint_dir,
+                args.codec, args.jobs, args.dedup_budget,
+                args.shard_bits, args.checkpoint_dir,
+            )
+        if args.command == "plan":
+            return _cmd_plan(
+                args.store, args.cost_bound, args.memory, args.jobs,
+                args.json,
             )
         if args.command == "store-info":
             return _cmd_store_info(args.file)
@@ -1069,7 +1232,9 @@ def main(argv: list[str] | None = None) -> int:
             if args.store_command == "verify":
                 return _cmd_store_verify(args.file)
             if args.store_command == "migrate":
-                return _cmd_store_migrate(args.src, args.dst)
+                return _cmd_store_migrate(
+                    args.src, args.dst, args.format_version, args.codec
+                )
             raise AssertionError(f"unhandled store command {args.store_command}")
         if args.command == "load":
             return _cmd_load(args.file)

@@ -7,6 +7,7 @@
 * :mod:`repro.core.parallel` -- sharded multi-worker expansion engine.
 * :mod:`repro.core.dedup` -- disk-backed sharded dedup table.
 * :mod:`repro.core.store` -- persistent closure store (precompute/serve).
+* :mod:`repro.core.plan` -- resource planner for precompute runs.
 * :mod:`repro.core.batch` -- batch synthesis against one shared closure.
 * :mod:`repro.core.fmcf` -- Finding_Minimum_Cost_Circuits (Table 2).
 * :mod:`repro.core.mce` -- Minimum_Cost_Expressing (Figures 4-9).
@@ -36,9 +37,12 @@ from repro.core.store import (
     migrate_store,
     open_store,
     read_header,
+    resolve_codec,
     save_search,
+    section_cache_stats,
     verify_store,
 )
+from repro.core.plan import ResourcePlan, plan_resources
 from repro.core.batch import BatchSynthesizer, build_remainder_index
 from repro.core.fmcf import CostTable, find_minimum_cost_circuits
 from repro.core.mce import (
@@ -112,8 +116,12 @@ __all__ = [
     "migrate_store",
     "open_store",
     "read_header",
+    "resolve_codec",
     "save_search",
+    "section_cache_stats",
     "verify_store",
+    "ResourcePlan",
+    "plan_resources",
     "BatchSynthesizer",
     "build_remainder_index",
     "CostTable",

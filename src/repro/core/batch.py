@@ -21,13 +21,22 @@ answers:
   without re-scanning the closure.
 
 The index maps remainders to *global closure rows* rather than raw
-permutation bytes, so it serializes compactly (the v2 store embeds it;
-see :mod:`repro.core.store`) and witness extraction walks parent arrays
-without any byte-level lookup.  When a search arrives from a v2 store
-with the index already attached
+permutation bytes, so it serializes compactly (the v2 and v3 stores
+embed it; see :mod:`repro.core.store`) and witness extraction walks
+parent arrays without any byte-level lookup.  When a search arrives
+from a store with the index already attached
 (:meth:`CascadeSearch.attach_remainder_index`), construction does no
 closure scan at all -- the store open plus first query costs
 milliseconds instead of seconds.
+
+Against a compressed v3 store the row accessors used here resolve
+through lazy per-level chunks: each index hit or witness walk touches
+one level of one section, which is decompressed on first touch and
+held in the process-wide section cache
+(:func:`repro.core.store.section_cache_stats`).  Queries therefore
+stay O(levels touched), not O(store size), at any closure depth --
+the same contract the memory-mapped v2 layout gives, paid in one
+decompression instead of one page fault.
 """
 
 from __future__ import annotations
@@ -116,6 +125,11 @@ class BatchSynthesizer:
       the expansion worker pool and scratch mappings, so a serving
       process never holds idle forked workers; the sharded dedup table
       stays alive (row lookups read it).
+
+    Lazy v3 chunk decompression needs no extra care: the section cache
+    is lock-protected and keyed by file identity, so concurrent worker
+    threads (and reloads swapping in a replacement store at the same
+    path) read consistent bytes.
 
     This is the contract the long-lived service (:mod:`repro.server`)
     relies on: one frozen, warmed ``BatchSynthesizer`` serves all

@@ -697,20 +697,45 @@ class ShardedDedupTable:
 
 
 def parse_budget(text: str) -> int:
-    """Parse a ``--dedup-budget`` value: bytes, or with a K/M/G suffix."""
+    """Parse a ``--dedup-budget`` value: bytes, or with a unit suffix.
+
+    Accepted spellings, case-insensitive:
+
+    * bare bytes: ``4096``;
+    * binary suffixes ``K``/``M``/``G`` and ``KiB``/``MiB``/``GiB``
+      (1024-based -- the bare letters keep their historical binary
+      meaning);
+    * decimal suffixes ``KB``/``MB``/``GB`` (1000-based);
+    * fractional values with any suffix: ``1.5G``, ``0.5MiB``.
+
+    Fractional byte totals round down.  Raises
+    :class:`~repro.errors.InvalidValueError` on anything else, negative
+    values included.
+    """
     raw = text.strip()
     scale = 1
-    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
-    if raw and raw[-1].lower() in suffixes:
-        scale = suffixes[raw[-1].lower()]
-        raw = raw[:-1]
+    suffixes = {
+        "k": 1 << 10, "m": 1 << 20, "g": 1 << 30,
+        "kib": 1 << 10, "mib": 1 << 20, "gib": 1 << 30,
+        "kb": 10 ** 3, "mb": 10 ** 6, "gb": 10 ** 9,
+    }
+    lowered = raw.lower()
+    for suffix in ("kib", "mib", "gib", "kb", "mb", "gb", "k", "m", "g"):
+        if lowered.endswith(suffix):
+            scale = suffixes[suffix]
+            raw = raw[: -len(suffix)]
+            break
     try:
         value = int(raw)
     except ValueError:
-        raise InvalidValueError(
-            f"cannot parse memory budget {text!r}; use bytes or a "
-            "K/M/G suffix (e.g. 512M)"
-        ) from None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise InvalidValueError(
+                f"cannot parse memory budget {text!r}; use bytes or a "
+                "K/M/G, KiB/MiB/GiB or KB/MB/GB suffix (e.g. 512M, "
+                "1.5G, 512MB)"
+            ) from None
     if value < 0:
         raise InvalidValueError("memory budget must be non-negative")
-    return value * scale
+    return int(value * scale)

@@ -463,6 +463,14 @@ class ShardedExpansion(VectorEngine):
     through the relation filter, an optional worker pool, and a
     :class:`~repro.core.dedup.ShardedDedupTable`.
 
+    Saving an expansion this engine produced goes through the streamed
+    store writers (:func:`~repro.core.store.save_search`): both the
+    memory-mapped v2 layout and the chunk-compressed v3 layout are
+    emitted level by level straight off the inherited row store, so
+    writing never materializes a second copy of the closure -- the
+    property that lets a budgeted run save a store larger than the
+    dedup table's RAM cap.
+
     Args:
         jobs: worker processes for candidate generation (1 = inline;
             levels below :data:`PARALLEL_MIN_CANDIDATES` candidates are

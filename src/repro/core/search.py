@@ -730,14 +730,26 @@ class CascadeSearch:
 
     def _find_row(self, key: bytes) -> int:
         if self._engine is None and self._raw is not None:
-            # Store-loaded search: one vectorized scan over the (memory-
-            # mapped) rows instead of copying the whole closure into an
-            # engine hash table.  O(n) per call, but it keeps the lazy
-            # open lazy -- and it never mutates, so frozen searches can
-            # serve cost_of() concurrently.
+            # Store-loaded search: a vectorized scan, level by level,
+            # instead of copying the whole closure into an engine hash
+            # table.  O(n) per call, but it keeps the lazy open lazy --
+            # levels are fetched through the store's row accessors (for
+            # a v3 store, one decompressed chunk at a time through the
+            # section cache) -- and it never mutates, so frozen searches
+            # can serve cost_of() concurrently.
             wanted = _np.frombuffer(key, dtype=_np.uint8)
-            hits = _np.flatnonzero((self._raw.perms == wanted[None, :]).all(axis=1))
-            return int(hits[0]) if hits.size else -1
+            raw = self._raw
+            for cost in range(raw.expanded_to + 1):
+                start, stop = raw.level_rows(cost)
+                if start == stop:
+                    continue
+                level = raw.perms[start:stop]
+                hits = _np.flatnonzero(
+                    (level == wanted[None, :]).all(axis=1)
+                )
+                if hits.size:
+                    return start + int(hits[0])
+            return -1
         engine = self._ensure_engine()
         return engine.find_row(key)
 

@@ -8,9 +8,9 @@ snapshot to a versioned binary format so the closure is computed once
 against the stored artifact (``repro synth --store``) without re-running
 the BFS.
 
-Framing shared by both formats::
+Framing shared by all formats::
 
-    magic   8 bytes   b"RPROCLS" + format byte (\\x01 or \\x02)
+    magic   8 bytes   b"RPROCLS" + format byte (\\x01, \\x02 or \\x03)
     hlen    4 bytes   little-endian header length
     header  hlen      JSON metadata (see :class:`StoreHeader`)
     payload           format-specific binary sections
@@ -93,6 +93,32 @@ other languages (or future sharded writers) must honour every rule, and
   ``SIGBUS``.  The ``repro serve`` SIGHUP reload relies on this: the
   old map stays valid until the last in-flight query drops it.
 
+**Format v3 (compressed, opt-in)** keeps the v2 header and data model
+but stores the payload as per-level, per-array *chunks*, each
+independently compressed (``zstd`` when available, stdlib ``zlib``
+otherwise, or ``raw``):
+
+* ``header["chunks"]`` maps each section name to a list of ``(offset,
+  stored_length, raw_length)`` spans within the payload -- one span per
+  level for ``perms``/``masks``/``parents``/``gates`` (level ``k``'s
+  chunk holds exactly rows ``level_row_offsets[k] ..
+  level_row_offsets[k+1]``), a single span for each ``r*`` index
+  section; ``header["codec"]`` names the codec.  Chunk starts are
+  8-aligned; ``sections`` is absent.
+* **Byte transparency.**  The decompressed bytes of every chunk are
+  pinned identical to the corresponding v2 section span -- concatenating
+  a section's inflated chunks reproduces the v2 section byte for byte,
+  and ``index_sha256`` digests those *raw* bytes (the same values the
+  v2 writer records).  A v3 store therefore serves byte-identical
+  query results, and the golden tables hold on both formats.
+* **Decompress on touch.**  Opening maps the compressed payload
+  (pinning the inode exactly like v2) and inflates single chunks as
+  queries touch them, through a small process-wide LRU
+  (:func:`section_cache_stats`; ``REPRO_SECTION_CACHE_MB`` sizes it).
+  Open plus first query stays O(chunks touched) at any closure size,
+  which is what lets a served store exceed RAM.
+* ``payload_sha256`` covers the stored (compressed) payload bytes.
+
 **Format v1 (legacy)** packs byte-level level records plus parent pairs
 and is decoded eagerly through :class:`~repro.core.search.SearchState`.
 v1 files remain fully readable (auto-detected by the magic byte);
@@ -128,10 +154,17 @@ from repro.mvl.labels import label_space
 MAGIC_PREFIX = b"RPROCLS"
 MAGIC_V1 = MAGIC_PREFIX + b"\x01"
 MAGIC_V2 = MAGIC_PREFIX + b"\x02"
+MAGIC_V3 = MAGIC_PREFIX + b"\x03"
 #: Compatibility alias: the magic of the current default format.
 MAGIC = MAGIC_V2
 FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: Codecs a v3 store may name.  ``zstd`` needs the optional
+#: ``zstandard`` package (or the ``compression.zstd`` stdlib module of
+#: Python >= 3.14); ``zlib`` is always available; ``raw`` stores the
+#: section bytes uncompressed (still chunked/lazy).
+V3_CODECS = ("zstd", "zlib", "raw")
 
 _PARENT_RECORD = 6  # v1: u32 parent index + u16 gate index
 _ALIGN = 8
@@ -152,6 +185,85 @@ def _writer_tag() -> str:
 def _int_bytes(value: int) -> bytes:
     """Minimal little-endian encoding of a non-negative int (>= 1 byte)."""
     return value.to_bytes(max(1, (value.bit_length() + 7) // 8), "little")
+
+
+# -- v3 chunk codecs -------------------------------------------------------------------
+
+
+def _zstd_module():
+    """The available zstd implementation, or None.
+
+    Prefers the third-party ``zstandard`` package, falls back to the
+    ``compression.zstd`` stdlib module (Python >= 3.14).  Setting
+    ``REPRO_NO_ZSTD`` in the environment reports zstd as unavailable --
+    CI uses this to exercise the zlib fallback on hosts that do have
+    zstd installed.
+    """
+    if os.environ.get("REPRO_NO_ZSTD"):
+        return None
+    try:
+        import zstandard
+
+        return zstandard
+    except ImportError:
+        pass
+    try:
+        from compression import zstd
+
+        return zstd
+    except ImportError:
+        return None
+
+
+def resolve_codec(name: str | None) -> str:
+    """Resolve a requested v3 codec name (``None`` = best available).
+
+    Raises:
+        StoreError: an unknown codec, or ``zstd`` requested while no
+            zstd implementation is importable.
+    """
+    if name is None or name == "auto":
+        return "zstd" if _zstd_module() is not None else "zlib"
+    if name not in V3_CODECS:
+        raise StoreError(
+            f"unknown store codec {name!r}; choose from {V3_CODECS}"
+        )
+    if name == "zstd" and _zstd_module() is None:
+        raise StoreError(
+            "codec 'zstd' needs the zstandard package (or Python >= "
+            "3.14's compression.zstd); use codec 'zlib' instead"
+        )
+    return name
+
+
+def _codec_fns(name: str):
+    """``(compress, decompress)`` callables for a codec name.
+
+    Raises:
+        StoreError: unknown codec, or a zstd store opened on a host
+            without any zstd implementation (the remedy -- re-encode
+            with ``repro store migrate``'s zlib codec -- is named).
+    """
+    import zlib
+
+    if name == "zlib":
+        return (lambda raw: zlib.compress(raw, 6)), zlib.decompress
+    if name == "raw":
+        return (lambda raw: raw), (lambda blob: blob)
+    if name == "zstd":
+        module = _zstd_module()
+        if module is None:
+            raise StoreError(
+                "store uses the 'zstd' codec but no zstd implementation "
+                "is available (install zstandard, or re-encode with "
+                "`repro store migrate --codec zlib`)"
+            )
+        if hasattr(module, "ZstdCompressor"):  # the zstandard package
+            compressor = module.ZstdCompressor()
+            decompressor = module.ZstdDecompressor()
+            return compressor.compress, decompressor.decompress
+        return module.compress, module.decompress  # stdlib compression.zstd
+    raise StoreError(f"unknown store codec {name!r}; choose from {V3_CODECS}")
 
 
 def library_fingerprint(library: GateLibrary) -> str:
@@ -234,6 +346,12 @@ class StoreHeader:
     #: informational: `repro store shards` uses it to help operators
     #: size ``--dedup-budget``; readers must not depend on it.
     shards: dict = field(default_factory=dict)
+    #: v3 only: the chunk codec (``"zstd"``/``"zlib"``/``"raw"``) and the
+    #: chunk table -- section name -> list of ``(offset, stored_length,
+    #: raw_length)`` spans within the payload, one span per level for
+    #: the row arrays, a single span for the ``r*`` index sections.
+    codec: str = ""
+    chunks: dict = field(default_factory=dict)
 
     @property
     def total_seen(self) -> int:
@@ -290,6 +408,13 @@ def _header_dict(header: StoreHeader) -> dict:
         data["index_sha256"] = dict(header.index_sha256)
         if header.shards:
             data["shards"] = dict(header.shards)
+    if header.format_version >= 3:
+        data["codec"] = header.codec
+        data["chunks"] = {
+            name: [list(span) for span in spans]
+            for name, spans in header.chunks.items()
+        }
+        del data["sections"]
     return data
 
 
@@ -336,6 +461,14 @@ def _header_from_dict(data: dict) -> StoreHeader:
                 for name, digest in data.get("index_sha256", {}).items()
             },
             shards=dict(data.get("shards", {})),
+            codec=str(data.get("codec", "")),
+            chunks={
+                str(name): tuple(
+                    (int(span[0]), int(span[1]), int(span[2]))
+                    for span in spans
+                )
+                for name, spans in data.get("chunks", {}).items()
+            },
         )
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise StoreError(f"malformed store header: {exc}") from None
@@ -505,12 +638,11 @@ def _frame_header(header: StoreHeader) -> bytes:
     header_blob = json.dumps(
         _header_dict(header), separators=(",", ":")
     ).encode()
-    frame = len(MAGIC_V2) + 4
+    magic = MAGIC_PREFIX + bytes([header.format_version])
+    frame = len(magic) + 4
     pad = (-(frame + len(header_blob))) % _ALIGN
     header_blob += b" " * pad
-    return (
-        MAGIC_V2 + len(header_blob).to_bytes(4, "little") + header_blob
-    )
+    return magic + len(header_blob).to_bytes(4, "little") + header_blob
 
 
 def _dump_v2(search: CascadeSearch) -> bytes:
@@ -667,14 +799,168 @@ def _save_v2_streamed(search: CascadeSearch, target: Path) -> StoreHeader:
     return replace(header, payload_sha256=digest.hexdigest())
 
 
+def _v3_chunk_stream(arrays, index_blobs: dict, compress):
+    """Yield ``(name, compressed_chunk, raw_length)`` in on-disk order.
+
+    One chunk per level for each row array (level ``k`` of ``perms`` is
+    exactly the v2 ``perms`` section bytes of rows ``offsets[k] ..
+    offsets[k+1]``), then one chunk per ``r*`` index section.  The raw
+    bytes are pinned byte-identical to the corresponding v2 section
+    span, which is what lets a v3 store serve byte-identical results.
+    Peak extra memory is one level's raw + compressed chunk.
+    """
+    sources = {
+        "perms": (arrays.perms, np.uint8),
+        "masks": (arrays.masks, "<u8"),
+        "parents": (arrays.parents, "<i4"),
+        "gates": (arrays.gates, "<i4"),
+    }
+    for name in _SECTIONS:
+        if name in index_blobs:
+            raw = index_blobs[name]
+            yield name, compress(raw) if raw else b"", len(raw)
+            continue
+        array, dtype = sources[name]
+        if array is None:
+            continue
+        for cost in range(arrays.expanded_to + 1):
+            start, stop = arrays.level_rows(cost)
+            raw = np.ascontiguousarray(
+                array[start:stop], dtype=dtype
+            ).tobytes()
+            yield name, compress(raw) if raw else b"", len(raw)
+
+
+def _v3_header(
+    search: CascadeSearch,
+    arrays,
+    chunks: dict[str, tuple[tuple[int, int, int], ...]],
+    codec: str,
+    payload_size: int,
+    payload_sha256: str,
+    index_sha: dict,
+    index_entries: int,
+    index_matches: int,
+) -> StoreHeader:
+    """The v3 header: the v2 header with a chunk table instead of sections."""
+    from dataclasses import replace
+
+    base = _v2_header(
+        search, arrays, {}, payload_size, payload_sha256,
+        index_sha, index_entries, index_matches,
+    )
+    return replace(base, format_version=3, codec=codec, chunks=chunks)
+
+
+def _v3_write_payload(search: CascadeSearch, out, codec: str | None):
+    """Stream the v3 payload chunks to *out*; returns the header.
+
+    The returned header carries the finished chunk table, payload size
+    and sha256 (over the stored/compressed payload bytes) -- callers
+    frame it before or after the payload as their medium requires.
+    """
+    arrays = search.export_arrays()
+    keys, costs, indptr, matches = _serialized_index(
+        search, arrays.expanded_to
+    )
+    codec_name = resolve_codec(codec)
+    compress, _decompress = _codec_fns(codec_name)
+    index_blobs = {
+        "rkeys": keys,
+        "rcosts": costs.tobytes(),
+        "rindptr": indptr.tobytes(),
+        "rmatches": matches.tobytes(),
+    }
+    # Digests of the *raw* (decompressed) index bytes: identical values
+    # to the same store's v2 ``index_sha256``, pinning byte-transparency.
+    index_sha = {
+        name: hashlib.sha256(blob).hexdigest()
+        for name, blob in index_blobs.items()
+    }
+    chunks: dict[str, list[tuple[int, int, int]]] = {}
+    digest = hashlib.sha256()
+    offset = 0
+    for name, blob, raw_len in _v3_chunk_stream(arrays, index_blobs, compress):
+        pad = (-offset) % _ALIGN
+        if pad:
+            out.write(b"\x00" * pad)
+            digest.update(b"\x00" * pad)
+            offset += pad
+        chunks.setdefault(name, []).append((offset, len(blob), raw_len))
+        out.write(blob)
+        digest.update(blob)
+        offset += len(blob)
+    return _v3_header(
+        search,
+        arrays,
+        {name: tuple(spans) for name, spans in chunks.items()},
+        codec_name,
+        offset,
+        digest.hexdigest(),
+        index_sha,
+        len(costs),
+        len(matches),
+    )
+
+
+def _dump_v3(search: CascadeSearch, codec: str | None = None) -> bytes:
+    """Serialize in the chunk-compressed lazy format (in memory)."""
+    import io
+
+    payload = io.BytesIO()
+    header = _v3_write_payload(search, payload, codec)
+    return _frame_header(header) + payload.getvalue()
+
+
+def _save_v3_streamed(
+    search: CascadeSearch, target: Path, codec: str | None = None
+) -> StoreHeader:
+    """Write a v3 store chunk by chunk, never holding the payload.
+
+    Chunk sizes are only known after compression, so the payload is
+    streamed to a sibling temp file first, then the framed header and
+    payload are concatenated into the final temp file and atomically
+    renamed -- byte-identical to :func:`_dump_v3`, with peak extra
+    memory bounded by one level's chunk.
+    """
+    payload_tmp = target.with_name(target.name + ".tmp.payload")
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(payload_tmp, "wb") as payload:
+            header = _v3_write_payload(search, payload, codec)
+        with open(tmp, "wb") as out, open(payload_tmp, "rb") as payload:
+            out.write(_frame_header(header))
+            while True:
+                block = payload.read(1 << 20)
+                if not block:
+                    break
+                out.write(block)
+        os.replace(tmp, target)
+    finally:
+        for leftover in (payload_tmp,):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    return header
+
+
 def dump_search(
-    search: CascadeSearch, format_version: int = FORMAT_VERSION
+    search: CascadeSearch,
+    format_version: int = FORMAT_VERSION,
+    codec: str | None = None,
 ) -> bytes:
-    """Serialize a search's accumulated closure to store bytes."""
+    """Serialize a search's accumulated closure to store bytes.
+
+    *codec* selects the v3 chunk codec (``None`` = best available) and
+    is ignored by the uncompressed v1/v2 formats.
+    """
     if format_version == 1:
         return _dump_v1(search)
     if format_version == 2:
         return _dump_v2(search)
+    if format_version == 3:
+        return _dump_v3(search, codec)
     raise StoreVersionError(
         f"cannot write store format {format_version}; this build writes "
         f"formats {SUPPORTED_VERSIONS}"
@@ -685,6 +971,7 @@ def save_search(
     search: CascadeSearch,
     path: str | Path,
     format_version: int = FORMAT_VERSION,
+    codec: str | None = None,
 ) -> StoreHeader:
     """Write a search's closure to *path*; returns the store header.
 
@@ -693,14 +980,17 @@ def save_search(
     that is currently memory-mapped (``precompute --extend``) is safe:
     the mapping keeps the old inode alive.
 
-    v2 stores are **streamed** section by section, level by level
-    (:func:`_save_v2_streamed`) -- byte-identical to
-    :func:`dump_search` output, but peak RSS stays bounded by one
-    chunk instead of a full second copy of the payload.
+    v2 and v3 stores are **streamed** section by section, level by
+    level (:func:`_save_v2_streamed` / :func:`_save_v3_streamed`) --
+    byte-identical to :func:`dump_search` output, but peak RSS stays
+    bounded by one chunk instead of a full second copy of the payload.
+    *codec* selects the v3 chunk codec (``None`` = best available).
     """
     target = Path(path)
     if format_version == 2:
         return _save_v2_streamed(search, target)
+    if format_version == 3:
+        return _save_v3_streamed(search, target, codec)
     data = dump_search(search, format_version)
     tmp = target.with_name(target.name + ".tmp")
     tmp.write_bytes(data)
@@ -771,8 +1061,13 @@ def _check_v1_payload(header: StoreHeader, payload: memoryview) -> None:
         )
 
 
-def _check_v2_header(header: StoreHeader, payload_size: int) -> None:
-    """Structural sanity of a v2 header against the payload size."""
+def _check_array_geometry(
+    header: StoreHeader, payload_size: int
+) -> tuple[int, dict[str, int]]:
+    """Level/offset sanity shared by the v2 and v3 checkers.
+
+    Returns ``(row count, expected raw section sizes)``.
+    """
     if payload_size != header.payload_size:
         raise StoreError(
             f"store payload is {payload_size} bytes, header says "
@@ -805,6 +1100,12 @@ def _check_v2_header(header: StoreHeader, payload_size: int) -> None:
     if header.track_parents:
         expected["parents"] = n * 4
         expected["gates"] = n * 4
+    return n, expected
+
+
+def _check_v2_header(header: StoreHeader, payload_size: int) -> None:
+    """Structural sanity of a v2 header against the payload size."""
+    _n, expected = _check_array_geometry(header, payload_size)
     for name, size in expected.items():
         span = header.sections.get(name)
         if span is None:
@@ -818,6 +1119,55 @@ def _check_v2_header(header: StoreHeader, payload_size: int) -> None:
             raise StoreError(
                 f"store section {name!r} lies outside the payload"
             )
+
+
+#: Per-array bytes per row in the v3 chunk layout.
+_V3_ROW_BYTES = {"parents": 4, "gates": 4}
+
+
+def _check_v3_header(header: StoreHeader, payload_size: int) -> None:
+    """Structural sanity of a v3 header against the payload size.
+
+    The raw (decompressed) chunk lengths are fully determined by the
+    row/entry counts, exactly like v2 section lengths; stored lengths
+    are only bounded (the codec decides them), and every span must lie
+    inside the payload.
+    """
+    _n, expected = _check_array_geometry(header, payload_size)
+    if header.codec not in V3_CODECS:
+        raise StoreError(
+            f"store names unknown codec {header.codec!r}"
+        )
+    sizes = header.level_sizes
+    for name, total in expected.items():
+        spans = header.chunks.get(name)
+        if spans is None:
+            raise StoreError(f"store is missing its {name!r} section")
+        if name in ("rkeys", "rcosts", "rindptr", "rmatches"):
+            per_chunk = [total]
+        else:
+            row_bytes = _V3_ROW_BYTES.get(name) or (
+                header.degree if name == "perms" else header.mask_words * 8
+            )
+            per_chunk = [size * row_bytes for size in sizes]
+        if len(spans) != len(per_chunk):
+            raise StoreError(
+                f"store section {name!r} has {len(spans)} chunks, "
+                f"expected {len(per_chunk)}"
+            )
+        for idx, (span, raw_expected) in enumerate(zip(spans, per_chunk)):
+            offset, stored, raw = span
+            if raw != raw_expected:
+                raise StoreError(
+                    f"store chunk {name!r}[{idx}] decodes to {raw} "
+                    f"bytes, expected {raw_expected}"
+                )
+            if offset < 0 or stored < 0 or (
+                offset + stored > header.payload_size
+            ):
+                raise StoreError(
+                    f"store chunk {name!r}[{idx}] lies outside the payload"
+                )
 
 
 def _section(header: StoreHeader, payload, name: str, dtype, shape=None):
@@ -870,12 +1220,8 @@ _INDEX_VERIFIED: dict[tuple, dict] = {}
 _INDEX_VERIFIED_MAX = 64
 
 
-def _file_identity(path: Path) -> tuple | None:
-    """Stable identity of a store file's current bytes, or None."""
-    try:
-        stat = path.stat()
-    except OSError:
-        return None
+def _identity_from_stat(path: Path, stat: os.stat_result) -> tuple:
+    """The identity tuple of an already-statted store file."""
     return (
         str(path.resolve()),
         stat.st_dev,
@@ -883,6 +1229,15 @@ def _file_identity(path: Path) -> tuple | None:
         stat.st_size,
         stat.st_mtime_ns,
     )
+
+
+def _file_identity(path: Path) -> tuple | None:
+    """Stable identity of a store file's current bytes, or None."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return _identity_from_stat(path, stat)
 
 
 def _v2_remainder_index(
@@ -929,6 +1284,297 @@ def _v2_remainder_index(
     return index
 
 
+# -- v3 lazy reading -------------------------------------------------------------------
+
+
+class _SectionCache:
+    """Process-wide LRU of decompressed v3 chunks, bounded by bytes.
+
+    Keys are ``(file identity, section name, chunk index)``: a replaced
+    store gets a new inode/mtime and therefore fresh entries, while the
+    old entries age out by LRU -- no invalidation hooks needed, which is
+    what keeps the serve reload race-free (in-flight queries on the old
+    :class:`StoreState` keep their already-decompressed chunks alive by
+    reference regardless of what the cache evicts).
+    """
+
+    def __init__(self, max_bytes: int):
+        import threading
+        from collections import OrderedDict
+
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> bytes | None:
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return blob
+
+    def put(self, key: tuple, blob: bytes) -> None:
+        if len(blob) > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = blob
+            self._bytes += len(blob)
+            while self._bytes > self.max_bytes and self._entries:
+                _key, dropped = self._entries.popitem(last=False)
+                self._bytes -= len(dropped)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+
+#: The per-process chunk cache; sized by ``REPRO_SECTION_CACHE_MB``
+#: (default 64).  Small by design: it bounds decompression rework, it
+#: does not try to hold the closure.
+_SECTION_CACHE = _SectionCache(
+    max(1, int(os.environ.get("REPRO_SECTION_CACHE_MB", "64"))) << 20
+)
+
+
+def section_cache_stats() -> dict:
+    """Hit/size counters of the process-wide v3 chunk cache."""
+    return _SECTION_CACHE.stats()
+
+
+class _ChunkStore:
+    """Decompress-on-touch access to one v3 store's payload chunks.
+
+    Holds the (compressed) payload -- a memmap for file opens, so the
+    inode stays pinned across atomic replaces exactly like a v2 map --
+    and inflates single chunks on demand through the process-wide
+    :data:`_SECTION_CACHE` (when a *cache_key* identity is given).
+    """
+
+    def __init__(
+        self, header: StoreHeader, payload, cache_key: tuple | None = None
+    ):
+        self._header = header
+        self._payload = payload
+        self._cache_key = cache_key
+        _compress, self._decompress = _codec_fns(header.codec)
+
+    def chunk(self, name: str, idx: int) -> bytes:
+        """The decompressed bytes of one chunk (cached per process)."""
+        offset, stored, raw_len = self._header.chunks[name][idx]
+        key = None
+        if self._cache_key is not None:
+            key = (self._cache_key, name, idx)
+            cached = _SECTION_CACHE.get(key)
+            if cached is not None:
+                return cached
+        if stored == 0 and raw_len == 0:
+            return b""
+        view = self._payload[offset : offset + stored]
+        blob = view.tobytes() if hasattr(view, "tobytes") else bytes(view)
+        try:
+            raw = self._decompress(blob)
+        except Exception as exc:
+            raise StoreError(
+                f"store chunk {name!r}[{idx}] fails to decompress "
+                f"({self._header.codec}): {exc}"
+            ) from None
+        if len(raw) != raw_len:
+            raise StoreError(
+                f"store chunk {name!r}[{idx}] decompressed to "
+                f"{len(raw)} bytes, header says {raw_len}"
+            )
+        if key is not None:
+            _SECTION_CACHE.put(key, raw)
+        return raw
+
+    def level_array(self, name: str, idx: int, dtype, width: int | None):
+        """One chunk as a read-only ndarray (``(rows, width)`` or flat)."""
+        arr = np.frombuffer(self.chunk(name, idx), dtype=np.dtype(dtype))
+        if width is not None:
+            arr = arr.reshape(-1, width)
+        return arr
+
+
+class _LazyChunkedArray:
+    """Read-only, ndarray-like view over a v3 array's per-level chunks.
+
+    Implements exactly the access surface the query paths use on raw
+    :class:`SearchArrays` members -- ``shape``/``dtype``, integer row
+    indexing, contiguous row slices, and whole-array materialization
+    via ``__array__`` (used by eager consumers such as migration and
+    ``verify_store``).  Rows decompress level by level on first touch,
+    so open + first query stays O(chunks touched) at any closure size.
+    """
+
+    def __init__(
+        self,
+        chunks: _ChunkStore,
+        name: str,
+        dtype,
+        width: int | None,
+        level_offsets,
+    ):
+        self._chunks = chunks
+        self._name = name
+        self.dtype = np.dtype(dtype)
+        self._width = width
+        self._offsets = np.asarray(level_offsets, dtype=np.int64)
+        n = int(self._offsets[-1])
+        self.shape = (n,) if width is None else (n, width)
+        self.ndim = len(self.shape)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def _level_of(self, row: int) -> int:
+        return int(
+            np.searchsorted(self._offsets, row, side="right") - 1
+        )
+
+    def _level(self, k: int):
+        return self._chunks.level_array(
+            self._name, k, self.dtype, self._width
+        )
+
+    def __getitem__(self, key):
+        n = self.shape[0]
+        if isinstance(key, (int, np.integer)):
+            row = int(key)
+            if row < 0:
+                row += n
+            if not 0 <= row < n:
+                raise IndexError(
+                    f"row {key} outside the {n}-row closure"
+                )
+            k = self._level_of(row)
+            return self._level(k)[row - int(self._offsets[k])]
+        if isinstance(key, slice):
+            start, stop, step = key.indices(n)
+            if step != 1:
+                raise IndexError(
+                    "chunked store arrays support contiguous slices only"
+                )
+            if start >= stop:
+                return np.empty(
+                    (0,) if self._width is None else (0, self._width),
+                    dtype=self.dtype,
+                )
+            first = self._level_of(start)
+            last = self._level_of(stop - 1)
+            if first == last:
+                base = int(self._offsets[first])
+                return self._level(first)[start - base : stop - base]
+            parts = []
+            for k in range(first, last + 1):
+                lo = max(start, int(self._offsets[k]))
+                hi = min(stop, int(self._offsets[k + 1]))
+                if lo < hi:
+                    base = int(self._offsets[k])
+                    parts.append(self._level(k)[lo - base : hi - base])
+            return np.concatenate(parts)
+        raise TypeError(
+            f"chunked store arrays take int or slice indices, not "
+            f"{type(key).__name__}"
+        )
+
+    def __array__(self, dtype=None, copy=None):
+        full = self[0 : self.shape[0]]
+        if dtype is not None and np.dtype(dtype) != full.dtype:
+            return full.astype(dtype)
+        return np.asarray(full)
+
+
+def _v3_arrays(header: StoreHeader, chunks: _ChunkStore) -> SearchArrays:
+    """Lazy SearchArrays over a v3 chunk store (decompress on touch)."""
+    offsets = np.asarray(header.level_row_offsets, dtype=np.int64)
+    parents = gates = None
+    if header.track_parents:
+        parents = _LazyChunkedArray(chunks, "parents", "<i4", None, offsets)
+        gates = _LazyChunkedArray(chunks, "gates", "<i4", None, offsets)
+    return SearchArrays(
+        expanded_to=header.expanded_to,
+        degree=header.degree,
+        n_binary=header.n_binary,
+        mask_words=header.mask_words,
+        level_offsets=offsets,
+        perms=_LazyChunkedArray(
+            chunks, "perms", np.uint8, header.degree, offsets
+        ),
+        masks=_LazyChunkedArray(
+            chunks, "masks", "<u8", header.mask_words, offsets
+        ),
+        parents=parents,
+        gates=gates,
+        elapsed_seconds=header.elapsed_seconds,
+    )
+
+
+def _v3_remainder_index(
+    header: StoreHeader, chunks: _ChunkStore, cache_key: tuple | None = None
+) -> dict:
+    """Deserialize a v3 remainder index; verifies its raw-byte hashes.
+
+    The ``index_sha256`` digests cover the *decompressed* section bytes
+    -- the same values a v2 store records -- so the eager-verification
+    guarantee (and the per-process verified-identity cache) carries
+    over unchanged.
+    """
+    blobs = {
+        name: chunks.chunk(name, 0)
+        for name in ("rkeys", "rcosts", "rindptr", "rmatches")
+    }
+    verified = (
+        cache_key is not None
+        and _INDEX_VERIFIED.get(cache_key) == header.index_sha256
+    )
+    if not verified:
+        for name, expected in header.index_sha256.items():
+            if hashlib.sha256(blobs[name]).hexdigest() != expected:
+                raise StoreError(
+                    f"store section {name!r} fails its sha256 checksum"
+                )
+        if cache_key is not None:
+            while len(_INDEX_VERIFIED) >= _INDEX_VERIFIED_MAX:
+                _INDEX_VERIFIED.pop(next(iter(_INDEX_VERIFIED)))
+            _INDEX_VERIFIED[cache_key] = dict(header.index_sha256)
+    entries = header.index_entries
+    width = header.n_binary
+    keys = blobs["rkeys"]
+    costs = np.frombuffer(blobs["rcosts"], dtype="<i4")
+    indptr = np.frombuffer(blobs["rindptr"], dtype="<i8")
+    matches = np.frombuffer(blobs["rmatches"], dtype="<i4")
+    index: dict[bytes, tuple[int, np.ndarray]] = {}
+    for e in range(entries):
+        remainder = keys[e * width : (e + 1) * width]
+        index[remainder] = (
+            int(costs[e]),
+            matches[int(indptr[e]) : int(indptr[e + 1])],
+        )
+    return index
+
+
 def _split(data: bytes) -> tuple[StoreHeader, memoryview]:
     """Validate framing + checksum; return (header, payload view)."""
     header, payload_start = _parse_frame(data)
@@ -936,7 +1582,10 @@ def _split(data: bytes) -> tuple[StoreHeader, memoryview]:
     if header.format_version == 1:
         _check_v1_payload(header, payload)
     else:
-        _check_v2_header(header, len(payload))
+        if header.format_version >= 3:
+            _check_v3_header(header, len(payload))
+        else:
+            _check_v2_header(header, len(payload))
         if hashlib.sha256(payload).hexdigest() != header.payload_sha256:
             raise StoreError("store payload fails its sha256 checksum")
     return header, payload
@@ -985,13 +1634,16 @@ def _decode_state(header: StoreHeader, payload: memoryview) -> SearchState:
     )
 
 
-def read_header(path: str | Path) -> StoreHeader:
-    """Read only the metadata block of a store file (cheap peek).
+def _read_header(path: Path) -> tuple[StoreHeader, tuple]:
+    """Read a store's metadata block plus the file identity it came from.
 
-    The payload is not read or verified; use :func:`verify_store` for a
-    fully checked pass.
+    Header and identity are taken from one open file descriptor, so
+    they always describe the same inode -- the identity lets the later
+    mapping step (:func:`_map_store`) detect a concurrent atomic
+    replace instead of failing on a misleading size mismatch.
     """
     with open(path, "rb") as handle:
+        identity = _identity_from_stat(path, os.fstat(handle.fileno()))
         magic = handle.read(len(MAGIC_PREFIX) + 1)
         if len(magic) < len(MAGIC_PREFIX) + 1 or not magic.startswith(
             MAGIC_PREFIX
@@ -1013,7 +1665,17 @@ def read_header(path: str | Path) -> StoreHeader:
         raw = json.loads(blob)
     except ValueError:
         raise StoreError("store header is not valid JSON") from None
-    return _header_from_dict(raw)
+    return _header_from_dict(raw), identity
+
+
+def read_header(path: str | Path) -> StoreHeader:
+    """Read only the metadata block of a store file (cheap peek).
+
+    The payload is not read or verified; use :func:`verify_store` for a
+    fully checked pass.
+    """
+    header, _identity = _read_header(Path(path))
+    return header
 
 
 def _check_compatible(
@@ -1047,13 +1709,18 @@ def _load_split(
     if header.format_version == 1:
         state = _decode_state(header, payload)
         return CascadeSearch.from_state(library, state, cost_model)
-    search = CascadeSearch.from_arrays(
-        library, _v2_arrays(header, payload), cost_model
-    )
-    search.attach_remainder_index(
-        header.expanded_to,
-        _v2_remainder_index(header, payload, cache_key=cache_key),
-    )
+    if header.format_version >= 3:
+        chunks = _ChunkStore(header, payload, cache_key=cache_key)
+        search = CascadeSearch.from_arrays(
+            library, _v3_arrays(header, chunks), cost_model
+        )
+        index = _v3_remainder_index(header, chunks, cache_key=cache_key)
+    else:
+        search = CascadeSearch.from_arrays(
+            library, _v2_arrays(header, payload), cost_model
+        )
+        index = _v2_remainder_index(header, payload, cache_key=cache_key)
+    search.attach_remainder_index(header.expanded_to, index)
     return search
 
 
@@ -1088,14 +1755,11 @@ def load_search(
             library or cost model than the ones given.
     """
     path = Path(path)
-    with open(path, "rb") as handle:
-        magic = handle.read(len(MAGIC_PREFIX) + 1)
-    if len(magic) < len(MAGIC_PREFIX) + 1 or not magic.startswith(MAGIC_PREFIX):
-        raise StoreError("not a closure store (bad magic)")
-    if magic[-1] == 1:
+    header, identity = _read_header(path)
+    if header.format_version == 1:
         # Eager v1 decode; framing and header are parsed from the bytes.
         return loads_search(path.read_bytes(), library, cost_model)
-    return _load_from_path(path, read_header(path), library, cost_model)
+    return _load_from_path(path, header, library, cost_model, identity)
 
 
 def _load_from_path(
@@ -1103,36 +1767,75 @@ def _load_from_path(
     header: StoreHeader,
     library: GateLibrary,
     cost_model: CostModel,
+    identity: tuple | None = None,
 ) -> CascadeSearch:
     """Load with an already-parsed header.
 
-    The lazy v2 path reuses *header* so the open costs a single header
-    parse; the eager v1 path re-frames the bytes it reads anyway (the
-    extra parse is noise next to decoding the full closure).
+    The lazy v2/v3 path reuses *header* so the open costs a single
+    header parse; *identity* (the file identity the header was read
+    from) lets the mapping step refuse a concurrently-replaced file.
+    The eager v1 path re-frames the bytes it reads anyway (the extra
+    parse is noise next to decoding the full closure).
     """
     if header.format_version == 1:
         return loads_search(path.read_bytes(), library, cost_model)
-    payload = _map_v2(path, header)
+    payload = _map_store(path, header, expected_identity=identity)
     return _load_split(
         header, payload, library, cost_model,
-        cache_key=_file_identity(path),
+        cache_key=identity if identity is not None else _file_identity(path),
     )
 
 
-def _map_v2(path: Path, header: StoreHeader) -> np.memmap:
-    """Memory-map a v2 store; validates framing and sizes, not bytes."""
-    if header.format_version != 2:
+def _map_store(
+    path: Path, header: StoreHeader, expected_identity: tuple | None = None
+) -> np.memmap:
+    """Memory-map a v2/v3 store; validates framing and sizes, not bytes.
+
+    The frame is read from a single file descriptor -- the same one the
+    size check and the mapping use -- so the open itself can never mix
+    two files.  When *expected_identity* is given (the identity
+    :func:`_read_header` captured), a store that was atomically
+    replaced between the header read and this call is detected and
+    refused by name instead of surfacing as a baffling size or shape
+    mismatch: ``repro serve``'s SIGHUP reload replaces store files
+    exactly this way.
+    """
+    if header.format_version not in (2, 3):
         raise StoreVersionError(
-            f"expected a v2 store, found format {header.format_version}"
+            f"expected a mappable v2/v3 store, found format "
+            f"{header.format_version}"
         )
-    frame = len(MAGIC_PREFIX) + 5
     with open(path, "rb") as handle:
+        stat = os.fstat(handle.fileno())
+        if expected_identity is not None:
+            identity = _identity_from_stat(path, stat)
+            if identity != expected_identity:
+                raise StoreError(
+                    f"store {path} was replaced while being opened (a "
+                    "concurrent save or SIGHUP reload swapped in a new "
+                    "file after its header was read); retry the open to "
+                    "load the new store"
+                )
         handle.seek(len(MAGIC_PREFIX) + 1)
         hlen = int.from_bytes(handle.read(4), "little")
-    payload_start = frame + hlen
-    actual = path.stat().st_size - payload_start
-    _check_v2_header(header, actual)
-    return np.memmap(path, dtype=np.uint8, mode="r", offset=payload_start)
+        payload_start = len(MAGIC_PREFIX) + 5 + hlen
+        actual = stat.st_size - payload_start
+        if header.format_version >= 3:
+            _check_v3_header(header, actual)
+        else:
+            _check_v2_header(header, actual)
+        # Mapping through the open handle (not the path) pins the very
+        # inode that was statted; the map outlives the handle.
+        return np.memmap(
+            handle, dtype=np.uint8, mode="r", offset=payload_start
+        )
+
+
+def _map_v2(
+    path: Path, header: StoreHeader, expected_identity: tuple | None = None
+) -> np.memmap:
+    """Backwards-compatible alias of :func:`_map_store`."""
+    return _map_store(path, header, expected_identity)
 
 
 def open_store(
@@ -1147,9 +1850,11 @@ def open_store(
     (see :func:`load_search`).
     """
     path = Path(path)
-    header = read_header(path)
+    header, identity = _read_header(path)
     library = header.rebuild_library()
-    search = _load_from_path(path, header, library, header.cost_model)
+    search = _load_from_path(
+        path, header, library, header.cost_model, identity
+    )
     return header, library, search
 
 
@@ -1173,13 +1878,18 @@ def projected_shard_layout(
             f"shard bits must be in 0..{MAX_SHARD_BITS}, got {shard_bits}"
         )
     path = Path(path)
-    header = read_header(path)
+    header, identity = _read_header(path)
     if header.format_version < 2:
         raise StoreVersionError(
-            "projecting a shard layout needs a memory-mapped v2 store"
+            "projecting a shard layout needs a memory-mapped v2/v3 store"
         )
-    payload = _map_v2(path, header)
-    arrays = _v2_arrays(header, payload)
+    payload = _map_store(path, header, expected_identity=identity)
+    if header.format_version >= 3:
+        arrays = _v3_arrays(
+            header, _ChunkStore(header, payload, cache_key=identity)
+        )
+    else:
+        arrays = _v2_arrays(header, payload)
     counts = np.zeros(1 << shard_bits, dtype=np.int64)
     for level in range(header.expanded_to + 1):
         start, stop = arrays.level_rows(level)
@@ -1205,8 +1915,19 @@ def verify_store(path: str | Path) -> StoreHeader:
     """
     data = Path(path).read_bytes()
     header, payload = _split(data)
-    if header.format_version == 2:
-        arrays = _v2_arrays(header, payload)
+    if header.format_version >= 2:
+        if header.format_version >= 3:
+            chunks = _ChunkStore(header, payload)
+            # Decompress every chunk once: any codec error or raw-length
+            # mismatch fails here, before the structural checks.
+            for name, spans in header.chunks.items():
+                for idx in range(len(spans)):
+                    chunks.chunk(name, idx)
+            arrays = _v3_arrays(header, chunks)
+            index = _v3_remainder_index(header, chunks)
+        else:
+            arrays = _v2_arrays(header, payload)
+            index = _v2_remainder_index(header, payload)
         library = header.rebuild_library()
         # Full structural validation (identity row, offsets, shapes).
         CascadeSearch.from_arrays(
@@ -1214,7 +1935,6 @@ def verify_store(path: str | Path) -> StoreHeader:
         )
         if arrays.parents is not None:
             _check_v2_parents(header, arrays, len(library))
-        index = _v2_remainder_index(header, payload)
         n = header.level_row_offsets[-1]
         for remainder, (cost, rows) in index.items():
             if not 0 < cost <= header.expanded_to:
@@ -1263,18 +1983,24 @@ def _check_v2_parents(
 
 
 def migrate_store(
-    src: str | Path, dst: str | Path
+    src: str | Path,
+    dst: str | Path,
+    format_version: int = FORMAT_VERSION,
+    codec: str | None = None,
 ) -> tuple[StoreHeader, StoreHeader]:
-    """Rewrite a store (any readable version) in the current v2 format.
+    """Rewrite a store (any readable version) in *format_version*.
 
     The source is read once and fully verified (checksum included)
     before writing.  Returns ``(source header, new header)``;
     fingerprints, bound and expansion timing are preserved, so the
-    migrated store serves byte-identical query results.
+    migrated store serves byte-identical query results.  *codec*
+    selects the chunk codec when migrating to v3.
     """
     data = Path(src).read_bytes()
     src_header, payload = _split(data)
     library = src_header.rebuild_library()
     search = _load_split(src_header, payload, library, src_header.cost_model)
-    dst_header = save_search(search, dst, format_version=2)
+    dst_header = save_search(
+        search, dst, format_version=format_version, codec=codec
+    )
     return src_header, dst_header

@@ -28,8 +28,10 @@ Two heavier persistence layers build on this module:
   :func:`read_header` / :func:`verify_store` / :func:`migrate_store`)
   so ``repro.io`` is the one-stop persistence facade.  Stores are
   written in the memory-mapped v2 format (opened in O(queries touched),
-  remainder index included); legacy v1 files stay readable and
-  :func:`migrate_store` upgrades them.
+  remainder index included) or the chunk-compressed v3 format
+  (``--format-version 3``: same data, zstd/zlib-compressed sections,
+  decompressed on touch); legacy v1 files stay readable and
+  :func:`migrate_store` rewrites any version as any other.
 
 :func:`load_access_log` parses the NDJSON request log ``repro serve
 --access-log`` writes (one structured record per served request).
@@ -245,43 +247,81 @@ def load_targets(
     return pairs
 
 
-def load_access_log(path: str | Path) -> list[dict[str, Any]]:
-    """Parse a ``repro serve --access-log`` NDJSON file.
+def _parse_access_record(
+    path: str | Path, lineno: int, line: str
+) -> dict[str, Any]:
+    """One NDJSON access-log line as a validated record dict."""
+    required = ("op", "store", "queue_wait_ms", "execute_ms", "total_ms",
+                "outcome")
+    try:
+        record = json.loads(line)
+    except ValueError:
+        raise SpecificationError(
+            f"{path}:{lineno}: access-log line is not valid JSON"
+        ) from None
+    if not isinstance(record, dict):
+        raise SpecificationError(
+            f"{path}:{lineno}: access-log record must be a JSON object"
+        )
+    missing = [key for key in required if key not in record]
+    if missing:
+        raise SpecificationError(
+            f"{path}:{lineno}: access-log record is missing "
+            + ", ".join(missing)
+        )
+    return record
 
-    One record per request, in arrival order; blank lines are skipped
-    (a crashed writer can leave at most a final partial line, which is
-    reported, not ignored).  Each record carries at least ``op``,
-    ``store``, ``queue_wait_ms``, ``execute_ms``, ``total_ms`` and
-    ``outcome`` (``"ok"`` or a structured error code).
+
+def load_access_log(path: str | Path, strict: bool = True):
+    """Parse a ``repro serve --access-log`` NDJSON file, streaming.
+
+    One record per request, in arrival order; blank lines are skipped.
+    The file is read line by line, never whole -- access logs of
+    long-lived servers outgrow RAM comfort long before the closure
+    store does.  Each record carries at least ``op``, ``store``,
+    ``queue_wait_ms``, ``execute_ms``, ``total_ms`` and ``outcome``
+    (``"ok"`` or a structured error code).
+
+    A crashed -- or still-running -- writer can leave a partial *final*
+    line.  With ``strict=True`` (the default) any malformed line raises;
+    with ``strict=False`` the return value becomes ``(records, tail)``
+    where a malformed final line is tolerated and described by *tail*
+    (a dict with ``lineno``, ``reason`` and the truncated ``text``;
+    ``None`` when the log ended cleanly).  Malformed lines *before* the
+    final one are real corruption and raise in both modes.
 
     Raises:
         SpecificationError: a line is not a JSON object or a record is
-            missing one of the required fields (with its line number).
+            missing one of the required fields (with its line number) --
+            for any line under ``strict=True``, for non-final lines
+            otherwise.
     """
-    required = ("op", "store", "queue_wait_ms", "execute_ms", "total_ms",
-                "outcome")
     records: list[dict[str, Any]] = []
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            raise SpecificationError(
-                f"{path}:{lineno}: access-log line is not valid JSON"
-            ) from None
-        if not isinstance(record, dict):
-            raise SpecificationError(
-                f"{path}:{lineno}: access-log record must be a JSON object"
-            )
-        missing = [key for key in required if key not in record]
-        if missing:
-            raise SpecificationError(
-                f"{path}:{lineno}: access-log record is missing "
-                + ", ".join(missing)
-            )
-        records.append(record)
-    return records
+    pending: tuple[int, str, SpecificationError] | None = None
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            if pending is not None:
+                # The bad line was not the final one after all.
+                raise pending[2]
+            try:
+                records.append(_parse_access_record(path, lineno, line))
+            except SpecificationError as exc:
+                if strict:
+                    raise
+                pending = (lineno, line, exc)
+    if strict:
+        return records
+    tail = None
+    if pending is not None:
+        lineno, line, exc = pending
+        tail = {
+            "lineno": lineno,
+            "reason": str(exc),
+            "text": line.rstrip("\n"),
+        }
+    return records, tail
 
 
 def save_batch_results(

@@ -36,7 +36,10 @@ Store reloads (SIGHUP, or :meth:`SynthesisService.reload`) are atomic:
 a whole new registry is built off-loop (every named store re-opened,
 ``--store-dir`` re-scanned), then a single reference assignment swaps
 it in.  Jobs dispatched before the swap finish against the old state
-objects (whose memory maps stay alive until they drop them); a failed
+objects -- v2 memory maps and v3 chunk stores (plus any decompressed
+sections they hand out) stay alive until the last in-flight query
+drops them, and the v3 section cache is keyed by file identity, so a
+reload can never hand an old query bytes from the new file; a failed
 reload leaves the previous registry serving and is reported via
 ``healthz``.
 
@@ -68,6 +71,7 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.core.batch import BatchSynthesizer
+from repro.core.store import section_cache_stats
 from repro.server.metrics import ServiceMetrics
 from repro.server.protocol import OPERATIONS, Request, error_payload
 from repro.server.registry import StoreRegistry, build_registry
@@ -452,6 +456,7 @@ class SynthesisService:
             "workers": self._workers,
             "max_batch": self._max_batch,
         }
+        payload["section_cache"] = section_cache_stats()
         payload.update(self._metrics.summary())
         return payload
 

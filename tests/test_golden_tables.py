@@ -57,11 +57,12 @@ GOLDEN_NAMED = {
 @pytest.fixture(
     scope="module",
     params=[
-        "live", "translate-kernel", "parallel-kernel", "store-v1", "store-v2",
+        "live", "translate-kernel", "parallel-kernel",
+        "store-v1", "store-v2", "store-v3",
     ],
 )
 def closure(request, search3, library3):
-    """The cost-7 closure: all three kernels and both store formats."""
+    """The cost-7 closure: all three kernels and every store format."""
     search3.extend_to(7)
     if request.param == "live":
         return search3
@@ -75,7 +76,7 @@ def closure(request, search3, library3):
         )
         search.extend_to(7)
         return search
-    version = 1 if request.param == "store-v1" else 2
+    version = {"store-v1": 1, "store-v2": 2, "store-v3": 3}[request.param]
     return loads_search(
         dump_search(search3, format_version=version), library3
     )

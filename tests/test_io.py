@@ -141,3 +141,98 @@ class TestBatchFiles:
         path.write_text('{"not": "a list"}')
         with pytest.raises(SpecificationError):
             load_batch_results(path)
+
+
+def access_record(op="synth", outcome="ok"):
+    return {
+        "op": op, "store": "main", "queue_wait_ms": 0.1,
+        "execute_ms": 1.0, "total_ms": 1.2, "outcome": outcome,
+    }
+
+
+class TestAccessLogTailTolerance:
+    """load_access_log on logs a live or crashed writer left behind:
+    a partial final line must be tolerable (strict=False) without
+    hiding real mid-file corruption."""
+
+    def _write(self, tmp_path, *lines):
+        path = tmp_path / "access.ndjson"
+        path.write_text("".join(lines))
+        return path
+
+    def test_clean_log_has_no_tail(self, tmp_path):
+        from repro.io import load_access_log
+
+        path = self._write(
+            tmp_path,
+            json.dumps(access_record()) + "\n",
+            json.dumps(access_record(op="healthz")) + "\n",
+        )
+        records, tail = load_access_log(path, strict=False)
+        assert [r["op"] for r in records] == ["synth", "healthz"]
+        assert tail is None
+
+    def test_truncated_final_line_strict_raises(self, tmp_path):
+        from repro.io import load_access_log
+
+        full = json.dumps(access_record()) + "\n"
+        path = self._write(tmp_path, full, full[: len(full) // 2])
+        with pytest.raises(SpecificationError, match=":2:"):
+            load_access_log(path)
+
+    def test_truncated_final_line_tolerated_and_reported(self, tmp_path):
+        from repro.io import load_access_log
+
+        full = json.dumps(access_record()) + "\n"
+        partial = full[: len(full) // 2]
+        path = self._write(tmp_path, full, full, partial)
+        records, tail = load_access_log(path, strict=False)
+        assert len(records) == 2
+        assert tail["lineno"] == 3
+        assert tail["text"] == partial
+        assert "JSON" in tail["reason"]
+
+    def test_malformed_middle_line_raises_in_both_modes(self, tmp_path):
+        from repro.io import load_access_log
+
+        full = json.dumps(access_record()) + "\n"
+        path = self._write(tmp_path, full, "garbage\n", full)
+        with pytest.raises(SpecificationError, match=":2:"):
+            load_access_log(path)
+        with pytest.raises(SpecificationError, match=":2:"):
+            load_access_log(path, strict=False)
+
+    def test_final_record_missing_fields_reported(self, tmp_path):
+        from repro.io import load_access_log
+
+        full = json.dumps(access_record()) + "\n"
+        path = self._write(tmp_path, full, '{"op": "synth"}\n')
+        records, tail = load_access_log(path, strict=False)
+        assert len(records) == 1
+        assert tail["lineno"] == 2
+        assert "missing" in tail["reason"]
+
+    def test_trailing_blank_lines_are_not_a_tail(self, tmp_path):
+        from repro.io import load_access_log
+
+        path = self._write(
+            tmp_path, json.dumps(access_record()) + "\n", "\n\n"
+        )
+        records, tail = load_access_log(path, strict=False)
+        assert len(records) == 1 and tail is None
+
+    def test_log_is_streamed_not_slurped(self, tmp_path, monkeypatch):
+        """The parser must read line by line, never the whole file."""
+        from pathlib import Path
+
+        from repro.io import load_access_log
+
+        path = self._write(
+            tmp_path, json.dumps(access_record()) + "\n"
+        )
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("access log slurped via read_text")
+
+        monkeypatch.setattr(Path, "read_text", boom)
+        assert len(load_access_log(path)) == 1

@@ -317,6 +317,28 @@ class TestShardedDedupTable:
         with pytest.raises(InvalidValueError):
             parse_budget("-1M")
 
+    def test_parse_budget_explicit_binary_suffixes(self):
+        assert parse_budget("1KiB") == 1 << 10
+        assert parse_budget("3MiB") == 3 << 20
+        assert parse_budget("2GiB") == 2 << 30
+        assert parse_budget("2gib") == 2 << 30  # case-insensitive
+
+    def test_parse_budget_decimal_suffixes(self):
+        # KB/MB/GB are decimal (SI), distinct from bare K/M/G (binary).
+        assert parse_budget("512KB") == 512_000
+        assert parse_budget("512MB") == 512_000_000
+        assert parse_budget("2GB") == 2_000_000_000
+        assert parse_budget("512mb") == 512_000_000
+
+    def test_parse_budget_fractional_values(self):
+        assert parse_budget("1.5G") == int(1.5 * (1 << 30))
+        assert parse_budget("0.5M") == 1 << 19
+        assert parse_budget("1.5GB") == 1_500_000_000
+        with pytest.raises(InvalidValueError):
+            parse_budget("-0.5G")
+        with pytest.raises(InvalidValueError):
+            parse_budget("1.5.5M")
+
     def test_shard_of_prefix(self):
         hashes = np.array([0, 1 << 63, (1 << 64) - 1], dtype=np.uint64)
         assert shard_of(hashes, 0).tolist() == [0, 0, 0]

@@ -58,7 +58,7 @@ class TestFormatFraming:
 
     def test_unknown_write_version_refused(self, search5):
         with pytest.raises(StoreVersionError):
-            dump_search(search5, format_version=3)
+            dump_search(search5, format_version=99)
 
     def test_header_describes_v2_layout(self, v2_path, search5):
         header = read_header(v2_path)
