@@ -173,6 +173,121 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cost-bound", type=int, default=None,
         help="serve only costs up to this bound (default: each store's)",
     )
+    p_serve.add_argument(
+        "--access-log-max-bytes", metavar="SIZE", default=None,
+        help="rotate the access log when it reaches SIZE (bytes, or "
+        "K/M/G suffix); rotated files are FILE.1 (newest) .. FILE.N",
+    )
+    p_serve.add_argument(
+        "--access-log-keep", type=int, default=None,
+        help="rotated access-log files to keep (default: 3)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait up to SECONDS for in-flight "
+        "requests to finish before closing connections (default: 5)",
+    )
+    p_serve.add_argument(
+        "--fault", metavar="SPEC", default=None,
+        help="inject a deterministic fault for chaos testing: "
+        "exit-after:N | hang:OP | slow:MS | reset-conn:P "
+        "(comma-separate several)",
+    )
+    p_serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for probabilistic fault injection (default: 0)",
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="supervised replica fleet behind a retrying router",
+        description=(
+            "Run several `repro serve` replicas behind one front "
+            "address.  The router consistent-hashes by store, retries "
+            "idempotent queries across replicas behind per-backend "
+            "circuit breakers, and sheds load when every replica is "
+            "saturated; the supervisor restarts dead replicas, ejects "
+            "slow ones, and re-admits them after a healthy probe, "
+            "logging every decision to an NDJSON ops log."
+        ),
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fserve = fleet_sub.add_parser(
+        "serve", help="spawn replicas and serve through the router"
+    )
+    p_fserve.add_argument(
+        "stores", nargs="*", metavar="STORE",
+        help="store files, each PATH or ALIAS=PATH (as `repro serve`)",
+    )
+    p_fserve.add_argument("--store-dir", metavar="DIR", default=None)
+    p_fserve.add_argument(
+        "--replicas", type=int, default=2,
+        help="backend processes to spawn (default: 2)",
+    )
+    p_fserve.add_argument("--host", default="127.0.0.1")
+    p_fserve.add_argument(
+        "--port", type=int, default=None,
+        help="router TCP port (default: 7205; 0 picks an ephemeral port)",
+    )
+    p_fserve.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="also listen on a UNIX socket at PATH",
+    )
+    p_fserve.add_argument(
+        "--no-tcp", action="store_true",
+        help="do not bind the TCP listener (requires --unix)",
+    )
+    p_fserve.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="directory for backend sockets, access logs, and the ops "
+        "log (default: a fresh temp dir, printed at startup)",
+    )
+    p_fserve.add_argument(
+        "--ops-log", metavar="FILE", default=None,
+        help="supervisor decision log, NDJSON (default: RUN_DIR/ops.ndjson)",
+    )
+    p_fserve.add_argument("--workers", type=int, default=None)
+    p_fserve.add_argument("--max-batch", type=int, default=None)
+    p_fserve.add_argument("--cost-bound", type=int, default=None)
+    p_fserve.add_argument(
+        "--retries", type=int, default=None,
+        help="router retry/failover attempts beyond the first (default: 2)",
+    )
+    p_fserve.add_argument(
+        "--attempt-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt timeout before failing over (default: 30)",
+    )
+    p_fserve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="per-backend concurrent request bound; beyond it the "
+        "fleet sheds with FLEET_OVERLOADED (default: 32)",
+    )
+    p_fserve.add_argument(
+        "--min-healthy", type=int, default=None,
+        help="supervisor guardrail: never eject/restart below this "
+        "many healthy replicas (default: 1)",
+    )
+    p_fserve.add_argument(
+        "--restart-budget", type=int, default=None,
+        help="supervised restarts allowed per backend per minute "
+        "(default: 3)",
+    )
+    p_fserve.add_argument(
+        "--fault", action="append", metavar="INDEX:SPEC", default=None,
+        help="chaos: inject SPEC into replica INDEX's first spawn, "
+        "e.g. 0:exit-after:20 (repeatable; restarts come back clean)",
+    )
+    p_fserve.add_argument("--fault-seed", type=int, default=0)
+    p_fstatus = fleet_sub.add_parser(
+        "status", help="print a fleet's healthz (router + per-backend)"
+    )
+    p_fstatus.add_argument(
+        "address", metavar="ADDR",
+        help="router address: HOST:PORT or unix:PATH",
+    )
+    p_fstatus.add_argument(
+        "--json", action="store_true", help="raw JSON payload"
+    )
 
     p_pre = sub.add_parser(
         "precompute",
@@ -769,11 +884,22 @@ def _cmd_serve(
     workers: int | None,
     max_batch: int | None,
     cost_bound: int | None,
+    access_log_max_bytes: str | None = None,
+    access_log_keep: int | None = None,
+    drain_timeout: float | None = None,
+    fault: str | None = None,
+    fault_seed: int = 0,
 ) -> int:
     import asyncio
 
+    from repro.core.dedup import parse_budget
     from repro.errors import SpecificationError
     from repro.server import DEFAULT_PORT, run_server
+
+    max_bytes = (
+        None if access_log_max_bytes is None
+        else parse_budget(access_log_max_bytes)
+    )
 
     if not stores and store_dir is None:
         raise SpecificationError(
@@ -808,6 +934,9 @@ def _cmd_serve(
             flush=True,
         )
 
+    extra = {}
+    if drain_timeout is not None:
+        extra["drain_timeout"] = drain_timeout
     return asyncio.run(
         run_server(
             stores,
@@ -820,8 +949,146 @@ def _cmd_serve(
             unix=unix,
             store_dir=store_dir,
             access_log=access_log,
+            access_log_max_bytes=max_bytes,
+            access_log_keep=access_log_keep,
+            fault=fault,
+            fault_seed=fault_seed,
+            **extra,
         )
     )
+
+
+def _cmd_fleet_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import SpecificationError
+    from repro.fleet.manager import run_fleet
+    from repro.fleet.supervisor import GuardRails
+    from repro.server import DEFAULT_PORT
+
+    if not args.stores and args.store_dir is None:
+        raise SpecificationError(
+            "nothing to serve: give store files and/or --store-dir"
+        )
+    if args.no_tcp:
+        if args.unix is None:
+            raise SpecificationError("--no-tcp requires --unix PATH")
+        if args.port is not None:
+            raise SpecificationError("give at most one of --port and --no-tcp")
+        bind_port = None
+    else:
+        bind_port = DEFAULT_PORT if args.port is None else args.port
+
+    faults: dict[int, str] = {}
+    for item in args.fault or []:
+        index_text, _, spec = item.partition(":")
+        if not index_text.isdigit() or not spec:
+            raise SpecificationError(
+                f"bad --fault {item!r}: expected INDEX:SPEC, "
+                "e.g. 0:exit-after:20"
+            )
+        faults[int(index_text)] = spec
+
+    guardrails = GuardRails(
+        min_healthy=(
+            GuardRails.min_healthy if args.min_healthy is None
+            else args.min_healthy
+        ),
+        restart_budget=(
+            GuardRails.restart_budget if args.restart_budget is None
+            else args.restart_budget
+        ),
+    )
+
+    def ready(address, handle) -> None:
+        manager = handle.manager
+        print(f"fleet run dir: {manager.run_dir}")
+        for name, backend in manager.backends.items():
+            note = (
+                f" (fault: {backend.fault})" if backend.fault is not None
+                else ""
+            )
+            print(f"  {name}: {backend.endpoint} pid "
+                  f"{backend.proc.pid}{note}")
+        print(f"ops log: {handle.ops_log} (NDJSON, one record/decision)")
+        if args.unix is not None:
+            print(f"routing on unix:{args.unix} (HTTP/1.1 + NDJSON)")
+        if address is not None:
+            bound_host, bound_port = address
+            print(f"routing on {bound_host}:{bound_port} "
+                  "(HTTP/1.1 + NDJSON)")
+        print("SIGINT/SIGTERM stop the fleet", flush=True)
+
+    extra = {}
+    if args.retries is not None:
+        extra["retries"] = args.retries
+    if args.attempt_timeout is not None:
+        extra["attempt_timeout"] = args.attempt_timeout
+    if args.max_inflight is not None:
+        extra["max_inflight"] = args.max_inflight
+    return asyncio.run(
+        run_fleet(
+            args.stores,
+            replicas=args.replicas,
+            host=args.host,
+            port=bind_port,
+            unix=args.unix,
+            store_dir=args.store_dir,
+            cost_bound=args.cost_bound,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            run_dir=args.run_dir,
+            ops_log=args.ops_log,
+            faults=faults,
+            fault_seed=args.fault_seed,
+            guardrails=guardrails,
+            ready=ready,
+            **extra,
+        )
+    )
+
+
+def _cmd_fleet_status(address: str, as_json: bool) -> int:
+    import json as json_mod
+
+    from repro.client import http_request
+    from repro.errors import ServerError
+
+    status, payload = http_request(address, "/healthz")
+    if status != 200:
+        raise ServerError(f"healthz returned HTTP {status}: {payload}")
+    if as_json:
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    role = payload.get("role", "server")
+    print(f"{address}: {payload.get('status', '?')} ({role})")
+    if role != "router":
+        print("  (single server, not a fleet front)")
+        return 0
+    print(
+        f"  backends: {payload.get('healthy_backends', '?')} healthy / "
+        f"{payload.get('admitted_backends', '?')} admitted / "
+        f"{len(payload.get('backends', {}))} total"
+    )
+    print(
+        f"  routed: {payload.get('routed', 0)}  "
+        f"failovers: {payload.get('failovers', 0)}  "
+        f"shed: {payload.get('shed', 0)}"
+    )
+    for name in sorted(payload.get("backends", {})):
+        info = payload["backends"][name]
+        state = "admitted" if info.get("admitted") else "EJECTED"
+        line = (
+            f"  {name}: {state}, breaker {info.get('breaker')}, "
+            f"inflight {info.get('inflight')}/{info.get('max_inflight')}, "
+            f"requests {info.get('requests')} "
+            f"(failures {info.get('failures')})"
+        )
+        latency = info.get("latency_recent_ms")
+        if latency:
+            line += f", recent p99 {latency.get('p99'):.1f} ms"
+        print(line)
+    return 0
 
 
 def _cmd_store_info(path: str) -> int:
@@ -1208,7 +1475,15 @@ def main(argv: list[str] | None = None) -> int:
                 args.stores, args.store_dir, args.host, args.port,
                 args.unix, args.no_tcp, args.access_log, args.workers,
                 args.max_batch, args.cost_bound,
+                args.access_log_max_bytes, args.access_log_keep,
+                args.drain_timeout, args.fault, args.fault_seed,
             )
+        if args.command == "fleet":
+            if args.fleet_command == "serve":
+                return _cmd_fleet_serve(args)
+            if args.fleet_command == "status":
+                return _cmd_fleet_status(args.address, args.json)
+            raise AssertionError(f"unhandled fleet command {args.fleet_command}")
         if args.command == "precompute":
             return _cmd_precompute(
                 args.out, args.cost_bound, args.qubits, args.no_parents,

@@ -37,6 +37,7 @@ Everything here is standard library only (socket + json).
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 
@@ -49,6 +50,27 @@ from repro.server.protocol import (
 )
 
 DEFAULT_TIMEOUT = 30.0
+
+#: Ceiling on the retry backoff between attempts, in seconds.
+MAX_BACKOFF = 2.0
+
+
+class _TransportFailure(Exception):
+    """Internal: a retryable transport-level failure (never surfaced).
+
+    Wraps the exception that :meth:`ServeClient.call` would raise for a
+    failed connect, a dropped connection mid-round-trip, or a peer that
+    closed without replying -- the only failures where retrying against
+    a reconnected socket is safe *and* can't double-apply anything (the
+    service is query-only, so every operation is idempotent).
+    Protocol-level garbage (non-JSON, mismatched ids, structured
+    errors) is NOT wrapped: the server is reachable and answering,
+    retrying would just repeat the same exchange.
+    """
+
+    def __init__(self, error: Exception):
+        super().__init__(str(error))
+        self.error = error
 
 
 def _open_socket(family: str, target, timeout: float) -> socket.socket:
@@ -78,6 +100,19 @@ class ServeClient:
         store: default store selector sent with every request (a
             registry alias or ``LIBFP:COSTFP`` fingerprints); ``None``
             targets a single-store server's sole store.
+        retries: transport-failure retries per call (default 0 -- off,
+            preserving the historical fail-fast behavior exactly).
+            Each retry reconnects from scratch, so a restarted server
+            is picked up transparently.  Only *transport* failures are
+            retried (connect errors, dropped connections, empty
+            replies); structured errors and protocol violations are
+            raised immediately -- the server answered, so retrying
+            cannot help.  All service operations are idempotent reads,
+            which is what makes blind re-send safe.
+        backoff: base delay in seconds between retry attempts; actual
+            sleeps grow exponentially (doubling per attempt, capped at
+            :data:`MAX_BACKOFF`) with +/-50% jitter so a fleet of
+            retrying clients doesn't stampede a recovering server.
 
     The socket is opened lazily on the first call and can be reused for
     any number of requests; the client is a context manager.  One
@@ -90,12 +125,21 @@ class ServeClient:
         address: str = "",
         timeout: float = DEFAULT_TIMEOUT,
         store: str | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
     ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self._family, self._target = parse_endpoint(
             address or str(DEFAULT_PORT)
         )
         self._timeout = timeout
         self._store = store
+        self._retries = retries
+        self._backoff = backoff
+        self._rng = random.Random()
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
@@ -142,9 +186,30 @@ class ServeClient:
         """One request/response round trip; raises the mapped exception.
 
         *store* overrides the client-wide default selector for this
-        call only.
+        call only.  With ``retries=N``, up to N additional attempts are
+        made after a transport failure, reconnecting each time with
+        jittered exponential backoff in between; the *last* attempt's
+        failure is what gets raised.
         """
-        self.connect()
+        delay = self._backoff
+        for attempt in range(self._retries + 1):
+            try:
+                return self._call_once(op, store, params)
+            except _TransportFailure as failure:
+                self.close()
+                if attempt >= self._retries:
+                    raise failure.error from None
+                if delay > 0:
+                    time.sleep(delay * (0.5 + self._rng.random()))
+                delay = min(delay * 2, MAX_BACKOFF)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, op: str, store: str | None, params: dict) -> dict:
+        """One attempt; transport failures raise ``_TransportFailure``."""
+        try:
+            self.connect()
+        except OSError as exc:
+            raise _TransportFailure(exc) from None
         assert self._file is not None
         self._next_id += 1
         request_id = self._next_id
@@ -168,13 +233,13 @@ class ServeClient:
                     break
             reply = b"".join(chunks)
         except OSError as exc:
-            self.close()
-            raise ServerError(
+            raise _TransportFailure(ServerError(
                 f"lost connection to {self.address}: {exc}"
-            ) from None
+            )) from None
         if not reply:
-            self.close()
-            raise ServerError(f"server {self.address} closed the connection")
+            raise _TransportFailure(ServerError(
+                f"server {self.address} closed the connection"
+            ))
         try:
             response = json.loads(reply)
         except ValueError:

@@ -104,6 +104,18 @@ class ProtocolError(ServerError, ValueError):
     """
 
 
+class FleetOverloadedError(ServerError):
+    """The serving fleet shed this request instead of queueing it.
+
+    Raised by the fleet router (:mod:`repro.fleet.router`) when every
+    admitted replica is at its bounded in-flight limit: under overload
+    the fleet's contract is to *shed* excess load with this structured
+    error (wire code ``FLEET_OVERLOADED``, HTTP 503) rather than let
+    requests pile up behind a saturated backend and hang.  Clients
+    should back off and retry; results are never silently degraded.
+    """
+
+
 class FrozenSearchError(ReproError):
     """A mutating operation was attempted on a frozen search.
 

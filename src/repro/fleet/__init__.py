@@ -1,0 +1,16 @@
+"""Fault-tolerant serving fleet: router, supervisor, chaos harness.
+
+A fleet is one front :mod:`~repro.fleet.router` (speaking the exact
+``repro serve`` wire protocol) over N supervised backend ``repro
+serve`` replicas, plus the :mod:`~repro.fleet.supervisor` closed loop
+(detect -> propose -> verify -> apply) that keeps the replica set
+healthy, and the :mod:`~repro.fleet.chaos` fault injectors that prove
+the whole arrangement actually tolerates crashes, hangs, brown-outs
+and connection resets.
+
+This package ``__init__`` deliberately imports nothing: modules here
+sit both *below* the server stack (``repro.server.app`` consults
+:mod:`~repro.fleet.chaos`) and *above* it (``repro.fleet.manager``
+spawns servers), so eager re-exports would create an import cycle.
+Import the submodule you need directly.
+"""

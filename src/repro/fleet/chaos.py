@@ -1,0 +1,204 @@
+"""Deterministic fault injection for chaos-testing the serving fleet.
+
+A fault-tolerance claim is only as good as the faults it was proved
+against, so ``repro serve`` grows a ``--fault SPEC[,SPEC...]`` flag
+that injects failures *inside* a real server process -- the router,
+supervisor and clients under test see exactly what a production crash,
+hang, brown-out or flaky network would show them, over the real
+sockets and the real wire protocol.
+
+Fault specs (grammar: ``kind:arg``, comma-separated to combine):
+
+``exit-after:N``
+    Serve *N* requests normally, then kill the process abruptly
+    (``os._exit``) when request *N+1* arrives -- before any response
+    byte is written.  Models a crash mid-request: the peer sees the
+    connection drop with a request outstanding.
+``hang:OP``
+    Requests for operation *OP* (``synth``, ``synth-batch``,
+    ``cost-table``, ``store-info``, ``healthz``, or ``any``) never get
+    a response; the connection stays open forever.  Models a wedged
+    worker or a black-holed disk read -- only timeouts save the caller.
+``slow:MS``
+    Every response is delayed by *MS* milliseconds before the request
+    is handled.  Models a brown-out (overloaded CPU, slow disk).
+``reset-conn:P``
+    With probability *P* per request, abort the connection instead of
+    responding.  Models flaky networking / a peer RSTing under load.
+
+Determinism: the only randomness (``reset-conn``) draws from a seeded
+``random.Random`` (``--fault-seed``), and requests are counted in
+event-loop arrival order, so a given (seed, request sequence) always
+injects the same faults -- tests can assert exact behavior instead of
+retrying until the chaos cooperates.
+
+The injector is consulted by :class:`repro.server.app.ReproServer`
+once per decoded request, on the event loop, via
+:meth:`FaultInjector.before_handle`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+from repro.server.protocol import OPERATIONS
+
+#: The fault kinds ``parse_fault_specs`` accepts.
+FAULT_KINDS = ("exit-after", "hang", "slow", "reset-conn")
+
+#: Process exit status used by ``exit-after`` crashes.  Distinct from
+#: 0/1 so a supervisor (or test) can tell an injected crash from a
+#: clean shutdown or a startup error.
+CRASH_EXIT_CODE = 70
+
+
+class ConnectionResetFault(Exception):
+    """Internal signal: abort this connection instead of responding."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: a kind plus its single argument."""
+
+    kind: str
+    #: ``hang``: the op to hang (``"any"`` matches everything).
+    op: str | None = None
+    #: ``exit-after``: requests served before the crash.
+    count: int | None = None
+    #: ``slow``: per-request delay in milliseconds.
+    delay_ms: float | None = None
+    #: ``reset-conn``: per-request reset probability in [0, 1].
+    probability: float | None = None
+
+    def describe(self) -> str:
+        if self.kind == "exit-after":
+            return f"exit-after:{self.count}"
+        if self.kind == "hang":
+            return f"hang:{self.op}"
+        if self.kind == "slow":
+            return f"slow:{self.delay_ms:g}"
+        return f"reset-conn:{self.probability:g}"
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one ``kind:arg`` fault spec.
+
+    Raises:
+        SpecificationError: unknown kind, missing or malformed argument.
+    """
+    kind, sep, arg = text.strip().partition(":")
+    if not sep or not arg:
+        raise SpecificationError(
+            f"bad fault spec {text!r}: expected KIND:ARG with KIND one of "
+            + ", ".join(FAULT_KINDS)
+        )
+    if kind == "exit-after":
+        try:
+            count = int(arg)
+        except ValueError:
+            raise SpecificationError(
+                f"exit-after needs an integer request count, got {arg!r}"
+            ) from None
+        if count < 0:
+            raise SpecificationError("exit-after count must be >= 0")
+        return FaultSpec(kind=kind, count=count)
+    if kind == "hang":
+        op = arg.strip().lower()
+        if op != "any" and op not in OPERATIONS:
+            raise SpecificationError(
+                f"hang needs an operation ({', '.join(OPERATIONS)}) or "
+                f"'any', got {arg!r}"
+            )
+        return FaultSpec(kind=kind, op=op)
+    if kind == "slow":
+        try:
+            delay_ms = float(arg)
+        except ValueError:
+            raise SpecificationError(
+                f"slow needs a delay in milliseconds, got {arg!r}"
+            ) from None
+        if delay_ms < 0:
+            raise SpecificationError("slow delay must be >= 0")
+        return FaultSpec(kind=kind, delay_ms=delay_ms)
+    if kind == "reset-conn":
+        try:
+            probability = float(arg)
+        except ValueError:
+            raise SpecificationError(
+                f"reset-conn needs a probability in [0, 1], got {arg!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise SpecificationError(
+                f"reset-conn probability {probability} outside [0, 1]"
+            )
+        return FaultSpec(kind=kind, probability=probability)
+    raise SpecificationError(
+        f"unknown fault kind {kind!r}; expected one of "
+        + ", ".join(FAULT_KINDS)
+    )
+
+
+def parse_fault_specs(text: str) -> list[FaultSpec]:
+    """Parse a comma-separated ``--fault`` argument into specs."""
+    specs = [parse_fault_spec(part) for part in text.split(",") if part.strip()]
+    if not specs:
+        raise SpecificationError(f"fault spec {text!r} names no faults")
+    return specs
+
+
+class FaultInjector:
+    """Applies parsed fault specs to the live request stream.
+
+    One injector serves one server process; all state (the request
+    counter, the seeded RNG) is touched only on the event-loop thread,
+    mirroring the service's counter discipline.
+    """
+
+    def __init__(self, specs: list[FaultSpec], seed: int = 0):
+        self._specs = list(specs)
+        self._rng = random.Random(seed)
+        self._requests = 0
+
+    @property
+    def requests_seen(self) -> int:
+        return self._requests
+
+    def describe(self) -> str:
+        return ",".join(spec.describe() for spec in self._specs)
+
+    async def before_handle(self, op: str) -> None:
+        """Consult the faults for one decoded request (event loop only).
+
+        May delay (``slow``), never return (``hang``), terminate the
+        process (``exit-after``) or raise
+        :class:`ConnectionResetFault` (``reset-conn``) -- the caller
+        aborts the transport on the latter.
+        """
+        self._requests += 1
+        for spec in self._specs:
+            if spec.kind == "exit-after" and self._requests > spec.count:
+                # A real crash: no flushes, no goodbyes, no response
+                # for the in-flight request.
+                os._exit(CRASH_EXIT_CODE)
+            if spec.kind == "reset-conn" and (
+                self._rng.random() < spec.probability
+            ):
+                raise ConnectionResetFault(op)
+            if spec.kind == "slow" and spec.delay_ms:
+                await asyncio.sleep(spec.delay_ms / 1e3)
+            if spec.kind == "hang" and spec.op in ("any", op):
+                # Wedged forever; only the peer's timeout ends this.
+                await asyncio.Event().wait()
+
+
+def build_injector(
+    fault: str | None, seed: int = 0
+) -> FaultInjector | None:
+    """``--fault``/``--fault-seed`` CLI values -> injector (or None)."""
+    if fault is None:
+        return None
+    return FaultInjector(parse_fault_specs(fault), seed=seed)

@@ -1,0 +1,611 @@
+"""The fleet front: one address, N replicas, failures stay inside.
+
+:class:`RouterService` duck-types
+:class:`~repro.server.service.SynthesisService` (``start`` / ``close``
+/ ``handle``), so the existing :class:`~repro.server.app.ReproServer`
+front end -- sniffed HTTP/NDJSON framing, graceful drain, signal
+handling -- serves a whole fleet unchanged: clients point their
+existing :class:`~repro.client.ServeClient` at the router and cannot
+tell it from a single server, except that backend crashes, hangs and
+resets stop being their problem.
+
+Routing and failure policy, per request:
+
+* **Consistent hashing** (:class:`HashRing`): the request's store
+  selector picks a stable preference order over the replicas, so a
+  given store's queries concentrate on the same backend (warm caches)
+  while every other replica remains a ready failover target, and
+  adding or removing one replica only reshuffles ~1/N of the keys.
+* **Circuit breakers** (:class:`CircuitBreaker`): consecutive
+  transport failures open a per-backend breaker; an open breaker
+  rejects candidates instantly (no connect timeouts on a corpse) until
+  a cooldown passes, then exactly one **probe** request is let through
+  (half-open) to decide between closing it and re-opening it.
+* **Bounded retries with jittered backoff**: transport failures
+  (connect refusal, dropped connection, per-attempt timeout) and
+  server-fault responses (:data:`~repro.server.protocol.SERVER_FAULT_CODES`)
+  fail over to the next replica in ring order -- safe to re-send
+  blindly because every fleet operation is an idempotent read.
+  Client-mistake errors (4xx codes) are returned immediately: they
+  would fail identically on every replica.
+* **Bounded in-flight, load shedding**: each backend accepts at most
+  ``max_inflight`` concurrent round trips through the router.  When
+  every admitted, breaker-closed replica is full the router *sheds*
+  the request with a structured ``FLEET_OVERLOADED`` error (HTTP 503)
+  instead of queueing -- under overload, fast refusal beats a growing
+  invisible queue every time.
+
+The supervisor (:mod:`repro.fleet.supervisor`) drives admission from
+outside: :meth:`RouterService.set_admitted` ejects a replica from
+candidate selection (it stays in the ring, so re-admission restores
+the exact same key affinity) and :meth:`RouterService.reset_backend`
+clears its breaker after a restart.
+
+Byte-identity: the router re-encodes backend results with the same
+``json.dumps`` settings the backends use, and ``json.loads`` preserves
+object key order, so a response routed through the fleet is
+byte-identical to one from the backend itself -- the chaos e2e tests
+pin this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import os
+import random
+import time
+
+from repro.errors import FleetOverloadedError, ServerError
+from repro.server.metrics import RollingWindow
+from repro.server.protocol import (
+    MAX_BODY,
+    Request,
+    SERVER_FAULT_CODES,
+    error_to_exception,
+    parse_endpoint,
+)
+
+#: Stream limit for router->backend connections.  Requests are capped
+#: at MAX_BODY by the backends, but *responses* are legitimately
+#: unbounded (a big batch returns more than it asked with), so the
+#: router's read buffer must be far roomier than its write side.
+ROUTER_STREAM_LIMIT = MAX_BODY * 8
+
+#: Virtual points per backend on the hash ring: enough that the load
+#: split across replicas stays within a few percent of even.
+VIRTUAL_POINTS = 64
+
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+MAX_RETRY_BACKOFF = 1.0
+DEFAULT_ATTEMPT_TIMEOUT = 30.0
+DEFAULT_MAX_INFLIGHT = 32
+DEFAULT_POOL_SIZE = 4
+DEFAULT_BREAKER_THRESHOLD = 3
+DEFAULT_BREAKER_COOLDOWN = 1.0
+
+
+def _ring_hash(text: str) -> int:
+    """Stable 64-bit ring position for a name/key (sha256 prefix)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over backend names.
+
+    Each member contributes *points* virtual positions (``name#i``
+    hashes), so keys spread evenly and removing one member only moves
+    the keys that hashed to *its* arcs.  :meth:`order` returns the full
+    preference order for a key -- element 0 is the home replica, the
+    rest are failover targets in deterministic ring-walk order, so
+    every router instance given the same membership routes and fails
+    over identically.
+    """
+
+    def __init__(self, points: int = VIRTUAL_POINTS):
+        if points < 1:
+            raise ValueError("ring needs at least one point per member")
+        self._points = points
+        self._ring: list[tuple[int, str]] = []
+        self._names: set[str] = set()
+
+    @property
+    def names(self) -> frozenset[str]:
+        return frozenset(self._names)
+
+    def add(self, name: str) -> None:
+        if name in self._names:
+            return
+        self._names.add(name)
+        for index in range(self._points):
+            bisect.insort(self._ring, (_ring_hash(f"{name}#{index}"), name))
+
+    def remove(self, name: str) -> None:
+        if name not in self._names:
+            return
+        self._names.discard(name)
+        self._ring = [(point, n) for point, n in self._ring if n != name]
+
+    def order(self, key: str) -> list[str]:
+        """All member names, preference-ordered for *key*."""
+        if not self._ring:
+            return []
+        start = bisect.bisect_left(self._ring, (_ring_hash(key), ""))
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._ring)):
+            _point, name = self._ring[(start + offset) % len(self._ring)]
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+                if len(ordered) == len(self._names):
+                    break
+        return ordered
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open failure gate for one backend.
+
+    *threshold* consecutive failures trip the breaker **open**: every
+    ``allow()`` is refused for *cooldown* seconds, so a dead backend
+    costs one failed burst, not a connect timeout per request forever.
+    After the cooldown the breaker goes **half-open** and admits
+    exactly one probe request; its outcome decides -- success closes
+    the breaker, failure re-opens it for another cooldown.
+
+    All state lives on the event-loop thread; *clock* is injectable so
+    tests can step time explicitly.
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        clock=time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_active = False
+        #: Lifetime count of closed->open trips (ops visibility).
+        self.opened_total = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` (cooldown-aware)."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            return "half-open"
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request go to this backend right now?
+
+        Has a side effect in the half-open state: a ``True`` answer
+        *claims* the single probe slot, so callers must follow up with
+        ``record_success``/``record_failure`` (or ``release_probe`` if
+        the request never happened).
+        """
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            self._state = "half-open"
+            self._probe_active = True
+            return True
+        if self._probe_active:
+            return False
+        self._probe_active = True
+        return True
+
+    def record_success(self) -> None:
+        self._state = "closed"
+        self._failures = 0
+        self._probe_active = False
+
+    def record_failure(self) -> None:
+        if self._state == "half-open":
+            self._trip()
+            return
+        self._failures += 1
+        if self._state == "closed" and self._failures >= self.threshold:
+            self._trip()
+
+    def release_probe(self) -> None:
+        """Un-claim a probe that was allowed but never completed."""
+        if self._state == "half-open":
+            self._probe_active = False
+
+    def reset(self) -> None:
+        """Back to pristine closed (a restarted backend earns trust)."""
+        self.record_success()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probe_active = False
+        self.opened_total += 1
+
+
+class Backend:
+    """One replica: endpoint, admission, breaker, pool and counters."""
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: str,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        breaker: CircuitBreaker | None = None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.name = name
+        self.endpoint = endpoint
+        self.family, self.target = parse_endpoint(endpoint)
+        #: Supervisor-controlled: an ejected backend stays in the ring
+        #: (stable key affinity) but is skipped by candidate selection.
+        self.admitted = True
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.requests = 0
+        self.failures = 0
+        self.recent_latency = RollingWindow()
+        self._pool: list[tuple] = []
+        self._pool_size = pool_size
+
+    async def acquire(self):
+        """A ``(reader, writer)`` to this backend: pooled or fresh."""
+        while self._pool:
+            reader, writer = self._pool.pop()
+            if writer.is_closing():
+                continue
+            return reader, writer
+        if self.family == "unix":
+            return await asyncio.open_unix_connection(
+                self.target, limit=ROUTER_STREAM_LIMIT
+            )
+        host, port = self.target
+        return await asyncio.open_connection(
+            host, port, limit=ROUTER_STREAM_LIMIT
+        )
+
+    def release(self, connection) -> None:
+        """Return a healthy connection for reuse (or close the excess)."""
+        _reader, writer = connection
+        if len(self._pool) < self._pool_size and not writer.is_closing():
+            self._pool.append(connection)
+        else:
+            writer.close()
+
+    def discard(self, connection) -> None:
+        """Drop a connection that saw a failure: never reuse it."""
+        _reader, writer = connection
+        try:
+            writer.transport.abort()
+        except Exception:  # noqa: BLE001 -- already torn down
+            pass
+
+    async def close(self) -> None:
+        for _reader, writer in self._pool:
+            writer.close()
+        self._pool.clear()
+
+    def describe(self) -> dict:
+        payload = {
+            "endpoint": self.endpoint,
+            "admitted": self.admitted,
+            "breaker": self.breaker.state,
+            "breaker_opened_total": self.breaker.opened_total,
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "requests": self.requests,
+            "failures": self.failures,
+        }
+        summary = self.recent_latency.summary(scale=1e3)
+        if summary is not None:
+            payload["latency_recent_ms"] = summary
+        return payload
+
+
+class RouterService:
+    """Routes protocol requests across replicas; the fleet's "service".
+
+    Args:
+        backends: ``{name: endpoint}`` -- endpoints in any form
+            :func:`~repro.server.protocol.parse_endpoint` accepts.
+        retries: failover attempts *after* the first (transport
+            failures and 5xx-mapped server faults only).
+        backoff: base jittered backoff between failover attempts.
+        attempt_timeout: per-attempt round-trip deadline; a hung
+            backend costs one timeout, then its replicas take over.
+        max_inflight: per-backend concurrent round-trip bound; beyond
+            it the backend is skipped, and if *every* candidate is full
+            the request is shed with ``FLEET_OVERLOADED``.
+        breaker_threshold / breaker_cooldown: see :class:`CircuitBreaker`.
+        seed: RNG seed for the retry jitter (deterministic tests).
+    """
+
+    def __init__(
+        self,
+        backends: dict[str, str],
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        attempt_timeout: float = DEFAULT_ATTEMPT_TIMEOUT,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        seed: int = 0,
+    ):
+        if not backends:
+            raise ServerError("a fleet needs at least one backend")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self._retries = retries
+        self._backoff = backoff
+        self._attempt_timeout = attempt_timeout
+        self._max_inflight = max_inflight
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._rng = random.Random(seed)
+        self._ring = HashRing()
+        self._backends: dict[str, Backend] = {}
+        for name, endpoint in backends.items():
+            self.add_backend(name, endpoint)
+        self._started_monotonic = time.monotonic()
+        self._next_id = 0
+        # Counters (event-loop thread only).
+        self._routed = 0
+        self._failovers = 0
+        self._shed = 0
+
+    # -- membership (the supervisor's control surface) ---------------------------------
+
+    @property
+    def backends(self) -> dict[str, Backend]:
+        return dict(self._backends)
+
+    def backend(self, name: str) -> Backend:
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ServerError(f"unknown backend {name!r}") from None
+
+    def add_backend(self, name: str, endpoint: str) -> None:
+        if name in self._backends:
+            raise ServerError(f"duplicate backend {name!r}")
+        self._backends[name] = Backend(
+            name,
+            endpoint,
+            max_inflight=self._max_inflight,
+            breaker=CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooldown
+            ),
+        )
+        self._ring.add(name)
+
+    def set_admitted(self, name: str, admitted: bool) -> bool:
+        """Eject from / re-admit to candidate selection; True if changed."""
+        backend = self.backend(name)
+        changed = backend.admitted != admitted
+        backend.admitted = admitted
+        return changed
+
+    def reset_backend(self, name: str) -> None:
+        """Clear a backend's breaker (after a verified restart)."""
+        self.backend(name).breaker.reset()
+
+    # -- service protocol --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Nothing to open eagerly: backend connections are lazy."""
+
+    async def close(self) -> None:
+        for backend in self._backends.values():
+            await backend.close()
+
+    async def handle(self, request: Request) -> dict:
+        """Route one request; raises the mapped library exception."""
+        if request.op == "healthz":
+            return self._do_healthz()
+        self._routed += 1
+        order = self._ring.order(request.store or "")
+        self._next_id += 1
+        payload: dict = {
+            "id": self._next_id,
+            "op": request.op,
+            "params": request.params,
+        }
+        if request.store is not None:
+            payload["store"] = request.store
+        line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+        tried: set[str] = set()
+        last_error: Exception | None = None
+        delay = self._backoff
+        for attempt in range(self._retries + 1):
+            backend, saw_full = self._select(order, tried)
+            if backend is None and last_error is not None and tried:
+                # Every replica has been tried once; allow a second
+                # round -- a just-restarted backend may answer now.
+                tried.clear()
+                backend, saw_full = self._select(order, tried)
+            if backend is None:
+                if saw_full:
+                    self._shed += 1
+                    raise FleetOverloadedError(
+                        "fleet overloaded: every admitted replica is at "
+                        "its in-flight limit; request shed, retry with "
+                        "backoff"
+                    )
+                if last_error is not None:
+                    raise last_error
+                raise ServerError(
+                    "no admitted backends available to route to"
+                )
+            if attempt and delay > 0:
+                await asyncio.sleep(delay * (0.5 + self._rng.random()))
+                delay = min(delay * 2, MAX_RETRY_BACKOFF)
+            tried.add(backend.name)
+            backend.requests += 1
+            backend.inflight += 1
+            started = time.perf_counter()
+            try:
+                response = await asyncio.wait_for(
+                    self._roundtrip(backend, line), self._attempt_timeout
+                )
+            except asyncio.CancelledError:
+                backend.breaker.release_probe()
+                raise
+            except (OSError, TimeoutError, ValueError,
+                    asyncio.LimitOverrunError) as exc:
+                backend.failures += 1
+                backend.breaker.record_failure()
+                self._failovers += 1
+                detail = str(exc) or type(exc).__name__
+                last_error = ServerError(
+                    f"backend {backend.name} ({backend.endpoint}) "
+                    f"failed: {detail}"
+                )
+                continue
+            finally:
+                backend.inflight -= 1
+            backend.recent_latency.observe(time.perf_counter() - started)
+
+            fault = self._classify(backend, payload["id"], response)
+            if fault is not None:
+                backend.failures += 1
+                backend.breaker.record_failure()
+                self._failovers += 1
+                last_error = fault
+                continue
+            backend.breaker.record_success()
+            if response.get("ok"):
+                return response["result"]
+            # A structured client-mistake error: the backend is healthy
+            # and every replica would answer identically -- re-raise it
+            # so the front end re-encodes the exact same payload.
+            raise error_to_exception(response.get("error") or {})
+        assert last_error is not None
+        raise last_error
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _select(
+        self, order: list[str], tried: set[str]
+    ) -> tuple[Backend | None, bool]:
+        """First usable candidate in ring order, plus a saw-full flag.
+
+        The breaker is consulted *last*: a half-open ``allow()`` claims
+        the probe slot, so it must only run for a candidate that would
+        otherwise be chosen.  ``saw_full`` is True only when at least
+        one admitted, breaker-willing replica was skipped purely on the
+        in-flight bound -- the precondition for shedding rather than
+        erroring.
+        """
+        saw_full = False
+        for name in order:
+            backend = self._backends[name]
+            if name in tried or not backend.admitted:
+                continue
+            if backend.inflight >= backend.max_inflight:
+                if backend.breaker.state != "open":
+                    saw_full = True
+                continue
+            if not backend.breaker.allow():
+                continue
+            return backend, saw_full
+        return None, saw_full
+
+    async def _roundtrip(self, backend: Backend, line: bytes) -> dict:
+        """One request line out, one response object back (pooled)."""
+        connection = await backend.acquire()
+        reader, writer = connection
+        ok = False
+        try:
+            writer.write(line)
+            await writer.drain()
+            reply = await reader.readline()
+            if not reply:
+                raise ConnectionError("backend closed the connection")
+            response = json.loads(reply)
+            if not isinstance(response, dict):
+                raise ValueError("backend response is not a JSON object")
+            ok = True
+            return response
+        finally:
+            if ok:
+                backend.release(connection)
+            else:
+                backend.discard(connection)
+
+    def _classify(
+        self, backend: Backend, request_id: int, response: dict
+    ) -> Exception | None:
+        """A response's fault, or None if it is trustworthy.
+
+        Server faults (5xx codes), id mismatches and shape violations
+        count against the breaker and are retried elsewhere; anything
+        else -- success or a client-mistake error -- is final.
+        """
+        if response.get("id") != request_id:
+            return ServerError(
+                f"backend {backend.name} answered id "
+                f"{response.get('id')!r} to request {request_id}"
+            )
+        if response.get("ok"):
+            if not isinstance(response.get("result"), dict):
+                return ServerError(
+                    f"backend {backend.name} sent an ok response "
+                    "without a result object"
+                )
+            return None
+        error = response.get("error") or {}
+        code = str(error.get("code", "internal")) if isinstance(
+            error, dict
+        ) else "internal"
+        if code in SERVER_FAULT_CODES:
+            return error_to_exception(error if isinstance(error, dict) else {})
+        return None
+
+    def _do_healthz(self) -> dict:
+        """The router's own health view (answered locally, never routed)."""
+        healthy = sum(
+            1 for backend in self._backends.values()
+            if backend.admitted and backend.breaker.state != "open"
+        )
+        return {
+            "status": "ok" if healthy else "degraded",
+            "role": "router",
+            "pid": os.getpid(),
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "backends": {
+                name: backend.describe()
+                for name, backend in sorted(self._backends.items())
+            },
+            "healthy_backends": healthy,
+            "admitted_backends": sum(
+                1 for backend in self._backends.values() if backend.admitted
+            ),
+            "routed": self._routed,
+            "failovers": self._failovers,
+            "shed": self._shed,
+            "retries": self._retries,
+            "attempt_timeout_s": self._attempt_timeout,
+        }

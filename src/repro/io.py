@@ -272,7 +272,30 @@ def _parse_access_record(
     return record
 
 
-def load_access_log(path: str | Path, strict: bool = True):
+def rotated_access_logs(path: str | Path) -> list[Path]:
+    """The rotated set for an access log, oldest first, active log last.
+
+    ``repro serve --access-log-max-bytes`` rotates ``log -> log.1 ->
+    log.2 ...`` (higher suffix = older), so reading ``log.N ... log.1,
+    log`` yields every surviving record in arrival order.  Only numeric
+    suffixes belong to the set; missing files are simply absent.
+    """
+    base = Path(path)
+    prefix = base.name + "."
+    indexed: list[tuple[int, Path]] = []
+    if base.parent.is_dir():
+        for entry in base.parent.iterdir():
+            suffix = entry.name[len(prefix):]
+            if entry.name.startswith(prefix) and suffix.isdigit():
+                indexed.append((int(suffix), entry))
+    ordered = [entry for _index, entry in sorted(indexed, reverse=True)]
+    ordered.append(base)
+    return ordered
+
+
+def load_access_log(
+    path: str | Path, strict: bool = True, rotated: bool = False
+):
     """Parse a ``repro serve --access-log`` NDJSON file, streaming.
 
     One record per request, in arrival order; blank lines are skipped.
@@ -282,13 +305,19 @@ def load_access_log(path: str | Path, strict: bool = True):
     ``queue_wait_ms``, ``execute_ms``, ``total_ms`` and ``outcome``
     (``"ok"`` or a structured error code).
 
+    With ``rotated=True`` the whole rotated set is read in arrival
+    order (``path.N`` ... ``path.1``, then ``path`` itself -- see
+    :func:`rotated_access_logs`), returning one combined record list.
+
     A crashed -- or still-running -- writer can leave a partial *final*
     line.  With ``strict=True`` (the default) any malformed line raises;
     with ``strict=False`` the return value becomes ``(records, tail)``
     where a malformed final line is tolerated and described by *tail*
     (a dict with ``lineno``, ``reason`` and the truncated ``text``;
     ``None`` when the log ended cleanly).  Malformed lines *before* the
-    final one are real corruption and raise in both modes.
+    final one are real corruption and raise in both modes -- including
+    anywhere in a rotated file, since rotation only ever happens
+    between whole lines.
 
     Raises:
         SpecificationError: a line is not a JSON object or a record is
@@ -296,21 +325,26 @@ def load_access_log(path: str | Path, strict: bool = True):
             for any line under ``strict=True``, for non-final lines
             otherwise.
     """
+    paths = rotated_access_logs(path) if rotated else [Path(path)]
     records: list[dict[str, Any]] = []
     pending: tuple[int, str, SpecificationError] | None = None
-    with open(path, encoding="utf-8", errors="replace") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            if not line.strip():
-                continue
-            if pending is not None:
-                # The bad line was not the final one after all.
-                raise pending[2]
-            try:
-                records.append(_parse_access_record(path, lineno, line))
-            except SpecificationError as exc:
-                if strict:
-                    raise
-                pending = (lineno, line, exc)
+    for file_index, file_path in enumerate(paths):
+        active_file = file_index == len(paths) - 1
+        with open(file_path, encoding="utf-8", errors="replace") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                if pending is not None:
+                    # The bad line was not the final one after all.
+                    raise pending[2]
+                try:
+                    records.append(
+                        _parse_access_record(file_path, lineno, line)
+                    )
+                except SpecificationError as exc:
+                    if strict or not active_file:
+                        raise
+                    pending = (lineno, line, exc)
     if strict:
         return records
     tail = None

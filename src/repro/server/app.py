@@ -15,8 +15,17 @@ Signals (installed only when running on the main thread):
   ``--store-dir``, swap the registry in atomically, keep serving
   throughout (see
   :meth:`~repro.server.service.SynthesisService.reload`).
-* ``SIGINT`` / ``SIGTERM`` -- graceful shutdown: stop accepting, drain
-  in-flight work, exit 0.
+* ``SIGINT`` / ``SIGTERM`` -- graceful drain: stop accepting, let every
+  request already being processed finish and get its response (bounded
+  by ``--drain-timeout``), then exit 0.  A mid-batch SIGTERM loses zero
+  accepted requests; only stragglers past the drain deadline are
+  aborted.
+
+Chaos: an optional :class:`~repro.fleet.chaos.FaultInjector`
+(``repro serve --fault exit-after:N|hang:OP|slow:MS|reset-conn:P``)
+is consulted once per decoded request, so crash/hang/brown-out/reset
+behavior can be injected deterministically inside an otherwise real
+server -- the fleet test suite and CI chaos smoke drive it.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import threading
 from typing import Callable, Sequence
 
 from repro.errors import ProtocolError, ReproError
+from repro.fleet.chaos import ConnectionResetFault, build_injector
 from repro.server.protocol import (
     MAX_BODY,
     Request,
@@ -41,6 +51,10 @@ from repro.server.protocol import (
     read_http_request,
 )
 from repro.server.service import SynthesisService
+
+#: Default bound on the graceful drain: how long close() waits for
+#: in-flight requests to finish before aborting their transports.
+DEFAULT_DRAIN_TIMEOUT = 5.0
 
 
 def _remove_stale_socket(path: str) -> None:
@@ -91,6 +105,8 @@ class ReproServer:
         host: str = "127.0.0.1",
         port: int | None = 0,
         unix_path: str | None = None,
+        fault_injector=None,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ):
         if port is None and unix_path is None:
             raise ReproError("server needs a TCP port or a unix socket path")
@@ -98,9 +114,15 @@ class ReproServer:
         self._host = host
         self._port = port
         self._unix_path = unix_path
+        self._fault_injector = fault_injector
+        self._drain_timeout = max(0.0, drain_timeout)
         self._server: asyncio.AbstractServer | None = None
         self._unix_server: asyncio.AbstractServer | None = None
         self._connections: set = set()
+        #: Writers with a request currently being processed (accepted
+        #: but unanswered).  close() drains these before touching them.
+        self._busy: set = set()
+        self._draining = False
 
     @property
     def service(self) -> SynthesisService:
@@ -136,15 +158,30 @@ class ReproServer:
             self._server.close()
         if self._unix_server is not None:
             self._unix_server.close()
+        # Stop accepting, then DRAIN: every request already accepted
+        # (decoded and handed to the service) finishes and gets its
+        # response before its connection is touched.  Handlers observe
+        # the flag after each response and bow out on their own.
+        self._draining = True
         # One yield so handlers of just-accepted connections get to
         # register themselves before the nudge below.
         await asyncio.sleep(0)
-        # Nudge idle keep-alive connections off their reads BEFORE
+        # Nudge IDLE keep-alive connections off their reads BEFORE
         # awaiting wait_closed(): on Python >= 3.12 wait_closed() waits
         # for every connection handler, so an idle client would hang
         # the shutdown forever if its writer were closed only
-        # afterwards.  (Closing first also lets the handlers finish
-        # cleanly instead of being cancelled noisily by loop teardown.)
+        # afterwards.  Busy connections are left alone -- cutting them
+        # here is exactly the lost-request bug the drain exists to fix.
+        for writer in list(self._connections):
+            if writer not in self._busy:
+                with contextlib.suppress(Exception):
+                    writer.close()
+        deadline = asyncio.get_running_loop().time() + self._drain_timeout
+        while self._busy and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.02)
+        # Whatever is still busy is past the drain budget (wedged
+        # worker, injected hang): close it like an idle connection and
+        # let the abort path below finish the job.
         for writer in list(self._connections):
             with contextlib.suppress(Exception):
                 writer.close()
@@ -156,11 +193,15 @@ class ReproServer:
                 await asyncio.wait_for(server.wait_closed(), timeout=5.0)
             except asyncio.TimeoutError:
                 # Stragglers stuck mid-transfer: abort their transports
-                # rather than hang the shutdown.
+                # rather than hang the shutdown.  A handler wedged off
+                # the transport entirely (an injected hang fault) won't
+                # notice even that -- give it a bounded grace and move
+                # on; the process is exiting anyway.
                 for writer in list(self._connections):
                     with contextlib.suppress(Exception):
                         writer.transport.abort()
-                await server.wait_closed()
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(server.wait_closed(), timeout=5.0)
         self._server = None
         if self._unix_server is not None:
             self._unix_server = None
@@ -215,13 +256,27 @@ class ReproServer:
             try:
                 request = decode_request_line(line)
                 request_id = request.id
+                # Accepted: from here this request is owed a response,
+                # even through a graceful drain.
+                self._busy.add(writer)
+                if self._fault_injector is not None:
+                    await self._fault_injector.before_handle(request.op)
                 result = await self._service.handle(request)
                 response = encode_response(request_id, result)
+            except ConnectionResetFault:
+                self._busy.discard(writer)
+                writer.transport.abort()
+                return
             except Exception as exc:  # noqa: BLE001 -- mapped to wire error
                 payload, _status = error_payload(exc)
                 response = encode_response(request_id, None, payload)
-            writer.write(response)
-            await writer.drain()
+            try:
+                writer.write(response)
+                await writer.drain()
+            finally:
+                self._busy.discard(writer)
+            if self._draining:
+                return
             line = await self._read_line(reader, writer)
 
     async def _serve_http(self, first: bytes, reader, writer) -> None:
@@ -231,8 +286,15 @@ class ReproServer:
             try:
                 request = await read_http_request(reader, request_line)
                 keep_alive = request.keep_alive
+                self._busy.add(writer)
+                if self._fault_injector is not None:
+                    await self._fault_injector.before_handle(request.op)
                 result = await self._service.handle(request)
                 response = http_response(200, result, keep_alive)
+            except ConnectionResetFault:
+                self._busy.discard(writer)
+                writer.transport.abort()
+                return
             except ProtocolError as exc:
                 payload, status = error_payload(exc)
                 response = http_response(status, {"error": payload}, False)
@@ -248,9 +310,12 @@ class ReproServer:
             except Exception as exc:  # noqa: BLE001 -- mapped to wire error
                 payload, status = error_payload(exc)
                 response = http_response(status, {"error": payload}, keep_alive)
-            writer.write(response)
-            await writer.drain()
-            if not keep_alive:
+            try:
+                writer.write(response)
+                await writer.drain()
+            finally:
+                self._busy.discard(writer)
+            if not keep_alive or self._draining:
                 return
             try:
                 request_line = await reader.readline()
@@ -275,6 +340,11 @@ async def run_server(
     unix: str | None = None,
     store_dir: str | None = None,
     access_log: str | None = None,
+    access_log_max_bytes: int | None = None,
+    access_log_keep: int | None = None,
+    fault: str | None = None,
+    fault_seed: int = 0,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
 ) -> int:
     """Run the service until stopped; the CLI's ``repro serve`` body.
 
@@ -282,10 +352,14 @@ async def run_server(
     ``ALIAS=PATH`` specs; *store_dir* adds every ``*.rpro`` under a
     directory; *unix* additionally binds a UNIX-socket listener at the
     given path (with ``port=None`` it is the *only* listener);
-    *access_log* appends one NDJSON record per request.  *ready* is
-    called once with the bound TCP address -- or ``None`` when serving
-    UNIX-only -- after the listeners are up (the CLI prints its
-    "listening on" line from it).  Returns the process exit code.
+    *access_log* appends one NDJSON record per request, rotated at
+    *access_log_max_bytes* keeping *access_log_keep* old files.
+    *fault* / *fault_seed* inject deterministic chaos faults
+    (:mod:`repro.fleet.chaos`); *drain_timeout* bounds the graceful
+    SIGTERM drain.  *ready* is called once with the bound TCP address
+    -- or ``None`` when serving UNIX-only -- after the listeners are
+    up (the CLI prints its "listening on" line from it).  Returns the
+    process exit code.
     """
     from repro.server.service import DEFAULT_MAX_BATCH, DEFAULT_WORKERS
 
@@ -296,8 +370,17 @@ async def run_server(
         max_batch=DEFAULT_MAX_BATCH if max_batch is None else max_batch,
         store_dir=store_dir,
         access_log=access_log,
+        access_log_max_bytes=access_log_max_bytes,
+        access_log_keep=access_log_keep,
     )
-    server = ReproServer(service, host, port, unix_path=unix)
+    server = ReproServer(
+        service,
+        host,
+        port,
+        unix_path=unix,
+        fault_injector=build_injector(fault, seed=fault_seed),
+        drain_timeout=drain_timeout,
+    )
     await server.start()
 
     loop = asyncio.get_running_loop()

@@ -25,11 +25,18 @@ no locking is needed -- mirroring the service's counter discipline.
 from __future__ import annotations
 
 import random
+from collections import deque
 
 #: Default per-(op, dimension) reservoir size.  512 float samples keep
 #: the p99 estimate stable (~5 samples above the 99th rank) at a few KB
 #: per op.
 DEFAULT_CAPACITY = 512
+
+#: Default rolling-window size for the *recent* percentiles.  Small on
+#: purpose: the window answers "how is this op doing right now", so it
+#: must forget the healthy past quickly enough for a fleet detector to
+#: see a regression within one polling interval of sustained traffic.
+DEFAULT_WINDOW = 128
 
 #: The quantiles ``healthz`` reports, with their payload field names.
 QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
@@ -81,14 +88,71 @@ class Reservoir:
         return payload
 
 
+class RollingWindow:
+    """Percentiles over the last *capacity* observations only.
+
+    The lifetime :class:`Reservoir` answers "how has this server done
+    since start"; a fleet supervisor deciding whether to eject a replica
+    needs "how is it doing *now*".  A bounded deque of the most recent
+    samples gives exactly that recency view: old healthy samples fall
+    out after *capacity* new ones, so a latency regression dominates the
+    reported percentiles within one window of traffic instead of being
+    diluted by hours of healthy history.
+    """
+
+    __slots__ = ("capacity", "_samples", "_seen")
+
+    def __init__(self, capacity: int = DEFAULT_WINDOW):
+        if capacity < 1:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self._seen = 0
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not the window size)."""
+        return self._seen
+
+    def observe(self, value: float) -> None:
+        self._seen += 1
+        self._samples.append(value)
+
+    def summary(self, scale: float = 1.0) -> dict | None:
+        """``{count, window, p50, p90, p99}`` (scaled), or None if empty.
+
+        ``count`` is the lifetime observation count; ``window`` is how
+        many recent samples the percentiles were read from.
+        """
+        if not self._samples:
+            return None
+        samples = list(self._samples)
+        payload: dict = {"count": self._seen, "window": len(samples)}
+        for name, q in QUANTILES:
+            payload[name] = round(percentile(samples, q) * scale, 4)
+        return payload
+
+
 class OpMetrics:
-    """Queue-wait and total-latency reservoirs for one operation."""
+    """Queue-wait and total-latency samplers for one operation.
 
-    __slots__ = ("queue_wait", "latency")
+    Each dimension is tracked twice: a lifetime :class:`Reservoir`
+    (stable long-run percentiles) and a :class:`RollingWindow` (the
+    recency view a fleet detector compares against its thresholds).
+    """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    __slots__ = ("queue_wait", "latency", "recent_queue_wait",
+                 "recent_latency")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        window: int = DEFAULT_WINDOW,
+    ):
         self.queue_wait = Reservoir(capacity)
         self.latency = Reservoir(capacity)
+        self.recent_queue_wait = RollingWindow(window)
+        self.recent_latency = RollingWindow(window)
 
 
 class ServiceMetrics:
@@ -98,26 +162,48 @@ class ServiceMetrics:
     unit every duration in the access log and ``healthz`` uses).
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        window: int = DEFAULT_WINDOW,
+    ):
         self._capacity = capacity
+        self._window = window
         self._ops: dict[str, OpMetrics] = {}
 
     def observe(self, op: str, queue_wait_s: float, latency_s: float) -> None:
         metrics = self._ops.get(op)
         if metrics is None:
-            metrics = self._ops[op] = OpMetrics(self._capacity)
+            metrics = self._ops[op] = OpMetrics(self._capacity, self._window)
         metrics.queue_wait.observe(queue_wait_s)
         metrics.latency.observe(latency_s)
+        metrics.recent_queue_wait.observe(queue_wait_s)
+        metrics.recent_latency.observe(latency_s)
 
     def summary(self) -> dict:
-        """``{"queue_wait_ms": {op: {...}}, "latency_ms": {op: {...}}}``."""
+        """Lifetime and recent per-op percentiles, all in milliseconds.
+
+        ``queue_wait_ms`` / ``latency_ms`` are the lifetime reservoirs;
+        the ``*_recent_ms`` siblings are last-window views (what the
+        fleet supervisor's detector reads to spot a live regression).
+        """
         queue_wait: dict = {}
         latency: dict = {}
+        queue_wait_recent: dict = {}
+        latency_recent: dict = {}
         for op, metrics in sorted(self._ops.items()):
-            wait = metrics.queue_wait.summary(scale=1e3)
-            total = metrics.latency.summary(scale=1e3)
-            if wait is not None:
-                queue_wait[op] = wait
-            if total is not None:
-                latency[op] = total
-        return {"queue_wait_ms": queue_wait, "latency_ms": latency}
+            for sampler, into in (
+                (metrics.queue_wait, queue_wait),
+                (metrics.latency, latency),
+                (metrics.recent_queue_wait, queue_wait_recent),
+                (metrics.recent_latency, latency_recent),
+            ):
+                summary = sampler.summary(scale=1e3)
+                if summary is not None:
+                    into[op] = summary
+        return {
+            "queue_wait_ms": queue_wait,
+            "latency_ms": latency,
+            "queue_wait_recent_ms": queue_wait_recent,
+            "latency_recent_ms": latency_recent,
+        }

@@ -59,6 +59,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import (
     CostBoundExceededError,
+    FleetOverloadedError,
     FrozenSearchError,
     InvalidPermutationError,
     InvalidValueError,
@@ -86,6 +87,7 @@ OPERATIONS = ("synth", "synth-batch", "cost-table", "store-info", "healthz")
 _ERROR_TABLE: tuple[tuple[type, str, int], ...] = (
     (CostBoundExceededError, "cost-bound-exceeded", 422),
     (ProtocolError, "protocol", 400),
+    (FleetOverloadedError, "FLEET_OVERLOADED", 503),
     (StoreMismatchError, "store-mismatch", 409),
     (StoreVersionError, "store-version", 500),
     (StoreError, "store-error", 500),
@@ -102,6 +104,7 @@ _ERROR_TABLE: tuple[tuple[type, str, int], ...] = (
 #: :func:`error_to_exception`.
 _CODE_TO_EXCEPTION = {
     "protocol": ProtocolError,
+    "FLEET_OVERLOADED": FleetOverloadedError,
     "store-mismatch": StoreMismatchError,
     "store-version": StoreVersionError,
     "store-error": StoreError,
@@ -289,7 +292,19 @@ _HTTP_STATUS_TEXT = {
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: Error codes that indicate a *server-side* fault (HTTP 5xx).  The
+#: fleet router treats these -- and only these -- as grounds to count a
+#: breaker failure and fail the request over to a replica; 4xx codes
+#: are the client's own mistake and would fail identically everywhere.
+#: ``FLEET_OVERLOADED`` is deliberately excluded: shedding is a
+#: structured refusal by a healthy process, not a fault.
+SERVER_FAULT_CODES = frozenset(
+    code for _klass, code, status in _ERROR_TABLE
+    if status >= 500 and code != "FLEET_OVERLOADED"
+) | {"internal"}
 
 #: (method, path) -> op for the body-less GET routes.
 _GET_ROUTES = {

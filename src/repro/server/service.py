@@ -149,6 +149,12 @@ class SynthesisService:
         store_dir: also serve every ``*.rpro`` file in this directory
             (re-scanned on reload/SIGHUP).
         access_log: append one NDJSON record per request to this file.
+        access_log_max_bytes: rotate the access log once it reaches
+            this size (``None`` -- the default -- never rotates).
+            Rotation shifts ``log -> log.1 -> log.2 ...`` like
+            logrotate, on the log thread, between whole lines.
+        access_log_keep: how many rotated files to keep (default 3;
+            older ones are deleted at rotation time).
     """
 
     def __init__(
@@ -159,11 +165,21 @@ class SynthesisService:
         max_batch: int = DEFAULT_MAX_BATCH,
         store_dir: str | None = None,
         access_log: str | None = None,
+        access_log_max_bytes: int | None = None,
+        access_log_keep: int | None = None,
     ):
         if workers < 1:
             raise SpecificationError("need at least one worker thread")
         if max_batch < 1:
             raise SpecificationError("max_batch must be positive")
+        if access_log_max_bytes is not None and access_log_max_bytes < 1:
+            raise SpecificationError(
+                "access_log_max_bytes must be positive"
+            )
+        if access_log_keep is not None and access_log_keep < 1:
+            raise SpecificationError(
+                "access_log_keep must keep at least one rotated file"
+            )
         if isinstance(stores, (str, os.PathLike)):
             stores = [stores]
         self._store_specs = [str(spec) for spec in stores]
@@ -197,6 +213,8 @@ class SynthesisService:
         self._closing = False
         self._access_log_path = access_log
         self._access_log = None
+        self._access_log_max_bytes = access_log_max_bytes
+        self._access_log_keep = 3 if access_log_keep is None else access_log_keep
         # Counters (event-loop-thread only).
         self._queries = {op: 0 for op in OPERATIONS}
         self._batches_executed = 0
@@ -387,6 +405,31 @@ class SynthesisService:
         with contextlib.suppress(OSError, ValueError):
             self._access_log.write(line)
             self._access_log.flush()
+            if (
+                self._access_log_max_bytes is not None
+                and self._access_log.tell() >= self._access_log_max_bytes
+            ):
+                self._rotate_access_log()
+
+    def _rotate_access_log(self) -> None:
+        """Shift ``log -> log.1 -> ... -> log.N`` and reopen (log thread).
+
+        Runs only on the single log thread, *between* whole-line writes,
+        so every file in a rotated set ends on a complete record and no
+        locking is needed against the writer.  ``log.N`` (the oldest)
+        falls off the end.
+        """
+        path = self._access_log_path
+        keep = self._access_log_keep
+        self._access_log.close()
+        with contextlib.suppress(OSError):
+            os.unlink(f"{path}.{keep}")
+        for index in range(keep - 1, 0, -1):
+            source = f"{path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{path}.{index + 1}")
+        os.replace(path, f"{path}.1")
+        self._access_log = open(path, "a", encoding="utf-8")
 
     async def _submit(self, fn: Callable[[], dict], trace: dict) -> dict:
         if self._queue is None or self._closing:

@@ -1,0 +1,318 @@
+"""Chaos-harness tests: fault spec parsing, the injector, live faults.
+
+One unit test per fault injector kind, spec-parsing error cases, the
+determinism contract (same seed, same request order => same faults),
+and faults exercised against real servers: a `slow` fault visibly
+delays requests, `reset-conn` drops connections at probability 0/1,
+`hang` wedges one op while healthz stays live, and an `exit-after`
+subprocess serves exactly N requests then dies with the crash exit
+code.  Also the graceful-drain regression: SIGTERM mid-batch loses
+zero accepted requests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.client import ServeClient, wait_until_ready
+from repro.core.search import CascadeSearch
+from repro.core.store import save_search
+from repro.errors import ServerError, SpecificationError
+from repro.fleet.chaos import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    FaultSpec,
+    build_injector,
+    parse_fault_spec,
+    parse_fault_specs,
+)
+from repro.gates.library import GateLibrary
+from repro.server import BackgroundServer
+
+BOUND = 4
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("chaos") / "closure.rpro"
+    search = CascadeSearch(GateLibrary(3), track_parents=True)
+    search.extend_to(BOUND)
+    save_search(search, path)
+    return str(path)
+
+
+class TestFaultSpecParsing:
+    def test_exit_after(self):
+        spec = parse_fault_spec("exit-after:5")
+        assert spec.kind == "exit-after"
+        assert spec.count == 5
+
+    def test_hang_any(self):
+        spec = parse_fault_spec("hang:any")
+        assert spec.kind == "hang"
+        assert spec.op == "any"
+
+    def test_hang_specific_op(self):
+        assert parse_fault_spec("hang:synth").op == "synth"
+
+    def test_slow(self):
+        spec = parse_fault_spec("slow:250")
+        assert spec.kind == "slow"
+        assert spec.delay_ms == 250
+
+    def test_reset_conn(self):
+        spec = parse_fault_spec("reset-conn:0.5")
+        assert spec.kind == "reset-conn"
+        assert spec.probability == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        "", "explode", "exit-after", "exit-after:x", "exit-after:-1",
+        "hang:no-such-op", "slow:abc", "slow:-5",
+        "reset-conn:1.5", "reset-conn:-0.1", "reset-conn:maybe",
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(SpecificationError):
+            parse_fault_spec(bad)
+
+    def test_parse_several(self):
+        specs = parse_fault_specs("slow:10,reset-conn:0.25")
+        assert [spec.kind for spec in specs] == ["slow", "reset-conn"]
+
+    def test_describe_round_trips(self):
+        for text in ["exit-after:3", "hang:synth", "slow:40",
+                     "reset-conn:0.5"]:
+            assert parse_fault_spec(text).describe() == text
+
+    def test_build_injector_none_passthrough(self):
+        assert build_injector(None) is None
+        assert isinstance(build_injector("slow:1"), FaultInjector)
+
+
+class TestFaultInjectorUnits:
+    def test_slow_delays(self):
+        import asyncio
+
+        injector = FaultInjector([FaultSpec(kind="slow", delay_ms=50)])
+
+        async def run():
+            start = time.monotonic()
+            await injector.before_handle("synth")
+            return time.monotonic() - start
+
+        assert asyncio.run(run()) >= 0.045
+
+    def test_reset_conn_deterministic_across_seeds(self):
+        import asyncio
+
+        from repro.fleet.chaos import ConnectionResetFault
+
+        def run_pattern(seed):
+            injector = FaultInjector(
+                [FaultSpec(kind="reset-conn", probability=0.5)], seed=seed
+            )
+
+            async def drive():
+                pattern = []
+                for _ in range(32):
+                    try:
+                        await injector.before_handle("synth")
+                        pattern.append(False)
+                    except ConnectionResetFault:
+                        pattern.append(True)
+                return pattern
+
+            return asyncio.run(drive())
+
+        assert run_pattern(7) == run_pattern(7)
+        assert run_pattern(7) != run_pattern(8)
+        assert any(run_pattern(7))
+        assert not all(run_pattern(7))
+
+    def test_reset_conn_probability_bounds(self):
+        import asyncio
+
+        from repro.fleet.chaos import ConnectionResetFault
+
+        always = FaultInjector(
+            [FaultSpec(kind="reset-conn", probability=1.0)], seed=1
+        )
+        never = FaultInjector(
+            [FaultSpec(kind="reset-conn", probability=0.0)], seed=1
+        )
+
+        async def drive():
+            with pytest.raises(ConnectionResetFault):
+                await always.before_handle("synth")
+            for _ in range(16):
+                await never.before_handle("synth")
+
+        asyncio.run(drive())
+
+    def test_hang_only_wedges_matching_op(self):
+        import asyncio
+
+        injector = FaultInjector([FaultSpec(kind="hang", op="synth")])
+
+        async def run():
+            # Non-matching op returns immediately.
+            await asyncio.wait_for(
+                injector.before_handle("healthz"), timeout=1.0
+            )
+            # Matching op never returns.
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    injector.before_handle("synth"), timeout=0.1
+                )
+
+        asyncio.run(run())
+
+    def test_requests_seen_counts(self):
+        import asyncio
+
+        injector = FaultInjector([FaultSpec(kind="slow", delay_ms=0)])
+
+        async def run():
+            for _ in range(3):
+                await injector.before_handle("synth")
+
+        asyncio.run(run())
+        assert injector.requests_seen == 3
+
+
+class TestLiveFaults:
+    def test_slow_fault_delays_requests(self, store_path):
+        with BackgroundServer(store_path, fault="slow:150") as srv:
+            client = ServeClient(srv.address_text)
+            try:
+                start = time.monotonic()
+                client.synth("peres")
+                assert time.monotonic() - start >= 0.14
+            finally:
+                client.close()
+
+    def test_reset_conn_certain(self, store_path):
+        with BackgroundServer(store_path, fault="reset-conn:1.0") as srv:
+            client = ServeClient(srv.address_text)
+            try:
+                with pytest.raises((ServerError, OSError)):
+                    client.synth("peres")
+            finally:
+                client.close()
+
+    def test_reset_conn_never(self, store_path):
+        with BackgroundServer(store_path, fault="reset-conn:0.0") as srv:
+            client = ServeClient(srv.address_text)
+            try:
+                for _ in range(4):
+                    assert client.synth("peres")["cost"] == 4
+            finally:
+                client.close()
+
+    def test_hang_wedges_op_but_healthz_lives(self, store_path):
+        with BackgroundServer(store_path, fault="hang:synth") as srv:
+            stuck = ServeClient(srv.address_text, timeout=0.5)
+            probe = ServeClient(srv.address_text)
+            try:
+                with pytest.raises((ServerError, OSError)):
+                    stuck.synth("peres")
+                assert probe.healthz()["status"] == "ok"
+            finally:
+                stuck.close()
+                probe.close()
+
+
+def _spawn_serve(store_path, sock, *extra):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", store_path,
+         "--no-tcp", "--unix", sock, *extra],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+class TestCrashSubprocess:
+    def test_exit_after_serves_then_dies_with_crash_code(self, store_path):
+        workdir = tempfile.mkdtemp(prefix="repro-crash-")
+        sock = os.path.join(workdir, "s.sock")
+        proc = _spawn_serve(store_path, sock, "--fault", "exit-after:3")
+        try:
+            wait_until_ready(f"unix:{sock}", timeout=60)
+            # healthz counts against the budget; 2 more queries succeed.
+            client = ServeClient(f"unix:{sock}")
+            try:
+                for _ in range(2):
+                    assert client.synth("peres")["cost"] == 4
+                with pytest.raises((ServerError, OSError)):
+                    client.synth("peres")
+            finally:
+                client.close()
+            assert proc.wait(timeout=10) == CRASH_EXIT_CODE
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+class TestGracefulDrain:
+    def test_sigterm_mid_batch_loses_nothing(self, store_path):
+        """A batch accepted before SIGTERM completes in full."""
+        workdir = tempfile.mkdtemp(prefix="repro-drain-")
+        sock = os.path.join(workdir, "s.sock")
+        proc = _spawn_serve(
+            store_path, sock, "--fault", "slow:200", "--drain-timeout", "30"
+        )
+        try:
+            wait_until_ready(f"unix:{sock}", timeout=60)
+            import socket as socket_mod
+
+            conn = socket_mod.socket(socket_mod.AF_UNIX)
+            conn.connect(sock)
+            conn.settimeout(30)
+            request = {
+                "id": 1, "op": "synth-batch",
+                "params": {"targets": ["peres", "swap_ab", "cnot_ba"]},
+            }
+            conn.sendall(json.dumps(request).encode() + b"\n")
+            time.sleep(0.05)  # request is in flight (slow:200 holds it)
+            proc.send_signal(signal.SIGTERM)
+            chunks = []
+            while True:
+                chunk = conn.recv(1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunks[-1].endswith(b"\n"):
+                    break
+            conn.close()
+            reply = json.loads(b"".join(chunks))
+            assert reply["ok"] is True
+            assert len(reply["result"]["results"]) == 3
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_drain_refuses_new_requests_on_open_connection(self, store_path):
+        """After drain starts, a kept-alive connection gets no 2nd turn."""
+        with BackgroundServer(store_path, fault="slow:100") as srv:
+            client = ServeClient(srv.address_text)
+            try:
+                assert client.synth("peres")["cost"] == 4
+            finally:
+                client.close()

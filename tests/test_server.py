@@ -188,6 +188,7 @@ class TestMetricsUnits:
         assert Reservoir().summary() is None
         assert ServiceMetrics().summary() == {
             "queue_wait_ms": {}, "latency_ms": {},
+            "queue_wait_recent_ms": {}, "latency_recent_ms": {},
         }
 
     def test_service_metrics_scale_to_milliseconds(self):
