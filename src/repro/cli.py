@@ -44,6 +44,15 @@ a UNIX socket; see :mod:`repro.server`)::
     repro synth toffoli --server unix:/tmp/repro.sock --store-alias deep
     repro synth --server :7205 --batch targets.txt
     curl http://127.0.0.1:7205/healthz       # incl. p50/p90/p99 timings
+
+Load testing and trace replay (the scenario engine; named traffic
+shapes live in ``scenarios/``, see :mod:`repro.scenario`)::
+
+    repro load steady_interactive --server :7205 --seed 7
+    repro load scenarios/bursty_batch.toml --server :7205 --json out.json
+    repro load steady_interactive --dry-run --seed 7   # the exact stream
+    repro replay access.ndjson --server :7205 --golden closure.rpro
+    repro fleet status :7300 --json          # machine-readable fleet state
 """
 
 from __future__ import annotations
@@ -423,8 +432,101 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
-    p_load = sub.add_parser("load", help="reload and re-verify a saved result")
-    p_load.add_argument("file", help="JSON file written by `repro synth --save`")
+    p_load = sub.add_parser(
+        "load",
+        help="re-verify a saved result, or drive a scenario load test",
+    )
+    p_load.add_argument(
+        "file",
+        help="JSON file written by `repro synth --save`, or -- with "
+        "--server/--dry-run -- a scenario spec (.toml/.json path or a "
+        "name under scenarios/)",
+    )
+    p_load.add_argument(
+        "--server", metavar="ADDR", default=None,
+        help="drive the scenario against this server or fleet front "
+        "(HOST:PORT or unix:PATH)",
+    )
+    p_load.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's RNG seed (same seed = same stream)",
+    )
+    p_load.add_argument(
+        "--requests", type=int, default=None,
+        help="override the spec's stream length",
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=None,
+        help="override the spec's worker-thread count",
+    )
+    p_load.add_argument(
+        "--timing", action="store_true",
+        help="pace requests by the spec's arrival offsets (default: "
+        "closed loop)",
+    )
+    p_load.add_argument(
+        "--retries", type=int, default=0,
+        help="client transport retries per request (for fleet/chaos runs)",
+    )
+    p_load.add_argument(
+        "--dry-run", action="store_true",
+        help="print the planned request stream as NDJSON and exit "
+        "(no server needed; two runs with one seed are identical)",
+    )
+    p_load.add_argument(
+        "--json", dest="json_out", metavar="FILE", default=None,
+        help="also write the scenario report as JSON to FILE",
+    )
+    p_load.add_argument(
+        "--no-slo", action="store_true",
+        help="report SLO violations without failing the exit code",
+    )
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-drive a recorded access log against a live server",
+    )
+    p_replay.add_argument(
+        "log", help="NDJSON access log written by `repro serve --access-log`"
+    )
+    p_replay.add_argument(
+        "--server", metavar="ADDR", required=True,
+        help="server or fleet front to replay against",
+    )
+    p_replay.add_argument(
+        "--golden", action="append", metavar="[ALIAS=]PATH", default=None,
+        help="store file to byte-diff results against (repeatable; "
+        "bare PATH is the default for every alias)",
+    )
+    p_replay.add_argument(
+        "--no-rotated", action="store_true",
+        help="read only the named file, not its rotated set",
+    )
+    p_replay.add_argument(
+        "--strict", action="store_true",
+        help="a malformed log line fails the replay (default: a "
+        "truncated final line per file is tolerated and reported)",
+    )
+    p_replay.add_argument(
+        "--timing", action="store_true",
+        help="pace the replay by the recorded timestamps",
+    )
+    p_replay.add_argument(
+        "--speed", type=float, default=1.0,
+        help="timing speedup factor (2.0 = twice as fast)",
+    )
+    p_replay.add_argument(
+        "--limit", type=int, default=None,
+        help="replay at most N records",
+    )
+    p_replay.add_argument(
+        "--retries", type=int, default=0,
+        help="client transport retries per request",
+    )
+    p_replay.add_argument(
+        "--json", dest="json_out", metavar="FILE", default=None,
+        help="also write the replay report as JSON to FILE",
+    )
 
     sub.add_parser("identities", help="verified gate-identity catalog")
 
@@ -1364,6 +1466,103 @@ def _cmd_load(path: str) -> int:
     return 0
 
 
+def _cmd_load_scenario(args) -> int:
+    import json as json_mod
+
+    from repro import scenario
+
+    spec = scenario.find_scenario(args.file)
+    if args.dry_run:
+        plan = scenario.generate(
+            spec, seed=args.seed, requests=args.requests
+        )
+        for request in plan:
+            print(json_mod.dumps(
+                scenario.planned_to_dict(request), separators=(",", ":")
+            ))
+        return 0
+    plan, samples, wall_s = scenario.run_scenario(
+        spec,
+        args.server,
+        seed=args.seed,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        timing=args.timing,
+        retries=args.retries,
+    )
+    health = None
+    try:
+        health = scenario.snapshot(args.server)
+    except ReproError:
+        pass  # a report without the server-side view is still a report
+    report = scenario.scenario_report(
+        spec, samples, wall_s, seed=args.seed, server_health=health
+    )
+    report["planned"] = len(plan)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_mod.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(scenario.format_report(report))
+    if report["slo_violations"] and not args.no_slo:
+        return 1
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    import json as json_mod
+
+    from repro import scenario
+
+    records, tail = scenario.load_trace(
+        args.log, rotated=not args.no_rotated, strict=args.strict
+    )
+    goldens, default_golden = scenario.parse_golden_specs(args.golden)
+    report = scenario.replay(
+        records,
+        args.server,
+        goldens=goldens,
+        default_golden=default_golden,
+        timing=args.timing,
+        speed=args.speed,
+        retries=args.retries,
+        limit=args.limit,
+    )
+    if tail is not None:
+        report["tail"] = tail
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_mod.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(
+        f"replayed {report['replayed']} of {len(records)} records: "
+        f"{report['ok']} ok, {report['errors']} errors, "
+        f"{report['outcome_mismatches']} outcome mismatches, "
+        f"{report['result_byte_diffs']} result-byte diffs "
+        f"({report['byte_checked']} byte-checked)"
+    )
+    if report["shed_drift"]:
+        print(f"  shed drift (not counted as mismatch): "
+              f"{report['shed_drift']}")
+    if report["skipped_no_params"] or report["skipped_unknown_op"]:
+        print(
+            f"  skipped: {report['skipped_no_params']} without params, "
+            f"{report['skipped_unknown_op']} unknown op"
+        )
+    if tail is not None:
+        print(f"  tolerated truncated tail at {tail['path']}:"
+              f"{tail['lineno']}")
+    for item in report["mismatch_detail"]:
+        print(
+            f"  mismatch #{item['index']} {item['op']}: logged "
+            f"{item['logged']}, replayed {item['replayed']}"
+        )
+    for item in report["diff_detail"]:
+        print(f"  byte diff #{item['index']} {item['op']} "
+              f"(store {item['store']})")
+    return 0 if report["clean"] else 1
+
+
 def _cmd_identities() -> int:
     from repro.core.identities import identity_catalog
     from repro.gates.library import GateLibrary
@@ -1512,7 +1711,11 @@ def main(argv: list[str] | None = None) -> int:
                 )
             raise AssertionError(f"unhandled store command {args.store_command}")
         if args.command == "load":
+            if args.server is not None or args.dry_run:
+                return _cmd_load_scenario(args)
             return _cmd_load(args.file)
+        if args.command == "replay":
+            return _cmd_replay(args)
         if args.command == "identities":
             return _cmd_identities()
         if args.command == "peres-family":

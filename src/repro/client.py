@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import random
 import socket
+import threading
 import time
 
 from repro.errors import ProtocolError, ServerError
@@ -330,6 +331,55 @@ class ServeClient:
         if cost_bound is not None:
             params["cost_bound"] = cost_bound
         return self.call("cost-table", store=store, **params)
+
+
+class ClientPool:
+    """Per-thread persistent :class:`ServeClient`\\ s for one endpoint.
+
+    :class:`ServeClient` is deliberately not thread-safe (requests
+    share one socket), so a worker pool hammering a server -- the
+    scenario runner, a replay driver, any threaded load generator --
+    needs one client per thread, and wants each kept open across calls
+    so the measured latency is the query, not a fresh TCP handshake.
+    The pool hands every calling thread its own lazily-connected
+    client (keyed by thread, created on first :meth:`get`) and closes
+    them all together.
+
+    Keyword arguments are forwarded to every :class:`ServeClient`
+    constructed (``timeout``, ``store``, ``retries``, ``backoff``).
+    The pool is a context manager; exiting closes every client it ever
+    created, from any thread (socket close is safe cross-thread once
+    the workers have stopped calling).
+    """
+
+    def __init__(self, address: str = "", **client_kwargs):
+        self._address = address
+        self._client_kwargs = client_kwargs
+        self._local = threading.local()
+        self._clients: list[ServeClient] = []
+        self._lock = threading.Lock()
+
+    def get(self) -> ServeClient:
+        """The calling thread's client, created on first use."""
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = ServeClient(self._address, **self._client_kwargs)
+            self._local.client = client
+            with self._lock:
+                self._clients.append(client)
+        return client
+
+    def close_all(self) -> None:
+        with self._lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_all()
 
 
 def http_request(

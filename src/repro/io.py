@@ -309,27 +309,30 @@ def load_access_log(
     order (``path.N`` ... ``path.1``, then ``path`` itself -- see
     :func:`rotated_access_logs`), returning one combined record list.
 
-    A crashed -- or still-running -- writer can leave a partial *final*
-    line.  With ``strict=True`` (the default) any malformed line raises;
-    with ``strict=False`` the return value becomes ``(records, tail)``
-    where a malformed final line is tolerated and described by *tail*
-    (a dict with ``lineno``, ``reason`` and the truncated ``text``;
-    ``None`` when the log ended cleanly).  Malformed lines *before* the
-    final one are real corruption and raise in both modes -- including
-    anywhere in a rotated file, since rotation only ever happens
-    between whole lines.
+    A crashed -- or still-running -- writer can leave a partial final
+    line, and a crash *during rotation* can leave one at the end of any
+    file in a rotated set.  With ``strict=True`` (the default) any
+    malformed line raises; with ``strict=False`` the return value
+    becomes ``(records, tail)`` where a malformed line at the end of a
+    file is tolerated and described by *tail* (a dict with ``path``,
+    ``lineno``, ``reason`` and the truncated ``text``; ``None`` when
+    every file ended cleanly).  *tail* describes the most recent
+    truncation; when several files were truncated, its ``truncations``
+    key lists them all, oldest first.  Malformed lines *before* the
+    final line of their file are real corruption and raise in both
+    modes, since rotation only ever happens between whole lines.
 
     Raises:
         SpecificationError: a line is not a JSON object or a record is
             missing one of the required fields (with its line number) --
-            for any line under ``strict=True``, for non-final lines
-            otherwise.
+            for any line under ``strict=True``, for lines before the
+            end of their file otherwise.
     """
     paths = rotated_access_logs(path) if rotated else [Path(path)]
     records: list[dict[str, Any]] = []
-    pending: tuple[int, str, SpecificationError] | None = None
-    for file_index, file_path in enumerate(paths):
-        active_file = file_index == len(paths) - 1
+    truncations: list[dict[str, Any]] = []
+    for file_path in paths:
+        pending: tuple[int, str, SpecificationError] | None = None
         with open(file_path, encoding="utf-8", errors="replace") as handle:
             for lineno, line in enumerate(handle, start=1):
                 if not line.strip():
@@ -342,19 +345,23 @@ def load_access_log(
                         _parse_access_record(file_path, lineno, line)
                     )
                 except SpecificationError as exc:
-                    if strict or not active_file:
+                    if strict:
                         raise
                     pending = (lineno, line, exc)
+        if pending is not None:
+            lineno, line, exc = pending
+            truncations.append({
+                "path": str(file_path),
+                "lineno": lineno,
+                "reason": str(exc),
+                "text": line.rstrip("\n"),
+            })
     if strict:
         return records
     tail = None
-    if pending is not None:
-        lineno, line, exc = pending
-        tail = {
-            "lineno": lineno,
-            "reason": str(exc),
-            "text": line.rstrip("\n"),
-        }
+    if truncations:
+        tail = dict(truncations[-1])
+        tail["truncations"] = truncations
     return records, tail
 
 

@@ -1,0 +1,64 @@
+"""Scenario engine: seeded workloads, trace replay, SLO reports.
+
+Turns load testing from anecdote into regression suite:
+
+* :mod:`repro.scenario.spec` -- named traffic shapes as checked-in
+  TOML/JSON files (the repository's ``scenarios/`` directory), parsed
+  into validated :class:`~repro.scenario.spec.ScenarioSpec` objects.
+* :mod:`repro.scenario.workload` -- a deterministic, seeded request
+  stream per spec, and a threaded runner driving it against a live
+  server or fleet front (``repro load SCENARIO --server ADDR``).
+* :mod:`repro.scenario.replay` -- re-drives a recorded NDJSON access
+  log and diffs outcome codes + result bytes against golden stores
+  (``repro replay LOG --server ADDR``).
+* :mod:`repro.scenario.report` -- per-scenario stats, SLO bars, and
+  the ``BENCH_scenarios.json`` artifact.
+"""
+
+from .replay import load_trace, parse_golden_specs, replay
+from .spec import (
+    Arrival,
+    ScenarioSpec,
+    SloBars,
+    find_scenario,
+    load_scenario,
+    parse_scenario,
+)
+from .report import (
+    check_slo,
+    format_report,
+    scenario_report,
+    snapshot,
+    summarize,
+    write_bench,
+)
+from .workload import (
+    PlannedRequest,
+    ScenarioSample,
+    generate,
+    planned_to_dict,
+    run_scenario,
+)
+
+__all__ = [
+    "Arrival",
+    "PlannedRequest",
+    "ScenarioSample",
+    "ScenarioSpec",
+    "SloBars",
+    "check_slo",
+    "find_scenario",
+    "format_report",
+    "generate",
+    "load_scenario",
+    "load_trace",
+    "parse_golden_specs",
+    "parse_scenario",
+    "planned_to_dict",
+    "replay",
+    "run_scenario",
+    "scenario_report",
+    "snapshot",
+    "summarize",
+    "write_bench",
+]

@@ -1,0 +1,212 @@
+"""Trace replay: re-drive a recorded access log against a live server.
+
+``repro serve --access-log`` writes one NDJSON record per request; for
+store queries the record carries the request ``params`` (see
+``repro.server.service``), which makes the log a *trace* -- op mix,
+store selectors, inter-arrival timestamps and the outcome every
+request originally got.  :func:`replay` re-issues that trace, in
+order, over one persistent connection against any live server or
+fleet front, and reports two kinds of drift:
+
+* **outcome drift** -- the replayed request's structured outcome code
+  differs from the recorded one.  ``FLEET_OVERLOADED`` on either side
+  is tallied separately as ``shed_drift`` rather than a mismatch:
+  shedding is a load condition, not a property of the request, so a
+  replay under different load legitimately sheds differently.  All
+  other codes are deterministic functions of (request, store) and any
+  difference is a real regression.
+* **result-byte drift** -- for requests that succeeded both times, the
+  replayed result is serialized (compact JSON, the wire's own form)
+  and compared byte-for-byte against :func:`~repro.server.service
+  .execute_query` over a locally opened **golden store**.  Zero diffs
+  is the correctness bar: the serving stack returns exactly what the
+  store contains, byte-identical, request for request.
+
+The determinism contract, precisely: outcome codes and result bytes
+are pure functions of ``(op, params, resolved store)``; queue waits,
+latencies and shed decisions are not replayed, they are re-measured.
+
+Records that predate params-bearing logs are counted in
+``skipped_no_params`` instead of failing the replay, and a truncated
+final line anywhere in the rotated set (crash mid-write or
+mid-rotation) is tolerated and surfaced via ``tail`` -- both courtesy
+of :func:`repro.io.load_access_log`'s lenient mode.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.client import DEFAULT_TIMEOUT, ServeClient
+from repro.errors import ReproError, SpecificationError
+from repro.io import load_access_log
+from repro.server.protocol import OPERATIONS, error_payload
+from repro.server.service import StoreState, execute_query, open_store_state
+
+#: Ops whose results are byte-diffed against a golden store.
+QUERY_OPS = frozenset({"synth", "synth-batch", "cost-table"})
+
+#: Cap on per-item detail kept in the report (counts are never capped).
+MAX_DETAIL = 20
+
+_SHED = "FLEET_OVERLOADED"
+
+
+def load_trace(
+    path: str | Path, rotated: bool = True, strict: bool = False
+):
+    """Read an access log as a replayable trace: ``(records, tail)``.
+
+    With ``rotated=True`` (default) the whole rotated set is read in
+    arrival order.  ``tail`` is None for a clean set, else the
+    truncation info :func:`repro.io.load_access_log` surfaces; under
+    ``strict=True`` any malformed line raises instead.
+    """
+    if strict:
+        return load_access_log(path, strict=True, rotated=rotated), None
+    return load_access_log(path, strict=False, rotated=rotated)
+
+
+def parse_golden_specs(
+    specs: list[str] | None,
+) -> tuple[dict[str, StoreState], StoreState | None]:
+    """``[ALIAS=]PATH`` golden-store args -> ``(by_alias, default)``.
+
+    A bare ``PATH`` becomes the default golden, used for any record
+    whose store alias has no explicit entry (the single-store case).
+    """
+    by_alias: dict[str, StoreState] = {}
+    default: StoreState | None = None
+    for spec in specs or []:
+        alias, sep, path = spec.partition("=")
+        if sep and alias and not any(ch in alias for ch in "/\\."):
+            by_alias[alias] = open_store_state(path)
+        else:
+            if default is not None:
+                raise SpecificationError(
+                    "only one default (alias-less) --golden store makes "
+                    "sense; name the others ALIAS=PATH"
+                )
+            default = open_store_state(spec)
+    return by_alias, default
+
+
+def _result_bytes(result: dict) -> bytes:
+    return json.dumps(result, separators=(",", ":")).encode()
+
+
+def replay(
+    records: list[dict],
+    address: str,
+    goldens: dict[str, StoreState] | None = None,
+    default_golden: StoreState | None = None,
+    timing: bool = False,
+    speed: float = 1.0,
+    retries: int = 0,
+    timeout: float = DEFAULT_TIMEOUT,
+    limit: int | None = None,
+) -> dict:
+    """Re-drive *records* against *address*; returns the drift report.
+
+    With ``timing=True`` the recorded ``ts`` deltas pace the replay
+    (divided by *speed*); otherwise records are re-issued back to
+    back.  See the module doc for what counts as drift.
+    """
+    if speed <= 0:
+        raise SpecificationError("replay speed must be > 0")
+    goldens = goldens or {}
+    report = {
+        "replayed": 0,
+        "ok": 0,
+        "errors": 0,
+        "outcome_mismatches": 0,
+        "shed_drift": 0,
+        "result_byte_diffs": 0,
+        "byte_checked": 0,
+        "skipped_no_params": 0,
+        "skipped_unknown_op": 0,
+        "mismatch_detail": [],
+        "diff_detail": [],
+    }
+    previous_ts: float | None = None
+    with ServeClient(address, timeout=timeout, retries=retries) as client:
+        for index, record in enumerate(records):
+            if limit is not None and report["replayed"] >= limit:
+                break
+            op = record.get("op")
+            if op not in OPERATIONS:
+                report["skipped_unknown_op"] += 1
+                continue
+            params = record.get("params")
+            if params is None:
+                if op in QUERY_OPS:
+                    # Pre-replay log format: nothing to re-issue.
+                    report["skipped_no_params"] += 1
+                    continue
+                params = {}
+            if not isinstance(params, dict):
+                report["skipped_no_params"] += 1
+                continue
+            ts = record.get("ts")
+            if timing and isinstance(ts, (int, float)):
+                if previous_ts is not None and ts > previous_ts:
+                    time.sleep((ts - previous_ts) / speed)
+                previous_ts = ts
+            store = record.get("store")
+            clean = {
+                key: value for key, value in params.items()
+                if key not in ("op", "store")
+            }
+            try:
+                result = client.call(op, store=store, **clean)
+                outcome = "ok"
+            except ReproError as exc:
+                result = None
+                outcome = error_payload(exc)[0]["code"]
+            report["replayed"] += 1
+            if outcome == "ok":
+                report["ok"] += 1
+            else:
+                report["errors"] += 1
+
+            logged = record.get("outcome", "ok")
+            if outcome != logged:
+                if _SHED in (outcome, logged):
+                    report["shed_drift"] += 1
+                else:
+                    report["outcome_mismatches"] += 1
+                    if len(report["mismatch_detail"]) < MAX_DETAIL:
+                        report["mismatch_detail"].append({
+                            "index": index, "op": op, "store": store,
+                            "logged": logged, "replayed": outcome,
+                        })
+                continue
+
+            if outcome != "ok" or op not in QUERY_OPS or result is None:
+                continue
+            golden = goldens.get(store) if store is not None else None
+            if golden is None:
+                golden = default_golden
+            if golden is None:
+                continue
+            report["byte_checked"] += 1
+            try:
+                expected = execute_query(golden, op, clean)
+            except ReproError:
+                # The golden store refuses what the server answered --
+                # a diff by definition (wrong golden, or a regression).
+                expected = None
+            if expected is None or (
+                    _result_bytes(result) != _result_bytes(expected)):
+                report["result_byte_diffs"] += 1
+                if len(report["diff_detail"]) < MAX_DETAIL:
+                    report["diff_detail"].append({
+                        "index": index, "op": op, "store": store,
+                    })
+    report["clean"] = (
+        report["outcome_mismatches"] == 0
+        and report["result_byte_diffs"] == 0
+    )
+    return report

@@ -1,0 +1,423 @@
+"""Named scenario specifications: the traffic shapes load tests share.
+
+A scenario spec is a small checked-in TOML or JSON file (see the
+repository's ``scenarios/`` directory) that names one traffic shape --
+steady interactive, bursty batch, hot-key skew over store aliases,
+mixed multi-store, pathological cost bounds -- precisely enough that
+every PR's load numbers are measured under *identical* requests.  The
+spec is pure data; :mod:`repro.scenario.workload` turns it plus a seed
+into a deterministic request stream.
+
+Top-level fields::
+
+    name        = "steady_interactive"   # required, non-empty
+    description = "..."                  # optional prose
+    seed        = 1                      # default RNG seed (CLI --seed overrides)
+    requests    = 200                    # stream length (CLI --requests overrides)
+    concurrency = 4                      # worker threads (CLI overrides)
+    targets     = ["peres", "(5,7,6,8)"] # pool of target specs
+    batch_size  = 8                      # targets per synth-batch request
+
+    [arrival]                            # when each request is issued
+    shape = "steady"                     # closed | steady | bursty
+    rate  = 200.0                        # req/s (steady)
+    burst = 16                           # requests per burst (bursty)
+    pause = 0.05                         # seconds between bursts (bursty)
+
+    [ops]                                # op -> relative weight
+    synth = 8
+    synth-batch = 1
+
+    [stores]                             # selector -> weight (optional)
+    deep = 9                             # skewed weights model hot keys
+    shallow = 1
+
+    [params]                             # extra query params (optional)
+    cost_bound = 2
+    allow_not = true
+
+    [slo]                                # pass/fail bars (optional)
+    p50_ms = 50.0
+    p99_ms = 250.0
+    max_error_rate = 0.0
+    max_shed_rate  = 0.0
+    allowed_error_codes = ["cost-bound-exceeded"]
+
+``closed`` arrival issues requests as fast as the workers can (offsets
+all zero); ``steady`` spaces request *i* at ``i / rate`` seconds;
+``bursty`` issues ``burst`` requests at once, bursts ``pause`` seconds
+apart.  Offsets only pace the run when timing is requested -- the
+request *content* is identical either way.
+
+Every validation failure raises :class:`~repro.errors.SpecificationError`
+with the offending field named -- never a traceback-only TypeError --
+so a bad spec fails a CI job with a one-line diagnosis
+(``tests/test_fuzz_parsers.py`` pins this for adversarial inputs).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import InvalidPermutationError, SpecificationError
+from repro.server.protocol import OPERATIONS
+
+#: Arrival shapes a spec may declare.
+ARRIVAL_SHAPES = ("closed", "steady", "bursty")
+
+#: Ops that draw targets from the pool (the pool is required for them).
+TARGET_OPS = frozenset({"synth", "synth-batch"})
+
+#: Spec filename extensions the loader understands.
+SPEC_SUFFIXES = (".toml", ".json")
+
+_TOP_KEYS = frozenset({
+    "name", "description", "seed", "requests", "concurrency", "targets",
+    "batch_size", "arrival", "ops", "stores", "params", "slo",
+})
+_ARRIVAL_KEYS = frozenset({"shape", "rate", "burst", "pause"})
+_PARAM_KEYS = frozenset({"cost_bound", "allow_not"})
+_SLO_KEYS = frozenset({
+    "p50_ms", "p99_ms", "max_error_rate", "max_shed_rate",
+    "allowed_error_codes",
+})
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """When each request in the stream is issued."""
+
+    shape: str = "closed"
+    rate: float = 100.0
+    burst: int = 16
+    pause: float = 0.05
+
+
+@dataclass(frozen=True)
+class SloBars:
+    """Per-scenario pass/fail bars the reporter asserts."""
+
+    p50_ms: float | None = None
+    p99_ms: float | None = None
+    max_error_rate: float | None = None
+    max_shed_rate: float | None = None
+    #: Error codes that do not count against ``max_error_rate`` (a
+    #: pathological-cost-bound scenario *expects* cost-bound-exceeded).
+    allowed_error_codes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One parsed, validated scenario (immutable)."""
+
+    name: str
+    description: str = ""
+    seed: int = 0
+    requests: int = 100
+    concurrency: int = 4
+    arrival: Arrival = field(default_factory=Arrival)
+    #: ``(op, weight)`` pairs in spec order (weights are relative).
+    ops: tuple[tuple[str, float], ...] = (("synth", 1.0),)
+    #: Pool of target spec strings drawn from for synth/synth-batch.
+    targets: tuple[str, ...] = ()
+    batch_size: int = 8
+    #: ``(store selector, weight)`` pairs; empty means no selector is
+    #: sent (a single-store server resolves that to its sole store).
+    stores: tuple[tuple[str, float], ...] = ()
+    #: Extra query params sent with every store query.
+    params: tuple[tuple[str, object], ...] = ()
+    slo: SloBars = field(default_factory=SloBars)
+
+
+def _fail(name: str, message: str) -> SpecificationError:
+    return SpecificationError(f"scenario field {name!r}: {message}")
+
+
+def _check_str(data: dict, key: str, default: str) -> str:
+    value = data.get(key, default)
+    if not isinstance(value, str):
+        raise _fail(key, "must be a string")
+    return value
+
+
+def _check_int(
+    data: dict, key: str, default: int, minimum: int
+) -> int:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(key, "must be an integer")
+    if value < minimum:
+        raise _fail(key, f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _check_number(
+    data: dict, key: str, default: float, minimum: float,
+    maximum: float | None = None,
+) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(key, "must be a number")
+    value = float(value)
+    if not math.isfinite(value):
+        raise _fail(key, "must be finite")
+    if value < minimum:
+        raise _fail(key, f"must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise _fail(key, f"must be <= {maximum}, got {value}")
+    return value
+
+
+def _check_keys(data: dict, allowed: frozenset, where: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise SpecificationError(
+            f"unknown scenario field(s) in {where}: " + ", ".join(
+                repr(key) for key in unknown
+            )
+        )
+
+
+def _parse_weight_table(
+    data: object, where: str, allowed_keys: frozenset | None
+) -> tuple[tuple[str, float], ...]:
+    """A ``{name: weight}`` table as validated ``(name, weight)`` pairs."""
+    if not isinstance(data, dict) or not data:
+        raise SpecificationError(
+            f"scenario {where} must be a non-empty table of weights"
+        )
+    pairs: list[tuple[str, float]] = []
+    for key, raw in data.items():
+        if not isinstance(key, str) or not key:
+            raise SpecificationError(
+                f"scenario {where} keys must be non-empty strings"
+            )
+        if allowed_keys is not None and key not in allowed_keys:
+            raise SpecificationError(
+                f"scenario {where} names unknown op {key!r}; expected one "
+                "of " + ", ".join(sorted(allowed_keys))
+            )
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise _fail(f"{where}.{key}", "weight must be a number")
+        weight = float(raw)
+        if not math.isfinite(weight) or weight < 0:
+            raise _fail(
+                f"{where}.{key}",
+                f"weight must be finite and >= 0, got {raw}",
+            )
+        pairs.append((key, weight))
+    if not any(weight > 0 for _key, weight in pairs):
+        raise SpecificationError(
+            f"scenario {where} weights must not all be zero"
+        )
+    return tuple(pairs)
+
+
+def _parse_arrival(data: object) -> Arrival:
+    if data is None:
+        return Arrival()
+    if not isinstance(data, dict):
+        raise _fail("arrival", "must be a table")
+    _check_keys(data, _ARRIVAL_KEYS, "[arrival]")
+    shape = _check_str(data, "shape", "closed")
+    if shape not in ARRIVAL_SHAPES:
+        raise _fail(
+            "arrival.shape",
+            f"must be one of {', '.join(ARRIVAL_SHAPES)}, got {shape!r}",
+        )
+    rate = _check_number(data, "rate", 100.0, 0.0)
+    if shape == "steady" and rate <= 0:
+        raise _fail("arrival.rate", "must be > 0 for steady arrival")
+    return Arrival(
+        shape=shape,
+        rate=rate,
+        burst=_check_int(data, "burst", 16, 1),
+        pause=_check_number(data, "pause", 0.05, 0.0),
+    )
+
+
+def _parse_targets(data: object) -> tuple[str, ...]:
+    if data is None:
+        return ()
+    if not isinstance(data, list):
+        raise _fail("targets", "must be a list of target spec strings")
+    from repro.io import parse_target
+
+    targets: list[str] = []
+    for index, spec in enumerate(data):
+        if not isinstance(spec, str) or not spec:
+            raise _fail(
+                f"targets[{index}]", "must be a non-empty spec string"
+            )
+        try:
+            parse_target(spec)
+        except InvalidPermutationError as exc:
+            raise _fail(f"targets[{index}]", f"bad target {spec!r}: {exc}")
+        targets.append(spec)
+    return tuple(targets)
+
+
+def _parse_params(data: object) -> tuple[tuple[str, object], ...]:
+    if data is None:
+        return ()
+    if not isinstance(data, dict):
+        raise _fail("params", "must be a table")
+    _check_keys(data, _PARAM_KEYS, "[params]")
+    pairs: list[tuple[str, object]] = []
+    if "cost_bound" in data:
+        pairs.append(
+            ("cost_bound", _check_int(data, "cost_bound", 0, 0))
+        )
+    if "allow_not" in data:
+        value = data["allow_not"]
+        if not isinstance(value, bool):
+            raise _fail("params.allow_not", "must be a boolean")
+        pairs.append(("allow_not", value))
+    return tuple(pairs)
+
+
+def _parse_slo(data: object) -> SloBars:
+    if data is None:
+        return SloBars()
+    if not isinstance(data, dict):
+        raise _fail("slo", "must be a table")
+    _check_keys(data, _SLO_KEYS, "[slo]")
+    codes: tuple[str, ...] = ()
+    if "allowed_error_codes" in data:
+        raw = data["allowed_error_codes"]
+        if not isinstance(raw, list) or not all(
+            isinstance(code, str) and code for code in raw
+        ):
+            raise _fail(
+                "slo.allowed_error_codes",
+                "must be a list of non-empty error-code strings",
+            )
+        codes = tuple(raw)
+    return SloBars(
+        p50_ms=(
+            _check_number(data, "p50_ms", 0.0, 0.0)
+            if "p50_ms" in data else None
+        ),
+        p99_ms=(
+            _check_number(data, "p99_ms", 0.0, 0.0)
+            if "p99_ms" in data else None
+        ),
+        max_error_rate=(
+            _check_number(data, "max_error_rate", 0.0, 0.0, 1.0)
+            if "max_error_rate" in data else None
+        ),
+        max_shed_rate=(
+            _check_number(data, "max_shed_rate", 0.0, 0.0, 1.0)
+            if "max_shed_rate" in data else None
+        ),
+        allowed_error_codes=codes,
+    )
+
+
+def parse_scenario(data: object, source: str = "<scenario>") -> ScenarioSpec:
+    """Validate decoded spec *data* (a dict) into a :class:`ScenarioSpec`.
+
+    Raises:
+        SpecificationError: any missing, unknown, ill-typed or
+            out-of-range field, with the field named in the message.
+    """
+    if not isinstance(data, dict):
+        raise SpecificationError(
+            f"{source}: scenario spec must be a table/object"
+        )
+    _check_keys(data, _TOP_KEYS, source)
+    name = _check_str(data, "name", "")
+    if not name:
+        raise _fail("name", "is required and must be non-empty")
+    ops = _parse_weight_table(
+        data.get("ops", {"synth": 1}), "[ops]", frozenset(OPERATIONS)
+    )
+    targets = _parse_targets(data.get("targets"))
+    needs_targets = any(
+        op in TARGET_OPS and weight > 0 for op, weight in ops
+    )
+    if needs_targets and not targets:
+        raise _fail(
+            "targets",
+            "must name at least one target when [ops] weights "
+            "synth/synth-batch",
+        )
+    stores: tuple[tuple[str, float], ...] = ()
+    if data.get("stores") is not None:
+        stores = _parse_weight_table(data["stores"], "[stores]", None)
+    return ScenarioSpec(
+        name=name,
+        description=_check_str(data, "description", ""),
+        seed=_check_int(data, "seed", 0, 0),
+        requests=_check_int(data, "requests", 100, 1),
+        concurrency=_check_int(data, "concurrency", 4, 1),
+        arrival=_parse_arrival(data.get("arrival")),
+        ops=ops,
+        targets=targets,
+        batch_size=_check_int(data, "batch_size", 8, 1),
+        stores=stores,
+        params=_parse_params(data.get("params")),
+        slo=_parse_slo(data.get("slo")),
+    )
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Parse one ``.toml`` / ``.json`` spec file into a ScenarioSpec.
+
+    Raises:
+        SpecificationError: unreadable file, undecodable contents, or
+            any :func:`parse_scenario` validation failure.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SpecificationError(
+            f"cannot read scenario spec {path}: {exc}"
+        ) from None
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(raw.decode("utf-8", errors="replace"))
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecificationError(
+                f"{path}: not valid TOML: {exc}"
+            ) from None
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            raise SpecificationError(
+                f"{path}: not valid JSON: {exc}"
+            ) from None
+    else:
+        raise SpecificationError(
+            f"{path}: scenario specs must be .toml or .json"
+        )
+    return parse_scenario(data, source=str(path))
+
+
+def find_scenario(name_or_path: str) -> ScenarioSpec:
+    """Resolve a CLI scenario argument: a spec path or a bare name.
+
+    A path that exists wins; otherwise ``scenarios/<name>.toml`` and
+    ``scenarios/<name>.json`` are tried under the current directory
+    (the checked-in scenario library, when run from a repo checkout).
+    """
+    candidate = Path(name_or_path)
+    if candidate.is_file():
+        return load_scenario(candidate)
+    tried = [str(candidate)]
+    if not candidate.suffix:
+        for suffix in SPEC_SUFFIXES:
+            library = Path("scenarios") / (name_or_path + suffix)
+            if library.is_file():
+                return load_scenario(library)
+            tried.append(str(library))
+    raise SpecificationError(
+        "no such scenario spec; tried " + ", ".join(tried)
+    )

@@ -1,0 +1,210 @@
+"""Seeded workload generation and the threaded scenario runner.
+
+:func:`generate` is a *pure function* of ``(spec, seed, requests)``:
+the same inputs always yield the same :class:`PlannedRequest` stream --
+op sequence, targets, store selectors, arrival offsets, everything.
+That determinism is the whole point: two PRs that both run
+``repro load steady_interactive --seed 7`` are judged under identical
+traffic, and ``tests/test_scenario.py`` pins it.  All randomness comes
+from one ``random.Random(seed)`` (Mersenne Twister, whose sequence is
+guaranteed stable across Python versions and platforms), consumed in a
+fixed per-request order.
+
+:func:`run_scenario` drives a planned stream against a live server or
+fleet front: ``concurrency`` worker threads, each with its own
+persistent connection from a :class:`~repro.client.ClientPool`, claim
+requests in stream order.  Errors are *data*, not failures -- every
+request yields a :class:`ScenarioSample` whose ``outcome`` is ``"ok"``
+or the structured wire code (``cost-bound-exceeded``,
+``FLEET_OVERLOADED``, ...), the same classification the server's own
+access log records, so a pathological scenario can assert that its
+expected errors happened.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.client import DEFAULT_TIMEOUT, ClientPool
+from repro.errors import ReproError
+from repro.server.protocol import error_payload
+
+from .spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One request of a generated stream (pure data, no sockets)."""
+
+    index: int
+    #: Arrival offset from scenario start, seconds (0.0 under closed
+    #: arrival); only paces the run when timing is requested.
+    at_s: float
+    op: str
+    #: Store selector to send, or None (single-store server).
+    store: str | None
+    #: Query params (target/targets/cost_bound/...), JSON-ready.
+    params: dict
+
+
+@dataclass(frozen=True)
+class ScenarioSample:
+    """One executed request: what happened and how long it took."""
+
+    index: int
+    op: str
+    store: str | None
+    #: ``"ok"`` or the structured error code the call raised.
+    outcome: str
+    latency_s: float
+
+
+def planned_to_dict(request: PlannedRequest) -> dict:
+    """JSON form of one planned request (``repro load --dry-run``)."""
+    return {
+        "index": request.index,
+        "at_s": round(request.at_s, 6),
+        "op": request.op,
+        "store": request.store,
+        "params": request.params,
+    }
+
+
+def _arrival_offset(spec: ScenarioSpec, index: int) -> float:
+    arrival = spec.arrival
+    if arrival.shape == "steady":
+        return index / arrival.rate
+    if arrival.shape == "bursty":
+        return (index // arrival.burst) * arrival.pause
+    return 0.0
+
+
+def generate(
+    spec: ScenarioSpec,
+    seed: int | None = None,
+    requests: int | None = None,
+) -> list[PlannedRequest]:
+    """The deterministic request stream for *spec* (see module doc).
+
+    *seed* and *requests* default to the spec's own values; passing
+    them overrides without mutating the spec (the CLI's ``--seed`` /
+    ``--requests``).
+    """
+    rng = random.Random(spec.seed if seed is None else seed)
+    count = spec.requests if requests is None else requests
+    ops = [op for op, _weight in spec.ops]
+    op_weights = [weight for _op, weight in spec.ops]
+    store_names = [name for name, _weight in spec.stores]
+    store_weights = [weight for _name, weight in spec.stores]
+    base_params = dict(spec.params)
+    targets = list(spec.targets)
+
+    plan: list[PlannedRequest] = []
+    for index in range(count):
+        op = rng.choices(ops, weights=op_weights)[0]
+        store = None
+        params: dict = {}
+        if op != "healthz" and store_names:
+            store = rng.choices(store_names, weights=store_weights)[0]
+        if op == "synth":
+            params = dict(base_params)
+            params["target"] = rng.choice(targets)
+        elif op == "synth-batch":
+            params = dict(base_params)
+            params["targets"] = rng.choices(targets, k=spec.batch_size)
+        elif op == "cost-table":
+            params = dict(base_params)
+            params.pop("allow_not", None)  # not a cost-table param
+        plan.append(PlannedRequest(
+            index=index,
+            at_s=_arrival_offset(spec, index),
+            op=op,
+            store=store,
+            params=params,
+        ))
+    return plan
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    address: str,
+    seed: int | None = None,
+    requests: int | None = None,
+    concurrency: int | None = None,
+    timing: bool = False,
+    retries: int = 0,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> tuple[list[PlannedRequest], list[ScenarioSample], float]:
+    """Drive *spec*'s stream against *address*; returns the evidence.
+
+    Returns ``(plan, samples, wall_s)``: the generated stream, one
+    sample per request in stream order, and the wall-clock duration.
+    With ``timing=True`` workers hold each request until its planned
+    arrival offset; otherwise the run is closed-loop (as fast as
+    ``concurrency`` connections allow).  ``retries`` is handed to the
+    underlying clients (safe: every service op is an idempotent read)
+    -- the chaos scenarios rely on it to make a replica crash
+    client-invisible.
+
+    Worker exceptions that are *not* structured service errors (bugs,
+    keyboard interrupts) propagate to the caller after the pool drains.
+    """
+    plan = generate(spec, seed=seed, requests=requests)
+    workers = spec.concurrency if concurrency is None else concurrency
+    workers = max(1, min(workers, len(plan)))
+    samples: list[ScenarioSample | None] = [None] * len(plan)
+    cursor = iter(range(len(plan)))
+    cursor_lock = threading.Lock()
+    failures: list[BaseException] = []
+    start = time.monotonic()
+
+    def worker(pool: ClientPool) -> None:
+        client = pool.get()
+        while True:
+            with cursor_lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            request = plan[index]
+            if timing and request.at_s > 0:
+                delay = start + request.at_s - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            began = time.perf_counter()
+            try:
+                client.call(request.op, store=request.store,
+                            **request.params)
+                outcome = "ok"
+            except ReproError as exc:
+                outcome = error_payload(exc)[0]["code"]
+            samples[index] = ScenarioSample(
+                index=index,
+                op=request.op,
+                store=request.store,
+                outcome=outcome,
+                latency_s=time.perf_counter() - began,
+            )
+
+    def guarded(pool: ClientPool) -> None:
+        try:
+            worker(pool)
+        except BaseException as exc:  # noqa: BLE001 -- re-raised below
+            failures.append(exc)
+
+    with ClientPool(address, timeout=timeout, retries=retries) as pool:
+        threads = [
+            threading.Thread(target=guarded, args=(pool,), daemon=True)
+            for _ in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    wall_s = time.monotonic() - start
+    if failures:
+        raise failures[0]
+    done = [sample for sample in samples if sample is not None]
+    return plan, done, wall_s

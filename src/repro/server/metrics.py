@@ -49,6 +49,25 @@ def percentile(samples: list[float], q: float) -> float:
     return ordered[index]
 
 
+def percentile_summary(
+    samples: list[float], scale: float = 1.0
+) -> dict | None:
+    """``{p50, p90, p99}`` of *samples* (scaled, 4-dp), or None if empty.
+
+    The one serialization of a latency distribution everything shares:
+    ``healthz`` reservoirs and windows, the fleet router's per-backend
+    views, and the scenario reporter's client-side measurements all run
+    their samples through this, so an SLO bar checked offline and the
+    number an operator reads off a live server are byte-comparable.
+    """
+    if not samples:
+        return None
+    return {
+        name: round(percentile(samples, q) * scale, 4)
+        for name, q in QUANTILES
+    }
+
+
 class Reservoir:
     """Fixed-size uniform sample of an unbounded observation stream."""
 
@@ -80,12 +99,10 @@ class Reservoir:
 
     def summary(self, scale: float = 1.0) -> dict | None:
         """``{count, p50, p90, p99}`` (values scaled), or None if empty."""
-        if not self._samples:
+        quantiles = percentile_summary(self._samples, scale)
+        if quantiles is None:
             return None
-        payload: dict = {"count": self._seen}
-        for name, q in QUANTILES:
-            payload[name] = round(percentile(self._samples, q) * scale, 4)
-        return payload
+        return {"count": self._seen, **quantiles}
 
 
 class RollingWindow:
@@ -124,13 +141,11 @@ class RollingWindow:
         ``count`` is the lifetime observation count; ``window`` is how
         many recent samples the percentiles were read from.
         """
-        if not self._samples:
-            return None
         samples = list(self._samples)
-        payload: dict = {"count": self._seen, "window": len(samples)}
-        for name, q in QUANTILES:
-            payload[name] = round(percentile(samples, q) * scale, 4)
-        return payload
+        quantiles = percentile_summary(samples, scale)
+        if quantiles is None:
+            return None
+        return {"count": self._seen, "window": len(samples), **quantiles}
 
 
 class OpMetrics:

@@ -82,6 +82,9 @@ from repro.server.registry import StoreRegistry, build_registry
 DEFAULT_WORKERS = 2
 #: Default coalescing limit per executor dispatch.
 DEFAULT_MAX_BATCH = 64
+#: The store-touching query operations (access-log records for these
+#: carry their params, which is what makes a log replayable).
+_QUERY_OPS = frozenset({"synth", "synth-batch", "cost-table"})
 
 
 @dataclass(frozen=True)
@@ -394,6 +397,11 @@ class SynthesisService:
             "total_ms": round(total * 1e3, 3),
             "outcome": outcome,
         }
+        # Query params make the record replayable (`repro replay`).
+        # They arrived as decoded JSON, so they serialize back as-is;
+        # counter ops (healthz/store-info) carry none worth keeping.
+        if request.params and request.op in _QUERY_OPS:
+            record["params"] = request.params
         line = json.dumps(record, separators=(",", ":")) + "\n"
         # Fire-and-forget onto the single log thread: lines stay
         # ordered, and a stalled log device never blocks the loop.
@@ -653,6 +661,26 @@ def _run_synth_batch(state: StoreState, params: dict) -> dict:
             failures += 1
             entries.append({"ok": False, "error": error_payload(exc)[0]})
     return {"results": entries, "count": len(entries), "failures": failures}
+
+
+def execute_query(state: StoreState, op: str, params: dict) -> dict:
+    """Run one store-touching query synchronously, outside any service.
+
+    The exact worker-side code path the live server dispatches to, so
+    the payload is byte-identical to what a server over the same store
+    would answer -- this is what lets ``repro replay`` diff recorded
+    responses against a locally opened golden store.
+
+    Raises:
+        ProtocolError: *op* is not a store query.
+    """
+    if op == "synth":
+        return _run_synth(state, params)
+    if op == "synth-batch":
+        return _run_synth_batch(state, params)
+    if op == "cost-table":
+        return _run_cost_table(state, params)
+    raise ProtocolError(f"{op!r} is not a store query")
 
 
 def _run_cost_table(state: StoreState, params: dict) -> dict:

@@ -77,6 +77,121 @@ class TestPatternStringFuzz:
         assert pattern.n_qubits >= 1
 
 
+class TestScenarioSpecFuzz:
+    """Scenario specs are checked-in config: a typo'd field, negative
+    rate or unknown op must fail a CI job with a one-line
+    SpecificationError, never an internal traceback."""
+
+    _scalar = st.one_of(
+        st.none(), st.booleans(),
+        st.integers(-10, 10**6),
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.text(max_size=12),
+        st.lists(st.text(max_size=8), max_size=3),
+    )
+
+    @given(
+        data=st.dictionaries(
+            st.sampled_from([
+                "name", "seed", "requests", "concurrency", "targets",
+                "batch_size", "arrival", "ops", "stores", "params",
+                "slo", "rate", "bogus_field",
+            ]),
+            _scalar,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_top_level_garbage_rejected_cleanly(self, data):
+        from repro.scenario import parse_scenario
+
+        try:
+            spec = parse_scenario(data)
+        except LIBRARY_ERRORS:
+            return
+        assert spec.name and spec.requests >= 1
+
+    @given(
+        ops=st.dictionaries(
+            st.sampled_from([
+                "synth", "synth-batch", "cost-table", "healthz",
+                "synthh", "", "delete-store",
+            ]),
+            st.one_of(
+                st.integers(-5, 5),
+                st.floats(allow_nan=True, allow_infinity=True),
+                st.booleans(), st.text(max_size=4),
+            ),
+            max_size=4,
+        ),
+        arrival=st.dictionaries(
+            st.sampled_from(["shape", "rate", "burst", "pause", "jitter"]),
+            st.one_of(
+                st.sampled_from(["closed", "steady", "bursty", "poisson"]),
+                st.floats(allow_nan=True, allow_infinity=True),
+                st.integers(-10, 10),
+            ),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_ops_and_arrival_tables(self, ops, arrival):
+        from repro.scenario import parse_scenario
+
+        data = {
+            "name": "fuzz", "targets": ["peres"],
+            "ops": ops, "arrival": arrival,
+        }
+        try:
+            spec = parse_scenario(data)
+        except LIBRARY_ERRORS:
+            return
+        # Accepted specs are internally consistent: known ops only,
+        # positive total weight, a legal arrival shape.
+        assert all(op in ("synth", "synth-batch", "cost-table",
+                          "healthz", "store-info") for op, _w in spec.ops)
+        assert any(weight > 0 for _op, weight in spec.ops)
+        assert spec.arrival.shape in ("closed", "steady", "bursty")
+
+    @given(targets=st.lists(text, max_size=5))
+    @settings(max_examples=200, deadline=None)
+    def test_target_pool_garbage(self, targets):
+        from repro.scenario import parse_scenario
+
+        try:
+            spec = parse_scenario({"name": "fuzz", "targets": targets})
+        except LIBRARY_ERRORS:
+            return
+        assert len(spec.targets) == len(targets)
+
+    @given(
+        slo=st.dictionaries(
+            st.sampled_from([
+                "p50_ms", "p99_ms", "max_error_rate", "max_shed_rate",
+                "allowed_error_codes", "p75_ms",
+            ]),
+            st.one_of(
+                st.floats(allow_nan=True, allow_infinity=True),
+                st.integers(-5, 5), st.booleans(),
+                st.lists(st.text(max_size=6), max_size=3),
+            ),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_slo_table_garbage(self, slo):
+        from repro.scenario import parse_scenario
+
+        try:
+            spec = parse_scenario(
+                {"name": "fuzz", "targets": ["peres"], "slo": slo}
+            )
+        except LIBRARY_ERRORS:
+            return
+        for bar in (spec.slo.max_error_rate, spec.slo.max_shed_rate):
+            assert bar is None or 0 <= bar <= 1
+
+
 class TestCircuitRecordFuzz:
     @given(
         record=st.fixed_dictionaries(

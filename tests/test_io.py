@@ -221,6 +221,55 @@ class TestAccessLogTailTolerance:
         records, tail = load_access_log(path, strict=False)
         assert len(records) == 1 and tail is None
 
+    def test_truncated_tail_in_rotated_file_tolerated(self, tmp_path):
+        """A crash *during rotation* can truncate the final line of a
+        non-final rotated file; strict=False must survive it and name
+        the file in the tail info instead of failing the whole replay."""
+        from repro.io import load_access_log
+
+        full = json.dumps(access_record()) + "\n"
+        partial = full[: len(full) // 2]
+        base = tmp_path / "access.ndjson"
+        (tmp_path / "access.ndjson.1").write_text(full + full + partial)
+        base.write_text(full)
+        # Still corruption under strict=True ...
+        with pytest.raises(SpecificationError, match=":3:"):
+            load_access_log(base, rotated=True)
+        # ... but lenient mode keeps every whole record from every file.
+        records, tail = load_access_log(base, strict=False, rotated=True)
+        assert len(records) == 3
+        assert tail["path"].endswith("access.ndjson.1")
+        assert tail["lineno"] == 3
+        assert tail["text"] == partial
+        assert len(tail["truncations"]) == 1
+
+    def test_truncations_in_several_files_all_surfaced(self, tmp_path):
+        from repro.io import load_access_log
+
+        full = json.dumps(access_record()) + "\n"
+        partial = full[: len(full) // 2]
+        base = tmp_path / "access.ndjson"
+        (tmp_path / "access.ndjson.1").write_text(full + partial)
+        base.write_text(full + partial)
+        records, tail = load_access_log(base, strict=False, rotated=True)
+        assert len(records) == 2
+        # tail describes the most recent truncation (the active file)
+        assert tail["path"].endswith("access.ndjson")
+        assert [t["path"].endswith(".1") for t in tail["truncations"]] \
+            == [True, False]
+
+    def test_mid_file_corruption_in_rotated_file_still_raises(
+        self, tmp_path
+    ):
+        from repro.io import load_access_log
+
+        full = json.dumps(access_record()) + "\n"
+        base = tmp_path / "access.ndjson"
+        (tmp_path / "access.ndjson.1").write_text(full + "garbage\n" + full)
+        base.write_text(full)
+        with pytest.raises(SpecificationError, match=":2:"):
+            load_access_log(base, strict=False, rotated=True)
+
     def test_log_is_streamed_not_slurped(self, tmp_path, monkeypatch):
         """The parser must read line by line, never the whole file."""
         from pathlib import Path

@@ -1,0 +1,130 @@
+"""Metrics determinism: scenario SLO bars may rely on these numbers.
+
+The scenario reporter compares client-side percentiles against SLO
+bars and against the server's healthz windows; that is only a fair,
+reproducible comparison if every sampler here is *byte-stable* -- the
+same observations in the same order always produce the same summary
+JSON, across instances, runs and platforms (``random.Random`` is
+Mersenne Twister, guaranteed stable by the language reference).
+"""
+
+import json
+import random
+
+from repro.server.metrics import (
+    Reservoir,
+    RollingWindow,
+    ServiceMetrics,
+    percentile,
+    percentile_summary,
+)
+
+
+def _stream(n, seed=42):
+    rng = random.Random(seed)
+    return [rng.uniform(0.0001, 0.5) for _ in range(n)]
+
+
+def _bytes(summary):
+    return json.dumps(summary, sort_keys=True).encode()
+
+
+class TestReservoirDeterminism:
+    def test_identical_streams_identical_summaries(self):
+        """Two reservoirs fed the same 2000 observations (well past
+        capacity, so the replacement RNG is exercised) agree byte for
+        byte."""
+        first, second = Reservoir(capacity=64), Reservoir(capacity=64)
+        for value in _stream(2000):
+            first.observe(value)
+            second.observe(value)
+        assert first.count == second.count == 2000
+        assert _bytes(first.summary(scale=1e3)) \
+            == _bytes(second.summary(scale=1e3))
+
+    def test_summary_pinned(self):
+        """The exact summary for a fixed stream, pinned: any change to
+        the sampling RNG, the nearest-rank rule or the rounding is an
+        intentional results change and must update this test."""
+        reservoir = Reservoir(capacity=8)
+        for value in range(100):
+            reservoir.observe(value / 1000)
+        assert reservoir.summary(scale=1e3) == {
+            "count": 100, "p50": 38.0, "p90": 54.0, "p99": 63.0,
+        }
+
+    def test_order_matters_by_design(self):
+        """A reservoir is a sample of a *stream*: a different order may
+        keep different slots, so order is part of the contract."""
+        values = _stream(500)
+        first, second = Reservoir(capacity=16), Reservoir(capacity=16)
+        for value in values:
+            first.observe(value)
+        for value in reversed(values):
+            second.observe(value)
+        # Not asserting inequality (they could collide); asserting the
+        # documented determinism holds per-order.
+        third = Reservoir(capacity=16)
+        for value in reversed(values):
+            third.observe(value)
+        assert _bytes(second.summary()) == _bytes(third.summary())
+
+
+class TestRollingWindowDeterminism:
+    def test_identical_streams_identical_summaries(self):
+        first, second = RollingWindow(capacity=32), RollingWindow(32)
+        for value in _stream(300, seed=7):
+            first.observe(value)
+            second.observe(value)
+        assert _bytes(first.summary(scale=1e3)) \
+            == _bytes(second.summary(scale=1e3))
+
+    def test_summary_pinned_and_forgets_old_samples(self):
+        window = RollingWindow(capacity=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0, 101.0, 102.0, 103.0):
+            window.observe(value)
+        # Only the last 4 samples exist; the healthy past fell out.
+        assert window.summary() == {
+            "count": 8, "window": 4,
+            "p50": 102.0, "p90": 103.0, "p99": 103.0,
+        }
+
+
+class TestServiceMetricsDeterminism:
+    def test_identical_traffic_identical_healthz_numbers(self):
+        """Two servers given identical traffic must report identical
+        percentile payloads -- what lets a fleet supervisor compare
+        replicas, and the scenario reporter compare runs."""
+        first, second = ServiceMetrics(), ServiceMetrics()
+        rng = random.Random(3)
+        traffic = [
+            (rng.choice(["synth", "synth-batch", "healthz"]),
+             rng.uniform(0, 0.01), rng.uniform(0, 0.1))
+            for _ in range(1500)
+        ]
+        for op, wait, latency in traffic:
+            first.observe(op, wait, latency)
+            second.observe(op, wait, latency)
+        assert _bytes(first.summary()) == _bytes(second.summary())
+
+
+class TestPercentileHelpers:
+    def test_nearest_rank_pins(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 0.50) == 51.0
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_percentile_summary_matches_samplers(self):
+        """The shared helper and the samplers serialize identically --
+        the reporter's client-side numbers and healthz are comparable."""
+        values = _stream(50, seed=9)
+        window = RollingWindow(capacity=100)
+        for value in values:
+            window.observe(value)
+        summary = window.summary(scale=1e3)
+        helper = percentile_summary(values, scale=1e3)
+        assert {k: summary[k] for k in ("p50", "p90", "p99")} == helper
+
+    def test_percentile_summary_empty_is_none(self):
+        assert percentile_summary([]) is None
