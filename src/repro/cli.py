@@ -306,6 +306,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_pre.add_argument("--cost-bound", type=int, default=7)
     p_pre.add_argument("--qubits", type=int, default=3)
     p_pre.add_argument(
+        "--radix", type=int, choices=(2, 3, 4), default=2,
+        help="wire radix: 2 expands the paper's binary library "
+        "(default); 3/4 expand the ternary (Di-Wei) / quaternary "
+        "Muthukrishnan-Stroud digit libraries",
+    )
+    p_pre.add_argument(
         "--no-parents",
         action="store_true",
         help="counting-only store (smaller; serves costs/tables, no witnesses)",
@@ -603,10 +609,10 @@ def _cmd_table2(
     return 0
 
 
-def _resolve_target(text: str, n_qubits: int = 3):
+def _resolve_target(text: str, n_qubits: int = 3, radix: int = 2):
     from repro.io import parse_target
 
-    return parse_target(text, n_qubits=n_qubits)
+    return parse_target(text, n_qubits=n_qubits, radix=radix)
 
 
 def _print_result(result) -> bool:
@@ -617,7 +623,12 @@ def _print_result(result) -> bool:
     print(f"{result.circuit}   [depth {depth(result.circuit)}]")
     print(circuit_diagram(result.circuit))
     report = verify_synthesis(result)
-    status = "verified (MV + exact unitary)" if report else "FAILED"
+    if "mv-permutation" in report.checks or any(
+        f.startswith("mv-permutation") for f in report.failures
+    ):
+        status = "verified (digit permutation)" if report else "FAILED"
+    else:
+        status = "verified (MV + exact unitary)" if report else "FAILED"
     print(f"  -> {status}\n")
     return bool(report)
 
@@ -673,7 +684,9 @@ def _cmd_synth(
     if batch_file is not None:
         return _synth_batch(batch_file, library, batch, cost_bound, save)
 
-    target = _resolve_target(target_text, library.n_qubits)
+    target = _resolve_target(
+        target_text, library.n_qubits, library.space.radix
+    )
     if batch is not None:
         if all_implementations:
             results = batch.synthesize_all(target)
@@ -721,7 +734,17 @@ def _synth_via_server(
             f"(no re-expansion, serving cost <= {bound})\n"
         )
         if batch_file is not None:
-            library = GateLibrary(info["n_qubits"])
+            radix = int(info.get("radix", 2))
+            if radix == 3:
+                from repro.gates.ternary import ternary_library
+
+                library = ternary_library(info["n_qubits"])
+            elif radix == 4:
+                from repro.gates.quaternary import quaternary_library
+
+                library = quaternary_library(info["n_qubits"])
+            else:
+                library = GateLibrary(info["n_qubits"])
             return _synth_batch(
                 batch_file, library, None, cost_bound, save, client=client
             )
@@ -762,7 +785,9 @@ def _synth_batch(
     from repro.io import load_targets, save_batch_results
     from repro.sim.verify import verify_synthesis
 
-    targets = load_targets(batch_file, n_qubits=library.n_qubits)
+    targets = load_targets(
+        batch_file, n_qubits=library.n_qubits, radix=library.space.radix
+    )
     entries = None
     if client is not None:
         # One coalesced server-side batch; per-target errors come back
@@ -857,6 +882,7 @@ def _cmd_precompute(
     v_cost: int,
     vdag_cost: int,
     cnot_cost: int,
+    radix: int = 2,
     extend: bool = False,
     kernel: str | None = None,
     format_version: int | None = None,
@@ -889,7 +915,25 @@ def _cmd_precompute(
     kernel, kernel_options = _resolve_precompute_kernel(
         kernel, jobs, dedup_budget, shard_bits, checkpoint_dir
     )
-    library = GateLibrary(qubits)
+    if radix != 2:
+        from repro.errors import SpecificationError
+
+        if (v_cost, vdag_cost, cnot_cost) != (1, 1, 1):
+            raise SpecificationError(
+                "--v-cost/--vdag-cost/--cnot-cost tune the binary "
+                "library; MV gate costs are fixed by the digit library "
+                "(singles 1, controlled 2)"
+            )
+        if radix == 3:
+            from repro.gates.ternary import ternary_library
+
+            library = ternary_library(qubits)
+        else:
+            from repro.gates.quaternary import quaternary_library
+
+            library = quaternary_library(qubits)
+    else:
+        library = GateLibrary(qubits)
     cost_model = CostModel(
         v_cost=v_cost, vdag_cost=vdag_cost, cnot_cost=cnot_cost
     )
@@ -1198,18 +1242,30 @@ def _cmd_store_info(path: str) -> int:
 
     header = read_header(path)
     print(f"{path}: closure store, format {header.format_version}")
-    print(
-        f"  library: {header.n_qubits} qubits, {header.degree} labels "
-        f"(reduced={header.space_reduced}, ordering={header.space_ordering}), "
-        f"kinds {'/'.join(header.gate_kinds)}"
-    )
+    if header.radix != 2:
+        print(
+            f"  library: {header.n_qubits} wires at radix {header.radix} "
+            f"({header.radix}**{header.n_qubits} digit labels, "
+            f"{header.library_family} gate family), "
+            f"kinds {'/'.join(header.gate_kinds)}"
+        )
+    else:
+        print(
+            f"  library: {header.n_qubits} qubits, {header.degree} labels "
+            f"(reduced={header.space_reduced}, "
+            f"ordering={header.space_ordering}), "
+            f"kinds {'/'.join(header.gate_kinds)}"
+        )
     print(f"  library fingerprint: {header.library_fingerprint}")
     cm = header.cost_model
-    print(
-        f"  cost model: V={cm.v_cost} V+={cm.vdag_cost} "
-        f"CNOT={cm.cnot_cost} NOT={cm.not_cost}"
-        + (" (free)" if cm.not_cost == 0 else "")
-    )
+    if header.radix != 2:
+        print("  cost model: digit library (singles 1, controlled 2)")
+    else:
+        print(
+            f"  cost model: V={cm.v_cost} V+={cm.vdag_cost} "
+            f"CNOT={cm.cnot_cost} NOT={cm.not_cost}"
+            + (" (free)" if cm.not_cost == 0 else "")
+        )
     if header.writer or header.kernel:
         kernel = f"{header.kernel} kernel" if header.kernel else "unknown kernel"
         writer = header.writer or "unknown writer"
@@ -1687,7 +1743,7 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_precompute(
                 args.out, args.cost_bound, args.qubits, args.no_parents,
                 args.v_cost, args.vdag_cost, args.cnot_cost,
-                args.extend, args.kernel, args.format_version,
+                args.radix, args.extend, args.kernel, args.format_version,
                 args.codec, args.jobs, args.dedup_budget,
                 args.shard_bits, args.checkpoint_dir,
             )

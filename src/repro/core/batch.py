@@ -301,6 +301,11 @@ class BatchSynthesizer:
                     members.append(Permutation.from_images(remainder))
         if not include_not_layers:
             return members
+        if self._library.space.radix != 2:
+            raise SpecificationError(
+                "NOT layers are a binary (Theorem 2) notion; MV libraries "
+                "have none, call targets_at_cost(include_not_layers=False)"
+            )
         n_qubits = self._library.n_qubits
         layers = [
             not_layer_permutation(mask, n_qubits)

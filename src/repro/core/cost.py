@@ -48,14 +48,23 @@ class CostModel:
         return cls()
 
     def gate_cost(self, kind: GateKind) -> int:
-        """Cost of one gate of the given kind."""
+        """Cost of one gate of the given kind.
+
+        The four binary kinds take the model's configured weights.  MV
+        kinds (:class:`~repro.gates.mv.MVGateKind`) are not covered by
+        the binary weights and carry their own cost convention, so they
+        fall through to ``kind.default_cost`` (Di & Wei: single-qudit 1,
+        controlled 2).
+        """
         if kind is GateKind.V:
             return self.v_cost
         if kind is GateKind.VDAG:
             return self.vdag_cost
         if kind is GateKind.CNOT:
             return self.cnot_cost
-        return self.not_cost
+        if kind is GateKind.NOT:
+            return self.not_cost
+        return kind.default_cost
 
     @property
     def max_two_qubit_cost(self) -> int:

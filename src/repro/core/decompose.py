@@ -1,0 +1,149 @@
+"""Decomposition-based MV synthesis: a second, search-free backend.
+
+Khan & Perkowski (arXiv:quant-ph/0511041) synthesize ternary reversible
+functions *constructively*: instead of searching the cascade closure,
+the target permutation is factored into elementary operations that are
+realized gate by gate.  This module implements that shape for the
+two-wire Muthukrishnan--Stroud libraries (:mod:`repro.gates.ternary`,
+:mod:`repro.gates.quaternary`):
+
+1. the target permutation of the ``r**2`` digit labels is factored into
+   label transpositions (one chain per cycle);
+2. a transposition of two labels sharing a digit is realized by
+   *conjugation* -- a self-inverse single-qudit gate moves the shared
+   coordinate onto the MS control digit ``r-1``, a controlled
+   transposition swaps exactly the two conjugated labels, and the single
+   gate undoes the move;
+3. a transposition of two labels differing on both wires is the standard
+   three-transposition product through the intermediate label that
+   shares one digit with each end.
+
+The output is exact but deliberately *not* minimal -- that is the point:
+it is an independently-derived witness whose permutation must equal the
+cascade-search result's, and whose cost upper-bounds the search's
+minimal cost.  ``tests/test_ternary.py`` and the CI ternary smoke leg
+cross-check the two backends on pinned targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit
+from repro.errors import SpecificationError
+from repro.gates.library import GateLibrary
+from repro.gates.mv import MVGate, MVGateKind
+from repro.perm.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class DecompositionResult:
+    """A constructive (non-minimal) realization of an MV target.
+
+    Attributes:
+        target: the label permutation that was decomposed.
+        circuit: the realizing cascade of library gates.
+        cost: total gate cost under the library's (Di & Wei) convention.
+    """
+
+    target: Permutation
+    circuit: Circuit
+    cost: int
+
+
+def _transposition(i: int, j: int, radix: int) -> tuple[int, ...]:
+    images = list(range(radix))
+    images[i], images[j] = j, i
+    return tuple(images)
+
+
+def _swap_pair_gates(
+    x: tuple[int, int], y: tuple[int, int], radix: int, width: int
+) -> list[MVGate]:
+    """Gates transposing digit labels *x* and *y*, in cascade order."""
+    if x == y:
+        return []
+    top = radix - 1
+    if x[0] == y[0] or x[1] == y[1]:
+        # The labels share one coordinate: conjugate that coordinate
+        # onto the MS control digit, fire a controlled transposition of
+        # the differing coordinate, undo.  The conjugating single-qudit
+        # gate is a transposition, hence self-inverse.
+        if x[1] == y[1]:
+            control, target = 1, 0
+            shared, lo, hi = x[1], x[0], y[0]
+        else:
+            control, target = 0, 1
+            shared, lo, hi = x[0], x[1], y[1]
+        controlled = MVGate(
+            MVGateKind(_transposition(lo, hi, radix), True, radix),
+            target,
+            control,
+            width,
+        )
+        if shared == top:
+            return [controlled]
+        mover = MVGate(
+            MVGateKind(_transposition(shared, top, radix), False, radix),
+            control,
+            None,
+            width,
+        )
+        return [mover, controlled, mover]
+    # Both coordinates differ: route through the intermediate label that
+    # shares wire 0 with x and wire 1 with y ((x z)(z y)(x z) == (x y)).
+    z = (x[0], y[1])
+    via = _swap_pair_gates(x, z, radix, width)
+    return via + _swap_pair_gates(z, y, radix, width) + via
+
+
+def decompose_target(
+    target: Permutation, library: GateLibrary
+) -> DecompositionResult:
+    """Constructively synthesize *target* over a two-wire MV library.
+
+    The result is verified internally: the returned circuit's label
+    permutation is recomputed on the library's space and must equal the
+    target, and every emitted gate is confirmed to be a library member.
+
+    Raises:
+        SpecificationError: wrong target degree, a non-MV (radix 2)
+            library, or a register wider than the two wires this
+            decomposition handles.
+    """
+    space = library.space
+    if space.radix == 2:
+        raise SpecificationError(
+            "decompose_target handles MV digit libraries; use the "
+            "cascade search (repro.core.mce) for the binary library"
+        )
+    if space.n_qubits != 2:
+        raise SpecificationError(
+            "the Khan-Perkowski-style decomposition is implemented for "
+            f"2-wire registers; library spans {space.n_qubits}"
+        )
+    if target.degree != space.size:
+        raise SpecificationError(
+            f"target degree {target.degree} != {space.size} labels of "
+            f"{space!r}"
+        )
+    radix = space.radix
+    gates: list[MVGate] = []
+    # Factor the target into transpositions, one chain per cycle.  A
+    # cycle (a1 .. ak) -- under this repo's apply-first-to-last product
+    # -- is the cascade of (a(k-1) ak), (a(k-2) a(k-1)), ..., (a1 a2).
+    for cycle in target.cycles():
+        labels = [tuple(space.pattern(lbl)) for lbl in cycle]
+        for first, second in zip(labels[-2::-1], labels[:0:-1]):
+            gates.extend(_swap_pair_gates(first, second, radix, 2))
+    circuit = Circuit(tuple(gates), 2)
+    realized = circuit.permutation(space)
+    if realized != target:
+        raise SpecificationError(
+            "decomposition bug: produced a cascade realizing "
+            f"{realized.cycle_string()} instead of {target.cycle_string()}"
+        )
+    cost = 0
+    for gate in gates:
+        cost += library.by_name(gate.name).cost
+    return DecompositionResult(target=target, circuit=circuit, cost=cost)

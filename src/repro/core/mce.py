@@ -149,6 +149,10 @@ def normalize_target(
             layer while ``allow_not=False``.
     """
     _check_target(target, library)
+    if library.space.radix != 2:
+        # Theorem 2 is a binary statement: MV libraries have no free NOT
+        # layer, so the target is searched for as-is.
+        return 0, target, ()
     zero_preimage = target.inverse()(0)
     not_mask = zero_preimage if allow_not else 0
     if not allow_not and zero_preimage != 0:

@@ -28,6 +28,7 @@ The sizing rules (also documented in ``docs/architecture.md``):
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass
 
@@ -64,28 +65,49 @@ def available_memory_bytes() -> int | None:
 
 
 def project_rows(
-    cost_bound: int, level_sizes: tuple[int, ...] = ()
+    cost_bound: int,
+    level_sizes: tuple[int, ...] = (),
+    degree: int | None = None,
 ) -> int:
     """Projected |A[cost_bound]| from known level sizes.
 
     Levels past the known ones grow at the last observed ratio
-    ``|B[k]| / |B[k-1]|`` (clamped to >= 1); with fewer than two known
-    levels the paper's 3-qubit table seeds the projection.
+    ``|B[k]| / |B[k-1]|`` (clamped to >= 1).  With fewer than two known
+    levels the paper's 3-qubit table seeds the projection -- but only
+    for the binary 8-label space it describes (*degree* ``None`` or 8);
+    an MV store's digit space (``radix**width`` labels) gets a generic
+    geometric seed instead.  For an explicit MV *degree* the projection
+    is additionally capped at ``degree!``: the closure is a set of label
+    permutations and cannot outgrow the symmetric group.
     """
     sizes = [int(s) for s in level_sizes if int(s) > 0]
+    limit = None
+    if degree is not None and degree != 8 and degree <= 20:
+        limit = math.factorial(degree)
     if len(sizes) < 2:
-        known = list(_DEFAULT_A_SIZES)
-        if cost_bound + 1 <= len(known):
-            return known[cost_bound]
-        sizes = [known[0]] + [
-            known[k] - known[k - 1] for k in range(1, len(known))
-        ]
+        if degree in (None, 8):
+            known = list(_DEFAULT_A_SIZES)
+            if cost_bound + 1 <= len(known):
+                return known[cost_bound]
+            sizes = [known[0]] + [
+                known[k] - known[k - 1] for k in range(1, len(known))
+            ]
+        else:
+            # No store data and no paper table for this label space:
+            # seed with the identity level and a degree-sized first
+            # level, growing geometrically (a deliberate overestimate;
+            # the factorial cap keeps it honest for small spaces).
+            sizes = [1, max(int(degree), 2)]
     total = sum(sizes)
     ratio = max(sizes[-1] / sizes[-2], 1.0)
     last = float(sizes[-1])
     for _ in range(cost_bound + 1 - len(sizes)):
         last *= ratio
         total += int(last)
+        if limit is not None and total >= limit:
+            return limit
+    if limit is not None:
+        return min(int(total), limit)
     return int(total)
 
 
@@ -162,9 +184,17 @@ def plan_resources(
     """
     notes: list[str] = []
     level_sizes: tuple[int, ...] = ()
+    degree: int | None = None
     skew = 1.0
     if header is not None:
         level_sizes = tuple(header.level_sizes)
+        radix = getattr(header, "radix", 2)
+        if radix != 2:
+            degree = radix**header.n_qubits
+            notes.append(
+                f"radix-{radix} store: projecting over "
+                f"{degree} digit labels"
+            )
         notes.append(
             f"projection seeded by a bound-{header.expanded_to} store"
         )
@@ -179,7 +209,7 @@ def plan_resources(
     else:
         notes.append("projection seeded by the paper's 3-qubit closure")
 
-    rows = project_rows(cost_bound, level_sizes)
+    rows = project_rows(cost_bound, level_sizes, degree)
     if jobs is None:
         if cpus is None:
             cpus = os.cpu_count() or 1

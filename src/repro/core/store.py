@@ -280,10 +280,21 @@ def library_fingerprint(library: GateLibrary) -> str:
         f"space:{space.n_qubits}:{space.size}:{space.n_binary}:"
         f"{space.reduced}:{space.ordering}:{space.s_mask}".encode()
     )
+    mv = space.radix != 2 or library.family != "paper"
+    if mv:
+        # Radix and family distinguish MV spaces whose geometry numbers
+        # could collide with a binary space; per-entry costs join the
+        # hash because MV costs live on the entries (Di & Wei's 1/2
+        # convention), not in the four binary cost-model weights.  Both
+        # are folded in only for MV libraries so every existing binary
+        # fingerprint stays byte-identical.
+        digest.update(f":radix:{space.radix}:family:{library.family}".encode())
     for entry in library.gates:
         digest.update(b"\x00" + entry.name.encode())
         digest.update(entry.permutation.images)
         digest.update(_int_bytes(entry.banned_mask))
+        if mv:
+            digest.update(_int_bytes(entry.cost))
     return digest.hexdigest()
 
 
@@ -352,13 +363,33 @@ class StoreHeader:
     #: the row arrays, a single span for the ``r*`` index sections.
     codec: str = ""
     chunks: dict = field(default_factory=dict)
+    #: Wire radix (2 = the paper's qubits) and builder family of the
+    #: library this store was expanded under.  Defaults keep binary
+    #: headers byte-identical: both keys are only serialized when the
+    #: store holds an MV closure.
+    radix: int = 2
+    library_family: str = "paper"
 
     @property
     def total_seen(self) -> int:
         return sum(self.level_sizes)
 
     def rebuild_library(self) -> GateLibrary:
-        """The default-alphabet library this store was expanded under."""
+        """The library this store was expanded under, by family."""
+        if self.library_family == "ternary-diwei":
+            from repro.gates.ternary import ternary_library
+
+            return ternary_library(self.n_qubits)
+        if self.library_family == "quaternary-ms":
+            from repro.gates.quaternary import quaternary_library
+
+            return quaternary_library(self.n_qubits)
+        if self.library_family != "paper":
+            raise StoreError(
+                f"store was built by unknown library family "
+                f"{self.library_family!r}; this build knows 'paper', "
+                "'ternary-diwei' and 'quaternary-ms'"
+            )
         try:
             kinds = tuple(GateKind[name] for name in self.gate_kinds)
         except KeyError as exc:
@@ -415,6 +446,12 @@ def _header_dict(header: StoreHeader) -> dict:
             for name, spans in header.chunks.items()
         }
         del data["sections"]
+    if header.radix != 2 or header.library_family != "paper":
+        # MV provenance; omitted at the binary defaults so every
+        # pre-existing binary header (and store digest) stays
+        # byte-identical.
+        data["radix"] = header.radix
+        data["library_family"] = header.library_family
     return data
 
 
@@ -469,6 +506,8 @@ def _header_from_dict(data: dict) -> StoreHeader:
                 )
                 for name, spans in data.get("chunks", {}).items()
             },
+            radix=int(data.get("radix", 2)),
+            library_family=str(data.get("library_family", "paper")),
         )
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise StoreError(f"malformed store header: {exc}") from None
@@ -478,8 +517,21 @@ def _header_from_dict(data: dict) -> StoreHeader:
 
 
 def _library_kinds(library: GateLibrary) -> tuple[str, ...]:
-    """Gate kinds in construction order (gate indices depend on it)."""
+    """Gate kinds in construction order (gate indices depend on it).
+
+    For the paper family the kinds cycle per wire pair, so the list stops
+    at the first repeat (V, V+, F).  MV families interleave cost blocks
+    instead, so every distinct kind name is collected; the list is
+    informational there -- ``rebuild_library`` dispatches on the family,
+    and the fingerprint check catches any drift.
+    """
     kinds: list[str] = []
+    if library.family != "paper":
+        for entry in library.gates:
+            name = entry.gate.kind.name
+            if name not in kinds:
+                kinds.append(name)
+        return tuple(kinds)
     for entry in library.gates:
         name = entry.gate.kind.name
         if name in kinds:
@@ -531,6 +583,8 @@ def _dump_v1(search: CascadeSearch) -> bytes:
         payload_sha256=hashlib.sha256(payload).hexdigest(),
         kernel=search.kernel,
         writer=_writer_tag(),
+        radix=library.space.radix,
+        library_family=library.family,
     )
     header_blob = json.dumps(_header_dict(header), separators=(",", ":")).encode()
     return MAGIC_V1 + len(header_blob).to_bytes(4, "little") + header_blob + payload
@@ -630,6 +684,8 @@ def _v2_header(
         index_matches=index_matches,
         index_sha256=index_sha,
         shards=search.shard_layout() or {},
+        radix=library.space.radix,
+        library_family=library.family,
     )
 
 
@@ -1683,17 +1739,42 @@ def _check_compatible(
 ) -> None:
     expected_lib = library_fingerprint(library)
     if header.library_fingerprint != expected_lib:
+        # Name the mismatching dimension before falling back to raw
+        # fingerprints: a cross-radix or cross-width open should say so.
+        space = library.space
+        if header.radix != space.radix:
+            raise StoreMismatchError(
+                f"radix mismatch: store holds a radix-{header.radix} "
+                f"closure, the given library is radix {space.radix}; "
+                "rebuild the store with `repro precompute "
+                f"--radix {space.radix}` for this library"
+            )
+        if header.n_qubits != library.n_qubits:
+            raise StoreMismatchError(
+                f"width mismatch: store holds a {header.n_qubits}-wire "
+                f"closure, the given library spans {library.n_qubits} "
+                "wires; rebuild the store with `repro precompute "
+                f"--qubits {library.n_qubits}` for this library"
+            )
+        if header.library_family != library.family:
+            raise StoreMismatchError(
+                f"library mismatch: store was expanded under the "
+                f"{header.library_family!r} gate family, the given "
+                f"library is {library.family!r}; rebuild the store with "
+                "`repro precompute` for this library"
+            )
         raise StoreMismatchError(
-            f"store was expanded under library fingerprint "
-            f"{header.library_fingerprint[:12]}..., the given "
+            f"library mismatch: store was expanded under library "
+            f"fingerprint {header.library_fingerprint[:12]}..., the given "
             f"{library!r} fingerprints {expected_lib[:12]}...; "
             "rebuild the store with `repro precompute` for this library"
         )
     expected_cost = cost_model_fingerprint(cost_model)
     if header.cost_fingerprint != expected_cost:
         raise StoreMismatchError(
-            f"store was expanded under cost model {header.cost_model}, "
-            f"refusing to serve queries for {cost_model}"
+            f"cost model mismatch: store was expanded under "
+            f"{header.cost_model}, refusing to serve queries for "
+            f"{cost_model}"
         )
 
 

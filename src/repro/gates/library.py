@@ -89,6 +89,7 @@ class GateLibrary:
             raise InvalidGateError("the searchable library holds 2-qubit gates only")
         self._space = space
         self._n_qubits = n_qubits
+        self._family = "paper"
         entries: list[LibraryGate] = []
         for target, control in _wire_pairs(range(n_qubits), 2):
             for kind in kinds:
@@ -105,7 +106,48 @@ class GateLibrary:
         self._gates = tuple(entries)
         self._by_name = {entry.name: entry for entry in entries}
 
+    @classmethod
+    def from_gates(cls, gates, space: LabelSpace, family: str) -> "GateLibrary":
+        """Build a library from pre-placed gates (any radix, any family).
+
+        The radix-generic constructor: *gates* are placed gate objects
+        duck-typing the :class:`~repro.gates.gate.Gate` surface (``name``,
+        ``kind``, ``n_qubits``, ``permutation(space)``, ``dagger()``,
+        ``constrained_wires``).  Entry order is search order and therefore
+        pinned by the golden tables of the family; *family* identifies the
+        builder for store round-trips (``"paper"`` is the binary default,
+        ``"ternary-diwei"`` / ``"quaternary-ms"`` the MV libraries).
+        """
+        library = cls.__new__(cls)
+        library._space = space
+        library._n_qubits = space.n_qubits
+        library._family = family
+        entries: list[LibraryGate] = []
+        for gate in gates:
+            if gate.n_qubits != space.n_qubits:
+                raise InvalidGateError(
+                    f"gate {gate.name} spans {gate.n_qubits} wires, "
+                    f"space has {space.n_qubits}"
+                )
+            entries.append(
+                LibraryGate(
+                    index=len(entries),
+                    gate=gate,
+                    permutation=gate.permutation(space),
+                    banned_mask=space.banned_mask(gate.constrained_wires),
+                    cost=gate.kind.default_cost,
+                )
+            )
+        library._gates = tuple(entries)
+        library._by_name = {entry.name: entry for entry in entries}
+        return library
+
     # -- access ------------------------------------------------------------------
+
+    @property
+    def family(self) -> str:
+        """Builder family: ``"paper"`` or an MV library identifier."""
+        return getattr(self, "_family", "paper")
 
     @property
     def space(self) -> LabelSpace:

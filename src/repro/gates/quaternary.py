@@ -1,0 +1,42 @@
+"""Quaternary gate library: the Muthukrishnan--Stroud alphabet at r = 4.
+
+Extends the Di & Wei ternary construction (arXiv:1105.5485) one radix up,
+the direction Mandal et al.'s quaternary synthesis work points: wire
+values are ququart digits {0, 1, 2, 3}, single-qudit gates are the
+elementary local permutations -- cyclic shifts ``X+1`` / ``X+2`` /
+``X+3`` plus the six transpositions ``X01`` .. ``X23`` -- at cost 1, and
+the two-qudit gates are their Muthukrishnan--Stroud controlled versions
+(fire on control digit 3) at cost 2.
+
+On ``width`` wires: ``9 * width`` single gates plus
+``9 * width * (width - 1)`` controlled gates (36 for the default
+width 2), acting on the full ``4**width``-label digit space.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidGateError
+from repro.gates.library import GateLibrary
+from repro.gates.mv import mv_library_gates
+from repro.mvl.labels import label_space
+
+#: Store-header family identifier for :func:`quaternary_library` builds.
+QUATERNARY_FAMILY = "quaternary-ms"
+
+
+def quaternary_library(width: int = 2) -> GateLibrary:
+    """The Muthukrishnan--Stroud library on *width* ququart wires.
+
+    Raises:
+        InvalidGateError: width < 2 (controlled gates need two wires) or
+            width > 4 (4**width exceeds the kernel's 256-label cap).
+    """
+    if width < 2:
+        raise InvalidGateError(
+            "the quaternary library needs at least 2 wires for its "
+            "controlled gates"
+        )
+    space = label_space(width, radix=4)
+    return GateLibrary.from_gates(
+        mv_library_gates(width, 4), space, family=QUATERNARY_FAMILY
+    )

@@ -1,0 +1,47 @@
+"""Di & Wei's elementary ternary gate library (arXiv:1105.5485).
+
+The ternary analogue of the paper's 18-gate binary library.  Wire values
+are qutrit basis digits {0, 1, 2}; the alphabet is
+
+* the five non-trivial single-qutrit permutation gates -- the cyclic
+  shifts ``X+1`` / ``X+2`` and the transpositions ``X01`` / ``X02`` /
+  ``X12`` -- each at cost 1, on every wire;
+* their Muthukrishnan--Stroud controlled versions (the local op fires on
+  the target iff the control wire carries digit 2), each at cost 2, on
+  every ordered (target, control) wire pair.
+
+On ``width`` wires that is ``5 * width`` single-qutrit gates plus
+``5 * width * (width - 1)`` controlled gates (20 gates for the default
+width 2).  The library acts on the full digit label space of
+``3**width`` labels; there is no reduced space and no banned set -- every
+digit is classical, so every cascade is a "reasonable product" and the
+engine's binary sub-domain S degenerates to the whole space.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidGateError
+from repro.gates.library import GateLibrary
+from repro.gates.mv import mv_library_gates
+from repro.mvl.labels import label_space
+
+#: Store-header family identifier for :func:`ternary_library` builds.
+TERNARY_FAMILY = "ternary-diwei"
+
+
+def ternary_library(width: int = 2) -> GateLibrary:
+    """The Di & Wei elementary gate library on *width* qutrit wires.
+
+    Raises:
+        InvalidGateError: width < 2 (controlled gates need two wires) or
+            width > 5 (3**width exceeds the kernel's 256-label cap).
+    """
+    if width < 2:
+        raise InvalidGateError(
+            "the ternary library needs at least 2 wires for its "
+            "controlled gates"
+        )
+    space = label_space(width, radix=3)
+    return GateLibrary.from_gates(
+        mv_library_gates(width, 3), space, family=TERNARY_FAMILY
+    )

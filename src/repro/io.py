@@ -92,12 +92,17 @@ def circuit_to_dict(circuit: Circuit) -> dict[str, Any]:
 def circuit_from_dict(data: dict[str, Any]) -> Circuit:
     """Rebuild a circuit from :func:`circuit_to_dict` output.
 
+    Records carrying a non-binary ``radix`` key rebuild through the MV
+    gate parser (``X01_B`` / ``CX+1_AB`` names); everything else takes
+    the paper-name path unchanged.
+
     Raises:
         SpecificationError: on missing keys or malformed gate names.
     """
     try:
         n_qubits = int(data["n_qubits"])
         gates = list(data["gates"])
+        radix = int(data.get("radix", 2))
     except (KeyError, TypeError, ValueError) as exc:
         raise SpecificationError(f"malformed circuit record: {exc}") from None
     if n_qubits < 1:
@@ -105,14 +110,49 @@ def circuit_from_dict(data: dict[str, Any]) -> Circuit:
     from repro.errors import InvalidGateError
 
     try:
+        if radix != 2:
+            from repro.gates.mv import MVGate
+
+            return Circuit(
+                tuple(
+                    MVGate.from_name(name, n_qubits, radix) for name in gates
+                ),
+                n_qubits,
+            )
         return Circuit.from_names(gates, n_qubits)
     except InvalidGateError as exc:
         raise SpecificationError(str(exc)) from None
 
 
+def _result_radix(result: SynthesisResult) -> int:
+    """Wire radix of a result, derived from its target degree.
+
+    Binary results target the ``2**n`` binary patterns; MV results
+    target the full ``radix**n`` digit space.
+    """
+    n = result.circuit.n_qubits
+    degree = result.target.degree
+    if degree == 2**n:
+        return 2
+    for radix in (3, 4):
+        if radix**n == degree:
+            return radix
+    raise SpecificationError(
+        f"target degree {degree} matches no supported radix on "
+        f"{n} wires"
+    )
+
+
 def result_to_dict(result: SynthesisResult) -> dict[str, Any]:
-    """Plain-dict form of a synthesis result (circuit + provenance)."""
+    """Plain-dict form of a synthesis result (circuit + provenance).
+
+    MV results additionally record their ``radix``; binary records are
+    byte-identical to what this function has always produced.
+    """
     record = circuit_to_dict(result.circuit)
+    radix = _result_radix(result)
+    if radix != 2:
+        record["radix"] = radix
     record["target"] = result.target.cycle_string()
     record["cost"] = result.cost
     record["not_mask"] = result.not_mask
@@ -131,7 +171,11 @@ def result_circuit_from_dict(data: dict[str, Any]) -> tuple[Circuit, Permutation
             target or the stored cost disagrees.
     """
     circuit = circuit_from_dict(data)
-    degree = 2**circuit.n_qubits
+    try:
+        radix = int(data.get("radix", 2))
+    except (TypeError, ValueError) as exc:
+        raise SpecificationError(f"malformed result record: {exc}") from None
+    degree = radix**circuit.n_qubits
     try:
         target = Permutation.from_cycle_string(degree, str(data["target"]))
         stored_cost = int(data["cost"])
@@ -139,6 +183,26 @@ def result_circuit_from_dict(data: dict[str, Any]) -> tuple[Circuit, Permutation
         raise SpecificationError(f"malformed result record: {exc}") from None
     from repro.errors import InvalidCircuitError, NonBinaryControlError
 
+    if radix != 2:
+        # MV cascades live entirely at the digit-permutation level: the
+        # circuit's recomputed label permutation is the whole semantics,
+        # and cost follows the library convention carried by the gates.
+        from repro.mvl.labels import label_space
+
+        realized = circuit.permutation(
+            label_space(circuit.n_qubits, radix=radix)
+        )
+        if realized != target:
+            raise SpecificationError(
+                f"stored circuit realizes {realized.cycle_string()}, "
+                f"record claims {data['target']}"
+            )
+        if circuit.cost() != stored_cost:
+            raise SpecificationError(
+                f"stored cost {stored_cost} disagrees with the circuit's "
+                f"gate cost {circuit.cost()}"
+            )
+        return circuit, target
     try:
         realized = circuit.binary_permutation()
     except (InvalidCircuitError, NonBinaryControlError) as exc:
@@ -175,8 +239,23 @@ def result_from_dict(data: dict[str, Any]) -> SynthesisResult:
     circuit, target = result_circuit_from_dict(data)
     try:
         not_mask = int(data.get("not_mask", 0))
+        radix = int(data.get("radix", 2))
     except (TypeError, ValueError) as exc:
         raise SpecificationError(f"malformed result record: {exc}") from None
+    if radix != 2:
+        # MV libraries have no NOT layer (Theorem 2 is binary), so the
+        # cascade *is* the whole circuit and its label permutation is the
+        # target itself.
+        from repro.mvl.labels import label_space
+
+        space = label_space(circuit.n_qubits, radix=radix)
+        return SynthesisResult(
+            target=target,
+            circuit=circuit,
+            cost=int(data["cost"]),
+            not_mask=not_mask,
+            cascade_permutation=circuit.permutation(space),
+        )
     two_qubit = Circuit(
         tuple(g for g in circuit.gates if g.kind.is_two_qubit),
         circuit.n_qubits,
@@ -204,24 +283,24 @@ def load_result(path: str | Path) -> tuple[Circuit, Permutation]:
 # -- batch files -----------------------------------------------------------------------
 
 
-def parse_target(text: str, n_qubits: int = 3) -> Permutation:
+def parse_target(text: str, n_qubits: int = 3, radix: int = 2) -> Permutation:
     """Resolve a target spec: a named target or paper cycle notation.
 
     Named targets (``toffoli``, ``peres``, ``fredkin``, ``g2`` ...) are
     the 3-qubit catalog of :mod:`repro.gates.named`; anything else is
-    parsed as 1-based cycle notation on the ``2**n_qubits`` binary
-    patterns, e.g. ``"(5,7,6,8)"``.
+    parsed as 1-based cycle notation on the ``radix**n_qubits`` labels,
+    e.g. ``"(5,7,6,8)"``.  The named catalog is binary-only.
     """
     from repro.gates import named
 
     key = text.strip().lower()
-    if n_qubits == 3 and key in named.TARGETS:
+    if radix == 2 and n_qubits == 3 and key in named.TARGETS:
         return named.TARGETS[key]
-    return Permutation.from_cycle_string(2**n_qubits, text)
+    return Permutation.from_cycle_string(radix**n_qubits, text)
 
 
 def load_targets(
-    path: str | Path, n_qubits: int = 3
+    path: str | Path, n_qubits: int = 3, radix: int = 2
 ) -> list[tuple[str, Permutation]]:
     """Read a batch target file: one target spec per line.
 
@@ -239,7 +318,7 @@ def load_targets(
         if not spec:
             continue
         try:
-            pairs.append((spec, parse_target(spec, n_qubits)))
+            pairs.append((spec, parse_target(spec, n_qubits, radix)))
         except InvalidPermutationError as exc:
             raise SpecificationError(
                 f"{path}:{lineno}: bad target {spec!r}: {exc}"

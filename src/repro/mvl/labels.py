@@ -21,7 +21,7 @@ from collections.abc import Callable, Iterable, Sequence
 from functools import lru_cache
 
 from repro.errors import InvalidPermutationError, InvalidValueError
-from repro.mvl.patterns import Pattern, all_patterns
+from repro.mvl.patterns import Pattern, all_digit_patterns, all_patterns
 from repro.mvl.values import Qv
 
 
@@ -48,15 +48,38 @@ class LabelSpace:
     """
 
     def __init__(
-        self, n_qubits: int, reduced: bool = True, ordering: str = "value"
+        self,
+        n_qubits: int,
+        reduced: bool = True,
+        ordering: str = "value",
+        radix: int = 2,
     ):
         if n_qubits < 1:
             raise InvalidValueError("label space needs at least one qubit")
         if ordering not in ("value", "grouped"):
             raise InvalidValueError(f"unknown ordering {ordering!r}")
+        if radix not in (2, 3, 4):
+            raise InvalidValueError(
+                f"radix {radix} unsupported (2, 3 and 4 are implemented)"
+            )
         self._n_qubits = n_qubits
         self._reduced = reduced
         self._ordering = ordering
+        self._radix = radix
+        if radix != 2:
+            # Digit space: qudit basis states are plain classical digits
+            # 0..radix-1 per wire -- there is no superposition alphabet,
+            # so nothing is unpermutable and nothing gets dropped.  The
+            # engine's binary sub-domain S degenerates to the whole
+            # space: every label is "classical" and every cascade fixes
+            # S trivially (banned sets are empty).
+            if ordering != "value":
+                raise InvalidValueError(
+                    "digit spaces support only the 'value' ordering"
+                )
+            self._patterns = tuple(all_digit_patterns(n_qubits, radix))
+            self._label_of = {p: i for i, p in enumerate(self._patterns)}
+            return
         binary = []
         rest = []
         for pattern in all_patterns(n_qubits):
@@ -70,6 +93,12 @@ class LabelSpace:
         # then the remaining patterns under the chosen ordering.
         self._patterns: tuple[Pattern, ...] = tuple(binary + rest)
         self._label_of = {p: i for i, p in enumerate(self._patterns)}
+
+    def _canonical(self, pattern) -> tuple:
+        """Canonical dict key for a caller-supplied pattern."""
+        if self._radix == 2:
+            return Pattern(pattern)
+        return tuple(int(v) for v in pattern)
 
     # -- basic queries -----------------------------------------------------
 
@@ -89,6 +118,11 @@ class LabelSpace:
         return self._ordering
 
     @property
+    def radix(self) -> int:
+        """Wire radix: 2 (the paper's qubits), 3 (qutrits) or 4."""
+        return self._radix
+
+    @property
     def size(self) -> int:
         """Number of labels (38 for the reduced 3-qubit space)."""
         return len(self._patterns)
@@ -98,7 +132,14 @@ class LabelSpace:
 
     @property
     def n_binary(self) -> int:
-        """Number of pure binary patterns; these occupy labels 0..2**n-1."""
+        """Number of "classical" patterns; these occupy the low labels.
+
+        For radix 2 these are the 2**n pure binary patterns (the paper's
+        set S).  In a digit space every pattern is classical, so S is the
+        whole space and ``n_binary == size``.
+        """
+        if self._radix != 2:
+            return len(self._patterns)
         return 2**self._n_qubits
 
     @property
@@ -122,15 +163,16 @@ class LabelSpace:
             InvalidValueError: if the pattern is outside this space (e.g.
                 an unpermutable pattern queried against a reduced space).
         """
+        key = self._canonical(pattern)
         try:
-            return self._label_of[Pattern(pattern)]
+            return self._label_of[key]
         except KeyError:
             raise InvalidValueError(
-                f"pattern {Pattern(pattern)} is not in this label space"
+                f"pattern {key} is not in this label space"
             ) from None
 
     def __contains__(self, pattern: Pattern) -> bool:
-        return Pattern(pattern) in self._label_of
+        return self._canonical(pattern) in self._label_of
 
     @staticmethod
     def paper_label(label: int) -> int:
@@ -164,6 +206,10 @@ class LabelSpace:
         for w in wire_list:
             if not 0 <= w < self._n_qubits:
                 raise InvalidValueError(f"wire {w} out of range")
+        if self._radix != 2:
+            # Digit spaces have no mixed values: every wire always
+            # carries a classical digit, so no pattern is ever banned.
+            return 0
         mask = 0
         for label, pattern in enumerate(self._patterns):
             if any(not pattern[w].is_binary for w in wire_list):
@@ -196,7 +242,7 @@ class LabelSpace:
         for pattern in self._patterns:
             result = transform(pattern)
             try:
-                images.append(self._label_of[Pattern(result)])
+                images.append(self._label_of[self._canonical(result)])
             except KeyError:
                 raise InvalidPermutationError(
                     f"transform maps {pattern} to {result}, "
@@ -214,6 +260,11 @@ class LabelSpace:
 
     def __repr__(self) -> str:
         mode = "reduced" if self._reduced else "full"
+        if self._radix != 2:
+            return (
+                f"LabelSpace(n_qubits={self._n_qubits}, "
+                f"radix={self._radix}, size={self.size})"
+            )
         return f"LabelSpace(n_qubits={self._n_qubits}, {mode}, size={self.size})"
 
 
@@ -227,7 +278,10 @@ def _mixedness_key(pattern: Pattern) -> tuple[int, Pattern]:
 
 @lru_cache(maxsize=16)
 def label_space(
-    n_qubits: int, reduced: bool = True, ordering: str = "value"
+    n_qubits: int,
+    reduced: bool = True,
+    ordering: str = "value",
+    radix: int = 2,
 ) -> LabelSpace:
     """Shared, cached label-space instances (they are immutable)."""
-    return LabelSpace(n_qubits, reduced, ordering)
+    return LabelSpace(n_qubits, reduced, ordering, radix)

@@ -150,6 +150,47 @@ def binary_patterns(n_qubits: int) -> Iterator[Pattern]:
         yield pattern_from_bits(bits)
 
 
+def digit_pattern_from_int(
+    code: int, width: int, radix: int
+) -> tuple[int, ...]:
+    """Decode a base-*radix* integer (wire 0 most significant) to digits.
+
+    The radix-generic analogue of :func:`pattern_from_int`: digit spaces
+    (radix 3 qutrits, radix 4 ququarts) carry plain classical digit
+    tuples rather than :class:`~repro.mvl.values.Qv` superposition
+    values, so the codec returns a bare ``tuple`` of ints.
+    """
+    if radix < 2:
+        raise InvalidValueError(f"radix {radix} must be at least 2")
+    if not 0 <= code < radix**width:
+        raise InvalidValueError(
+            f"pattern code {code} out of range for {width} radix-{radix} wires"
+        )
+    digits = []
+    for _ in range(width):
+        digits.append(code % radix)
+        code //= radix
+    return tuple(reversed(digits))
+
+
+def digit_pattern_to_int(pattern: Iterable[int], radix: int) -> int:
+    """Encode a digit tuple as a base-*radix* integer (wire 0 most
+    significant); the inverse of :func:`digit_pattern_from_int`."""
+    code = 0
+    for v in pattern:
+        v = int(v)
+        if not 0 <= v < radix:
+            raise InvalidValueError(f"digit {v} out of range for radix {radix}")
+        code = code * radix + v
+    return code
+
+
+def all_digit_patterns(width: int, radix: int) -> Iterator[tuple[int, ...]]:
+    """All radix**width digit tuples in ascending (label) order."""
+    for code in range(radix**width):
+        yield digit_pattern_from_int(code, width, radix)
+
+
 def pattern_measurement_distribution(
     pattern: Pattern,
 ) -> dict[tuple[int, ...], Fraction]:

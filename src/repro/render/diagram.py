@@ -38,7 +38,13 @@ def circuit_diagram(circuit: Circuit, wire_names: list[str] | None = None) -> st
     rows = [[f"{names[w]:<{width}} ──"] for w in range(n)]
 
     for gate in circuit:
-        symbols = {gate.target: _TARGET_SYMBOL[gate.kind]}
+        # MV gate kinds are not in the binary symbol table; their target
+        # box carries the local digit operation (e.g. ``[X+1]``).
+        symbol = _TARGET_SYMBOL.get(gate.kind)
+        if symbol is None:
+            op = gate.kind.value
+            symbol = f"[{op[1:] if gate.control is not None else op}]"
+        symbols = {gate.target: symbol}
         if gate.control is not None:
             symbols[gate.control] = "●"
         column_width = max(len(s) for s in symbols.values()) + 2

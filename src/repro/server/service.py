@@ -537,6 +537,8 @@ class SynthesisService:
             },
             "index_entries": len(state.batch.remainder_index),
             "gate_kinds": list(header.gate_kinds),
+            "radix": header.radix,
+            "library_family": header.library_family,
         }
 
 
@@ -575,7 +577,11 @@ def _parse_spec(state: StoreState, spec: object):
 
     if not isinstance(spec, str):
         raise ProtocolError("target must be a spec string")
-    return parse_target(spec, n_qubits=state.library.n_qubits)
+    return parse_target(
+        spec,
+        n_qubits=state.library.n_qubits,
+        radix=state.library.space.radix,
+    )
 
 
 def _check_query_bound(state: StoreState, params: dict) -> int:

@@ -75,8 +75,49 @@ def verify_circuit_against_permutation(
     return report
 
 
+def _mv_space(result: SynthesisResult) -> LabelSpace | None:
+    """The digit label space of an MV result, or None for binary results.
+
+    Binary results always target the ``2**n`` binary patterns; a target
+    of degree ``radix**n`` for radix 3/4 identifies the digit space the
+    cascade was searched on.
+    """
+    n = result.circuit.n_qubits
+    if result.target.degree == 2**n:
+        return None
+    from repro.mvl.labels import label_space
+
+    for radix in (3, 4):
+        if radix**n == result.target.degree:
+            return label_space(n, radix=radix)
+    return None
+
+
 def verify_synthesis(result: SynthesisResult) -> VerificationReport:
-    """Verify a :func:`repro.core.mce.express` result."""
+    """Verify a :func:`repro.core.mce.express` result.
+
+    Binary results are checked at all three semantic levels (strict
+    quaternary simulation, label permutation, exact unitary).  MV
+    results live in a single exact representation -- digit permutations
+    -- so the checks are the recomputed label permutation against the
+    target plus cost consistency under the library's cost convention.
+    """
+    space = _mv_space(result)
+    if space is not None:
+        report = VerificationReport(passed=True)
+        realized = result.circuit.permutation(space)
+        report.record(
+            "mv-permutation",
+            realized == result.target,
+            f"got {realized.cycle_string()}, "
+            f"want {result.target.cycle_string()}",
+        )
+        report.record(
+            "cost-consistent",
+            result.circuit.cost() == result.cost,
+            f"circuit cost {result.circuit.cost()} vs claimed {result.cost}",
+        )
+        return report
     report = verify_circuit_against_permutation(result.circuit, result.target)
     report.record(
         "cost-consistent",

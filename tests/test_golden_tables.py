@@ -186,3 +186,99 @@ class TestNamedTargets:
         cost, n_impls = GOLDEN_NAMED[name]
         assert closure_batch.minimal_cost(named.TARGETS[name]) == cost
         assert len(closure_batch.synthesize_all(named.TARGETS[name])) == n_impls
+
+
+#: Ternary width-2 |B[k]| through bound 4 (Di-Wei library, MS controls).
+GOLDEN_TERNARY_B = [1, 10, 35, 140, 571]
+#: Ternary cumulative closure sizes |A[k]|.
+GOLDEN_TERNARY_A = [1, 11, 46, 186, 757]
+#: Quaternary width-2 |B[k]| through bound 3.
+GOLDEN_QUATERNARY_B = [1, 18, 127, 708]
+
+#: (minimal cost, implementation count) per pinned ternary target spec.
+GOLDEN_TERNARY_TARGETS = {
+    "(8,9)": (2, 1),
+    "(1,2)": (4, 1),
+    "(1,2,3)": (4, 1),
+    "(1,4,7)": (4, 1),
+    "(1,2)(4,5)(7,8)": (1, 1),
+}
+
+
+@pytest.fixture(scope="module")
+def ternary_library2():
+    from repro.gates.ternary import ternary_library
+
+    return ternary_library(2)
+
+
+@pytest.fixture(
+    scope="module",
+    params=[
+        "live", "translate-kernel", "parallel-kernel",
+        "store-v2", "store-v3",
+    ],
+)
+def ternary_closure(request, ternary_library2):
+    """The ternary bound-4 closure: every kernel and mmap store format."""
+    from repro.core.search import CascadeSearch
+
+    if request.param in ("live", "store-v2", "store-v3"):
+        search = CascadeSearch(ternary_library2, track_parents=True)
+    else:
+        search = CascadeSearch(
+            ternary_library2,
+            track_parents=True,
+            kernel=request.param.removesuffix("-kernel"),
+        )
+    search.extend_to(4)
+    if request.param.startswith("store-"):
+        version = {"store-v2": 2, "store-v3": 3}[request.param]
+        return loads_search(
+            dump_search(search, format_version=version), ternary_library2
+        )
+    return search
+
+
+class TestTernaryClosure:
+    """Pinned ternary closure counts -- the MV analog of Table 2."""
+
+    def test_level_sizes_are_pinned(self, ternary_closure):
+        stats = ternary_closure.stats()
+        assert list(stats.level_sizes) == GOLDEN_TERNARY_B
+        assert list(stats.a_sizes) == GOLDEN_TERNARY_A
+        assert ternary_closure.total_seen() == GOLDEN_TERNARY_A[-1]
+
+    def test_fmcf_has_no_free_not_layer(self, ternary_closure, ternary_library2):
+        """MV G[k] == B[k]: without Theorem 2 every member is its own class."""
+        table = find_minimum_cost_circuits(
+            ternary_library2, cost_bound=4, search=ternary_closure
+        )
+        assert table.g_sizes == GOLDEN_TERNARY_B
+        assert table.b_sizes == GOLDEN_TERNARY_B
+        assert table.a_sizes == GOLDEN_TERNARY_A
+
+    @pytest.mark.parametrize("spec", sorted(GOLDEN_TERNARY_TARGETS))
+    def test_pinned_target_costs(self, spec, ternary_closure):
+        from repro.io import parse_target
+        from repro.sim.verify import verify_synthesis
+
+        cost, n_impls = GOLDEN_TERNARY_TARGETS[spec]
+        batch = BatchSynthesizer(ternary_closure, cost_bound=4)
+        target = parse_target(spec, n_qubits=2, radix=3)
+        results = batch.synthesize_all(target)
+        assert results[0].cost == cost
+        assert len(results) == n_impls
+        assert verify_synthesis(results[0])
+
+
+class TestQuaternaryClosure:
+    """Pinned quaternary closure counts (vector kernel)."""
+
+    def test_level_sizes_are_pinned(self):
+        from repro.core.search import CascadeSearch
+        from repro.gates.quaternary import quaternary_library
+
+        search = CascadeSearch(quaternary_library(2), track_parents=True)
+        search.extend_to(3)
+        assert list(search.stats().level_sizes) == GOLDEN_QUATERNARY_B

@@ -1,0 +1,119 @@
+"""Property-based tests for the generalized (radix-parametric) LabelSpace.
+
+``test_prop_labels.py`` pins the binary/quaternary reduced space; this
+suite exercises the invariants the radix generalization must keep at
+radix 2, 3 and 4 and widths 2 and 3: pattern<->label codec roundtrips,
+the degenerate mask structure of digit spaces, and ``images_from_map``
+bijectivity checking.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import InvalidPermutationError, InvalidValueError
+from repro.mvl.labels import label_space
+from repro.mvl.patterns import (
+    all_digit_patterns,
+    digit_pattern_from_int,
+    digit_pattern_to_int,
+)
+
+radixes = st.sampled_from([2, 3, 4])
+widths = st.sampled_from([2, 3])
+
+
+class TestDigitCodec:
+    @given(radixes, widths, st.integers(min_value=0, max_value=4**3 - 1))
+    def test_roundtrip(self, radix, width, code):
+        code %= radix**width
+        pattern = digit_pattern_from_int(code, width, radix)
+        assert len(pattern) == width
+        assert all(0 <= v < radix for v in pattern)
+        assert digit_pattern_to_int(pattern, radix) == code
+
+    @given(radixes, widths)
+    @settings(max_examples=12, deadline=None)
+    def test_enumeration_is_sorted_and_complete(self, radix, width):
+        patterns = list(all_digit_patterns(width, radix))
+        assert len(patterns) == radix**width
+        assert len(set(patterns)) == len(patterns)
+        codes = [digit_pattern_to_int(p, radix) for p in patterns]
+        assert codes == list(range(radix**width))
+
+    @given(radixes, widths)
+    @settings(max_examples=12, deadline=None)
+    def test_out_of_range_codes_are_rejected(self, radix, width):
+        with pytest.raises(InvalidValueError):
+            digit_pattern_from_int(radix**width, width, radix)
+        with pytest.raises(InvalidValueError):
+            digit_pattern_from_int(-1, width, radix)
+
+
+class TestGeneralizedLabelSpace:
+    @given(radixes, widths)
+    @settings(max_examples=12, deadline=None)
+    def test_size_and_s_mask(self, radix, width):
+        space = label_space(width, radix=radix)
+        if radix == 2:
+            # The default binary space is the paper's reduced
+            # quaternary space; S is the binary sub-domain.
+            assert space.n_binary == 2**width
+        else:
+            assert space.size == radix**width
+            assert space.n_binary == space.size
+            assert space.s_mask == (1 << space.size) - 1
+
+    @given(radixes, widths)
+    @settings(max_examples=12, deadline=None)
+    def test_label_pattern_roundtrip(self, radix, width):
+        space = label_space(width, radix=radix)
+        for label in range(space.size):
+            pattern = space.pattern(label)
+            assert pattern in space
+            assert space.label(pattern) == label
+
+    @given(st.sampled_from([3, 4]), widths, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_digit_spaces_ban_nothing(self, radix, width, data):
+        space = label_space(width, radix=radix)
+        wires = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=width - 1),
+                max_size=width,
+            )
+        )
+        assert space.banned_mask(wires) == 0
+
+    @given(st.sampled_from([3, 4]), widths, st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_images_from_map_accepts_any_digit_bijection(
+        self, radix, width, rng
+    ):
+        space = label_space(width, radix=radix)
+        shuffled = list(space.patterns)
+        rng.shuffle(shuffled)
+        mapping = dict(zip(space.patterns, shuffled))
+        images = space.images_from_map(lambda p: mapping[tuple(p)])
+        assert sorted(images) == list(range(space.size))
+
+    @given(st.sampled_from([3, 4]), widths)
+    @settings(max_examples=12, deadline=None)
+    def test_images_from_map_rejects_non_bijections(self, radix, width):
+        space = label_space(width, radix=radix)
+        first = space.pattern(0)
+        with pytest.raises(InvalidPermutationError):
+            space.images_from_map(lambda p: first)
+
+    @given(st.sampled_from([3, 4]), widths)
+    @settings(max_examples=12, deadline=None)
+    def test_local_shift_is_a_space_permutation(self, radix, width):
+        """A +1 shift on one wire permutes labels in radix-sized orbits."""
+        space = label_space(width, radix=radix)
+        images = space.images_from_map(
+            lambda p: ((p[0] + 1) % radix,) + tuple(p[1:])
+        )
+        label = 0
+        for _ in range(radix):
+            label = images[label]
+        assert label == 0
