@@ -364,6 +364,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist completed levels + dedup slabs under DIR and "
         "resume from them after a crash (also the spill directory)",
     )
+    p_pre.add_argument(
+        "--progress", action="store_true",
+        help="live one-line progress on stderr (TTY only) while the "
+        "closure expands",
+    )
+    p_pre.add_argument(
+        "--progress-log", metavar="FILE", default=None,
+        help="append per-phase progress events (plan/generate/commit/"
+        "level-end/spill/checkpoint) as NDJSON to FILE",
+    )
 
     p_info = sub.add_parser("store-info", help="print a store file's header")
     p_info.add_argument("file", help="store file written by `repro precompute`")
@@ -532,6 +542,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument(
         "--json", dest="json_out", metavar="FILE", default=None,
         help="also write the replay report as JSON to FILE",
+    )
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="summarize access/ops/progress logs; join requests by trace id",
+        description=(
+            "Read one or more NDJSON logs written by the serving stack "
+            "(replica access logs, the router access log, supervisor "
+            "ops logs, precompute progress logs), roll them up per "
+            "store, and join request records across files by trace_id "
+            "-- a failover shows up as one trace with a router record "
+            "plus one replica record per attempt."
+        ),
+    )
+    p_tail.add_argument(
+        "logs", nargs="+", metavar="LOG",
+        help="NDJSON log file (rotated siblings LOG.1.. are included "
+        "unless --no-rotated)",
+    )
+    p_tail.add_argument(
+        "--trace", metavar="TRACE_ID", default=None,
+        help="show only this trace's joined records",
+    )
+    p_tail.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_tail.add_argument(
+        "--follow", action="store_true",
+        help="re-read and re-print the summary every --interval seconds",
+    )
+    p_tail.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --follow (default: 2s)",
+    )
+    p_tail.add_argument(
+        "--no-rotated", action="store_true",
+        help="read only the named files, not their rotated sets",
     )
 
     sub.add_parser("identities", help="verified gate-identity catalog")
@@ -891,6 +938,8 @@ def _cmd_precompute(
     dedup_budget: str | None = None,
     shard_bits: int | None = None,
     checkpoint_dir: str | None = None,
+    progress: bool = False,
+    progress_log: str | None = None,
 ) -> int:
     from pathlib import Path
 
@@ -984,9 +1033,34 @@ def _cmd_precompute(
                 f"resumed checkpoint {checkpoint_dir} at cost "
                 f"{search.expanded_to}"
             )
+    reporter = None
+    if progress or progress_log:
+        from repro.telemetry import ProgressReporter, make_tty
+
+        reporter = ProgressReporter(
+            path=progress_log, tty=make_tty(progress and sys.stderr.isatty())
+        )
+        reporter.emit(
+            "start",
+            degree=library.space.size,
+            qubits=qubits,
+            radix=radix,
+            cost_bound=cost_bound,
+            kernel=kernel,
+            track_parents=not no_parents,
+            resumed_from=previous if previous is not None else 0,
+        )
+        search.set_progress(reporter)
     try:
         search.extend_to(cost_bound)
         stats = search.stats()
+        if reporter is not None:
+            reporter.emit(
+                "done",
+                levels=search.expanded_to,
+                rows=stats.total_seen,
+                elapsed_s=round(stats.elapsed_seconds, 6),
+            )
         if format_version is None:
             header = save_search(search, out)
         else:
@@ -995,6 +1069,8 @@ def _cmd_precompute(
             )
     finally:
         search.close()
+        if reporter is not None:
+            reporter.close()
     size = Path(out).stat().st_size
     verb = "extended" if previous is not None else "expanded"
     print(
@@ -1157,6 +1233,9 @@ def _cmd_fleet_serve(args) -> int:
             print(f"  {name}: {backend.endpoint} pid "
                   f"{backend.proc.pid}{note}")
         print(f"ops log: {handle.ops_log} (NDJSON, one record/decision)")
+        if handle.router_access_log:
+            print(f"router access log: {handle.router_access_log} "
+                  "(NDJSON, one record/request, trace ids)")
         if args.unix is not None:
             print(f"routing on unix:{args.unix} (HTTP/1.1 + NDJSON)")
         if address is not None:
@@ -1208,6 +1287,8 @@ def _cmd_fleet_status(address: str, as_json: bool) -> int:
         return 0
     role = payload.get("role", "server")
     print(f"{address}: {payload.get('status', '?')} ({role})")
+    if payload.get("version"):
+        print(f"  version: {payload['version']}")
     if role != "router":
         print("  (single server, not a fleet front)")
         return 0
@@ -1233,7 +1314,21 @@ def _cmd_fleet_status(address: str, as_json: bool) -> int:
         latency = info.get("latency_recent_ms")
         if latency:
             line += f", recent p99 {latency.get('p99'):.1f} ms"
+        if info.get("version"):
+            line += f", v{info['version']}"
         print(line)
+    versions = {
+        info["version"]
+        for info in payload.get("backends", {}).values()
+        if info.get("version")
+    }
+    if payload.get("version"):
+        versions.add(payload["version"])
+    if len(versions) > 1:
+        print(
+            f"  WARNING: version skew across the fleet: "
+            f"{', '.join(sorted(versions))}"
+        )
     return 0
 
 
@@ -1619,6 +1714,33 @@ def _cmd_replay(args) -> int:
     return 0 if report["clean"] else 1
 
 
+def _cmd_tail(args) -> int:
+    import json as json_mod
+    import time as time_mod
+
+    from repro.telemetry import format_text, summarize_logs
+
+    def render() -> None:
+        summary = summarize_logs(
+            args.logs, rotated=not args.no_rotated, trace=args.trace
+        )
+        if args.json:
+            print(json_mod.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(format_text(summary))
+
+    if not args.follow:
+        render()
+        return 0
+    try:
+        while True:
+            render()
+            print("---", flush=True)
+            time_mod.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_identities() -> int:
     from repro.core.identities import identity_catalog
     from repro.gates.library import GateLibrary
@@ -1746,6 +1868,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.radix, args.extend, args.kernel, args.format_version,
                 args.codec, args.jobs, args.dedup_budget,
                 args.shard_bits, args.checkpoint_dir,
+                args.progress, args.progress_log,
             )
         if args.command == "plan":
             return _cmd_plan(
@@ -1772,6 +1895,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_load(args.file)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "tail":
+            return _cmd_tail(args)
         if args.command == "identities":
             return _cmd_identities()
         if args.command == "peres-family":

@@ -435,6 +435,48 @@ def http_request(
     return status, data
 
 
+def fetch_metrics(
+    address: str, timeout: float = DEFAULT_TIMEOUT
+) -> tuple[int, str]:
+    """``GET /metrics`` against a server or router: ``(status, text)``.
+
+    Unlike :func:`http_request` the body is returned as decoded text,
+    not JSON -- ``/metrics`` is the one endpoint that speaks the
+    Prometheus text exposition format.  Parse the result with
+    :func:`repro.telemetry.parse_prometheus_text`.
+    """
+    family, target = parse_endpoint(address)
+    host_header = (
+        "localhost" if family == "unix" else f"{target[0]}:{target[1]}"
+    )
+    head = (
+        f"GET /metrics HTTP/1.1\r\n"
+        f"Host: {host_header}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    try:
+        with _open_socket(family, target, timeout) as sock:
+            sock.sendall(head)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+    except OSError as exc:
+        raise ServerError(f"HTTP request to {address} failed: {exc}") from None
+    raw = b"".join(chunks)
+    header, sep, rest = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise ProtocolError("malformed HTTP response (no header terminator)")
+    try:
+        status = int(header.split(None, 2)[1])
+    except (IndexError, ValueError):
+        raise ProtocolError("malformed HTTP response") from None
+    return status, rest.decode("utf-8", errors="replace")
+
+
 def wait_until_ready(
     address: str, timeout: float = 30.0, interval: float = 0.05
 ) -> dict:

@@ -293,6 +293,12 @@ class VectorEngine:
         self._cap_bits = _MIN_CAP_BITS
         self._ht = np.zeros(1 << self._cap_bits, dtype=np.uint64)
 
+        #: Optional progress sink (duck-typed ``ProgressReporter``);
+        #: ``None`` keeps every phase boundary a plain attribute check,
+        #: so un-instrumented runs pay nothing.
+        self.progress = None
+        self._last_planned = 0
+
     # -- row store ---------------------------------------------------------------------
 
     @property
@@ -721,6 +727,7 @@ class VectorEngine:
         rows = self.gate_rows
         chunks: list[tuple[int, int, np.ndarray]] = []
         total = 0
+        planned = 0
         for group in rows.groups:
             src = cost - rows.costs[group[0]]
             if src < 0 or src >= self.n_levels:
@@ -741,12 +748,16 @@ class VectorEngine:
                 else:
                     keep = keep_group
                 kept = np.flatnonzero(keep)
+                planned += kept.size
                 if kept.size:
                     kept = self._filter_candidates(src, gi, kept)
                 if kept.size:
                     chunks.append((gi, src, kept))
                     total += kept.size
         chunks.sort(key=lambda chunk: chunk[0])
+        # Pre-filter candidate count, read by the progress ``plan``
+        # event (the filter hook may have dropped some of *planned*).
+        self._last_planned = planned
         return chunks, total
 
     def _filter_candidates(
@@ -835,6 +846,13 @@ class VectorEngine:
         self.level_gates.append(gates[accepted])
         return int(n_new)
 
+    def dedup_stats(self) -> dict:
+        """Occupancy of the dedup structure, as progress-event fields."""
+        return {
+            "dedup_slots": int(self._ht.size),
+            "dedup_used": int(self.n_rows),
+        }
+
     def expand_level(self, cost: int) -> int:
         """Compute the next level (must be ``n_levels``); returns its size."""
         if cost != self.n_levels:
@@ -842,7 +860,17 @@ class VectorEngine:
                 f"levels must be expanded in order: next is {self.n_levels}, "
                 f"got {cost}"
             )
+        progress = self.progress
         chunks, total = self._plan_chunks(cost)
+        if progress is not None:
+            progress.emit(
+                "plan",
+                level=cost,
+                chunks=len(chunks),
+                planned=int(self._last_planned),
+                kept=int(total),
+                rows=int(self.n_rows),
+            )
         if not total:
             self._append_level(
                 np.empty((0, self.width), dtype=np.uint8),
@@ -851,6 +879,25 @@ class VectorEngine:
                 np.empty(0, dtype=np.int32),
                 np.empty(0, dtype=np.int32),
             )
+            if progress is not None:
+                progress.emit(
+                    "commit",
+                    level=cost,
+                    accepted=0,
+                    rows=int(self.n_rows),
+                    **self.dedup_stats(),
+                )
             return 0
         cand, ch, parents, gates = self._generate_candidates(chunks, total)
-        return self._commit_level(cand, ch, parents, gates)
+        if progress is not None:
+            progress.emit("generate", level=cost, candidates=int(total))
+        n_new = self._commit_level(cand, ch, parents, gates)
+        if progress is not None:
+            progress.emit(
+                "commit",
+                level=cost,
+                accepted=int(n_new),
+                rows=int(self.n_rows),
+                **self.dedup_stats(),
+            )
+        return n_new

@@ -566,6 +566,18 @@ class ShardedExpansion(VectorEngine):
     def dedup_table(self) -> ShardedDedupTable:
         return self._table
 
+    def dedup_stats(self) -> dict:
+        layout = self._table.layout()
+        stats = {
+            "dedup_slots": int(
+                self._table.n_shards * layout["slab_slots"]
+            ),
+            "dedup_used": int(self.n_rows),
+        }
+        if layout["spilled"]:
+            stats["dedup_spilled"] = True
+        return stats
+
     # -- relation filter ---------------------------------------------------------------
 
     def _wants_parents(self) -> bool:
@@ -761,7 +773,10 @@ class ShardedExpansion(VectorEngine):
         # checkpoint slabs (try_resume clears the flag when it vouches
         # for them).
         self._discard_adopted_slabs()
+        was_spilled = self._table.spilled
         n_new = super().expand_level(cost)
+        if self.progress is not None and self._table.spilled and not was_spilled:
+            self.progress.emit("spill", level=cost)
         if self._checkpoint is not None:
             self._write_checkpoint(cost)
         return n_new
@@ -797,6 +812,10 @@ class ShardedExpansion(VectorEngine):
             }
         )
         ck.write_manifest(manifest)
+        if self.progress is not None:
+            self.progress.emit(
+                "checkpoint", level=cost, path=str(ck.dir)
+            )
 
     def try_resume(self) -> int:
         """Adopt a compatible checkpoint; returns the resumed cost bound.

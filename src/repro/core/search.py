@@ -225,6 +225,9 @@ class CascadeSearch:
         self._restored = False
         self._frozen = False
         self._attached_index: tuple[int, dict] | None = None
+        # Optional progress sink (duck-typed ProgressReporter),
+        # forwarded onto whichever engine runs the expansion.
+        self._progress = None
 
         # Byte-level (legacy) form: complete for translate-kernel
         # searches, per-level lazy cache otherwise.
@@ -335,6 +338,20 @@ class CascadeSearch:
     def kernel(self) -> str:
         """The expansion kernel this search uses."""
         return self._kernel
+
+    def set_progress(self, reporter) -> None:
+        """Attach a progress reporter (or detach with ``None``).
+
+        The reporter (duck-typed
+        :class:`~repro.telemetry.ProgressReporter`) receives
+        level-start/level-end events from :meth:`extend_to` and
+        plan/generate/commit (plus spill/checkpoint) events from the
+        array engines.  Expansion results are byte-identical with or
+        without one attached.
+        """
+        self._progress = reporter
+        if self._engine is not None:
+            self._engine.progress = reporter
 
     def use_kernel(self, kernel: str, kernel_options: dict | None = None) -> None:
         """Switch the expansion kernel for future :meth:`extend_to` calls.
@@ -634,12 +651,25 @@ class CascadeSearch:
                 f"{self._expanded_to}; cannot extend to {cost_bound}"
             )
         started = perf_counter()
+        progress = self._progress
         if self._kernel in _ARRAY_KERNELS:
             engine = self._ensure_engine()
             engine = self._upgrade_engine_if_needed(engine)
+            engine.progress = progress
             for cost in range(self._expanded_to + 1, cost_bound + 1):
+                if progress is not None:
+                    progress.emit("level-start", level=cost)
+                    level_started = perf_counter()
                 engine.expand_level(cost)
                 self._expanded_to = cost
+                if progress is not None:
+                    progress.emit(
+                        "level-end",
+                        level=cost,
+                        size=int(engine.level_size(cost)),
+                        rows=int(engine.n_rows),
+                        elapsed_s=round(perf_counter() - level_started, 6),
+                    )
             # Byte-level dicts (a from_state restore or an earlier
             # translate run) no longer cover the new levels; drop them
             # so queries rebuild from the engine instead of silently
@@ -666,7 +696,11 @@ class CascadeSearch:
         # form; it is rebuilt on demand.
         self._engine = None
         self._raw = None
+        progress = self._progress
         for cost in range(self._expanded_to + 1, cost_bound + 1):
+            if progress is not None:
+                progress.emit("level-start", level=cost)
+                level_started = perf_counter()
             frontier: list[tuple[bytes, int]] = []
             for table, banned, gate_cost, gate_index in self._rows:
                 source = self._level_cache.get(cost - gate_cost)
@@ -684,6 +718,14 @@ class CascadeSearch:
                         parents[product] = (perm, gate_index)
             self._level_cache[cost] = frontier
             self._expanded_to = cost
+            if progress is not None:
+                progress.emit(
+                    "level-end",
+                    level=cost,
+                    size=len(frontier),
+                    rows=len(seen),
+                    elapsed_s=round(perf_counter() - level_started, 6),
+                )
 
     # -- queries -----------------------------------------------------------------------
 

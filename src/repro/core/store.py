@@ -1363,6 +1363,7 @@ class _SectionCache:
         self._bytes = 0
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         self._lock = threading.Lock()
 
     def get(self, key: tuple) -> bytes | None:
@@ -1387,6 +1388,7 @@ class _SectionCache:
             while self._bytes > self.max_bytes and self._entries:
                 _key, dropped = self._entries.popitem(last=False)
                 self._bytes -= len(dropped)
+                self._evictions += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -1394,6 +1396,7 @@ class _SectionCache:
             self._bytes = 0
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def stats(self) -> dict:
         with self._lock:
@@ -1403,6 +1406,7 @@ class _SectionCache:
                 "max_bytes": self.max_bytes,
                 "hits": self._hits,
                 "misses": self._misses,
+                "evictions": self._evictions,
             }
 
 

@@ -49,6 +49,7 @@ from repro.fleet.supervisor import (
     Supervisor,
 )
 from repro.server.app import DEFAULT_DRAIN_TIMEOUT, ReproServer
+from repro.telemetry import TraceSource
 
 DEFAULT_REPLICAS = 2
 #: Seconds a backend gets to terminate after SIGTERM before SIGKILL.
@@ -260,11 +261,13 @@ class FleetHandle:
         supervisor: Supervisor,
         manager: FleetManager,
         ops_log: str,
+        router_access_log: str | None = None,
     ):
         self.router = router
         self.supervisor = supervisor
         self.manager = manager
         self.ops_log = ops_log
+        self.router_access_log = router_access_log
 
 
 async def run_fleet(
@@ -291,6 +294,7 @@ async def run_fleet(
     latency_threshold_ms: float | None = None,
     queue_wait_threshold_ms: float | None = None,
     ops_log: str | None = None,
+    router_access_log: str | None = None,
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ready_timeout: float = DEFAULT_READY_TIMEOUT,
     ready: Callable | None = None,
@@ -326,6 +330,10 @@ async def run_fleet(
     )
     if ops_log is None:
         ops_log = os.path.join(manager.run_dir, "ops.ndjson")
+    if router_access_log is None:
+        router_access_log = os.path.join(
+            manager.run_dir, "router.access.ndjson"
+        )
 
     loop = asyncio.get_running_loop()
     manager.spawn_all()
@@ -338,6 +346,10 @@ async def run_fleet(
             )
             for name in manager.backends
         ])
+        # One TraceSource shared by the front end (which mints the
+        # trace_id for untraced requests) and the router (which mints
+        # the per-attempt span_ids) -- the fleet's tracing edge.
+        traces = TraceSource()
         router = RouterService(
             manager.endpoints(),
             retries=retries,
@@ -345,15 +357,19 @@ async def run_fleet(
             max_inflight=max_inflight,
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
+            trace_source=traces,
+            access_log=router_access_log,
         )
         server = ReproServer(
-            router, host, port, unix_path=unix, drain_timeout=drain_timeout
+            router, host, port, unix_path=unix, drain_timeout=drain_timeout,
+            trace_source=traces,
         )
         await server.start()
         supervisor = Supervisor(
             router,
             manager,
             ops_log=ops_log,
+            registry=router.telemetry,
             guardrails=guardrails,
             interval=interval,
             probe_timeout=probe_timeout,
@@ -380,7 +396,13 @@ async def run_fleet(
             if ready is not None:
                 ready(
                     server.address if port is not None else None,
-                    FleetHandle(router, supervisor, manager, ops_log),
+                    FleetHandle(
+                        router,
+                        supervisor,
+                        manager,
+                        ops_log,
+                        router_access_log=router_access_log,
+                    ),
                 )
             await stop.wait()
         finally:

@@ -58,14 +58,22 @@ import os
 import random
 import time
 
+from repro._version import __version__
 from repro.errors import FleetOverloadedError, ServerError
 from repro.server.metrics import RollingWindow
 from repro.server.protocol import (
     MAX_BODY,
     Request,
     SERVER_FAULT_CODES,
+    error_payload,
     error_to_exception,
     parse_endpoint,
+)
+from repro.telemetry import (
+    METRICS_CONTENT_TYPE,
+    AccessLogWriter,
+    MetricsRegistry,
+    TraceSource,
 )
 
 #: Stream limit for router->backend connections.  Requests are capped
@@ -264,6 +272,10 @@ class Backend:
         self.inflight = 0
         self.requests = 0
         self.failures = 0
+        #: The replica's reported ``repro`` version, filled in by the
+        #: supervisor's healthz probes -- fleet status compares these
+        #: across replicas to flag version skew after a partial deploy.
+        self.version: str | None = None
         self.recent_latency = RollingWindow()
         self._pool: list[tuple] = []
         self._pool_size = pool_size
@@ -316,6 +328,8 @@ class Backend:
             "requests": self.requests,
             "failures": self.failures,
         }
+        if self.version is not None:
+            payload["version"] = self.version
         summary = self.recent_latency.summary(scale=1e3)
         if summary is not None:
             payload["latency_recent_ms"] = summary
@@ -338,6 +352,12 @@ class RouterService:
             the request is shed with ``FLEET_OVERLOADED``.
         breaker_threshold / breaker_cooldown: see :class:`CircuitBreaker`.
         seed: RNG seed for the retry jitter (deterministic tests).
+        trace_source: mints ``trace_id``/``span_id`` (shared with the
+            front-end :class:`~repro.server.app.ReproServer` by
+            ``run_fleet``); defaults to a fresh urandom-backed source.
+        access_log: append one NDJSON record per *routed* request
+            (trace ID, per-attempt backend/span/outcome, total time);
+            rotation mirrors the replica access logs.
     """
 
     def __init__(
@@ -350,6 +370,10 @@ class RouterService:
         breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
         breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
         seed: int = 0,
+        trace_source: TraceSource | None = None,
+        access_log: str | None = None,
+        access_log_max_bytes: int | None = None,
+        access_log_keep: int | None = None,
     ):
         if not backends:
             raise ServerError("a fleet needs at least one backend")
@@ -367,11 +391,100 @@ class RouterService:
         for name, endpoint in backends.items():
             self.add_backend(name, endpoint)
         self._started_monotonic = time.monotonic()
+        self._started_epoch = round(time.time(), 3)
         self._next_id = 0
-        # Counters (event-loop thread only).
-        self._routed = 0
-        self._failovers = 0
-        self._shed = 0
+        self._traces = trace_source if trace_source is not None else TraceSource()
+        # The router's own telemetry registry (served on `/metrics` by
+        # the same front end that serves the replicas').  Healthz reads
+        # the routed/failovers/shed values back out of these counters.
+        self.telemetry = MetricsRegistry()
+        reg = self.telemetry
+        reg.gauge(
+            "repro_build_info",
+            "Build/version info as labels; value is always 1.",
+            labels=("version",),
+        ).set(1, version=__version__)
+        reg.gauge(
+            "repro_start_time_seconds",
+            "Unix time the router object was created.",
+            fn=lambda: self._started_epoch,
+        )
+        reg.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the router object was created.",
+            fn=lambda: round(time.monotonic() - self._started_monotonic, 3),
+        )
+        self._m_requests = reg.counter(
+            "repro_router_requests_total",
+            "Requests the router front end received, by operation.",
+            labels=("op",),
+        )
+        self._m_routed = reg.counter(
+            "repro_routed_total",
+            "Requests routed toward a backend (healthz/metrics excluded).",
+        )
+        self._m_failovers = reg.counter(
+            "repro_failovers_total",
+            "Delivery attempts that failed and moved to another replica.",
+        )
+        self._m_shed = reg.counter(
+            "repro_shed_total",
+            "Requests shed with FLEET_OVERLOADED (every candidate full).",
+        )
+        self._h_attempt = reg.histogram(
+            "repro_route_attempt_ms",
+            "Successful round-trip time to a backend, by backend.",
+            labels=("backend",),
+        )
+        reg.counter(
+            "repro_backend_requests_total",
+            "Delivery attempts sent, by backend.",
+            labels=("backend",),
+            fn=lambda: {
+                name: b.requests for name, b in self._backends.items()
+            },
+        )
+        reg.counter(
+            "repro_backend_failures_total",
+            "Failed delivery attempts, by backend.",
+            labels=("backend",),
+            fn=lambda: {
+                name: b.failures for name, b in self._backends.items()
+            },
+        )
+        reg.counter(
+            "repro_backend_breaker_opened_total",
+            "Circuit-breaker trips, by backend.",
+            labels=("backend",),
+            fn=lambda: {
+                name: b.breaker.opened_total
+                for name, b in self._backends.items()
+            },
+        )
+        reg.gauge(
+            "repro_backend_inflight",
+            "Router-side in-flight round trips, by backend.",
+            labels=("backend",),
+            fn=lambda: {
+                name: b.inflight for name, b in self._backends.items()
+            },
+        )
+        reg.gauge(
+            "repro_backend_admitted",
+            "1 when the supervisor admits this backend, else 0.",
+            labels=("backend",),
+            fn=lambda: {
+                name: int(b.admitted) for name, b in self._backends.items()
+            },
+        )
+        self._log_writer: AccessLogWriter | None = None
+        if access_log is not None:
+            self._log_writer = AccessLogWriter(
+                access_log,
+                max_bytes=access_log_max_bytes,
+                keep=access_log_keep,
+                registry=reg,
+            )
 
     # -- membership (the supervisor's control surface) ---------------------------------
 
@@ -412,17 +525,46 @@ class RouterService:
     # -- service protocol --------------------------------------------------------------
 
     async def start(self) -> None:
-        """Nothing to open eagerly: backend connections are lazy."""
+        """Open the access log; backend connections stay lazy."""
+        if self._log_writer is not None:
+            self._log_writer.start()
 
     async def close(self) -> None:
         for backend in self._backends.values():
             await backend.close()
+        if self._log_writer is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._log_writer.close)
 
     async def handle(self, request: Request) -> dict:
         """Route one request; raises the mapped library exception."""
+        self._m_requests.inc(op=request.op)
         if request.op == "healthz":
             return self._do_healthz()
-        self._routed += 1
+        if request.op == "metrics":
+            return self._do_metrics()
+        self._m_routed.inc()
+        # The router is the tracing edge: requests normally arrive with
+        # a trace_id already minted by the front-end ReproServer (same
+        # TraceSource); a bare RouterService mints its own here.
+        trace_id = request.trace_id or self._traces.trace_id()
+        attempts: list[dict] = []
+        started_ts = round(time.time(), 6)
+        started = time.perf_counter()
+        try:
+            result = await self._route(request, trace_id, attempts)
+        except Exception as exc:
+            self._log_request(request, trace_id, attempts,
+                              error_payload(exc)[0]["code"],
+                              started_ts, started)
+            raise
+        self._log_request(request, trace_id, attempts, "ok",
+                          started_ts, started)
+        return result
+
+    async def _route(
+        self, request: Request, trace_id: str, attempts: list[dict]
+    ) -> dict:
         order = self._ring.order(request.store or "")
         self._next_id += 1
         payload: dict = {
@@ -432,7 +574,7 @@ class RouterService:
         }
         if request.store is not None:
             payload["store"] = request.store
-        line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        payload["trace_id"] = trace_id
 
         tried: set[str] = set()
         last_error: Exception | None = None
@@ -446,7 +588,7 @@ class RouterService:
                 backend, saw_full = self._select(order, tried)
             if backend is None:
                 if saw_full:
-                    self._shed += 1
+                    self._m_shed.inc()
                     raise FleetOverloadedError(
                         "fleet overloaded: every admitted replica is at "
                         "its in-flight limit; request shed, retry with "
@@ -463,6 +605,14 @@ class RouterService:
             tried.add(backend.name)
             backend.requests += 1
             backend.inflight += 1
+            # One span per delivery attempt: the id a replica echoes
+            # into its own access-log record, making the router's
+            # attempt list join one-to-one with replica records.
+            span_id = self._traces.span_id()
+            payload["span_id"] = span_id
+            entry = {"backend": backend.name, "span_id": span_id}
+            attempts.append(entry)
+            line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
             started = time.perf_counter()
             try:
                 response = await asyncio.wait_for(
@@ -470,13 +620,16 @@ class RouterService:
                 )
             except asyncio.CancelledError:
                 backend.breaker.release_probe()
+                entry["outcome"] = "cancelled"
                 raise
             except (OSError, TimeoutError, ValueError,
                     asyncio.LimitOverrunError) as exc:
                 backend.failures += 1
                 backend.breaker.record_failure()
-                self._failovers += 1
+                self._m_failovers.inc()
                 detail = str(exc) or type(exc).__name__
+                entry["outcome"] = "transport-error"
+                entry["detail"] = detail
                 last_error = ServerError(
                     f"backend {backend.name} ({backend.endpoint}) "
                     f"failed: {detail}"
@@ -484,24 +637,71 @@ class RouterService:
                 continue
             finally:
                 backend.inflight -= 1
+                entry["ms"] = round((time.perf_counter() - started) * 1e3, 3)
             backend.recent_latency.observe(time.perf_counter() - started)
+            self._h_attempt.observe(entry["ms"], backend=backend.name)
 
             fault = self._classify(backend, payload["id"], response)
             if fault is not None:
                 backend.failures += 1
                 backend.breaker.record_failure()
-                self._failovers += 1
+                self._m_failovers.inc()
+                entry["outcome"] = error_payload(fault)[0]["code"]
                 last_error = fault
                 continue
             backend.breaker.record_success()
             if response.get("ok"):
+                entry["outcome"] = "ok"
                 return response["result"]
             # A structured client-mistake error: the backend is healthy
             # and every replica would answer identically -- re-raise it
             # so the front end re-encodes the exact same payload.
-            raise error_to_exception(response.get("error") or {})
+            error = response.get("error") or {}
+            entry["outcome"] = str(error.get("code", "internal"))
+            raise error_to_exception(error)
         assert last_error is not None
         raise last_error
+
+    def _log_request(
+        self,
+        request: Request,
+        trace_id: str,
+        attempts: list[dict],
+        outcome: str,
+        started_ts: float,
+        started: float,
+    ) -> None:
+        """One router access record per routed request.
+
+        Carries the same required fields as a replica record (so
+        :func:`repro.io.load_access_log` reads both) plus the trace ID
+        and the full attempt list; the router has no queue, so
+        ``queue_wait_ms`` is structurally 0.
+        """
+        if self._log_writer is None:
+            return
+        total_ms = round((time.perf_counter() - started) * 1e3, 3)
+        record = {
+            "ts": started_ts,
+            "op": request.op,
+            "store": request.store,
+            "id": request.id,
+            "trace_id": trace_id,
+            "queue_wait_ms": 0.0,
+            "execute_ms": total_ms,
+            "total_ms": total_ms,
+            "outcome": outcome,
+            "backend": attempts[-1]["backend"] if attempts else None,
+            "attempts": attempts,
+        }
+        self._log_writer.submit(record)
+
+    def _do_metrics(self) -> dict:
+        """The ``metrics`` op: the router's registry as exposition text."""
+        return {
+            "content_type": METRICS_CONTENT_TYPE,
+            "text": self.telemetry.render(),
+        }
 
     # -- internals ---------------------------------------------------------------------
 
@@ -592,6 +792,8 @@ class RouterService:
             "status": "ok" if healthy else "degraded",
             "role": "router",
             "pid": os.getpid(),
+            "version": __version__,
+            "start_time": self._started_epoch,
             "uptime_s": round(
                 time.monotonic() - self._started_monotonic, 3
             ),
@@ -603,9 +805,11 @@ class RouterService:
             "admitted_backends": sum(
                 1 for backend in self._backends.values() if backend.admitted
             ),
-            "routed": self._routed,
-            "failovers": self._failovers,
-            "shed": self._shed,
+            # Read back from the telemetry counters (single source of
+            # truth) so healthz and a /metrics scrape always agree.
+            "routed": int(self._m_routed.value()),
+            "failovers": int(self._m_failovers.value()),
+            "shed": int(self._m_shed.value()),
             "retries": self._retries,
             "attempt_timeout_s": self._attempt_timeout,
         }

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from repro.client import ServeClient
 from repro.errors import ReproError, ServerError
 from repro.server.protocol import SERVER_FAULT_CODES
+from repro.telemetry import MetricsRegistry
 
 DEFAULT_INTERVAL = 0.5
 DEFAULT_PROBE_TIMEOUT = 2.0
@@ -135,6 +136,10 @@ class Supervisor:
         queue_wait_threshold_ms: recent p90 queue wait ditto.
         fault_rate: access-log server-fault outcomes per cycle that
             trigger an ``error-rate`` finding.
+        registry: a :class:`~repro.telemetry.MetricsRegistry` to tally
+            findings/actions on (``run_fleet`` passes the router's, so
+            the fleet's ``/metrics`` carries the supervisor's story
+            too); ``None`` keeps a private one.
     """
 
     def __init__(
@@ -149,11 +154,27 @@ class Supervisor:
         latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
         queue_wait_threshold_ms: float = DEFAULT_QUEUE_WAIT_THRESHOLD_MS,
         fault_rate: int = DEFAULT_FAULT_RATE,
+        registry: MetricsRegistry | None = None,
     ):
         self._router = router
         self._manager = manager
         self._ops_log_path = ops_log
         self._ops_log = None
+        reg = registry if registry is not None else MetricsRegistry()
+        self._m_cycles = reg.counter(
+            "repro_supervisor_cycles_total",
+            "Completed detect/propose/verify/apply passes.",
+        )
+        self._m_findings = reg.counter(
+            "repro_supervisor_findings_total",
+            "Detector findings, by kind.",
+            labels=("kind",),
+        )
+        self._m_actions = reg.counter(
+            "repro_supervisor_actions_total",
+            "Proposed actions, by action and verdict.",
+            labels=("action", "verdict"),
+        )
         self.guardrails = guardrails or GuardRails()
         self._interval = interval
         self._probe_timeout = probe_timeout
@@ -219,9 +240,11 @@ class Supervisor:
     async def run_cycle(self) -> list[dict]:
         """One full detect -> propose -> verify -> apply pass."""
         self._cycle += 1
+        self._m_cycles.inc()
         findings = await self._detect()
         records: list[dict] = []
         for finding in findings:
+            self._m_findings.inc(kind=finding.kind)
             proposal = self._propose(finding)
             if proposal is None:
                 continue
@@ -235,6 +258,7 @@ class Supervisor:
                 except (ReproError, OSError) as exc:
                     verdict = "failed"
                     reason = f"{type(exc).__name__}: {exc}"
+            self._m_actions.inc(action=proposal.action, verdict=verdict)
             record = {
                 "ts": round(time.time(), 6),
                 "cycle": self._cycle,
@@ -262,8 +286,16 @@ class Supervisor:
         self._healthy_now = set()
         for backend, probe in zip(managed.values(), probes):
             admitted = self._is_admitted(backend.name)
-            if probe.health is not None and admitted:
-                self._healthy_now.add(backend.name)
+            if probe.health is not None:
+                # Surface the replica's reported build version on the
+                # router's backend view, so `fleet status` can flag
+                # version skew across a partially rolled fleet.
+                version = probe.health.get("version")
+                if isinstance(version, str):
+                    with contextlib.suppress(ReproError):
+                        self._router.backend(backend.name).version = version
+                if admitted:
+                    self._healthy_now.add(backend.name)
             finding = self._assess(backend, probe, admitted, now)
             if finding is not None:
                 findings.append(finding)

@@ -39,6 +39,8 @@ import stat
 import threading
 from typing import Callable, Sequence
 
+from dataclasses import replace
+
 from repro.errors import ProtocolError, ReproError
 from repro.fleet.chaos import ConnectionResetFault, build_injector
 from repro.server.protocol import (
@@ -48,9 +50,11 @@ from repro.server.protocol import (
     encode_response,
     error_payload,
     http_response,
+    http_text_response,
     read_http_request,
 )
 from repro.server.service import SynthesisService
+from repro.telemetry.trace import TRACE_HEADER
 
 #: Default bound on the graceful drain: how long close() waits for
 #: in-flight requests to finish before aborting their transports.
@@ -107,6 +111,7 @@ class ReproServer:
         unix_path: str | None = None,
         fault_injector=None,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        trace_source=None,
     ):
         if port is None and unix_path is None:
             raise ReproError("server needs a TCP port or a unix socket path")
@@ -115,6 +120,13 @@ class ReproServer:
         self._port = port
         self._unix_path = unix_path
         self._fault_injector = fault_injector
+        #: A :class:`~repro.telemetry.trace.TraceSource` makes this
+        #: server a tracing *edge*: requests arriving without a
+        #: ``trace_id`` get one minted here (the fleet wires this on
+        #: the router's front end).  ``None`` -- the default -- only
+        #: propagates IDs clients bring, keeping untraced traffic
+        #: byte-identical to the pre-tracing wire format.
+        self._trace_source = trace_source
         self._drain_timeout = max(0.0, drain_timeout)
         self._server: asyncio.AbstractServer | None = None
         self._unix_server: asyncio.AbstractServer | None = None
@@ -249,27 +261,39 @@ class ReproServer:
                 await writer.drain()
             return b""
 
+    def _assign_trace(self, request: Request) -> Request:
+        """Mint a ``trace_id`` at a tracing edge; pass-through otherwise."""
+        if self._trace_source is not None and request.trace_id is None:
+            return replace(request, trace_id=self._trace_source.trace_id())
+        return request
+
     async def _serve_ndjson(self, first: bytes, reader, writer) -> None:
         line = first
         while line:
             request_id: object = None
+            trace_id: str | None = None
             try:
-                request = decode_request_line(line)
+                request = self._assign_trace(decode_request_line(line))
                 request_id = request.id
+                trace_id = request.trace_id
                 # Accepted: from here this request is owed a response,
                 # even through a graceful drain.
                 self._busy.add(writer)
                 if self._fault_injector is not None:
                     await self._fault_injector.before_handle(request.op)
                 result = await self._service.handle(request)
-                response = encode_response(request_id, result)
+                response = encode_response(request_id, result,
+                                           trace_id=trace_id)
             except ConnectionResetFault:
                 self._busy.discard(writer)
                 writer.transport.abort()
                 return
             except Exception as exc:  # noqa: BLE001 -- mapped to wire error
                 payload, _status = error_payload(exc)
-                response = encode_response(request_id, None, payload)
+                if trace_id is not None:
+                    payload["trace_id"] = trace_id
+                response = encode_response(request_id, None, payload,
+                                           trace_id=trace_id)
             try:
                 writer.write(response)
                 await writer.drain()
@@ -283,20 +307,44 @@ class ReproServer:
         request_line = first
         while request_line not in (b"", b"\r\n", b"\n"):
             keep_alive = False
+            trace_id: str | None = None
             try:
                 request = await read_http_request(reader, request_line)
+                request = self._assign_trace(request)
                 keep_alive = request.keep_alive
+                trace_id = request.trace_id
+                headers = (
+                    None if trace_id is None else {TRACE_HEADER: trace_id}
+                )
                 self._busy.add(writer)
                 if self._fault_injector is not None:
                     await self._fault_injector.before_handle(request.op)
                 result = await self._service.handle(request)
-                response = http_response(200, result, keep_alive)
+                if (
+                    request.op == "metrics"
+                    and isinstance(result, dict)
+                    and isinstance(result.get("text"), str)
+                ):
+                    # The one non-JSON response: raw exposition text,
+                    # so curl/Prometheus scrape the standard format.
+                    response = http_text_response(
+                        200, result["text"],
+                        content_type=result.get(
+                            "content_type", "text/plain; charset=utf-8"
+                        ),
+                        keep_alive=keep_alive, extra_headers=headers,
+                    )
+                else:
+                    response = http_response(200, result, keep_alive,
+                                             extra_headers=headers)
             except ConnectionResetFault:
                 self._busy.discard(writer)
                 writer.transport.abort()
                 return
             except ProtocolError as exc:
                 payload, status = error_payload(exc)
+                if trace_id is not None:
+                    payload["trace_id"] = trace_id
                 response = http_response(status, {"error": payload}, False)
                 keep_alive = False
             except (asyncio.LimitOverrunError, ValueError):
@@ -309,7 +357,13 @@ class ReproServer:
                 keep_alive = False
             except Exception as exc:  # noqa: BLE001 -- mapped to wire error
                 payload, status = error_payload(exc)
-                response = http_response(status, {"error": payload}, keep_alive)
+                if trace_id is not None:
+                    payload["trace_id"] = trace_id
+                headers = (
+                    None if trace_id is None else {TRACE_HEADER: trace_id}
+                )
+                response = http_response(status, {"error": payload},
+                                         keep_alive, extra_headers=headers)
             try:
                 writer.write(response)
                 await writer.drain()

@@ -29,6 +29,7 @@ Operations (the JSON surface is identical under both framings)::
     store-info    --                                  store header + serving info
     healthz       --                                  liveness, counters and
                                                       p50/p90/p99 timings
+    metrics       --                                  Prometheus exposition text
 
 Every store-touching operation additionally accepts an optional
 **store selector** -- a registry alias or a ``LIBFP:COSTFP``
@@ -42,7 +43,22 @@ answer a structured ``protocol`` error listing the aliases.
 (n_qubits / gates / target / cost / not_mask), so server responses can
 be re-verified and re-loaded client-side exactly like ``synth --save``
 files.  HTTP routes: ``POST /synth``, ``POST /synth-batch``,
-``GET|POST /cost-table``, ``GET /store-info``, ``GET /healthz``.
+``GET|POST /cost-table``, ``GET /store-info``, ``GET /healthz``,
+``GET /metrics``.
+
+**Tracing fields.**  Both framings carry two *optional* correlation
+fields -- ``trace_id`` (one per end-to-end request, minted by the
+fleet router when the client brings none) and ``span_id`` (one per
+delivery attempt).  NDJSON carries them as top-level keys next to
+``op``; HTTP as ``X-Repro-Trace-Id`` / ``X-Repro-Span-Id`` headers.
+Responses echo ``trace_id`` the same way, and error payloads carry it
+as a top-level ``trace_id`` key.  Absent fields change nothing on the
+wire: an untraced request and its response are byte-identical to the
+pre-tracing protocol, which is what keeps old clients and pinned
+goldens working.  The ``metrics`` op answers with Prometheus
+exposition text -- as raw ``text/plain`` under HTTP (the one non-JSON
+response in the protocol), and wrapped as ``{"content_type", "text"}``
+under NDJSON.
 
 Errors travel as structured JSON objects ``{"code", "message",
 "details"?}``; :func:`error_payload` maps the library's exception
@@ -71,6 +87,11 @@ from repro.errors import (
     StoreMismatchError,
     StoreVersionError,
 )
+from repro.telemetry.trace import (
+    SPAN_HEADER,
+    TRACE_HEADER,
+    validate_trace_field,
+)
 
 #: Default TCP port of ``repro serve`` (no IANA meaning; picked free).
 DEFAULT_PORT = 7205
@@ -80,7 +101,9 @@ MAX_LINE = 1 << 20
 #: Largest accepted HTTP body / NDJSON request line.
 MAX_BODY = 8 << 20
 
-OPERATIONS = ("synth", "synth-batch", "cost-table", "store-info", "healthz")
+OPERATIONS = (
+    "synth", "synth-batch", "cost-table", "store-info", "healthz", "metrics",
+)
 
 #: Exception -> (code, HTTP status), most specific first.  The order
 #: matters: the first ``isinstance`` hit wins.
@@ -231,6 +254,11 @@ class Request:
     store: str | None = None
     #: HTTP only: client asked to keep the connection open.
     keep_alive: bool = True
+    #: Optional correlation IDs (see the module docstring).  ``None``
+    #: keeps requests, responses and access records byte-identical to
+    #: the pre-tracing wire format.
+    trace_id: str | None = None
+    span_id: str | None = None
 
 
 def _check_store_field(store: object) -> str | None:
@@ -267,17 +295,29 @@ def decode_request_line(line: bytes) -> Request:
         params=params,
         id=data.get("id"),
         store=_check_store_field(data.get("store")),
+        trace_id=validate_trace_field(data.get("trace_id"), "trace_id"),
+        span_id=validate_trace_field(data.get("span_id"), "span_id"),
     )
 
 
 def encode_response(
-    request_id: object, result: dict | None, error: dict | None = None
+    request_id: object,
+    result: dict | None,
+    error: dict | None = None,
+    trace_id: str | None = None,
 ) -> bytes:
-    """One NDJSON response line (ok/result or ok=false/error)."""
+    """One NDJSON response line (ok/result or ok=false/error).
+
+    A *trace_id* is echoed as a top-level key so clients correlate
+    without touching ``result`` (whose bytes stay pinned by the
+    routed-vs-direct identity tests); ``None`` adds nothing.
+    """
     if error is None:
         body: dict = {"id": request_id, "ok": True, "result": result}
     else:
         body = {"id": request_id, "ok": False, "error": error}
+    if trace_id is not None:
+        body["trace_id"] = trace_id
     return json.dumps(body, separators=(",", ":")).encode() + b"\n"
 
 
@@ -311,6 +351,7 @@ _GET_ROUTES = {
     "/healthz": "healthz",
     "/store-info": "store-info",
     "/cost-table": "cost-table",
+    "/metrics": "metrics",
 }
 _POST_ROUTES = {
     "/synth": "synth",
@@ -403,19 +444,57 @@ async def read_http_request(reader, request_line: bytes) -> Request:
         op=op, params=params,
         store=_check_store_field(params.pop("store", None)),
         keep_alive=keep_alive,
+        trace_id=validate_trace_field(
+            headers.get(TRACE_HEADER.lower()), "trace_id"
+        ),
+        span_id=validate_trace_field(
+            headers.get(SPAN_HEADER.lower()), "span_id"
+        ),
     )
 
 
-def http_response(status: int, payload: dict, keep_alive: bool = True) -> bytes:
-    """Serialize one ``application/json`` HTTP/1.1 response."""
-    body = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+def _http_head(
+    status: int,
+    content_type: str,
+    body_size: int,
+    keep_alive: bool,
+    extra_headers: dict | None = None,
+) -> bytes:
     reason = _HTTP_STATUS_TEXT.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {connection}\r\n"
-        "\r\n"
-    )
-    return head.encode("ascii") + body
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {body_size}",
+        f"Connection: {connection}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def http_response(
+    status: int,
+    payload: dict,
+    keep_alive: bool = True,
+    extra_headers: dict | None = None,
+) -> bytes:
+    """Serialize one ``application/json`` HTTP/1.1 response."""
+    body = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+    return _http_head(
+        status, "application/json", len(body), keep_alive, extra_headers
+    ) + body
+
+
+def http_text_response(
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    keep_alive: bool = True,
+    extra_headers: dict | None = None,
+) -> bytes:
+    """Serialize one plain-text HTTP/1.1 response (``GET /metrics``)."""
+    body = text.encode("utf-8")
+    return _http_head(
+        status, content_type, len(body), keep_alive, extra_headers
+    ) + body

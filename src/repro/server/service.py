@@ -46,18 +46,27 @@ reload leaves the previous registry serving and is reported via
 Observability: per-op queue-wait and total-latency percentiles
 (reservoir-sampled, :mod:`repro.server.metrics`) ride on ``healthz``
 next to the counters, and an optional NDJSON **access log** records one
-line per request (op, store alias, queue wait, execute time, outcome).
+line per request (op, store alias, queue wait, execute time, outcome,
+and the request's ``trace_id``/``span_id`` when traced).
 Errors are split into ``client_errors`` (4xx-mapped: bad targets,
 unknown stores, over-bound queries) and ``server_errors`` (5xx-mapped)
 so client mistakes cannot inflate the server-fault signal;
 ``errors`` stays their sum for pre-split scrapers.
+
+Since PR 10 the counters live in a process-wide
+:class:`~repro.telemetry.MetricsRegistry` (``self.telemetry``) and the
+``healthz`` payload *reads them back* from it -- one source of truth,
+so a Prometheus scrape of ``GET /metrics`` and a ``healthz`` poll can
+never disagree.  The access log is written by the shared
+:class:`~repro.telemetry.AccessLogWriter` (same single-thread,
+fire-and-forget, rotate-between-lines discipline this class used to
+implement inline), which also exports the writer's own health --
+records/bytes written, rotations, queue depth -- as metrics.
 """
 
 from __future__ import annotations
 
 import asyncio
-import contextlib
-import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -70,11 +79,17 @@ from repro.errors import (
     ServerError,
     SpecificationError,
 )
+from repro._version import __version__
 from repro.core.batch import BatchSynthesizer
 from repro.core.store import section_cache_stats
 from repro.server.metrics import ServiceMetrics
 from repro.server.protocol import OPERATIONS, Request, error_payload
 from repro.server.registry import StoreRegistry, build_registry
+from repro.telemetry import (
+    METRICS_CONTENT_TYPE,
+    AccessLogWriter,
+    MetricsRegistry,
+)
 
 #: Default worker-thread count: the kernel work is GIL-bound numpy +
 #: pure Python, so a small pool is enough to overlap queries with
@@ -100,6 +115,13 @@ class StoreState:
     #: endpoint slices this instead of rebuilding ~|G| Permutation
     #: objects per request.
     table: object  # repro.core.fmcf.CostTable
+
+
+def _section_cache_reader(stat: str):
+    """A scrape-time reader for one ``section_cache_stats()`` field."""
+    def read() -> float:
+        return section_cache_stats().get(stat, 0)
+    return read
 
 
 class _Job:
@@ -202,31 +224,97 @@ class SynthesisService:
         self._opener = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-open"
         )
-        # Access-log writes run on their own single thread (ordered,
-        # fire-and-forget): a slow or hung log filesystem must add
-        # latency to the *log*, never to the event loop serving
-        # requests.
-        self._log_pool: ThreadPoolExecutor | None = None
         self._registry: StoreRegistry | None = None
         self._queue: asyncio.Queue[_Job] | None = None
         self._dispatcher: asyncio.Task | None = None
         self._slots: asyncio.Semaphore | None = None
         self._reload_lock: asyncio.Lock | None = None
         self._started_monotonic = time.monotonic()
+        self._started_epoch = round(time.time(), 3)
         self._closing = False
-        self._access_log_path = access_log
-        self._access_log = None
-        self._access_log_max_bytes = access_log_max_bytes
-        self._access_log_keep = 3 if access_log_keep is None else access_log_keep
-        # Counters (event-loop-thread only).
-        self._queries = {op: 0 for op in OPERATIONS}
-        self._batches_executed = 0
-        self._jobs_coalesced = 0
-        self._client_errors = 0
-        self._server_errors = 0
-        self._reloads = 0
         self._last_reload_error: str | None = None
         self._metrics = ServiceMetrics()
+        # The process-wide metrics registry.  Every counter healthz
+        # reports lives here (healthz reads values back out), and the
+        # `metrics` op renders it as Prometheus text.
+        self.telemetry = MetricsRegistry()
+        reg = self.telemetry
+        reg.gauge(
+            "repro_build_info",
+            "Build/version info as labels; value is always 1.",
+            labels=("version",),
+        ).set(1, version=__version__)
+        reg.gauge(
+            "repro_start_time_seconds",
+            "Unix time the service object was created.",
+            fn=lambda: self._started_epoch,
+        )
+        reg.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the service object was created.",
+            fn=lambda: round(time.monotonic() - self._started_monotonic, 3),
+        )
+        self._m_queries = reg.counter(
+            "repro_requests_total",
+            "Requests handled, by operation.",
+            labels=("op",),
+        )
+        for op in OPERATIONS:
+            self._m_queries.preseed(op)
+        self._m_batches = reg.counter(
+            "repro_batches_executed_total",
+            "Coalesced executor dispatches.",
+        )
+        self._m_coalesced = reg.counter(
+            "repro_jobs_coalesced_total",
+            "Query jobs absorbed into coalesced batches.",
+        )
+        self._m_errors = reg.counter(
+            "repro_request_errors_total",
+            "Failed requests by fault domain (client=4xx, server=5xx).",
+            labels=("domain",),
+        )
+        self._m_errors.preseed("client")
+        self._m_errors.preseed("server")
+        self._m_reloads = reg.counter(
+            "repro_store_reloads_total",
+            "Successful registry reloads (SIGHUP or explicit).",
+        )
+        self._h_latency = reg.histogram(
+            "repro_request_latency_ms",
+            "End-to-end request latency in milliseconds, by operation.",
+            labels=("op",),
+        )
+        self._h_queue_wait = reg.histogram(
+            "repro_request_queue_wait_ms",
+            "Queue wait before a worker picked the job up, by operation.",
+            labels=("op",),
+        )
+        for stat in ("hits", "misses", "evictions"):
+            reg.counter(
+                f"repro_section_cache_{stat}_total",
+                f"Process-wide v3 section cache {stat} since start.",
+                fn=_section_cache_reader(stat),
+            )
+        for name in ("entries", "bytes", "max_bytes"):
+            reg.gauge(
+                f"repro_section_cache_{name}",
+                f"Process-wide v3 section cache {name}.",
+                fn=_section_cache_reader(name),
+            )
+        # Access-log writes run on their own single thread (ordered,
+        # fire-and-forget): a slow or hung log filesystem must add
+        # latency to the *log*, never to the event loop serving
+        # requests.  The shared writer also registers the log's own
+        # observability metrics on this registry.
+        self._log_writer: AccessLogWriter | None = None
+        if access_log is not None:
+            self._log_writer = AccessLogWriter(
+                access_log,
+                max_bytes=access_log_max_bytes,
+                keep=access_log_keep,
+                registry=reg,
+            )
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -260,13 +348,8 @@ class SynthesisService:
             self._registry = await loop.run_in_executor(
                 self._opener, self._build_registry
             )
-        if self._access_log_path is not None and self._access_log is None:
-            self._access_log = open(
-                self._access_log_path, "a", encoding="utf-8"
-            )
-            self._log_pool = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-serve-log"
-            )
+        if self._log_writer is not None:
+            self._log_writer.start()
         self._queue = asyncio.Queue(maxsize=4 * self._max_batch)
         self._slots = asyncio.Semaphore(self._workers)
         self._reload_lock = asyncio.Lock()
@@ -297,14 +380,9 @@ class SynthesisService:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self._pool.shutdown, True)
         await loop.run_in_executor(None, self._opener.shutdown, True)
-        if self._log_pool is not None:
+        if self._log_writer is not None:
             # Drain pending log lines before closing the file.
-            await loop.run_in_executor(None, self._log_pool.shutdown, True)
-            self._log_pool = None
-        if self._access_log is not None:
-            with contextlib.suppress(OSError):
-                self._access_log.close()
-            self._access_log = None
+            await loop.run_in_executor(None, self._log_writer.close)
 
     async def reload(self) -> None:
         """Rebuild the whole registry and atomically swap it in (SIGHUP).
@@ -325,7 +403,7 @@ class SynthesisService:
                 self._last_reload_error = f"{type(exc).__name__}: {exc}"
                 return
             self._registry = registry  # atomic reference swap
-            self._reloads += 1
+            self._m_reloads.inc()
             self._last_reload_error = None
 
     # -- dispatch ----------------------------------------------------------------------
@@ -333,13 +411,16 @@ class SynthesisService:
     async def handle(self, request: Request) -> dict:
         """Execute one request; returns the result payload or raises."""
         op = request.op
-        self._queries[op] = self._queries.get(op, 0) + 1
+        self._m_queries.inc(op=op)
         started = time.perf_counter()
         trace = {"queue_wait": 0.0, "execute": 0.0}
         alias: str | None = None
         try:
             if op == "healthz":
                 result = self._do_healthz()
+                trace["execute"] = time.perf_counter() - started
+            elif op == "metrics":
+                result = self._do_metrics()
                 trace["execute"] = time.perf_counter() - started
             else:
                 alias, state = self.registry.resolve(request.store)
@@ -365,10 +446,8 @@ class SynthesisService:
             # The wire mapping already splits fault domains: 4xx
             # statuses are client mistakes, 5xx are server faults.
             payload, status = error_payload(exc)
-            if status >= 500:
-                self._server_errors += 1
-            else:
-                self._client_errors += 1
+            domain = "server" if status >= 500 else "client"
+            self._m_errors.inc(domain=domain)
             self._finish_request(request, alias, started, trace,
                                  payload["code"])
             raise
@@ -385,7 +464,9 @@ class SynthesisService:
     ) -> None:
         total = time.perf_counter() - started
         self._metrics.observe(request.op, trace["queue_wait"], total)
-        if self._log_pool is None:
+        self._h_latency.observe(total * 1e3, op=request.op)
+        self._h_queue_wait.observe(trace["queue_wait"] * 1e3, op=request.op)
+        if self._log_writer is None:
             return
         record = {
             "ts": round(time.time(), 6),
@@ -397,47 +478,22 @@ class SynthesisService:
             "total_ms": round(total * 1e3, 3),
             "outcome": outcome,
         }
+        # Correlation IDs, when the request carried them: the fields
+        # that join this record to the router's view of the same
+        # request (and its per-attempt span).  Untraced requests keep
+        # the exact pre-tracing record shape.
+        if request.trace_id is not None:
+            record["trace_id"] = request.trace_id
+        if request.span_id is not None:
+            record["span_id"] = request.span_id
         # Query params make the record replayable (`repro replay`).
         # They arrived as decoded JSON, so they serialize back as-is;
         # counter ops (healthz/store-info) carry none worth keeping.
         if request.params and request.op in _QUERY_OPS:
             record["params"] = request.params
-        line = json.dumps(record, separators=(",", ":")) + "\n"
         # Fire-and-forget onto the single log thread: lines stay
         # ordered, and a stalled log device never blocks the loop.
-        with contextlib.suppress(RuntimeError):  # pool shut down mid-close
-            self._log_pool.submit(self._write_log_line, line)
-
-    def _write_log_line(self, line: str) -> None:
-        # A full disk must degrade the log, never the serving path.
-        with contextlib.suppress(OSError, ValueError):
-            self._access_log.write(line)
-            self._access_log.flush()
-            if (
-                self._access_log_max_bytes is not None
-                and self._access_log.tell() >= self._access_log_max_bytes
-            ):
-                self._rotate_access_log()
-
-    def _rotate_access_log(self) -> None:
-        """Shift ``log -> log.1 -> ... -> log.N`` and reopen (log thread).
-
-        Runs only on the single log thread, *between* whole-line writes,
-        so every file in a rotated set ends on a complete record and no
-        locking is needed against the writer.  ``log.N`` (the oldest)
-        falls off the end.
-        """
-        path = self._access_log_path
-        keep = self._access_log_keep
-        self._access_log.close()
-        with contextlib.suppress(OSError):
-            os.unlink(f"{path}.{keep}")
-        for index in range(keep - 1, 0, -1):
-            source = f"{path}.{index}"
-            if os.path.exists(source):
-                os.replace(source, f"{path}.{index + 1}")
-        os.replace(path, f"{path}.1")
-        self._access_log = open(path, "a", encoding="utf-8")
+        self._log_writer.submit(record)
 
     async def _submit(self, fn: Callable[[], dict], trace: dict) -> dict:
         if self._queue is None or self._closing:
@@ -473,8 +529,8 @@ class SynthesisService:
                     jobs.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            self._batches_executed += 1
-            self._jobs_coalesced += len(jobs)
+            self._m_batches.inc()
+            self._m_coalesced.inc(len(jobs))
             executor_future = loop.run_in_executor(
                 self._pool, _run_jobs, jobs
             )
@@ -487,22 +543,33 @@ class SynthesisService:
     def _do_healthz(self) -> dict:
         registry = self._registry
         sole = None if registry is None else registry.sole()
+        # Counter values are read back from the telemetry registry --
+        # the single source of truth -- so this payload and a
+        # ``GET /metrics`` scrape can never disagree.
+        queries = {
+            key[0]: int(value)
+            for key, value in self._m_queries.values().items()
+        }
+        client_errors = int(self._m_errors.value(domain="client"))
+        server_errors = int(self._m_errors.value(domain="server"))
         payload = {
             "status": "ok" if registry is not None else "starting",
             "pid": os.getpid(),
+            "version": __version__,
+            "start_time": self._started_epoch,
             "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
             # Single-store compatibility fields (null on multi-store).
             "store": None if sole is None else sole[1].path,
             "expanded_to": None if sole is None else sole[1].header.expanded_to,
             "serving_cost_bound": None if sole is None else sole[1].cost_bound,
             "stores": {} if registry is None else registry.describe(),
-            "queries": dict(self._queries),
-            "batches_executed": self._batches_executed,
-            "jobs_coalesced": self._jobs_coalesced,
-            "errors": self._client_errors + self._server_errors,
-            "client_errors": self._client_errors,
-            "server_errors": self._server_errors,
-            "reloads": self._reloads,
+            "queries": queries,
+            "batches_executed": int(self._m_batches.value()),
+            "jobs_coalesced": int(self._m_coalesced.value()),
+            "errors": client_errors + server_errors,
+            "client_errors": client_errors,
+            "server_errors": server_errors,
+            "reloads": int(self._m_reloads.value()),
             "last_reload_error": self._last_reload_error,
             "workers": self._workers,
             "max_batch": self._max_batch,
@@ -510,6 +577,17 @@ class SynthesisService:
         payload["section_cache"] = section_cache_stats()
         payload.update(self._metrics.summary())
         return payload
+
+    def _do_metrics(self) -> dict:
+        """The ``metrics`` op: Prometheus exposition text, wrapped.
+
+        The HTTP front end unwraps this into a raw ``text/plain``
+        body; NDJSON peers receive the wrapper object as-is.
+        """
+        return {
+            "content_type": METRICS_CONTENT_TYPE,
+            "text": self.telemetry.render(),
+        }
 
     def _do_store_info(self, alias: str, state: StoreState) -> dict:
         header = state.header

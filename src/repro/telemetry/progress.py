@@ -1,0 +1,179 @@
+"""Progress instrumentation for long precompute runs.
+
+A Table-1 closure at degree 6 -- or the coming out-of-core 4-qubit
+runs -- can hold a core for hours while ``repro precompute`` prints
+nothing.  :class:`ProgressReporter` gives the kernel's phase
+boundaries (plan / generate / commit, per level) somewhere cheap to
+report to: an NDJSON stream a tool can follow (``repro tail``), an
+optional single-line TTY status, or both.
+
+Record schema (one JSON object per line)::
+
+    {"event": <str>, "run": <str>, "seq": <int>, ...fields, "ts": <float>}
+
+``seq`` is a per-reporter monotonic counter, so a resumed or merged
+log still orders.  Every field except ``ts`` and ``elapsed_s`` is
+**seeded-deterministic**: two runs of the same precompute emit
+byte-identical records once those two wall-clock fields are stripped
+(pinned by ``tests/test_telemetry.py``).  Events and their fields:
+
+==============  =====================================================
+``start``       run parameters (``degree``/``cost_bound``/``kernel``…)
+``level-start`` ``level``
+``plan``        ``level chunks planned kept rows`` -- candidate counts
+                before/after the filter hook, source rows scanned
+``generate``    ``level candidates`` -- rows materialized for dedup
+``commit``      ``level accepted rows dedup_slots dedup_used`` (and
+                ``dedup_spilled`` once sharded dedup spills) --
+                occupancy is ``dedup_used / dedup_slots``
+``level-end``   ``level size rows elapsed_s``
+``spill``       ``level`` -- sharded dedup went out-of-core
+``checkpoint``  ``level path`` -- resumable checkpoint written
+``done``        ``levels rows elapsed_s``
+==============  =====================================================
+
+Overhead contract: engines hold ``progress = None`` by default and
+guard every hook with one attribute test, so an uninstrumented run
+executes zero telemetry bytecode beyond that comparison -- the golden
+tables pin that instrumented and uninstrumented runs produce
+byte-identical stores.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+class ProgressReporter:
+    """Writes progress events to an NDJSON stream and/or a TTY line.
+
+    Args:
+        path: append NDJSON records to this file (optional).
+        stream: write NDJSON records to this open text stream
+            (optional; used over *path* if both given).
+        tty: render a one-line ``\\r``-overwritten status to this
+            stream (commonly ``sys.stderr``); ``None`` disables it.
+        run_id: stamped into every record's ``run`` field so merged
+            logs from several runs stay separable.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        stream=None,
+        tty=None,
+        run_id: str = "precompute",
+    ):
+        self._file = None
+        if stream is not None:
+            self._stream = stream
+        elif path is not None:
+            self._file = open(path, "a", encoding="utf-8")
+            self._stream = self._file
+        else:
+            self._stream = None
+        self._tty = tty
+        self._tty_dirty = False
+        self.run_id = str(run_id)
+        self._seq = 0
+        self._levels_done = 0
+        self._rows = 0
+
+    # -- emission ---------------------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one record; *fields* order is preserved as given."""
+        record = {"event": event, "run": self.run_id, "seq": self._seq}
+        record.update(fields)
+        record["ts"] = round(time.time(), 6)
+        self._seq += 1
+        if self._stream is not None:
+            try:
+                self._stream.write(
+                    json.dumps(record, separators=(",", ":")) + "\n"
+                )
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass  # progress must never fail the run
+        if self._tty is not None:
+            self._render_tty(event, fields)
+
+    def _render_tty(self, event: str, fields: dict) -> None:
+        if event == "level-end":
+            self._levels_done += 1
+            self._rows = fields.get("rows", self._rows)
+            line = (
+                f"[precompute] level {fields.get('level')}: "
+                f"{fields.get('size'):,} new, {self._rows:,} total rows "
+                f"({fields.get('elapsed_s')}s)"
+            )
+        elif event == "commit":
+            used = fields.get("dedup_used")
+            slots = fields.get("dedup_slots")
+            occupancy = f" dedup {used / slots:.0%}" if slots else ""
+            line = (
+                f"[precompute] level {fields.get('level')}: committing "
+                f"{fields.get('accepted'):,} rows{occupancy}"
+            )
+        elif event in ("spill", "checkpoint"):
+            line = f"[precompute] level {fields.get('level')}: {event}"
+        elif event == "done":
+            line = (
+                f"[precompute] done: {fields.get('levels')} levels, "
+                f"{fields.get('rows'):,} rows in {fields.get('elapsed_s')}s"
+            )
+        else:
+            return
+        try:
+            self._tty.write("\r\x1b[K" + line)
+            if event == "done":
+                self._tty.write("\n")
+                self._tty_dirty = False
+            else:
+                self._tty_dirty = True
+            self._tty.flush()
+        except (OSError, ValueError):
+            self._tty = None
+
+    def close(self) -> None:
+        """Finish the TTY line and close an owned file."""
+        if self._tty is not None and self._tty_dirty:
+            try:
+                self._tty.write("\n")
+                self._tty.flush()
+            except (OSError, ValueError):
+                pass
+            self._tty_dirty = False
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+            self._stream = None
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def strip_nondeterministic(record: dict) -> dict:
+    """Drop the wall-clock fields (``ts``/``elapsed_s``) from a record.
+
+    What remains is the seeded-deterministic part two identical runs
+    must agree on byte-for-byte; tests and goldens compare through
+    this.
+    """
+    return {
+        key: value for key, value in record.items()
+        if key not in ("ts", "elapsed_s")
+    }
+
+
+def make_tty(enabled: bool):
+    """``sys.stderr`` when *enabled* (factored for CLI wiring/tests)."""
+    return sys.stderr if enabled else None

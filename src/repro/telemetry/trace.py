@@ -1,0 +1,80 @@
+"""Trace/span ID minting for request correlation across the fleet.
+
+One query that enters the router, trips a circuit breaker, and lands
+on its second-choice replica leaves records in three places: the
+router's access log, the landing replica's access log, and (on
+failure) the client-visible error payload.  Correlating them needs a
+shared ID minted once at the fleet edge.  :class:`TraceSource` is that
+mint: the router stamps a ``trace_id`` on every request that arrives
+without one, and a fresh ``span_id`` per delivery attempt, so the
+attempt list in the router's record joins to the per-replica records
+one-to-one.
+
+IDs are lowercase hex (16 chars for traces, 8 for spans -- enough
+entropy for log joining, short enough to read in a terminal).  By
+default they come from ``os.urandom``; a seeded source draws from
+``random.Random`` instead so tests and goldens get reproducible IDs.
+Minting takes a lock only on the seeded path (``random.Random`` is not
+thread-safe); the urandom path is lock-free.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+from ..errors import ProtocolError
+
+#: Wire field / HTTP header names for trace propagation.  NDJSON uses
+#: the bare names as optional top-level keys; HTTP uses the headers.
+TRACE_FIELD = "trace_id"
+SPAN_FIELD = "span_id"
+TRACE_HEADER = "X-Repro-Trace-Id"
+SPAN_HEADER = "X-Repro-Span-Id"
+
+_MAX_ID_LEN = 128
+
+
+def validate_trace_field(value, field: str):
+    """Pass through a well-formed trace/span field (None or short str).
+
+    The protocol treats these as opaque strings -- clients may bring
+    their own correlation IDs -- but bounds them so a hostile frame
+    cannot smuggle megabytes into every access-log record.
+    """
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{field} must be a non-empty string")
+    if len(value) > _MAX_ID_LEN:
+        raise ProtocolError(f"{field} too long (max {_MAX_ID_LEN} chars)")
+    if any(c.isspace() or not c.isprintable() for c in value):
+        raise ProtocolError(f"{field} must be printable with no whitespace")
+    return value
+
+
+class TraceSource:
+    """Mints ``trace_id`` / ``span_id`` strings.
+
+    ``seed=None`` (production) draws from ``os.urandom``; an int seed
+    gives a deterministic stream for tests.
+    """
+
+    def __init__(self, seed: int | None = None):
+        self._rng = None if seed is None else random.Random(seed)
+        self._lock = threading.Lock()
+
+    def _hex(self, nbytes: int) -> str:
+        if self._rng is None:
+            return os.urandom(nbytes).hex()
+        with self._lock:
+            return f"{self._rng.getrandbits(nbytes * 8):0{nbytes * 2}x}"
+
+    def trace_id(self) -> str:
+        """A new 16-hex-char trace ID."""
+        return self._hex(8)
+
+    def span_id(self) -> str:
+        """A new 8-hex-char span ID (one per delivery attempt)."""
+        return self._hex(4)

@@ -613,7 +613,7 @@ class TestReload:
             try:
                 # Saturated pool: the sole worker is wedged on `blocker`.
                 await asyncio.wait_for(service.reload(), timeout=30)
-                assert service._reloads == 1
+                assert service._m_reloads.value() == 1
             finally:
                 release.set()
                 await asyncio.gather(*jobs, return_exceptions=True)
